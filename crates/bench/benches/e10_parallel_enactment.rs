@@ -1,0 +1,98 @@
+//! E10 — pattern operators and parallel enactment: a star of
+//! cross-validation calls fanned over the workflow engine, serial vs
+//! parallel, width 1–8. Expected shape: parallel wall-clock grows far
+//! slower than serial as the star widens, saturating at the core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_bench::banner;
+use dm_workflow::engine::Executor;
+use dm_workflow::graph::{TaskGraph, Token, Tool};
+use dm_workflow::patterns;
+use faehim::Toolkit;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn star(
+    toolkit: &Toolkit,
+    width: usize,
+) -> (TaskGraph, HashMap<(usize, usize), Token>) {
+    let mut graph = TaskGraph::new();
+    let source = graph.add_task(Arc::new(faehim::tools::LocalDataset::breast_cancer()));
+    let workers = patterns::widen_star(
+        &mut graph,
+        source,
+        0,
+        || {
+            let tools = toolkit
+                .import_service(toolkit.primary_host(), "Classifier")
+                .expect("import");
+            Arc::new(
+                tools
+                    .into_iter()
+                    .find(|t| t.name().ends_with(".crossValidate"))
+                    .expect("crossValidate"),
+            )
+        },
+        width,
+    )
+    .expect("star");
+    let mut bindings = HashMap::new();
+    for &w in &workers {
+        bindings.insert((w, 1), Token::Text("J48".to_string()));
+        bindings.insert((w, 2), Token::Text(String::new()));
+        bindings.insert((w, 3), Token::Text("Class".to_string()));
+        bindings.insert((w, 4), Token::Int(10));
+    }
+    (graph, bindings)
+}
+
+fn shape_table(toolkit: &Toolkit) {
+    banner("E10 / §2,§4", "parallel enactment of a widening star of CV jobs");
+    println!(
+        "available parallelism: {} core(s) — expected parallel speedup saturates here",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    println!("{:>6} {:>14} {:>14} {:>9}", "width", "serial", "parallel", "speedup");
+    for &width in &[1usize, 2, 4, 8] {
+        let (graph, bindings) = star(toolkit, width);
+        let t0 = Instant::now();
+        Executor::serial().run(&graph, &bindings).expect("serial");
+        let serial = t0.elapsed();
+        let t1 = Instant::now();
+        Executor::parallel().run(&graph, &bindings).expect("parallel");
+        let parallel = t1.elapsed();
+        println!(
+            "{width:>6} {serial:>14.3?} {parallel:>14.3?} {:>8.2}x",
+            serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let toolkit = Toolkit::new().expect("toolkit");
+    shape_table(&toolkit);
+    let mut group = c.benchmark_group("e10_parallel_enactment");
+    for &width in &[2usize, 4, 8] {
+        let (graph, bindings) = star(&toolkit, width);
+        group.bench_with_input(BenchmarkId::new("serial", width), &width, |b, _| {
+            b.iter(|| {
+                black_box(Executor::serial().run(&graph, &bindings).expect("run"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", width), &width, |b, _| {
+            b.iter(|| {
+                black_box(Executor::parallel().run(&graph, &bindings).expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

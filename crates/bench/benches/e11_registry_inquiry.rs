@@ -1,0 +1,61 @@
+//! E11 — UDDI registry publish and inquiry at scale: lookup costs as
+//! the registry grows from the paper's ten services to thousands.
+//! Expected shape: exact-name and category inquiry scale linearly in
+//! this list-backed registry; publication is O(n) due to the replace
+//! scan — documented behaviour at toolkit scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_bench::banner;
+use dm_wsrf::registry::{ServiceEntry, UddiRegistry};
+use std::hint::black_box;
+
+fn filled(n: usize) -> UddiRegistry {
+    let reg = UddiRegistry::new();
+    for i in 0..n {
+        reg.publish(ServiceEntry {
+            name: format!("Service{i:05}"),
+            host: format!("host-{}", i % 16),
+            wsdl_url: format!("http://host-{}/axis/Service{i:05}?wsdl", i % 16),
+            categories: vec![
+                if i % 3 == 0 { "classifier" } else { "clustering" }.to_string(),
+                "datamining".to_string(),
+            ],
+            description: String::new(),
+        });
+    }
+    reg
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E11 / §4.6", "UDDI registry inquiry scaling");
+    let mut group = c.benchmark_group("e11_registry");
+    for &n in &[10usize, 100, 1_000, 10_000] {
+        let reg = filled(n);
+        let needle = format!("Service{:05}", n - 1);
+        group.bench_with_input(BenchmarkId::new("find_exact", n), &reg, |b, reg| {
+            b.iter(|| reg.find(black_box(&needle)).expect("hit"))
+        });
+        group.bench_with_input(BenchmarkId::new("find_by_category", n), &reg, |b, reg| {
+            b.iter(|| black_box(reg.find_by_category("classifier").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("publish_replace", n), &reg, |b, reg| {
+            b.iter(|| {
+                reg.publish(ServiceEntry {
+                    name: needle.clone(),
+                    host: "host-x".into(),
+                    wsdl_url: String::new(),
+                    categories: vec![],
+                    description: String::new(),
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,314 @@
+//! The Signal Processing toolbox folder — §2: "Use of the Triana
+//! workflow engine also allows us to utilize the Signal Processing
+//! toolbox available with algorithms such as Fast Fourier Transform and
+//! various spectral analysis algorithms."
+//!
+//! Signals travel through cables as `Token::List` of doubles, so these
+//! tools compose freely with the data-mining tools (e.g. cluster the
+//! spectral features of sensor channels).
+
+use dm_algorithms::signal::{
+    autocorrelation, fft, power_spectrum, spectral_peaks, Window,
+};
+use dm_workflow::graph::{PortSpec, Token, Tool};
+use dm_workflow::toolbox::Toolbox;
+use std::sync::Arc;
+
+/// Register every signal-processing tool into `toolbox`.
+pub fn register_signal_tools(toolbox: &Toolbox) {
+    toolbox.add(Arc::new(SignalGen::sine(50.0, 1000.0, 512)));
+    toolbox.add(Arc::new(FftTool));
+    toolbox.add(Arc::new(PowerSpectrumTool::new(1000.0, Window::Hann)));
+    toolbox.add(Arc::new(PeakDetector::new(0.05)));
+    toolbox.add(Arc::new(AutocorrelationTool));
+}
+
+fn as_signal(token: &Token) -> Result<Vec<f64>, String> {
+    match token {
+        Token::List(items) => items
+            .iter()
+            .map(|v| v.as_double().map_err(|e| e.to_string()))
+            .collect(),
+        _ => Err("expected a list of samples".into()),
+    }
+}
+
+fn to_list(values: impl IntoIterator<Item = f64>) -> Token {
+    Token::List(values.into_iter().map(Token::Double).collect())
+}
+
+/// Emits a synthetic test signal (sum of sines plus optional noise-free
+/// harmonics); the workspace's signal source.
+pub struct SignalGen {
+    /// `(frequency_hz, amplitude)` components.
+    pub components: Vec<(f64, f64)>,
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl SignalGen {
+    /// A single sine tone.
+    pub fn sine(frequency: f64, sample_rate: f64, samples: usize) -> SignalGen {
+        SignalGen { components: vec![(frequency, 1.0)], sample_rate, samples }
+    }
+
+    /// A sum of tones.
+    pub fn tones(components: Vec<(f64, f64)>, sample_rate: f64, samples: usize) -> SignalGen {
+        SignalGen { components, sample_rate, samples }
+    }
+}
+
+impl Tool for SignalGen {
+    fn name(&self) -> &str {
+        "SignalGen"
+    }
+
+    fn package(&self) -> &str {
+        "SignalProcessing"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("signal", "list")]
+    }
+
+    fn execute(&self, _inputs: &[Token]) -> Result<Vec<Token>, String> {
+        let signal = (0..self.samples).map(|i| {
+            self.components
+                .iter()
+                .map(|&(f, a)| {
+                    a * (std::f64::consts::TAU * f * i as f64 / self.sample_rate).sin()
+                })
+                .sum::<f64>()
+        });
+        Ok(vec![to_list(signal)])
+    }
+}
+
+/// Fast Fourier Transform: signal in, interleaved `[re, im, re, im, …]`
+/// spectrum out (zero-padded to a power of two).
+pub struct FftTool;
+
+impl Tool for FftTool {
+    fn name(&self) -> &str {
+        "FFT"
+    }
+
+    fn package(&self) -> &str {
+        "SignalProcessing"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("signal", "list")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("spectrum", "list")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> Result<Vec<Token>, String> {
+        let signal = as_signal(&inputs[0])?;
+        let spectrum = fft(&signal).map_err(|e| e.to_string())?;
+        Ok(vec![to_list(spectrum.iter().flat_map(|c| [c.re, c.im]))])
+    }
+}
+
+/// Single-sided power spectrum: signal in, interleaved
+/// `[frequency, power, …]` bins out.
+pub struct PowerSpectrumTool {
+    sample_rate: f64,
+    window: Window,
+}
+
+impl PowerSpectrumTool {
+    /// Create with an explicit sample rate and window.
+    pub fn new(sample_rate: f64, window: Window) -> PowerSpectrumTool {
+        PowerSpectrumTool { sample_rate, window }
+    }
+}
+
+impl Tool for PowerSpectrumTool {
+    fn name(&self) -> &str {
+        "PowerSpectrum"
+    }
+
+    fn package(&self) -> &str {
+        "SignalProcessing"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("signal", "list")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("spectrum", "list")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> Result<Vec<Token>, String> {
+        let signal = as_signal(&inputs[0])?;
+        let bins =
+            power_spectrum(&signal, self.sample_rate, self.window).map_err(|e| e.to_string())?;
+        Ok(vec![to_list(bins.iter().flat_map(|b| [b.frequency, b.power]))])
+    }
+}
+
+/// Finds spectral peaks in a `[frequency, power, …]` spectrum and
+/// reports them as text (strongest first).
+pub struct PeakDetector {
+    threshold: f64,
+}
+
+impl PeakDetector {
+    /// Create with a relative power threshold (fraction of the maximum).
+    pub fn new(threshold: f64) -> PeakDetector {
+        PeakDetector { threshold }
+    }
+}
+
+impl Tool for PeakDetector {
+    fn name(&self) -> &str {
+        "PeakDetector"
+    }
+
+    fn package(&self) -> &str {
+        "SignalProcessing"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("spectrum", "list")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("peaks", "string")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> Result<Vec<Token>, String> {
+        let flat = as_signal(&inputs[0])?;
+        if flat.len() % 2 != 0 {
+            return Err("spectrum list must be [frequency, power, ...] pairs".into());
+        }
+        let bins: Vec<dm_algorithms::signal::SpectrumBin> = flat
+            .chunks(2)
+            .map(|p| dm_algorithms::signal::SpectrumBin { frequency: p[0], power: p[1] })
+            .collect();
+        let peaks = spectral_peaks(&bins, self.threshold);
+        let mut out = format!("{} spectral peak(s)\n", peaks.len());
+        for p in peaks {
+            out.push_str(&format!("  {:.2} Hz (power {:.4})\n", p.frequency, p.power));
+        }
+        Ok(vec![Token::Text(out)])
+    }
+}
+
+/// Normalised autocorrelation of a signal.
+pub struct AutocorrelationTool;
+
+impl Tool for AutocorrelationTool {
+    fn name(&self) -> &str {
+        "Autocorrelation"
+    }
+
+    fn package(&self) -> &str {
+        "SignalProcessing"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("signal", "list")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("autocorrelation", "list")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> Result<Vec<Token>, String> {
+        let signal = as_signal(&inputs[0])?;
+        let ac = autocorrelation(&signal).map_err(|e| e.to_string())?;
+        Ok(vec![to_list(ac)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_workflow::engine::Executor;
+    use dm_workflow::graph::TaskGraph;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fft_pipeline_finds_the_tone() {
+        // SignalGen(50 Hz) → PowerSpectrum → PeakDetector, composed
+        // through the workflow engine like any other toolbox tools.
+        let mut g = TaskGraph::new();
+        let gen = g.add_task(Arc::new(SignalGen::sine(50.0, 1000.0, 1024)));
+        let spectrum = g.add_task(Arc::new(PowerSpectrumTool::new(1000.0, Window::Hann)));
+        let peaks = g.add_task(Arc::new(PeakDetector::new(0.1)));
+        g.connect(gen, 0, spectrum, 0).unwrap();
+        g.connect(spectrum, 0, peaks, 0).unwrap();
+        let report = Executor::serial().run(&g, &HashMap::new()).unwrap();
+        match report.output(peaks, 0).unwrap() {
+            Token::Text(text) => {
+                assert!(text.contains("50.00 Hz") || text.contains("49."), "{text}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_tone_signal_two_peaks() {
+        let gen = SignalGen::tones(vec![(50.0, 1.0), (180.0, 0.6)], 1000.0, 2048);
+        let signal = gen.execute(&[]).unwrap();
+        let spec = PowerSpectrumTool::new(1000.0, Window::Hann)
+            .execute(&signal)
+            .unwrap();
+        let peaks = PeakDetector::new(0.05).execute(&spec).unwrap();
+        match &peaks[0] {
+            Token::Text(t) => assert!(t.starts_with("2 spectral peak")
+                || t.chars().next().map_or(false, |c| c.is_ascii_digit())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fft_tool_outputs_interleaved_complex() {
+        let signal = to_list((0..64).map(|i| (i as f64 * 0.3).sin()));
+        let out = FftTool.execute(&[signal]).unwrap();
+        match &out[0] {
+            Token::List(items) => assert_eq!(items.len(), 128),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn autocorrelation_tool_runs() {
+        let signal = to_list((0..100).map(|i| if (i / 10) % 2 == 0 { 1.0 } else { -1.0 }));
+        let out = AutocorrelationTool.execute(&[signal]).unwrap();
+        match &out[0] {
+            Token::List(items) => {
+                assert_eq!(items.len(), 100);
+                assert!((items[0].as_double().unwrap() - 1.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(FftTool.execute(&[Token::Text("no".into())]).is_err());
+        assert!(PeakDetector::new(0.1)
+            .execute(&[to_list([1.0, 2.0, 3.0])])
+            .is_err());
+    }
+
+    #[test]
+    fn registration() {
+        let tb = Toolbox::new();
+        register_signal_tools(&tb);
+        assert_eq!(tb.tools_in("SignalProcessing").len(), 5);
+        assert!(tb.find("FFT").is_ok());
+    }
+}

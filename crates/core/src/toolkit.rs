@@ -1,0 +1,209 @@
+//! The [`Toolkit`]: one-call provisioning of the FAEHIM environment —
+//! a simulated network with service hosts, the deployed Web Service
+//! suite, a UDDI registry, and a workflow toolbox organised as in
+//! Figures 1 and 2.
+
+use dm_services::client::{ClassifierClient, ClustererClient, ConvertClient, J48Client};
+use dm_services::{deploy_faehim_suite, publish_suite};
+use dm_workflow::toolbox::Toolbox;
+use dm_workflow::wsimport::{import_from_host, WsTool};
+use dm_wsrf::container::ServiceContainer;
+use dm_wsrf::registry::UddiRegistry;
+use dm_wsrf::transport::Network;
+use dm_wsrf::WsError;
+use std::sync::Arc;
+
+/// Default host name for a single-host toolkit (the paper's services
+/// were hosted at the Welsh e-Science Centre).
+pub const DEFAULT_HOST: &str = "wesc.cf.ac.uk";
+
+/// The provisioned FAEHIM environment.
+pub struct Toolkit {
+    network: Arc<Network>,
+    registry: Arc<UddiRegistry>,
+    toolbox: Arc<Toolbox>,
+    hosts: Vec<String>,
+}
+
+impl Toolkit {
+    /// Provision a single-host toolkit with the full service suite
+    /// deployed, published, and imported into the toolbox.
+    pub fn new() -> Result<Toolkit, WsError> {
+        Toolkit::with_hosts(&[DEFAULT_HOST])
+    }
+
+    /// Provision with several hosts, each running the full suite
+    /// (replicas for the fault-tolerance and parallelism experiments).
+    pub fn with_hosts(hosts: &[&str]) -> Result<Toolkit, WsError> {
+        let network = Arc::new(Network::new());
+        let registry = Arc::new(UddiRegistry::new());
+        let toolbox = Arc::new(Toolbox::with_common_tools());
+        let mut names = Vec::with_capacity(hosts.len());
+        for &host in hosts {
+            let container = network.add_host(host);
+            deploy_faehim_suite(&container)?;
+            publish_suite(&container, &registry)?;
+            names.push(host.to_string());
+        }
+        let toolkit = Toolkit { network, registry, toolbox, hosts: names };
+        // Import every deployed service's operations as workspace tools
+        // (Triana: "creates a tool for each operation").
+        let primary = toolkit.hosts[0].clone();
+        for entry in toolkit.registry.all() {
+            if entry.host == primary {
+                for tool in toolkit.import_service(&primary, &entry.name)? {
+                    toolkit.toolbox.add(Arc::new(tool));
+                }
+            }
+        }
+        // Local data-manipulation / processing / visualisation tools
+        // (the Figure 2 toolbox components) plus the Triana signal
+        // processing toolbox the paper cites (§2).
+        crate::tools::register_local_tools(&toolkit.toolbox);
+        crate::signal_tools::register_signal_tools(&toolkit.toolbox);
+        Ok(toolkit)
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> Arc<Network> {
+        Arc::clone(&self.network)
+    }
+
+    /// The UDDI registry.
+    pub fn registry(&self) -> Arc<UddiRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The workflow toolbox.
+    pub fn toolbox(&self) -> Arc<Toolbox> {
+        Arc::clone(&self.toolbox)
+    }
+
+    /// Provisioned host names.
+    pub fn hosts(&self) -> &[String] {
+        &self.hosts
+    }
+
+    /// The primary host.
+    pub fn primary_host(&self) -> &str {
+        &self.hosts[0]
+    }
+
+    /// A host's container.
+    pub fn container(&self, host: &str) -> Result<Arc<ServiceContainer>, WsError> {
+        self.network.host(host)
+    }
+
+    /// Import one service's operations as tools, with every other host
+    /// added as a failover replica.
+    pub fn import_service(&self, host: &str, service: &str) -> Result<Vec<WsTool>, WsError> {
+        let mut tools = import_from_host(self.network(), host, service)?;
+        for tool in &mut tools {
+            for other in &self.hosts {
+                if other != host {
+                    tool.add_replica(other.clone());
+                }
+            }
+        }
+        Ok(tools)
+    }
+
+    /// Typed client for the general Classifier service on the primary
+    /// host.
+    pub fn classifier_client(&self) -> ClassifierClient {
+        ClassifierClient::new(self.network(), self.primary_host())
+    }
+
+    /// Typed client for the dedicated J48 service.
+    pub fn j48_client(&self) -> J48Client {
+        J48Client::new(self.network(), self.primary_host())
+    }
+
+    /// Typed client for the clustering services.
+    pub fn clusterer_client(&self) -> ClustererClient {
+        ClustererClient::new(self.network(), self.primary_host())
+    }
+
+    /// Typed client for the conversion / URL-reader services.
+    pub fn convert_client(&self) -> ConvertClient {
+        ConvertClient::new(self.network(), self.primary_host())
+    }
+
+    /// The Figure-2 component inventory as text: the workflow engine
+    /// plus the tool groups and deployed services around it.
+    pub fn describe_components(&self) -> String {
+        let mut out = String::from("FAEHIM toolkit components (Figure 2)\n");
+        out.push_str("=====================================\n\n");
+        out.push_str("Workflow engine: dataflow composition + serial/parallel enactment\n\n");
+        out.push_str("Toolbox folders:\n");
+        for folder in self.toolbox.folders() {
+            out.push_str(&format!("  {folder}/  ({} tools)\n", self.toolbox.tools_in(&folder).len()));
+        }
+        out.push_str("\nDeployed Web Services:\n");
+        for entry in self.registry.all() {
+            out.push_str(&format!(
+                "  {} @ {}  [{}]\n",
+                entry.name,
+                entry.host,
+                entry.categories.join(", ")
+            ));
+        }
+        out.push_str(&format!(
+            "\nAlgorithm pool: {} registered algorithms ({} classifiers, {} clusterers, {} associators, {} attribute-selection approaches)\n",
+            dm_algorithms::registry::inventory_size(),
+            dm_algorithms::registry::classifier_names().len(),
+            dm_algorithms::registry::clusterer_names().len(),
+            dm_algorithms::registry::associator_names().len(),
+            dm_algorithms::attrsel::approaches().len(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_host_provisioning() {
+        let tk = Toolkit::new().unwrap();
+        assert_eq!(tk.hosts().len(), 1);
+        assert_eq!(tk.registry().len(), 13);
+        // Common tools + local tools + imported WS operation tools.
+        assert!(tk.toolbox().len() > 20, "toolbox has {} tools", tk.toolbox().len());
+        let folders = tk.toolbox().folders();
+        assert!(folders.iter().any(|f| f == "Common"));
+        assert!(folders.iter().any(|f| f.starts_with("WebServices.")));
+    }
+
+    #[test]
+    fn multi_host_replicas() {
+        let tk = Toolkit::with_hosts(&["host-a", "host-b"]).unwrap();
+        assert_eq!(tk.hosts().len(), 2);
+        let tools = tk.import_service("host-a", "J48").unwrap();
+        assert_eq!(tools[0].hosts(), ["host-a".to_string(), "host-b".to_string()]);
+    }
+
+    #[test]
+    fn clients_reach_services() {
+        let tk = Toolkit::new().unwrap();
+        assert!(tk.classifier_client().get_classifiers().unwrap().len() >= 13);
+        assert!(tk.clusterer_client().get_clusterers().unwrap().len() >= 5);
+    }
+
+    #[test]
+    fn component_description_mentions_everything() {
+        let tk = Toolkit::new().unwrap();
+        let text = tk.describe_components();
+        assert!(text.contains("Workflow engine"));
+        assert!(text.contains("Classifier @"));
+        assert!(text.contains("40 registered algorithms"));
+    }
+
+    #[test]
+    fn registry_category_lookup_finds_visualisation() {
+        let tk = Toolkit::new().unwrap();
+        let viz = tk.registry().find_by_category("visualisation");
+        assert_eq!(viz.len(), 2); // Plot, Math
+    }
+}

@@ -1,0 +1,292 @@
+//! Apriori (Agrawal & Srikant 1994): level-wise frequent-itemset mining
+//! with candidate generation and the downward-closure prune.
+
+use super::{
+    rules_from_itemsets, transactions, Associator, AssociationRule, Item, ItemSet,
+};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use dm_data::Dataset;
+use std::collections::{HashMap, HashSet};
+
+/// The Apriori association-rule miner.
+#[derive(Debug, Clone)]
+pub struct Apriori {
+    /// `-M`: minimum support (fraction of transactions).
+    min_support: f64,
+    /// `-C`: minimum rule confidence.
+    min_confidence: f64,
+    /// `-N`: maximum number of rules reported.
+    max_rules: usize,
+    /// `-Z`: treat a nominal attribute's first label as "absent".
+    skip_first_label: bool,
+    /// Statistics of the last run.
+    last_itemsets: usize,
+    last_rules: usize,
+    last_levels: usize,
+}
+
+impl Default for Apriori {
+    fn default() -> Self {
+        Apriori {
+            min_support: 0.1,
+            min_confidence: 0.9,
+            max_rules: 10,
+            skip_first_label: false,
+            last_itemsets: 0,
+            last_rules: 0,
+            last_levels: 0,
+        }
+    }
+}
+
+impl Apriori {
+    /// Create with WEKA-like defaults (`-M 0.1 -C 0.9 -N 10`).
+    pub fn new() -> Apriori {
+        Apriori::default()
+    }
+
+    /// Mine the frequent itemsets only (used by tests and by FP-Growth
+    /// cross-validation).
+    pub fn frequent_itemsets(&mut self, data: &Dataset) -> Result<Vec<ItemSet>> {
+        let txns = transactions(data, self.skip_first_label)?;
+        let n = txns.len();
+        let min_count = (self.min_support * n as f64).ceil().max(1.0) as usize;
+
+        // Level 1.
+        let mut counts: HashMap<Vec<Item>, usize> = HashMap::new();
+        for t in &txns {
+            for &i in t {
+                *counts.entry(vec![i]).or_insert(0) += 1;
+            }
+        }
+        let mut frequent: Vec<ItemSet> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .map(|(items, support)| ItemSet { items, support })
+            .collect();
+        frequent.sort_by(|a, b| a.items.cmp(&b.items));
+
+        let mut all = frequent.clone();
+        self.last_levels = 1;
+
+        // Transaction sets as hash sets for fast subset checks.
+        let txn_sets: Vec<HashSet<Item>> =
+            txns.iter().map(|t| t.iter().copied().collect()).collect();
+
+        while !frequent.is_empty() {
+            // Candidate generation: join sets sharing a (k-1)-prefix.
+            let prev: HashSet<&[Item]> =
+                frequent.iter().map(|s| s.items.as_slice()).collect();
+            let mut candidates: Vec<Vec<Item>> = Vec::new();
+            for i in 0..frequent.len() {
+                for j in (i + 1)..frequent.len() {
+                    let a = &frequent[i].items;
+                    let b = &frequent[j].items;
+                    if a[..a.len() - 1] == b[..b.len() - 1] && a.last() < b.last() {
+                        let mut cand = a.clone();
+                        cand.push(*b.last().expect("non-empty"));
+                        // Downward-closure prune: all (k-1)-subsets frequent.
+                        let prunable = (0..cand.len()).all(|skip| {
+                            let sub: Vec<Item> = cand
+                                .iter()
+                                .enumerate()
+                                .filter(|(x, _)| *x != skip)
+                                .map(|(_, &i)| i)
+                                .collect();
+                            prev.contains(sub.as_slice())
+                        });
+                        if prunable {
+                            candidates.push(cand);
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            // Count candidates.
+            let mut level: Vec<ItemSet> = Vec::new();
+            for cand in candidates {
+                let support = txn_sets
+                    .iter()
+                    .filter(|t| cand.iter().all(|i| t.contains(i)))
+                    .count();
+                if support >= min_count {
+                    level.push(ItemSet { items: cand, support });
+                }
+            }
+            if level.is_empty() {
+                break;
+            }
+            level.sort_by(|a, b| a.items.cmp(&b.items));
+            all.extend(level.iter().cloned());
+            frequent = level;
+            self.last_levels += 1;
+        }
+        self.last_itemsets = all.len();
+        Ok(all)
+    }
+}
+
+impl Associator for Apriori {
+    fn name(&self) -> &'static str {
+        "Apriori"
+    }
+
+    fn mine(&mut self, data: &Dataset) -> Result<Vec<AssociationRule>> {
+        let itemsets = self.frequent_itemsets(data)?;
+        let n = data.num_instances();
+        let rules = rules_from_itemsets(&itemsets, n, self.min_confidence, self.max_rules);
+        self.last_rules = rules.len();
+        Ok(rules)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Apriori: minSup {}, minConf {}; last run: {} frequent itemsets over {} levels, {} rules",
+            self.min_support, self.min_confidence, self.last_itemsets, self.last_levels, self.last_rules
+        )
+    }
+}
+
+impl Configurable for Apriori {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-M",
+                name: "minSupport",
+                description: "minimum itemset support (fraction)",
+                default: "0.1".into(),
+                kind: OptionKind::Real { min: 1e-9, max: 1.0 },
+            },
+            OptionDescriptor {
+                flag: "-C",
+                name: "minConfidence",
+                description: "minimum rule confidence",
+                default: "0.9".into(),
+                kind: OptionKind::Real { min: 0.0, max: 1.0 },
+            },
+            OptionDescriptor {
+                flag: "-N",
+                name: "numRules",
+                description: "maximum number of rules reported",
+                default: "10".into(),
+                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+            },
+            OptionDescriptor {
+                flag: "-Z",
+                name: "treatFirstLabelAsAbsent",
+                description: "skip items whose value is the attribute's first label",
+                default: "false".into(),
+                kind: OptionKind::Flag,
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-M" => self.min_support = value.parse().expect("validated"),
+            "-C" => self.min_confidence = value.parse().expect("validated"),
+            "-N" => self.max_rules = value.parse().expect("validated"),
+            "-Z" => self.skip_first_label = value == "true",
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-M" => Ok(self.min_support.to_string()),
+            "-C" => Ok(self.min_confidence.to_string()),
+            "-N" => Ok(self.max_rules.to_string()),
+            "-Z" => Ok(self.skip_first_label.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::baskets;
+    use super::*;
+
+    fn market_miner() -> Apriori {
+        let mut a = Apriori::new();
+        a.set_options(&[("-Z", "true"), ("-M", "0.2"), ("-C", "0.7"), ("-N", "50")])
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn finds_planted_pair() {
+        let ds = baskets();
+        let mut miner = market_miner();
+        let rules = miner.mine(&ds).unwrap();
+        assert!(!rules.is_empty());
+        // Expect a rule between item0 and item1 (planted together).
+        let found = rules.iter().any(|r| {
+            let attrs: Vec<usize> = r
+                .antecedent
+                .iter()
+                .chain(&r.consequent)
+                .map(|i| i.attr)
+                .collect();
+            attrs.contains(&0) && attrs.contains(&1)
+        });
+        assert!(found, "no rule over the planted pair:\n{:#?}", rules);
+    }
+
+    #[test]
+    fn planted_triple_is_frequent() {
+        let ds = baskets();
+        let mut miner = market_miner();
+        let sets = miner.frequent_itemsets(&ds).unwrap();
+        let triple = sets.iter().find(|s| {
+            s.items.len() == 3 && s.items.iter().all(|i| [2, 3, 4].contains(&i.attr))
+        });
+        assert!(triple.is_some(), "planted triple not found");
+        assert!(triple.unwrap().support as f64 / 300.0 > 0.25);
+    }
+
+    #[test]
+    fn higher_support_threshold_finds_fewer_sets() {
+        let ds = baskets();
+        let mut low = market_miner();
+        low.set_option("-M", "0.05").unwrap();
+        let nl = low.frequent_itemsets(&ds).unwrap().len();
+        let mut high = market_miner();
+        high.set_option("-M", "0.4").unwrap();
+        let nh = high.frequent_itemsets(&ds).unwrap().len();
+        assert!(nh < nl, "{nh} !< {nl}");
+    }
+
+    #[test]
+    fn rule_confidences_above_threshold() {
+        let ds = baskets();
+        let mut miner = market_miner();
+        for r in miner.mine(&ds).unwrap() {
+            assert!(r.confidence >= 0.7);
+            assert!(r.support > 0.0 && r.support <= 1.0);
+            assert!(r.lift > 0.0);
+        }
+    }
+
+    #[test]
+    fn max_rules_respected() {
+        let ds = baskets();
+        let mut miner = market_miner();
+        miner.set_option("-N", "3").unwrap();
+        assert!(miner.mine(&ds).unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn describe_reports_stats() {
+        let ds = baskets();
+        let mut miner = market_miner();
+        miner.mine(&ds).unwrap();
+        assert!(miner.describe().contains("frequent itemsets"));
+    }
+}

@@ -1,0 +1,332 @@
+//! FP-Growth (Han, Pei & Yin 2000): frequent-itemset mining without
+//! candidate generation, via recursive conditional FP-trees.
+
+use super::{
+    rules_from_itemsets, transactions, Associator, AssociationRule, Item, ItemSet,
+};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use dm_data::Dataset;
+use std::collections::HashMap;
+
+/// One FP-tree node.
+#[derive(Debug)]
+struct FpNode {
+    item: Item,
+    count: usize,
+    parent: usize,
+    children: Vec<usize>,
+}
+
+/// An FP-tree arena with a header table of per-item node lists.
+#[derive(Debug, Default)]
+struct FpTree {
+    nodes: Vec<FpNode>,
+    header: HashMap<Item, Vec<usize>>,
+}
+
+impl FpTree {
+    fn new() -> FpTree {
+        let mut t = FpTree::default();
+        // Sentinel root.
+        t.nodes.push(FpNode {
+            item: Item { attr: usize::MAX, value: usize::MAX },
+            count: 0,
+            parent: usize::MAX,
+            children: Vec::new(),
+        });
+        t
+    }
+
+    fn insert(&mut self, path: &[Item], count: usize) {
+        let mut cur = 0usize;
+        for &item in path {
+            let child = self.nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].item == item);
+            cur = match child {
+                Some(c) => {
+                    self.nodes[c].count += count;
+                    c
+                }
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(FpNode { item, count, parent: cur, children: Vec::new() });
+                    self.nodes[cur].children.push(id);
+                    self.header.entry(item).or_default().push(id);
+                    id
+                }
+            };
+        }
+    }
+
+    /// Prefix path (excluding the node itself and the root) of node `id`.
+    fn prefix_path(&self, id: usize) -> Vec<Item> {
+        let mut path = Vec::new();
+        let mut cur = self.nodes[id].parent;
+        while cur != usize::MAX && cur != 0 {
+            path.push(self.nodes[cur].item);
+            cur = self.nodes[cur].parent;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// The FP-Growth miner.
+#[derive(Debug, Clone)]
+pub struct FPGrowth {
+    /// `-M`: minimum support (fraction).
+    min_support: f64,
+    /// `-C`: minimum rule confidence.
+    min_confidence: f64,
+    /// `-N`: maximum rules reported.
+    max_rules: usize,
+    /// `-Z`: treat each attribute's first label as "absent".
+    skip_first_label: bool,
+    last_itemsets: usize,
+}
+
+impl Default for FPGrowth {
+    fn default() -> Self {
+        FPGrowth {
+            min_support: 0.1,
+            min_confidence: 0.9,
+            max_rules: 10,
+            skip_first_label: false,
+            last_itemsets: 0,
+        }
+    }
+}
+
+impl FPGrowth {
+    /// Create with defaults matching [`super::Apriori`].
+    pub fn new() -> FPGrowth {
+        FPGrowth::default()
+    }
+
+    /// Mine the frequent itemsets.
+    pub fn frequent_itemsets(&mut self, data: &Dataset) -> Result<Vec<ItemSet>> {
+        let txns = transactions(data, self.skip_first_label)?;
+        let n = txns.len();
+        let min_count = (self.min_support * n as f64).ceil().max(1.0) as usize;
+
+        let mut out = Vec::new();
+        let weighted: Vec<(Vec<Item>, usize)> =
+            txns.into_iter().map(|t| (t, 1usize)).collect();
+        Self::grow(&weighted, min_count, &mut Vec::new(), &mut out, 0)?;
+        out.sort_by(|a, b| a.items.cmp(&b.items));
+        self.last_itemsets = out.len();
+        Ok(out)
+    }
+
+    /// Recursive FP-growth over weighted transactions.
+    fn grow(
+        txns: &[(Vec<Item>, usize)],
+        min_count: usize,
+        suffix: &mut Vec<Item>,
+        out: &mut Vec<ItemSet>,
+        depth: usize,
+    ) -> Result<()> {
+        if depth > 64 {
+            return Err(AlgoError::Unsupported("FP-growth recursion too deep".into()));
+        }
+        // Count items in this conditional database.
+        let mut counts: HashMap<Item, usize> = HashMap::new();
+        for (t, w) in txns {
+            for &i in t {
+                *counts.entry(i).or_insert(0) += w;
+            }
+        }
+        let mut frequent: Vec<(Item, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        // Order by descending count (stable tie-break by item).
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank: HashMap<Item, usize> =
+            frequent.iter().enumerate().map(|(r, (i, _))| (*i, r)).collect();
+
+        // Build the conditional FP-tree.
+        let mut tree = FpTree::new();
+        for (t, w) in txns {
+            let mut path: Vec<Item> =
+                t.iter().copied().filter(|i| rank.contains_key(i)).collect();
+            path.sort_by_key(|i| rank[i]);
+            if !path.is_empty() {
+                tree.insert(&path, *w);
+            }
+        }
+
+        // For each frequent item (bottom-up), emit the itemset and
+        // recurse into its conditional pattern base.
+        for &(item, count) in frequent.iter().rev() {
+            suffix.push(item);
+            let mut items = suffix.clone();
+            items.sort();
+            out.push(ItemSet { items, support: count });
+
+            let mut conditional: Vec<(Vec<Item>, usize)> = Vec::new();
+            if let Some(node_ids) = tree.header.get(&item) {
+                for &id in node_ids {
+                    let path = tree.prefix_path(id);
+                    if !path.is_empty() {
+                        conditional.push((path, tree.nodes[id].count));
+                    }
+                }
+            }
+            if !conditional.is_empty() {
+                Self::grow(&conditional, min_count, suffix, out, depth + 1)?;
+            }
+            suffix.pop();
+        }
+        Ok(())
+    }
+}
+
+impl Associator for FPGrowth {
+    fn name(&self) -> &'static str {
+        "FPGrowth"
+    }
+
+    fn mine(&mut self, data: &Dataset) -> Result<Vec<AssociationRule>> {
+        let itemsets = self.frequent_itemsets(data)?;
+        Ok(rules_from_itemsets(
+            &itemsets,
+            data.num_instances(),
+            self.min_confidence,
+            self.max_rules,
+        ))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "FPGrowth: minSup {}, minConf {}; last run: {} frequent itemsets",
+            self.min_support, self.min_confidence, self.last_itemsets
+        )
+    }
+}
+
+impl Configurable for FPGrowth {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-M",
+                name: "minSupport",
+                description: "minimum itemset support (fraction)",
+                default: "0.1".into(),
+                kind: OptionKind::Real { min: 1e-9, max: 1.0 },
+            },
+            OptionDescriptor {
+                flag: "-C",
+                name: "minConfidence",
+                description: "minimum rule confidence",
+                default: "0.9".into(),
+                kind: OptionKind::Real { min: 0.0, max: 1.0 },
+            },
+            OptionDescriptor {
+                flag: "-N",
+                name: "numRules",
+                description: "maximum number of rules reported",
+                default: "10".into(),
+                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+            },
+            OptionDescriptor {
+                flag: "-Z",
+                name: "treatFirstLabelAsAbsent",
+                description: "skip items whose value is the attribute's first label",
+                default: "false".into(),
+                kind: OptionKind::Flag,
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-M" => self.min_support = value.parse().expect("validated"),
+            "-C" => self.min_confidence = value.parse().expect("validated"),
+            "-N" => self.max_rules = value.parse().expect("validated"),
+            "-Z" => self.skip_first_label = value == "true",
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-M" => Ok(self.min_support.to_string()),
+            "-C" => Ok(self.min_confidence.to_string()),
+            "-N" => Ok(self.max_rules.to_string()),
+            "-Z" => Ok(self.skip_first_label.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::baskets;
+    use super::super::Apriori;
+    use super::*;
+
+    fn market_miner() -> FPGrowth {
+        let mut m = FPGrowth::new();
+        m.set_options(&[("-Z", "true"), ("-M", "0.2"), ("-C", "0.7"), ("-N", "50")])
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_itemsets() {
+        // The two miners must produce the same frequent itemsets with
+        // the same supports — the strongest correctness check available.
+        let ds = baskets();
+        let mut fp = market_miner();
+        let mut ap = Apriori::new();
+        ap.set_options(&[("-Z", "true"), ("-M", "0.2")]).unwrap();
+        let mut a = fp.frequent_itemsets(&ds).unwrap();
+        let mut b = ap.frequent_itemsets(&ds).unwrap();
+        a.sort_by(|x, y| x.items.cmp(&y.items));
+        b.sort_by(|x, y| x.items.cmp(&y.items));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_rules() {
+        let ds = baskets();
+        let mut fp = market_miner();
+        let mut ap = Apriori::new();
+        ap.set_options(&[("-Z", "true"), ("-M", "0.2"), ("-C", "0.7"), ("-N", "50")])
+            .unwrap();
+        let a = fp.mine(&ds).unwrap();
+        let b = ap.mine(&ds).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn finds_planted_triple() {
+        let ds = baskets();
+        let mut fp = market_miner();
+        let sets = fp.frequent_itemsets(&ds).unwrap();
+        assert!(sets.iter().any(|s| s.items.len() == 3
+            && s.items.iter().all(|i| [2, 3, 4].contains(&i.attr))));
+    }
+
+    #[test]
+    fn empty_result_below_any_support() {
+        let ds = baskets();
+        let mut fp = market_miner();
+        fp.set_option("-M", "0.999").unwrap();
+        assert!(fp.frequent_itemsets(&ds).unwrap().is_empty());
+    }
+
+    #[test]
+    fn describe_mentions_itemsets() {
+        let ds = baskets();
+        let mut fp = market_miner();
+        fp.mine(&ds).unwrap();
+        assert!(fp.describe().contains("frequent itemsets"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Association-rule mining — the third of the paper's three Web Service
+//! families ("1 classifiers, 2 clustering algorithms and 3 association
+//! rules").
+//!
+//! Items are `attribute = value` pairs over nominal datasets, exactly as
+//! in WEKA's `Apriori`. Both miners produce the same
+//! [`AssociationRule`] output: frequent itemsets above a minimum
+//! support, expanded into rules above a minimum confidence, ranked by
+//! confidence then lift.
+
+mod apriori;
+mod fpgrowth;
+
+pub use apriori::Apriori;
+pub use fpgrowth::FPGrowth;
+
+use crate::error::{AlgoError, Result};
+use crate::options::Configurable;
+use dm_data::{Dataset, Value};
+
+/// One item: a `(attribute, value)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item {
+    /// Attribute index.
+    pub attr: usize,
+    /// Nominal value index.
+    pub value: usize,
+}
+
+/// A frequent itemset with its (absolute) support count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemSet {
+    /// Sorted items.
+    pub items: Vec<Item>,
+    /// Number of supporting transactions.
+    pub support: usize,
+}
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand-side items.
+    pub antecedent: Vec<Item>,
+    /// Right-hand-side items.
+    pub consequent: Vec<Item>,
+    /// Support of antecedent ∪ consequent (fraction of transactions).
+    pub support: f64,
+    /// `support(A ∪ C) / support(A)`.
+    pub confidence: f64,
+    /// `confidence / support(C)`.
+    pub lift: f64,
+}
+
+impl AssociationRule {
+    /// Render against a dataset header, e.g.
+    /// `item1=y item2=y ==> item3=y  conf 0.95 lift 2.1 sup 0.40`.
+    pub fn render(&self, data: &Dataset) -> String {
+        let side = |items: &[Item]| -> String {
+            items
+                .iter()
+                .map(|i| {
+                    let attr = &data.attributes()[i.attr];
+                    format!(
+                        "{}={}",
+                        attr.name(),
+                        attr.labels().get(i.value).map(String::as_str).unwrap_or("?")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!(
+            "{} ==> {}  (sup {:.3}, conf {:.3}, lift {:.3})",
+            side(&self.antecedent),
+            side(&self.consequent),
+            self.support,
+            self.confidence,
+            self.lift
+        )
+    }
+}
+
+/// An association-rule miner.
+pub trait Associator: Configurable + Send {
+    /// Registry name, e.g. `"Apriori"`.
+    fn name(&self) -> &'static str;
+
+    /// Mine rules from `data` (all-nominal).
+    fn mine(&mut self, data: &Dataset) -> Result<Vec<AssociationRule>>;
+
+    /// Human-readable summary of the last run.
+    fn describe(&self) -> String;
+}
+
+/// Extract the transaction view of a nominal dataset: for each row, the
+/// sorted list of items. `skip_first_label` drops items whose value is
+/// label 0 — the convention for market-basket data where the first
+/// label means "absent".
+pub(crate) fn transactions(
+    data: &Dataset,
+    skip_first_label: bool,
+) -> Result<Vec<Vec<Item>>> {
+    if data.num_instances() == 0 {
+        return Err(AlgoError::Data(dm_data::DataError::Empty));
+    }
+    for a in 0..data.num_attributes() {
+        if !data.attributes()[a].is_nominal() {
+            return Err(AlgoError::Unsupported(format!(
+                "association mining needs nominal attributes; {:?} is not",
+                data.attributes()[a].name()
+            )));
+        }
+    }
+    let mut out = Vec::with_capacity(data.num_instances());
+    for r in 0..data.num_instances() {
+        let mut t = Vec::new();
+        for a in 0..data.num_attributes() {
+            let v = data.value(r, a);
+            if Value::is_missing(v) {
+                continue;
+            }
+            let value = Value::as_index(v);
+            if skip_first_label && value == 0 {
+                continue;
+            }
+            t.push(Item { attr: a, value });
+        }
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Expand frequent itemsets into rules above `min_confidence`,
+/// computing support/confidence/lift from the supplied support lookup.
+pub(crate) fn rules_from_itemsets(
+    itemsets: &[ItemSet],
+    num_transactions: usize,
+    min_confidence: f64,
+    max_rules: usize,
+) -> Vec<AssociationRule> {
+    use std::collections::HashMap;
+    let support_of: HashMap<&[Item], usize> =
+        itemsets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+    let n = num_transactions as f64;
+
+    let mut rules = Vec::new();
+    for set in itemsets {
+        if set.items.len() < 2 {
+            continue;
+        }
+        // Enumerate non-empty proper subsets as antecedents.
+        let k = set.items.len();
+        for mask in 1..((1usize << k) - 1) {
+            let mut ante = Vec::new();
+            let mut cons = Vec::new();
+            for (i, item) in set.items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    ante.push(*item);
+                } else {
+                    cons.push(*item);
+                }
+            }
+            let (Some(&sa), Some(&sc)) =
+                (support_of.get(ante.as_slice()), support_of.get(cons.as_slice()))
+            else {
+                continue; // subset below min support: confidence undefined here
+            };
+            let confidence = set.support as f64 / sa as f64;
+            if confidence < min_confidence {
+                continue;
+            }
+            let lift = confidence / (sc as f64 / n);
+            rules.push(AssociationRule {
+                antecedent: ante,
+                consequent: cons,
+                support: set.support as f64 / n,
+                confidence,
+                lift,
+            });
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite")
+            .then(b.lift.partial_cmp(&a.lift).expect("finite"))
+            .then(b.support.partial_cmp(&a.support).expect("finite"))
+    });
+    rules.truncate(max_rules);
+    rules
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use dm_data::corpus::market_baskets;
+    use dm_data::Dataset;
+
+    /// 300 baskets over 8 items with a planted {0,1} pair and a planted
+    /// {2,3,4} triple.
+    pub fn baskets() -> Dataset {
+        market_baskets(8, 300, &[(&[0, 1], 0.5), (&[2, 3, 4], 0.35)], 0.02, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_data::{Attribute, Dataset};
+
+    #[test]
+    fn transactions_skip_missing_and_first_label() {
+        let mut ds = Dataset::new(
+            "t",
+            vec![Attribute::nominal("a", ["n", "y"]), Attribute::nominal("b", ["n", "y"])],
+        );
+        ds.push_labels(&["y", "n"]).unwrap();
+        ds.push_labels(&["?", "y"]).unwrap();
+        let all = transactions(&ds, false).unwrap();
+        assert_eq!(all[0].len(), 2);
+        assert_eq!(all[1].len(), 1);
+        let present = transactions(&ds, true).unwrap();
+        assert_eq!(present[0], vec![Item { attr: 0, value: 1 }]);
+        assert_eq!(present[1], vec![Item { attr: 1, value: 1 }]);
+    }
+
+    #[test]
+    fn numeric_attributes_rejected() {
+        let mut ds = Dataset::new("t", vec![Attribute::numeric("x")]);
+        ds.push_row(vec![1.0]).unwrap();
+        assert!(transactions(&ds, false).is_err());
+    }
+
+    #[test]
+    fn rule_generation_math() {
+        // Itemsets over 100 transactions: {A}=60, {B}=50, {A,B}=45.
+        let a = Item { attr: 0, value: 1 };
+        let b = Item { attr: 1, value: 1 };
+        let sets = vec![
+            ItemSet { items: vec![a], support: 60 },
+            ItemSet { items: vec![b], support: 50 },
+            ItemSet { items: vec![a, b], support: 45 },
+        ];
+        let rules = rules_from_itemsets(&sets, 100, 0.7, 10);
+        // A→B: conf 0.75, lift 1.5. B→A: conf 0.9, lift 1.5.
+        assert_eq!(rules.len(), 2);
+        assert!((rules[0].confidence - 0.9).abs() < 1e-12);
+        assert_eq!(rules[0].antecedent, vec![b]);
+        assert!((rules[0].lift - 1.5).abs() < 1e-12);
+        assert!((rules[1].confidence - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let a = Item { attr: 0, value: 1 };
+        let b = Item { attr: 1, value: 1 };
+        let sets = vec![
+            ItemSet { items: vec![a], support: 60 },
+            ItemSet { items: vec![b], support: 50 },
+            ItemSet { items: vec![a, b], support: 45 },
+        ];
+        let rules = rules_from_itemsets(&sets, 100, 0.8, 10);
+        assert_eq!(rules.len(), 1);
+    }
+
+    #[test]
+    fn render_names_items() {
+        let ds = {
+            let mut d = Dataset::new(
+                "t",
+                vec![Attribute::nominal("bread", ["n", "y"]), Attribute::nominal("milk", ["n", "y"])],
+            );
+            d.push_labels(&["y", "y"]).unwrap();
+            d
+        };
+        let rule = AssociationRule {
+            antecedent: vec![Item { attr: 0, value: 1 }],
+            consequent: vec![Item { attr: 1, value: 1 }],
+            support: 0.4,
+            confidence: 0.9,
+            lift: 1.5,
+        };
+        let text = rule.render(&ds);
+        assert!(text.contains("bread=y ==> milk=y"));
+    }
+}

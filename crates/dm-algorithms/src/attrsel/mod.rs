@@ -1,0 +1,183 @@
+//! Attribute search and selection.
+//!
+//! The paper: "Additional capability is provided to support attribute
+//! search and selection within a numeric data set and 20 different
+//! approaches are provided to achieve this such as a genetic search
+//! operator" (§1), and §5.3: "The attribute selection process can also
+//! be automated through the use of a genetic search service."
+//!
+//! An *approach* is an (evaluator, search) pairing:
+//!
+//! * single-attribute evaluators ([`evaluators`]) rank attributes via
+//!   the [`search::Ranker`] search — info gain, gain ratio,
+//!   chi-squared, symmetrical uncertainty, OneR, ReliefF, Cramér's V,
+//!   and variance ranking;
+//! * subset evaluators ([`subset`]) — CFS and the classifier wrapper —
+//!   combine with the subset searches ([`search`]): best-first, greedy
+//!   forward, greedy backward, **genetic**, random, and exhaustive.
+//!
+//! [`approaches`] enumerates every supported pairing (8 + 2 × 6 = 20).
+
+pub mod evaluators;
+pub mod search;
+pub mod subset;
+
+pub use evaluators::{
+    AttributeEvaluator, ChiSquared, CramersV, GainRatioEval, InfoGainEval, OneRAttrEval,
+    ReliefF, SymmetricalUncertainty, VarianceRank,
+};
+pub use search::{
+    BestFirst, Exhaustive, GeneticSearch, GreedyBackward, GreedyForward, RandomSearch,
+    Ranker, SubsetSearch,
+};
+pub use subset::{CfsSubset, SubsetEvaluator, WrapperSubset};
+
+use crate::error::Result;
+use dm_data::Dataset;
+
+/// A named attribute-selection approach (evaluator × search pairing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Approach {
+    /// Display name, e.g. `"CfsSubset+GeneticSearch"`.
+    pub name: String,
+    /// Evaluator half of the pairing.
+    pub evaluator: &'static str,
+    /// Search half of the pairing.
+    pub search: &'static str,
+}
+
+/// Every supported approach (the paper's "20 different approaches").
+pub fn approaches() -> Vec<Approach> {
+    let rankers = [
+        "InfoGain",
+        "GainRatio",
+        "ChiSquared",
+        "SymmetricalUncertainty",
+        "OneR",
+        "ReliefF",
+        "CramersV",
+        "Variance",
+    ];
+    let subset_evals = ["CfsSubset", "Wrapper"];
+    let searches = [
+        "BestFirst",
+        "GreedyForward",
+        "GreedyBackward",
+        "GeneticSearch",
+        "RandomSearch",
+        "Exhaustive",
+    ];
+    let mut out: Vec<Approach> = rankers
+        .iter()
+        .map(|e| Approach {
+            name: format!("{e}+Ranker"),
+            evaluator: e,
+            search: "Ranker",
+        })
+        .collect();
+    for e in subset_evals {
+        for s in searches {
+            out.push(Approach { name: format!("{e}+{s}"), evaluator: e, search: s });
+        }
+    }
+    out
+}
+
+/// Run a named approach on `data`, returning the selected attribute
+/// indices (ranked approaches return all non-class attributes in rank
+/// order; subset approaches return the chosen subset). Seeded searches
+/// use `seed`.
+pub fn run_approach(name: &str, data: &Dataset, seed: u64) -> Result<Vec<usize>> {
+    let (eval_name, search_name) = name.split_once('+').ok_or_else(|| {
+        crate::error::AlgoError::UnknownAlgorithm(format!("approach {name:?} (want EVAL+SEARCH)"))
+    })?;
+
+    if search_name == "Ranker" {
+        let evaluator: Box<dyn AttributeEvaluator> = match eval_name {
+            "InfoGain" => Box::new(InfoGainEval::new()),
+            "GainRatio" => Box::new(GainRatioEval::new()),
+            "ChiSquared" => Box::new(ChiSquared::new()),
+            "SymmetricalUncertainty" => Box::new(SymmetricalUncertainty::new()),
+            "OneR" => Box::new(OneRAttrEval::new()),
+            "ReliefF" => Box::new(ReliefF::new()),
+            "CramersV" => Box::new(CramersV::new()),
+            "Variance" => Box::new(VarianceRank::new()),
+            other => {
+                return Err(crate::error::AlgoError::UnknownAlgorithm(format!(
+                    "evaluator {other:?}"
+                )))
+            }
+        };
+        return Ranker::new().rank(evaluator.as_ref(), data);
+    }
+
+    let evaluator: Box<dyn SubsetEvaluator> = match eval_name {
+        "CfsSubset" => Box::new(CfsSubset::new()),
+        "Wrapper" => Box::new(WrapperSubset::new("NaiveBayes", 3, seed)),
+        other => {
+            return Err(crate::error::AlgoError::UnknownAlgorithm(format!(
+                "subset evaluator {other:?}"
+            )))
+        }
+    };
+    let search: Box<dyn SubsetSearch> = match search_name {
+        "BestFirst" => Box::new(BestFirst::new()),
+        "GreedyForward" => Box::new(GreedyForward::new()),
+        "GreedyBackward" => Box::new(GreedyBackward::new()),
+        "GeneticSearch" => Box::new(GeneticSearch::new(seed)),
+        "RandomSearch" => Box::new(RandomSearch::new(200, seed)),
+        "Exhaustive" => Box::new(Exhaustive::new()),
+        other => {
+            return Err(crate::error::AlgoError::UnknownAlgorithm(format!(
+                "search {other:?}"
+            )))
+        }
+    };
+    search.search(evaluator.as_ref(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_approaches_enumerated() {
+        let a = approaches();
+        assert_eq!(a.len(), 20, "the paper claims 20 approaches");
+        assert!(a.iter().any(|x| x.search == "GeneticSearch"));
+        // All names unique.
+        let mut names: Vec<&str> = a.iter().map(|x| x.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn every_approach_runs_on_breast_cancer() {
+        let ds = dm_data::corpus::breast_cancer();
+        for approach in approaches() {
+            // Skip the slowest wrapper×exhaustive combination here; it
+            // is exercised in the integration suite.
+            if approach.name == "Wrapper+Exhaustive" {
+                continue;
+            }
+            let picked = run_approach(&approach.name, &ds, 7)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", approach.name));
+            assert!(!picked.is_empty(), "{} selected nothing", approach.name);
+            let class = ds.class_index().unwrap();
+            assert!(
+                !picked.contains(&class),
+                "{} selected the class attribute",
+                approach.name
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let ds = dm_data::corpus::breast_cancer();
+        assert!(run_approach("Bogus+Ranker", &ds, 0).is_err());
+        assert!(run_approach("CfsSubset+Bogus", &ds, 0).is_err());
+        assert!(run_approach("NoPlus", &ds, 0).is_err());
+    }
+}

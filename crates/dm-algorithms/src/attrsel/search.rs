@@ -1,0 +1,541 @@
+//! Search strategies over attribute subsets, including the genetic
+//! search operator the paper highlights (§1, §5.3).
+
+use super::evaluators::AttributeEvaluator;
+use super::subset::SubsetEvaluator;
+use crate::error::{AlgoError, Result};
+use dm_data::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A search over attribute subsets driven by a [`SubsetEvaluator`].
+pub trait SubsetSearch: Send {
+    /// Search name.
+    fn name(&self) -> &'static str;
+    /// Return the selected attribute indices.
+    fn search(&self, evaluator: &dyn SubsetEvaluator, data: &Dataset) -> Result<Vec<usize>>;
+}
+
+/// Candidate (non-class, non-string) attribute indices.
+fn candidates(data: &Dataset) -> Result<Vec<usize>> {
+    let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+    Ok((0..data.num_attributes())
+        .filter(|&a| a != ci && !data.attributes()[a].is_string())
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// Ranker (for single-attribute evaluators).
+// ---------------------------------------------------------------------
+
+/// Ranks attributes by a single-attribute evaluator's score.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ranker {
+    /// Keep only the top `n` attributes (0 = all).
+    pub top_n: usize,
+}
+
+impl Ranker {
+    /// Create a ranker returning all attributes in rank order.
+    pub fn new() -> Ranker {
+        Ranker { top_n: 0 }
+    }
+
+    /// Create a ranker keeping the best `n` attributes.
+    pub fn top(n: usize) -> Ranker {
+        Ranker { top_n: n }
+    }
+
+    /// Rank attributes by the evaluator's scores (descending).
+    pub fn rank(
+        &self,
+        evaluator: &dyn AttributeEvaluator,
+        data: &Dataset,
+    ) -> Result<Vec<usize>> {
+        let scores = evaluator.evaluate_all(data)?;
+        let mut order = candidates(data)?;
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+        if self.top_n > 0 {
+            order.truncate(self.top_n);
+        }
+        Ok(order)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Greedy searches.
+// ---------------------------------------------------------------------
+
+/// Forward selection: start empty, add the best attribute while it
+/// improves the merit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyForward;
+
+impl GreedyForward {
+    /// Create the search.
+    pub fn new() -> GreedyForward {
+        GreedyForward
+    }
+}
+
+impl SubsetSearch for GreedyForward {
+    fn name(&self) -> &'static str {
+        "GreedyForward"
+    }
+
+    fn search(&self, evaluator: &dyn SubsetEvaluator, data: &Dataset) -> Result<Vec<usize>> {
+        let pool = candidates(data)?;
+        let mut selected: Vec<usize> = Vec::new();
+        let mut best = evaluator.evaluate_subset(data, &selected)?;
+        loop {
+            let mut improved = None;
+            for &a in &pool {
+                if selected.contains(&a) {
+                    continue;
+                }
+                let mut trial = selected.clone();
+                trial.push(a);
+                let merit = evaluator.evaluate_subset(data, &trial)?;
+                if merit > best + 1e-12 {
+                    best = merit;
+                    improved = Some(a);
+                }
+            }
+            match improved {
+                Some(a) => selected.push(a),
+                None => break,
+            }
+        }
+        if selected.is_empty() {
+            // Never return nothing: fall back to the single best attribute.
+            let mut top = (0.0f64, pool[0]);
+            for &a in &pool {
+                let merit = evaluator.evaluate_subset(data, &[a])?;
+                if merit > top.0 {
+                    top = (merit, a);
+                }
+            }
+            selected.push(top.1);
+        }
+        selected.sort_unstable();
+        Ok(selected)
+    }
+}
+
+/// Backward elimination: start full, drop attributes while merit
+/// improves (or stays equal, favouring smaller subsets).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBackward;
+
+impl GreedyBackward {
+    /// Create the search.
+    pub fn new() -> GreedyBackward {
+        GreedyBackward
+    }
+}
+
+impl SubsetSearch for GreedyBackward {
+    fn name(&self) -> &'static str {
+        "GreedyBackward"
+    }
+
+    fn search(&self, evaluator: &dyn SubsetEvaluator, data: &Dataset) -> Result<Vec<usize>> {
+        let mut selected = candidates(data)?;
+        let mut best = evaluator.evaluate_subset(data, &selected)?;
+        loop {
+            if selected.len() <= 1 {
+                break;
+            }
+            let mut improved: Option<usize> = None;
+            for (i, _) in selected.iter().enumerate() {
+                let mut trial = selected.clone();
+                trial.remove(i);
+                let merit = evaluator.evaluate_subset(data, &trial)?;
+                if merit >= best - 1e-12 {
+                    best = merit.max(best);
+                    improved = Some(i);
+                    break;
+                }
+            }
+            match improved {
+                Some(i) => {
+                    selected.remove(i);
+                }
+                None => break,
+            }
+        }
+        Ok(selected)
+    }
+}
+
+/// Best-first search with backtracking (WEKA's default subset search):
+/// forward expansion from the best open node, stopping after
+/// `max_stale` consecutive non-improving expansions.
+#[derive(Debug, Clone, Copy)]
+pub struct BestFirst {
+    /// Consecutive non-improving expansions before stopping.
+    pub max_stale: usize,
+}
+
+impl Default for BestFirst {
+    fn default() -> Self {
+        BestFirst { max_stale: 5 }
+    }
+}
+
+impl BestFirst {
+    /// Create with WEKA's default patience (5).
+    pub fn new() -> BestFirst {
+        BestFirst::default()
+    }
+}
+
+impl SubsetSearch for BestFirst {
+    fn name(&self) -> &'static str {
+        "BestFirst"
+    }
+
+    fn search(&self, evaluator: &dyn SubsetEvaluator, data: &Dataset) -> Result<Vec<usize>> {
+        use std::collections::BTreeSet;
+        let pool = candidates(data)?;
+        let mut open: Vec<(f64, Vec<usize>)> = vec![(0.0, Vec::new())];
+        let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
+        let mut best_subset: Vec<usize> = Vec::new();
+        let mut best_merit = 0.0f64;
+        let mut stale = 0usize;
+
+        while let Some(idx) = open
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+            .map(|(i, _)| i)
+        {
+            let (_, node) = open.swap_remove(idx);
+            let mut improved_any = false;
+            for &a in &pool {
+                if node.contains(&a) {
+                    continue;
+                }
+                let mut child = node.clone();
+                child.push(a);
+                child.sort_unstable();
+                if !visited.insert(child.clone()) {
+                    continue;
+                }
+                let merit = evaluator.evaluate_subset(data, &child)?;
+                if merit > best_merit + 1e-12 {
+                    best_merit = merit;
+                    best_subset = child.clone();
+                    improved_any = true;
+                }
+                open.push((merit, child));
+            }
+            stale = if improved_any { 0 } else { stale + 1 };
+            if stale >= self.max_stale || open.is_empty() {
+                break;
+            }
+        }
+        if best_subset.is_empty() && !pool.is_empty() {
+            best_subset.push(pool[0]);
+        }
+        Ok(best_subset)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Genetic search.
+// ---------------------------------------------------------------------
+
+/// Genetic search (Goldberg-style simple GA over subset bitmasks) — the
+/// operator the paper names explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticSearch {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-bit mutation probability.
+    pub mutation: f64,
+    /// Crossover probability.
+    pub crossover: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneticSearch {
+    /// Create with WEKA-like defaults (population 20, 20 generations).
+    pub fn new(seed: u64) -> GeneticSearch {
+        GeneticSearch { population: 20, generations: 20, mutation: 0.033, crossover: 0.6, seed }
+    }
+}
+
+impl SubsetSearch for GeneticSearch {
+    fn name(&self) -> &'static str {
+        "GeneticSearch"
+    }
+
+    fn search(&self, evaluator: &dyn SubsetEvaluator, data: &Dataset) -> Result<Vec<usize>> {
+        let pool = candidates(data)?;
+        let n = pool.len();
+        if n == 0 {
+            return Err(AlgoError::Unsupported("no candidate attributes".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let decode = |mask: &[bool]| -> Vec<usize> {
+            pool.iter().zip(mask).filter(|(_, &m)| m).map(|(&a, _)| a).collect()
+        };
+        let fitness_of = |mask: &[bool]| -> Result<f64> {
+            let subset = decode(mask);
+            if subset.is_empty() {
+                return Ok(0.0);
+            }
+            evaluator.evaluate_subset(data, &subset)
+        };
+
+        // Initial population: random masks with expected half density.
+        let mut population: Vec<Vec<bool>> = (0..self.population)
+            .map(|_| (0..n).map(|_| rng.random_bool(0.5)).collect())
+            .collect();
+        let mut fitness: Vec<f64> = population
+            .iter()
+            .map(|m| fitness_of(m))
+            .collect::<Result<_>>()?;
+
+        let mut best_mask = population[0].clone();
+        let mut best_fit = fitness[0];
+        for (m, &f) in population.iter().zip(&fitness) {
+            if f > best_fit {
+                best_fit = f;
+                best_mask = m.clone();
+            }
+        }
+
+        for _gen in 0..self.generations {
+            let mut next: Vec<Vec<bool>> = Vec::with_capacity(self.population);
+            // Elitism: carry the best forward.
+            next.push(best_mask.clone());
+            while next.len() < self.population {
+                // Tournament selection (size 2).
+                let mut pick = || -> usize {
+                    let a = rng.random_range(0..population.len());
+                    let b = rng.random_range(0..population.len());
+                    if fitness[a] >= fitness[b] {
+                        a
+                    } else {
+                        b
+                    }
+                };
+                let (pa, pb) = (pick(), pick());
+                let mut child = population[pa].clone();
+                if rng.random_bool(self.crossover) {
+                    let cut = rng.random_range(0..n);
+                    child[cut..].copy_from_slice(&population[pb][cut..]);
+                }
+                for bit in child.iter_mut() {
+                    if rng.random_bool(self.mutation) {
+                        *bit = !*bit;
+                    }
+                }
+                next.push(child);
+            }
+            population = next;
+            fitness = population.iter().map(|m| fitness_of(m)).collect::<Result<_>>()?;
+            for (m, &f) in population.iter().zip(&fitness) {
+                if f > best_fit {
+                    best_fit = f;
+                    best_mask = m.clone();
+                }
+            }
+        }
+        let mut selected = decode(&best_mask);
+        if selected.is_empty() {
+            selected.push(pool[0]);
+        }
+        Ok(selected)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random and exhaustive searches.
+// ---------------------------------------------------------------------
+
+/// Random search: evaluate `samples` random subsets, keep the best.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearch {
+    /// Number of random subsets evaluated.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    /// Create with an explicit sample budget.
+    pub fn new(samples: usize, seed: u64) -> RandomSearch {
+        RandomSearch { samples: samples.max(1), seed }
+    }
+}
+
+impl SubsetSearch for RandomSearch {
+    fn name(&self) -> &'static str {
+        "RandomSearch"
+    }
+
+    fn search(&self, evaluator: &dyn SubsetEvaluator, data: &Dataset) -> Result<Vec<usize>> {
+        let pool = candidates(data)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: (f64, Vec<usize>) = (f64::NEG_INFINITY, vec![pool[0]]);
+        for _ in 0..self.samples {
+            let subset: Vec<usize> =
+                pool.iter().copied().filter(|_| rng.random_bool(0.5)).collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let merit = evaluator.evaluate_subset(data, &subset)?;
+            if merit > best.0 {
+                best = (merit, subset);
+            }
+        }
+        Ok(best.1)
+    }
+}
+
+/// Exhaustive search over all non-empty subsets (guarded to ≤ 20
+/// candidate attributes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl Exhaustive {
+    /// Create the search.
+    pub fn new() -> Exhaustive {
+        Exhaustive
+    }
+}
+
+impl SubsetSearch for Exhaustive {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn search(&self, evaluator: &dyn SubsetEvaluator, data: &Dataset) -> Result<Vec<usize>> {
+        let pool = candidates(data)?;
+        if pool.len() > 20 {
+            return Err(AlgoError::Unsupported(format!(
+                "exhaustive search over {} attributes is infeasible",
+                pool.len()
+            )));
+        }
+        let mut best: (f64, Vec<usize>) = (f64::NEG_INFINITY, Vec::new());
+        for mask in 1usize..(1 << pool.len()) {
+            let subset: Vec<usize> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &a)| a)
+                .collect();
+            let merit = evaluator.evaluate_subset(data, &subset)?;
+            if merit > best.0 || (merit == best.0 && subset.len() < best.1.len()) {
+                best = (merit, subset);
+            }
+        }
+        Ok(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::evaluators::InfoGainEval;
+    use super::super::subset::CfsSubset;
+    use super::*;
+    use crate::classifiers::test_support::weather_nominal;
+
+    #[test]
+    fn ranker_orders_weather() {
+        let ds = weather_nominal();
+        let order = Ranker::new().rank(&InfoGainEval::new(), &ds).unwrap();
+        assert_eq!(order[0], 0, "outlook must rank first");
+        assert_eq!(order.len(), 4);
+        let top2 = Ranker::top(2).rank(&InfoGainEval::new(), &ds).unwrap();
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0], 0);
+    }
+
+    #[test]
+    fn greedy_forward_finds_informative_subset() {
+        let ds = weather_nominal();
+        let picked = GreedyForward::new().search(&CfsSubset::new(), &ds).unwrap();
+        assert!(picked.contains(&0), "outlook should be selected: {picked:?}");
+    }
+
+    #[test]
+    fn greedy_backward_returns_nonempty() {
+        let ds = weather_nominal();
+        let picked = GreedyBackward::new().search(&CfsSubset::new(), &ds).unwrap();
+        assert!(!picked.is_empty());
+    }
+
+    #[test]
+    fn best_first_matches_exhaustive_on_small_data() {
+        let ds = weather_nominal();
+        let cfs = CfsSubset::new();
+        let bf = BestFirst::new().search(&cfs, &ds).unwrap();
+        let ex = Exhaustive::new().search(&cfs, &ds).unwrap();
+        let bf_merit = cfs.evaluate_subset(&ds, &bf).unwrap();
+        let ex_merit = cfs.evaluate_subset(&ds, &ex).unwrap();
+        assert!((bf_merit - ex_merit).abs() < 1e-9, "bf {bf_merit} vs ex {ex_merit}");
+    }
+
+    #[test]
+    fn genetic_search_close_to_exhaustive() {
+        let ds = weather_nominal();
+        let cfs = CfsSubset::new();
+        let ga = GeneticSearch::new(11).search(&cfs, &ds).unwrap();
+        let ex = Exhaustive::new().search(&cfs, &ds).unwrap();
+        let ga_merit = cfs.evaluate_subset(&ds, &ga).unwrap();
+        let ex_merit = cfs.evaluate_subset(&ds, &ex).unwrap();
+        assert!(ga_merit >= 0.9 * ex_merit, "GA merit {ga_merit} vs exhaustive {ex_merit}");
+    }
+
+    #[test]
+    fn genetic_search_deterministic_per_seed() {
+        let ds = weather_nominal();
+        let cfs = CfsSubset::new();
+        let a = GeneticSearch::new(5).search(&cfs, &ds).unwrap();
+        let b = GeneticSearch::new(5).search(&cfs, &ds).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_search_returns_valid_subset() {
+        let ds = weather_nominal();
+        let picked = RandomSearch::new(50, 3).search(&CfsSubset::new(), &ds).unwrap();
+        assert!(!picked.is_empty());
+        assert!(picked.iter().all(|&a| a < 4));
+    }
+
+    #[test]
+    fn exhaustive_guard() {
+        use dm_data::{Attribute, Dataset};
+        let attrs: Vec<Attribute> = (0..22)
+            .map(|i| Attribute::nominal(format!("a{i}"), ["x", "y"]))
+            .chain([Attribute::nominal("c", ["p", "n"])])
+            .collect();
+        let mut ds = Dataset::new("wide", attrs);
+        ds.set_class_index(Some(22)).unwrap();
+        ds.push_row(vec![0.0; 23]).unwrap();
+        ds.push_row(vec![1.0; 23]).unwrap();
+        assert!(Exhaustive::new().search(&CfsSubset::new(), &ds).is_err());
+    }
+
+    #[test]
+    fn genetic_on_breast_cancer_keeps_node_caps() {
+        let ds = dm_data::corpus::breast_cancer();
+        let picked = GeneticSearch::new(7).search(&CfsSubset::new(), &ds).unwrap();
+        let nc = ds.attribute_index("node-caps").unwrap();
+        let dm = ds.attribute_index("deg-malig").unwrap();
+        assert!(
+            picked.contains(&nc) || picked.contains(&dm),
+            "GA dropped both strong attributes: {picked:?}"
+        );
+    }
+}

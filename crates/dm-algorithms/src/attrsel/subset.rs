@@ -1,0 +1,237 @@
+//! Subset evaluators: score a whole attribute subset at once.
+
+use super::evaluators::{AttributeEvaluator, SymmetricalUncertainty};
+use crate::classifiers::entropy;
+use crate::error::{AlgoError, Result};
+use dm_data::{Dataset, Value};
+
+/// Scores an attribute subset; higher is better.
+pub trait SubsetEvaluator: Send {
+    /// Evaluator name.
+    fn name(&self) -> &'static str;
+    /// Merit of `subset` (non-class attribute indices) on `data`.
+    fn evaluate_subset(&self, data: &Dataset, subset: &[usize]) -> Result<f64>;
+}
+
+/// CFS (Hall 1999): merit = `k·r̄_cf / sqrt(k + k(k−1)·r̄_ff)` where
+/// `r̄_cf` is the mean feature–class correlation and `r̄_ff` the mean
+/// feature–feature correlation, both measured by symmetrical
+/// uncertainty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CfsSubset;
+
+impl CfsSubset {
+    /// Create the evaluator.
+    pub fn new() -> CfsSubset {
+        CfsSubset
+    }
+
+    /// Symmetrical uncertainty between two (discretised) attributes.
+    fn su_between(data: &Dataset, a: usize, b: usize) -> f64 {
+        // Build the joint table treating `b` as the "class".
+        let arity = |attr: usize| -> usize {
+            if data.attributes()[attr].is_nominal() {
+                data.attributes()[attr].num_labels()
+            } else {
+                10
+            }
+        };
+        let range = |attr: usize| -> Option<(f64, f64)> {
+            if !data.attributes()[attr].is_numeric() {
+                return None;
+            }
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for r in 0..data.num_instances() {
+                let v = data.value(r, attr);
+                if !Value::is_missing(v) {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+            }
+            (min <= max).then_some((min, max))
+        };
+        let bucket = |attr: usize, r: usize, range: Option<(f64, f64)>| -> Option<usize> {
+            let v = data.value(r, attr);
+            if Value::is_missing(v) {
+                return None;
+            }
+            if data.attributes()[attr].is_nominal() {
+                return Some(Value::as_index(v));
+            }
+            let (min, max) = range?;
+            if max <= min {
+                return Some(0);
+            }
+            Some((((v - min) / (max - min) * 10.0) as usize).min(9))
+        };
+        let (ra, rb) = (range(a), range(b));
+        let mut table = vec![vec![0.0f64; arity(b)]; arity(a)];
+        for r in 0..data.num_instances() {
+            if let (Some(x), Some(y)) = (bucket(a, r, ra), bucket(b, r, rb)) {
+                table[x][y] += 1.0;
+            }
+        }
+        // H(A), H(B), H(A,B).
+        let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+        let mut col_sums = vec![0.0f64; arity(b)];
+        let mut joint: Vec<f64> = Vec::new();
+        for row in &table {
+            for (c, &x) in row.iter().enumerate() {
+                col_sums[c] += x;
+                joint.push(x);
+            }
+        }
+        let (ha, hb, hab) = (entropy(&row_sums), entropy(&col_sums), entropy(&joint));
+        let gain = ha + hb - hab;
+        if ha + hb <= 1e-12 {
+            0.0
+        } else {
+            (2.0 * gain / (ha + hb)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl SubsetEvaluator for CfsSubset {
+    fn name(&self) -> &'static str {
+        "CfsSubset"
+    }
+
+    fn evaluate_subset(&self, data: &Dataset, subset: &[usize]) -> Result<f64> {
+        let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+        if subset.is_empty() {
+            return Ok(0.0);
+        }
+        // Feature-class correlations via the standard evaluator.
+        let su = SymmetricalUncertainty::new().evaluate_all(data)?;
+        let k = subset.len() as f64;
+        let r_cf: f64 = subset.iter().map(|&a| su[a]).sum::<f64>() / k;
+        let mut r_ff = 0.0;
+        let mut pairs = 0.0;
+        for (i, &a) in subset.iter().enumerate() {
+            for &b in &subset[i + 1..] {
+                if a == ci || b == ci {
+                    continue;
+                }
+                r_ff += Self::su_between(data, a, b);
+                pairs += 1.0;
+            }
+        }
+        let r_ff = if pairs > 0.0 { r_ff / pairs } else { 0.0 };
+        let denom = (k + k * (k - 1.0) * r_ff).sqrt();
+        Ok(if denom <= 1e-12 { 0.0 } else { k * r_cf / denom })
+    }
+}
+
+/// Wrapper evaluation (Kohavi & John 1997): cross-validated accuracy of
+/// a classifier trained on the projected subset.
+#[derive(Debug, Clone)]
+pub struct WrapperSubset {
+    classifier: String,
+    folds: usize,
+    seed: u64,
+}
+
+impl WrapperSubset {
+    /// Create a wrapper around the named registry classifier.
+    pub fn new(classifier: &str, folds: usize, seed: u64) -> WrapperSubset {
+        WrapperSubset { classifier: classifier.to_string(), folds: folds.max(2), seed }
+    }
+}
+
+impl SubsetEvaluator for WrapperSubset {
+    fn name(&self) -> &'static str {
+        "Wrapper"
+    }
+
+    fn evaluate_subset(&self, data: &Dataset, subset: &[usize]) -> Result<f64> {
+        let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+        if subset.is_empty() {
+            return Ok(0.0);
+        }
+        let mut keep = subset.to_vec();
+        if !keep.contains(&ci) {
+            keep.push(ci);
+        }
+        let projected = dm_data::filters::project(data, &keep)?;
+        let eval = crate::eval::cross_validate(
+            || crate::registry::make_classifier(&self.classifier),
+            &projected,
+            self.folds,
+            self.seed,
+        )?;
+        Ok(eval.accuracy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::test_support::weather_nominal;
+
+    #[test]
+    fn cfs_prefers_informative_subset() {
+        let ds = weather_nominal();
+        let cfs = CfsSubset::new();
+        let good = cfs.evaluate_subset(&ds, &[0, 2]).unwrap(); // outlook + humidity
+        let bad = cfs.evaluate_subset(&ds, &[1]).unwrap(); // temperature
+        assert!(good > bad, "CFS merit good {good} !> bad {bad}");
+    }
+
+    #[test]
+    fn cfs_empty_subset_scores_zero() {
+        let ds = weather_nominal();
+        assert_eq!(CfsSubset::new().evaluate_subset(&ds, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cfs_su_between_self_is_one() {
+        let ds = weather_nominal();
+        let su = CfsSubset::su_between(&ds, 0, 0);
+        assert!((su - 1.0).abs() < 1e-9, "self-SU {su}");
+    }
+
+    #[test]
+    fn cfs_redundancy_penalised() {
+        // Duplicate an attribute: a subset of {attr, its copy} has the
+        // same relevance but higher redundancy than the singleton.
+        use dm_data::{Attribute, Dataset};
+        let src = weather_nominal();
+        let mut ds = Dataset::new(
+            "dup",
+            vec![
+                Attribute::nominal("outlook", ["sunny", "overcast", "rainy"]),
+                Attribute::nominal("outlook2", ["sunny", "overcast", "rainy"]),
+                Attribute::nominal("play", ["yes", "no"]),
+            ],
+        );
+        ds.set_class_index(Some(2)).unwrap();
+        for r in 0..src.num_instances() {
+            ds.push_row(vec![src.value(r, 0), src.value(r, 0), src.value(r, 4)]).unwrap();
+        }
+        let cfs = CfsSubset::new();
+        let single = cfs.evaluate_subset(&ds, &[0]).unwrap();
+        let dup = cfs.evaluate_subset(&ds, &[0, 1]).unwrap();
+        // A perfectly redundant copy adds relevance and redundancy in
+        // exact balance: the merit must not increase.
+        assert!(dup <= single + 1e-9, "duplicated pair {dup} beats single {single}");
+    }
+
+    #[test]
+    fn wrapper_scores_are_accuracies() {
+        let ds = dm_data::corpus::breast_cancer();
+        let w = WrapperSubset::new("NaiveBayes", 3, 1);
+        let nc = ds.attribute_index("node-caps").unwrap();
+        let dm = ds.attribute_index("deg-malig").unwrap();
+        let acc = w.evaluate_subset(&ds, &[nc, dm]).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(acc > 0.6, "wrapper accuracy {acc}");
+    }
+
+    #[test]
+    fn wrapper_empty_subset_zero() {
+        let ds = weather_nominal();
+        let w = WrapperSubset::new("ZeroR", 2, 1);
+        assert_eq!(w.evaluate_subset(&ds, &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! DecisionStump: a one-level decision tree. Picks the single split
+//! (nominal value-vs-rest or numeric threshold) with the lowest weighted
+//! Gini impurity — the standard weak learner for AdaBoost.
+
+use super::{check_trainable, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{Configurable, OptionDescriptor};
+use crate::state::{StateReader, StateWriter, Stateful};
+use crate::tree::TreeModel;
+use dm_data::{Dataset, Value};
+
+/// The split test of a trained stump.
+#[derive(Debug, Clone, PartialEq)]
+enum Test {
+    /// `attr == value` (nominal one-vs-rest).
+    NominalEq {
+        /// Attribute index.
+        attr: usize,
+        /// Matched label index.
+        value: usize,
+    },
+    /// `attr <= threshold` (numeric).
+    NumericLe {
+        /// Attribute index.
+        attr: usize,
+        /// Split threshold.
+        threshold: f64,
+    },
+}
+
+/// A single-split decision tree.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionStump {
+    test: Option<Test>,
+    /// Class distributions for the two branches and for missing values.
+    left: Vec<f64>,
+    right: Vec<f64>,
+    missing: Vec<f64>,
+    attr_name: String,
+}
+
+fn gini(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+}
+
+impl DecisionStump {
+    /// Create an untrained stump.
+    pub fn new() -> DecisionStump {
+        DecisionStump::default()
+    }
+
+    fn split_score(left: &[f64], right: &[f64]) -> f64 {
+        let lw: f64 = left.iter().sum();
+        let rw: f64 = right.iter().sum();
+        let total = lw + rw;
+        if total == 0.0 {
+            return f64::INFINITY;
+        }
+        (lw * gini(left) + rw * gini(right)) / total
+    }
+}
+
+impl Classifier for DecisionStump {
+    fn name(&self) -> &'static str {
+        "DecisionStump"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        let mut best: Option<(f64, Test, Vec<f64>, Vec<f64>)> = None;
+
+        for a in 0..data.num_attributes() {
+            if a == ci {
+                continue;
+            }
+            let attr = &data.attributes()[a];
+            if attr.is_nominal() {
+                for v in 0..attr.num_labels() {
+                    let mut left = vec![0.0; k];
+                    let mut right = vec![0.0; k];
+                    for r in 0..data.num_instances() {
+                        let av = data.value(r, a);
+                        let cv = data.value(r, ci);
+                        if Value::is_missing(av) || Value::is_missing(cv) {
+                            continue;
+                        }
+                        let c = Value::as_index(cv);
+                        if Value::as_index(av) == v {
+                            left[c] += data.weight(r);
+                        } else {
+                            right[c] += data.weight(r);
+                        }
+                    }
+                    let score = Self::split_score(&left, &right);
+                    if best.as_ref().is_none_or(|(s, ..)| score < *s) {
+                        best = Some((score, Test::NominalEq { attr: a, value: v }, left, right));
+                    }
+                }
+            } else if attr.is_numeric() {
+                let mut pairs: Vec<(f64, usize, f64)> = Vec::new();
+                for r in 0..data.num_instances() {
+                    let av = data.value(r, a);
+                    let cv = data.value(r, ci);
+                    if !Value::is_missing(av) && !Value::is_missing(cv) {
+                        pairs.push((av, Value::as_index(cv), data.weight(r)));
+                    }
+                }
+                pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaN"));
+                let mut left = vec![0.0; k];
+                let mut right = vec![0.0; k];
+                for &(_, c, w) in &pairs {
+                    right[c] += w;
+                }
+                for i in 0..pairs.len().saturating_sub(1) {
+                    let (v, c, w) = pairs[i];
+                    left[c] += w;
+                    right[c] -= w;
+                    if pairs[i + 1].0 == v {
+                        continue;
+                    }
+                    let score = Self::split_score(&left, &right);
+                    if best.as_ref().is_none_or(|(s, ..)| score < *s) {
+                        let threshold = (v + pairs[i + 1].0) / 2.0;
+                        best = Some((
+                            score,
+                            Test::NumericLe { attr: a, threshold },
+                            left.clone(),
+                            right.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let (_, test, mut left, mut right) = best.ok_or_else(|| {
+            AlgoError::Unsupported("DecisionStump found no usable split".into())
+        })?;
+        let attr_index = match &test {
+            Test::NominalEq { attr, .. } | Test::NumericLe { attr, .. } => *attr,
+        };
+        self.attr_name = data.attributes()[attr_index].name().to_string();
+        let mut missing = data.class_counts()?;
+        normalize(&mut left);
+        normalize(&mut right);
+        normalize(&mut missing);
+        self.test = Some(test);
+        self.left = left;
+        self.right = right;
+        self.missing = missing;
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        let test = self.test.as_ref().ok_or(AlgoError::NotTrained)?;
+        let (attr, goes_left) = match test {
+            Test::NominalEq { attr, value } => {
+                let v = data.value(row, *attr);
+                if Value::is_missing(v) {
+                    return Ok(self.missing.clone());
+                }
+                (*attr, Value::as_index(v) == *value)
+            }
+            Test::NumericLe { attr, threshold } => {
+                let v = data.value(row, *attr);
+                if Value::is_missing(v) {
+                    return Ok(self.missing.clone());
+                }
+                (*attr, v <= *threshold)
+            }
+        };
+        let _ = attr;
+        Ok(if goes_left { self.left.clone() } else { self.right.clone() })
+    }
+
+    fn describe(&self) -> String {
+        match &self.test {
+            None => "DecisionStump: not trained".to_string(),
+            Some(Test::NominalEq { value, .. }) => format!(
+                "Decision Stump: {} = #{value} ? {:?} : {:?}",
+                self.attr_name, self.left, self.right
+            ),
+            Some(Test::NumericLe { threshold, .. }) => format!(
+                "Decision Stump: {} <= {threshold} ? {:?} : {:?}",
+                self.attr_name, self.left, self.right
+            ),
+        }
+    }
+
+    fn tree_model(&self) -> Option<TreeModel> {
+        let test = self.test.as_ref()?;
+        let mut t = TreeModel::new();
+        let root = t.add_node(self.attr_name.clone(), "", false);
+        let (le, re) = match test {
+            Test::NominalEq { value, .. } => (format!("= #{value}"), "!=".to_string()),
+            Test::NumericLe { threshold, .. } => {
+                (format!("<= {threshold}"), format!("> {threshold}"))
+            }
+        };
+        let l = t.add_node(format!("{:?}", self.left), le, true);
+        let r = t.add_node(format!("{:?}", self.right), re, true);
+        t.add_child(root, l);
+        t.add_child(root, r);
+        Some(t)
+    }
+}
+
+impl Configurable for DecisionStump {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        Vec::new()
+    }
+
+    fn set_option(&mut self, flag: &str, _value: &str) -> Result<()> {
+        Err(AlgoError::BadOption { flag: flag.into(), message: "DecisionStump has no options".into() })
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        Err(AlgoError::BadOption { flag: flag.into(), message: "DecisionStump has no options".into() })
+    }
+}
+
+impl Stateful for DecisionStump {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        match &self.test {
+            None => w.put_u64(0),
+            Some(Test::NominalEq { attr, value }) => {
+                w.put_u64(1);
+                w.put_usize(*attr);
+                w.put_usize(*value);
+            }
+            Some(Test::NumericLe { attr, threshold }) => {
+                w.put_u64(2);
+                w.put_usize(*attr);
+                w.put_f64(*threshold);
+            }
+        }
+        if self.test.is_some() {
+            w.put_f64_slice(&self.left);
+            w.put_f64_slice(&self.right);
+            w.put_f64_slice(&self.missing);
+            w.put_str(&self.attr_name);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.test = match r.get_u64()? {
+            0 => None,
+            1 => Some(Test::NominalEq { attr: r.get_usize()?, value: r.get_usize()? }),
+            2 => Some(Test::NumericLe { attr: r.get_usize()?, threshold: r.get_f64()? }),
+            tag => return Err(AlgoError::BadState(format!("bad test tag {tag}"))),
+        };
+        if self.test.is_some() {
+            self.left = r.get_f64_vec()?;
+            self.right = r.get_f64_vec()?;
+            self.missing = r.get_f64_vec()?;
+            self.attr_name = r.get_str()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{
+        resubstitution_accuracy, separable_numeric, weather_nominal,
+    };
+    use super::*;
+
+    #[test]
+    fn splits_on_outlook_overcast() {
+        // outlook=overcast is the purest one-vs-rest nominal split.
+        let ds = weather_nominal();
+        let mut s = DecisionStump::new();
+        s.train(&ds).unwrap();
+        assert_eq!(s.attr_name, "outlook");
+        assert!(resubstitution_accuracy(&s, &ds) >= 9.0 / 14.0);
+    }
+
+    #[test]
+    fn numeric_split_perfect_on_separable() {
+        let ds = separable_numeric(20);
+        let mut s = DecisionStump::new();
+        s.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&s, &ds), 1.0);
+        assert!(matches!(s.test, Some(Test::NumericLe { .. })));
+    }
+
+    #[test]
+    fn missing_value_uses_prior() {
+        let mut ds = weather_nominal();
+        let mut s = DecisionStump::new();
+        s.train(&ds).unwrap();
+        ds.set_value(0, 0, f64::NAN);
+        let d = s.distribution(&ds, 0).unwrap();
+        assert!((d[0] - 9.0 / 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_model_has_three_nodes() {
+        let ds = weather_nominal();
+        let mut s = DecisionStump::new();
+        s.train(&ds).unwrap();
+        let t = s.tree_model().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_leaves(), 2);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = separable_numeric(10);
+        let mut s = DecisionStump::new();
+        s.train(&ds).unwrap();
+        let mut s2 = DecisionStump::new();
+        s2.decode_state(&s.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(s.predict(&ds, r).unwrap(), s2.predict(&ds, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        assert!(DecisionStump::new().distribution(&ds, 0).is_err());
+        assert!(DecisionStump::new().tree_model().is_none());
+    }
+}

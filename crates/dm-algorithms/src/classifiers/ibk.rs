@@ -1,0 +1,379 @@
+//! IBk: k-nearest-neighbour classification (WEKA's `IBk`).
+//!
+//! Distance is heterogeneous-Euclidean/overlap: numeric attributes are
+//! range-normalised and compared by squared difference; nominal
+//! attributes contribute 0/1 overlap; missing values contribute the
+//! maximal difference (1), as in WEKA. Votes may be distance-weighted.
+
+use super::{check_trainable, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+
+/// Distance weighting schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceWeighting {
+    /// All neighbours vote equally.
+    None,
+    /// Votes weighted by `1/d`.
+    Inverse,
+    /// Votes weighted by `1 - d`.
+    Similarity,
+}
+
+/// The k-nearest-neighbour classifier.
+#[derive(Debug, Clone)]
+pub struct IBk {
+    /// `-K`: neighbourhood size.
+    k: usize,
+    /// `-I` / `-F`: distance weighting.
+    weighting: DistanceWeighting,
+    // Training store: the instance-based model *is* the data.
+    rows: Vec<Vec<f64>>,
+    classes: Vec<usize>,
+    ranges: Vec<Option<(f64, f64)>>,
+    nominal: Vec<bool>,
+    class_index: usize,
+    num_classes: usize,
+    trained: bool,
+}
+
+impl Default for IBk {
+    fn default() -> Self {
+        IBk {
+            k: 1,
+            weighting: DistanceWeighting::None,
+            rows: Vec::new(),
+            classes: Vec::new(),
+            ranges: Vec::new(),
+            nominal: Vec::new(),
+            class_index: 0,
+            num_classes: 0,
+            trained: false,
+        }
+    }
+}
+
+impl IBk {
+    /// Create a 1-NN classifier (WEKA default).
+    pub fn new() -> IBk {
+        IBk::default()
+    }
+
+    /// Create with an explicit `k`.
+    pub fn with_k(k: usize) -> IBk {
+        IBk { k: k.max(1), ..IBk::default() }
+    }
+
+    fn distance(&self, query: &[f64], stored: &[f64]) -> f64 {
+        let mut d = 0.0;
+        for a in 0..stored.len() {
+            if a == self.class_index {
+                continue;
+            }
+            let (q, s) = (query[a], stored[a]);
+            let diff = if Value::is_missing(q) || Value::is_missing(s) {
+                1.0
+            } else if self.nominal[a] {
+                if Value::as_index(q) == Value::as_index(s) {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                match self.ranges[a] {
+                    Some((min, max)) if max > min => {
+                        let nq = ((q - min) / (max - min)).clamp(0.0, 1.0);
+                        let ns = ((s - min) / (max - min)).clamp(0.0, 1.0);
+                        nq - ns
+                    }
+                    _ => 0.0,
+                }
+            };
+            d += diff * diff;
+        }
+        d.sqrt()
+    }
+}
+
+impl Classifier for IBk {
+    fn name(&self) -> &'static str {
+        "IBk"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        self.class_index = ci;
+        self.num_classes = k;
+        self.nominal = data.attributes().iter().map(|a| a.is_nominal()).collect();
+        self.ranges = (0..data.num_attributes())
+            .map(|a| {
+                if !data.attributes()[a].is_numeric() {
+                    return None;
+                }
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for r in 0..data.num_instances() {
+                    let v = data.value(r, a);
+                    if !Value::is_missing(v) {
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                }
+                (min <= max).then_some((min, max))
+            })
+            .collect();
+        self.rows.clear();
+        self.classes.clear();
+        for r in 0..data.num_instances() {
+            let cv = data.value(r, ci);
+            if Value::is_missing(cv) {
+                continue;
+            }
+            self.rows.push(data.row(r).to_vec());
+            self.classes.push(Value::as_index(cv));
+        }
+        if self.rows.is_empty() {
+            return Err(AlgoError::Unsupported("no instances with a class value".into()));
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        if !self.trained {
+            return Err(AlgoError::NotTrained);
+        }
+        let query = data.row(row);
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, stored)| (self.distance(query, stored), self.classes[i]))
+            .collect();
+        let kk = self.k.min(dists.len());
+        dists.select_nth_unstable_by(kk - 1, |a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let mut dist = vec![0.0; self.num_classes];
+        for &(d, c) in &dists[..kk] {
+            let w = match self.weighting {
+                DistanceWeighting::None => 1.0,
+                DistanceWeighting::Inverse => 1.0 / (d + 1e-9),
+                DistanceWeighting::Similarity => (1.0 - d).max(0.0),
+            };
+            dist[c] += w;
+        }
+        normalize(&mut dist);
+        Ok(dist)
+    }
+
+    fn describe(&self) -> String {
+        if !self.trained {
+            return "IBk: not trained".to_string();
+        }
+        format!(
+            "IB{} instance-based classifier ({} stored instances, weighting {:?})",
+            self.k,
+            self.rows.len(),
+            self.weighting
+        )
+    }
+}
+
+impl Configurable for IBk {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-K",
+                name: "numNeighbours",
+                description: "number of nearest neighbours",
+                default: "1".into(),
+                kind: OptionKind::Integer { min: 1, max: 10_000 },
+            },
+            OptionDescriptor {
+                flag: "-W",
+                name: "distanceWeighting",
+                description: "neighbour vote weighting",
+                default: "none".into(),
+                kind: OptionKind::Choice(vec![
+                    "none".into(),
+                    "inverse".into(),
+                    "similarity".into(),
+                ]),
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-K" => self.k = value.parse().expect("validated"),
+            "-W" => {
+                self.weighting = match value {
+                    "none" => DistanceWeighting::None,
+                    "inverse" => DistanceWeighting::Inverse,
+                    _ => DistanceWeighting::Similarity,
+                }
+            }
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-K" => Ok(self.k.to_string()),
+            "-W" => Ok(match self.weighting {
+                DistanceWeighting::None => "none",
+                DistanceWeighting::Inverse => "inverse",
+                DistanceWeighting::Similarity => "similarity",
+            }
+            .to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for IBk {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.k);
+        w.put_u64(match self.weighting {
+            DistanceWeighting::None => 0,
+            DistanceWeighting::Inverse => 1,
+            DistanceWeighting::Similarity => 2,
+        });
+        w.put_bool(self.trained);
+        if self.trained {
+            w.put_usize(self.class_index);
+            w.put_usize(self.num_classes);
+            w.put_usize(self.rows.len());
+            for row in &self.rows {
+                w.put_f64_slice(row);
+            }
+            w.put_usize_slice(&self.classes);
+            w.put_usize(self.ranges.len());
+            for range in &self.ranges {
+                match range {
+                    None => w.put_bool(false),
+                    Some((min, max)) => {
+                        w.put_bool(true);
+                        w.put_f64(*min);
+                        w.put_f64(*max);
+                    }
+                }
+            }
+            w.put_usize(self.nominal.len());
+            for &b in &self.nominal {
+                w.put_bool(b);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.k = r.get_usize()?;
+        self.weighting = match r.get_u64()? {
+            0 => DistanceWeighting::None,
+            1 => DistanceWeighting::Inverse,
+            2 => DistanceWeighting::Similarity,
+            tag => return Err(AlgoError::BadState(format!("bad weighting tag {tag}"))),
+        };
+        self.trained = r.get_bool()?;
+        if self.trained {
+            self.class_index = r.get_usize()?;
+            self.num_classes = r.get_usize()?;
+            let n = r.get_usize()?;
+            self.rows = (0..n.min(1 << 24)).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+            self.classes = r.get_usize_vec()?;
+            let nr = r.get_usize()?;
+            self.ranges = (0..nr.min(1 << 16))
+                .map(|_| -> Result<Option<(f64, f64)>> {
+                    Ok(if r.get_bool()? { Some((r.get_f64()?, r.get_f64()?)) } else { None })
+                })
+                .collect::<Result<_>>()?;
+            let nn = r.get_usize()?;
+            self.nominal =
+                (0..nn.min(1 << 16)).map(|_| r.get_bool()).collect::<Result<_>>()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{
+        resubstitution_accuracy, separable_numeric, weather_nominal,
+    };
+    use super::*;
+
+    #[test]
+    fn one_nn_memorises_training_data() {
+        let ds = weather_nominal();
+        let mut c = IBk::new();
+        c.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&c, &ds), 1.0);
+    }
+
+    #[test]
+    fn k3_on_separable_data() {
+        let ds = separable_numeric(20);
+        let mut c = IBk::with_k(3);
+        c.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&c, &ds), 1.0);
+    }
+
+    #[test]
+    fn inverse_weighting_votes() {
+        let ds = separable_numeric(20);
+        let mut c = IBk::with_k(5);
+        c.set_option("-W", "inverse").unwrap();
+        c.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&c, &ds), 1.0);
+    }
+
+    #[test]
+    fn missing_values_maximal_distance() {
+        let ds = weather_nominal();
+        let mut c = IBk::new();
+        c.train(&ds).unwrap();
+        let mut q = ds.clone();
+        for a in 0..4 {
+            q.set_value(0, a, f64::NAN);
+        }
+        // All distances equal → first stored instance wins; should not
+        // panic and must return a valid distribution.
+        let d = c.distribution(&q, 0).unwrap();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let mut c = IBk::new();
+        c.set_option("-K", "7").unwrap();
+        assert_eq!(c.get_option("-K").unwrap(), "7");
+        assert!(c.set_option("-K", "0").is_err());
+        assert!(c.set_option("-W", "bogus").is_err());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = separable_numeric(10);
+        let mut c = IBk::with_k(3);
+        c.train(&ds).unwrap();
+        let mut c2 = IBk::new();
+        c2.decode_state(&c.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(c.predict(&ds, r).unwrap(), c2.predict(&ds, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        assert!(IBk::new().distribution(&ds, 0).is_err());
+    }
+}

@@ -1,0 +1,1039 @@
+//! J48 — the C4.5 decision-tree learner (Quinlan 1993), WEKA's `J48`.
+//!
+//! This is the algorithm of the paper's case study: "a J48 Web Service
+//! that implements a decision tree classifier based on the C4.5
+//! algorithm", whose output on the breast-cancer dataset is Figure 4
+//! (root split on `node-caps`). The implementation covers:
+//!
+//! * **Split selection** — information gain ratio, with C4.5's guard
+//!   that a split's gain must reach the average gain of all viable
+//!   candidate splits before its ratio is compared;
+//! * **Nominal attributes** — one branch per label;
+//! * **Numeric attributes** — binary `<=`/`>` splits, thresholds midway
+//!   between adjacent observed values, with the MDL correction
+//!   `log2(distinct − 1)/|D|` subtracted from the gain;
+//! * **Missing values** — fractional instances: a training instance
+//!   whose split value is missing descends every branch with weight
+//!   proportional to the branch's observed weight, and prediction on a
+//!   missing value averages child distributions the same way;
+//! * **Pruning** — C4.5 pessimistic subtree replacement using the
+//!   binomial upper confidence bound (`-C`, default 0.25); subtree
+//!   raising is not implemented (documented divergence, rarely changes
+//!   the root structure);
+//! * **Stopping** — a split must produce at least two branches carrying
+//!   `-M` (default 2) instances.
+
+use super::{argmax, check_trainable, entropy, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use crate::tree::TreeModel;
+use dm_data::{Dataset, Value};
+
+/// The split test at an internal node.
+#[derive(Debug, Clone, PartialEq)]
+enum Split {
+    /// Multiway split on a nominal attribute (one child per label).
+    Nominal {
+        /// Attribute index.
+        attr: usize,
+    },
+    /// Binary split `attr <= threshold` / `attr > threshold`.
+    Numeric {
+        /// Attribute index.
+        attr: usize,
+        /// Threshold (midpoint between adjacent training values).
+        threshold: f64,
+    },
+}
+
+/// One node of the learned tree.
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    split: Option<Split>,
+    children: Vec<Node>,
+    /// Fraction of (non-missing) training weight per branch; used to
+    /// route instances with missing split values.
+    branch_fracs: Vec<f64>,
+    /// Training class counts that reached this node.
+    counts: Vec<f64>,
+}
+
+impl Node {
+    fn leaf(counts: Vec<f64>) -> Node {
+        Node { split: None, children: Vec::new(), branch_fracs: Vec::new(), counts }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.split.is_none()
+    }
+
+    fn weight(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    fn training_errors(&self) -> f64 {
+        let best = argmax(&self.counts).unwrap_or(0);
+        self.weight() - self.counts[best]
+    }
+
+    fn num_leaves(&self) -> usize {
+        if self.is_leaf() {
+            1
+        } else {
+            self.children.iter().map(Node::num_leaves).sum()
+        }
+    }
+
+    fn size(&self) -> usize {
+        1 + self.children.iter().map(Node::size).sum::<usize>()
+    }
+}
+
+/// Header metadata captured at training time so the model can be
+/// described and serialised independently of the training dataset.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Header {
+    attr_names: Vec<String>,
+    attr_labels: Vec<Vec<String>>,
+    class_labels: Vec<String>,
+    class_index: usize,
+}
+
+/// The J48 / C4.5 classifier.
+#[derive(Debug, Clone)]
+pub struct J48 {
+    /// `-C`: pruning confidence factor.
+    confidence: f64,
+    /// `-M`: minimum instances per (two) branches.
+    min_instances: f64,
+    /// `-U`: build an unpruned tree.
+    unpruned: bool,
+    root: Option<Node>,
+    header: Header,
+}
+
+impl Default for J48 {
+    fn default() -> Self {
+        J48 {
+            confidence: 0.25,
+            min_instances: 2.0,
+            unpruned: false,
+            root: None,
+            header: Header::default(),
+        }
+    }
+}
+
+/// A candidate split with its statistics.
+struct Candidate {
+    split: Split,
+    gain: f64,
+    ratio: f64,
+}
+
+impl J48 {
+    /// Create with WEKA defaults (`-C 0.25 -M 2`).
+    pub fn new() -> J48 {
+        J48::default()
+    }
+
+    /// The split attribute at the root, if the tree has an internal root
+    /// (used by the Figure-4 reproduction test).
+    pub fn root_attribute(&self) -> Option<&str> {
+        match &self.root.as_ref()?.split {
+            Some(Split::Nominal { attr }) | Some(Split::Numeric { attr, .. }) => {
+                Some(&self.header.attr_names[*attr])
+            }
+            None => None,
+        }
+    }
+
+    /// Number of leaves of the trained tree.
+    pub fn num_leaves(&self) -> Option<usize> {
+        self.root.as_ref().map(Node::num_leaves)
+    }
+
+    /// Total node count of the trained tree.
+    pub fn tree_size(&self) -> Option<usize> {
+        self.root.as_ref().map(Node::size)
+    }
+
+    // -- training ------------------------------------------------------
+
+    fn class_counts(data: &Dataset, items: &[(usize, f64)], ci: usize, k: usize) -> Vec<f64> {
+        let mut counts = vec![0.0; k];
+        for &(r, w) in items {
+            let cv = data.value(r, ci);
+            if !Value::is_missing(cv) {
+                counts[Value::as_index(cv)] += w;
+            }
+        }
+        counts
+    }
+
+    /// Evaluate a nominal split. Returns `None` when not viable.
+    fn eval_nominal(
+        &self,
+        data: &Dataset,
+        items: &[(usize, f64)],
+        a: usize,
+        ci: usize,
+        k: usize,
+    ) -> Option<Candidate> {
+        let arity = data.attributes()[a].num_labels();
+        if arity < 2 {
+            return None;
+        }
+        let mut branch = vec![vec![0.0f64; k]; arity];
+        let mut missing_w = 0.0;
+        let mut total_w = 0.0;
+        for &(r, w) in items {
+            total_w += w;
+            let v = data.value(r, a);
+            let cv = data.value(r, ci);
+            if Value::is_missing(v) {
+                missing_w += w;
+            } else if !Value::is_missing(cv) {
+                branch[Value::as_index(v)][Value::as_index(cv)] += w;
+            } else {
+                // Present attribute but missing class: counts toward
+                // branch weights only.
+                branch[Value::as_index(v)][0] += 0.0;
+            }
+        }
+        let branch_weights: Vec<f64> = branch.iter().map(|b| b.iter().sum()).collect();
+        let present_w: f64 = branch_weights.iter().sum();
+        if present_w <= 0.0 {
+            return None;
+        }
+        // Viability: at least 2 branches with >= min_instances.
+        let populated =
+            branch_weights.iter().filter(|&&w| w >= self.min_instances).count();
+        if populated < 2 {
+            return None;
+        }
+        let mut present_counts = vec![0.0; k];
+        for b in &branch {
+            for (c, &x) in b.iter().enumerate() {
+                present_counts[c] += x;
+            }
+        }
+        let info_present = entropy(&present_counts);
+        let mut info_split = 0.0;
+        for (b, &bw) in branch.iter().zip(&branch_weights) {
+            if bw > 0.0 {
+                info_split += bw / present_w * entropy(b);
+            }
+        }
+        let gain = present_w / total_w * (info_present - info_split);
+        if gain <= 1e-12 {
+            return None;
+        }
+        // Split info over branch weights plus the missing bucket.
+        let mut si_weights = branch_weights.clone();
+        if missing_w > 0.0 {
+            si_weights.push(missing_w);
+        }
+        let split_info = entropy(&si_weights);
+        if split_info <= 1e-12 {
+            return None;
+        }
+        Some(Candidate { split: Split::Nominal { attr: a }, gain, ratio: gain / split_info })
+    }
+
+    /// Evaluate the best numeric threshold for attribute `a`.
+    fn eval_numeric(
+        &self,
+        data: &Dataset,
+        items: &[(usize, f64)],
+        a: usize,
+        ci: usize,
+        k: usize,
+    ) -> Option<Candidate> {
+        let mut pairs: Vec<(f64, usize, f64)> = Vec::new();
+        let mut missing_w = 0.0;
+        let mut total_w = 0.0;
+        for &(r, w) in items {
+            total_w += w;
+            let v = data.value(r, a);
+            let cv = data.value(r, ci);
+            if Value::is_missing(v) || Value::is_missing(cv) {
+                if Value::is_missing(v) {
+                    missing_w += w;
+                }
+                continue;
+            }
+            pairs.push((v, Value::as_index(cv), w));
+        }
+        if pairs.len() < 2 {
+            return None;
+        }
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaN"));
+        let present_w: f64 = pairs.iter().map(|p| p.2).sum();
+        let mut present_counts = vec![0.0; k];
+        for &(_, c, w) in &pairs {
+            present_counts[c] += w;
+        }
+        let info_present = entropy(&present_counts);
+
+        let distinct = {
+            let mut d = 1;
+            for i in 1..pairs.len() {
+                if pairs[i].0 != pairs[i - 1].0 {
+                    d += 1;
+                }
+            }
+            d
+        };
+        if distinct < 2 {
+            return None;
+        }
+
+        let mut left = vec![0.0f64; k];
+        let mut right = present_counts.clone();
+        let mut best: Option<(f64, f64, f64, f64)> = None; // (gain_raw, threshold, lw, rw)
+        let mut lw = 0.0;
+        for i in 0..pairs.len() - 1 {
+            let (v, c, w) = pairs[i];
+            left[c] += w;
+            right[c] -= w;
+            lw += w;
+            if pairs[i + 1].0 == v {
+                continue;
+            }
+            let rw = present_w - lw;
+            if lw < self.min_instances || rw < self.min_instances {
+                continue;
+            }
+            let info_split = (lw * entropy(&left) + rw * entropy(&right)) / present_w;
+            let gain_raw = info_present - info_split;
+            if best.is_none_or(|(g, ..)| gain_raw > g) {
+                best = Some((gain_raw, (v + pairs[i + 1].0) / 2.0, lw, rw));
+            }
+        }
+        let (gain_raw, threshold, lw, rw) = best?;
+        // C4.5 MDL correction for choosing among `distinct - 1` cuts.
+        let corrected = gain_raw - ((distinct - 1) as f64).log2() / present_w;
+        let gain = present_w / total_w * corrected;
+        if gain <= 1e-12 {
+            return None;
+        }
+        let mut si_weights = vec![lw, rw];
+        if missing_w > 0.0 {
+            si_weights.push(missing_w);
+        }
+        let split_info = entropy(&si_weights);
+        if split_info <= 1e-12 {
+            return None;
+        }
+        Some(Candidate {
+            split: Split::Numeric { attr: a, threshold },
+            gain,
+            ratio: gain / split_info,
+        })
+    }
+
+    fn build(
+        &self,
+        data: &Dataset,
+        items: &[(usize, f64)],
+        ci: usize,
+        k: usize,
+        depth: usize,
+    ) -> Node {
+        let counts = Self::class_counts(data, items, ci, k);
+        let total: f64 = counts.iter().sum();
+        let max = counts.iter().cloned().fold(0.0, f64::max);
+
+        // Stop: pure, too small, or too deep (defensive cap).
+        if total <= 0.0
+            || (total - max) < 1e-9
+            || total < 2.0 * self.min_instances
+            || depth > 64
+        {
+            return Node::leaf(counts);
+        }
+
+        // Gather viable candidates.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for a in 0..data.num_attributes() {
+            if a == ci {
+                continue;
+            }
+            let cand = if data.attributes()[a].is_nominal() {
+                self.eval_nominal(data, items, a, ci, k)
+            } else if data.attributes()[a].is_numeric() {
+                self.eval_numeric(data, items, a, ci, k)
+            } else {
+                None
+            };
+            if let Some(c) = cand {
+                candidates.push(c);
+            }
+        }
+        if candidates.is_empty() {
+            return Node::leaf(counts);
+        }
+        let avg_gain: f64 =
+            candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+        let chosen = candidates
+            .iter()
+            .filter(|c| c.gain >= avg_gain - 1e-12)
+            .max_by(|x, y| x.ratio.partial_cmp(&y.ratio).expect("finite ratios"));
+        let chosen = match chosen {
+            Some(c) => c,
+            None => return Node::leaf(counts),
+        };
+
+        // Partition items into branches with fractional missing weights.
+        let (attr, num_branches, branch_of): (usize, usize, Box<dyn Fn(f64) -> usize>) =
+            match &chosen.split {
+                Split::Nominal { attr } => {
+                    let arity = data.attributes()[*attr].num_labels();
+                    (*attr, arity, Box::new(Value::as_index))
+                }
+                Split::Numeric { attr, threshold } => {
+                    let t = *threshold;
+                    (*attr, 2, Box::new(move |v| usize::from(v > t)))
+                }
+            };
+
+        let mut branch_items: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_branches];
+        let mut branch_weights = vec![0.0f64; num_branches];
+        let mut missing_items: Vec<(usize, f64)> = Vec::new();
+        for &(r, w) in items {
+            let v = data.value(r, attr);
+            if Value::is_missing(v) {
+                missing_items.push((r, w));
+            } else {
+                let b = branch_of(v);
+                branch_items[b].push((r, w));
+                branch_weights[b] += w;
+            }
+        }
+        let present_w: f64 = branch_weights.iter().sum();
+        let branch_fracs: Vec<f64> = if present_w > 0.0 {
+            branch_weights.iter().map(|&w| w / present_w).collect()
+        } else {
+            vec![1.0 / num_branches as f64; num_branches]
+        };
+        // Fractional distribution of missing-valued instances.
+        for &(r, w) in &missing_items {
+            for (b, items_b) in branch_items.iter_mut().enumerate() {
+                let frac = branch_fracs[b];
+                if frac > 0.0 {
+                    items_b.push((r, w * frac));
+                }
+            }
+        }
+
+        let children: Vec<Node> = branch_items
+            .iter()
+            .map(|bi| {
+                if bi.is_empty() {
+                    // Empty branch: leaf predicting the parent majority.
+                    Node::leaf(counts.clone())
+                } else {
+                    self.build(data, bi, ci, k, depth + 1)
+                }
+            })
+            .collect();
+
+        Node {
+            split: Some(chosen.split.clone()),
+            children,
+            branch_fracs,
+            counts,
+        }
+    }
+
+    // -- pruning -------------------------------------------------------
+
+    fn prune(node: &mut Node, cf: f64) {
+        if node.is_leaf() {
+            return;
+        }
+        for c in &mut node.children {
+            Self::prune(c, cf);
+        }
+        let leaf_estimate = pessimistic_errors(node.weight(), node.training_errors(), cf);
+        let subtree_estimate: f64 = node
+            .children
+            .iter()
+            .map(|c| Self::subtree_error_estimate(c, cf))
+            .sum();
+        if leaf_estimate <= subtree_estimate + 0.1 {
+            node.split = None;
+            node.children.clear();
+            node.branch_fracs.clear();
+        }
+    }
+
+    fn subtree_error_estimate(node: &Node, cf: f64) -> f64 {
+        if node.is_leaf() {
+            pessimistic_errors(node.weight(), node.training_errors(), cf)
+        } else {
+            node.children.iter().map(|c| Self::subtree_error_estimate(c, cf)).sum()
+        }
+    }
+
+    // -- prediction ----------------------------------------------------
+
+    fn node_distribution(&self, node: &Node, data: &Dataset, row: usize, out: &mut [f64], w: f64) {
+        match &node.split {
+            None => {
+                let total = node.weight();
+                if total > 0.0 {
+                    for (c, &x) in node.counts.iter().enumerate() {
+                        out[c] += w * x / total;
+                    }
+                } else {
+                    let u = w / out.len() as f64;
+                    for o in out.iter_mut() {
+                        *o += u;
+                    }
+                }
+            }
+            Some(split) => {
+                let (attr, branch) = match split {
+                    Split::Nominal { attr } => {
+                        let v = data.value(row, *attr);
+                        if Value::is_missing(v) {
+                            (*attr, None)
+                        } else {
+                            (*attr, Some(Value::as_index(v)))
+                        }
+                    }
+                    Split::Numeric { attr, threshold } => {
+                        let v = data.value(row, *attr);
+                        if Value::is_missing(v) {
+                            (*attr, None)
+                        } else {
+                            (*attr, Some(usize::from(v > *threshold)))
+                        }
+                    }
+                };
+                let _ = attr;
+                match branch {
+                    Some(b) if b < node.children.len() => {
+                        self.node_distribution(&node.children[b], data, row, out, w)
+                    }
+                    _ => {
+                        // Missing (or out-of-domain): fractional descent.
+                        for (b, child) in node.children.iter().enumerate() {
+                            let frac = node.branch_fracs[b];
+                            if frac > 0.0 {
+                                self.node_distribution(child, data, row, out, w * frac);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // -- rendering -----------------------------------------------------
+
+    fn edge_text(&self, node: &Node, b: usize) -> String {
+        match node.split.as_ref().expect("internal node") {
+            Split::Nominal { attr } => format!("= {}", self.header.attr_labels[*attr][b]),
+            Split::Numeric { attr: _, threshold } => {
+                if b == 0 {
+                    format!("<= {threshold}")
+                } else {
+                    format!("> {threshold}")
+                }
+            }
+        }
+    }
+
+    fn leaf_text(&self, node: &Node) -> String {
+        let best = argmax(&node.counts).unwrap_or(0);
+        let total = node.weight();
+        let errors = total - node.counts[best];
+        let label = self
+            .header
+            .class_labels
+            .get(best)
+            .cloned()
+            .unwrap_or_else(|| format!("#{best}"));
+        if errors > 0.005 {
+            format!("{label} ({total:.1}/{errors:.1})")
+        } else {
+            format!("{label} ({total:.1})")
+        }
+    }
+
+    fn split_attr_name(&self, node: &Node) -> &str {
+        match node.split.as_ref().expect("internal node") {
+            Split::Nominal { attr } | Split::Numeric { attr, .. } => {
+                &self.header.attr_names[*attr]
+            }
+        }
+    }
+
+    fn build_tree_model(&self, node: &Node, edge: String, model: &mut TreeModel) -> usize {
+        if node.is_leaf() {
+            model.add_node(self.leaf_text(node), edge, true)
+        } else {
+            let id = model.add_node(self.split_attr_name(node).to_string(), edge, false);
+            for (b, child) in node.children.iter().enumerate() {
+                let cid = self.build_tree_model(child, self.edge_text(node, b), model);
+                model.add_child(id, cid);
+            }
+            id
+        }
+    }
+
+    fn encode_node(node: &Node, w: &mut StateWriter) {
+        match &node.split {
+            None => w.put_u64(0),
+            Some(Split::Nominal { attr }) => {
+                w.put_u64(1);
+                w.put_usize(*attr);
+            }
+            Some(Split::Numeric { attr, threshold }) => {
+                w.put_u64(2);
+                w.put_usize(*attr);
+                w.put_f64(*threshold);
+            }
+        }
+        w.put_f64_slice(&node.counts);
+        w.put_f64_slice(&node.branch_fracs);
+        w.put_usize(node.children.len());
+        for c in &node.children {
+            Self::encode_node(c, w);
+        }
+    }
+
+    fn decode_node(r: &mut StateReader<'_>, depth: usize) -> Result<Node> {
+        if depth > 512 {
+            return Err(AlgoError::BadState("tree nesting too deep".into()));
+        }
+        let split = match r.get_u64()? {
+            0 => None,
+            1 => Some(Split::Nominal { attr: r.get_usize()? }),
+            2 => Some(Split::Numeric { attr: r.get_usize()?, threshold: r.get_f64()? }),
+            tag => return Err(AlgoError::BadState(format!("bad split tag {tag}"))),
+        };
+        let counts = r.get_f64_vec()?;
+        let branch_fracs = r.get_f64_vec()?;
+        let n = r.get_usize()?;
+        if n > 1 << 20 {
+            return Err(AlgoError::BadState(format!("absurd child count {n}")));
+        }
+        let children =
+            (0..n).map(|_| Self::decode_node(r, depth + 1)).collect::<Result<_>>()?;
+        Ok(Node { split, children, branch_fracs, counts })
+    }
+}
+
+/// WEKA's `Stats.addErrs`: the number of *additional* errors predicted
+/// by the upper confidence bound of a binomial with `e` observed errors
+/// in `n` trials at confidence factor `cf`. Returns the total
+/// pessimistic error count `e + added`.
+fn pessimistic_errors(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    e + added_errors(n, e, cf)
+}
+
+fn added_errors(n: f64, e: f64, cf: f64) -> f64 {
+    if cf > 0.5 {
+        return 0.0;
+    }
+    if e < 1.0 {
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e < 1e-12 {
+            return base;
+        }
+        return base + e * (added_errors(n, 1.0, cf) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = normal_inverse(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    r * n - e
+}
+
+/// Acklam's rational approximation to the standard normal quantile.
+fn normal_inverse(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_inverse(1.0 - p)
+    }
+}
+
+impl Classifier for J48 {
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        self.header = Header {
+            attr_names: data.attributes().iter().map(|a| a.name().to_string()).collect(),
+            attr_labels: data
+                .attributes()
+                .iter()
+                .map(|a| a.labels().to_vec())
+                .collect(),
+            class_labels: data.class_attribute()?.labels().to_vec(),
+            class_index: ci,
+        };
+        let items: Vec<(usize, f64)> =
+            (0..data.num_instances()).map(|r| (r, data.weight(r))).collect();
+        let mut root = self.build(data, &items, ci, k, 0);
+        if !self.unpruned {
+            Self::prune(&mut root, self.confidence);
+        }
+        self.root = Some(root);
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        let root = self.root.as_ref().ok_or(AlgoError::NotTrained)?;
+        let mut out = vec![0.0; self.header.class_labels.len()];
+        self.node_distribution(root, data, row, &mut out, 1.0);
+        normalize(&mut out);
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        let root = match &self.root {
+            None => return "J48: not trained".to_string(),
+            Some(r) => r,
+        };
+        let mut out = String::from("J48 ");
+        out.push_str(if self.unpruned { "unpruned tree\n" } else { "pruned tree\n" });
+        out.push_str("------------------\n\n");
+        out.push_str(&self.tree_model().expect("trained").to_text());
+        out.push_str(&format!(
+            "\nNumber of Leaves  : \t{}\n\nSize of the tree : \t{}\n",
+            root.num_leaves(),
+            root.size()
+        ));
+        out
+    }
+
+    fn tree_model(&self) -> Option<TreeModel> {
+        let root = self.root.as_ref()?;
+        let mut model = TreeModel::new();
+        self.build_tree_model(root, String::new(), &mut model);
+        Some(model)
+    }
+}
+
+impl Configurable for J48 {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-C",
+                name: "confidenceFactor",
+                description: "confidence factor used for pessimistic pruning",
+                default: "0.25".into(),
+                kind: OptionKind::Real { min: 1e-6, max: 0.5 },
+            },
+            OptionDescriptor {
+                flag: "-M",
+                name: "minNumObj",
+                description: "minimum number of instances per leaf",
+                default: "2".into(),
+                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+            },
+            OptionDescriptor {
+                flag: "-U",
+                name: "unpruned",
+                description: "use an unpruned tree",
+                default: "false".into(),
+                kind: OptionKind::Flag,
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-C" => self.confidence = value.parse().expect("validated"),
+            "-M" => self.min_instances = value.parse::<i64>().expect("validated") as f64,
+            "-U" => self.unpruned = value == "true",
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-C" => Ok(self.confidence.to_string()),
+            "-M" => Ok((self.min_instances as i64).to_string()),
+            "-U" => Ok(self.unpruned.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for J48 {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_f64(self.confidence);
+        w.put_f64(self.min_instances);
+        w.put_bool(self.unpruned);
+        w.put_bool(self.root.is_some());
+        if let Some(root) = &self.root {
+            w.put_usize(self.header.attr_names.len());
+            for (name, labels) in self.header.attr_names.iter().zip(&self.header.attr_labels) {
+                w.put_str(name);
+                w.put_usize(labels.len());
+                for l in labels {
+                    w.put_str(l);
+                }
+            }
+            w.put_usize(self.header.class_labels.len());
+            for l in &self.header.class_labels {
+                w.put_str(l);
+            }
+            w.put_usize(self.header.class_index);
+            Self::encode_node(root, &mut w);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.confidence = r.get_f64()?;
+        self.min_instances = r.get_f64()?;
+        self.unpruned = r.get_bool()?;
+        if r.get_bool()? {
+            let n = r.get_usize()?;
+            if n > 1 << 20 {
+                return Err(AlgoError::BadState(format!("absurd attribute count {n}")));
+            }
+            let mut names = Vec::with_capacity(n);
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                names.push(r.get_str()?);
+                let ln = r.get_usize()?;
+                if ln > 1 << 20 {
+                    return Err(AlgoError::BadState(format!("absurd label count {ln}")));
+                }
+                labels.push((0..ln).map(|_| r.get_str()).collect::<Result<Vec<_>>>()?);
+            }
+            let cn = r.get_usize()?;
+            if cn > 1 << 20 {
+                return Err(AlgoError::BadState(format!("absurd class count {cn}")));
+            }
+            let class_labels = (0..cn).map(|_| r.get_str()).collect::<Result<Vec<_>>>()?;
+            let class_index = r.get_usize()?;
+            self.header = Header { attr_names: names, attr_labels: labels, class_labels, class_index };
+            self.root = Some(Self::decode_node(&mut r, 0)?);
+        } else {
+            self.root = None;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{
+        resubstitution_accuracy, weather_nominal, weather_numeric,
+    };
+    use super::*;
+
+    #[test]
+    fn weather_root_is_outlook() {
+        // The canonical C4.5 result on play-tennis.
+        let ds = weather_nominal();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        assert_eq!(j.root_attribute(), Some("outlook"));
+        assert_eq!(resubstitution_accuracy(&j, &ds), 1.0);
+        // Known structure: 5 leaves, size 8.
+        assert_eq!(j.num_leaves(), Some(5));
+        assert_eq!(j.tree_size(), Some(8));
+    }
+
+    #[test]
+    fn weather_text_matches_weka_shape() {
+        let ds = weather_nominal();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        let text = j.describe();
+        assert!(text.contains("outlook = overcast: yes (4.0)"), "got:\n{text}");
+        assert!(text.contains("|   humidity = high: no (3.0)"), "got:\n{text}");
+        assert!(text.contains("Number of Leaves  : \t5"), "got:\n{text}");
+    }
+
+    #[test]
+    fn numeric_weather_trains() {
+        let ds = weather_numeric();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        assert_eq!(j.root_attribute(), Some("outlook"));
+        assert!(resubstitution_accuracy(&j, &ds) >= 12.0 / 14.0);
+    }
+
+    #[test]
+    fn breast_cancer_root_is_node_caps() {
+        // Figure 4 of the paper: "the attribute node-caps has been
+        // chosen to lie at the root of the tree".
+        let ds = dm_data::corpus::breast_cancer();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        assert_eq!(j.root_attribute(), Some("node-caps"));
+    }
+
+    #[test]
+    fn breast_cancer_beats_prior() {
+        let ds = dm_data::corpus::breast_cancer();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        let acc = resubstitution_accuracy(&j, &ds);
+        assert!(acc > 201.0 / 286.0, "accuracy {acc} not above prior");
+    }
+
+    #[test]
+    fn missing_values_fractional_prediction() {
+        let ds = dm_data::corpus::breast_cancer();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        // Find a row with missing node-caps: prediction must still be a
+        // proper distribution.
+        let nc = ds.attribute_index("node-caps").unwrap();
+        let row = (0..ds.num_instances())
+            .find(|&r| ds.instance(r).is_missing(nc))
+            .expect("corpus has missing node-caps");
+        let d = j.distribution(&ds, row).unwrap();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn unpruned_tree_is_at_least_as_large() {
+        let ds = dm_data::corpus::breast_cancer();
+        let mut pruned = J48::new();
+        pruned.train(&ds).unwrap();
+        let mut unpruned = J48::new();
+        unpruned.set_option("-U", "true").unwrap();
+        unpruned.train(&ds).unwrap();
+        assert!(unpruned.tree_size().unwrap() >= pruned.tree_size().unwrap());
+    }
+
+    #[test]
+    fn higher_min_instances_shrinks_tree() {
+        let ds = dm_data::corpus::breast_cancer();
+        let mut small = J48::new();
+        small.train(&ds).unwrap();
+        let mut coarse = J48::new();
+        coarse.set_option("-M", "30").unwrap();
+        coarse.train(&ds).unwrap();
+        assert!(coarse.tree_size().unwrap() <= small.tree_size().unwrap());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_tree() {
+        let ds = dm_data::corpus::breast_cancer();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        let mut j2 = J48::new();
+        j2.decode_state(&j.encode_state()).unwrap();
+        assert_eq!(j.describe(), j2.describe());
+        for r in 0..ds.num_instances() {
+            assert_eq!(j.predict(&ds, r).unwrap(), j2.predict(&ds, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn pessimistic_error_bounds() {
+        // Zero observed errors still predict some: n(1 - cf^(1/n)).
+        let e0 = pessimistic_errors(10.0, 0.0, 0.25);
+        assert!((e0 - 10.0 * (1.0 - 0.25f64.powf(0.1))).abs() < 1e-9);
+        // More observed errors → more pessimistic errors.
+        assert!(pessimistic_errors(20.0, 5.0, 0.25) > pessimistic_errors(20.0, 2.0, 0.25));
+        // Lower confidence factor → larger bound.
+        assert!(added_errors(20.0, 5.0, 0.1) > added_errors(20.0, 5.0, 0.4));
+    }
+
+    #[test]
+    fn normal_inverse_sane() {
+        assert!((normal_inverse(0.5)).abs() < 1e-9);
+        assert!((normal_inverse(0.75) - 0.6744897).abs() < 1e-4);
+        assert!((normal_inverse(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_inverse(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tree_model_and_dot() {
+        let ds = weather_nominal();
+        let mut j = J48::new();
+        j.train(&ds).unwrap();
+        let t = j.tree_model().unwrap();
+        assert_eq!(t.num_leaves(), 5);
+        let dot = t.to_dot("J48");
+        assert!(dot.contains("outlook"));
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        let j = J48::new();
+        assert!(j.distribution(&ds, 0).is_err());
+        assert!(j.tree_model().is_none());
+        assert_eq!(j.root_attribute(), None);
+    }
+
+    #[test]
+    fn options_validated() {
+        let mut j = J48::new();
+        assert!(j.set_option("-C", "0.9").is_err()); // > 0.5
+        assert!(j.set_option("-M", "0").is_err());
+        j.set_option("-C", "0.1").unwrap();
+        assert_eq!(j.get_option("-C").unwrap(), "0.1");
+    }
+}

@@ -1,0 +1,391 @@
+//! Multinomial logistic regression trained by batch gradient descent
+//! with L2 regularisation (the paper's "statistical algorithms such as
+//! regression"). Nominal attributes are one-hot encoded on the fly.
+
+use super::{check_trainable, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+
+/// Multinomial logistic regression.
+#[derive(Debug, Clone)]
+pub struct Logistic {
+    /// `-R`: L2 ridge coefficient.
+    ridge: f64,
+    /// `-I`: gradient-descent iterations.
+    iterations: usize,
+    /// `-L`: learning rate.
+    learning_rate: f64,
+    /// Feature expansion: offsets[a] = first feature index of attr a.
+    offsets: Vec<usize>,
+    nominal_arity: Vec<usize>,
+    num_features: usize,
+    class_index: usize,
+    num_classes: usize,
+    /// Weights: `[class][feature + bias]`.
+    weights: Vec<Vec<f64>>,
+    /// Per-numeric-feature (mean, sd) standardisation.
+    scaler: Vec<(f64, f64)>,
+    trained: bool,
+}
+
+impl Default for Logistic {
+    fn default() -> Self {
+        Logistic {
+            ridge: 1e-8,
+            iterations: 200,
+            learning_rate: 0.1,
+            offsets: Vec::new(),
+            nominal_arity: Vec::new(),
+            num_features: 0,
+            class_index: 0,
+            num_classes: 0,
+            weights: Vec::new(),
+            scaler: Vec::new(),
+            trained: false,
+        }
+    }
+}
+
+impl Logistic {
+    /// Create with defaults.
+    pub fn new() -> Logistic {
+        Logistic::default()
+    }
+
+    /// Expand row `row` of `data` into the dense feature vector
+    /// (one-hot nominals, standardised numerics; missing → all-zero).
+    fn features(&self, data: &Dataset, row: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        for a in 0..self.offsets.len() {
+            if a == self.class_index {
+                continue;
+            }
+            let v = data.value(row, a);
+            if Value::is_missing(v) {
+                continue;
+            }
+            let off = self.offsets[a];
+            if self.nominal_arity[a] > 0 {
+                let i = Value::as_index(v);
+                if i < self.nominal_arity[a] {
+                    out[off + i] = 1.0;
+                }
+            } else {
+                let (mean, sd) = self.scaler[a];
+                out[off] = if sd > 0.0 { (v - mean) / sd } else { 0.0 };
+            }
+        }
+    }
+
+    fn scores(&self, x: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|w| {
+                let mut s = w[self.num_features]; // bias
+                for (wi, xi) in w[..self.num_features].iter().zip(x) {
+                    s += wi * xi;
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn softmax(mut scores: Vec<f64>) -> Vec<f64> {
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+        }
+        normalize(&mut scores);
+        scores
+    }
+}
+
+impl Classifier for Logistic {
+    fn name(&self) -> &'static str {
+        "Logistic"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        self.class_index = ci;
+        self.num_classes = k;
+
+        // Plan the feature layout and numeric scalers.
+        self.offsets = vec![0; data.num_attributes()];
+        self.nominal_arity = vec![0; data.num_attributes()];
+        self.scaler = vec![(0.0, 1.0); data.num_attributes()];
+        let mut off = 0usize;
+        for a in 0..data.num_attributes() {
+            self.offsets[a] = off;
+            if a == ci {
+                continue;
+            }
+            let attr = &data.attributes()[a];
+            if attr.is_nominal() {
+                self.nominal_arity[a] = attr.num_labels();
+                off += attr.num_labels();
+            } else if attr.is_numeric() {
+                let mut sum = 0.0;
+                let mut n = 0.0;
+                for r in 0..data.num_instances() {
+                    let v = data.value(r, a);
+                    if !Value::is_missing(v) {
+                        sum += v;
+                        n += 1.0;
+                    }
+                }
+                let mean = if n > 0.0 { sum / n } else { 0.0 };
+                let mut ss = 0.0;
+                for r in 0..data.num_instances() {
+                    let v = data.value(r, a);
+                    if !Value::is_missing(v) {
+                        ss += (v - mean) * (v - mean);
+                    }
+                }
+                let sd = if n > 0.0 { (ss / n).sqrt() } else { 1.0 };
+                self.scaler[a] = (mean, if sd > 0.0 { sd } else { 1.0 });
+                off += 1;
+            }
+        }
+        self.num_features = off;
+        self.weights = vec![vec![0.0; off + 1]; k];
+
+        // Pre-expand the design matrix once (hot loop stays add/mul only).
+        let n = data.num_instances();
+        let mut xs = vec![0.0f64; n * off];
+        let mut ys = Vec::with_capacity(n);
+        // Temporarily mark trained so `features` can be used.
+        self.trained = true;
+        for r in 0..n {
+            let cv = data.value(r, ci);
+            if Value::is_missing(cv) {
+                ys.push(usize::MAX);
+                continue;
+            }
+            ys.push(Value::as_index(cv));
+            let (a, b) = (r * off, (r + 1) * off);
+            let row_out = &mut xs[a..b];
+            self.features(data, r, row_out);
+        }
+
+        let lr = self.learning_rate;
+        let mut grads = vec![vec![0.0f64; off + 1]; k];
+        for _ in 0..self.iterations {
+            for g in grads.iter_mut() {
+                g.fill(0.0);
+            }
+            for r in 0..n {
+                let y = ys[r];
+                if y == usize::MAX {
+                    continue;
+                }
+                let x = &xs[r * off..(r + 1) * off];
+                let p = Self::softmax(self.scores(x));
+                for (c, grad) in grads.iter_mut().enumerate() {
+                    let err = p[c] - f64::from(u8::from(c == y));
+                    for (gi, xi) in grad[..off].iter_mut().zip(x) {
+                        *gi += err * xi;
+                    }
+                    grad[off] += err;
+                }
+            }
+            let scale = lr / n as f64;
+            for (c, grad) in grads.iter().enumerate() {
+                for (w, g) in self.weights[c].iter_mut().zip(grad) {
+                    *w -= scale * g + lr * self.ridge * *w;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        if !self.trained {
+            return Err(AlgoError::NotTrained);
+        }
+        let mut x = vec![0.0; self.num_features];
+        self.features(data, row, &mut x);
+        Ok(Self::softmax(self.scores(&x)))
+    }
+
+    fn describe(&self) -> String {
+        if !self.trained {
+            return "Logistic: not trained".to_string();
+        }
+        format!(
+            "Multinomial logistic regression: {} classes, {} features, ridge {}",
+            self.num_classes, self.num_features, self.ridge
+        )
+    }
+}
+
+impl Configurable for Logistic {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-R",
+                name: "ridge",
+                description: "L2 regularisation coefficient",
+                default: "1e-8".into(),
+                kind: OptionKind::Real { min: 0.0, max: 1e3 },
+            },
+            OptionDescriptor {
+                flag: "-I",
+                name: "iterations",
+                description: "gradient descent iterations",
+                default: "200".into(),
+                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+            },
+            OptionDescriptor {
+                flag: "-L",
+                name: "learningRate",
+                description: "gradient descent step size",
+                default: "0.1".into(),
+                kind: OptionKind::Real { min: 1e-9, max: 10.0 },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-R" => self.ridge = value.parse().expect("validated"),
+            "-I" => self.iterations = value.parse().expect("validated"),
+            "-L" => self.learning_rate = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-R" => Ok(self.ridge.to_string()),
+            "-I" => Ok(self.iterations.to_string()),
+            "-L" => Ok(self.learning_rate.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for Logistic {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_f64(self.ridge);
+        w.put_usize(self.iterations);
+        w.put_f64(self.learning_rate);
+        w.put_bool(self.trained);
+        if self.trained {
+            w.put_usize_slice(&self.offsets);
+            w.put_usize_slice(&self.nominal_arity);
+            w.put_usize(self.num_features);
+            w.put_usize(self.class_index);
+            w.put_usize(self.num_classes);
+            w.put_usize(self.weights.len());
+            for row in &self.weights {
+                w.put_f64_slice(row);
+            }
+            w.put_usize(self.scaler.len());
+            for (m, s) in &self.scaler {
+                w.put_f64(*m);
+                w.put_f64(*s);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.ridge = r.get_f64()?;
+        self.iterations = r.get_usize()?;
+        self.learning_rate = r.get_f64()?;
+        self.trained = r.get_bool()?;
+        if self.trained {
+            self.offsets = r.get_usize_vec()?;
+            self.nominal_arity = r.get_usize_vec()?;
+            self.num_features = r.get_usize()?;
+            self.class_index = r.get_usize()?;
+            self.num_classes = r.get_usize()?;
+            let k = r.get_usize()?;
+            if k > 1 << 16 {
+                return Err(AlgoError::BadState("absurd class count".into()));
+            }
+            self.weights = (0..k).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+            let ns = r.get_usize()?;
+            if ns > 1 << 20 {
+                return Err(AlgoError::BadState("absurd scaler count".into()));
+            }
+            self.scaler = (0..ns)
+                .map(|_| -> Result<(f64, f64)> { Ok((r.get_f64()?, r.get_f64()?)) })
+                .collect::<Result<_>>()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{
+        resubstitution_accuracy, separable_numeric, weather_nominal,
+    };
+    use super::*;
+
+    #[test]
+    fn separable_numeric_converges() {
+        let ds = separable_numeric(40);
+        let mut c = Logistic::new();
+        c.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&c, &ds), 1.0);
+    }
+
+    #[test]
+    fn nominal_one_hot_learns_weather() {
+        let ds = weather_nominal();
+        let mut c = Logistic::new();
+        c.set_option("-I", "500").unwrap();
+        c.train(&ds).unwrap();
+        assert!(resubstitution_accuracy(&c, &ds) >= 11.0 / 14.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let ds = separable_numeric(10);
+        let mut c = Logistic::new();
+        c.train(&ds).unwrap();
+        let d = c.distribution(&ds, 0).unwrap();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_features_zeroed() {
+        let mut ds = separable_numeric(10);
+        let mut c = Logistic::new();
+        c.train(&ds).unwrap();
+        ds.set_value(0, 0, f64::NAN);
+        assert!(c.distribution(&ds, 0).is_ok());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = separable_numeric(15);
+        let mut c = Logistic::new();
+        c.train(&ds).unwrap();
+        let mut c2 = Logistic::new();
+        c2.decode_state(&c.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            let a = c.distribution(&ds, r).unwrap();
+            let b = c2.distribution(&ds, r).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        assert!(Logistic::new().distribution(&ds, 0).is_err());
+    }
+}

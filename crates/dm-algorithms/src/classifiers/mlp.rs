@@ -1,0 +1,495 @@
+//! A single-hidden-layer multilayer perceptron trained by stochastic
+//! backpropagation. The paper names exactly this algorithm's run-time
+//! options when describing `getOptions`: "in the case of a neural
+//! network backpropagation algorithm such run-time options include the
+//! number of neurons in the hidden layer, the momentum and the learning
+//! rate" — so those are this model's `-H`, `-M` and `-L` options.
+
+use super::{check_trainable, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Backpropagation multilayer perceptron (one hidden sigmoid layer,
+/// softmax output).
+#[derive(Debug, Clone)]
+pub struct MultilayerPerceptron {
+    /// `-H`: hidden-layer size.
+    hidden: usize,
+    /// `-L`: learning rate.
+    learning_rate: f64,
+    /// `-M`: momentum.
+    momentum: f64,
+    /// `-N`: training epochs.
+    epochs: usize,
+    /// `-S`: RNG seed for weight init and row order.
+    seed: u64,
+    // Feature expansion (same scheme as Logistic).
+    offsets: Vec<usize>,
+    nominal_arity: Vec<usize>,
+    scaler: Vec<(f64, f64)>,
+    num_features: usize,
+    class_index: usize,
+    num_classes: usize,
+    /// `w1[h][feature + 1]` (last = bias), `w2[c][h + 1]`.
+    w1: Vec<Vec<f64>>,
+    w2: Vec<Vec<f64>>,
+    trained: bool,
+}
+
+impl Default for MultilayerPerceptron {
+    fn default() -> Self {
+        MultilayerPerceptron {
+            hidden: 8,
+            learning_rate: 0.3,
+            momentum: 0.2,
+            epochs: 200,
+            seed: 1,
+            offsets: Vec::new(),
+            nominal_arity: Vec::new(),
+            scaler: Vec::new(),
+            num_features: 0,
+            class_index: 0,
+            num_classes: 0,
+            w1: Vec::new(),
+            w2: Vec::new(),
+            trained: false,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl MultilayerPerceptron {
+    /// Create with WEKA-ish defaults (`-L 0.3 -M 0.2 -H 8 -N 200`).
+    pub fn new() -> MultilayerPerceptron {
+        MultilayerPerceptron::default()
+    }
+
+    fn features(&self, data: &Dataset, row: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        for a in 0..self.offsets.len() {
+            if a == self.class_index {
+                continue;
+            }
+            let v = data.value(row, a);
+            if Value::is_missing(v) {
+                continue;
+            }
+            let off = self.offsets[a];
+            if self.nominal_arity[a] > 0 {
+                let i = Value::as_index(v);
+                if i < self.nominal_arity[a] {
+                    out[off + i] = 1.0;
+                }
+            } else {
+                let (mean, sd) = self.scaler[a];
+                out[off] = if sd > 0.0 { (v - mean) / sd } else { 0.0 };
+            }
+        }
+    }
+
+    fn forward(&self, x: &[f64], hidden_out: &mut [f64]) -> Vec<f64> {
+        for (h, w) in self.w1.iter().enumerate() {
+            let mut s = w[self.num_features];
+            for (wi, xi) in w[..self.num_features].iter().zip(x) {
+                s += wi * xi;
+            }
+            hidden_out[h] = sigmoid(s);
+        }
+        let mut scores: Vec<f64> = self
+            .w2
+            .iter()
+            .map(|w| {
+                let mut s = w[self.hidden];
+                for (wi, hi) in w[..self.hidden].iter().zip(hidden_out.iter()) {
+                    s += wi * hi;
+                }
+                s
+            })
+            .collect();
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+        }
+        normalize(&mut scores);
+        scores
+    }
+}
+
+impl Classifier for MultilayerPerceptron {
+    fn name(&self) -> &'static str {
+        "MultilayerPerceptron"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        self.class_index = ci;
+        self.num_classes = k;
+
+        // Feature layout and scalers (identical scheme to Logistic).
+        self.offsets = vec![0; data.num_attributes()];
+        self.nominal_arity = vec![0; data.num_attributes()];
+        self.scaler = vec![(0.0, 1.0); data.num_attributes()];
+        let mut off = 0usize;
+        for a in 0..data.num_attributes() {
+            self.offsets[a] = off;
+            if a == ci {
+                continue;
+            }
+            let attr = &data.attributes()[a];
+            if attr.is_nominal() {
+                self.nominal_arity[a] = attr.num_labels();
+                off += attr.num_labels();
+            } else if attr.is_numeric() {
+                let (mut sum, mut n) = (0.0, 0.0);
+                for r in 0..data.num_instances() {
+                    let v = data.value(r, a);
+                    if !Value::is_missing(v) {
+                        sum += v;
+                        n += 1.0;
+                    }
+                }
+                let mean = if n > 0.0 { sum / n } else { 0.0 };
+                let mut ss = 0.0;
+                for r in 0..data.num_instances() {
+                    let v = data.value(r, a);
+                    if !Value::is_missing(v) {
+                        ss += (v - mean) * (v - mean);
+                    }
+                }
+                let sd = if n > 0.0 { (ss / n).sqrt() } else { 1.0 };
+                self.scaler[a] = (mean, if sd > 0.0 { sd } else { 1.0 });
+                off += 1;
+            }
+        }
+        self.num_features = off;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut init = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| rng.random_range(-0.5..0.5)).collect()
+        };
+        self.w1 = (0..self.hidden).map(|_| init(off + 1)).collect();
+        self.w2 = (0..k).map(|_| init(self.hidden + 1)).collect();
+        self.trained = true;
+
+        // Pre-expand features.
+        let n = data.num_instances();
+        let mut xs = vec![0.0f64; n * off];
+        let mut ys = Vec::with_capacity(n);
+        for r in 0..n {
+            let cv = data.value(r, ci);
+            ys.push(if Value::is_missing(cv) { usize::MAX } else { Value::as_index(cv) });
+            let (s, e) = (r * off, (r + 1) * off);
+            let out = &mut xs[s..e];
+            self.features(data, r, out);
+        }
+
+        let mut hidden_out = vec![0.0; self.hidden];
+        let mut prev_dw1 = vec![vec![0.0; off + 1]; self.hidden];
+        let mut prev_dw2 = vec![vec![0.0; self.hidden + 1]; k];
+        for _epoch in 0..self.epochs {
+            for r in 0..n {
+                let y = ys[r];
+                if y == usize::MAX {
+                    continue;
+                }
+                let x = &xs[r * off..(r + 1) * off];
+                let p = self.forward(x, &mut hidden_out);
+                // Output deltas (softmax + cross-entropy).
+                let out_delta: Vec<f64> = (0..k)
+                    .map(|c| p[c] - f64::from(u8::from(c == y)))
+                    .collect();
+                // Hidden deltas.
+                let mut hid_delta = vec![0.0; self.hidden];
+                for (h, hd) in hid_delta.iter_mut().enumerate() {
+                    let mut s = 0.0;
+                    for (c, od) in out_delta.iter().enumerate() {
+                        s += od * self.w2[c][h];
+                    }
+                    *hd = s * hidden_out[h] * (1.0 - hidden_out[h]);
+                }
+                // Update output layer.
+                for (c, od) in out_delta.iter().enumerate() {
+                    for h in 0..self.hidden {
+                        let dw = -self.learning_rate * od * hidden_out[h]
+                            + self.momentum * prev_dw2[c][h];
+                        self.w2[c][h] += dw;
+                        prev_dw2[c][h] = dw;
+                    }
+                    let dw = -self.learning_rate * od + self.momentum * prev_dw2[c][self.hidden];
+                    self.w2[c][self.hidden] += dw;
+                    prev_dw2[c][self.hidden] = dw;
+                }
+                // Update hidden layer.
+                for (h, hd) in hid_delta.iter().enumerate() {
+                    for (f, xi) in x.iter().enumerate() {
+                        let dw = -self.learning_rate * hd * xi + self.momentum * prev_dw1[h][f];
+                        self.w1[h][f] += dw;
+                        prev_dw1[h][f] = dw;
+                    }
+                    let dw = -self.learning_rate * hd + self.momentum * prev_dw1[h][off];
+                    self.w1[h][off] += dw;
+                    prev_dw1[h][off] = dw;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        if !self.trained {
+            return Err(AlgoError::NotTrained);
+        }
+        let mut x = vec![0.0; self.num_features];
+        self.features(data, row, &mut x);
+        let mut hidden = vec![0.0; self.hidden];
+        Ok(self.forward(&x, &mut hidden))
+    }
+
+    fn describe(&self) -> String {
+        if !self.trained {
+            return "MultilayerPerceptron: not trained".to_string();
+        }
+        format!(
+            "MLP: {} inputs -> {} hidden (sigmoid) -> {} outputs (softmax), lr {}, momentum {}",
+            self.num_features, self.hidden, self.num_classes, self.learning_rate, self.momentum
+        )
+    }
+}
+
+impl Configurable for MultilayerPerceptron {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-H",
+                name: "hiddenNeurons",
+                description: "number of neurons in the hidden layer",
+                default: "8".into(),
+                kind: OptionKind::Integer { min: 1, max: 4096 },
+            },
+            OptionDescriptor {
+                flag: "-L",
+                name: "learningRate",
+                description: "backpropagation learning rate",
+                default: "0.3".into(),
+                kind: OptionKind::Real { min: 1e-9, max: 1.0 },
+            },
+            OptionDescriptor {
+                flag: "-M",
+                name: "momentum",
+                description: "backpropagation momentum",
+                default: "0.2".into(),
+                kind: OptionKind::Real { min: 0.0, max: 0.999 },
+            },
+            OptionDescriptor {
+                flag: "-N",
+                name: "epochs",
+                description: "training epochs",
+                default: "200".into(),
+                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+            },
+            OptionDescriptor {
+                flag: "-S",
+                name: "seed",
+                description: "random seed for weight initialisation",
+                default: "1".into(),
+                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-H" => self.hidden = value.parse().expect("validated"),
+            "-L" => self.learning_rate = value.parse().expect("validated"),
+            "-M" => self.momentum = value.parse().expect("validated"),
+            "-N" => self.epochs = value.parse().expect("validated"),
+            "-S" => self.seed = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-H" => Ok(self.hidden.to_string()),
+            "-L" => Ok(self.learning_rate.to_string()),
+            "-M" => Ok(self.momentum.to_string()),
+            "-N" => Ok(self.epochs.to_string()),
+            "-S" => Ok(self.seed.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for MultilayerPerceptron {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.hidden);
+        w.put_f64(self.learning_rate);
+        w.put_f64(self.momentum);
+        w.put_usize(self.epochs);
+        w.put_u64(self.seed);
+        w.put_bool(self.trained);
+        if self.trained {
+            w.put_usize_slice(&self.offsets);
+            w.put_usize_slice(&self.nominal_arity);
+            w.put_usize(self.scaler.len());
+            for (m, s) in &self.scaler {
+                w.put_f64(*m);
+                w.put_f64(*s);
+            }
+            w.put_usize(self.num_features);
+            w.put_usize(self.class_index);
+            w.put_usize(self.num_classes);
+            w.put_usize(self.w1.len());
+            for row in &self.w1 {
+                w.put_f64_slice(row);
+            }
+            w.put_usize(self.w2.len());
+            for row in &self.w2 {
+                w.put_f64_slice(row);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.hidden = r.get_usize()?;
+        self.learning_rate = r.get_f64()?;
+        self.momentum = r.get_f64()?;
+        self.epochs = r.get_usize()?;
+        self.seed = r.get_u64()?;
+        self.trained = r.get_bool()?;
+        if self.trained {
+            self.offsets = r.get_usize_vec()?;
+            self.nominal_arity = r.get_usize_vec()?;
+            let ns = r.get_usize()?;
+            if ns > 1 << 20 {
+                return Err(AlgoError::BadState("absurd scaler count".into()));
+            }
+            self.scaler = (0..ns)
+                .map(|_| -> Result<(f64, f64)> { Ok((r.get_f64()?, r.get_f64()?)) })
+                .collect::<Result<_>>()?;
+            self.num_features = r.get_usize()?;
+            self.class_index = r.get_usize()?;
+            self.num_classes = r.get_usize()?;
+            let h = r.get_usize()?;
+            if h > 1 << 20 {
+                return Err(AlgoError::BadState("absurd hidden count".into()));
+            }
+            self.w1 = (0..h).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+            let k = r.get_usize()?;
+            if k > 1 << 20 {
+                return Err(AlgoError::BadState("absurd class count".into()));
+            }
+            self.w2 = (0..k).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{
+        resubstitution_accuracy, separable_numeric, weather_nominal,
+    };
+    use super::*;
+
+    #[test]
+    fn learns_separable_data() {
+        let ds = separable_numeric(30);
+        let mut c = MultilayerPerceptron::new();
+        c.set_option("-N", "100").unwrap();
+        c.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&c, &ds), 1.0);
+    }
+
+    #[test]
+    fn learns_xor() {
+        // The classic non-linear test a single perceptron cannot solve.
+        use dm_data::{Attribute, Dataset};
+        let mut ds = Dataset::new(
+            "xor",
+            vec![
+                Attribute::numeric("a"),
+                Attribute::numeric("b"),
+                Attribute::nominal("c", ["0", "1"]),
+            ],
+        );
+        ds.set_class_index(Some(2)).unwrap();
+        for _ in 0..20 {
+            ds.push_row(vec![0.0, 0.0, 0.0]).unwrap();
+            ds.push_row(vec![0.0, 1.0, 1.0]).unwrap();
+            ds.push_row(vec![1.0, 0.0, 1.0]).unwrap();
+            ds.push_row(vec![1.0, 1.0, 0.0]).unwrap();
+        }
+        let mut c = MultilayerPerceptron::new();
+        c.set_options(&[("-H", "6"), ("-N", "600"), ("-L", "0.5")]).unwrap();
+        c.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&c, &ds), 1.0, "MLP failed XOR");
+    }
+
+    #[test]
+    fn weather_nominal_one_hot() {
+        let ds = weather_nominal();
+        let mut c = MultilayerPerceptron::new();
+        c.set_option("-N", "400").unwrap();
+        c.train(&ds).unwrap();
+        assert!(resubstitution_accuracy(&c, &ds) >= 12.0 / 14.0);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let ds = separable_numeric(10);
+        let mut a = MultilayerPerceptron::new();
+        a.train(&ds).unwrap();
+        let mut b = MultilayerPerceptron::new();
+        b.train(&ds).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(a.distribution(&ds, r).unwrap(), b.distribution(&ds, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = separable_numeric(10);
+        let mut c = MultilayerPerceptron::new();
+        c.set_option("-N", "50").unwrap();
+        c.train(&ds).unwrap();
+        let mut c2 = MultilayerPerceptron::new();
+        c2.decode_state(&c.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            let (a, b) = (c.distribution(&ds, r).unwrap(), c2.distribution(&ds, r).unwrap());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_named_options_exist() {
+        // §4.4: hidden neurons, momentum, learning rate.
+        let c = MultilayerPerceptron::new();
+        let flags: Vec<&str> = c.option_descriptors().iter().map(|d| d.flag).collect();
+        assert!(flags.contains(&"-H"));
+        assert!(flags.contains(&"-M"));
+        assert!(flags.contains(&"-L"));
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        assert!(MultilayerPerceptron::new().distribution(&ds, 0).is_err());
+    }
+}

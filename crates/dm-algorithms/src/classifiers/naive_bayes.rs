@@ -1,0 +1,485 @@
+//! Naive Bayes with Laplace-smoothed nominal likelihoods and Gaussian
+//! numeric likelihoods (WEKA's `NaiveBayes` defaults).
+//!
+//! The model stores sufficient statistics (counts / sums / squared
+//! sums) rather than finalised parameters, so it is a true
+//! **incremental learner**: [`NaiveBayes::partial_train`] absorbs
+//! additional instances — including [`dm_data::stream::RecordBatch`]es
+//! arriving from a remote stream (the paper's "provided the algorithm
+//! being used has support for streaming", §1) — and yields exactly the
+//! model batch training would.
+
+use super::{check_trainable, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::stream::RecordBatch;
+use dm_data::{Dataset, Value};
+
+/// Per-attribute conditional sufficient statistics.
+#[derive(Debug, Clone, PartialEq)]
+enum AttrModel {
+    /// `counts[class][value]`, Laplace-smoothed at query time.
+    Nominal(Vec<Vec<f64>>),
+    /// Per-class `(sum, sum of squares, count)` accumulators.
+    Gaussian(Vec<(f64, f64, f64)>),
+    /// Class attribute or unsupported kind — ignored.
+    Skip,
+}
+
+/// The Naive Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    /// `-D`: recognised WEKA flag (discretisation handled by the
+    /// Preprocess service in this toolkit).
+    use_supervised_discretization: bool,
+    priors: Vec<f64>,
+    models: Vec<AttrModel>,
+    class_index: usize,
+    trained: bool,
+}
+
+/// Minimum standard deviation, as in WEKA (avoids zero-variance spikes).
+const MIN_STDDEV: f64 = 1e-6;
+
+impl NaiveBayes {
+    /// Create with default options.
+    pub fn new() -> NaiveBayes {
+        NaiveBayes::default()
+    }
+
+    /// Initialise empty sufficient statistics for `data`'s header.
+    fn init(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        self.class_index = ci;
+        self.priors = vec![0.0; k];
+        self.models = (0..data.num_attributes())
+            .map(|a| {
+                if a == ci {
+                    AttrModel::Skip
+                } else {
+                    let attr = &data.attributes()[a];
+                    if attr.is_nominal() {
+                        AttrModel::Nominal(vec![vec![0.0; attr.num_labels()]; k])
+                    } else if attr.is_numeric() {
+                        AttrModel::Gaussian(vec![(0.0, 0.0, 0.0); k])
+                    } else {
+                        AttrModel::Skip
+                    }
+                }
+            })
+            .collect();
+        self.trained = true;
+        Ok(())
+    }
+
+    /// Absorb one encoded row (same layout as the training header).
+    fn absorb_row(&mut self, row: &[f64], weight: f64) {
+        let cv = row[self.class_index];
+        if Value::is_missing(cv) {
+            return;
+        }
+        let c = Value::as_index(cv);
+        if c >= self.priors.len() {
+            return;
+        }
+        self.priors[c] += weight;
+        for (a, model) in self.models.iter_mut().enumerate() {
+            let v = row[a];
+            if Value::is_missing(v) {
+                continue;
+            }
+            match model {
+                AttrModel::Nominal(table) => {
+                    let vi = Value::as_index(v);
+                    if vi < table[c].len() {
+                        table[c][vi] += weight;
+                    }
+                }
+                AttrModel::Gaussian(acc) => {
+                    let e = &mut acc[c];
+                    e.0 += weight * v;
+                    e.1 += weight * v * v;
+                    e.2 += weight;
+                }
+                AttrModel::Skip => {}
+            }
+        }
+    }
+
+    /// Incrementally absorb more instances (header must match the
+    /// dataset used to initialise training).
+    pub fn partial_train(&mut self, data: &Dataset) -> Result<()> {
+        if !self.trained {
+            return self.train(data);
+        }
+        if data.num_attributes() != self.models.len() {
+            return Err(AlgoError::Data(dm_data::DataError::Arity {
+                got: data.num_attributes(),
+                expected: self.models.len(),
+            }));
+        }
+        for r in 0..data.num_instances() {
+            self.absorb_row(data.row(r), data.weight(r));
+        }
+        Ok(())
+    }
+
+    /// Absorb a streamed [`RecordBatch`] (rows in the training header's
+    /// encoding, weight 1 each) — the streaming-consumer entry point.
+    pub fn update_batch(&mut self, batch: &RecordBatch) -> Result<()> {
+        if !self.trained {
+            return Err(AlgoError::NotTrained);
+        }
+        if batch.width != self.models.len() {
+            return Err(AlgoError::Data(dm_data::DataError::Arity {
+                got: batch.width,
+                expected: self.models.len(),
+            }));
+        }
+        for i in 0..batch.num_rows() {
+            self.absorb_row(batch.row(i), 1.0);
+        }
+        Ok(())
+    }
+
+    /// Total weight of absorbed (class-labelled) instances.
+    pub fn observed_weight(&self) -> f64 {
+        self.priors.iter().sum()
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn name(&self) -> &'static str {
+        "NaiveBayes"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        self.init(data)?;
+        for r in 0..data.num_instances() {
+            self.absorb_row(data.row(r), data.weight(r));
+        }
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        if !self.trained {
+            return Err(AlgoError::NotTrained);
+        }
+        let k = self.priors.len();
+        let total_prior: f64 = self.priors.iter().sum();
+        // Work in log space for numeric stability.
+        let mut logp: Vec<f64> = self
+            .priors
+            .iter()
+            .map(|&p| ((p + 1.0) / (total_prior + k as f64)).ln())
+            .collect();
+        for (a, model) in self.models.iter().enumerate() {
+            let v = data.value(row, a);
+            if Value::is_missing(v) {
+                continue;
+            }
+            match model {
+                AttrModel::Nominal(table) => {
+                    let vi = Value::as_index(v);
+                    for (c, lp) in logp.iter_mut().enumerate() {
+                        let row_counts = &table[c];
+                        if vi >= row_counts.len() {
+                            continue;
+                        }
+                        let total: f64 = row_counts.iter().sum();
+                        let p = (row_counts[vi] + 1.0) / (total + row_counts.len() as f64);
+                        *lp += p.ln();
+                    }
+                }
+                AttrModel::Gaussian(acc) => {
+                    for (c, lp) in logp.iter_mut().enumerate() {
+                        let (sum, sumsq, n) = acc[c];
+                        let (mean, sd) = if n > 0.0 {
+                            let mean = sum / n;
+                            let var = (sumsq / n - mean * mean).max(0.0);
+                            (mean, var.sqrt().max(MIN_STDDEV))
+                        } else {
+                            (0.0, MIN_STDDEV)
+                        };
+                        let z = (v - mean) / sd;
+                        *lp += -0.5 * z * z - sd.ln();
+                    }
+                }
+                AttrModel::Skip => {}
+            }
+        }
+        let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut dist: Vec<f64> = logp.iter().map(|&lp| (lp - max).exp()).collect();
+        normalize(&mut dist);
+        Ok(dist)
+    }
+
+    fn describe(&self) -> String {
+        if !self.trained {
+            return "NaiveBayes: not trained".to_string();
+        }
+        let mut out = String::from("Naive Bayes classifier (incremental)\n");
+        out.push_str(&format!(
+            "Observed weight: {}; class priors: {:?}\n",
+            self.observed_weight(),
+            self.priors
+        ));
+        for (a, m) in self.models.iter().enumerate() {
+            match m {
+                AttrModel::Nominal(t) => {
+                    out.push_str(&format!("attr #{a}: nominal, {} classes\n", t.len()))
+                }
+                AttrModel::Gaussian(acc) => {
+                    out.push_str(&format!("attr #{a}: gaussian accumulators {acc:?}\n"))
+                }
+                AttrModel::Skip => {}
+            }
+        }
+        out
+    }
+}
+
+impl Configurable for NaiveBayes {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![OptionDescriptor {
+            flag: "-D",
+            name: "useSupervisedDiscretization",
+            description: "discretize numeric attributes before training (recognised, off by default)",
+            default: "false".into(),
+            kind: OptionKind::Flag,
+        }]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        self.use_supervised_discretization = value == "true";
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-D" => Ok(self.use_supervised_discretization.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for NaiveBayes {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_bool(self.trained);
+        if self.trained {
+            w.put_usize(self.class_index);
+            w.put_f64_slice(&self.priors);
+            w.put_usize(self.models.len());
+            for m in &self.models {
+                match m {
+                    AttrModel::Skip => w.put_u64(0),
+                    AttrModel::Nominal(t) => {
+                        w.put_u64(1);
+                        w.put_usize(t.len());
+                        for row in t {
+                            w.put_f64_slice(row);
+                        }
+                    }
+                    AttrModel::Gaussian(acc) => {
+                        w.put_u64(2);
+                        w.put_usize(acc.len());
+                        for (sum, sumsq, n) in acc {
+                            w.put_f64(*sum);
+                            w.put_f64(*sumsq);
+                            w.put_f64(*n);
+                        }
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.trained = r.get_bool()?;
+        if self.trained {
+            self.class_index = r.get_usize()?;
+            self.priors = r.get_f64_vec()?;
+            let n = r.get_usize()?;
+            if n > 1 << 20 {
+                return Err(AlgoError::BadState("absurd attribute count".into()));
+            }
+            let mut models = Vec::with_capacity(n);
+            for _ in 0..n {
+                models.push(match r.get_u64()? {
+                    0 => AttrModel::Skip,
+                    1 => {
+                        let rows = r.get_usize()?;
+                        if rows > 1 << 16 {
+                            return Err(AlgoError::BadState("absurd class count".into()));
+                        }
+                        let mut t = Vec::with_capacity(rows);
+                        for _ in 0..rows {
+                            t.push(r.get_f64_vec()?);
+                        }
+                        AttrModel::Nominal(t)
+                    }
+                    2 => {
+                        let len = r.get_usize()?;
+                        if len > 1 << 16 {
+                            return Err(AlgoError::BadState("absurd class count".into()));
+                        }
+                        let mut acc = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            acc.push((r.get_f64()?, r.get_f64()?, r.get_f64()?));
+                        }
+                        AttrModel::Gaussian(acc)
+                    }
+                    tag => return Err(AlgoError::BadState(format!("bad model tag {tag}"))),
+                });
+            }
+            self.models = models;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{
+        resubstitution_accuracy, separable_numeric, weather_nominal, weather_numeric,
+    };
+    use super::*;
+
+    #[test]
+    fn learns_weather_nominal() {
+        let ds = weather_nominal();
+        let mut nb = NaiveBayes::new();
+        nb.train(&ds).unwrap();
+        let acc = resubstitution_accuracy(&nb, &ds);
+        assert!(acc >= 12.0 / 14.0, "accuracy {acc}");
+        let d = nb.distribution(&ds, 0).unwrap();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_handles_numeric() {
+        let ds = weather_numeric();
+        let mut nb = NaiveBayes::new();
+        nb.train(&ds).unwrap();
+        assert!(resubstitution_accuracy(&nb, &ds) >= 0.7);
+    }
+
+    #[test]
+    fn separable_data_is_perfect() {
+        let ds = separable_numeric(50);
+        let mut nb = NaiveBayes::new();
+        nb.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&nb, &ds), 1.0);
+    }
+
+    #[test]
+    fn missing_attribute_values_skipped() {
+        let mut ds = weather_nominal();
+        ds.set_value(0, 0, f64::NAN);
+        let mut nb = NaiveBayes::new();
+        nb.train(&ds).unwrap();
+        let d = nb.distribution(&ds, 0).unwrap();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        // Streaming the data in chunks must give the exact batch model.
+        let ds = weather_numeric();
+        let mut batch = NaiveBayes::new();
+        batch.train(&ds).unwrap();
+
+        let first = ds.select_rows(&(0..5).collect::<Vec<_>>());
+        let second = ds.select_rows(&(5..14).collect::<Vec<_>>());
+        let mut incremental = NaiveBayes::new();
+        incremental.train(&first).unwrap();
+        incremental.partial_train(&second).unwrap();
+
+        for r in 0..ds.num_instances() {
+            let a = batch.distribution(&ds, r).unwrap();
+            let b = incremental.distribution(&ds, r).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        assert_eq!(incremental.observed_weight(), 14.0);
+    }
+
+    #[test]
+    fn record_batch_streaming_consumer() {
+        // The full streaming path: chunk → update_batch per chunk.
+        let ds = dm_data::corpus::breast_cancer();
+        let mut batch_model = NaiveBayes::new();
+        batch_model.train(&ds).unwrap();
+
+        let header = ds.header_clone();
+        let mut streaming = NaiveBayes::new();
+        // Initialise the statistics from the empty header... an empty
+        // dataset cannot initialise (check_trainable rejects it), so
+        // seed with the first chunk as a Dataset, then stream the rest.
+        let chunks = dm_data::stream::chunk_dataset(&ds, 64).unwrap();
+        let mut seed = header.clone();
+        for i in 0..chunks[0].num_rows() {
+            seed.push_row(chunks[0].row(i).to_vec()).unwrap();
+        }
+        streaming.train(&seed).unwrap();
+        for chunk in &chunks[1..] {
+            streaming.update_batch(chunk).unwrap();
+        }
+
+        assert_eq!(streaming.observed_weight(), 286.0);
+        for r in 0..20 {
+            assert_eq!(
+                batch_model.predict(&ds, r).unwrap(),
+                streaming.predict(&ds, r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn update_batch_requires_training_and_arity() {
+        let mut nb = NaiveBayes::new();
+        let batch = RecordBatch { width: 3, rows: vec![0.0; 6] };
+        assert!(matches!(nb.update_batch(&batch), Err(AlgoError::NotTrained)));
+        let ds = weather_nominal();
+        nb.train(&ds).unwrap();
+        assert!(nb.update_batch(&batch).is_err()); // width 3 != 5
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_predictions() {
+        let ds = weather_numeric();
+        let mut nb = NaiveBayes::new();
+        nb.train(&ds).unwrap();
+        let mut nb2 = NaiveBayes::new();
+        nb2.decode_state(&nb.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            let a = nb.distribution(&ds, r).unwrap();
+            let b = nb2.distribution(&ds, r).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        // And the restored model keeps learning incrementally.
+        nb2.partial_train(&ds).unwrap();
+        assert_eq!(nb2.observed_weight(), 28.0);
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        assert!(NaiveBayes::new().distribution(&ds, 0).is_err());
+    }
+
+    #[test]
+    fn corrupted_state_rejected() {
+        let mut nb = NaiveBayes::new();
+        assert!(nb.decode_state(&[1, 2, 3]).is_err());
+    }
+}

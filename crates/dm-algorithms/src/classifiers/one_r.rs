@@ -1,0 +1,377 @@
+//! OneR (Holte 1993): a one-attribute rule. For each attribute, build
+//! the rule that maps each of its values to that value's majority class,
+//! then keep the attribute whose rule makes the fewest training errors.
+//! Numeric attributes are bucketed with OneR's minimum-bucket heuristic.
+
+use super::{check_trainable, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+
+/// The rule learned for one attribute value bucket.
+#[derive(Debug, Clone, PartialEq)]
+struct Bucket {
+    /// Inclusive numeric upper bound (`f64::INFINITY` for the last
+    /// bucket); unused for nominal attributes.
+    upper: f64,
+    /// Predicted class index.
+    class: usize,
+}
+
+/// The OneR classifier.
+#[derive(Debug, Clone)]
+pub struct OneR {
+    /// `-B`: minimum instances per numeric bucket.
+    min_bucket: usize,
+    attr: Option<usize>,
+    attr_name: String,
+    nominal_rule: Vec<usize>,
+    numeric_rule: Vec<Bucket>,
+    default_class: usize,
+    num_classes: usize,
+    is_nominal: bool,
+}
+
+impl Default for OneR {
+    fn default() -> Self {
+        OneR {
+            min_bucket: 6,
+            attr: None,
+            attr_name: String::new(),
+            nominal_rule: Vec::new(),
+            numeric_rule: Vec::new(),
+            default_class: 0,
+            num_classes: 0,
+            is_nominal: true,
+        }
+    }
+}
+
+impl OneR {
+    /// Create with WEKA defaults (`-B 6`).
+    pub fn new() -> OneR {
+        OneR::default()
+    }
+
+    /// Evaluate a nominal attribute: returns (errors, value→class rule).
+    fn eval_nominal(data: &Dataset, a: usize, ci: usize, k: usize) -> (f64, Vec<usize>) {
+        let arity = data.attributes()[a].num_labels();
+        let mut table = vec![vec![0.0f64; k]; arity];
+        let mut missing_class = vec![0.0f64; k];
+        for r in 0..data.num_instances() {
+            let v = data.value(r, a);
+            let c = data.value(r, ci);
+            if Value::is_missing(c) {
+                continue;
+            }
+            let c = Value::as_index(c);
+            if Value::is_missing(v) {
+                missing_class[c] += data.weight(r);
+            } else {
+                table[Value::as_index(v)][c] += data.weight(r);
+            }
+        }
+        let mut errors = 0.0;
+        let mut rule = Vec::with_capacity(arity);
+        for counts in &table {
+            let best = super::argmax(counts).unwrap_or(0);
+            rule.push(best);
+            errors += counts.iter().sum::<f64>() - counts[best];
+        }
+        // Missing values are treated as errors unless they match the
+        // overall majority (simplification of WEKA's missing bucket).
+        let mbest = super::argmax(&missing_class).unwrap_or(0);
+        errors += missing_class.iter().sum::<f64>() - missing_class[mbest];
+        (errors, rule)
+    }
+
+    /// Evaluate a numeric attribute: returns (errors, bucket rule).
+    fn eval_numeric(
+        data: &Dataset,
+        a: usize,
+        ci: usize,
+        k: usize,
+        min_bucket: usize,
+    ) -> (f64, Vec<Bucket>) {
+        let mut pairs: Vec<(f64, usize, f64)> = Vec::new(); // (value, class, weight)
+        let mut missing_errors = 0.0;
+        let mut missing_class = vec![0.0f64; k];
+        for r in 0..data.num_instances() {
+            let v = data.value(r, a);
+            let c = data.value(r, ci);
+            if Value::is_missing(c) {
+                continue;
+            }
+            let c = Value::as_index(c);
+            if Value::is_missing(v) {
+                missing_class[c] += data.weight(r);
+            } else {
+                pairs.push((v, c, data.weight(r)));
+            }
+        }
+        let mbest = super::argmax(&missing_class).unwrap_or(0);
+        missing_errors += missing_class.iter().sum::<f64>() - missing_class[mbest];
+
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaN"));
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut errors = 0.0;
+        let mut i = 0;
+        while i < pairs.len() {
+            // Grow a bucket until it has >= min_bucket of a majority
+            // class and the next value differs (no split mid-value).
+            let mut counts = vec![0.0f64; k];
+            let mut j = i;
+            loop {
+                if j >= pairs.len() {
+                    break;
+                }
+                counts[pairs[j].1] += pairs[j].2;
+                j += 1;
+                let max = counts.iter().cloned().fold(0.0, f64::max);
+                if max >= min_bucket as f64
+                    && (j >= pairs.len() || pairs[j].0 != pairs[j - 1].0)
+                {
+                    break;
+                }
+            }
+            let best = super::argmax(&counts).unwrap_or(0);
+            errors += counts.iter().sum::<f64>() - counts[best];
+            let upper = if j >= pairs.len() {
+                f64::INFINITY
+            } else {
+                (pairs[j - 1].0 + pairs[j].0) / 2.0
+            };
+            // Merge with the previous bucket when it predicts the same
+            // class (keeps the rule minimal).
+            if let Some(last) = buckets.last_mut() {
+                if last.class == best {
+                    last.upper = upper;
+                } else {
+                    buckets.push(Bucket { upper, class: best });
+                }
+            } else {
+                buckets.push(Bucket { upper, class: best });
+            }
+            i = j;
+        }
+        (errors + missing_errors, buckets)
+    }
+}
+
+impl Classifier for OneR {
+    fn name(&self) -> &'static str {
+        "OneR"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        self.num_classes = k;
+        let counts = data.class_counts()?;
+        self.default_class = super::argmax(&counts).expect("k >= 2");
+
+        let mut best: Option<(f64, usize)> = None;
+        for a in 0..data.num_attributes() {
+            if a == ci {
+                continue;
+            }
+            let errors = if data.attributes()[a].is_nominal() {
+                Self::eval_nominal(data, a, ci, k).0
+            } else if data.attributes()[a].is_numeric() {
+                Self::eval_numeric(data, a, ci, k, self.min_bucket).0
+            } else {
+                continue;
+            };
+            if best.is_none_or(|(e, _)| errors < e) {
+                best = Some((errors, a));
+            }
+        }
+        let (_, a) = best.ok_or_else(|| {
+            AlgoError::Unsupported("OneR needs at least one non-class attribute".into())
+        })?;
+        self.attr = Some(a);
+        self.attr_name = data.attributes()[a].name().to_string();
+        self.is_nominal = data.attributes()[a].is_nominal();
+        if self.is_nominal {
+            self.nominal_rule = Self::eval_nominal(data, a, ci, k).1;
+            self.numeric_rule.clear();
+        } else {
+            self.numeric_rule = Self::eval_numeric(data, a, ci, k, self.min_bucket).1;
+            self.nominal_rule.clear();
+        }
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        let a = self.attr.ok_or(AlgoError::NotTrained)?;
+        let mut dist = vec![0.0; self.num_classes];
+        let v = data.value(row, a);
+        let class = if Value::is_missing(v) {
+            self.default_class
+        } else if self.is_nominal {
+            self.nominal_rule.get(Value::as_index(v)).copied().unwrap_or(self.default_class)
+        } else {
+            self.numeric_rule
+                .iter()
+                .find(|b| v <= b.upper)
+                .map(|b| b.class)
+                .unwrap_or(self.default_class)
+        };
+        dist[class] = 1.0;
+        Ok(dist)
+    }
+
+    fn describe(&self) -> String {
+        match self.attr {
+            None => "OneR: not trained".to_string(),
+            Some(_) => {
+                let mut out = format!("{}:\n", self.attr_name);
+                if self.is_nominal {
+                    for (v, c) in self.nominal_rule.iter().enumerate() {
+                        out.push_str(&format!("\tvalue #{v} -> class #{c}\n"));
+                    }
+                } else {
+                    for b in &self.numeric_rule {
+                        out.push_str(&format!("\t<= {} -> class #{}\n", b.upper, b.class));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl Configurable for OneR {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![OptionDescriptor {
+            flag: "-B",
+            name: "minBucketSize",
+            description: "minimum instances per bucket for numeric attributes",
+            default: "6".into(),
+            kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+        }]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-B" => self.min_bucket = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-B" => Ok(self.min_bucket.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for OneR {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.min_bucket);
+        w.put_bool(self.attr.is_some());
+        if let Some(a) = self.attr {
+            w.put_usize(a);
+            w.put_str(&self.attr_name);
+            w.put_bool(self.is_nominal);
+            w.put_usize_slice(&self.nominal_rule);
+            w.put_usize(self.numeric_rule.len());
+            for b in &self.numeric_rule {
+                w.put_f64(b.upper);
+                w.put_usize(b.class);
+            }
+            w.put_usize(self.default_class);
+            w.put_usize(self.num_classes);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.min_bucket = r.get_usize()?;
+        if r.get_bool()? {
+            self.attr = Some(r.get_usize()?);
+            self.attr_name = r.get_str()?;
+            self.is_nominal = r.get_bool()?;
+            self.nominal_rule = r.get_usize_vec()?;
+            let n = r.get_usize()?;
+            self.numeric_rule = (0..n)
+                .map(|_| -> Result<Bucket> {
+                    Ok(Bucket { upper: r.get_f64()?, class: r.get_usize()? })
+                })
+                .collect::<Result<_>>()?;
+            self.default_class = r.get_usize()?;
+            self.num_classes = r.get_usize()?;
+        } else {
+            self.attr = None;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{resubstitution_accuracy, weather_nominal, weather_numeric};
+    use super::*;
+
+    #[test]
+    fn weather_rule_is_outlook() {
+        // Known OneR result on play-tennis: outlook, 10/14 correct.
+        let ds = weather_nominal();
+        let mut c = OneR::new();
+        c.train(&ds).unwrap();
+        assert_eq!(c.attr_name, "outlook");
+        let acc = resubstitution_accuracy(&c, &ds);
+        assert!((acc - 10.0 / 14.0).abs() < 1e-12, "accuracy {acc}");
+    }
+
+    #[test]
+    fn numeric_attributes_bucketed() {
+        let ds = weather_numeric();
+        let mut c = OneR::new();
+        c.set_option("-B", "3").unwrap();
+        c.train(&ds).unwrap();
+        let acc = resubstitution_accuracy(&c, &ds);
+        assert!(acc >= 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rule_beats_prior_on_separable_data() {
+        let ds = super::super::test_support::separable_numeric(30);
+        let mut c = OneR::new();
+        c.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&c, &ds), 1.0);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = weather_nominal();
+        let mut c = OneR::new();
+        c.train(&ds).unwrap();
+        let mut c2 = OneR::new();
+        c2.decode_state(&c.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(c.predict(&ds, r).unwrap(), c2.predict(&ds, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn options_validated() {
+        let mut c = OneR::new();
+        assert!(c.set_option("-B", "0").is_err());
+        assert!(c.set_option("-B", "abc").is_err());
+        c.set_option("-B", "3").unwrap();
+        assert_eq!(c.get_option("-B").unwrap(), "3");
+    }
+
+    #[test]
+    fn untrained_distribution_errors() {
+        let ds = weather_nominal();
+        assert!(OneR::new().distribution(&ds, 0).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! PRISM (Cendrowska 1987): a covering rule learner for nominal data.
+//! For each class, repeatedly build a maximally precise conjunctive rule
+//! and remove the instances it covers, until the class is covered.
+
+use super::{check_trainable, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{Configurable, OptionDescriptor};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+
+/// One `attr = value` condition.
+#[derive(Debug, Clone, PartialEq)]
+struct Condition {
+    attr: usize,
+    value: usize,
+}
+
+/// A conjunctive rule predicting `class`.
+#[derive(Debug, Clone, PartialEq)]
+struct Rule {
+    class: usize,
+    conditions: Vec<Condition>,
+}
+
+impl Rule {
+    fn covers(&self, data: &Dataset, row: usize) -> bool {
+        self.conditions.iter().all(|c| {
+            let v = data.value(row, c.attr);
+            !Value::is_missing(v) && Value::as_index(v) == c.value
+        })
+    }
+}
+
+/// The PRISM rule learner. Requires all-nominal attributes without
+/// missing values in the predictive attributes (WEKA's PRISM has the
+/// same restriction); instances with missing values are skipped during
+/// training and fall through to the default class at prediction time.
+#[derive(Debug, Clone, Default)]
+pub struct Prism {
+    rules: Vec<Rule>,
+    default_class: usize,
+    num_classes: usize,
+    attr_names: Vec<String>,
+    trained: bool,
+}
+
+impl Prism {
+    /// Create an untrained PRISM.
+    pub fn new() -> Prism {
+        Prism::default()
+    }
+
+    /// Number of learned rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+impl Classifier for Prism {
+    fn name(&self) -> &'static str {
+        "Prism"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        for a in 0..data.num_attributes() {
+            if a != ci && !data.attributes()[a].is_nominal() {
+                return Err(AlgoError::Unsupported(
+                    "Prism requires nominal attributes (discretize first)".into(),
+                ));
+            }
+        }
+        self.attr_names =
+            data.attributes().iter().map(|a| a.name().to_string()).collect();
+        self.num_classes = k;
+        let counts = data.class_counts()?;
+        self.default_class = super::argmax(&counts).expect("k >= 2");
+        self.rules.clear();
+
+        // Usable training rows: complete in all predictive attributes.
+        let complete: Vec<usize> = (0..data.num_instances())
+            .filter(|&r| {
+                (0..data.num_attributes()).all(|a| !Value::is_missing(data.value(r, a)))
+            })
+            .collect();
+
+        for class in 0..k {
+            // PRISM builds each rule against the instances not yet
+            // covered by this class's earlier rules (Cendrowska's E).
+            let mut remaining: Vec<usize> = complete.clone();
+            let mut uncovered: Vec<usize> = complete
+                .iter()
+                .copied()
+                .filter(|&r| Value::as_index(data.value(r, ci)) == class)
+                .collect();
+            let mut guard = 0usize;
+            while !uncovered.is_empty() && guard < 10_000 {
+                guard += 1;
+                // Build one rule against the remaining set.
+                let mut pool: Vec<usize> = remaining.clone();
+                let mut conditions: Vec<Condition> = Vec::new();
+                loop {
+                    // Is the rule already perfect?
+                    let positives = pool
+                        .iter()
+                        .filter(|&&r| Value::as_index(data.value(r, ci)) == class)
+                        .count();
+                    if positives == pool.len() || conditions.len() >= data.num_attributes() - 1 {
+                        break;
+                    }
+                    // Choose the condition with the best precision
+                    // (ties broken by coverage, as in PRISM).
+                    let mut best: Option<(f64, usize, Condition)> = None;
+                    for a in 0..data.num_attributes() {
+                        if a == ci || conditions.iter().any(|c| c.attr == a) {
+                            continue;
+                        }
+                        let arity = data.attributes()[a].num_labels();
+                        for v in 0..arity {
+                            let mut pos = 0usize;
+                            let mut tot = 0usize;
+                            for &r in &pool {
+                                if Value::as_index(data.value(r, a)) == v {
+                                    tot += 1;
+                                    if Value::as_index(data.value(r, ci)) == class {
+                                        pos += 1;
+                                    }
+                                }
+                            }
+                            if tot == 0 {
+                                continue;
+                            }
+                            let p = pos as f64 / tot as f64;
+                            let better = match &best {
+                                None => true,
+                                Some((bp, btot, _)) => {
+                                    p > *bp + 1e-12
+                                        || ((p - *bp).abs() <= 1e-12 && tot > *btot)
+                                }
+                            };
+                            if better {
+                                best = Some((p, tot, Condition { attr: a, value: v }));
+                            }
+                        }
+                    }
+                    match best {
+                        None => break,
+                        Some((_, _, cond)) => {
+                            pool.retain(|&r| {
+                                Value::as_index(data.value(r, cond.attr)) == cond.value
+                            });
+                            conditions.push(cond);
+                        }
+                    }
+                }
+                if conditions.is_empty() {
+                    break; // cannot refine further; avoid an empty rule
+                }
+                let rule = Rule { class, conditions };
+                let before = uncovered.len();
+                uncovered.retain(|&r| !rule.covers(data, r));
+                if uncovered.len() == before {
+                    break; // rule made no progress
+                }
+                remaining.retain(|&r| !rule.covers(data, r));
+                self.rules.push(rule);
+            }
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        if !self.trained {
+            return Err(AlgoError::NotTrained);
+        }
+        let mut dist = vec![0.0; self.num_classes];
+        let class = self
+            .rules
+            .iter()
+            .find(|r| r.covers(data, row))
+            .map(|r| r.class)
+            .unwrap_or(self.default_class);
+        dist[class] = 1.0;
+        Ok(dist)
+    }
+
+    fn describe(&self) -> String {
+        if !self.trained {
+            return "Prism: not trained".to_string();
+        }
+        let mut out = String::from("Prism rules\n----------\n");
+        for r in &self.rules {
+            let conds: Vec<String> = r
+                .conditions
+                .iter()
+                .map(|c| format!("{} = #{}", self.attr_names[c.attr], c.value))
+                .collect();
+            out.push_str(&format!("If {} then class #{}\n", conds.join(" and "), r.class));
+        }
+        out.push_str(&format!("Otherwise class #{}\n", self.default_class));
+        out
+    }
+}
+
+impl Configurable for Prism {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        Vec::new()
+    }
+
+    fn set_option(&mut self, flag: &str, _value: &str) -> Result<()> {
+        Err(AlgoError::BadOption { flag: flag.into(), message: "Prism has no options".into() })
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        Err(AlgoError::BadOption { flag: flag.into(), message: "Prism has no options".into() })
+    }
+}
+
+impl Stateful for Prism {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_bool(self.trained);
+        if self.trained {
+            w.put_usize(self.num_classes);
+            w.put_usize(self.default_class);
+            w.put_usize(self.attr_names.len());
+            for n in &self.attr_names {
+                w.put_str(n);
+            }
+            w.put_usize(self.rules.len());
+            for r in &self.rules {
+                w.put_usize(r.class);
+                w.put_usize(r.conditions.len());
+                for c in &r.conditions {
+                    w.put_usize(c.attr);
+                    w.put_usize(c.value);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.trained = r.get_bool()?;
+        if self.trained {
+            self.num_classes = r.get_usize()?;
+            self.default_class = r.get_usize()?;
+            let n = r.get_usize()?;
+            if n > 1 << 20 {
+                return Err(AlgoError::BadState("absurd name count".into()));
+            }
+            self.attr_names = (0..n).map(|_| r.get_str()).collect::<Result<_>>()?;
+            let nr = r.get_usize()?;
+            if nr > 1 << 20 {
+                return Err(AlgoError::BadState("absurd rule count".into()));
+            }
+            self.rules = (0..nr)
+                .map(|_| -> Result<Rule> {
+                    let class = r.get_usize()?;
+                    let nc = r.get_usize()?;
+                    if nc > 1 << 16 {
+                        return Err(AlgoError::BadState("absurd condition count".into()));
+                    }
+                    let conditions = (0..nc)
+                        .map(|_| -> Result<Condition> {
+                            Ok(Condition { attr: r.get_usize()?, value: r.get_usize()? })
+                        })
+                        .collect::<Result<_>>()?;
+                    Ok(Rule { class, conditions })
+                })
+                .collect::<Result<_>>()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{resubstitution_accuracy, weather_nominal};
+    use super::*;
+
+    #[test]
+    fn covers_weather_perfectly() {
+        // Play-tennis is noise-free; PRISM should reach 100% resub.
+        let ds = weather_nominal();
+        let mut p = Prism::new();
+        p.train(&ds).unwrap();
+        assert_eq!(resubstitution_accuracy(&p, &ds), 1.0);
+        assert!(p.num_rules() >= 2);
+    }
+
+    #[test]
+    fn rejects_numeric_attributes() {
+        let ds = super::super::test_support::weather_numeric();
+        let mut p = Prism::new();
+        assert!(matches!(p.train(&ds), Err(AlgoError::Unsupported(_))));
+    }
+
+    #[test]
+    fn describe_lists_rules() {
+        let ds = weather_nominal();
+        let mut p = Prism::new();
+        p.train(&ds).unwrap();
+        let text = p.describe();
+        assert!(text.contains("If "));
+        assert!(text.contains("Otherwise"));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = weather_nominal();
+        let mut p = Prism::new();
+        p.train(&ds).unwrap();
+        let mut p2 = Prism::new();
+        p2.decode_state(&p.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(p.predict(&ds, r).unwrap(), p2.predict(&ds, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn missing_values_fall_to_default() {
+        let mut ds = weather_nominal();
+        let mut p = Prism::new();
+        p.train(&ds).unwrap();
+        for a in 0..4 {
+            ds.set_value(0, a, f64::NAN);
+        }
+        let c = p.predict(&ds, 0).unwrap();
+        assert_eq!(c, 0); // majority class: yes
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        assert!(Prism::new().distribution(&ds, 0).is_err());
+    }
+}

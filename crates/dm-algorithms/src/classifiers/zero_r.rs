@@ -1,0 +1,135 @@
+//! ZeroR: predicts the training-set class prior, ignoring attributes.
+//! The baseline every other classifier must beat.
+
+use super::{check_trainable, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{Configurable, OptionDescriptor};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::Dataset;
+
+/// The majority-class / prior-distribution baseline.
+#[derive(Debug, Clone, Default)]
+pub struct ZeroR {
+    prior: Option<Vec<f64>>,
+    class_name: String,
+    majority_label: String,
+}
+
+impl ZeroR {
+    /// Create an untrained ZeroR.
+    pub fn new() -> ZeroR {
+        ZeroR::default()
+    }
+}
+
+impl Classifier for ZeroR {
+    fn name(&self) -> &'static str {
+        "ZeroR"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        check_trainable(data)?;
+        let mut counts = data.class_counts()?;
+        let best = super::argmax(&counts).expect("k >= 2");
+        let attr = data.class_attribute()?;
+        self.class_name = attr.name().to_string();
+        self.majority_label = attr.label(best)?.to_string();
+        normalize(&mut counts);
+        self.prior = Some(counts);
+        Ok(())
+    }
+
+    fn distribution(&self, _data: &Dataset, _row: usize) -> Result<Vec<f64>> {
+        self.prior.clone().ok_or(AlgoError::NotTrained)
+    }
+
+    fn describe(&self) -> String {
+        match &self.prior {
+            None => "ZeroR: not trained".to_string(),
+            Some(_) => format!("ZeroR predicts class value: {}", self.majority_label),
+        }
+    }
+}
+
+impl Configurable for ZeroR {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        Vec::new()
+    }
+
+    fn set_option(&mut self, flag: &str, _value: &str) -> Result<()> {
+        Err(AlgoError::BadOption { flag: flag.to_string(), message: "ZeroR has no options".into() })
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        Err(AlgoError::BadOption { flag: flag.to_string(), message: "ZeroR has no options".into() })
+    }
+}
+
+impl Stateful for ZeroR {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_bool(self.prior.is_some());
+        if let Some(p) = &self.prior {
+            w.put_f64_slice(p);
+            w.put_str(&self.class_name);
+            w.put_str(&self.majority_label);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        if r.get_bool()? {
+            self.prior = Some(r.get_f64_vec()?);
+            self.class_name = r.get_str()?;
+            self.majority_label = r.get_str()?;
+        } else {
+            self.prior = None;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::weather_nominal;
+    use super::*;
+
+    #[test]
+    fn predicts_prior() {
+        let ds = weather_nominal();
+        let mut z = ZeroR::new();
+        z.train(&ds).unwrap();
+        let d = z.distribution(&ds, 0).unwrap();
+        assert!((d[0] - 9.0 / 14.0).abs() < 1e-12);
+        assert!((d[1] - 5.0 / 14.0).abs() < 1e-12);
+        assert_eq!(z.predict(&ds, 0).unwrap(), 0);
+        assert!(z.describe().contains("yes"));
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        let z = ZeroR::new();
+        assert!(matches!(z.distribution(&ds, 0), Err(AlgoError::NotTrained)));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = weather_nominal();
+        let mut z = ZeroR::new();
+        z.train(&ds).unwrap();
+        let bytes = z.encode_state();
+        let mut z2 = ZeroR::new();
+        z2.decode_state(&bytes).unwrap();
+        assert_eq!(z.distribution(&ds, 0).unwrap(), z2.distribution(&ds, 0).unwrap());
+        assert_eq!(z.describe(), z2.describe());
+    }
+
+    #[test]
+    fn no_options() {
+        let mut z = ZeroR::new();
+        assert!(z.option_descriptors().is_empty());
+        assert!(z.set_option("-X", "1").is_err());
+    }
+}

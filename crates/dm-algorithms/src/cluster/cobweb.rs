@@ -1,0 +1,558 @@
+//! Cobweb (Fisher 1987) incremental conceptual clustering — the
+//! clustering Web Service worked through in §4.1 of the paper (`cluster`
+//! and `getCobwebGraph` operations). Numeric attributes are handled the
+//! CLASSIT way (Gennari et al. 1989) with an acuity floor on the
+//! standard deviation.
+//!
+//! Each instance is inserted incrementally: at every tree node the
+//! algorithm evaluates (a) adding the instance to each existing child
+//! and (b) creating a new child, and follows the option with the best
+//! category utility. A `cutoff` suppresses child creation when the
+//! utility gain is negligible (WEKA's `-C`). The merge/split operators
+//! of the full algorithm are not implemented; this affects order
+//! sensitivity but not the service contract (documented divergence).
+
+use super::{check_clusterable, Clusterer};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use crate::tree::TreeModel;
+use dm_data::{Dataset, Value};
+
+/// Sufficient statistics for one concept node.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Stats {
+    n: f64,
+    /// `nominal[a][v]` — count of value `v` for nominal attribute `a`
+    /// (empty vec for non-nominal attributes).
+    nominal: Vec<Vec<f64>>,
+    /// `(sum, sumsq, count)` per numeric attribute (zeros otherwise).
+    numeric: Vec<(f64, f64, f64)>,
+}
+
+impl Stats {
+    fn new(arities: &[usize]) -> Stats {
+        Stats {
+            n: 0.0,
+            nominal: arities.iter().map(|&k| vec![0.0; k]).collect(),
+            numeric: vec![(0.0, 0.0, 0.0); arities.len()],
+        }
+    }
+
+    fn add(&mut self, data: &Dataset, row: usize, skip: &[bool]) {
+        self.n += 1.0;
+        for a in 0..self.nominal.len() {
+            if skip[a] {
+                continue;
+            }
+            let v = data.value(row, a);
+            if Value::is_missing(v) {
+                continue;
+            }
+            if !self.nominal[a].is_empty() {
+                let i = Value::as_index(v);
+                if i < self.nominal[a].len() {
+                    self.nominal[a][i] += 1.0;
+                }
+            } else {
+                let e = &mut self.numeric[a];
+                e.0 += v;
+                e.1 += v * v;
+                e.2 += 1.0;
+            }
+        }
+    }
+
+    /// Expected-score contribution `Σ_a Σ_v P(a=v|C)²` for nominal
+    /// attributes plus `Σ_a 1/(2√π σ)` for numeric ones.
+    fn expected_score(&self, acuity: f64, skip: &[bool]) -> f64 {
+        if self.n <= 0.0 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for a in 0..self.nominal.len() {
+            if skip[a] {
+                continue;
+            }
+            if !self.nominal[a].is_empty() {
+                for &c in &self.nominal[a] {
+                    let p = c / self.n;
+                    s += p * p;
+                }
+            } else {
+                let (sum, sumsq, count) = self.numeric[a];
+                if count > 0.0 {
+                    let mean = sum / count;
+                    let var = (sumsq / count - mean * mean).max(0.0);
+                    let sd = var.sqrt().max(acuity);
+                    s += 1.0 / (2.0 * std::f64::consts::PI.sqrt() * sd);
+                }
+            }
+        }
+        s
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Concept {
+    stats: Stats,
+    children: Vec<Concept>,
+}
+
+impl Concept {
+    fn leaf(stats: Stats) -> Concept {
+        Concept { stats, children: Vec::new() }
+    }
+
+    fn num_leaves(&self) -> usize {
+        if self.children.is_empty() {
+            1
+        } else {
+            self.children.iter().map(Concept::num_leaves).sum()
+        }
+    }
+}
+
+/// The Cobweb/CLASSIT hierarchical clusterer.
+#[derive(Debug, Clone)]
+pub struct Cobweb {
+    /// `-A`: acuity (minimum numeric standard deviation).
+    acuity: f64,
+    /// `-C`: cutoff (minimum category-utility gain to create a child).
+    cutoff: f64,
+    root: Option<Concept>,
+    arities: Vec<usize>,
+    skip: Vec<bool>,
+    built: bool,
+}
+
+impl Default for Cobweb {
+    fn default() -> Self {
+        Cobweb {
+            acuity: 1.0,
+            // WEKA's default cutoff: 0.01 / (2√π).
+            cutoff: 0.01 / (2.0 * std::f64::consts::PI.sqrt()),
+            root: None,
+            arities: Vec::new(),
+            skip: Vec::new(),
+            built: false,
+        }
+    }
+}
+
+impl Cobweb {
+    /// Create with WEKA defaults (`-A 1.0 -C 0.00282…`).
+    pub fn new() -> Cobweb {
+        Cobweb::default()
+    }
+
+    /// Category utility of a node's child partition.
+    fn category_utility(&self, node: &Concept) -> f64 {
+        if node.children.is_empty() || node.stats.n <= 0.0 {
+            return 0.0;
+        }
+        let parent_score = node.stats.expected_score(self.acuity, &self.skip);
+        let mut cu = 0.0;
+        for c in &node.children {
+            let p = c.stats.n / node.stats.n;
+            cu += p * (c.stats.expected_score(self.acuity, &self.skip) - parent_score);
+        }
+        cu / node.children.len() as f64
+    }
+
+    fn insert(&self, node: &mut Concept, data: &Dataset, row: usize) {
+        if node.children.is_empty() {
+            if node.stats.n > 0.0 {
+                // Splitting the leaf into [old summary, new instance] is
+                // only worthwhile when the partition's category utility
+                // clears the cutoff; otherwise the instance is absorbed
+                // (this is what keeps leaves concept-sized rather than
+                // instance-sized).
+                let old = Concept::leaf(node.stats.clone());
+                let mut fresh = Stats::new(&self.arities);
+                fresh.add(data, row, &self.skip);
+                let mut trial = Concept {
+                    stats: node.stats.clone(),
+                    children: vec![old.clone(), Concept::leaf(fresh.clone())],
+                };
+                trial.stats.add(data, row, &self.skip);
+                if self.category_utility(&trial) > self.cutoff {
+                    node.children.push(old);
+                    node.children.push(Concept::leaf(fresh));
+                }
+            }
+            node.stats.add(data, row, &self.skip);
+            return;
+        }
+
+        node.stats.add(data, row, &self.skip);
+
+        // Evaluate adding to each child.
+        let mut best_child = 0usize;
+        let mut best_cu = f64::NEG_INFINITY;
+        for i in 0..node.children.len() {
+            let mut trial = node.clone();
+            trial.stats = node.stats.clone();
+            trial.children[i].stats.add(data, row, &self.skip);
+            let cu = self.category_utility(&trial);
+            if cu > best_cu {
+                best_cu = cu;
+                best_child = i;
+            }
+        }
+        // Evaluate a brand-new child.
+        let new_cu = {
+            let mut trial = node.clone();
+            let mut fresh = Stats::new(&self.arities);
+            fresh.add(data, row, &self.skip);
+            trial.children.push(Concept::leaf(fresh));
+            self.category_utility(&trial)
+        };
+
+        if new_cu - best_cu > self.cutoff {
+            let mut fresh = Stats::new(&self.arities);
+            fresh.add(data, row, &self.skip);
+            node.children.push(Concept::leaf(fresh));
+        } else {
+            self.insert(&mut node.children[best_child], data, row);
+        }
+    }
+
+    /// Descend to the most probable leaf, returning its index in a
+    /// left-to-right leaf enumeration.
+    fn classify(&self, data: &Dataset, row: usize) -> usize {
+        let mut node = self.root.as_ref().expect("built");
+        let mut leaf_offset = 0usize;
+        loop {
+            if node.children.is_empty() {
+                return leaf_offset;
+            }
+            // Pick the child whose hypothetical CU is best.
+            let mut best_child = 0usize;
+            let mut best_cu = f64::NEG_INFINITY;
+            for i in 0..node.children.len() {
+                let mut trial = node.clone();
+                trial.stats.add(data, row, &self.skip);
+                trial.children[i].stats.add(data, row, &self.skip);
+                let cu = self.category_utility(&trial);
+                if cu > best_cu {
+                    best_cu = cu;
+                    best_child = i;
+                }
+            }
+            for c in &node.children[..best_child] {
+                leaf_offset += c.num_leaves();
+            }
+            node = &node.children[best_child];
+        }
+    }
+
+    fn render(&self, node: &Concept, edge: String, model: &mut TreeModel, next_leaf: &mut usize) -> usize {
+        if node.children.is_empty() {
+            let id = model.add_node(
+                format!("leaf {} [{}]", *next_leaf, node.stats.n),
+                edge,
+                true,
+            );
+            *next_leaf += 1;
+            id
+        } else {
+            let id = model.add_node(format!("node [{}]", node.stats.n), edge, false);
+            for (i, c) in node.children.iter().enumerate() {
+                let cid = self.render(c, format!("child {i}"), model, next_leaf);
+                model.add_child(id, cid);
+            }
+            id
+        }
+    }
+
+    fn encode_concept(c: &Concept, w: &mut StateWriter) {
+        w.put_f64(c.stats.n);
+        w.put_usize(c.stats.nominal.len());
+        for v in &c.stats.nominal {
+            w.put_f64_slice(v);
+        }
+        w.put_usize(c.stats.numeric.len());
+        for (a, b, n) in &c.stats.numeric {
+            w.put_f64(*a);
+            w.put_f64(*b);
+            w.put_f64(*n);
+        }
+        w.put_usize(c.children.len());
+        for child in &c.children {
+            Self::encode_concept(child, w);
+        }
+    }
+
+    fn decode_concept(r: &mut StateReader<'_>, depth: usize) -> Result<Concept> {
+        if depth > 256 {
+            return Err(AlgoError::BadState("concept nesting too deep".into()));
+        }
+        let n = r.get_f64()?;
+        let nn = r.get_usize()?;
+        if nn > 1 << 20 {
+            return Err(AlgoError::BadState("absurd nominal count".into()));
+        }
+        let nominal = (0..nn).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+        let nu = r.get_usize()?;
+        if nu > 1 << 20 {
+            return Err(AlgoError::BadState("absurd numeric count".into()));
+        }
+        let numeric = (0..nu)
+            .map(|_| -> Result<(f64, f64, f64)> {
+                Ok((r.get_f64()?, r.get_f64()?, r.get_f64()?))
+            })
+            .collect::<Result<_>>()?;
+        let nc = r.get_usize()?;
+        if nc > 1 << 16 {
+            return Err(AlgoError::BadState("absurd child count".into()));
+        }
+        let children =
+            (0..nc).map(|_| Self::decode_concept(r, depth + 1)).collect::<Result<_>>()?;
+        Ok(Concept { stats: Stats { n, nominal, numeric }, children })
+    }
+}
+
+impl Clusterer for Cobweb {
+    fn name(&self) -> &'static str {
+        "Cobweb"
+    }
+
+    fn build(&mut self, data: &Dataset) -> Result<()> {
+        check_clusterable(data)?;
+        let class = data.class_index();
+        self.arities = data
+            .attributes()
+            .iter()
+            .map(|a| if a.is_nominal() { a.num_labels() } else { 0 })
+            .collect();
+        self.skip = (0..data.num_attributes())
+            .map(|a| Some(a) == class || data.attributes()[a].is_string())
+            .collect();
+        let mut root = Concept::leaf(Stats::new(&self.arities));
+        // Take the root out of self so `insert` can borrow self immutably.
+        for row in 0..data.num_instances() {
+            self.insert(&mut root, data, row);
+        }
+        self.root = Some(root);
+        self.built = true;
+        Ok(())
+    }
+
+    fn cluster_instance(&self, data: &Dataset, row: usize) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.classify(data, row))
+    }
+
+    fn num_clusters(&self) -> Result<usize> {
+        let root = self.root.as_ref().ok_or(AlgoError::NotTrained)?;
+        Ok(root.num_leaves())
+    }
+
+    fn describe(&self) -> String {
+        match &self.root {
+            None => "Cobweb: not built".to_string(),
+            Some(root) => format!(
+                "Cobweb concept hierarchy: {} leaves over {} instances\n{}",
+                root.num_leaves(),
+                root.stats.n,
+                self.tree_model().expect("built").to_text()
+            ),
+        }
+    }
+
+    fn tree_model(&self) -> Option<TreeModel> {
+        let root = self.root.as_ref()?;
+        let mut model = TreeModel::new();
+        let mut next_leaf = 0usize;
+        self.render(root, String::new(), &mut model, &mut next_leaf);
+        Some(model)
+    }
+}
+
+impl Configurable for Cobweb {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-A",
+                name: "acuity",
+                description: "minimum numeric standard deviation",
+                default: "1.0".into(),
+                kind: OptionKind::Real { min: 1e-9, max: 1e9 },
+            },
+            OptionDescriptor {
+                flag: "-C",
+                name: "cutoff",
+                description: "category-utility gain below which no new concept is created",
+                default: "0.0028209479177387815".into(),
+                kind: OptionKind::Real { min: 0.0, max: 1e9 },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-A" => self.acuity = value.parse().expect("validated"),
+            "-C" => self.cutoff = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-A" => Ok(self.acuity.to_string()),
+            "-C" => Ok(self.cutoff.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for Cobweb {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_f64(self.acuity);
+        w.put_f64(self.cutoff);
+        w.put_bool(self.built);
+        if self.built {
+            w.put_usize_slice(&self.arities);
+            w.put_usize(self.skip.len());
+            for &b in &self.skip {
+                w.put_bool(b);
+            }
+            Self::encode_concept(self.root.as_ref().expect("built"), &mut w);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.acuity = r.get_f64()?;
+        self.cutoff = r.get_f64()?;
+        self.built = r.get_bool()?;
+        if self.built {
+            self.arities = r.get_usize_vec()?;
+            let ns = r.get_usize()?;
+            if ns > 1 << 20 {
+                return Err(AlgoError::BadState("absurd skip count".into()));
+            }
+            self.skip = (0..ns).map(|_| r.get_bool()).collect::<Result<_>>()?;
+            self.root = Some(Self::decode_concept(&mut r, 0)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::three_blobs;
+    use super::*;
+    use dm_data::{Attribute, Dataset};
+
+    fn animals() -> Dataset {
+        // A small nominal dataset with two obvious concepts.
+        let mut ds = Dataset::new(
+            "animals",
+            vec![
+                Attribute::nominal("covering", ["fur", "feathers"]),
+                Attribute::nominal("flies", ["yes", "no"]),
+                Attribute::nominal("legs", ["two", "four"]),
+            ],
+        );
+        for _ in 0..5 {
+            ds.push_labels(&["fur", "no", "four"]).unwrap();
+            ds.push_labels(&["feathers", "yes", "two"]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn separates_two_concepts() {
+        let ds = animals();
+        let mut cw = Cobweb::new();
+        cw.build(&ds).unwrap();
+        assert!(cw.num_clusters().unwrap() >= 2);
+        // Identical instances must land in the same leaf, and the two
+        // concept kinds in different leaves.
+        let a = cw.cluster_instance(&ds, 0).unwrap();
+        let b = cw.cluster_instance(&ds, 2).unwrap();
+        let c = cw.cluster_instance(&ds, 1).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn numeric_blobs_with_acuity() {
+        let ds = three_blobs();
+        let mut cw = Cobweb::new();
+        cw.set_option("-A", "0.3").unwrap();
+        cw.build(&ds).unwrap();
+        assert!(cw.num_clusters().unwrap() >= 2);
+        // Points from the same tight blob should co-cluster.
+        let ci = ds.class_index().unwrap();
+        let (mut same, mut pairs) = (0, 0);
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                if ds.value(i, ci) == ds.value(j, ci) {
+                    pairs += 1;
+                    if cw.cluster_instance(&ds, i).unwrap() == cw.cluster_instance(&ds, j).unwrap()
+                    {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        assert!(same as f64 / pairs as f64 > 0.6, "co-clustering {same}/{pairs}");
+    }
+
+    #[test]
+    fn graph_output_is_a_tree() {
+        let ds = animals();
+        let mut cw = Cobweb::new();
+        cw.build(&ds).unwrap();
+        let t = cw.tree_model().unwrap();
+        assert!(t.num_leaves() >= 2);
+        assert!(t.depth() >= 2);
+        assert!(t.to_text().contains("leaf"));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = animals();
+        let mut cw = Cobweb::new();
+        cw.build(&ds).unwrap();
+        let mut cw2 = Cobweb::new();
+        cw2.decode_state(&cw.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(
+                cw.cluster_instance(&ds, r).unwrap(),
+                cw2.cluster_instance(&ds, r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn unbuilt_errors() {
+        let ds = animals();
+        assert!(Cobweb::new().cluster_instance(&ds, 0).is_err());
+        assert!(Cobweb::new().num_clusters().is_err());
+        assert!(Cobweb::new().tree_model().is_none());
+    }
+
+    #[test]
+    fn higher_cutoff_fewer_clusters() {
+        let ds = three_blobs();
+        let mut fine = Cobweb::new();
+        fine.set_option("-A", "0.3").unwrap();
+        fine.build(&ds).unwrap();
+        let mut coarse = Cobweb::new();
+        coarse.set_option("-A", "0.3").unwrap();
+        coarse.set_option("-C", "0.5").unwrap();
+        coarse.build(&ds).unwrap();
+        assert!(coarse.num_clusters().unwrap() <= fine.num_clusters().unwrap());
+    }
+}

@@ -1,0 +1,429 @@
+//! EM: expectation–maximisation over a diagonal Gaussian mixture for
+//! numeric attributes and per-cluster multinomials (Laplace-smoothed)
+//! for nominal attributes — WEKA's `EM` with a fixed cluster count.
+
+use super::{check_clusterable, Clusterer, DistanceSpace, KMeans};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+
+/// Per-cluster, per-attribute model.
+#[derive(Debug, Clone, PartialEq)]
+enum AttrModel {
+    Gaussian { mean: f64, sd: f64 },
+    Multinomial(Vec<f64>),
+    Skip,
+}
+
+const MIN_SD: f64 = 1e-3;
+
+/// The EM mixture clusterer.
+#[derive(Debug, Clone)]
+pub struct EM {
+    /// `-N`: number of mixture components.
+    k: usize,
+    /// `-I`: EM iterations.
+    iterations: usize,
+    /// `-S`: seed (used by the k-means initialisation).
+    seed: u64,
+    weights: Vec<f64>,
+    models: Vec<Vec<AttrModel>>,
+    space: DistanceSpace,
+    log_likelihood: f64,
+    built: bool,
+}
+
+impl Default for EM {
+    fn default() -> Self {
+        EM {
+            k: 2,
+            iterations: 20,
+            seed: 100,
+            weights: Vec::new(),
+            models: Vec::new(),
+            space: DistanceSpace::default(),
+            log_likelihood: f64::NEG_INFINITY,
+            built: false,
+        }
+    }
+}
+
+impl EM {
+    /// Create with defaults (2 components).
+    pub fn new() -> EM {
+        EM::default()
+    }
+
+    /// Create with an explicit component count.
+    pub fn with_k(k: usize) -> EM {
+        EM { k: k.max(1), ..EM::default() }
+    }
+
+    /// Final training log-likelihood.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    fn log_density(&self, data: &Dataset, row: usize, c: usize) -> f64 {
+        let mut lp = self.weights[c].max(1e-12).ln();
+        for (a, m) in self.models[c].iter().enumerate() {
+            let v = data.value(row, a);
+            if Value::is_missing(v) {
+                continue;
+            }
+            match m {
+                AttrModel::Gaussian { mean, sd } => {
+                    let z = (v - mean) / sd;
+                    lp += -0.5 * z * z - sd.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+                }
+                AttrModel::Multinomial(p) => {
+                    let i = Value::as_index(v);
+                    if i < p.len() {
+                        lp += p[i].max(1e-12).ln();
+                    }
+                }
+                AttrModel::Skip => {}
+            }
+        }
+        lp
+    }
+
+    fn responsibilities(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let logs: Vec<f64> = (0..self.k).map(|c| self.log_density(data, row, c)).collect();
+        let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut r: Vec<f64> = logs.iter().map(|&l| (l - max).exp()).collect();
+        let total: f64 = r.iter().sum();
+        if total > 0.0 {
+            for x in r.iter_mut() {
+                *x /= total;
+            }
+        }
+        r
+    }
+}
+
+impl Clusterer for EM {
+    fn name(&self) -> &'static str {
+        "EM"
+    }
+
+    fn build(&mut self, data: &Dataset) -> Result<()> {
+        check_clusterable(data)?;
+        let n = data.num_instances();
+        if self.k > n {
+            return Err(AlgoError::Unsupported(format!("k = {} exceeds {n} instances", self.k)));
+        }
+        self.space = DistanceSpace::fit(data);
+
+        // Initialise responsibilities from a k-means hard assignment.
+        let mut km = KMeans::with_k(self.k);
+        km.set_option("-S", &self.seed.to_string())?;
+        km.build(data)?;
+        let mut resp: Vec<Vec<f64>> = (0..n)
+            .map(|r| {
+                let mut v = vec![0.05 / (self.k.max(2) - 1) as f64; self.k];
+                let c = km.cluster_instance(data, r).expect("built");
+                v[c] = 0.95;
+                v
+            })
+            .collect();
+
+        let n_attrs = data.num_attributes();
+        for _iter in 0..self.iterations {
+            // M step.
+            self.weights = (0..self.k)
+                .map(|c| resp.iter().map(|r| r[c]).sum::<f64>() / n as f64)
+                .collect();
+            self.models = (0..self.k)
+                .map(|c| {
+                    (0..n_attrs)
+                        .map(|a| {
+                            if self.space.skip[a] {
+                                return AttrModel::Skip;
+                            }
+                            if self.space.nominal[a] {
+                                let arity = data.attributes()[a].num_labels();
+                                let mut counts = vec![1.0f64; arity]; // Laplace
+                                let mut total = arity as f64;
+                                for r in 0..n {
+                                    let v = data.value(r, a);
+                                    if !Value::is_missing(v) {
+                                        counts[Value::as_index(v)] += resp[r][c];
+                                        total += resp[r][c];
+                                    }
+                                }
+                                for x in counts.iter_mut() {
+                                    *x /= total;
+                                }
+                                AttrModel::Multinomial(counts)
+                            } else {
+                                let mut sum = 0.0;
+                                let mut wsum = 0.0;
+                                for r in 0..n {
+                                    let v = data.value(r, a);
+                                    if !Value::is_missing(v) {
+                                        sum += resp[r][c] * v;
+                                        wsum += resp[r][c];
+                                    }
+                                }
+                                let mean = if wsum > 0.0 { sum / wsum } else { 0.0 };
+                                let mut ss = 0.0;
+                                for r in 0..n {
+                                    let v = data.value(r, a);
+                                    if !Value::is_missing(v) {
+                                        ss += resp[r][c] * (v - mean) * (v - mean);
+                                    }
+                                }
+                                let sd = if wsum > 0.0 {
+                                    (ss / wsum).sqrt().max(MIN_SD)
+                                } else {
+                                    MIN_SD
+                                };
+                                AttrModel::Gaussian { mean, sd }
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            self.built = true;
+
+            // E step.
+            let mut ll = 0.0;
+            for (r, rr) in resp.iter_mut().enumerate() {
+                let logs: Vec<f64> = (0..self.k).map(|c| self.log_density(data, r, c)).collect();
+                let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut e: Vec<f64> = logs.iter().map(|&l| (l - max).exp()).collect();
+                let total: f64 = e.iter().sum();
+                ll += max + total.ln();
+                if total > 0.0 {
+                    for x in e.iter_mut() {
+                        *x /= total;
+                    }
+                }
+                *rr = e;
+            }
+            self.log_likelihood = ll;
+        }
+        Ok(())
+    }
+
+    fn cluster_instance(&self, data: &Dataset, row: usize) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        let r = self.responsibilities(data, row);
+        Ok(crate::classifiers::argmax(&r).expect("k >= 1"))
+    }
+
+    fn num_clusters(&self) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.k)
+    }
+
+    fn describe(&self) -> String {
+        if !self.built {
+            return "EM: not built".to_string();
+        }
+        format!(
+            "EM mixture: {} components, priors {:?}, log-likelihood {:.3}",
+            self.k, self.weights, self.log_likelihood
+        )
+    }
+}
+
+impl Configurable for EM {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-N",
+                name: "numClusters",
+                description: "number of mixture components",
+                default: "2".into(),
+                kind: OptionKind::Integer { min: 1, max: 10_000 },
+            },
+            OptionDescriptor {
+                flag: "-I",
+                name: "maxIterations",
+                description: "EM iterations",
+                default: "20".into(),
+                kind: OptionKind::Integer { min: 1, max: 100_000 },
+            },
+            OptionDescriptor {
+                flag: "-S",
+                name: "seed",
+                description: "random seed (k-means initialisation)",
+                default: "100".into(),
+                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-N" => self.k = value.parse().expect("validated"),
+            "-I" => self.iterations = value.parse().expect("validated"),
+            "-S" => self.seed = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-N" => Ok(self.k.to_string()),
+            "-I" => Ok(self.iterations.to_string()),
+            "-S" => Ok(self.seed.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for EM {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.k);
+        w.put_usize(self.iterations);
+        w.put_u64(self.seed);
+        w.put_bool(self.built);
+        if self.built {
+            self.space.encode(&mut w);
+            w.put_f64_slice(&self.weights);
+            w.put_f64(self.log_likelihood);
+            w.put_usize(self.models.len());
+            for cluster in &self.models {
+                w.put_usize(cluster.len());
+                for m in cluster {
+                    match m {
+                        AttrModel::Skip => w.put_u64(0),
+                        AttrModel::Gaussian { mean, sd } => {
+                            w.put_u64(1);
+                            w.put_f64(*mean);
+                            w.put_f64(*sd);
+                        }
+                        AttrModel::Multinomial(p) => {
+                            w.put_u64(2);
+                            w.put_f64_slice(p);
+                        }
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.k = r.get_usize()?;
+        self.iterations = r.get_usize()?;
+        self.seed = r.get_u64()?;
+        self.built = r.get_bool()?;
+        if self.built {
+            self.space = DistanceSpace::decode(&mut r)?;
+            self.weights = r.get_f64_vec()?;
+            self.log_likelihood = r.get_f64()?;
+            let nk = r.get_usize()?;
+            if nk > 1 << 16 {
+                return Err(AlgoError::BadState("absurd cluster count".into()));
+            }
+            self.models = (0..nk)
+                .map(|_| -> Result<Vec<AttrModel>> {
+                    let na = r.get_usize()?;
+                    if na > 1 << 20 {
+                        return Err(AlgoError::BadState("absurd attr count".into()));
+                    }
+                    (0..na)
+                        .map(|_| -> Result<AttrModel> {
+                            Ok(match r.get_u64()? {
+                                0 => AttrModel::Skip,
+                                1 => AttrModel::Gaussian { mean: r.get_f64()?, sd: r.get_f64()? },
+                                2 => AttrModel::Multinomial(r.get_f64_vec()?),
+                                tag => {
+                                    return Err(AlgoError::BadState(format!("bad tag {tag}")))
+                                }
+                            })
+                        })
+                        .collect()
+                })
+                .collect::<Result<_>>()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{rand_index, three_blobs};
+    use super::*;
+
+    #[test]
+    fn recovers_three_blobs() {
+        let ds = three_blobs();
+        let mut em = EM::with_k(3);
+        em.build(&ds).unwrap();
+        let assign: Vec<usize> =
+            (0..ds.num_instances()).map(|r| em.cluster_instance(&ds, r).unwrap()).collect();
+        let ri = rand_index(&ds, &assign);
+        assert!(ri > 0.95, "rand index {ri}");
+    }
+
+    #[test]
+    fn log_likelihood_is_finite_after_training() {
+        let ds = three_blobs();
+        let mut em = EM::with_k(3);
+        em.build(&ds).unwrap();
+        assert!(em.log_likelihood().is_finite());
+    }
+
+    #[test]
+    fn mixture_weights_sum_to_one() {
+        let ds = three_blobs();
+        let mut em = EM::with_k(3);
+        em.build(&ds).unwrap();
+        let s: f64 = em.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_attributes_supported() {
+        use dm_data::{Attribute, Dataset};
+        let mut ds = Dataset::new(
+            "n",
+            vec![Attribute::nominal("a", ["x", "y"]), Attribute::numeric("v")],
+        );
+        for i in 0..20 {
+            ds.push_labels(&[if i % 2 == 0 { "x" } else { "y" }, &format!("{}", i % 2 * 100)])
+                .unwrap();
+        }
+        let mut em = EM::with_k(2);
+        em.build(&ds).unwrap();
+        let a = em.cluster_instance(&ds, 0).unwrap();
+        let b = em.cluster_instance(&ds, 1).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = three_blobs();
+        let mut em = EM::with_k(3);
+        em.build(&ds).unwrap();
+        let mut em2 = EM::new();
+        em2.decode_state(&em.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(
+                em.cluster_instance(&ds, r).unwrap(),
+                em2.cluster_instance(&ds, r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn unbuilt_errors() {
+        let ds = three_blobs();
+        assert!(EM::new().cluster_instance(&ds, 0).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! FarthestFirst (Hochbaum–Shmoys traversal, as in WEKA): pick a seed
+//! point, then repeatedly add the point farthest from the chosen
+//! centres; assign every instance to its nearest centre.
+
+use super::{check_clusterable, Clusterer, DistanceSpace};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The farthest-first clusterer.
+#[derive(Debug, Clone)]
+pub struct FarthestFirst {
+    /// `-N`: number of clusters.
+    k: usize,
+    /// `-S`: RNG seed for the first centre.
+    seed: u64,
+    space: DistanceSpace,
+    /// Centres as stored raw rows (nominal = label index, numeric = raw).
+    centers: Vec<Vec<f64>>,
+    built: bool,
+}
+
+impl Default for FarthestFirst {
+    fn default() -> Self {
+        FarthestFirst {
+            k: 2,
+            seed: 1,
+            space: DistanceSpace::default(),
+            centers: Vec::new(),
+            built: false,
+        }
+    }
+}
+
+impl FarthestFirst {
+    /// Create with WEKA defaults (2 clusters).
+    pub fn new() -> FarthestFirst {
+        FarthestFirst::default()
+    }
+
+    /// Create with an explicit cluster count.
+    pub fn with_k(k: usize) -> FarthestFirst {
+        FarthestFirst { k: k.max(1), ..FarthestFirst::default() }
+    }
+
+    fn distance_to_center(&self, data: &Dataset, row: usize, center: &[f64]) -> f64 {
+        let mut d = 0.0;
+        for a in 0..center.len() {
+            if self.space.skip[a] {
+                continue;
+            }
+            let v = data.value(row, a);
+            let c = center[a];
+            let diff = if Value::is_missing(v) || Value::is_missing(c) {
+                1.0
+            } else if self.space.nominal[a] {
+                if Value::as_index(v) == Value::as_index(c) {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                self.space.norm(a, v) - self.space.norm(a, c)
+            };
+            d += diff * diff;
+        }
+        d.sqrt()
+    }
+
+    fn nearest(&self, data: &Dataset, row: usize) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, center) in self.centers.iter().enumerate() {
+            let d = self.distance_to_center(data, row, center);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+impl Clusterer for FarthestFirst {
+    fn name(&self) -> &'static str {
+        "FarthestFirst"
+    }
+
+    fn build(&mut self, data: &Dataset) -> Result<()> {
+        check_clusterable(data)?;
+        let n = data.num_instances();
+        if self.k > n {
+            return Err(AlgoError::Unsupported(format!("k = {} exceeds {n} instances", self.k)));
+        }
+        self.space = DistanceSpace::fit(data);
+        self.built = true;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let first = rng.random_range(0..n);
+        self.centers = vec![data.row(first).to_vec()];
+        let mut min_dist: Vec<f64> = (0..n)
+            .map(|r| self.distance_to_center(data, r, &self.centers[0]))
+            .collect();
+        while self.centers.len() < self.k {
+            // Farthest point from the current centre set.
+            let (far, _) = min_dist
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+                .expect("n >= 1");
+            self.centers.push(data.row(far).to_vec());
+            let newest = self.centers.last().expect("just pushed").clone();
+            for (r, md) in min_dist.iter_mut().enumerate() {
+                let d = self.distance_to_center(data, r, &newest);
+                if d < *md {
+                    *md = d;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn cluster_instance(&self, data: &Dataset, row: usize) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.nearest(data, row))
+    }
+
+    fn num_clusters(&self) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.centers.len())
+    }
+
+    fn describe(&self) -> String {
+        if !self.built {
+            return "FarthestFirst: not built".to_string();
+        }
+        format!("FarthestFirst with {} cluster centres", self.centers.len())
+    }
+}
+
+impl Configurable for FarthestFirst {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-N",
+                name: "numClusters",
+                description: "number of clusters",
+                default: "2".into(),
+                kind: OptionKind::Integer { min: 1, max: 100_000 },
+            },
+            OptionDescriptor {
+                flag: "-S",
+                name: "seed",
+                description: "random seed for the first centre",
+                default: "1".into(),
+                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-N" => self.k = value.parse().expect("validated"),
+            "-S" => self.seed = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-N" => Ok(self.k.to_string()),
+            "-S" => Ok(self.seed.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for FarthestFirst {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.k);
+        w.put_u64(self.seed);
+        w.put_bool(self.built);
+        if self.built {
+            self.space.encode(&mut w);
+            w.put_usize(self.centers.len());
+            for c in &self.centers {
+                w.put_f64_slice(c);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.k = r.get_usize()?;
+        self.seed = r.get_u64()?;
+        self.built = r.get_bool()?;
+        if self.built {
+            self.space = DistanceSpace::decode(&mut r)?;
+            let n = r.get_usize()?;
+            if n > 1 << 20 {
+                return Err(AlgoError::BadState("absurd centre count".into()));
+            }
+            self.centers = (0..n).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{rand_index, three_blobs};
+    use super::*;
+
+    #[test]
+    fn separates_blobs() {
+        let ds = three_blobs();
+        let mut ff = FarthestFirst::with_k(3);
+        ff.build(&ds).unwrap();
+        let assign: Vec<usize> =
+            (0..ds.num_instances()).map(|r| ff.cluster_instance(&ds, r).unwrap()).collect();
+        let ri = rand_index(&ds, &assign);
+        assert!(ri > 0.95, "rand index {ri}");
+    }
+
+    #[test]
+    fn centres_are_far_apart() {
+        let ds = three_blobs();
+        let mut ff = FarthestFirst::with_k(3);
+        ff.build(&ds).unwrap();
+        // Each pair of centres must be in different blobs (distance > 5
+        // raw units ≫ normalised 0.3).
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let mut d = 0.0;
+                for a in 0..2 {
+                    let diff = ff.centers[i][a] - ff.centers[j][a];
+                    d += diff * diff;
+                }
+                assert!(d.sqrt() > 3.0, "centres {i} and {j} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = three_blobs();
+        let mut ff = FarthestFirst::with_k(3);
+        ff.build(&ds).unwrap();
+        let mut ff2 = FarthestFirst::new();
+        ff2.decode_state(&ff.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(
+                ff.cluster_instance(&ds, r).unwrap(),
+                ff2.cluster_instance(&ds, r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn unbuilt_errors() {
+        let ds = three_blobs();
+        assert!(FarthestFirst::new().cluster_instance(&ds, 0).is_err());
+    }
+
+    #[test]
+    fn k_exceeding_instances_rejected() {
+        let ds = three_blobs();
+        let mut ff = FarthestFirst::with_k(10_000);
+        assert!(ff.build(&ds).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Agglomerative hierarchical clustering with single, complete, or
+//! average linkage. Produces a dendrogram ([`crate::tree::TreeModel`])
+//! and a flat clustering by cutting the merge sequence at `k` clusters.
+
+use super::{check_clusterable, Clusterer, DistanceSpace};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use crate::tree::TreeModel;
+use dm_data::Dataset;
+
+/// Cluster-to-cluster distance definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// The agglomerative clusterer. Stores the training rows (like all
+/// hierarchical methods, the model is the merge history over the data).
+#[derive(Debug, Clone)]
+pub struct Hierarchical {
+    /// `-N`: number of flat clusters after cutting.
+    k: usize,
+    /// `-L`: linkage.
+    linkage: Linkage,
+    space: DistanceSpace,
+    /// Stored training data (needed to place new instances).
+    train: Option<Dataset>,
+    /// Flat assignment of each training row.
+    assignments: Vec<usize>,
+    /// Merge history `(left_id, right_id, distance)`; ids `< n` are
+    /// rows, ids `>= n` refer to earlier merges.
+    merges: Vec<(usize, usize, f64)>,
+    built: bool,
+}
+
+impl Default for Hierarchical {
+    fn default() -> Self {
+        Hierarchical {
+            k: 2,
+            linkage: Linkage::Average,
+            space: DistanceSpace::default(),
+            train: None,
+            assignments: Vec::new(),
+            merges: Vec::new(),
+            built: false,
+        }
+    }
+}
+
+impl Hierarchical {
+    /// Create with defaults (2 clusters, average linkage).
+    pub fn new() -> Hierarchical {
+        Hierarchical::default()
+    }
+
+    /// Create with an explicit cut size and linkage.
+    pub fn with_k(k: usize, linkage: Linkage) -> Hierarchical {
+        Hierarchical { k: k.max(1), linkage, ..Hierarchical::default() }
+    }
+
+    /// Flat assignments of the training rows.
+    pub fn training_assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    fn linkage_distance(&self, d: &[Vec<f64>], a: &[usize], b: &[usize]) -> f64 {
+        let mut acc: f64 = match self.linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => 0.0,
+            Linkage::Average => 0.0,
+        };
+        for &i in a {
+            for &j in b {
+                let x = d[i][j];
+                match self.linkage {
+                    Linkage::Single => acc = acc.min(x),
+                    Linkage::Complete => acc = acc.max(x),
+                    Linkage::Average => acc += x,
+                }
+            }
+        }
+        if self.linkage == Linkage::Average {
+            acc / (a.len() * b.len()) as f64
+        } else {
+            acc
+        }
+    }
+}
+
+impl Clusterer for Hierarchical {
+    fn name(&self) -> &'static str {
+        "HierarchicalClusterer"
+    }
+
+    fn build(&mut self, data: &Dataset) -> Result<()> {
+        check_clusterable(data)?;
+        let n = data.num_instances();
+        if self.k > n {
+            return Err(AlgoError::Unsupported(format!("k = {} exceeds {n} instances", self.k)));
+        }
+        self.space = DistanceSpace::fit(data);
+
+        // Pairwise distance matrix (O(n²) memory — fine for the corpus
+        // sizes this toolkit targets; documented).
+        let mut d = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let x = self.space.distance_rows(data, i, data, j);
+                d[i][j] = x;
+                d[j][i] = x;
+            }
+        }
+
+        // Active clusters: (id, member rows).
+        let mut clusters: Vec<(usize, Vec<usize>)> =
+            (0..n).map(|i| (i, vec![i])).collect();
+        let mut next_id = n;
+        self.merges.clear();
+        while clusters.len() > 1 {
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            for a in 0..clusters.len() {
+                for b in (a + 1)..clusters.len() {
+                    let dist = self.linkage_distance(&d, &clusters[a].1, &clusters[b].1);
+                    if dist < best.2 {
+                        best = (a, b, dist);
+                    }
+                }
+            }
+            let (a, b, dist) = best;
+            let (id_b, rows_b) = clusters.remove(b);
+            let (id_a, rows_a) = clusters.remove(a);
+            self.merges.push((id_a, id_b, dist));
+            let mut merged = rows_a;
+            merged.extend(rows_b);
+            clusters.push((next_id, merged));
+            next_id += 1;
+
+            if clusters.len() == self.k {
+                // Record the flat cut.
+                self.assignments = vec![0; n];
+                for (c, (_, rows)) in clusters.iter().enumerate() {
+                    for &r in rows {
+                        self.assignments[r] = c;
+                    }
+                }
+            }
+        }
+        if self.k == 1 {
+            self.assignments = vec![0; n];
+        }
+        self.train = Some(data.clone());
+        self.built = true;
+        Ok(())
+    }
+
+    fn cluster_instance(&self, data: &Dataset, row: usize) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        let train = self.train.as_ref().expect("built");
+        // Nearest training row's flat cluster.
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for r in 0..train.num_instances() {
+            let dist = self.space.distance_rows(data, row, train, r);
+            if dist < best_d {
+                best_d = dist;
+                best = r;
+            }
+        }
+        Ok(self.assignments[best])
+    }
+
+    fn num_clusters(&self) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.k)
+    }
+
+    fn describe(&self) -> String {
+        if !self.built {
+            return "Hierarchical: not built".to_string();
+        }
+        format!(
+            "Agglomerative clustering ({:?} linkage), {} merges, cut at {} clusters",
+            self.linkage,
+            self.merges.len(),
+            self.k
+        )
+    }
+
+    fn tree_model(&self) -> Option<TreeModel> {
+        if !self.built {
+            return None;
+        }
+        let n = self.train.as_ref()?.num_instances();
+        let mut model = TreeModel::new();
+        // Build from the last merge (the root) downward.
+        fn add(
+            merges: &[(usize, usize, f64)],
+            n: usize,
+            id: usize,
+            edge: String,
+            model: &mut TreeModel,
+        ) -> usize {
+            if id < n {
+                model.add_node(format!("row {id}"), edge, true)
+            } else {
+                let (a, b, dist) = merges[id - n];
+                let node = model.add_node(format!("merge @ {dist:.4}"), edge, false);
+                let left = add(merges, n, a, "left".into(), model);
+                let right = add(merges, n, b, "right".into(), model);
+                model.add_child(node, left);
+                model.add_child(node, right);
+                node
+            }
+        }
+        if self.merges.is_empty() {
+            model.add_node("singleton", "", true);
+        } else {
+            let root_id = n + self.merges.len() - 1;
+            add(&self.merges, n, root_id, String::new(), &mut model);
+        }
+        Some(model)
+    }
+}
+
+impl Configurable for Hierarchical {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-N",
+                name: "numClusters",
+                description: "number of flat clusters after cutting the dendrogram",
+                default: "2".into(),
+                kind: OptionKind::Integer { min: 1, max: 100_000 },
+            },
+            OptionDescriptor {
+                flag: "-L",
+                name: "linkage",
+                description: "cluster linkage",
+                default: "average".into(),
+                kind: OptionKind::Choice(vec![
+                    "single".into(),
+                    "complete".into(),
+                    "average".into(),
+                ]),
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-N" => self.k = value.parse().expect("validated"),
+            "-L" => {
+                self.linkage = match value {
+                    "single" => Linkage::Single,
+                    "complete" => Linkage::Complete,
+                    _ => Linkage::Average,
+                }
+            }
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-N" => Ok(self.k.to_string()),
+            "-L" => Ok(match self.linkage {
+                Linkage::Single => "single",
+                Linkage::Complete => "complete",
+                Linkage::Average => "average",
+            }
+            .to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for Hierarchical {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.k);
+        w.put_u64(match self.linkage {
+            Linkage::Single => 0,
+            Linkage::Complete => 1,
+            Linkage::Average => 2,
+        });
+        w.put_bool(self.built);
+        if self.built {
+            self.space.encode(&mut w);
+            w.put_usize_slice(&self.assignments);
+            w.put_usize(self.merges.len());
+            for (a, b, d) in &self.merges {
+                w.put_usize(*a);
+                w.put_usize(*b);
+                w.put_f64(*d);
+            }
+            // Training data as ARFF text (schema + rows round-trip).
+            let train = self.train.as_ref().expect("built");
+            w.put_str(&dm_data::arff::write_arff(train));
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.k = r.get_usize()?;
+        self.linkage = match r.get_u64()? {
+            0 => Linkage::Single,
+            1 => Linkage::Complete,
+            2 => Linkage::Average,
+            tag => return Err(AlgoError::BadState(format!("bad linkage tag {tag}"))),
+        };
+        self.built = r.get_bool()?;
+        if self.built {
+            self.space = DistanceSpace::decode(&mut r)?;
+            self.assignments = r.get_usize_vec()?;
+            let n = r.get_usize()?;
+            if n > 1 << 24 {
+                return Err(AlgoError::BadState("absurd merge count".into()));
+            }
+            self.merges = (0..n)
+                .map(|_| -> Result<(usize, usize, f64)> {
+                    Ok((r.get_usize()?, r.get_usize()?, r.get_f64()?))
+                })
+                .collect::<Result<_>>()?;
+            let arff = r.get_str()?;
+            self.train = Some(
+                dm_data::arff::parse_arff(&arff)
+                    .map_err(|e| AlgoError::BadState(format!("embedded ARFF: {e}")))?,
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::rand_index;
+    use super::*;
+    use dm_data::corpus::{gaussian_blobs, BlobSpec};
+
+    fn small_blobs() -> Dataset {
+        gaussian_blobs(
+            &[
+                BlobSpec { center: vec![0.0, 0.0], stddev: 0.3, count: 15 },
+                BlobSpec { center: vec![10.0, 0.0], stddev: 0.3, count: 15 },
+                BlobSpec { center: vec![0.0, 10.0], stddev: 0.3, count: 15 },
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn average_linkage_recovers_blobs() {
+        let ds = small_blobs();
+        let mut h = Hierarchical::with_k(3, Linkage::Average);
+        h.build(&ds).unwrap();
+        let ri = rand_index(&ds, h.training_assignments());
+        assert!(ri > 0.95, "rand index {ri}");
+    }
+
+    #[test]
+    fn single_and_complete_linkage_work() {
+        let ds = small_blobs();
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let mut h = Hierarchical::with_k(3, linkage);
+            h.build(&ds).unwrap();
+            let ri = rand_index(&ds, h.training_assignments());
+            assert!(ri > 0.9, "{linkage:?} rand index {ri}");
+        }
+    }
+
+    #[test]
+    fn dendrogram_has_all_rows_as_leaves() {
+        let ds = small_blobs();
+        let mut h = Hierarchical::with_k(2, Linkage::Average);
+        h.build(&ds).unwrap();
+        let t = h.tree_model().unwrap();
+        assert_eq!(t.num_leaves(), ds.num_instances());
+    }
+
+    #[test]
+    fn new_instances_placed_by_nearest_neighbour() {
+        let ds = small_blobs();
+        let mut h = Hierarchical::with_k(3, Linkage::Average);
+        h.build(&ds).unwrap();
+        // A point near blob 1's centre clusters with row 15's cluster.
+        let mut probe = ds.header_clone();
+        probe.push_row(vec![10.0, 0.0, f64::NAN]).unwrap();
+        let c = h.cluster_instance(&probe, 0).unwrap();
+        assert_eq!(c, h.training_assignments()[15]);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = small_blobs();
+        let mut h = Hierarchical::with_k(3, Linkage::Complete);
+        h.build(&ds).unwrap();
+        let mut h2 = Hierarchical::new();
+        h2.decode_state(&h.encode_state()).unwrap();
+        assert_eq!(h.training_assignments(), h2.training_assignments());
+        assert_eq!(h2.num_clusters().unwrap(), 3);
+    }
+
+    #[test]
+    fn unbuilt_errors() {
+        let ds = small_blobs();
+        assert!(Hierarchical::new().cluster_instance(&ds, 0).is_err());
+        assert!(Hierarchical::new().tree_model().is_none());
+    }
+
+    #[test]
+    fn k1_puts_everything_together() {
+        let ds = small_blobs();
+        let mut h = Hierarchical::with_k(1, Linkage::Average);
+        h.build(&ds).unwrap();
+        assert!(h.training_assignments().iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,411 @@
+//! SimpleKMeans: Lloyd's algorithm over the mixed-type distance space
+//! (numeric attributes range-normalised, nominal attributes by mode).
+
+use super::{check_clusterable, Clusterer, DistanceSpace};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The k-means clusterer.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// `-N`: number of clusters.
+    k: usize,
+    /// `-I`: maximum Lloyd iterations.
+    max_iterations: usize,
+    /// `-S`: RNG seed for centroid initialisation.
+    seed: u64,
+    space: DistanceSpace,
+    /// Normalised centroids: `centroids[c][attr]`.
+    centroids: Vec<Vec<f64>>,
+    /// Training-set cluster sizes.
+    sizes: Vec<usize>,
+    /// Iterations actually performed.
+    iterations_run: usize,
+    built: bool,
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        KMeans {
+            k: 2,
+            max_iterations: 100,
+            seed: 10,
+            space: DistanceSpace::default(),
+            centroids: Vec::new(),
+            sizes: Vec::new(),
+            iterations_run: 0,
+            built: false,
+        }
+    }
+}
+
+impl KMeans {
+    /// Create a 2-cluster k-means (WEKA default).
+    pub fn new() -> KMeans {
+        KMeans::default()
+    }
+
+    /// Create with an explicit cluster count.
+    pub fn with_k(k: usize) -> KMeans {
+        KMeans { k: k.max(1), ..KMeans::default() }
+    }
+
+    /// Cluster assignments for every row of `data`.
+    pub fn assignments(&self, data: &Dataset) -> Result<Vec<usize>> {
+        (0..data.num_instances()).map(|r| self.cluster_instance(data, r)).collect()
+    }
+
+    fn nearest(&self, data: &Dataset, row: usize) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let d = self.space.distance_to_centroid(data, row, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn recompute_centroid(
+        &self,
+        data: &Dataset,
+        members: &[usize],
+        centroid: &mut Vec<f64>,
+    ) {
+        let n_attrs = data.num_attributes();
+        for a in 0..n_attrs {
+            if self.space.skip[a] {
+                centroid[a] = 0.0;
+                continue;
+            }
+            if self.space.nominal[a] {
+                let arity = data.attributes()[a].num_labels();
+                let mut counts = vec![0usize; arity];
+                for &r in members {
+                    let v = data.value(r, a);
+                    if !Value::is_missing(v) {
+                        counts[Value::as_index(v)] += 1;
+                    }
+                }
+                let mode = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroid[a] = Value::from_index(mode);
+            } else {
+                let mut sum = 0.0;
+                let mut n = 0.0;
+                for &r in members {
+                    let v = data.value(r, a);
+                    if !Value::is_missing(v) {
+                        sum += self.space.norm(a, v);
+                        n += 1.0;
+                    }
+                }
+                centroid[a] = if n > 0.0 { sum / n } else { 0.0 };
+            }
+        }
+    }
+}
+
+impl Clusterer for KMeans {
+    fn name(&self) -> &'static str {
+        "SimpleKMeans"
+    }
+
+    fn build(&mut self, data: &Dataset) -> Result<()> {
+        check_clusterable(data)?;
+        if self.k > data.num_instances() {
+            return Err(AlgoError::Unsupported(format!(
+                "k = {} exceeds {} instances",
+                self.k,
+                data.num_instances()
+            )));
+        }
+        self.space = DistanceSpace::fit(data);
+        let n_attrs = data.num_attributes();
+
+        // k-means++ seeding: first centroid uniform, each subsequent one
+        // drawn with probability proportional to the squared distance to
+        // the nearest centroid chosen so far (avoids the classic bad
+        // initialisation of two seeds landing in one cluster).
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let encode_row = |r: usize| -> Vec<f64> {
+            (0..n_attrs)
+                .map(|a| {
+                    let v = data.value(r, a);
+                    if self.space.skip[a] || Value::is_missing(v) {
+                        0.0
+                    } else if self.space.nominal[a] {
+                        v
+                    } else {
+                        self.space.norm(a, v)
+                    }
+                })
+                .collect()
+        };
+        let n = data.num_instances();
+        let first = rng.random_range(0..n);
+        self.centroids = vec![encode_row(first)];
+        let mut nearest_sq: Vec<f64> = (0..n)
+            .map(|r| {
+                let d = self.space.distance_to_centroid(data, r, &self.centroids[0]);
+                d * d
+            })
+            .collect();
+        while self.centroids.len() < self.k {
+            let total: f64 = nearest_sq.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.random_range(0..n)
+            } else {
+                let mut target = rng.random_range(0.0..total);
+                let mut chosen = n - 1;
+                for (r, &d2) in nearest_sq.iter().enumerate() {
+                    if target < d2 {
+                        chosen = r;
+                        break;
+                    }
+                    target -= d2;
+                }
+                chosen
+            };
+            let centroid = encode_row(pick);
+            for (r, slot) in nearest_sq.iter_mut().enumerate() {
+                let d = self.space.distance_to_centroid(data, r, &centroid);
+                *slot = slot.min(d * d);
+            }
+            self.centroids.push(centroid);
+        }
+        self.built = true;
+
+        let mut assign = vec![usize::MAX; data.num_instances()];
+        self.iterations_run = 0;
+        for _ in 0..self.max_iterations {
+            self.iterations_run += 1;
+            let mut changed = false;
+            for r in 0..data.num_instances() {
+                let c = self.nearest(data, r);
+                if assign[r] != c {
+                    assign[r] = c;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.k];
+            for (r, &c) in assign.iter().enumerate() {
+                members[c].push(r);
+            }
+            let mut centroids = std::mem::take(&mut self.centroids);
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                if !members[c].is_empty() {
+                    self.recompute_centroid(data, &members[c], centroid);
+                }
+            }
+            self.centroids = centroids;
+        }
+        self.sizes = {
+            let mut s = vec![0usize; self.k];
+            for &c in &assign {
+                s[c] += 1;
+            }
+            s
+        };
+        Ok(())
+    }
+
+    fn cluster_instance(&self, data: &Dataset, row: usize) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.nearest(data, row))
+    }
+
+    fn num_clusters(&self) -> Result<usize> {
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.k)
+    }
+
+    fn describe(&self) -> String {
+        if !self.built {
+            return "SimpleKMeans: not built".to_string();
+        }
+        let mut out = format!(
+            "kMeans\n======\nNumber of clusters: {}\nIterations: {}\n",
+            self.k, self.iterations_run
+        );
+        for (c, size) in self.sizes.iter().enumerate() {
+            out.push_str(&format!("Cluster {c}: {size} instances\n"));
+        }
+        out
+    }
+}
+
+impl Configurable for KMeans {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-N",
+                name: "numClusters",
+                description: "number of clusters",
+                default: "2".into(),
+                kind: OptionKind::Integer { min: 1, max: 100_000 },
+            },
+            OptionDescriptor {
+                flag: "-I",
+                name: "maxIterations",
+                description: "maximum Lloyd iterations",
+                default: "100".into(),
+                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+            },
+            OptionDescriptor {
+                flag: "-S",
+                name: "seed",
+                description: "random seed for centroid initialisation",
+                default: "10".into(),
+                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-N" => self.k = value.parse().expect("validated"),
+            "-I" => self.max_iterations = value.parse().expect("validated"),
+            "-S" => self.seed = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-N" => Ok(self.k.to_string()),
+            "-I" => Ok(self.max_iterations.to_string()),
+            "-S" => Ok(self.seed.to_string()),
+            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+        }
+    }
+}
+
+impl Stateful for KMeans {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.k);
+        w.put_usize(self.max_iterations);
+        w.put_u64(self.seed);
+        w.put_bool(self.built);
+        if self.built {
+            self.space.encode(&mut w);
+            w.put_usize(self.centroids.len());
+            for c in &self.centroids {
+                w.put_f64_slice(c);
+            }
+            w.put_usize_slice(&self.sizes);
+            w.put_usize(self.iterations_run);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.k = r.get_usize()?;
+        self.max_iterations = r.get_usize()?;
+        self.seed = r.get_u64()?;
+        self.built = r.get_bool()?;
+        if self.built {
+            self.space = DistanceSpace::decode(&mut r)?;
+            let n = r.get_usize()?;
+            if n > 1 << 20 {
+                return Err(AlgoError::BadState("absurd centroid count".into()));
+            }
+            self.centroids = (0..n).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+            self.sizes = r.get_usize_vec()?;
+            self.iterations_run = r.get_usize()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{rand_index, three_blobs};
+    use super::*;
+
+    #[test]
+    fn recovers_three_blobs() {
+        let ds = three_blobs();
+        let mut km = KMeans::with_k(3);
+        km.build(&ds).unwrap();
+        let assign = km.assignments(&ds).unwrap();
+        let ri = rand_index(&ds, &assign);
+        assert!(ri > 0.95, "rand index {ri}");
+        assert_eq!(km.num_clusters().unwrap(), 3);
+    }
+
+    #[test]
+    fn converges_before_max_iterations() {
+        let ds = three_blobs();
+        let mut km = KMeans::with_k(3);
+        km.build(&ds).unwrap();
+        assert!(km.iterations_run < 100);
+    }
+
+    #[test]
+    fn k_larger_than_data_rejected() {
+        let ds = three_blobs();
+        let mut km = KMeans::with_k(1000);
+        assert!(km.build(&ds).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = three_blobs();
+        let mut a = KMeans::with_k(3);
+        a.build(&ds).unwrap();
+        let mut b = KMeans::with_k(3);
+        b.build(&ds).unwrap();
+        assert_eq!(a.assignments(&ds).unwrap(), b.assignments(&ds).unwrap());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = three_blobs();
+        let mut km = KMeans::with_k(3);
+        km.build(&ds).unwrap();
+        let mut km2 = KMeans::new();
+        km2.decode_state(&km.encode_state()).unwrap();
+        assert_eq!(km.assignments(&ds).unwrap(), km2.assignments(&ds).unwrap());
+    }
+
+    #[test]
+    fn unbuilt_errors() {
+        let ds = three_blobs();
+        assert!(KMeans::new().cluster_instance(&ds, 0).is_err());
+        assert!(KMeans::new().num_clusters().is_err());
+    }
+
+    #[test]
+    fn describe_reports_sizes() {
+        let ds = three_blobs();
+        let mut km = KMeans::with_k(3);
+        km.build(&ds).unwrap();
+        let text = km.describe();
+        assert!(text.contains("Number of clusters: 3"));
+        assert!(text.contains("Cluster 0"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by all algorithm implementations.
+
+use dm_data::DataError;
+use std::fmt;
+
+/// Result alias used throughout `dm-algorithms`.
+pub type Result<T> = std::result::Result<T, AlgoError>;
+
+/// Errors raised while training or applying algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoError {
+    /// A dataset-layer error (parsing, arity, unknown attribute, ...).
+    Data(DataError),
+    /// The model has not been trained yet.
+    NotTrained,
+    /// Training data violates an algorithm precondition (message).
+    Unsupported(String),
+    /// An unknown algorithm name was requested from the registry.
+    UnknownAlgorithm(String),
+    /// An unknown or malformed option was supplied.
+    BadOption {
+        /// The option flag, e.g. `"-C"`.
+        flag: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// Model state bytes could not be decoded.
+    BadState(String),
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::Data(e) => write!(f, "data error: {e}"),
+            AlgoError::NotTrained => write!(f, "model has not been trained"),
+            AlgoError::Unsupported(m) => write!(f, "unsupported input: {m}"),
+            AlgoError::UnknownAlgorithm(n) => write!(f, "unknown algorithm {n:?}"),
+            AlgoError::BadOption { flag, message } => {
+                write!(f, "bad option {flag}: {message}")
+            }
+            AlgoError::BadState(m) => write!(f, "bad model state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgoError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for AlgoError {
+    fn from(e: DataError) -> Self {
+        AlgoError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(AlgoError::NotTrained.to_string(), "model has not been trained");
+        assert!(AlgoError::UnknownAlgorithm("X".into()).to_string().contains("\"X\""));
+        let e = AlgoError::BadOption { flag: "-C".into(), message: "not a number".into() };
+        assert_eq!(e.to_string(), "bad option -C: not a number");
+    }
+
+    #[test]
+    fn data_error_converts_and_sources() {
+        use std::error::Error;
+        let e: AlgoError = DataError::NoClass.into();
+        assert!(e.to_string().contains("class"));
+        assert!(e.source().is_some());
+    }
+}

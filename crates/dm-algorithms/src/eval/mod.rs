@@ -1,0 +1,332 @@
+//! Model evaluation: confusion matrices, accuracy/kappa, hold-out and
+//! k-fold cross-validation — the paper's "testing the discovered
+//! knowledge" requirement (§3) and the Grid-WEKA-style distributed
+//! cross-validation used by the parallel-enactment experiment (E10).
+
+use crate::classifiers::Classifier;
+use crate::error::{AlgoError, Result};
+use dm_data::split::CrossValidation;
+use dm_data::{Dataset, Value};
+
+/// Accumulated evaluation results for a nominal-class classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// `matrix[actual][predicted]` (weighted counts).
+    matrix: Vec<Vec<f64>>,
+    class_labels: Vec<String>,
+    total: f64,
+}
+
+impl Evaluation {
+    /// Create an empty evaluation for `k` classes.
+    pub fn new(class_labels: Vec<String>) -> Evaluation {
+        let k = class_labels.len();
+        Evaluation { matrix: vec![vec![0.0; k]; k], class_labels, total: 0.0 }
+    }
+
+    /// Record one prediction.
+    pub fn record(&mut self, actual: usize, predicted: usize, weight: f64) {
+        self.matrix[actual][predicted] += weight;
+        self.total += weight;
+    }
+
+    /// Evaluate `classifier` on every row of `test` and accumulate.
+    pub fn evaluate(&mut self, classifier: &dyn Classifier, test: &Dataset) -> Result<()> {
+        let ci = test.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+        for r in 0..test.num_instances() {
+            let cv = test.value(r, ci);
+            if Value::is_missing(cv) {
+                continue;
+            }
+            let predicted = classifier.predict(test, r)?;
+            self.record(Value::as_index(cv), predicted, test.weight(r));
+        }
+        Ok(())
+    }
+
+    /// The confusion matrix (`[actual][predicted]`).
+    pub fn confusion_matrix(&self) -> &[Vec<f64>] {
+        &self.matrix
+    }
+
+    /// Total weight of evaluated instances.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Correctly classified weight.
+    pub fn correct(&self) -> f64 {
+        (0..self.matrix.len()).map(|i| self.matrix[i][i]).sum()
+    }
+
+    /// Classification accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.correct() / self.total
+        }
+    }
+
+    /// Error rate (`1 − accuracy`).
+    pub fn error_rate(&self) -> f64 {
+        1.0 - self.accuracy()
+    }
+
+    /// Cohen's kappa statistic.
+    pub fn kappa(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let k = self.matrix.len();
+        let po = self.accuracy();
+        let mut pe = 0.0;
+        for c in 0..k {
+            let row: f64 = self.matrix[c].iter().sum();
+            let col: f64 = (0..k).map(|r| self.matrix[r][c]).sum();
+            pe += (row / self.total) * (col / self.total);
+        }
+        if (1.0 - pe).abs() < 1e-12 {
+            0.0
+        } else {
+            (po - pe) / (1.0 - pe)
+        }
+    }
+
+    /// Recall of class `c` (true positives / actual positives).
+    pub fn recall(&self, c: usize) -> f64 {
+        let row: f64 = self.matrix[c].iter().sum();
+        if row <= 0.0 {
+            0.0
+        } else {
+            self.matrix[c][c] / row
+        }
+    }
+
+    /// Precision of class `c` (true positives / predicted positives).
+    pub fn precision(&self, c: usize) -> f64 {
+        let col: f64 = (0..self.matrix.len()).map(|r| self.matrix[r][c]).sum();
+        if col <= 0.0 {
+            0.0
+        } else {
+            self.matrix[c][c] / col
+        }
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let (p, r) = (self.precision(c), self.recall(c));
+        if p + r <= 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// WEKA-style textual summary with the confusion matrix.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Correctly Classified Instances    {:.1}  ({:.4} %)\n",
+            self.correct(),
+            100.0 * self.accuracy()
+        ));
+        out.push_str(&format!(
+            "Incorrectly Classified Instances  {:.1}  ({:.4} %)\n",
+            self.total() - self.correct(),
+            100.0 * self.error_rate()
+        ));
+        out.push_str(&format!("Kappa statistic                   {:.4}\n", self.kappa()));
+        out.push_str("\n=== Confusion Matrix ===\n");
+        for (actual, row) in self.matrix.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|x| format!("{x:6.1}")).collect();
+            out.push_str(&format!(
+                "{} | <- classified as {}\n",
+                cells.join(" "),
+                self.class_labels[actual]
+            ));
+        }
+        out
+    }
+}
+
+/// Train/test evaluation: train `make()` on `train`, evaluate on `test`.
+pub fn evaluate_split<F>(make: F, train: &Dataset, test: &Dataset) -> Result<Evaluation>
+where
+    F: FnOnce() -> Result<Box<dyn Classifier>>,
+{
+    let labels = train.class_attribute()?.labels().to_vec();
+    let mut c = make()?;
+    c.train(train)?;
+    let mut eval = Evaluation::new(labels);
+    eval.evaluate(c.as_ref(), test)?;
+    Ok(eval)
+}
+
+/// Stratified k-fold cross-validation: returns the pooled evaluation
+/// over all folds (WEKA's default protocol).
+pub fn cross_validate<F>(make: F, data: &Dataset, folds: usize, seed: u64) -> Result<Evaluation>
+where
+    F: Fn() -> Result<Box<dyn Classifier>>,
+{
+    let labels = data.class_attribute()?.labels().to_vec();
+    let cv = CrossValidation::stratified(data, folds, seed)?;
+    let mut eval = Evaluation::new(labels);
+    for fold in 0..cv.k() {
+        let (train, test) = cv.split(data, fold);
+        let mut c = make()?;
+        c.train(&train)?;
+        eval.evaluate(c.as_ref(), &test)?;
+    }
+    Ok(eval)
+}
+
+/// Fold-parallel stratified cross-validation — the distribution Grid
+/// WEKA is built around ("cross-validation … distributed across several
+/// computers", §2 of the paper). Folds train and test concurrently on
+/// crossbeam-scoped threads; the pooled result is *identical* to
+/// [`cross_validate`] with the same seed (fold construction is
+/// deterministic and accumulation is order-independent).
+pub fn cross_validate_parallel<F>(
+    make: F,
+    data: &Dataset,
+    folds: usize,
+    seed: u64,
+) -> Result<Evaluation>
+where
+    F: Fn() -> Result<Box<dyn Classifier>> + Sync,
+{
+    let labels = data.class_attribute()?.labels().to_vec();
+    let cv = CrossValidation::stratified(data, folds, seed)?;
+    let results: Vec<Result<Evaluation>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..cv.k())
+            .map(|fold| {
+                let make = &make;
+                let cv = &cv;
+                let labels = labels.clone();
+                scope.spawn(move |_| -> Result<Evaluation> {
+                    let (train, test) = cv.split(data, fold);
+                    let mut c = make()?;
+                    c.train(&train)?;
+                    let mut eval = Evaluation::new(labels);
+                    eval.evaluate(c.as_ref(), &test)?;
+                    Ok(eval)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
+    })
+    .expect("cross-validation scope");
+
+    let mut pooled = Evaluation::new(labels);
+    for result in results {
+        let fold_eval = result?;
+        for (actual, row) in fold_eval.matrix.iter().enumerate() {
+            for (predicted, &w) in row.iter().enumerate() {
+                if w > 0.0 {
+                    pooled.record(actual, predicted, w);
+                }
+            }
+        }
+    }
+    Ok(pooled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::test_support::weather_nominal;
+    use crate::registry::make_classifier;
+
+    #[test]
+    fn confusion_matrix_accumulates() {
+        let mut e = Evaluation::new(vec!["a".into(), "b".into()]);
+        e.record(0, 0, 1.0);
+        e.record(0, 1, 1.0);
+        e.record(1, 1, 2.0);
+        assert_eq!(e.total(), 4.0);
+        assert_eq!(e.correct(), 3.0);
+        assert!((e.accuracy() - 0.75).abs() < 1e-12);
+        assert!((e.recall(0) - 0.5).abs() < 1e-12);
+        assert!((e.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(e.f1(1) > 0.0);
+    }
+
+    #[test]
+    fn kappa_zero_for_chance() {
+        // A classifier predicting only class 0 on a 50/50 set.
+        let mut e = Evaluation::new(vec!["a".into(), "b".into()]);
+        e.record(0, 0, 50.0);
+        e.record(1, 0, 50.0);
+        assert!(e.kappa().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_one_for_perfect() {
+        let mut e = Evaluation::new(vec!["a".into(), "b".into()]);
+        e.record(0, 0, 60.0);
+        e.record(1, 1, 40.0);
+        assert!((e.kappa() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_evaluation_runs() {
+        let ds = weather_nominal();
+        let (train, test) = dm_data::split::train_test_split(&ds, 0.7, 1).unwrap();
+        let eval = evaluate_split(|| make_classifier("NaiveBayes"), &train, &test).unwrap();
+        assert_eq!(eval.total() as usize, test.num_instances());
+    }
+
+    #[test]
+    fn cross_validation_covers_every_instance() {
+        let ds = dm_data::corpus::breast_cancer();
+        let eval = cross_validate(|| make_classifier("ZeroR"), &ds, 10, 42).unwrap();
+        assert_eq!(eval.total() as usize, 286);
+        // ZeroR's CV accuracy equals the majority prior.
+        assert!((eval.accuracy() - 201.0 / 286.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn j48_cv_beats_zero_r_on_breast_cancer() {
+        let ds = dm_data::corpus::breast_cancer();
+        let zero = cross_validate(|| make_classifier("ZeroR"), &ds, 10, 1).unwrap();
+        let j48 = cross_validate(|| make_classifier("J48"), &ds, 10, 1).unwrap();
+        assert!(
+            j48.accuracy() >= zero.accuracy() - 0.02,
+            "J48 {} vs ZeroR {}",
+            j48.accuracy(),
+            zero.accuracy()
+        );
+    }
+
+    #[test]
+    fn parallel_cv_identical_to_serial() {
+        let ds = dm_data::corpus::breast_cancer();
+        for name in ["ZeroR", "NaiveBayes", "J48"] {
+            let serial = cross_validate(|| make_classifier(name), &ds, 10, 7).unwrap();
+            let parallel =
+                cross_validate_parallel(|| make_classifier(name), &ds, 10, 7).unwrap();
+            assert_eq!(
+                serial.confusion_matrix(),
+                parallel.confusion_matrix(),
+                "{name} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_cv_propagates_errors() {
+        let ds = dm_data::corpus::breast_cancer();
+        let err = cross_validate_parallel(|| make_classifier("NoSuch"), &ds, 3, 1);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn summary_contains_matrix() {
+        let ds = weather_nominal();
+        let eval = cross_validate(|| make_classifier("NaiveBayes"), &ds, 2, 3).unwrap();
+        let text = eval.summary();
+        assert!(text.contains("Confusion Matrix"));
+        assert!(text.contains("Kappa"));
+    }
+}

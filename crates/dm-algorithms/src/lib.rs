@@ -1,0 +1,59 @@
+//! # dm-algorithms — the machine-learning substrate of `faehim-rs`
+//!
+//! The paper derives its Web Services "from the WEKA data mining library
+//! of algorithms" — classifiers, clustering algorithms, and association
+//! rules, plus ~20 attribute search/selection approaches (§1). WEKA is a
+//! Java library and cannot be a dependency here, so this crate is a
+//! from-scratch reimplementation of a representative pool:
+//!
+//! * **Classifiers** ([`classifiers`]): ZeroR, OneR, DecisionStump,
+//!   NaiveBayes, IBk (k-NN), **J48** (C4.5 with gain-ratio splits,
+//!   fractional-weight missing-value handling, and pessimistic pruning —
+//!   the algorithm of the paper's case study), PRISM, Logistic
+//!   regression, a backpropagation MLP, RandomTree, and the meta
+//!   learners Bagging, RandomForest and AdaBoostM1.
+//! * **Clusterers** ([`cluster`]): SimpleKMeans, FarthestFirst,
+//!   **Cobweb** (the paper's clustering Web Service example), EM, and
+//!   agglomerative hierarchical clustering.
+//! * **Association rules** ([`associations`]): Apriori and FP-Growth.
+//! * **Attribute selection** ([`attrsel`]): single-attribute evaluators
+//!   (info gain, gain ratio, chi-squared, symmetrical uncertainty,
+//!   ReliefF, OneR) and subset evaluators (CFS, wrapper) crossed with
+//!   search strategies (ranker, best-first, greedy forward/backward,
+//!   **genetic search** — called out in the paper — random, exhaustive).
+//! * **Evaluation** ([`eval`]): confusion matrices, accuracy/kappa,
+//!   train/test and k-fold cross-validation.
+//!
+//! Every algorithm implements [`options::Configurable`] with WEKA-style
+//! option descriptors so the general Classifier Web Service can expose
+//! `getClassifiers` / `getOptions` / `classifyInstance` generically, and
+//! offers binary state encode/decode (via [`state`]) so the Web Service
+//! lifecycle experiment (E4) can serialise real model state.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod associations;
+pub mod attrsel;
+pub mod classifiers;
+pub mod cluster;
+pub mod error;
+pub mod eval;
+pub mod options;
+pub mod registry;
+pub mod signal;
+pub mod state;
+pub mod tree;
+
+pub use error::{AlgoError, Result};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::classifiers::{Classifier, J48, NaiveBayes, ZeroR};
+    pub use crate::cluster::{Clusterer, KMeans};
+    pub use crate::error::{AlgoError, Result};
+    pub use crate::eval::{cross_validate, Evaluation};
+    pub use crate::options::{Configurable, OptionDescriptor};
+    pub use crate::registry::{classifier_names, make_classifier};
+    pub use crate::tree::TreeModel;
+}

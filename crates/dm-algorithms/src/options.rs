@@ -1,0 +1,231 @@
+//! WEKA-style option descriptors.
+//!
+//! The paper's general Classifier Web Service exposes a `getOptions`
+//! operation that "return\[s\] a list of the required and optional
+//! properties that the user should pass to the Web Service" so the
+//! workflow's OptionSelector tool can present them generically. This
+//! module defines that metadata and the [`Configurable`] trait every
+//! algorithm implements.
+
+use crate::error::{AlgoError, Result};
+
+/// The kind (and constraint) of an option's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionKind {
+    /// Boolean flag; value is `"true"`/`"false"`.
+    Flag,
+    /// Integer within an inclusive range.
+    Integer {
+        /// Minimum accepted value.
+        min: i64,
+        /// Maximum accepted value.
+        max: i64,
+    },
+    /// Real number within an inclusive range.
+    Real {
+        /// Minimum accepted value.
+        min: f64,
+        /// Maximum accepted value.
+        max: f64,
+    },
+    /// One of a fixed set of choices.
+    Choice(Vec<String>),
+    /// Free-form text.
+    Text,
+}
+
+/// Metadata for one algorithm option, as returned by `getOptions`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptionDescriptor {
+    /// Command-line-style flag, e.g. `-C` (WEKA convention).
+    pub flag: &'static str,
+    /// Human-readable name, e.g. `confidence`.
+    pub name: &'static str,
+    /// One-line description for the OptionSelector tool.
+    pub description: &'static str,
+    /// Default value rendered as text.
+    pub default: String,
+    /// Value kind/constraint.
+    pub kind: OptionKind,
+}
+
+impl OptionDescriptor {
+    /// Validate a textual value against this descriptor's kind.
+    pub fn validate(&self, value: &str) -> Result<()> {
+        let bad = |message: String| AlgoError::BadOption { flag: self.flag.to_string(), message };
+        match &self.kind {
+            OptionKind::Flag => match value {
+                "true" | "false" => Ok(()),
+                _ => Err(bad(format!("expected true/false, got {value:?}"))),
+            },
+            OptionKind::Integer { min, max } => {
+                let v: i64 =
+                    value.parse().map_err(|_| bad(format!("{value:?} is not an integer")))?;
+                if v < *min || v > *max {
+                    Err(bad(format!("{v} outside [{min}, {max}]")))
+                } else {
+                    Ok(())
+                }
+            }
+            OptionKind::Real { min, max } => {
+                let v: f64 =
+                    value.parse().map_err(|_| bad(format!("{value:?} is not a number")))?;
+                if v < *min || v > *max {
+                    Err(bad(format!("{v} outside [{min}, {max}]")))
+                } else {
+                    Ok(())
+                }
+            }
+            OptionKind::Choice(choices) => {
+                if choices.iter().any(|c| c == value) {
+                    Ok(())
+                } else {
+                    Err(bad(format!("{value:?} not one of {choices:?}")))
+                }
+            }
+            OptionKind::Text => Ok(()),
+        }
+    }
+}
+
+/// An algorithm with WEKA-style runtime options.
+pub trait Configurable {
+    /// Descriptors of every supported option.
+    fn option_descriptors(&self) -> Vec<OptionDescriptor>;
+
+    /// Set an option by flag; implementations should parse and validate.
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()>;
+
+    /// Current value of an option by flag, rendered as text.
+    fn get_option(&self, flag: &str) -> Result<String>;
+
+    /// Apply many options at once (`(flag, value)` pairs).
+    fn set_options(&mut self, options: &[(&str, &str)]) -> Result<()> {
+        for (flag, value) in options {
+            self.set_option(flag, value)?;
+        }
+        Ok(())
+    }
+
+    /// Render the current configuration as a WEKA-style option string,
+    /// e.g. `-C 0.25 -M 2`.
+    fn options_string(&self) -> String {
+        let mut out = String::new();
+        for d in self.option_descriptors() {
+            let value = self.get_option(d.flag).unwrap_or_default();
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&format!("{} {}", d.flag, value));
+        }
+        out
+    }
+}
+
+/// Helper for implementations: find a descriptor by flag.
+pub fn descriptor_for<'a>(
+    descriptors: &'a [OptionDescriptor],
+    flag: &str,
+) -> Result<&'a OptionDescriptor> {
+    descriptors.iter().find(|d| d.flag == flag).ok_or_else(|| AlgoError::BadOption {
+        flag: flag.to_string(),
+        message: "unknown option".to_string(),
+    })
+}
+
+/// Parse a WEKA-style option string (`-C 0.25 -U true`) into pairs.
+pub fn parse_options_string(s: &str) -> Vec<(String, String)> {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].starts_with('-') && i + 1 < tokens.len() {
+            out.push((tokens[i].to_string(), tokens[i + 1].to_string()));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real_opt() -> OptionDescriptor {
+        OptionDescriptor {
+            flag: "-C",
+            name: "confidence",
+            description: "pruning confidence",
+            default: "0.25".into(),
+            kind: OptionKind::Real { min: 0.0, max: 1.0 },
+        }
+    }
+
+    #[test]
+    fn real_validation() {
+        let d = real_opt();
+        assert!(d.validate("0.1").is_ok());
+        assert!(d.validate("1.5").is_err());
+        assert!(d.validate("abc").is_err());
+    }
+
+    #[test]
+    fn integer_validation() {
+        let d = OptionDescriptor {
+            flag: "-K",
+            name: "k",
+            description: "neighbours",
+            default: "1".into(),
+            kind: OptionKind::Integer { min: 1, max: 100 },
+        };
+        assert!(d.validate("5").is_ok());
+        assert!(d.validate("0").is_err());
+        assert!(d.validate("5.5").is_err());
+    }
+
+    #[test]
+    fn flag_and_choice_validation() {
+        let f = OptionDescriptor {
+            flag: "-U",
+            name: "unpruned",
+            description: "",
+            default: "false".into(),
+            kind: OptionKind::Flag,
+        };
+        assert!(f.validate("true").is_ok());
+        assert!(f.validate("yes").is_err());
+        let c = OptionDescriptor {
+            flag: "-D",
+            name: "distance",
+            description: "",
+            default: "euclidean".into(),
+            kind: OptionKind::Choice(vec!["euclidean".into(), "manhattan".into()]),
+        };
+        assert!(c.validate("manhattan").is_ok());
+        assert!(c.validate("cosine").is_err());
+    }
+
+    #[test]
+    fn descriptor_lookup() {
+        let ds = vec![real_opt()];
+        assert!(descriptor_for(&ds, "-C").is_ok());
+        assert!(descriptor_for(&ds, "-Z").is_err());
+    }
+
+    #[test]
+    fn parse_option_string_pairs() {
+        let pairs = parse_options_string("-C 0.25 -M 2");
+        assert_eq!(
+            pairs,
+            vec![("-C".to_string(), "0.25".to_string()), ("-M".to_string(), "2".to_string())]
+        );
+    }
+
+    #[test]
+    fn parse_tolerates_stray_tokens() {
+        let pairs = parse_options_string("oops -K 3 trailing");
+        assert_eq!(pairs, vec![("-K".to_string(), "3".to_string())]);
+    }
+}

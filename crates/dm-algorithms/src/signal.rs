@@ -1,0 +1,351 @@
+//! Signal processing: "Use of the Triana workflow engine also allows us
+//! to utilize the Signal Processing toolbox available with algorithms
+//! such as Fast Fourier Transform and various spectral analysis
+//! algorithms" (§2). This module is that toolbox's computational core:
+//! a radix-2 FFT (with zero-padding for arbitrary lengths), inverse
+//! FFT, window functions, power-spectrum estimation, and spectral peak
+//! detection.
+
+use crate::error::{AlgoError, Result};
+
+/// A complex number as `(re, im)` — kept as a plain tuple struct so the
+/// FFT inner loop stays allocation- and abstraction-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+}
+
+/// Next power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.len()` must be a
+/// power of two. `inverse` selects the inverse transform (including the
+/// 1/N normalisation).
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(AlgoError::Unsupported(format!(
+            "FFT length {n} is not a power of two (zero-pad via fft())"
+        )));
+    }
+    if n == 1 {
+        return Ok(()); // the transform of a single sample is itself
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * std::f64::consts::TAU / len as f64;
+        let w_len = Complex::new(angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2].mul(w);
+                data[start + k] = a.add(b);
+                data[start + k + len / 2] = a.sub(b);
+                w = w.mul(w_len);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= scale;
+            x.im *= scale;
+        }
+    }
+    Ok(())
+}
+
+/// FFT of a real signal, zero-padded to the next power of two. Returns
+/// the full complex spectrum (length = padded size).
+pub fn fft(signal: &[f64]) -> Result<Vec<Complex>> {
+    if signal.is_empty() {
+        return Err(AlgoError::Unsupported("FFT of an empty signal".into()));
+    }
+    let n = next_pow2(signal.len());
+    let mut data: Vec<Complex> =
+        signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    data.resize(n, Complex::default());
+    fft_in_place(&mut data, false)?;
+    Ok(data)
+}
+
+/// Inverse FFT back to (complex) time domain.
+pub fn ifft(spectrum: &[Complex]) -> Result<Vec<Complex>> {
+    let mut data = spectrum.to_vec();
+    fft_in_place(&mut data, true)?;
+    Ok(data)
+}
+
+/// Window functions for spectral estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// No tapering.
+    Rectangular,
+    /// Hann (raised cosine).
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman.
+    Blackman,
+}
+
+impl Window {
+    /// Window coefficient at sample `i` of `n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = std::f64::consts::TAU * i as f64 / (n - 1) as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 * (1.0 - x.cos()),
+            Window::Hamming => 0.54 - 0.46 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// Apply in place.
+    pub fn apply(self, signal: &mut [f64]) {
+        let n = signal.len();
+        for (i, x) in signal.iter_mut().enumerate() {
+            *x *= self.coefficient(i, n);
+        }
+    }
+}
+
+/// One bin of a power spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumBin {
+    /// Frequency in Hz (given the sample rate passed to
+    /// [`power_spectrum`]).
+    pub frequency: f64,
+    /// Power (|X|² / N).
+    pub power: f64,
+}
+
+/// Single-sided power spectrum of a real signal: window, FFT, fold.
+/// Returns `padded/2 + 1` bins.
+pub fn power_spectrum(
+    signal: &[f64],
+    sample_rate: f64,
+    window: Window,
+) -> Result<Vec<SpectrumBin>> {
+    if sample_rate <= 0.0 {
+        return Err(AlgoError::Unsupported(format!("sample rate {sample_rate} must be > 0")));
+    }
+    let mut windowed = signal.to_vec();
+    window.apply(&mut windowed);
+    let spectrum = fft(&windowed)?;
+    let n = spectrum.len();
+    let bins = n / 2 + 1;
+    Ok((0..bins)
+        .map(|k| {
+            // Fold the negative frequencies into the positive bins
+            // (except DC and Nyquist).
+            let mut power = spectrum[k].norm_sq() / n as f64;
+            if k != 0 && k != n / 2 {
+                power *= 2.0;
+            }
+            SpectrumBin { frequency: k as f64 * sample_rate / n as f64, power }
+        })
+        .collect())
+}
+
+/// Frequencies of local maxima in a power spectrum exceeding
+/// `threshold × max_power`, strongest first.
+pub fn spectral_peaks(spectrum: &[SpectrumBin], threshold: f64) -> Vec<SpectrumBin> {
+    let max_power = spectrum.iter().map(|b| b.power).fold(0.0, f64::max);
+    let mut peaks: Vec<SpectrumBin> = spectrum
+        .windows(3)
+        .filter(|w| {
+            w[1].power > w[0].power
+                && w[1].power >= w[2].power
+                && w[1].power >= threshold * max_power
+        })
+        .map(|w| w[1])
+        .collect();
+    peaks.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("finite power"));
+    peaks
+}
+
+/// Autocorrelation of a real signal via the Wiener–Khinchin theorem
+/// (FFT → |X|² → IFFT), normalised so lag 0 equals 1.
+pub fn autocorrelation(signal: &[f64]) -> Result<Vec<f64>> {
+    let n = signal.len();
+    if n == 0 {
+        return Err(AlgoError::Unsupported("autocorrelation of an empty signal".into()));
+    }
+    // Zero-pad to 2n to avoid circular wrap-around.
+    let padded = next_pow2(2 * n);
+    let mut data: Vec<Complex> =
+        signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    data.resize(padded, Complex::default());
+    fft_in_place(&mut data, false)?;
+    for x in data.iter_mut() {
+        let p = x.norm_sq();
+        *x = Complex::new(p, 0.0);
+    }
+    fft_in_place(&mut data, true)?;
+    let r0 = data[0].re.max(1e-300);
+    Ok((0..n).map(|lag| data[lag].re / r0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, sample_rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * freq * i as f64 / sample_rate).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64).collect();
+        let spectrum = fft(&signal).unwrap();
+        let back = ifft(&spectrum).unwrap();
+        for (orig, rec) in signal.iter().zip(&back) {
+            assert!((orig - rec.re).abs() < 1e-9);
+            assert!(rec.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut signal = vec![0.0; 16];
+        signal[0] = 1.0;
+        let spectrum = fft(&signal).unwrap();
+        for bin in &spectrum {
+            assert!((bin.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let a: Vec<f64> = (0..32).map(|i| (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i as f64 * 2.0).sin()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft(&a).unwrap();
+        let fb = fft(&b).unwrap();
+        let fs = fft(&sum).unwrap();
+        for i in 0..32 {
+            assert!((fs[i].re - fa[i].re - fb[i].re).abs() < 1e-9);
+            assert!((fs[i].im - fa[i].im - fb[i].im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_pow2_lengths_zero_padded() {
+        let signal = vec![1.0; 100];
+        let spectrum = fft(&signal).unwrap();
+        assert_eq!(spectrum.len(), 128);
+    }
+
+    #[test]
+    fn in_place_rejects_bad_lengths() {
+        let mut data = vec![Complex::default(); 12];
+        assert!(fft_in_place(&mut data, false).is_err());
+        assert!(fft(&[]).is_err());
+    }
+
+    #[test]
+    fn power_spectrum_finds_tone() {
+        // 50 Hz tone sampled at 1 kHz.
+        let signal = sine(50.0, 1000.0, 512);
+        let spectrum = power_spectrum(&signal, 1000.0, Window::Hann).unwrap();
+        let peak = spectrum
+            .iter()
+            .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap())
+            .unwrap();
+        assert!((peak.frequency - 50.0).abs() < 2.0, "peak at {}", peak.frequency);
+    }
+
+    #[test]
+    fn spectral_peaks_separate_two_tones() {
+        let mut signal = sine(50.0, 1000.0, 1024);
+        for (i, x) in signal.iter_mut().enumerate() {
+            *x += 0.5 * (std::f64::consts::TAU * 180.0 * i as f64 / 1000.0).sin();
+        }
+        let spectrum = power_spectrum(&signal, 1000.0, Window::Hann).unwrap();
+        let peaks = spectral_peaks(&spectrum, 0.05);
+        assert!(peaks.len() >= 2, "found {} peaks", peaks.len());
+        assert!((peaks[0].frequency - 50.0).abs() < 2.0);
+        assert!((peaks[1].frequency - 180.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn windows_taper_edges() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            assert!(w.coefficient(0, 64) < 0.1, "{w:?} start");
+            assert!(w.coefficient(32, 65) > 0.9, "{w:?} centre");
+        }
+        assert_eq!(Window::Rectangular.coefficient(0, 64), 1.0);
+        assert_eq!(Window::Hann.coefficient(0, 1), 1.0); // degenerate n
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        // Period-20 square-ish wave: autocorrelation peaks near lag 20.
+        let signal: Vec<f64> =
+            (0..400).map(|i| if (i / 10) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ac = autocorrelation(&signal).unwrap();
+        assert!((ac[0] - 1.0).abs() < 1e-9);
+        assert!(ac[20] > 0.8, "lag-20 autocorrelation {}", ac[20]);
+        assert!(ac[10] < -0.8, "lag-10 (half period) {}", ac[10]);
+    }
+
+    #[test]
+    fn bad_sample_rate_rejected() {
+        assert!(power_spectrum(&[1.0, 2.0], 0.0, Window::Hann).is_err());
+    }
+}

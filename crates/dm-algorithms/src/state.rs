@@ -1,0 +1,252 @@
+//! Binary model-state codec.
+//!
+//! §4.5 of the paper measures the cost of serialising an algorithm
+//! instance to disk after every Web Service invocation (the default
+//! Axis lifecycle) versus keeping it in memory. To reproduce that
+//! experiment honestly, model state must round-trip through real bytes.
+//! This module is a small self-describing tag-length-value writer and
+//! reader — deliberately *not* a third-party serialisation framework,
+//! because the encode/decode work itself is part of what E4 measures.
+
+use crate::error::{AlgoError, Result};
+
+/// Serialises primitive values into a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Create an empty writer.
+    pub fn new() -> StateWriter {
+        StateWriter { buf: Vec::new() }
+    }
+
+    /// Append an unsigned 64-bit integer.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a usize (stored as u64).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` (bit pattern preserved, so `NaN` round-trips).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a boolean.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Append a length-prefixed usize slice.
+    pub fn put_usize_slice(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_usize(x);
+        }
+    }
+
+    /// Append a length-prefixed raw byte slice.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Finish, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reads values back in the order they were written.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Wrap a byte slice for reading.
+    pub fn new(buf: &'a [u8]) -> StateReader<'a> {
+        StateReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(AlgoError::BadState(format!(
+                "truncated state: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice is 8 bytes")))
+    }
+
+    /// Read a usize.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        Ok(self.get_u64()? as usize)
+    }
+
+    /// Read an f64.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("slice is 8 bytes")))
+    }
+
+    /// Read a bool.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        Ok(self.take(1)?[0] != 0)
+    }
+
+    /// Read a length-prefixed string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_usize()?;
+        if len > self.buf.len() {
+            return Err(AlgoError::BadState(format!("string length {len} exceeds buffer")));
+        }
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| AlgoError::BadState(format!("invalid utf-8 in state: {e}")))
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>> {
+        let len = self.get_usize()?;
+        if len > self.buf.len() {
+            return Err(AlgoError::BadState(format!("f64 vec length {len} exceeds buffer")));
+        }
+        (0..len).map(|_| self.get_f64()).collect()
+    }
+
+    /// Read a length-prefixed usize vector.
+    pub fn get_usize_vec(&mut self) -> Result<Vec<usize>> {
+        let len = self.get_usize()?;
+        if len > self.buf.len() {
+            return Err(AlgoError::BadState(format!("usize vec length {len} exceeds buffer")));
+        }
+        (0..len).map(|_| self.get_usize()).collect()
+    }
+
+    /// Read a length-prefixed raw byte slice.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_usize()?;
+        if len > self.buf.len() {
+            return Err(AlgoError::BadState(format!("byte slice length {len} exceeds buffer")));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// `true` when the whole buffer has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// A model whose full trained state can round-trip through bytes.
+pub trait Stateful {
+    /// Encode the trained state.
+    fn encode_state(&self) -> Vec<u8>;
+    /// Restore trained state previously produced by [`Stateful::encode_state`].
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = StateWriter::new();
+        w.put_u64(42);
+        w.put_f64(-1.5);
+        w.put_bool(true);
+        w.put_str("hello κόσμε");
+        w.put_f64_slice(&[1.0, f64::NAN, 3.0]);
+        w.put_usize_slice(&[7, 8]);
+        let bytes = w.into_bytes();
+
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert_eq!(r.get_f64().unwrap(), -1.5);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "hello κόσμε");
+        let v = r.get_f64_vec().unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v[1].is_nan());
+        assert_eq!(r.get_usize_vec().unwrap(), vec![7, 8]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let mut w = StateWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes[..4]);
+        assert!(matches!(r.get_u64(), Err(AlgoError::BadState(_))));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut w = StateWriter::new();
+        w.put_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert!(r.get_str().is_err());
+        let mut r2 = StateReader::new(&bytes);
+        assert!(r2.get_f64_vec().is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut w = StateWriter::new();
+        w.put_bytes(&[1, 2, 3, 255]);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3, 255]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = StateWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+}

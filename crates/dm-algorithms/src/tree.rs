@@ -1,0 +1,245 @@
+//! A generic tree model: the "graph" output of the paper's `classify
+//! graph` / `getCobwebGraph` operations.
+//!
+//! Decision trees (J48, stumps, random trees) and cluster hierarchies
+//! (Cobweb, agglomerative) all export this structure; the visualisation
+//! crate renders it as text or SVG, and the Web Service layer ships it
+//! as the graph payload.
+
+use crate::state::{StateReader, StateWriter};
+use crate::error::Result;
+
+/// One node of a [`TreeModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNode {
+    /// Node label: a split description (`node-caps`) or a leaf verdict
+    /// (`recurrence-events (31.0/5.0)`).
+    pub label: String,
+    /// Label of the incoming edge (`= yes`, `<= 2.5`, ...); empty for
+    /// the root.
+    pub edge: String,
+    /// Child node indices within the owning tree's arena.
+    pub children: Vec<usize>,
+    /// `true` for leaves (also implied by empty `children`, but kept
+    /// explicit so pruned internal nodes can render distinctly).
+    pub is_leaf: bool,
+}
+
+/// An arena-allocated rooted tree with labelled edges.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TreeModel {
+    nodes: Vec<TreeNode>,
+}
+
+impl TreeModel {
+    /// Create an empty tree.
+    pub fn new() -> TreeModel {
+        TreeModel { nodes: Vec::new() }
+    }
+
+    /// Add a node, returning its index. The first node added is the root.
+    pub fn add_node<L: Into<String>, E: Into<String>>(
+        &mut self,
+        label: L,
+        edge: E,
+        is_leaf: bool,
+    ) -> usize {
+        self.nodes.push(TreeNode {
+            label: label.into(),
+            edge: edge.into(),
+            children: Vec::new(),
+            is_leaf,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Attach `child` under `parent`.
+    pub fn add_child(&mut self, parent: usize, child: usize) {
+        self.nodes[parent].children.push(child);
+    }
+
+    /// The root index (0), or `None` for an empty tree.
+    pub fn root(&self) -> Option<usize> {
+        (!self.nodes.is_empty()).then_some(0)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, i: usize) -> &TreeNode {
+        &self.nodes[i]
+    }
+
+    /// All nodes in arena order.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Depth of the tree (root = 1; 0 for an empty tree).
+    pub fn depth(&self) -> usize {
+        fn go(t: &TreeModel, i: usize) -> usize {
+            1 + t.nodes[i].children.iter().map(|&c| go(t, c)).max().unwrap_or(0)
+        }
+        self.root().map_or(0, |r| go(self, r))
+    }
+
+    /// Render in WEKA's indented text style:
+    ///
+    /// ```text
+    /// node-caps = yes
+    /// |   deg-malig = 3: recurrence-events (…)
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root() {
+            let node = &self.nodes[root];
+            if node.is_leaf {
+                out.push_str(&format!(": {}\n", node.label));
+            } else {
+                for &c in &node.children {
+                    self.render_edge(root, c, 0, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn render_edge(&self, parent: usize, child: usize, depth: usize, out: &mut String) {
+        let indent = "|   ".repeat(depth);
+        let p = &self.nodes[parent];
+        let c = &self.nodes[child];
+        if c.is_leaf {
+            out.push_str(&format!("{indent}{} {}: {}\n", p.label, c.edge, c.label));
+        } else {
+            out.push_str(&format!("{indent}{} {}\n", p.label, c.edge));
+            for &gc in &c.children {
+                self.render_edge(child, gc, depth + 1, out);
+            }
+        }
+    }
+
+    /// GraphViz DOT rendering (the paper's `classify graph` result is "a
+    /// graphical representation of the decision tree").
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = format!("digraph {name} {{\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = if n.is_leaf { "box" } else { "ellipse" };
+            out.push_str(&format!(
+                "  n{i} [label={:?}, shape={shape}];\n",
+                n.label
+            ));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &c in &n.children {
+                out.push_str(&format!("  n{i} -> n{} [label={:?}];\n", c, self.nodes[c].edge));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Encode to bytes (used inside model state payloads).
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.put_usize(self.nodes.len());
+        for n in &self.nodes {
+            w.put_str(&n.label);
+            w.put_str(&n.edge);
+            w.put_bool(n.is_leaf);
+            w.put_usize_slice(&n.children);
+        }
+    }
+
+    /// Decode from bytes written by [`TreeModel::encode`].
+    pub fn decode(r: &mut StateReader<'_>) -> Result<TreeModel> {
+        let len = r.get_usize()?;
+        let mut nodes = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let label = r.get_str()?;
+            let edge = r.get_str()?;
+            let is_leaf = r.get_bool()?;
+            let children = r.get_usize_vec()?;
+            nodes.push(TreeNode { label, edge, children, is_leaf });
+        }
+        Ok(TreeModel { nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TreeModel {
+        let mut t = TreeModel::new();
+        let root = t.add_node("node-caps", "", false);
+        let yes = t.add_node("deg-malig", "= yes", false);
+        let no = t.add_node("no-recurrence-events (171.0/51.0)", "= no", true);
+        t.add_child(root, yes);
+        t.add_child(root, no);
+        let l1 = t.add_node("recurrence-events (45.0)", "= 3", true);
+        let l2 = t.add_node("no-recurrence-events (11.0)", "= 1", true);
+        t.add_child(yes, l1);
+        t.add_child(yes, l2);
+        t
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.root(), Some(0));
+        assert!(TreeModel::new().is_empty());
+        assert_eq!(TreeModel::new().depth(), 0);
+    }
+
+    #[test]
+    fn weka_style_text() {
+        let t = sample();
+        let text = t.to_text();
+        assert!(text.contains("node-caps = no: no-recurrence-events"));
+        assert!(text.contains("|   deg-malig = 3: recurrence-events"));
+    }
+
+    #[test]
+    fn single_leaf_tree_text() {
+        let mut t = TreeModel::new();
+        t.add_node("all-one-class (10.0)", "", true);
+        assert_eq!(t.to_text(), ": all-one-class (10.0)\n");
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let t = sample();
+        let dot = t.to_dot("J48");
+        assert!(dot.starts_with("digraph J48 {"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("\"= yes\""));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample();
+        let mut w = StateWriter::new();
+        t.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let t2 = TreeModel::decode(&mut r).unwrap();
+        assert_eq!(t, t2);
+        assert!(r.is_exhausted());
+    }
+}

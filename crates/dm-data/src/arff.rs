@@ -1,0 +1,407 @@
+//! ARFF (Attribute-Relation File Format) reader and writer.
+//!
+//! This is the native format of the paper's Web Services: the
+//! `classifyInstance` operation of the general Classifier service
+//! requires "a data set in ARFF format". The dialect implemented here
+//! covers what WEKA 3.4 (the version the paper wrapped) emits:
+//!
+//! * `% comment` lines and blank lines anywhere;
+//! * `@relation <name>` with optional quoting;
+//! * `@attribute <name> numeric|real|integer|string|{l1,l2,...}`;
+//! * dense `@data` rows with `?` for missing values and single-quoted
+//!   tokens containing separators;
+//! * sparse rows `{index value, index value, ...}`.
+
+use crate::attribute::{Attribute, AttributeKind};
+use crate::dataset::{Dataset, Value};
+use crate::error::{DataError, Result};
+
+/// Parse an ARFF document into a [`Dataset`].
+///
+/// ```
+/// let text = "@relation toy\n@attribute a {x,y}\n@attribute b numeric\n@data\nx,1\ny,?\n";
+/// let ds = dm_data::arff::parse_arff(text).unwrap();
+/// assert_eq!(ds.num_instances(), 2);
+/// assert!(ds.instance(1).is_missing(1));
+/// ```
+pub fn parse_arff(text: &str) -> Result<Dataset> {
+    let mut relation = String::from("unnamed");
+    let mut attributes: Vec<Attribute> = Vec::new();
+    let mut dataset: Option<Dataset> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(ds) = dataset.as_mut() {
+            // Data section.
+            if line.starts_with('{') {
+                parse_sparse_row(ds, line, lineno + 1)?;
+            } else {
+                let fields = split_csv_line(line);
+                push_textual_row(ds, &fields, lineno + 1)?;
+            }
+        } else if lower.starts_with("@relation") {
+            relation = unquote(line["@relation".len()..].trim()).to_string();
+        } else if lower.starts_with("@attribute") {
+            attributes.push(parse_attribute_decl(line["@attribute".len()..].trim(), lineno + 1)?);
+        } else if lower.starts_with("@data") {
+            if attributes.is_empty() {
+                return Err(DataError::Parse {
+                    line: lineno + 1,
+                    message: "@data before any @attribute declaration".into(),
+                });
+            }
+            dataset = Some(Dataset::new(relation.clone(), attributes.clone()));
+        } else {
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                message: format!("unrecognised header line: {line:?}"),
+            });
+        }
+    }
+
+    dataset.ok_or(DataError::Parse { line: 0, message: "no @data section".into() })
+}
+
+fn push_textual_row(ds: &mut Dataset, fields: &[String], lineno: usize) -> Result<()> {
+    if fields.len() != ds.num_attributes() {
+        return Err(DataError::Parse {
+            line: lineno,
+            message: format!(
+                "row has {} values, header declares {} attributes",
+                fields.len(),
+                ds.num_attributes()
+            ),
+        });
+    }
+    // String attributes need interning, which push_labels does not do;
+    // encode manually.
+    let mut row = Vec::with_capacity(fields.len());
+    for (i, field) in fields.iter().enumerate() {
+        let attr = ds.attribute(i)?.clone();
+        let v = if field == "?" {
+            Value::MISSING
+        } else {
+            match attr.kind() {
+                AttributeKind::Nominal(_) => {
+                    Value::from_index(attr.label_index(field).ok_or_else(|| DataError::Parse {
+                        line: lineno,
+                        message: format!(
+                            "label {field:?} not in domain of attribute {:?}",
+                            attr.name()
+                        ),
+                    })?)
+                }
+                AttributeKind::Numeric => field.parse::<f64>().map_err(|_| DataError::Parse {
+                    line: lineno,
+                    message: format!("{field:?} is not numeric"),
+                })?,
+                AttributeKind::Str => Value::from_index(ds.intern_string(field.clone())),
+            }
+        };
+        row.push(v);
+    }
+    ds.push_row(row)?;
+    Ok(())
+}
+
+fn parse_sparse_row(ds: &mut Dataset, line: &str, lineno: usize) -> Result<()> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| DataError::Parse { line: lineno, message: "unterminated sparse row".into() })?;
+    // Sparse rows default unlisted values to 0 (numeric) or first label.
+    let mut row = vec![0.0; ds.num_attributes()];
+    if !inner.trim().is_empty() {
+        for part in split_csv_line(inner) {
+            let mut it = part.splitn(2, char::is_whitespace);
+            let idx: usize = it
+                .next()
+                .unwrap_or("")
+                .trim()
+                .parse()
+                .map_err(|_| DataError::Parse { line: lineno, message: "bad sparse index".into() })?;
+            let val = it.next().unwrap_or("").trim();
+            if idx >= ds.num_attributes() {
+                return Err(DataError::Parse {
+                    line: lineno,
+                    message: format!("sparse index {idx} out of range"),
+                });
+            }
+            let attr = ds.attribute(idx)?.clone();
+            row[idx] = if val == "?" {
+                Value::MISSING
+            } else {
+                match attr.kind() {
+                    AttributeKind::Nominal(_) => Value::from_index(
+                        attr.label_index(&unquote(val)).ok_or_else(|| DataError::Parse {
+                            line: lineno,
+                            message: format!("label {val:?} not in domain"),
+                        })?,
+                    ),
+                    AttributeKind::Numeric => val.parse::<f64>().map_err(|_| DataError::Parse {
+                        line: lineno,
+                        message: format!("{val:?} is not numeric"),
+                    })?,
+                    AttributeKind::Str => Value::from_index(ds.intern_string(unquote(val))),
+                }
+            };
+        }
+    }
+    ds.push_row(row)?;
+    Ok(())
+}
+
+fn parse_attribute_decl(decl: &str, lineno: usize) -> Result<Attribute> {
+    // Name may be quoted and may contain spaces when quoted.
+    let (name, rest) = take_token(decl);
+    if name.is_empty() {
+        return Err(DataError::Parse { line: lineno, message: "missing attribute name".into() });
+    }
+    let rest = rest.trim();
+    if rest.starts_with('{') {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| DataError::Parse {
+                line: lineno,
+                message: "unterminated nominal domain".into(),
+            })?;
+        let labels: Vec<String> = split_csv_line(inner);
+        Ok(Attribute::nominal(name, labels))
+    } else {
+        match rest.to_ascii_lowercase().as_str() {
+            "numeric" | "real" | "integer" => Ok(Attribute::numeric(name)),
+            "string" => Ok(Attribute::string(name)),
+            other if other.starts_with("date") => {
+                // Dates are stored as numeric timestamps; format is ignored.
+                Ok(Attribute::numeric(name))
+            }
+            other => Err(DataError::Parse {
+                line: lineno,
+                message: format!("unsupported attribute type {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Serialise a dataset to ARFF text.
+pub fn write_arff(ds: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("@relation {}\n\n", quote_if_needed(ds.relation())));
+    for attr in ds.attributes() {
+        out.push_str(&format!(
+            "@attribute {} {}\n",
+            quote_if_needed(attr.name()),
+            attr.arff_type()
+        ));
+    }
+    out.push_str("\n@data\n");
+    for row in 0..ds.num_instances() {
+        let mut first = true;
+        for attr in 0..ds.num_attributes() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let text = ds.format_value(row, attr);
+            if text == "?" {
+                out.push('?');
+            } else {
+                out.push_str(&quote_if_needed(&text));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Quote a token with single quotes when it contains ARFF separators.
+pub fn quote_if_needed(token: &str) -> String {
+    if token.is_empty()
+        || token.contains([' ', ',', '{', '}', '%', '\'', '"'])
+    {
+        format!("'{}'", token.replace('\'', "\\'"))
+    } else {
+        token.to_string()
+    }
+}
+
+/// Remove a trailing `%` comment, honouring quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            '%' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Split a comma-separated line, honouring single quotes, unquoting each
+/// field and trimming surrounding whitespace.
+pub(crate) fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quote => escaped = true,
+            '\'' => in_quote = !in_quote,
+            ',' if !in_quote => {
+                fields.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur.trim().to_string());
+    fields
+}
+
+/// Take the first (possibly quoted) whitespace-delimited token.
+fn take_token(s: &str) -> (String, &str) {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('\'') {
+        if let Some(end) = rest.find('\'') {
+            return (rest[..end].to_string(), &rest[end + 1..]);
+        }
+    }
+    match s.find(char::is_whitespace) {
+        Some(end) => (s[..end].to_string(), &s[end..]),
+        None => (s.to_string(), ""),
+    }
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('\'') && s.ends_with('\'') {
+        s[1..s.len() - 1].replace("\\'", "'")
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = "% a toy relation\n\
+        @relation 'toy set'\n\
+        @attribute outlook {sunny, overcast, rainy}\n\
+        @attribute temperature real\n\
+        @attribute 'play time' numeric\n\
+        @attribute play {yes,no}\n\
+        @data\n\
+        sunny, 85, 5, no   % hot day\n\
+        overcast, 83, 10, yes\n\
+        rainy, ?, 0, yes\n";
+
+    #[test]
+    fn parse_toy() {
+        let ds = parse_arff(TOY).unwrap();
+        assert_eq!(ds.relation(), "toy set");
+        assert_eq!(ds.num_attributes(), 4);
+        assert_eq!(ds.num_instances(), 3);
+        assert_eq!(ds.attribute(0).unwrap().labels().len(), 3);
+        assert_eq!(ds.attribute(2).unwrap().name(), "play time");
+        assert!(ds.instance(2).is_missing(1));
+        assert_eq!(ds.instance(0).label(3), Some("no"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let ds = parse_arff(TOY).unwrap();
+        let text = write_arff(&ds);
+        let ds2 = parse_arff(&text).unwrap();
+        assert_eq!(ds.num_instances(), ds2.num_instances());
+        for r in 0..ds.num_instances() {
+            for a in 0..ds.num_attributes() {
+                let (x, y) = (ds.value(r, a), ds2.value(r, a));
+                assert!(x.is_nan() == y.is_nan());
+                if !x.is_nan() {
+                    assert!((x - y).abs() < 1e-9, "mismatch at {r},{a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rows() {
+        let text = "@relation s\n@attribute a numeric\n@attribute b numeric\n@attribute c {u,v}\n@data\n{0 3, 2 v}\n{}\n";
+        let ds = parse_arff(text).unwrap();
+        assert_eq!(ds.num_instances(), 2);
+        assert_eq!(ds.value(0, 0), 3.0);
+        assert_eq!(ds.value(0, 1), 0.0);
+        assert_eq!(ds.instance(0).label(2), Some("v"));
+        assert_eq!(ds.value(1, 0), 0.0);
+    }
+
+    #[test]
+    fn integer_and_date_types() {
+        let text = "@relation t\n@attribute n integer\n@attribute d date yyyy-MM-dd\n@data\n4,100\n";
+        let ds = parse_arff(text).unwrap();
+        assert!(ds.attribute(0).unwrap().is_numeric());
+        assert!(ds.attribute(1).unwrap().is_numeric());
+    }
+
+    #[test]
+    fn string_attributes_interned() {
+        let text = "@relation t\n@attribute note string\n@data\nhello\nhello\nworld\n";
+        let ds = parse_arff(text).unwrap();
+        assert_eq!(ds.value(0, 0), ds.value(1, 0));
+        assert_ne!(ds.value(0, 0), ds.value(2, 0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "@relation t\n@attribute a numeric\n@data\nnot_a_number\n";
+        match parse_arff(text) {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_data_section_is_error() {
+        let text = "@relation t\n@attribute a numeric\n";
+        assert!(parse_arff(text).is_err());
+    }
+
+    #[test]
+    fn unknown_header_line_is_error() {
+        let text = "@relation t\n@bogus x\n@data\n";
+        assert!(parse_arff(text).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_row_is_error() {
+        let text = "@relation t\n@attribute a numeric\n@attribute b numeric\n@data\n1\n";
+        match parse_arff(text) {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoting_labels_with_spaces() {
+        let a = Attribute::nominal("x", ["big label", "ok"]);
+        let mut ds = Dataset::new("q", vec![a]);
+        ds.push_labels(&["big label"]).unwrap();
+        let text = write_arff(&ds);
+        assert!(text.contains("'big label'"));
+        let ds2 = parse_arff(&text).unwrap();
+        assert_eq!(ds2.instance(0).label(0), Some("big label"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Attribute descriptors: the schema half of a [`crate::Dataset`].
+
+use crate::error::{DataError, Result};
+
+/// The kind of an attribute, mirroring the ARFF type system used by the
+/// paper's toolkit (WEKA types): nominal enumerations, real numbers, and
+/// free-form strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttributeKind {
+    /// Finite enumeration of labels; values are stored as domain indices.
+    Nominal(Vec<String>),
+    /// Real-valued attribute (`@attribute x numeric` / `real` / `integer`).
+    Numeric,
+    /// Free-form string attribute; values index into a per-dataset string
+    /// table.
+    Str,
+}
+
+impl AttributeKind {
+    /// `true` if this is a nominal attribute.
+    pub fn is_nominal(&self) -> bool {
+        matches!(self, AttributeKind::Nominal(_))
+    }
+
+    /// `true` if this is a numeric attribute.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, AttributeKind::Numeric)
+    }
+
+    /// `true` if this is a string attribute.
+    pub fn is_string(&self) -> bool {
+        matches!(self, AttributeKind::Str)
+    }
+}
+
+/// A single column descriptor: a name plus an [`AttributeKind`].
+///
+/// ```
+/// use dm_data::{Attribute, AttributeKind};
+/// let a = Attribute::nominal("node-caps", ["yes", "no"]);
+/// assert_eq!(a.num_labels(), 2);
+/// assert_eq!(a.label_index("no"), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    name: String,
+    kind: AttributeKind,
+}
+
+impl Attribute {
+    /// Create a nominal attribute from a label list.
+    pub fn nominal<N, I, S>(name: N, labels: I) -> Self
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Nominal(labels.into_iter().map(Into::into).collect()),
+        }
+    }
+
+    /// Create a numeric attribute.
+    pub fn numeric<N: Into<String>>(name: N) -> Self {
+        Attribute { name: name.into(), kind: AttributeKind::Numeric }
+    }
+
+    /// Create a string attribute.
+    pub fn string<N: Into<String>>(name: N) -> Self {
+        Attribute { name: name.into(), kind: AttributeKind::Str }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's kind.
+    pub fn kind(&self) -> &AttributeKind {
+        &self.kind
+    }
+
+    /// `true` if nominal.
+    pub fn is_nominal(&self) -> bool {
+        self.kind.is_nominal()
+    }
+
+    /// `true` if numeric.
+    pub fn is_numeric(&self) -> bool {
+        self.kind.is_numeric()
+    }
+
+    /// `true` if string-valued.
+    pub fn is_string(&self) -> bool {
+        self.kind.is_string()
+    }
+
+    /// Labels of a nominal attribute (empty slice for other kinds).
+    pub fn labels(&self) -> &[String] {
+        match &self.kind {
+            AttributeKind::Nominal(l) => l,
+            _ => &[],
+        }
+    }
+
+    /// Number of labels (0 for non-nominal attributes).
+    pub fn num_labels(&self) -> usize {
+        self.labels().len()
+    }
+
+    /// Index of `label` in a nominal domain, if present.
+    pub fn label_index(&self, label: &str) -> Option<usize> {
+        self.labels().iter().position(|l| l == label)
+    }
+
+    /// Label at `index`, or an error for non-nominal / out-of-range.
+    pub fn label(&self, index: usize) -> Result<&str> {
+        match &self.kind {
+            AttributeKind::Nominal(l) => l.get(index).map(String::as_str).ok_or_else(|| {
+                DataError::UnknownLabel {
+                    attribute: self.name.clone(),
+                    label: format!("#{index}"),
+                }
+            }),
+            _ => Err(DataError::KindMismatch { attribute: self.name.clone(), expected: "nominal" }),
+        }
+    }
+
+    /// Append a label to a nominal domain, returning its index. Used by
+    /// incremental CSV type inference. Errors on non-nominal attributes.
+    pub fn add_label<S: Into<String>>(&mut self, label: S) -> Result<usize> {
+        match &mut self.kind {
+            AttributeKind::Nominal(l) => {
+                l.push(label.into());
+                Ok(l.len() - 1)
+            }
+            _ => Err(DataError::KindMismatch { attribute: self.name.clone(), expected: "nominal" }),
+        }
+    }
+
+    /// Render the attribute as an ARFF `@attribute` declaration body
+    /// (everything after the name), e.g. `{yes,no}` or `numeric`.
+    pub fn arff_type(&self) -> String {
+        match &self.kind {
+            AttributeKind::Nominal(labels) => {
+                let mut out = String::from("{");
+                for (i, l) in labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&crate::arff::quote_if_needed(l));
+                }
+                out.push('}');
+                out
+            }
+            AttributeKind::Numeric => "numeric".to_string(),
+            AttributeKind::Str => "string".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_roundtrip() {
+        let a = Attribute::nominal("deg-malig", ["1", "2", "3"]);
+        assert!(a.is_nominal());
+        assert_eq!(a.num_labels(), 3);
+        assert_eq!(a.label_index("2"), Some(1));
+        assert_eq!(a.label(2).unwrap(), "3");
+        assert!(a.label(3).is_err());
+    }
+
+    #[test]
+    fn numeric_has_no_labels() {
+        let a = Attribute::numeric("age");
+        assert!(a.is_numeric());
+        assert_eq!(a.num_labels(), 0);
+        assert_eq!(a.label_index("x"), None);
+        assert!(a.label(0).is_err());
+    }
+
+    #[test]
+    fn add_label_grows_domain() {
+        let mut a = Attribute::nominal("c", Vec::<String>::new());
+        assert_eq!(a.add_label("first").unwrap(), 0);
+        assert_eq!(a.add_label("second").unwrap(), 1);
+        assert_eq!(a.labels(), ["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn add_label_rejected_for_numeric() {
+        let mut a = Attribute::numeric("x");
+        assert!(a.add_label("boom").is_err());
+    }
+
+    #[test]
+    fn arff_type_rendering() {
+        assert_eq!(Attribute::numeric("x").arff_type(), "numeric");
+        assert_eq!(Attribute::string("s").arff_type(), "string");
+        assert_eq!(Attribute::nominal("n", ["a", "b c"]).arff_type(), "{a,'b c'}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Quinlan's 14-instance "play tennis" weather dataset — WEKA's
+//! canonical example file, shipped here for docs, examples, and quick
+//! experiments (the C4.5 literature's standard fixture: the tree splits
+//! on `outlook` at the root).
+
+use crate::attribute::Attribute;
+use crate::dataset::Dataset;
+
+/// The nominal weather dataset (`weather.nominal.arff`).
+pub fn weather_nominal() -> Dataset {
+    let mut ds = Dataset::new(
+        "weather.symbolic",
+        vec![
+            Attribute::nominal("outlook", ["sunny", "overcast", "rainy"]),
+            Attribute::nominal("temperature", ["hot", "mild", "cool"]),
+            Attribute::nominal("humidity", ["high", "normal"]),
+            Attribute::nominal("windy", ["TRUE", "FALSE"]),
+            Attribute::nominal("play", ["yes", "no"]),
+        ],
+    );
+    ds.set_class_index(Some(4)).expect("class index in range");
+    let rows = [
+        ["sunny", "hot", "high", "FALSE", "no"],
+        ["sunny", "hot", "high", "TRUE", "no"],
+        ["overcast", "hot", "high", "FALSE", "yes"],
+        ["rainy", "mild", "high", "FALSE", "yes"],
+        ["rainy", "cool", "normal", "FALSE", "yes"],
+        ["rainy", "cool", "normal", "TRUE", "no"],
+        ["overcast", "cool", "normal", "TRUE", "yes"],
+        ["sunny", "mild", "high", "FALSE", "no"],
+        ["sunny", "cool", "normal", "FALSE", "yes"],
+        ["rainy", "mild", "normal", "FALSE", "yes"],
+        ["sunny", "mild", "normal", "TRUE", "yes"],
+        ["overcast", "mild", "high", "TRUE", "yes"],
+        ["overcast", "hot", "normal", "FALSE", "yes"],
+        ["rainy", "mild", "high", "TRUE", "no"],
+    ];
+    for r in rows {
+        ds.push_labels(&r).expect("labels in domain");
+    }
+    ds
+}
+
+/// The numeric weather dataset (`weather.numeric.arff`): temperature
+/// and humidity as real values.
+pub fn weather_numeric() -> Dataset {
+    let mut ds = Dataset::new(
+        "weather",
+        vec![
+            Attribute::nominal("outlook", ["sunny", "overcast", "rainy"]),
+            Attribute::numeric("temperature"),
+            Attribute::numeric("humidity"),
+            Attribute::nominal("windy", ["TRUE", "FALSE"]),
+            Attribute::nominal("play", ["yes", "no"]),
+        ],
+    );
+    ds.set_class_index(Some(4)).expect("class index in range");
+    let rows = [
+        ["sunny", "85", "85", "FALSE", "no"],
+        ["sunny", "80", "90", "TRUE", "no"],
+        ["overcast", "83", "86", "FALSE", "yes"],
+        ["rainy", "70", "96", "FALSE", "yes"],
+        ["rainy", "68", "80", "FALSE", "yes"],
+        ["rainy", "65", "70", "TRUE", "no"],
+        ["overcast", "64", "65", "TRUE", "yes"],
+        ["sunny", "72", "95", "FALSE", "no"],
+        ["sunny", "69", "70", "FALSE", "yes"],
+        ["rainy", "75", "80", "FALSE", "yes"],
+        ["sunny", "75", "70", "TRUE", "yes"],
+        ["overcast", "72", "90", "TRUE", "yes"],
+        ["overcast", "81", "75", "FALSE", "yes"],
+        ["rainy", "71", "91", "TRUE", "no"],
+    ];
+    for r in rows {
+        ds.push_labels(&r).expect("labels in domain");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_shape() {
+        let ds = weather_nominal();
+        assert_eq!(ds.num_instances(), 14);
+        assert_eq!(ds.num_attributes(), 5);
+        assert_eq!(ds.class_counts().unwrap(), vec![9.0, 5.0]);
+    }
+
+    #[test]
+    fn numeric_shape() {
+        let ds = weather_numeric();
+        assert_eq!(ds.num_instances(), 14);
+        assert!(ds.attribute(1).unwrap().is_numeric());
+        assert_eq!(ds.class_counts().unwrap(), vec![9.0, 5.0]);
+    }
+
+    #[test]
+    fn arff_roundtrip() {
+        for ds in [weather_nominal(), weather_numeric()] {
+            let text = crate::arff::write_arff(&ds);
+            let back = crate::arff::parse_arff(&text).unwrap();
+            assert_eq!(back.num_instances(), 14);
+        }
+    }
+}

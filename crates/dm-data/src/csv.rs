@@ -1,0 +1,280 @@
+//! CSV reader and writer with type inference.
+//!
+//! The paper's data-manipulation toolbox includes "a tool to convert CSV
+//! file into ARFF format … particularly useful for using data sets
+//! obtained from commercial software such as MS-Excel". This module
+//! parses RFC-4180-style CSV (double-quoted fields, embedded commas and
+//! quotes) and infers per-column types: a column is numeric when every
+//! non-missing field parses as `f64`, otherwise it becomes nominal with
+//! the distinct values (in order of first appearance) as its domain.
+
+use crate::attribute::Attribute;
+use crate::dataset::{Dataset, Value};
+use crate::error::{DataError, Result};
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Whether the first row is a header of column names (default true).
+    pub has_header: bool,
+    /// Tokens treated as missing values (default `""` and `"?"`).
+    pub missing_tokens: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            has_header: true,
+            missing_tokens: vec![String::new(), "?".to_string()],
+        }
+    }
+}
+
+/// Parse CSV text into a [`Dataset`] using default options.
+pub fn parse_csv(text: &str) -> Result<Dataset> {
+    parse_csv_with(text, &CsvOptions::default())
+}
+
+/// Parse CSV text with explicit [`CsvOptions`].
+pub fn parse_csv_with(text: &str, opts: &CsvOptions) -> Result<Dataset> {
+    let mut rows: Vec<Vec<Option<String>>> = Vec::new();
+    let mut header: Option<Vec<String>> = None;
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_quoted(line, opts.separator, lineno + 1)?;
+        if opts.has_header && header.is_none() {
+            header = Some(fields);
+            continue;
+        }
+        let row: Vec<Option<String>> = fields
+            .into_iter()
+            .map(|f| if opts.missing_tokens.contains(&f) { None } else { Some(f) })
+            .collect();
+        rows.push(row);
+    }
+
+    let ncols = header
+        .as_ref()
+        .map(Vec::len)
+        .or_else(|| rows.first().map(Vec::len))
+        .ok_or(DataError::Parse { line: 0, message: "empty CSV input".into() })?;
+
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != ncols {
+            return Err(DataError::Parse {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("row has {} fields, expected {ncols}", row.len()),
+            });
+        }
+    }
+
+    let names: Vec<String> = match header {
+        Some(h) => h,
+        None => (0..ncols).map(|i| format!("col{}", i + 1)).collect(),
+    };
+
+    // Infer column types.
+    let mut attributes = Vec::with_capacity(ncols);
+    for (c, name) in names.iter().enumerate() {
+        let numeric = rows
+            .iter()
+            .filter_map(|r| r[c].as_deref())
+            .all(|f| f.trim().parse::<f64>().is_ok());
+        let any_value = rows.iter().any(|r| r[c].is_some());
+        if numeric && any_value {
+            attributes.push(Attribute::numeric(name.clone()));
+        } else {
+            let mut labels: Vec<String> = Vec::new();
+            for r in &rows {
+                if let Some(f) = &r[c] {
+                    if !labels.iter().any(|l| l == f) {
+                        labels.push(f.clone());
+                    }
+                }
+            }
+            attributes.push(Attribute::nominal(name.clone(), labels));
+        }
+    }
+
+    let mut ds = Dataset::new("csv-import", attributes);
+    for row in &rows {
+        let encoded: Vec<f64> = row
+            .iter()
+            .enumerate()
+            .map(|(c, f)| match f {
+                None => Ok(Value::MISSING),
+                Some(text) => {
+                    let attr = ds.attribute(c)?;
+                    if attr.is_numeric() {
+                        text.trim().parse::<f64>().map_err(|_| DataError::Parse {
+                            line: 0,
+                            message: format!("{text:?} is not numeric"),
+                        })
+                    } else {
+                        attr.label_index(text).map(Value::from_index).ok_or_else(|| {
+                            DataError::UnknownLabel {
+                                attribute: attr.name().to_string(),
+                                label: text.clone(),
+                            }
+                        })
+                    }
+                }
+            })
+            .collect::<Result<_>>()?;
+        ds.push_row(encoded)?;
+    }
+    Ok(ds)
+}
+
+/// Serialise a dataset to CSV text (header row + quoted fields).
+pub fn write_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for attr in ds.attributes() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&quote_csv(attr.name()));
+    }
+    out.push('\n');
+    for row in 0..ds.num_instances() {
+        let mut first = true;
+        for attr in 0..ds.num_attributes() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let text = ds.format_value(row, attr);
+            if text == "?" {
+                // Empty field denotes missing in CSV.
+            } else {
+                out.push_str(&quote_csv(&text));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn quote_csv(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn split_quoted(line: &str, sep: char, lineno: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quote = false;
+    while let Some(c) = chars.next() {
+        if in_quote {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quote = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            in_quote = true;
+        } else if c == sep {
+            fields.push(cur.trim().to_string());
+            cur.clear();
+        } else {
+            cur.push(c);
+        }
+    }
+    if in_quote {
+        return Err(DataError::Parse { line: lineno, message: "unterminated quoted field".into() });
+    }
+    fields.push(cur.trim().to_string());
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_numeric_and_nominal() {
+        let text = "age,city,score\n34,Cardiff,1.5\n28,London,2\n,Cardiff,\n";
+        let ds = parse_csv(text).unwrap();
+        assert!(ds.attribute(0).unwrap().is_numeric());
+        assert!(ds.attribute(1).unwrap().is_nominal());
+        assert!(ds.attribute(2).unwrap().is_numeric());
+        assert_eq!(ds.num_instances(), 3);
+        assert!(ds.instance(2).is_missing(0));
+        assert!(ds.instance(2).is_missing(2));
+        assert_eq!(ds.instance(1).label(1), Some("London"));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas() {
+        let text = "name,note\nalice,\"hello, world\"\nbob,\"say \"\"hi\"\"\"\n";
+        let ds = parse_csv(text).unwrap();
+        assert_eq!(ds.instance(0).label(1), Some("hello, world"));
+        assert_eq!(ds.instance(1).label(1), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let ds = parse_csv_with("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(ds.attribute(0).unwrap().name(), "col1");
+        assert_eq!(ds.num_instances(), 2);
+    }
+
+    #[test]
+    fn custom_separator() {
+        let opts = CsvOptions { separator: ';', ..CsvOptions::default() };
+        let ds = parse_csv_with("a;b\n1;x\n", &opts).unwrap();
+        assert_eq!(ds.num_attributes(), 2);
+        assert_eq!(ds.instance(0).label(1), Some("x"));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(parse_csv("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_csv("").is_err());
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let text = "age,city\n34,Cardiff\n28,\"Lond,on\"\n,Cardiff\n";
+        let ds = parse_csv(text).unwrap();
+        let out = write_csv(&ds);
+        let ds2 = parse_csv(&out).unwrap();
+        assert_eq!(ds2.num_instances(), 3);
+        assert_eq!(ds2.instance(1).label(1), Some("Lond,on"));
+        assert!(ds2.instance(2).is_missing(0));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(parse_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn all_missing_column_is_nominal() {
+        let ds = parse_csv("a,b\n,1\n,2\n").unwrap();
+        assert!(ds.attribute(0).unwrap().is_nominal());
+        assert_eq!(ds.attribute(0).unwrap().num_labels(), 0);
+    }
+}

@@ -1,0 +1,560 @@
+//! The core data model: [`Dataset`] (WEKA `Instances` equivalent),
+//! [`Instance`] row views, and [`Value`] encoding helpers.
+
+use crate::attribute::{Attribute, AttributeKind};
+use crate::error::{DataError, Result};
+
+/// Helpers for the dense `f64` value encoding used by [`Dataset`].
+///
+/// * numeric attributes store their value directly;
+/// * nominal attributes store the label's domain index as `f64`;
+/// * string attributes store an index into the dataset string table;
+/// * a missing value (ARFF `?`) is `f64::NAN`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Value;
+
+impl Value {
+    /// The encoding of a missing value.
+    pub const MISSING: f64 = f64::NAN;
+
+    /// `true` if `v` encodes a missing value.
+    #[inline]
+    pub fn is_missing(v: f64) -> bool {
+        v.is_nan()
+    }
+
+    /// Decode a nominal/string value to its domain index.
+    ///
+    /// Callers must have checked for missingness; a missing value maps to
+    /// index 0 only by accident of `as` casting, so debug builds assert.
+    #[inline]
+    pub fn as_index(v: f64) -> usize {
+        debug_assert!(!v.is_nan(), "as_index called on a missing value");
+        v as usize
+    }
+
+    /// Encode a domain index as a stored value.
+    #[inline]
+    pub fn from_index(i: usize) -> f64 {
+        i as f64
+    }
+}
+
+/// A borrowed view of one row of a [`Dataset`].
+#[derive(Debug, Clone, Copy)]
+pub struct Instance<'a> {
+    dataset: &'a Dataset,
+    row: usize,
+}
+
+impl<'a> Instance<'a> {
+    /// Raw encoded value at attribute `attr`.
+    #[inline]
+    pub fn value(&self, attr: usize) -> f64 {
+        self.dataset.value(self.row, attr)
+    }
+
+    /// `true` if the value at `attr` is missing.
+    #[inline]
+    pub fn is_missing(&self, attr: usize) -> bool {
+        Value::is_missing(self.value(attr))
+    }
+
+    /// Nominal label at `attr`, or `None` if missing / not nominal.
+    pub fn label(&self, attr: usize) -> Option<&'a str> {
+        let v = self.value(attr);
+        if Value::is_missing(v) {
+            return None;
+        }
+        let a = self.dataset.attribute(attr).ok()?;
+        a.labels().get(Value::as_index(v)).map(String::as_str)
+    }
+
+    /// The row index of this instance within its dataset.
+    #[inline]
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// The instance weight (1.0 unless reweighted by a filter).
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.dataset.weight(self.row)
+    }
+
+    /// Encoded class value (`NaN` when missing). Panics if the dataset
+    /// has no class attribute.
+    #[inline]
+    pub fn class_value(&self) -> f64 {
+        let c = self.dataset.class_index().expect("dataset has no class attribute");
+        self.value(c)
+    }
+
+    /// All encoded values of this row as a slice.
+    #[inline]
+    pub fn values(&self) -> &'a [f64] {
+        self.dataset.row(self.row)
+    }
+}
+
+/// A dataset: a relation name, an attribute header, a dense row-major
+/// value matrix, per-row weights, and an optional class attribute index.
+///
+/// ```
+/// use dm_data::{Attribute, Dataset};
+/// let mut ds = Dataset::new("weather", vec![
+///     Attribute::nominal("outlook", ["sunny", "rainy"]),
+///     Attribute::numeric("humidity"),
+///     Attribute::nominal("play", ["yes", "no"]),
+/// ]);
+/// ds.set_class_index(Some(2)).unwrap();
+/// ds.push_row(vec![0.0, 85.0, 1.0]).unwrap();
+/// assert_eq!(ds.num_instances(), 1);
+/// assert_eq!(ds.instance(0).label(0), Some("sunny"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    relation: String,
+    attributes: Vec<Attribute>,
+    /// Row-major matrix: `values[row * num_attributes + attr]`.
+    values: Vec<f64>,
+    weights: Vec<f64>,
+    class_index: Option<usize>,
+    /// Interned values of string attributes (shared across columns).
+    strings: Vec<String>,
+}
+
+impl PartialEq for Dataset {
+    /// Structural equality with missing-value semantics: two `NaN`
+    /// cells (both missing) compare equal, unlike raw `f64` equality.
+    fn eq(&self, other: &Self) -> bool {
+        self.relation == other.relation
+            && self.attributes == other.attributes
+            && self.class_index == other.class_index
+            && self.strings == other.strings
+            && self.weights == other.weights
+            && self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| (a.is_nan() && b.is_nan()) || a == b)
+    }
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given relation name and header.
+    pub fn new<N: Into<String>>(relation: N, attributes: Vec<Attribute>) -> Self {
+        Dataset {
+            relation: relation.into(),
+            attributes,
+            values: Vec::new(),
+            weights: Vec::new(),
+            class_index: None,
+            strings: Vec::new(),
+        }
+    }
+
+    /// The relation name (ARFF `@relation`).
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Rename the relation.
+    pub fn set_relation<N: Into<String>>(&mut self, name: N) {
+        self.relation = name.into();
+    }
+
+    /// Number of attributes (columns).
+    #[inline]
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of instances (rows).
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        if self.attributes.is_empty() {
+            0
+        } else {
+            self.values.len() / self.attributes.len()
+        }
+    }
+
+    /// Attribute descriptor at `index`.
+    pub fn attribute(&self, index: usize) -> Result<&Attribute> {
+        self.attributes
+            .get(index)
+            .ok_or(DataError::AttributeIndex { index, len: self.attributes.len() })
+    }
+
+    /// All attribute descriptors.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn attribute_index(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The class attribute index, if set.
+    #[inline]
+    pub fn class_index(&self) -> Option<usize> {
+        self.class_index
+    }
+
+    /// Set (or clear) the class attribute index.
+    pub fn set_class_index(&mut self, index: Option<usize>) -> Result<()> {
+        if let Some(i) = index {
+            if i >= self.attributes.len() {
+                return Err(DataError::AttributeIndex { index: i, len: self.attributes.len() });
+            }
+        }
+        self.class_index = index;
+        Ok(())
+    }
+
+    /// Set the class attribute by name.
+    pub fn set_class_by_name(&mut self, name: &str) -> Result<()> {
+        let i = self.attribute_index(name)?;
+        self.class_index = Some(i);
+        Ok(())
+    }
+
+    /// The class attribute descriptor, or `Err(NoClass)`.
+    pub fn class_attribute(&self) -> Result<&Attribute> {
+        let i = self.class_index.ok_or(DataError::NoClass)?;
+        self.attribute(i)
+    }
+
+    /// Number of class labels (errors if no class or class not nominal).
+    pub fn num_classes(&self) -> Result<usize> {
+        let a = self.class_attribute()?;
+        if !a.is_nominal() {
+            return Err(DataError::KindMismatch {
+                attribute: a.name().to_string(),
+                expected: "nominal",
+            });
+        }
+        Ok(a.num_labels())
+    }
+
+    /// Append a row of encoded values (with weight 1.0).
+    pub fn push_row(&mut self, row: Vec<f64>) -> Result<()> {
+        self.push_row_weighted(row, 1.0)
+    }
+
+    /// Append a row of encoded values with an explicit weight.
+    pub fn push_row_weighted(&mut self, row: Vec<f64>, weight: f64) -> Result<()> {
+        if row.len() != self.attributes.len() {
+            return Err(DataError::Arity { got: row.len(), expected: self.attributes.len() });
+        }
+        self.values.extend_from_slice(&row);
+        self.weights.push(weight);
+        Ok(())
+    }
+
+    /// Append a row given per-attribute textual values (`"?"` = missing).
+    /// Nominal labels are resolved against each attribute's domain.
+    pub fn push_labels<S: AsRef<str>>(&mut self, fields: &[S]) -> Result<()> {
+        if fields.len() != self.attributes.len() {
+            return Err(DataError::Arity { got: fields.len(), expected: self.attributes.len() });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (field, attr) in fields.iter().zip(&self.attributes) {
+            row.push(self.encode_field(field.as_ref(), attr)?);
+        }
+        self.values.extend_from_slice(&row);
+        self.weights.push(1.0);
+        Ok(())
+    }
+
+    fn encode_field(&self, field: &str, attr: &Attribute) -> Result<f64> {
+        if field == "?" {
+            return Ok(Value::MISSING);
+        }
+        match attr.kind() {
+            AttributeKind::Nominal(_) => attr
+                .label_index(field)
+                .map(Value::from_index)
+                .ok_or_else(|| DataError::UnknownLabel {
+                    attribute: attr.name().to_string(),
+                    label: field.to_string(),
+                }),
+            AttributeKind::Numeric => field.parse::<f64>().map_err(|_| DataError::Parse {
+                line: 0,
+                message: format!("{field:?} is not numeric (attribute {:?})", attr.name()),
+            }),
+            AttributeKind::Str => Err(DataError::KindMismatch {
+                attribute: attr.name().to_string(),
+                expected: "nominal or numeric (use push_string_row for string attributes)",
+            }),
+        }
+    }
+
+    /// Intern a string value and return its table index (for `Str`
+    /// attributes).
+    pub fn intern_string<S: Into<String>>(&mut self, s: S) -> usize {
+        let s = s.into();
+        if let Some(i) = self.strings.iter().position(|x| *x == s) {
+            return i;
+        }
+        self.strings.push(s);
+        self.strings.len() - 1
+    }
+
+    /// Resolve an interned string index.
+    pub fn string_at(&self, index: usize) -> Option<&str> {
+        self.strings.get(index).map(String::as_str)
+    }
+
+    /// Encoded value at (`row`, `attr`).
+    #[inline]
+    pub fn value(&self, row: usize, attr: usize) -> f64 {
+        self.values[row * self.attributes.len() + attr]
+    }
+
+    /// Overwrite the encoded value at (`row`, `attr`).
+    #[inline]
+    pub fn set_value(&mut self, row: usize, attr: usize, v: f64) {
+        let n = self.attributes.len();
+        self.values[row * n + attr] = v;
+    }
+
+    /// The weight of `row`.
+    #[inline]
+    pub fn weight(&self, row: usize) -> f64 {
+        self.weights[row]
+    }
+
+    /// Set the weight of `row`.
+    pub fn set_weight(&mut self, row: usize, w: f64) {
+        self.weights[row] = w;
+    }
+
+    /// Borrow row `row` as a value slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        let n = self.attributes.len();
+        &self.values[row * n..(row + 1) * n]
+    }
+
+    /// Borrow row `row` as an [`Instance`] view.
+    #[inline]
+    pub fn instance(&self, row: usize) -> Instance<'_> {
+        Instance { dataset: self, row }
+    }
+
+    /// Iterate over all instances.
+    pub fn instances(&self) -> impl Iterator<Item = Instance<'_>> + '_ {
+        (0..self.num_instances()).map(move |row| Instance { dataset: self, row })
+    }
+
+    /// A dataset with the same header (and class index) but no rows.
+    pub fn header_clone(&self) -> Dataset {
+        Dataset {
+            relation: self.relation.clone(),
+            attributes: self.attributes.clone(),
+            values: Vec::new(),
+            weights: Vec::new(),
+            class_index: self.class_index,
+            strings: self.strings.clone(),
+        }
+    }
+
+    /// Copy row `row` of `src` into `self` (headers must agree in arity).
+    pub fn push_instance_from(&mut self, src: &Dataset, row: usize) -> Result<()> {
+        if src.num_attributes() != self.num_attributes() {
+            return Err(DataError::Arity {
+                got: src.num_attributes(),
+                expected: self.num_attributes(),
+            });
+        }
+        self.values.extend_from_slice(src.row(row));
+        self.weights.push(src.weight(row));
+        Ok(())
+    }
+
+    /// Build a sub-dataset from the given row indices.
+    pub fn select_rows(&self, rows: &[usize]) -> Dataset {
+        let mut out = self.header_clone();
+        for &r in rows {
+            out.values.extend_from_slice(self.row(r));
+            out.weights.push(self.weights[r]);
+        }
+        out
+    }
+
+    /// Class distribution (weighted counts per label). Errors if the
+    /// class is unset or non-nominal. Missing classes are skipped.
+    pub fn class_counts(&self) -> Result<Vec<f64>> {
+        let ci = self.class_index.ok_or(DataError::NoClass)?;
+        let k = self.num_classes()?;
+        let mut counts = vec![0.0; k];
+        for row in 0..self.num_instances() {
+            let v = self.value(row, ci);
+            if !Value::is_missing(v) {
+                counts[Value::as_index(v)] += self.weights[row];
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Total instance weight.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// `true` if any value in column `attr` is missing.
+    pub fn has_missing(&self, attr: usize) -> bool {
+        (0..self.num_instances()).any(|r| Value::is_missing(self.value(r, attr)))
+    }
+
+    /// Textual rendering of a value for display / ARFF writing.
+    pub fn format_value(&self, row: usize, attr: usize) -> String {
+        let v = self.value(row, attr);
+        if Value::is_missing(v) {
+            return "?".to_string();
+        }
+        match self.attributes[attr].kind() {
+            AttributeKind::Nominal(labels) => labels
+                .get(Value::as_index(v))
+                .cloned()
+                .unwrap_or_else(|| format!("#{}", Value::as_index(v))),
+            AttributeKind::Numeric => format_numeric(v),
+            AttributeKind::Str => self
+                .string_at(Value::as_index(v))
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("#{}", Value::as_index(v))),
+        }
+    }
+}
+
+/// Format a numeric value the way ARFF writers conventionally do: no
+/// trailing `.0` for integral values.
+pub(crate) fn format_numeric(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weather() -> Dataset {
+        let mut ds = Dataset::new(
+            "weather",
+            vec![
+                Attribute::nominal("outlook", ["sunny", "overcast", "rainy"]),
+                Attribute::numeric("temperature"),
+                Attribute::nominal("play", ["yes", "no"]),
+            ],
+        );
+        ds.set_class_index(Some(2)).unwrap();
+        ds.push_labels(&["sunny", "85", "no"]).unwrap();
+        ds.push_labels(&["overcast", "83", "yes"]).unwrap();
+        ds.push_labels(&["rainy", "?", "yes"]).unwrap();
+        ds
+    }
+
+    #[test]
+    fn counts_and_shapes() {
+        let ds = weather();
+        assert_eq!(ds.num_instances(), 3);
+        assert_eq!(ds.num_attributes(), 3);
+        assert_eq!(ds.num_classes().unwrap(), 2);
+        assert_eq!(ds.class_counts().unwrap(), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn missing_values_roundtrip() {
+        let ds = weather();
+        assert!(ds.instance(2).is_missing(1));
+        assert!(!ds.instance(0).is_missing(1));
+        assert!(ds.has_missing(1));
+        assert!(!ds.has_missing(0));
+        assert_eq!(ds.format_value(2, 1), "?");
+    }
+
+    #[test]
+    fn label_lookup() {
+        let ds = weather();
+        assert_eq!(ds.instance(0).label(0), Some("sunny"));
+        assert_eq!(ds.instance(1).label(2), Some("yes"));
+        assert_eq!(ds.instance(2).label(1), None); // numeric attr
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let mut ds = weather();
+        let err = ds.push_labels(&["snowy", "1", "yes"]).unwrap_err();
+        assert!(matches!(err, DataError::UnknownLabel { .. }));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut ds = weather();
+        assert!(matches!(
+            ds.push_row(vec![0.0, 1.0]),
+            Err(DataError::Arity { got: 2, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn select_rows_preserves_weights() {
+        let mut ds = weather();
+        ds.set_weight(1, 2.5);
+        let sub = ds.select_rows(&[1, 2]);
+        assert_eq!(sub.num_instances(), 2);
+        assert_eq!(sub.weight(0), 2.5);
+        assert_eq!(sub.instance(0).label(0), Some("overcast"));
+        assert_eq!(sub.class_index(), Some(2));
+    }
+
+    #[test]
+    fn header_clone_is_empty() {
+        let ds = weather();
+        let h = ds.header_clone();
+        assert_eq!(h.num_instances(), 0);
+        assert_eq!(h.num_attributes(), 3);
+        assert_eq!(h.class_index(), Some(2));
+    }
+
+    #[test]
+    fn class_by_name() {
+        let mut ds = weather();
+        ds.set_class_by_name("outlook").unwrap();
+        assert_eq!(ds.class_index(), Some(0));
+        assert!(ds.set_class_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn string_interning() {
+        let mut ds = Dataset::new("s", vec![Attribute::string("note")]);
+        let i = ds.intern_string("hello");
+        let j = ds.intern_string("hello");
+        assert_eq!(i, j);
+        assert_eq!(ds.string_at(i), Some("hello"));
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        assert_eq!(format_numeric(85.0), "85");
+        assert_eq!(format_numeric(0.25), "0.25");
+        assert_eq!(format_numeric(-3.0), "-3");
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let mut ds = weather();
+        ds.set_weight(0, 0.5);
+        assert!((ds.total_weight() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by all `dm-data` operations.
+
+use std::fmt;
+
+/// Result alias used throughout `dm-data`.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors raised while parsing, converting, or manipulating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A file could not be parsed; carries a line number (1-based, 0 if
+    /// unknown) and a human-readable message.
+    Parse {
+        /// 1-based line number of the offending input line (0 = unknown).
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An attribute index was out of range for the dataset header.
+    AttributeIndex {
+        /// The requested index.
+        index: usize,
+        /// Number of attributes actually present.
+        len: usize,
+    },
+    /// A nominal label was not found in an attribute's domain.
+    UnknownLabel {
+        /// The attribute name.
+        attribute: String,
+        /// The label that could not be resolved.
+        label: String,
+    },
+    /// An attribute with the given name does not exist.
+    UnknownAttribute(String),
+    /// An instance had the wrong number of values for the header.
+    Arity {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of values expected (one per attribute).
+        expected: usize,
+    },
+    /// An operation required a class attribute but none was set.
+    NoClass,
+    /// An operation required a nominal (or numeric) attribute but found
+    /// the other kind.
+    KindMismatch {
+        /// The attribute name.
+        attribute: String,
+        /// What the operation required, e.g. `"nominal"`.
+        expected: &'static str,
+    },
+    /// The dataset was empty where at least one instance was required.
+    Empty,
+    /// Invalid parameter to a filter or split (message).
+    InvalidParameter(String),
+    /// A streaming source terminated early or was disconnected.
+    StreamClosed,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            DataError::AttributeIndex { index, len } => {
+                write!(f, "attribute index {index} out of range (dataset has {len})")
+            }
+            DataError::UnknownLabel { attribute, label } => {
+                write!(f, "label {label:?} not in domain of attribute {attribute:?}")
+            }
+            DataError::UnknownAttribute(name) => write!(f, "no attribute named {name:?}"),
+            DataError::Arity { got, expected } => {
+                write!(f, "instance has {got} values, header expects {expected}")
+            }
+            DataError::NoClass => write!(f, "operation requires a class attribute but none is set"),
+            DataError::KindMismatch { attribute, expected } => {
+                write!(f, "attribute {attribute:?} is not {expected}")
+            }
+            DataError::Empty => write!(f, "dataset contains no instances"),
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::StreamClosed => write!(f, "record stream closed unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_with_line() {
+        let e = DataError::Parse { line: 7, message: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error at line 7: bad token");
+    }
+
+    #[test]
+    fn display_parse_without_line() {
+        let e = DataError::Parse { line: 0, message: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error: bad token");
+    }
+
+    #[test]
+    fn display_arity() {
+        let e = DataError::Arity { got: 3, expected: 10 };
+        assert_eq!(e.to_string(), "instance has 3 values, header expects 10");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DataError::NoClass);
+    }
+}

@@ -1,0 +1,62 @@
+//! # dm-data — dataset substrate for `faehim-rs`
+//!
+//! This crate is the data layer of the FAEHIM reproduction: an
+//! attribute-relation data model equivalent to WEKA's `Instances`,
+//! readers and writers for the ARFF and CSV formats, format converters,
+//! summary statistics (reproducing Figure 3 of the paper), dataset
+//! filters (discretisation, normalisation, missing-value replacement,
+//! attribute removal, resampling), train/test and cross-validation
+//! splitting, record streaming for remote data sources, and corpus
+//! generators — most importantly a deterministic reconstruction of the
+//! UCI *breast-cancer* dataset used in the paper's case study.
+//!
+//! ## Representation
+//!
+//! A [`Dataset`] owns a vector of [`Attribute`] descriptors and a dense
+//! row-major `Vec<f64>` value matrix. Nominal values are stored as the
+//! index of their label in the attribute's domain; missing values are
+//! stored as `f64::NAN` (tested through [`Value`] helpers rather than
+//! raw comparison). This mirrors WEKA's internal encoding and keeps the
+//! hot loops of the algorithm crate allocation-free.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dm_data::prelude::*;
+//!
+//! let ds = dm_data::corpus::breast_cancer();
+//! assert_eq!(ds.num_instances(), 286);
+//! assert_eq!(ds.num_attributes(), 10);
+//! let summary = DatasetSummary::of(&ds);
+//! assert_eq!(summary.missing_values, 9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arff;
+pub mod attribute;
+pub mod convert;
+pub mod corpus;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod filters;
+pub mod split;
+pub mod stream;
+pub mod summary;
+
+pub use attribute::{Attribute, AttributeKind};
+pub use dataset::{Dataset, Instance, Value};
+pub use error::{DataError, Result};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::arff::{parse_arff, write_arff};
+    pub use crate::attribute::{Attribute, AttributeKind};
+    pub use crate::csv::{parse_csv, write_csv};
+    pub use crate::dataset::{Dataset, Instance, Value};
+    pub use crate::error::{DataError, Result};
+    pub use crate::split::{train_test_split, CrossValidation};
+    pub use crate::summary::DatasetSummary;
+}

@@ -1,0 +1,252 @@
+//! Train/test splitting and cross-validation folds.
+//!
+//! The paper's requirement "Testing the discovered knowledge" (§3) and
+//! Grid WEKA's distributed cross-validation motivate this module: it
+//! provides seeded shuffling, percentage splits, and (stratified)
+//! k-fold cross-validation iterators used by the evaluation layer and
+//! by the parallel-enactment experiment (E10).
+
+use crate::dataset::{Dataset, Value};
+use crate::error::{DataError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split `ds` into `(train, test)` with `train_fraction` of the rows
+/// (after a seeded shuffle) in the training set.
+///
+/// ```
+/// let ds = dm_data::corpus::breast_cancer();
+/// let (train, test) = dm_data::split::train_test_split(&ds, 0.7, 42).unwrap();
+/// assert_eq!(train.num_instances() + test.num_instances(), 286);
+/// ```
+pub fn train_test_split(ds: &Dataset, train_fraction: f64, seed: u64) -> Result<(Dataset, Dataset)> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(DataError::InvalidParameter(format!(
+            "train_fraction {train_fraction} not in [0,1]"
+        )));
+    }
+    if ds.num_instances() == 0 {
+        return Err(DataError::Empty);
+    }
+    let mut order: Vec<usize> = (0..ds.num_instances()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let cut = (train_fraction * ds.num_instances() as f64).round() as usize;
+    let (train_rows, test_rows) = order.split_at(cut.min(order.len()));
+    Ok((ds.select_rows(train_rows), ds.select_rows(test_rows)))
+}
+
+/// A k-fold cross-validation plan over a dataset.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    folds: Vec<Vec<usize>>,
+}
+
+impl CrossValidation {
+    /// Build `k` folds with a seeded shuffle (unstratified).
+    pub fn new(ds: &Dataset, k: usize, seed: u64) -> Result<CrossValidation> {
+        if k < 2 {
+            return Err(DataError::InvalidParameter(format!("k = {k}; need k >= 2")));
+        }
+        if ds.num_instances() < k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot make {k} folds from {} instances",
+                ds.num_instances()
+            )));
+        }
+        let mut order: Vec<usize> = (0..ds.num_instances()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut folds = vec![Vec::new(); k];
+        for (i, row) in order.into_iter().enumerate() {
+            folds[i % k].push(row);
+        }
+        Ok(CrossValidation { folds })
+    }
+
+    /// Build `k` folds stratified by the class attribute: each fold gets
+    /// approximately the dataset's class proportions (WEKA default).
+    pub fn stratified(ds: &Dataset, k: usize, seed: u64) -> Result<CrossValidation> {
+        if k < 2 {
+            return Err(DataError::InvalidParameter(format!("k = {k}; need k >= 2")));
+        }
+        if ds.num_instances() < k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot make {k} folds from {} instances",
+                ds.num_instances()
+            )));
+        }
+        let ci = ds.class_index().ok_or(DataError::NoClass)?;
+        let num_classes = ds.num_classes()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Bucket rows per class (missing class goes in its own bucket),
+        // shuffle each bucket, then deal round-robin into folds.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_classes + 1];
+        for row in 0..ds.num_instances() {
+            let v = ds.value(row, ci);
+            if Value::is_missing(v) {
+                buckets[num_classes].push(row);
+            } else {
+                buckets[Value::as_index(v)].push(row);
+            }
+        }
+        let mut folds = vec![Vec::new(); k];
+        let mut next = 0usize;
+        for bucket in &mut buckets {
+            bucket.shuffle(&mut rng);
+            for &row in bucket.iter() {
+                folds[next % k].push(row);
+                next += 1;
+            }
+        }
+        Ok(CrossValidation { folds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Row indices of test fold `fold`.
+    pub fn test_rows(&self, fold: usize) -> &[usize] {
+        &self.folds[fold]
+    }
+
+    /// Materialise `(train, test)` datasets for fold `fold`.
+    pub fn split(&self, ds: &Dataset, fold: usize) -> (Dataset, Dataset) {
+        let test_rows = &self.folds[fold];
+        let mut train_rows = Vec::with_capacity(ds.num_instances() - test_rows.len());
+        for (i, f) in self.folds.iter().enumerate() {
+            if i != fold {
+                train_rows.extend_from_slice(f);
+            }
+        }
+        (ds.select_rows(&train_rows), ds.select_rows(test_rows))
+    }
+
+    /// Iterate over `(train, test)` pairs for all folds.
+    pub fn splits<'a>(
+        &'a self,
+        ds: &'a Dataset,
+    ) -> impl Iterator<Item = (Dataset, Dataset)> + 'a {
+        (0..self.k()).map(move |f| self.split(ds, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    fn toy(n: usize) -> Dataset {
+        let mut ds = Dataset::new(
+            "toy",
+            vec![Attribute::numeric("x"), Attribute::nominal("c", ["a", "b"])],
+        );
+        ds.set_class_index(Some(1)).unwrap();
+        for i in 0..n {
+            // 75% class a, 25% class b.
+            let c = if i % 4 == 3 { 1.0 } else { 0.0 };
+            ds.push_row(vec![i as f64, c]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let ds = toy(100);
+        let (tr, te) = train_test_split(&ds, 0.66, 7).unwrap();
+        assert_eq!(tr.num_instances(), 66);
+        assert_eq!(te.num_instances(), 34);
+        // Every original x value appears exactly once across both parts.
+        let mut seen = vec![false; 100];
+        for d in [&tr, &te] {
+            for r in 0..d.num_instances() {
+                let x = d.value(r, 0) as usize;
+                assert!(!seen[x], "row duplicated");
+                seen[x] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let ds = toy(50);
+        let (a1, _) = train_test_split(&ds, 0.5, 9).unwrap();
+        let (a2, _) = train_test_split(&ds, 0.5, 9).unwrap();
+        let (b1, _) = train_test_split(&ds, 0.5, 10).unwrap();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let ds = toy(10);
+        assert!(train_test_split(&ds, 1.5, 0).is_err());
+        assert!(train_test_split(&ds, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = Dataset::new("e", vec![Attribute::numeric("x")]);
+        assert!(train_test_split(&ds, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn cv_folds_partition() {
+        let ds = toy(103);
+        let cv = CrossValidation::new(&ds, 10, 3).unwrap();
+        let total: usize = (0..10).map(|f| cv.test_rows(f).len()).sum();
+        assert_eq!(total, 103);
+        let mut seen = vec![false; 103];
+        for f in 0..10 {
+            for &r in cv.test_rows(f) {
+                assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cv_split_materialises_complement() {
+        let ds = toy(20);
+        let cv = CrossValidation::new(&ds, 4, 1).unwrap();
+        let (tr, te) = cv.split(&ds, 0);
+        assert_eq!(tr.num_instances() + te.num_instances(), 20);
+        assert_eq!(te.num_instances(), 5);
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        let ds = toy(80); // 60 a, 20 b
+        let cv = CrossValidation::stratified(&ds, 4, 5).unwrap();
+        for f in 0..4 {
+            let te = ds.select_rows(cv.test_rows(f));
+            let counts = te.class_counts().unwrap();
+            assert_eq!(counts[0] as usize, 15, "fold {f} class a");
+            assert_eq!(counts[1] as usize, 5, "fold {f} class b");
+        }
+    }
+
+    #[test]
+    fn stratified_requires_class() {
+        let mut ds = toy(20);
+        ds.set_class_index(None).unwrap();
+        assert!(matches!(CrossValidation::stratified(&ds, 2, 0), Err(DataError::NoClass)));
+    }
+
+    #[test]
+    fn k_must_be_sane() {
+        let ds = toy(5);
+        assert!(CrossValidation::new(&ds, 1, 0).is_err());
+        assert!(CrossValidation::new(&ds, 6, 0).is_err());
+    }
+
+    #[test]
+    fn splits_iterator_covers_all_folds() {
+        let ds = toy(30);
+        let cv = CrossValidation::new(&ds, 3, 0).unwrap();
+        assert_eq!(cv.splits(&ds).count(), 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! The general Classifier Web Service (§4.1):
+//!
+//! > "we have opted to implement a general Classifier Web Service to
+//! > act as a wrapper for a complete set of classifiers available in
+//! > WEKA. The general Classifier Web Service has the following
+//! > operations: (1) getClassifiers, (2) getOptions and
+//! > (3) ClassifyInstance."
+//!
+//! `classifyInstance` takes the paper's four inputs — dataset (ARFF),
+//! classifier name, options string, and the attribute to classify on —
+//! and returns the textual model. `classifyGraph` returns the tree as
+//! SVG when the model is tree-shaped, and `crossValidate` covers the
+//! "testing the discovered knowledge" requirement.
+
+use crate::support::{algo_fault, dataset_with_class, int_arg, opt_text_arg, text_arg};
+use dm_algorithms::options::parse_options_string;
+use dm_algorithms::registry::{classifier_names, make_classifier};
+use dm_wsrf::container::{ServiceFault, WebService};
+use dm_wsrf::soap::SoapValue;
+use dm_wsrf::wsdl::{Operation, Part, WsdlDocument};
+
+/// The general Classifier Web Service.
+#[derive(Debug, Default)]
+pub struct ClassifierService;
+
+impl ClassifierService {
+    /// Create the service.
+    pub fn new() -> ClassifierService {
+        ClassifierService
+    }
+
+    fn build_model(
+        args: &[(String, SoapValue)],
+    ) -> Result<(Box<dyn dm_algorithms::classifiers::Classifier>, dm_data::Dataset), ServiceFault>
+    {
+        let arff = text_arg(args, "dataset")?;
+        let name = text_arg(args, "classifier")?;
+        let options = opt_text_arg(args, "options")?.unwrap_or("");
+        let attribute = text_arg(args, "attribute")?;
+        let ds = dataset_with_class(arff, attribute)?;
+        let mut model = make_classifier(name).map_err(algo_fault)?;
+        for (flag, value) in parse_options_string(options) {
+            model.set_option(&flag, &value).map_err(algo_fault)?;
+        }
+        model.train(&ds).map_err(algo_fault)?;
+        Ok((model, ds))
+    }
+}
+
+impl WebService for ClassifierService {
+    fn name(&self) -> &str {
+        "Classifier"
+    }
+
+    fn wsdl(&self) -> WsdlDocument {
+        WsdlDocument::new("Classifier", "")
+            .operation(
+                Operation::new("getClassifiers", vec![], Part::new("classifiers", "list"))
+                    .doc("return the list of available classifiers known to the service"),
+            )
+            .operation(
+                Operation::new(
+                    "getOptions",
+                    vec![Part::new("classifier", "string")],
+                    Part::new("options", "list"),
+                )
+                .doc("return the required and optional properties of a classifier"),
+            )
+            .operation(
+                Operation::new(
+                    "classifyInstance",
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("classifier", "string"),
+                        Part::new("options", "string"),
+                        Part::new("attribute", "string"),
+                    ],
+                    Part::new("model", "string"),
+                )
+                .doc("train the named classifier on an ARFF dataset and return the textual model"),
+            )
+            .operation(
+                Operation::new(
+                    "classifyGraph",
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("classifier", "string"),
+                        Part::new("options", "string"),
+                        Part::new("attribute", "string"),
+                    ],
+                    Part::new("graph", "string"),
+                )
+                .doc("train and return a graphical (SVG) rendering of a tree-shaped model"),
+            )
+            .operation(
+                Operation::new(
+                    "crossValidate",
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("classifier", "string"),
+                        Part::new("options", "string"),
+                        Part::new("attribute", "string"),
+                        Part::new("folds", "long"),
+                    ],
+                    Part::new("evaluation", "string"),
+                )
+                .doc("stratified k-fold cross-validation summary"),
+            )
+    }
+
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[(String, SoapValue)],
+    ) -> Result<SoapValue, ServiceFault> {
+        match operation {
+            "getClassifiers" => Ok(SoapValue::List(
+                classifier_names()
+                    .into_iter()
+                    .map(|n| SoapValue::Text(n.to_string()))
+                    .collect(),
+            )),
+            "getOptions" => {
+                let name = text_arg(args, "classifier")?;
+                let model = make_classifier(name).map_err(algo_fault)?;
+                Ok(SoapValue::List(
+                    model
+                        .option_descriptors()
+                        .into_iter()
+                        .map(|d| {
+                            SoapValue::List(vec![
+                                SoapValue::Text(d.flag.to_string()),
+                                SoapValue::Text(d.name.to_string()),
+                                SoapValue::Text(d.description.to_string()),
+                                SoapValue::Text(d.default.clone()),
+                            ])
+                        })
+                        .collect(),
+                ))
+            }
+            "classifyInstance" => {
+                let (model, _) = Self::build_model(args)?;
+                Ok(SoapValue::Text(model.describe()))
+            }
+            "classifyGraph" => {
+                let (model, _) = Self::build_model(args)?;
+                let tree = model.tree_model().ok_or_else(|| {
+                    ServiceFault::client(format!(
+                        "classifier {:?} does not produce a tree graph",
+                        model.name()
+                    ))
+                })?;
+                Ok(SoapValue::Text(crate::support::tree_to_svg(&tree)))
+            }
+            "crossValidate" => {
+                let arff = text_arg(args, "dataset")?;
+                let name = text_arg(args, "classifier")?;
+                let options = opt_text_arg(args, "options")?.unwrap_or("").to_string();
+                let attribute = text_arg(args, "attribute")?;
+                let folds = int_arg(args, "folds")?.clamp(2, 100) as usize;
+                let ds = dataset_with_class(arff, attribute)?;
+                let name = name.to_string();
+                let eval = dm_algorithms::eval::cross_validate(
+                    || {
+                        let mut m = make_classifier(&name)?;
+                        for (flag, value) in parse_options_string(&options) {
+                            m.set_option(&flag, &value)?;
+                        }
+                        Ok(m)
+                    },
+                    &ds,
+                    folds,
+                    1,
+                )
+                .map_err(algo_fault)?;
+                Ok(SoapValue::Text(eval.summary()))
+            }
+            other => Err(ServiceFault::client(format!("no operation {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_data::corpus::breast_cancer_arff;
+
+    fn args_for(classifier: &str) -> Vec<(String, SoapValue)> {
+        vec![
+            ("dataset".to_string(), SoapValue::Text(breast_cancer_arff())),
+            ("classifier".to_string(), SoapValue::Text(classifier.to_string())),
+            ("options".to_string(), SoapValue::Text(String::new())),
+            ("attribute".to_string(), SoapValue::Text("Class".to_string())),
+        ]
+    }
+
+    #[test]
+    fn get_classifiers_lists_registry() {
+        let s = ClassifierService::new();
+        let v = s.invoke("getClassifiers", &[]).unwrap();
+        let list = v.as_list().unwrap();
+        assert!(list.len() >= 13);
+        assert!(list.iter().any(|x| x.as_text().unwrap() == "J48"));
+    }
+
+    #[test]
+    fn get_options_for_j48() {
+        let s = ClassifierService::new();
+        let v = s
+            .invoke(
+                "getOptions",
+                &[("classifier".to_string(), SoapValue::Text("J48".into()))],
+            )
+            .unwrap();
+        let opts = v.as_list().unwrap();
+        assert_eq!(opts.len(), 3); // -C, -M, -U
+        let first = opts[0].as_list().unwrap();
+        assert_eq!(first[0].as_text().unwrap(), "-C");
+    }
+
+    #[test]
+    fn classify_instance_breast_cancer_j48() {
+        // The case study path: classify the breast-cancer set with J48.
+        let s = ClassifierService::new();
+        let v = s.invoke("classifyInstance", &args_for("J48")).unwrap();
+        let text = v.as_text().unwrap();
+        assert!(text.contains("node-caps"), "root split missing:\n{text}");
+        assert!(text.contains("Number of Leaves"));
+    }
+
+    #[test]
+    fn classify_with_options() {
+        let s = ClassifierService::new();
+        let mut args = args_for("J48");
+        args[2].1 = SoapValue::Text("-M 30".into());
+        let v = s.invoke("classifyInstance", &args).unwrap();
+        assert!(v.as_text().unwrap().contains("J48"));
+    }
+
+    #[test]
+    fn classify_graph_returns_svg() {
+        let s = ClassifierService::new();
+        let v = s.invoke("classifyGraph", &args_for("J48")).unwrap();
+        let svg = v.as_text().unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("node-caps"));
+    }
+
+    #[test]
+    fn graph_for_non_tree_model_faults() {
+        let s = ClassifierService::new();
+        let err = s.invoke("classifyGraph", &args_for("NaiveBayes")).unwrap_err();
+        assert_eq!(err.code, "Client");
+    }
+
+    #[test]
+    fn cross_validate_summary() {
+        let s = ClassifierService::new();
+        let mut args = args_for("ZeroR");
+        args.push(("folds".to_string(), SoapValue::Int(5)));
+        let v = s.invoke("crossValidate", &args).unwrap();
+        let text = v.as_text().unwrap();
+        assert!(text.contains("Correctly Classified"));
+        assert!(text.contains("Confusion Matrix"));
+    }
+
+    #[test]
+    fn unknown_classifier_faults() {
+        let s = ClassifierService::new();
+        let err = s.invoke("classifyInstance", &args_for("C5.0")).unwrap_err();
+        assert_eq!(err.code, "Client");
+    }
+
+    #[test]
+    fn bad_dataset_faults() {
+        let s = ClassifierService::new();
+        let args = vec![
+            ("dataset".to_string(), SoapValue::Text("not arff".into())),
+            ("classifier".to_string(), SoapValue::Text("J48".into())),
+            ("options".to_string(), SoapValue::Text(String::new())),
+            ("attribute".to_string(), SoapValue::Text("Class".into())),
+        ];
+        assert_eq!(s.invoke("classifyInstance", &args).unwrap_err().code, "Client");
+    }
+
+    #[test]
+    fn wsdl_has_five_operations() {
+        let s = ClassifierService::new();
+        let wsdl = s.wsdl();
+        assert_eq!(wsdl.operations.len(), 5);
+        assert_eq!(wsdl.find_operation("classifyInstance").unwrap().inputs.len(), 4);
+    }
+}

@@ -1,0 +1,355 @@
+//! Typed client stubs: what Triana's generated per-operation tools do —
+//! marshal arguments into SOAP calls over the (simulated) network and
+//! unmarshal the results.
+
+use dm_wsrf::error::Result;
+use dm_wsrf::soap::SoapValue;
+use dm_wsrf::transport::Network;
+use std::sync::Arc;
+
+fn text(v: SoapValue) -> Result<String> {
+    Ok(v.as_text()?.to_string())
+}
+
+fn text_list(v: SoapValue) -> Result<Vec<String>> {
+    v.as_list()?.iter().map(|x| Ok(x.as_text()?.to_string())).collect()
+}
+
+/// Client for the general Classifier Web Service.
+#[derive(Clone)]
+pub struct ClassifierClient {
+    network: Arc<Network>,
+    host: String,
+}
+
+impl ClassifierClient {
+    /// Point the client at `host` on `network`.
+    pub fn new(network: Arc<Network>, host: &str) -> ClassifierClient {
+        ClassifierClient { network, host: host.to_string() }
+    }
+
+    /// `getClassifiers` — available classifier names.
+    pub fn get_classifiers(&self) -> Result<Vec<String>> {
+        text_list(self.network.invoke(&self.host, "Classifier", "getClassifiers", vec![])?)
+    }
+
+    /// `getOptions` — `(flag, name, description, default)` rows.
+    pub fn get_options(&self, classifier: &str) -> Result<Vec<(String, String, String, String)>> {
+        let v = self.network.invoke(
+            &self.host,
+            "Classifier",
+            "getOptions",
+            vec![("classifier".into(), SoapValue::Text(classifier.into()))],
+        )?;
+        v.as_list()?
+            .iter()
+            .map(|row| {
+                let cells = row.as_list()?;
+                Ok((
+                    cells[0].as_text()?.to_string(),
+                    cells[1].as_text()?.to_string(),
+                    cells[2].as_text()?.to_string(),
+                    cells[3].as_text()?.to_string(),
+                ))
+            })
+            .collect()
+    }
+
+    /// `classifyInstance` — the paper's four-input operation.
+    pub fn classify_instance(
+        &self,
+        dataset_arff: &str,
+        classifier: &str,
+        options: &str,
+        attribute: &str,
+    ) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "Classifier",
+            "classifyInstance",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("classifier".into(), SoapValue::Text(classifier.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+                ("attribute".into(), SoapValue::Text(attribute.into())),
+            ],
+        )?)
+    }
+
+    /// `classifyGraph` — SVG graph of a tree-shaped model.
+    pub fn classify_graph(
+        &self,
+        dataset_arff: &str,
+        classifier: &str,
+        options: &str,
+        attribute: &str,
+    ) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "Classifier",
+            "classifyGraph",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("classifier".into(), SoapValue::Text(classifier.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+                ("attribute".into(), SoapValue::Text(attribute.into())),
+            ],
+        )?)
+    }
+
+    /// `crossValidate` — k-fold CV summary text.
+    pub fn cross_validate(
+        &self,
+        dataset_arff: &str,
+        classifier: &str,
+        options: &str,
+        attribute: &str,
+        folds: usize,
+    ) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "Classifier",
+            "crossValidate",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("classifier".into(), SoapValue::Text(classifier.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+                ("attribute".into(), SoapValue::Text(attribute.into())),
+                ("folds".into(), SoapValue::Int(folds as i64)),
+            ],
+        )?)
+    }
+}
+
+/// Client for the dedicated J48 Web Service.
+#[derive(Clone)]
+pub struct J48Client {
+    network: Arc<Network>,
+    host: String,
+}
+
+impl J48Client {
+    /// Point the client at `host` on `network`.
+    pub fn new(network: Arc<Network>, host: &str) -> J48Client {
+        J48Client { network, host: host.to_string() }
+    }
+
+    /// `classify` — returns the textual decision tree.
+    pub fn classify(&self, dataset_arff: &str, attribute: &str, options: &str) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "J48",
+            "classify",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("attribute".into(), SoapValue::Text(attribute.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+            ],
+        )?)
+    }
+
+    /// `classifyGraph` — SVG tree.
+    pub fn classify_graph(
+        &self,
+        dataset_arff: &str,
+        attribute: &str,
+        options: &str,
+    ) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "J48",
+            "classifyGraph",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("attribute".into(), SoapValue::Text(attribute.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+            ],
+        )?)
+    }
+
+    /// `setLifecycle` — `"serialize-per-call"` or `"in-memory-harness"`.
+    pub fn set_lifecycle(&self, policy: &str) -> Result<()> {
+        self.network.invoke(
+            &self.host,
+            "J48",
+            "setLifecycle",
+            vec![("policy".into(), SoapValue::Text(policy.into()))],
+        )?;
+        Ok(())
+    }
+
+    /// `getLifecycleStats` — `(serialisations, deserialisations, hits)`.
+    pub fn lifecycle_stats(&self) -> Result<(i64, i64, i64)> {
+        let v = self.network.invoke(&self.host, "J48", "getLifecycleStats", vec![])?;
+        let list = v.as_list()?;
+        Ok((list[0].as_int()?, list[1].as_int()?, list[2].as_int()?))
+    }
+}
+
+/// Client for the clustering services.
+#[derive(Clone)]
+pub struct ClustererClient {
+    network: Arc<Network>,
+    host: String,
+}
+
+impl ClustererClient {
+    /// Point the client at `host` on `network`.
+    pub fn new(network: Arc<Network>, host: &str) -> ClustererClient {
+        ClustererClient { network, host: host.to_string() }
+    }
+
+    /// General service: available clusterer names.
+    pub fn get_clusterers(&self) -> Result<Vec<String>> {
+        text_list(self.network.invoke(&self.host, "Clusterer", "getClusterers", vec![])?)
+    }
+
+    /// General service: build a named clusterer, returns the report.
+    pub fn cluster(&self, dataset_arff: &str, clusterer: &str, options: &str) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "Clusterer",
+            "cluster",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("clusterer".into(), SoapValue::Text(clusterer.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+            ],
+        )?)
+    }
+
+    /// Dedicated Cobweb service: `getCobwebGraph` SVG.
+    pub fn cobweb_graph(&self, dataset_arff: &str, options: &str) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "Cobweb",
+            "getCobwebGraph",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+            ],
+        )?)
+    }
+}
+
+/// Client for the data conversion and URL-reader services.
+#[derive(Clone)]
+pub struct ConvertClient {
+    network: Arc<Network>,
+    host: String,
+}
+
+impl ConvertClient {
+    /// Point the client at `host` on `network`.
+    pub fn new(network: Arc<Network>, host: &str) -> ConvertClient {
+        ConvertClient { network, host: host.to_string() }
+    }
+
+    /// `csvToArff`.
+    pub fn csv_to_arff(&self, csv: &str) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "DataConversion",
+            "csvToArff",
+            vec![("csv".into(), SoapValue::Text(csv.into()))],
+        )?)
+    }
+
+    /// `summary` — the Figure-3 table.
+    pub fn summary(&self, dataset: &str) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "DataConversion",
+            "summary",
+            vec![("dataset".into(), SoapValue::Text(dataset.into()))],
+        )?)
+    }
+
+    /// `readArff` on the URL reader.
+    pub fn read_arff(&self, url: &str) -> Result<String> {
+        text(self.network.invoke(
+            &self.host,
+            "UrlReader",
+            "readArff",
+            vec![("url".into(), SoapValue::Text(url.into()))],
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::deploy_faehim_suite;
+
+    fn network() -> Arc<Network> {
+        let net = Arc::new(Network::new());
+        let host = net.add_host("miner");
+        deploy_faehim_suite(&host).unwrap();
+        net
+    }
+
+    #[test]
+    fn classifier_client_end_to_end() {
+        let net = network();
+        let client = ClassifierClient::new(Arc::clone(&net), "miner");
+        let names = client.get_classifiers().unwrap();
+        assert!(names.contains(&"J48".to_string()));
+        let options = client.get_options("J48").unwrap();
+        assert!(options.iter().any(|(flag, ..)| flag == "-C"));
+        let model = client
+            .classify_instance(
+                &dm_data::corpus::breast_cancer_arff(),
+                "J48",
+                "-C 0.25 -M 2",
+                "Class",
+            )
+            .unwrap();
+        assert!(model.contains("node-caps"));
+    }
+
+    #[test]
+    fn j48_client_lifecycle_roundtrip() {
+        let net = network();
+        let client = J48Client::new(Arc::clone(&net), "miner");
+        client.set_lifecycle("in-memory-harness").unwrap();
+        client
+            .classify(&dm_data::corpus::breast_cancer_arff(), "Class", "")
+            .unwrap();
+        client
+            .classify(&dm_data::corpus::breast_cancer_arff(), "Class", "")
+            .unwrap();
+        let (ser, _, hits) = client.lifecycle_stats().unwrap();
+        assert_eq!(ser, 0);
+        assert_eq!(hits, 1);
+        assert!(client.set_lifecycle("nonsense").is_err());
+    }
+
+    #[test]
+    fn convert_client_summary() {
+        let net = network();
+        let client = ConvertClient::new(Arc::clone(&net), "miner");
+        let arff = client
+            .read_arff("http://www.ics.uci.edu/mlearn/breast-cancer.arff")
+            .unwrap();
+        let table = client.summary(&arff).unwrap();
+        assert!(table.contains("Num Instances 286"));
+    }
+
+    #[test]
+    fn clusterer_client_runs() {
+        let net = network();
+        let client = ClustererClient::new(Arc::clone(&net), "miner");
+        assert!(client.get_clusterers().unwrap().len() >= 5);
+        let ds = dm_data::corpus::gaussian_blobs(
+            &[
+                dm_data::corpus::BlobSpec { center: vec![0.0], stddev: 0.2, count: 20 },
+                dm_data::corpus::BlobSpec { center: vec![9.0], stddev: 0.2, count: 20 },
+            ],
+            3,
+        );
+        let report = client
+            .cluster(&dm_data::arff::write_arff(&ds), "SimpleKMeans", "-N 2")
+            .unwrap();
+        assert!(report.contains("Number of clusters: 2"));
+    }
+}

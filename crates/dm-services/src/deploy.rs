@@ -1,0 +1,112 @@
+//! One-call deployment of the FAEHIM service suite onto a container
+//! host, and UDDI publication — what installing the toolkit's WAR files
+//! into Tomcat plus jUDDI registration did on the paper's testbed
+//! (§4.6).
+
+use crate::assoc_ws::AssociationService;
+use crate::attrsel_ws::AttributeSelectionService;
+use crate::classifier_ws::ClassifierService;
+use crate::clusterer_ws::{ClustererService, CobwebService};
+use crate::convert_ws::{DataConversionService, UrlReaderService};
+use crate::j48_ws::J48Service;
+use crate::plot_ws::{MathService, PlotService};
+use dm_wsrf::container::ServiceContainer;
+use dm_wsrf::error::Result;
+use dm_wsrf::registry::{ServiceEntry, UddiRegistry};
+
+/// Deploy every FAEHIM Web Service into `container`. Returns the list
+/// of deployed service names.
+pub fn deploy_faehim_suite(container: &ServiceContainer) -> Result<Vec<String>> {
+    container.deploy(std::sync::Arc::new(ClassifierService::new()));
+    container.deploy(std::sync::Arc::new(J48Service::new()?));
+    container.deploy(std::sync::Arc::new(CobwebService::new()));
+    container.deploy(std::sync::Arc::new(ClustererService::new()));
+    container.deploy(std::sync::Arc::new(AssociationService::new()));
+    container.deploy(std::sync::Arc::new(AttributeSelectionService::new()));
+    container.deploy(std::sync::Arc::new(DataConversionService::new()));
+    container.deploy(std::sync::Arc::new(UrlReaderService::with_standard_corpus()));
+    container.deploy(std::sync::Arc::new(PlotService::new()));
+    container.deploy(std::sync::Arc::new(MathService::new()));
+    container.deploy(std::sync::Arc::new(
+        crate::dataaccess_ws::DataAccessService::with_standard_resources(),
+    ));
+    container.deploy(std::sync::Arc::new(crate::session_ws::SessionService::default()));
+    container.deploy(std::sync::Arc::new(crate::preprocess_ws::PreprocessService::new()));
+    Ok(container.deployed())
+}
+
+/// Category tags per service, used for UDDI publication.
+fn categories_of(service: &str) -> Vec<String> {
+    let cats: &[&str] = match service {
+        "Classifier" | "J48" => &["datamining", "classifier"],
+        "Cobweb" | "Clusterer" => &["datamining", "clustering"],
+        "Association" => &["datamining", "association-rules"],
+        "AttributeSelection" => &["datamining", "attribute-selection"],
+        "DataConversion" | "UrlReader" | "Preprocess" => &["data-handling"],
+        "DataAccess" => &["data-handling", "relational"],
+        "Session" => &["session-management"],
+        "Plot" | "Math" => &["visualisation"],
+        _ => &["misc"],
+    };
+    cats.iter().map(|s| s.to_string()).collect()
+}
+
+/// Publish every service deployed on `container` into `registry`.
+pub fn publish_suite(container: &ServiceContainer, registry: &UddiRegistry) -> Result<()> {
+    for name in container.deployed() {
+        let wsdl = container.wsdl_of(&name)?;
+        registry.publish(ServiceEntry {
+            name: name.clone(),
+            host: container.host().to_string(),
+            wsdl_url: format!("{}?wsdl", wsdl.endpoint),
+            categories: categories_of(&name),
+            description: wsdl
+                .operations
+                .first()
+                .map(|o| o.documentation.clone())
+                .unwrap_or_default(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_deploys_thirteen_services() {
+        let c = ServiceContainer::new("host-a");
+        let names = deploy_faehim_suite(&c).unwrap();
+        assert_eq!(names.len(), 13);
+        for expected in [
+            "Classifier",
+            "J48",
+            "Cobweb",
+            "Clusterer",
+            "Association",
+            "AttributeSelection",
+            "DataConversion",
+            "UrlReader",
+            "DataAccess",
+            "Session",
+            "Plot",
+            "Math",
+        ] {
+            assert!(names.contains(&expected.to_string()), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn publication_fills_registry() {
+        let c = ServiceContainer::new("host-a");
+        deploy_faehim_suite(&c).unwrap();
+        let registry = UddiRegistry::new();
+        publish_suite(&c, &registry).unwrap();
+        assert_eq!(registry.len(), 13);
+        let classifiers = registry.find_by_category("classifier");
+        assert_eq!(classifiers.len(), 2);
+        assert!(classifiers[0].wsdl_url.ends_with("?wsdl"));
+        assert_eq!(registry.find_by_category("visualisation").len(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! The dedicated J48 Web Service (§4.1) with the §4.5 instance
+//! lifecycle.
+//!
+//! Operations: `classify` (textual decision tree), `classifyGraph`
+//! (SVG rendering — Figure 4), `predict` (label unseen instances with
+//! the current model), and the lifecycle controls `setLifecycle` /
+//! `getLifecycleStats` used by experiment E4.
+//!
+//! The model instance is managed by a [`LifecycleManager`]: under
+//! `SerializePerCall` every invocation re-builds the J48 object from
+//! its serialised state on disk and serialises it back afterwards —
+//! exactly the behaviour the paper observed as "a significant
+//! performance penalty" — while `InMemoryHarness` reproduces the
+//! paper's fix.
+
+use crate::support::{algo_fault, dataset_with_class, opt_text_arg, text_arg, tree_to_svg};
+use dm_algorithms::classifiers::{Classifier, J48};
+use dm_algorithms::options::{parse_options_string, Configurable};
+use dm_algorithms::state::Stateful;
+use dm_wsrf::container::{ServiceFault, WebService};
+use dm_wsrf::lifecycle::{LifecycleManager, LifecyclePolicy};
+use dm_wsrf::soap::SoapValue;
+use dm_wsrf::wsdl::{Operation, Part, WsdlDocument};
+
+/// The J48 Web Service.
+pub struct J48Service {
+    lifecycle: LifecycleManager,
+}
+
+impl J48Service {
+    /// Create with the default Axis-like `SerializePerCall` lifecycle.
+    pub fn new() -> Result<J48Service, dm_wsrf::WsError> {
+        Ok(J48Service { lifecycle: LifecycleManager::new(LifecyclePolicy::SerializePerCall)? })
+    }
+
+    /// Create with an explicit lifecycle policy.
+    pub fn with_policy(policy: LifecyclePolicy) -> Result<J48Service, dm_wsrf::WsError> {
+        Ok(J48Service { lifecycle: LifecycleManager::new(policy)? })
+    }
+
+    /// `(serialisations, deserialisations, cache hits)` so far.
+    pub fn lifecycle_stats(&self) -> (u64, u64, u64) {
+        self.lifecycle.stats()
+    }
+
+    /// Run `f` against the managed J48 instance under the current
+    /// lifecycle policy.
+    fn with_model<R>(
+        &self,
+        f: impl FnOnce(&mut J48) -> Result<R, ServiceFault>,
+    ) -> Result<R, ServiceFault> {
+        
+        self
+            .lifecycle
+            .with_instance(
+                "j48-model",
+                J48::new,
+                |bytes| {
+                    let mut model = J48::new();
+                    model
+                        .decode_state(bytes)
+                        .map_err(|e| dm_wsrf::WsError::Store(e.to_string()))?;
+                    Ok(model)
+                },
+                |model| model.encode_state(),
+                f,
+            )
+            .map_err(|e| ServiceFault::server(e.to_string()))?
+    }
+
+    fn train_args(
+        args: &[(String, SoapValue)],
+    ) -> Result<(dm_data::Dataset, Vec<(String, String)>), ServiceFault> {
+        let arff = text_arg(args, "dataset")?;
+        let attribute = text_arg(args, "attribute")?;
+        let options = opt_text_arg(args, "options")?.unwrap_or("");
+        let ds = dataset_with_class(arff, attribute)?;
+        Ok((ds, parse_options_string(options)))
+    }
+}
+
+impl WebService for J48Service {
+    fn name(&self) -> &str {
+        "J48"
+    }
+
+    fn wsdl(&self) -> WsdlDocument {
+        WsdlDocument::new("J48", "")
+            .operation(
+                Operation::new(
+                    "classify",
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("attribute", "string"),
+                        Part::new("options", "string"),
+                    ],
+                    Part::new("model", "string"),
+                )
+                .doc("apply the J48 (C4.5) algorithm; returns the textual decision tree"),
+            )
+            .operation(
+                Operation::new(
+                    "classifyGraph",
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("attribute", "string"),
+                        Part::new("options", "string"),
+                    ],
+                    Part::new("graph", "string"),
+                )
+                .doc("apply J48 and return the decision tree as an SVG graph"),
+            )
+            .operation(
+                Operation::new(
+                    "predict",
+                    vec![Part::new("dataset", "string"), Part::new("attribute", "string")],
+                    Part::new("predictions", "list"),
+                )
+                .doc("label the given instances with the previously built tree"),
+            )
+            .operation(
+                Operation::new(
+                    "setLifecycle",
+                    vec![Part::new("policy", "string")],
+                    Part::new("ack", "string"),
+                )
+                .doc("switch between serialize-per-call and the in-memory harness (§4.5)"),
+            )
+            .operation(
+                Operation::new("getLifecycleStats", vec![], Part::new("stats", "list"))
+                    .doc("serialisations / deserialisations / cache hits"),
+            )
+    }
+
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[(String, SoapValue)],
+    ) -> Result<SoapValue, ServiceFault> {
+        match operation {
+            "classify" => {
+                let (ds, options) = Self::train_args(args)?;
+                self.with_model(|model| {
+                    for (flag, value) in &options {
+                        model.set_option(flag, value).map_err(algo_fault)?;
+                    }
+                    model.train(&ds).map_err(algo_fault)?;
+                    Ok(SoapValue::Text(model.describe()))
+                })
+            }
+            "classifyGraph" => {
+                let (ds, options) = Self::train_args(args)?;
+                self.with_model(|model| {
+                    for (flag, value) in &options {
+                        model.set_option(flag, value).map_err(algo_fault)?;
+                    }
+                    model.train(&ds).map_err(algo_fault)?;
+                    let tree = model
+                        .tree_model()
+                        .ok_or_else(|| ServiceFault::server("training produced no tree"))?;
+                    Ok(SoapValue::Text(tree_to_svg(&tree)))
+                })
+            }
+            "predict" => {
+                let arff = text_arg(args, "dataset")?;
+                let attribute = text_arg(args, "attribute")?;
+                let ds = dataset_with_class(arff, attribute)?;
+                self.with_model(|model| {
+                    let class_attr = ds.class_attribute().map_err(crate::support::data_fault)?;
+                    let labels: Vec<String> =
+                        class_attr.labels().to_vec();
+                    let mut out = Vec::with_capacity(ds.num_instances());
+                    for r in 0..ds.num_instances() {
+                        let c = model.predict(&ds, r).map_err(algo_fault)?;
+                        out.push(SoapValue::Text(
+                            labels.get(c).cloned().unwrap_or_else(|| format!("#{c}")),
+                        ));
+                    }
+                    Ok(SoapValue::List(out))
+                })
+            }
+            "setLifecycle" => {
+                let policy = text_arg(args, "policy")?;
+                let policy = match policy {
+                    "serialize-per-call" => LifecyclePolicy::SerializePerCall,
+                    "in-memory-harness" => LifecyclePolicy::InMemoryHarness,
+                    other => {
+                        return Err(ServiceFault::client(format!(
+                            "unknown lifecycle {other:?} (want serialize-per-call | in-memory-harness)"
+                        )))
+                    }
+                };
+                self.lifecycle.set_policy(policy);
+                Ok(SoapValue::Text("ok".into()))
+            }
+            "getLifecycleStats" => {
+                let (ser, de, hits) = self.lifecycle.stats();
+                Ok(SoapValue::List(vec![
+                    SoapValue::Int(ser as i64),
+                    SoapValue::Int(de as i64),
+                    SoapValue::Int(hits as i64),
+                ]))
+            }
+            other => Err(ServiceFault::client(format!("no operation {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_data::corpus::breast_cancer_arff;
+
+    fn classify_args() -> Vec<(String, SoapValue)> {
+        vec![
+            ("dataset".to_string(), SoapValue::Text(breast_cancer_arff())),
+            ("attribute".to_string(), SoapValue::Text("Class".into())),
+            ("options".to_string(), SoapValue::Text(String::new())),
+        ]
+    }
+
+    #[test]
+    fn classify_reproduces_figure4_root() {
+        let s = J48Service::new().unwrap();
+        let v = s.invoke("classify", &classify_args()).unwrap();
+        assert!(v.as_text().unwrap().contains("node-caps"));
+    }
+
+    #[test]
+    fn classify_graph_svg() {
+        let s = J48Service::new().unwrap();
+        let v = s.invoke("classifyGraph", &classify_args()).unwrap();
+        let svg = v.as_text().unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("node-caps"));
+    }
+
+    #[test]
+    fn per_call_lifecycle_serialises_every_invocation() {
+        let s = J48Service::new().unwrap();
+        for _ in 0..3 {
+            s.invoke("classify", &classify_args()).unwrap();
+        }
+        let (ser, de, hits) = s.lifecycle_stats();
+        assert_eq!(ser, 3);
+        assert_eq!(de, 2);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn harness_lifecycle_avoids_serialisation() {
+        let s = J48Service::with_policy(LifecyclePolicy::InMemoryHarness).unwrap();
+        for _ in 0..3 {
+            s.invoke("classify", &classify_args()).unwrap();
+        }
+        let (ser, de, hits) = s.lifecycle_stats();
+        assert_eq!(ser, 0);
+        assert_eq!(de, 0);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn lifecycle_switch_via_operation() {
+        let s = J48Service::new().unwrap();
+        s.invoke(
+            "setLifecycle",
+            &[("policy".to_string(), SoapValue::Text("in-memory-harness".into()))],
+        )
+        .unwrap();
+        s.invoke("classify", &classify_args()).unwrap();
+        s.invoke("classify", &classify_args()).unwrap();
+        let stats = s.invoke("getLifecycleStats", &[]).unwrap();
+        let list = stats.as_list().unwrap();
+        assert_eq!(list[0].as_int().unwrap(), 0); // no serialisations
+        assert!(
+            s.invoke(
+                "setLifecycle",
+                &[("policy".to_string(), SoapValue::Text("bogus".into()))]
+            )
+            .is_err()
+        );
+    }
+
+    #[test]
+    fn predict_after_classify() {
+        let s = J48Service::with_policy(LifecyclePolicy::InMemoryHarness).unwrap();
+        s.invoke("classify", &classify_args()).unwrap();
+        let v = s
+            .invoke(
+                "predict",
+                &[
+                    ("dataset".to_string(), SoapValue::Text(breast_cancer_arff())),
+                    ("attribute".to_string(), SoapValue::Text("Class".into())),
+                ],
+            )
+            .unwrap();
+        let predictions = v.as_list().unwrap();
+        assert_eq!(predictions.len(), 286);
+        assert!(predictions
+            .iter()
+            .all(|p| matches!(p.as_text().unwrap(), "no-recurrence-events" | "recurrence-events")));
+    }
+
+    #[test]
+    fn predict_persists_model_across_calls_per_call_policy() {
+        // Under serialize-per-call, the trained tree must survive via
+        // disk state between classify and predict.
+        let s = J48Service::new().unwrap();
+        s.invoke("classify", &classify_args()).unwrap();
+        let v = s
+            .invoke(
+                "predict",
+                &[
+                    ("dataset".to_string(), SoapValue::Text(breast_cancer_arff())),
+                    ("attribute".to_string(), SoapValue::Text("Class".into())),
+                ],
+            )
+            .unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 286);
+    }
+
+    #[test]
+    fn unknown_operation_faults() {
+        let s = J48Service::new().unwrap();
+        assert_eq!(s.invoke("bogus", &[]).unwrap_err().code, "Client");
+    }
+}

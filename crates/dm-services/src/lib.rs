@@ -1,0 +1,56 @@
+//! # dm-services — the FAEHIM data-mining Web Services
+//!
+//! This crate implements every Web Service the paper describes (§4),
+//! as [`dm_wsrf::container::WebService`] implementations plus typed
+//! client stubs:
+//!
+//! * [`classifier_ws`] — the **general Classifier Web Service** with
+//!   `getClassifiers`, `getOptions`, and `classifyInstance` (4 inputs:
+//!   dataset in ARFF, classifier name, options, class attribute name),
+//!   plus `crossValidate` for the "testing the discovered knowledge"
+//!   requirement;
+//! * [`j48_ws`] — the dedicated **J48 Web Service** with `classify` and
+//!   `classifyGraph`, backed by the §4.5 instance lifecycle (this is
+//!   the service whose repeated invocation exposed the serialisation
+//!   penalty measured by experiment E4);
+//! * [`clusterer_ws`] — the **Cobweb Web Service** (`cluster`,
+//!   `getCobwebGraph`) and a general Clusterer service;
+//! * [`assoc_ws`] — association-rule mining;
+//! * [`attrsel_ws`] — attribute selection, including the **genetic
+//!   search** service of §5.3;
+//! * [`convert_ws`] — CSV↔ARFF conversion, dataset summaries
+//!   (Figure 3), and the URL reader that fetches "the data file from a
+//!   URL and convert\[s\] this into a format suitable for analysis";
+//! * [`plot_ws`] — the GNUPlot-substitute 2-D plotter and the
+//!   Mathematica-substitute `plot3D` returning image bytes;
+//! * [`client`] — typed stubs that invoke the services over the
+//!   simulated network (what Triana's generated tools did);
+//! * [`deploy`] — one-call deployment of the full FAEHIM suite onto a
+//!   host, with UDDI registration.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assoc_ws;
+pub mod attrsel_ws;
+pub mod classifier_ws;
+pub mod client;
+pub mod clusterer_ws;
+pub mod convert_ws;
+pub mod dataaccess_ws;
+pub mod deploy;
+pub mod j48_ws;
+pub mod plot_ws;
+pub mod preprocess_ws;
+pub mod session_ws;
+mod support;
+
+pub use deploy::{deploy_faehim_suite, publish_suite};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::classifier_ws::ClassifierService;
+    pub use crate::client::{ClassifierClient, ClustererClient, ConvertClient, J48Client};
+    pub use crate::deploy::{deploy_faehim_suite, publish_suite};
+    pub use crate::j48_ws::J48Service;
+}

@@ -1,0 +1,327 @@
+//! Plotting Web Services (§4.2): the GNUPlot-substitute 2-D plotter and
+//! the Mathematica-substitute `plot3D` ("plot data points sent as a CSV
+//! file in three dimension and return the plotted graph as an image
+//! file").
+
+use crate::support::{data_fault, text_arg};
+use dm_wsrf::container::{ServiceFault, WebService};
+use dm_wsrf::soap::SoapValue;
+use dm_wsrf::wsdl::{Operation, Part, WsdlDocument};
+
+fn csv_columns(csv: &str, want: usize) -> Result<Vec<Vec<f64>>, ServiceFault> {
+    let ds = dm_data::csv::parse_csv(csv).map_err(data_fault)?;
+    if ds.num_attributes() < want {
+        return Err(ServiceFault::client(format!(
+            "need {want} numeric columns, got {}",
+            ds.num_attributes()
+        )));
+    }
+    let mut cols = vec![Vec::with_capacity(ds.num_instances()); want];
+    for r in 0..ds.num_instances() {
+        for (c, col) in cols.iter_mut().enumerate() {
+            let v = ds.value(r, c);
+            if !ds.attributes()[c].is_numeric() || v.is_nan() {
+                return Err(ServiceFault::client(format!(
+                    "column {} must be numeric and complete",
+                    ds.attributes()[c].name()
+                )));
+            }
+            col.push(v);
+        }
+    }
+    Ok(cols)
+}
+
+/// The 2-D plotting Web Service (GNUPlot substitute).
+#[derive(Debug, Default)]
+pub struct PlotService;
+
+impl PlotService {
+    /// Create the service.
+    pub fn new() -> PlotService {
+        PlotService
+    }
+}
+
+impl WebService for PlotService {
+    fn name(&self) -> &str {
+        "Plot"
+    }
+
+    fn wsdl(&self) -> WsdlDocument {
+        WsdlDocument::new("Plot", "")
+            .operation(
+                Operation::new(
+                    "scatter",
+                    vec![Part::new("csv", "string"), Part::new("title", "string")],
+                    Part::new("svg", "string"),
+                )
+                .doc("scatter plot of the first two numeric CSV columns"),
+            )
+            .operation(
+                Operation::new(
+                    "line",
+                    vec![Part::new("csv", "string"), Part::new("title", "string")],
+                    Part::new("svg", "string"),
+                )
+                .doc("line plot of the first two numeric CSV columns"),
+            )
+            .operation(
+                Operation::new(
+                    "histogram",
+                    vec![
+                        Part::new("csv", "string"),
+                        Part::new("title", "string"),
+                        Part::new("bins", "long"),
+                    ],
+                    Part::new("svg", "string"),
+                )
+                .doc("histogram of the first numeric CSV column"),
+            )
+    }
+
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[(String, SoapValue)],
+    ) -> Result<SoapValue, ServiceFault> {
+        let csv = text_arg(args, "csv")?;
+        let title = crate::support::opt_text_arg(args, "title")?.unwrap_or("plot");
+        match operation {
+            "scatter" | "line" => {
+                let cols = csv_columns(csv, 2)?;
+                let points: Vec<(f64, f64)> =
+                    cols[0].iter().zip(&cols[1]).map(|(&x, &y)| (x, y)).collect();
+                let series = if operation == "scatter" {
+                    dm_viz::Series::scatter("data", points)
+                } else {
+                    dm_viz::Series::line("data", points)
+                };
+                Ok(SoapValue::Text(
+                    dm_viz::Chart::new(title).labels("x", "y").with(series).to_svg(),
+                ))
+            }
+            "histogram" => {
+                let bins = crate::support::int_arg(args, "bins").unwrap_or(10).clamp(2, 200)
+                    as usize;
+                let cols = csv_columns(csv, 1)?;
+                let values = &cols[0];
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let span = (max - min).max(1e-12);
+                let mut counts = vec![0.0f64; bins];
+                for &v in values {
+                    let b = (((v - min) / span) * bins as f64) as usize;
+                    counts[b.min(bins - 1)] += 1.0;
+                }
+                let points: Vec<(f64, f64)> = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (min + span * (i as f64 + 0.5) / bins as f64, c))
+                    .collect();
+                let mut chart = dm_viz::Chart::new(title).labels("value", "count");
+                chart.y_from_zero = true;
+                Ok(SoapValue::Text(
+                    chart.with(dm_viz::Series::bars("count", points)).to_svg(),
+                ))
+            }
+            other => Err(ServiceFault::client(format!("no operation {other:?}"))),
+        }
+    }
+}
+
+/// The Mathematica-substitute Web Service; its "most important
+/// operation" is `plot3D` (§4.2), returning raster image bytes.
+#[derive(Debug, Default)]
+pub struct MathService;
+
+impl MathService {
+    /// Create the service.
+    pub fn new() -> MathService {
+        MathService
+    }
+}
+
+impl WebService for MathService {
+    fn name(&self) -> &str {
+        "Math"
+    }
+
+    fn wsdl(&self) -> WsdlDocument {
+        WsdlDocument::new("Math", "")
+            .operation(
+                Operation::new(
+                    "plot3D",
+                    vec![
+                        Part::new("csv", "string"),
+                        Part::new("width", "long"),
+                        Part::new("height", "long"),
+                    ],
+                    Part::new("image", "base64Binary"),
+                )
+                .doc("plot 3-D CSV points and return the graph as an image (PPM raster)"),
+            )
+            .operation(
+                Operation::new(
+                    "statistics",
+                    vec![Part::new("csv", "string")],
+                    Part::new("stats", "list"),
+                )
+                .doc("per-column mean and standard deviation"),
+            )
+    }
+
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[(String, SoapValue)],
+    ) -> Result<SoapValue, ServiceFault> {
+        match operation {
+            "plot3D" => {
+                let csv = text_arg(args, "csv")?;
+                let width =
+                    crate::support::int_arg(args, "width").unwrap_or(640).clamp(16, 4096) as usize;
+                let height = crate::support::int_arg(args, "height")
+                    .unwrap_or(480)
+                    .clamp(16, 4096) as usize;
+                let cols = csv_columns(csv, 3)?;
+                let points: Vec<(f64, f64, f64)> = (0..cols[0].len())
+                    .map(|i| (cols[0][i], cols[1][i], cols[2][i]))
+                    .collect();
+                let canvas = dm_viz::canvas::plot3d(&points, width, height);
+                Ok(SoapValue::Bytes(canvas.to_ppm()))
+            }
+            "statistics" => {
+                let csv = text_arg(args, "csv")?;
+                let ds = dm_data::csv::parse_csv(csv).map_err(data_fault)?;
+                let mut out = Vec::new();
+                for a in 0..ds.num_attributes() {
+                    if !ds.attributes()[a].is_numeric() {
+                        continue;
+                    }
+                    let values: Vec<f64> = (0..ds.num_instances())
+                        .map(|r| ds.value(r, a))
+                        .filter(|v| !v.is_nan())
+                        .collect();
+                    let n = values.len().max(1) as f64;
+                    let mean = values.iter().sum::<f64>() / n;
+                    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                    out.push(SoapValue::List(vec![
+                        SoapValue::Text(ds.attributes()[a].name().to_string()),
+                        SoapValue::Double(mean),
+                        SoapValue::Double(var.sqrt()),
+                    ]));
+                }
+                Ok(SoapValue::List(out))
+            }
+            other => Err(ServiceFault::client(format!("no operation {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy_csv() -> String {
+        let mut s = String::from("x,y\n");
+        for i in 0..50 {
+            s.push_str(&format!("{i},{}\n", i * i));
+        }
+        s
+    }
+
+    fn xyz_csv() -> String {
+        let mut s = String::from("x,y,z\n");
+        for i in 0..100 {
+            let t = i as f64 / 10.0;
+            s.push_str(&format!("{t},{},{}\n", t.sin(), t.cos()));
+        }
+        s
+    }
+
+    #[test]
+    fn scatter_and_line_render() {
+        let s = PlotService::new();
+        for op in ["scatter", "line"] {
+            let v = s
+                .invoke(
+                    op,
+                    &[
+                        ("csv".to_string(), SoapValue::Text(xy_csv())),
+                        ("title".to_string(), SoapValue::Text("squares".into())),
+                    ],
+                )
+                .unwrap();
+            assert!(v.as_text().unwrap().starts_with("<svg"), "{op}");
+        }
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let s = PlotService::new();
+        let v = s
+            .invoke(
+                "histogram",
+                &[
+                    ("csv".to_string(), SoapValue::Text(xy_csv())),
+                    ("title".to_string(), SoapValue::Text("hist".into())),
+                    ("bins".to_string(), SoapValue::Int(8)),
+                ],
+            )
+            .unwrap();
+        assert!(v.as_text().unwrap().contains("<rect"));
+    }
+
+    #[test]
+    fn plot3d_returns_ppm_image() {
+        let s = MathService::new();
+        let v = s
+            .invoke(
+                "plot3D",
+                &[
+                    ("csv".to_string(), SoapValue::Text(xyz_csv())),
+                    ("width".to_string(), SoapValue::Int(200)),
+                    ("height".to_string(), SoapValue::Int(150)),
+                ],
+            )
+            .unwrap();
+        let image = v.as_bytes().unwrap();
+        assert!(image.starts_with(b"P6\n200 150\n255\n"));
+        assert_eq!(image.len(), 15 + 200 * 150 * 3);
+    }
+
+    #[test]
+    fn plot3d_needs_three_columns() {
+        let s = MathService::new();
+        let err = s
+            .invoke("plot3D", &[("csv".to_string(), SoapValue::Text(xy_csv()))])
+            .unwrap_err();
+        assert_eq!(err.code, "Client");
+    }
+
+    #[test]
+    fn statistics_per_column() {
+        let s = MathService::new();
+        let v = s
+            .invoke("statistics", &[("csv".to_string(), SoapValue::Text(xy_csv()))])
+            .unwrap();
+        let stats = v.as_list().unwrap();
+        assert_eq!(stats.len(), 2);
+        let x = stats[0].as_list().unwrap();
+        assert_eq!(x[0].as_text().unwrap(), "x");
+        assert!((x[1].as_double().unwrap() - 24.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_numeric_column_faults() {
+        let s = PlotService::new();
+        let err = s
+            .invoke(
+                "scatter",
+                &[("csv".to_string(), SoapValue::Text("a,b\nx,1\n".into()))],
+            )
+            .unwrap_err();
+        assert_eq!(err.code, "Client");
+    }
+}

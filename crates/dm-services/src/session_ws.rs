@@ -1,0 +1,232 @@
+//! The session-management Web Service (§5.4: "data translation,
+//! visualisation and session management"): exposes
+//! [`dm_wsrf::session::SessionManager`] over SOAP so an interactive
+//! workflow can carry state (selected classifier, option string,
+//! intermediate models) across Web Service calls.
+
+use crate::support::text_arg;
+use dm_wsrf::container::{ServiceFault, WebService};
+use dm_wsrf::session::SessionManager;
+use dm_wsrf::soap::SoapValue;
+use dm_wsrf::wsdl::{Operation, Part, WsdlDocument};
+use std::time::Duration;
+
+/// The session-management Web Service.
+pub struct SessionService {
+    manager: SessionManager,
+}
+
+impl Default for SessionService {
+    fn default() -> Self {
+        SessionService::new(Duration::from_secs(30 * 60))
+    }
+}
+
+impl SessionService {
+    /// Create with an explicit idle TTL.
+    pub fn new(ttl: Duration) -> SessionService {
+        SessionService { manager: SessionManager::new(ttl) }
+    }
+
+    /// The underlying manager (for tests and local callers).
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+}
+
+fn not_found(e: dm_wsrf::WsError) -> ServiceFault {
+    ServiceFault::client(e.to_string())
+}
+
+impl WebService for SessionService {
+    fn name(&self) -> &str {
+        "Session"
+    }
+
+    fn wsdl(&self) -> WsdlDocument {
+        WsdlDocument::new("Session", "")
+            .operation(
+                Operation::new("createSession", vec![], Part::new("sessionId", "string"))
+                    .doc("open a session and return its id"),
+            )
+            .operation(
+                Operation::new(
+                    "putAttribute",
+                    vec![
+                        Part::new("sessionId", "string"),
+                        Part::new("key", "string"),
+                        Part::new("value", "string"),
+                    ],
+                    Part::new("ack", "string"),
+                )
+                .doc("store a string attribute in the session"),
+            )
+            .operation(
+                Operation::new(
+                    "getAttribute",
+                    vec![Part::new("sessionId", "string"), Part::new("key", "string")],
+                    Part::new("value", "string"),
+                )
+                .doc("fetch an attribute (nil when unset)"),
+            )
+            .operation(
+                Operation::new(
+                    "listAttributes",
+                    vec![Part::new("sessionId", "string")],
+                    Part::new("keys", "list"),
+                )
+                .doc("attribute names stored in the session"),
+            )
+            .operation(
+                Operation::new(
+                    "closeSession",
+                    vec![Part::new("sessionId", "string")],
+                    Part::new("ack", "string"),
+                )
+                .doc("discard the session and its state"),
+            )
+    }
+
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[(String, SoapValue)],
+    ) -> Result<SoapValue, ServiceFault> {
+        match operation {
+            "createSession" => Ok(SoapValue::Text(self.manager.create())),
+            "putAttribute" => {
+                let id = text_arg(args, "sessionId")?;
+                let key = text_arg(args, "key")?;
+                let value = args
+                    .iter()
+                    .find(|(n, _)| n == "value")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(SoapValue::Null);
+                self.manager.put(id, key, value).map_err(not_found)?;
+                Ok(SoapValue::Text("ok".into()))
+            }
+            "getAttribute" => {
+                let id = text_arg(args, "sessionId")?;
+                let key = text_arg(args, "key")?;
+                Ok(self
+                    .manager
+                    .get(id, key)
+                    .map_err(not_found)?
+                    .unwrap_or(SoapValue::Null))
+            }
+            "listAttributes" => {
+                let id = text_arg(args, "sessionId")?;
+                Ok(SoapValue::List(
+                    self.manager
+                        .keys(id)
+                        .map_err(not_found)?
+                        .into_iter()
+                        .map(SoapValue::Text)
+                        .collect(),
+                ))
+            }
+            "closeSession" => {
+                let id = text_arg(args, "sessionId")?;
+                if self.manager.close(id) {
+                    Ok(SoapValue::Text("ok".into()))
+                } else {
+                    Err(ServiceFault::client(format!("no session {id:?}")))
+                }
+            }
+            other => Err(ServiceFault::client(format!("no operation {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_sequence_carries_state() {
+        let s = SessionService::default();
+        let id = s.invoke("createSession", &[]).unwrap();
+        let id = id.as_text().unwrap().to_string();
+
+        // The interactive sequence: remember the selected classifier
+        // and options between calls.
+        s.invoke(
+            "putAttribute",
+            &[
+                ("sessionId".to_string(), SoapValue::Text(id.clone())),
+                ("key".to_string(), SoapValue::Text("classifier".into())),
+                ("value".to_string(), SoapValue::Text("J48".into())),
+            ],
+        )
+        .unwrap();
+        s.invoke(
+            "putAttribute",
+            &[
+                ("sessionId".to_string(), SoapValue::Text(id.clone())),
+                ("key".to_string(), SoapValue::Text("options".into())),
+                ("value".to_string(), SoapValue::Text("-C 0.25 -M 2".into())),
+            ],
+        )
+        .unwrap();
+        let got = s
+            .invoke(
+                "getAttribute",
+                &[
+                    ("sessionId".to_string(), SoapValue::Text(id.clone())),
+                    ("key".to_string(), SoapValue::Text("classifier".into())),
+                ],
+            )
+            .unwrap();
+        assert_eq!(got, SoapValue::Text("J48".into()));
+        let keys = s
+            .invoke(
+                "listAttributes",
+                &[("sessionId".to_string(), SoapValue::Text(id.clone()))],
+            )
+            .unwrap();
+        assert_eq!(keys.as_list().unwrap().len(), 2);
+        s.invoke(
+            "closeSession",
+            &[("sessionId".to_string(), SoapValue::Text(id.clone()))],
+        )
+        .unwrap();
+        let err = s
+            .invoke(
+                "getAttribute",
+                &[
+                    ("sessionId".to_string(), SoapValue::Text(id)),
+                    ("key".to_string(), SoapValue::Text("classifier".into())),
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(err.code, "Client");
+    }
+
+    #[test]
+    fn unset_attribute_is_nil() {
+        let s = SessionService::default();
+        let id = s.invoke("createSession", &[]).unwrap().as_text().unwrap().to_string();
+        let got = s
+            .invoke(
+                "getAttribute",
+                &[
+                    ("sessionId".to_string(), SoapValue::Text(id)),
+                    ("key".to_string(), SoapValue::Text("missing".into())),
+                ],
+            )
+            .unwrap();
+        assert_eq!(got, SoapValue::Null);
+    }
+
+    #[test]
+    fn unknown_session_faults() {
+        let s = SessionService::default();
+        let err = s
+            .invoke(
+                "closeSession",
+                &[("sessionId".to_string(), SoapValue::Text("bogus".into()))],
+            )
+            .unwrap_err();
+        assert_eq!(err.code, "Client");
+    }
+}

@@ -1,0 +1,110 @@
+//! Terminal renderers: quick histogram bars and scatter grids for
+//! inspecting results without leaving the console.
+
+/// Render labelled values as a horizontal bar chart.
+///
+/// ```
+/// let out = dm_viz::ascii::bar_chart(&[("yes", 9.0), ("no", 5.0)], 20);
+/// assert!(out.contains("yes"));
+/// ```
+pub fn bar_chart(rows: &[(&str, f64)], max_width: usize) -> String {
+    let max_value = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max_value > 0.0 {
+            ((value / max_value) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_width$} | {} {value}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Render 2-D points as a character grid (`*` marks occupied cells).
+pub fn scatter(points: &[(f64, f64)], cols: usize, rows: usize) -> String {
+    let mut grid = vec![vec![' '; cols]; rows];
+    if !points.is_empty() {
+        let min_x = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let max_x = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let max_y = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let span_x = (max_x - min_x).max(1e-12);
+        let span_y = (max_y - min_y).max(1e-12);
+        for &(x, y) in points {
+            let c = (((x - min_x) / span_x) * (cols - 1) as f64).round() as usize;
+            let r = (((max_y - y) / span_y) * (rows - 1) as f64).round() as usize;
+            grid[r.min(rows - 1)][c.min(cols - 1)] = '*';
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Render a confusion matrix with class labels.
+pub fn confusion_matrix(labels: &[String], matrix: &[Vec<f64>]) -> String {
+    let mut out = String::from("actual \\ predicted\n");
+    for (i, row) in matrix.iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:8.1}")).collect();
+        out.push_str(&format!(
+            "{:>20} {}\n",
+            labels.get(i).map(String::as_str).unwrap_or("?"),
+            cells.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let out = bar_chart(&[("a", 10.0), ("b", 5.0)], 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains(&"#".repeat(5)));
+        assert!(!lines[1].contains(&"#".repeat(6)));
+    }
+
+    #[test]
+    fn bars_handle_zero() {
+        let out = bar_chart(&[("a", 0.0)], 10);
+        assert!(out.contains("a | "));
+    }
+
+    #[test]
+    fn scatter_marks_extremes() {
+        let out = scatter(&[(0.0, 0.0), (1.0, 1.0)], 10, 5);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains('*')); // max y at the top
+        assert!(lines[4].contains('*'));
+    }
+
+    #[test]
+    fn scatter_empty_is_blank() {
+        let out = scatter(&[], 4, 2);
+        assert_eq!(out, "|    |\n|    |\n");
+    }
+
+    #[test]
+    fn confusion_matrix_renders() {
+        let out = confusion_matrix(
+            &["yes".to_string(), "no".to_string()],
+            &[vec![9.0, 1.0], vec![2.0, 3.0]],
+        );
+        assert!(out.contains("yes"));
+        assert!(out.contains("9.0"));
+    }
+}

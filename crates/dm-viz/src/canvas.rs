@@ -1,0 +1,224 @@
+//! A raster canvas with a PPM (P6) encoder, and the `plot3D` renderer —
+//! the Mathematica Web Service substitute. §4.2: "plot data points sent
+//! as a CSV file in three dimension and return the plotted graph as an
+//! image file (PNG format)". We return a binary PPM image: a real
+//! raster image format, losslessly convertible to PNG, with no codec
+//! dependency.
+
+/// An RGB raster canvas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 3]>,
+}
+
+impl Canvas {
+    /// Create a white canvas.
+    pub fn new(width: usize, height: usize) -> Canvas {
+        Canvas { width, height, pixels: vec![[255, 255, 255]; width * height] }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Read a pixel (row-major; returns black for out-of-range).
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x]
+        } else {
+            [0, 0, 0]
+        }
+    }
+
+    /// Set a pixel (silently ignores out-of-range).
+    pub fn set(&mut self, x: i64, y: i64, rgb: [u8; 3]) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = rgb;
+        }
+    }
+
+    /// Draw a filled disc.
+    pub fn disc(&mut self, cx: i64, cy: i64, r: i64, rgb: [u8; 3]) {
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx * dx + dy * dy <= r * r {
+                    self.set(cx + dx, cy + dy, rgb);
+                }
+            }
+        }
+    }
+
+    /// Draw a line (Bresenham).
+    pub fn line(&mut self, mut x0: i64, mut y0: i64, x1: i64, y1: i64, rgb: [u8; 3]) {
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.set(x0, y0, rgb);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Encode as a binary PPM (P6) image.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.pixels.len() * 3);
+        for p in &self.pixels {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+}
+
+/// Render a 3-D point cloud as an isometric-projection raster image —
+/// the `plot3D` operation. Points are `(x, y, z)`; colour encodes
+/// height (z), and the three axes are drawn from the origin corner.
+pub fn plot3d(points: &[(f64, f64, f64)], width: usize, height: usize) -> Canvas {
+    let mut canvas = Canvas::new(width, height);
+    if points.is_empty() {
+        return canvas;
+    }
+    // Normalise into the unit cube.
+    let mut min = [f64::INFINITY; 3];
+    let mut max = [f64::NEG_INFINITY; 3];
+    for &(x, y, z) in points {
+        for (i, v) in [x, y, z].into_iter().enumerate() {
+            min[i] = min[i].min(v);
+            max[i] = max[i].max(v);
+        }
+    }
+    let norm = |v: f64, i: usize| -> f64 {
+        if max[i] > min[i] {
+            (v - min[i]) / (max[i] - min[i])
+        } else {
+            0.5
+        }
+    };
+    // Isometric projection of the unit cube into the canvas.
+    let (w, h) = (width as f64, height as f64);
+    let project = |x: f64, y: f64, z: f64| -> (i64, i64) {
+        let px = 0.5 * w + (x - y) * 0.35 * w;
+        let py = 0.82 * h - z * 0.55 * h - (x + y) * 0.16 * h;
+        (px as i64, py as i64)
+    };
+    // Axes from the origin corner.
+    let origin = project(0.0, 0.0, 0.0);
+    for (target, _label) in [
+        (project(1.0, 0.0, 0.0), "x"),
+        (project(0.0, 1.0, 0.0), "y"),
+        (project(0.0, 0.0, 1.0), "z"),
+    ] {
+        canvas.line(origin.0, origin.1, target.0, target.1, [120, 120, 120]);
+    }
+    // Points, back-to-front (painter's order by x+y).
+    let mut ordered: Vec<(f64, f64, f64)> = points.to_vec();
+    ordered.sort_by(|a, b| {
+        (a.0 + a.1).partial_cmp(&(b.0 + b.1)).expect("finite coordinates")
+    });
+    for (x, y, z) in ordered {
+        let (nx, ny, nz) = (norm(x, 0), norm(y, 1), norm(z, 2));
+        let (px, py) = project(nx, ny, nz);
+        let colour = height_colour(nz);
+        canvas.disc(px, py, 2, colour);
+    }
+    canvas
+}
+
+/// Blue-to-red height colour map.
+fn height_colour(t: f64) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    [(255.0 * t) as u8, 60, (255.0 * (1.0 - t)) as u8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let c = Canvas::new(4, 3);
+        let ppm = c.to_ppm();
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut c = Canvas::new(10, 10);
+        c.set(3, 4, [1, 2, 3]);
+        assert_eq!(c.get(3, 4), [1, 2, 3]);
+        c.set(-1, 0, [9, 9, 9]); // silently ignored
+        c.set(100, 0, [9, 9, 9]);
+        assert_eq!(c.get(0, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = Canvas::new(20, 20);
+        c.line(0, 0, 19, 19, [0, 0, 0]);
+        assert_eq!(c.get(0, 0), [0, 0, 0]);
+        assert_eq!(c.get(19, 19), [0, 0, 0]);
+        assert_eq!(c.get(10, 10), [0, 0, 0]);
+    }
+
+    #[test]
+    fn disc_fills() {
+        let mut c = Canvas::new(20, 20);
+        c.disc(10, 10, 3, [5, 5, 5]);
+        assert_eq!(c.get(10, 10), [5, 5, 5]);
+        assert_eq!(c.get(12, 10), [5, 5, 5]);
+        assert_eq!(c.get(16, 10), [255, 255, 255]);
+    }
+
+    #[test]
+    fn plot3d_draws_points_and_axes() {
+        let points: Vec<(f64, f64, f64)> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 100.0;
+                (t, (t * 6.28).sin() * 0.5 + 0.5, t * t)
+            })
+            .collect();
+        let canvas = plot3d(&points, 320, 240);
+        // Some non-white pixels must exist.
+        let non_white = (0..240)
+            .flat_map(|y| (0..320).map(move |x| (x, y)))
+            .filter(|&(x, y)| canvas.get(x, y) != [255, 255, 255])
+            .count();
+        assert!(non_white > 200, "only {non_white} drawn pixels");
+        let ppm = canvas.to_ppm();
+        assert!(ppm.starts_with(b"P6\n320 240\n"));
+    }
+
+    #[test]
+    fn plot3d_empty_is_blank() {
+        let canvas = plot3d(&[], 32, 32);
+        assert_eq!(canvas.get(16, 16), [255, 255, 255]);
+    }
+
+    #[test]
+    fn height_colour_endpoints() {
+        assert_eq!(height_colour(0.0), [0, 60, 255]);
+        assert_eq!(height_colour(1.0), [255, 60, 0]);
+    }
+}

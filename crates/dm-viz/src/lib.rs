@@ -1,0 +1,30 @@
+//! # dm-viz — visualisation substrate for `faehim-rs`
+//!
+//! The paper wraps GNUPlot for 2-D plotting, exposes a Mathematica
+//! `plot3D` Web Service that "plot\[s\] data points sent as a CSV file in
+//! three dimension and return\[s\] the plotted graph as an image file",
+//! and ships Triana tools for tree plotting and cluster visualisation
+//! (§4.2, §4.3). This crate is the offline equivalent:
+//!
+//! * [`svg`] — a small SVG document builder;
+//! * [`plot`] — scatter / line / histogram charts rendered to SVG (the
+//!   GNUPlot substitute), including a cluster visualiser;
+//! * [`tree`] — decision-tree and dendrogram rendering: indented text
+//!   and a layered SVG layout (the TreeVisualizer of Figure 4);
+//! * [`canvas`] — a raster canvas with a PPM encoder and the `plot3D`
+//!   projection renderer (the Mathematica substitute returning real
+//!   image bytes);
+//! * [`ascii`] — terminal renderers for quick inspection.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ascii;
+pub mod canvas;
+pub mod plot;
+pub mod svg;
+pub mod tree;
+
+pub use canvas::Canvas;
+pub use plot::{Chart, Series, SeriesStyle};
+pub use tree::TreeSpec;

@@ -1,0 +1,339 @@
+//! 2-D charts rendered to SVG — the GNUPlot-wrapper substitute, plus
+//! the cluster visualiser tool of §4.3.
+
+use crate::svg::{series_color, SvgDocument};
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesStyle {
+    /// Points only.
+    Scatter,
+    /// Connected polyline.
+    Line,
+    /// Vertical bars (one per point, x = bar position).
+    Bars,
+}
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Drawing style.
+    pub style: SeriesStyle,
+}
+
+impl Series {
+    /// Create a scatter series.
+    pub fn scatter<N: Into<String>>(name: N, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.into(), points, style: SeriesStyle::Scatter }
+    }
+
+    /// Create a line series.
+    pub fn line<N: Into<String>>(name: N, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.into(), points, style: SeriesStyle::Line }
+    }
+
+    /// Create a bar series.
+    pub fn bars<N: Into<String>>(name: N, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.into(), points, style: SeriesStyle::Bars }
+    }
+}
+
+/// A 2-D chart with axes, ticks, legend, and any number of series.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Data series.
+    pub series: Vec<Series>,
+    /// Pixel width (default 640).
+    pub width: f64,
+    /// Pixel height (default 480).
+    pub height: f64,
+    /// Draw the y axis from zero even if data starts higher.
+    pub y_from_zero: bool,
+}
+
+impl Chart {
+    /// Create an empty chart.
+    pub fn new<T: Into<String>>(title: T) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 480.0,
+            y_from_zero: false,
+        }
+    }
+
+    /// Builder: axis labels.
+    pub fn labels<X: Into<String>, Y: Into<String>>(mut self, x: X, y: Y) -> Chart {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Builder: add a series.
+    pub fn with(mut self, series: Series) -> Chart {
+        self.series.push(series);
+        self
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+        }
+        if !min_x.is_finite() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        if self.y_from_zero {
+            min_y = min_y.min(0.0);
+        }
+        if (max_x - min_x).abs() < 1e-12 {
+            max_x = min_x + 1.0;
+        }
+        if (max_y - min_y).abs() < 1e-12 {
+            max_y = min_y + 1.0;
+        }
+        (min_x, max_x, min_y, max_y)
+    }
+
+    /// Render to an SVG document string.
+    pub fn to_svg(&self) -> String {
+        const M_LEFT: f64 = 64.0;
+        const M_RIGHT: f64 = 24.0;
+        const M_TOP: f64 = 40.0;
+        const M_BOTTOM: f64 = 56.0;
+
+        let (min_x, max_x, min_y, max_y) = self.bounds();
+        let plot_w = self.width - M_LEFT - M_RIGHT;
+        let plot_h = self.height - M_TOP - M_BOTTOM;
+        let sx = |x: f64| M_LEFT + (x - min_x) / (max_x - min_x) * plot_w;
+        let sy = |y: f64| M_TOP + plot_h - (y - min_y) / (max_y - min_y) * plot_h;
+
+        let mut doc = SvgDocument::new(self.width, self.height);
+        // Frame.
+        doc.rect(M_LEFT, M_TOP, plot_w, plot_h, "none", "#333333");
+        // Title and axis labels.
+        doc.text(self.width / 2.0, 24.0, 16.0, "middle", &self.title);
+        doc.text(self.width / 2.0, self.height - 12.0, 13.0, "middle", &self.x_label);
+        doc.text(16.0, M_TOP - 12.0, 13.0, "start", &self.y_label);
+        // Ticks (5 per axis).
+        for i in 0..=5 {
+            let fx = min_x + (max_x - min_x) * i as f64 / 5.0;
+            let fy = min_y + (max_y - min_y) * i as f64 / 5.0;
+            let px = sx(fx);
+            let py = sy(fy);
+            doc.line(px, M_TOP + plot_h, px, M_TOP + plot_h + 5.0, "#333333", 1.0);
+            doc.text(px, M_TOP + plot_h + 18.0, 11.0, "middle", &tick_label(fx));
+            doc.line(M_LEFT - 5.0, py, M_LEFT, py, "#333333", 1.0);
+            doc.text(M_LEFT - 8.0, py + 4.0, 11.0, "end", &tick_label(fy));
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = series_color(i);
+            match s.style {
+                SeriesStyle::Scatter => {
+                    for &(x, y) in &s.points {
+                        doc.circle(sx(x), sy(y), 3.0, color);
+                    }
+                }
+                SeriesStyle::Line => {
+                    let pts: Vec<(f64, f64)> =
+                        s.points.iter().map(|&(x, y)| (sx(x), sy(y))).collect();
+                    doc.polyline(&pts, color, 2.0);
+                }
+                SeriesStyle::Bars => {
+                    let bar_w = (plot_w / (s.points.len().max(1) as f64) * 0.6).max(2.0);
+                    for &(x, y) in &s.points {
+                        let x0 = sx(x) - bar_w / 2.0;
+                        let y0 = sy(y);
+                        let base = sy(min_y.max(0.0).min(max_y));
+                        doc.rect(x0, y0.min(base), bar_w, (base - y0).abs(), color, "none");
+                    }
+                }
+            }
+            // Legend.
+            let ly = M_TOP + 16.0 * i as f64 + 8.0;
+            doc.rect(M_LEFT + plot_w - 110.0, ly - 8.0, 10.0, 10.0, color, "none");
+            doc.text(M_LEFT + plot_w - 96.0, ly + 1.0, 11.0, "start", &s.name);
+        }
+        doc.finish()
+    }
+}
+
+fn tick_label(v: f64) -> String {
+    if v.abs() >= 1000.0 || (v != 0.0 && v.abs() < 0.01) {
+        format!("{v:.1e}")
+    } else if v == v.trunc() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// The cluster visualiser: scatter-plot 2-D points coloured by cluster
+/// assignment (one series per cluster).
+pub fn cluster_plot(
+    title: &str,
+    points: &[(f64, f64)],
+    assignments: &[usize],
+) -> String {
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut chart = Chart::new(title).labels("x", "y");
+    for c in 0..k {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .zip(assignments)
+            .filter(|(_, &a)| a == c)
+            .map(|(&p, _)| p)
+            .collect();
+        chart = chart.with(Series::scatter(format!("cluster {c}"), pts));
+    }
+    chart.to_svg()
+}
+
+/// Render a confusion matrix as an SVG heatmap: rows = actual classes,
+/// columns = predicted, cell shade ∝ count, counts printed in-cell.
+pub fn confusion_heatmap(title: &str, labels: &[String], matrix: &[Vec<f64>]) -> String {
+    use crate::svg::SvgDocument;
+    let k = matrix.len();
+    const CELL: f64 = 72.0;
+    const M_LEFT: f64 = 140.0;
+    const M_TOP: f64 = 70.0;
+    let width = M_LEFT + k as f64 * CELL + 24.0;
+    let height = M_TOP + k as f64 * CELL + 40.0;
+    let mut doc = SvgDocument::new(width, height);
+    doc.text(width / 2.0, 24.0, 16.0, "middle", title);
+    let max = matrix
+        .iter()
+        .flat_map(|r| r.iter())
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    for (r, row) in matrix.iter().enumerate() {
+        let label = labels.get(r).map(String::as_str).unwrap_or("?");
+        doc.text(
+            M_LEFT - 8.0,
+            M_TOP + r as f64 * CELL + CELL / 2.0 + 4.0,
+            11.0,
+            "end",
+            label,
+        );
+        doc.text(
+            M_LEFT + r as f64 * CELL + CELL / 2.0,
+            M_TOP - 10.0,
+            11.0,
+            "middle",
+            label,
+        );
+        for (c, &v) in row.iter().enumerate() {
+            let t = v / max;
+            // White → blue ramp; diagonal (correct) cells ramp to green.
+            let shade = (255.0 * (1.0 - 0.75 * t)) as u8;
+            let fill = if r == c {
+                format!("rgb({shade},255,{shade})")
+            } else {
+                format!("rgb(255,{shade},{shade})")
+            };
+            let (x, y) = (M_LEFT + c as f64 * CELL, M_TOP + r as f64 * CELL);
+            doc.rect(x, y, CELL, CELL, &fill, "#777777");
+            doc.text(
+                x + CELL / 2.0,
+                y + CELL / 2.0 + 4.0,
+                12.0,
+                "middle",
+                &format!("{v:.0}"),
+            );
+        }
+    }
+    doc.text(M_LEFT - 8.0, M_TOP - 30.0, 11.0, "end", "actual \\ predicted");
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_line_and_bars_render() {
+        let chart = Chart::new("demo")
+            .labels("time", "value")
+            .with(Series::scatter("points", vec![(0.0, 1.0), (1.0, 2.0)]))
+            .with(Series::line("trend", vec![(0.0, 0.5), (1.0, 2.5)]))
+            .with(Series::bars("counts", vec![(0.0, 3.0), (1.0, 1.0)]));
+        let svg = chart.to_svg();
+        assert!(svg.contains("demo"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("circle"));
+        assert!(svg.contains("points"));
+        assert!(svg.contains("counts"));
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let svg = Chart::new("empty").to_svg();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn degenerate_ranges_handled() {
+        // All points identical: bounds must not divide by zero.
+        let chart = Chart::new("flat").with(Series::scatter("s", vec![(2.0, 5.0); 3]));
+        let svg = chart.to_svg();
+        assert!(svg.contains("circle"));
+    }
+
+    #[test]
+    fn cluster_plot_one_series_per_cluster() {
+        let points = vec![(0.0, 0.0), (1.0, 1.0), (10.0, 10.0)];
+        let svg = cluster_plot("clusters", &points, &[0, 0, 1]);
+        assert!(svg.contains("cluster 0"));
+        assert!(svg.contains("cluster 1"));
+    }
+
+    #[test]
+    fn tick_labels() {
+        assert_eq!(tick_label(5.0), "5");
+        assert_eq!(tick_label(0.25), "0.25");
+        assert!(tick_label(12345.0).contains('e'));
+    }
+
+    #[test]
+    fn confusion_heatmap_renders_cells_and_labels() {
+        let svg = confusion_heatmap(
+            "J48 confusion",
+            &["yes".to_string(), "no".to_string()],
+            &[vec![190.0, 11.0], vec![52.0, 33.0]],
+        );
+        assert!(svg.contains("J48 confusion"));
+        assert!(svg.contains(">190<"));
+        assert!(svg.contains(">33<"));
+        assert_eq!(svg.matches("<rect").count(), 5); // 4 cells + background
+        assert!(svg.contains("yes"));
+    }
+
+    #[test]
+    fn confusion_heatmap_empty_matrix() {
+        let svg = confusion_heatmap("empty", &[], &[]);
+        assert!(svg.starts_with("<svg"));
+    }
+}

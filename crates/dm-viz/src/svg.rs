@@ -1,0 +1,125 @@
+//! A minimal SVG document builder: enough shapes for charts and tree
+//! layouts, producing standalone `<svg>` documents.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+impl SvgDocument {
+    /// Create a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> SvgDocument {
+        SvgDocument { width, height, body: String::new() }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Add a line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#,
+        )
+        .expect("string write");
+    }
+
+    /// Add a rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: &str) {
+        writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" stroke="{stroke}"/>"#,
+        )
+        .expect("string write");
+    }
+
+    /// Add a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        writeln!(self.body, r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#)
+            .expect("string write");
+    }
+
+    /// Add text (anchor: `start`, `middle`, or `end`).
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"#,
+            esc(content)
+        )
+        .expect("string write");
+    }
+
+    /// Add a polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> =
+            points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            pts.join(" ")
+        )
+        .expect("string write");
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect x=\"0\" y=\"0\" width=\"{:.0}\" height=\"{:.0}\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// A qualitative colour palette (colour-blind-safe Okabe–Ito).
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// Palette colour for series `i` (wraps around).
+pub fn series_color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDocument::new(100.0, 50.0);
+        doc.line(0.0, 0.0, 10.0, 10.0, "black", 1.0);
+        doc.circle(5.0, 5.0, 2.0, "#ff0000");
+        doc.rect(1.0, 1.0, 5.0, 5.0, "none", "blue");
+        doc.text(50.0, 25.0, 10.0, "middle", "title <x>");
+        doc.polyline(&[(0.0, 0.0), (1.0, 2.0)], "green", 1.5);
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("&lt;x&gt;"));
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn palette_wraps() {
+        assert_eq!(series_color(0), series_color(8));
+        assert_ne!(series_color(0), series_color(1));
+    }
+}

@@ -1,0 +1,228 @@
+//! Tree rendering: the TreeVisualizer behind Figure 4 ("Visualising the
+//! C4.5 decision tree for the breast-cancer data set") and the Cobweb
+//! tree plotter. Accepts a plain [`TreeSpec`] so any upstream model
+//! (J48, Cobweb, dendrograms) can be rendered without a dependency on
+//! the algorithms crate.
+
+use crate::svg::SvgDocument;
+
+/// One node of a renderable tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSpecNode {
+    /// Node label.
+    pub label: String,
+    /// Incoming-edge label (empty for the root).
+    pub edge: String,
+    /// Child indices.
+    pub children: Vec<usize>,
+    /// Leaf flag (leaves render as boxes, internal nodes as ellipses).
+    pub is_leaf: bool,
+}
+
+/// An arena tree ready for rendering (index 0 is the root).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TreeSpec {
+    /// Nodes in arena order; node 0 is the root.
+    pub nodes: Vec<TreeSpecNode>,
+}
+
+impl TreeSpec {
+    /// Create an empty spec.
+    pub fn new() -> TreeSpec {
+        TreeSpec::default()
+    }
+
+    /// Add a node, returning its index.
+    pub fn add<L: Into<String>, E: Into<String>>(
+        &mut self,
+        label: L,
+        edge: E,
+        is_leaf: bool,
+    ) -> usize {
+        self.nodes.push(TreeSpecNode {
+            label: label.into(),
+            edge: edge.into(),
+            children: Vec::new(),
+            is_leaf,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Attach `child` beneath `parent`.
+    pub fn connect(&mut self, parent: usize, child: usize) {
+        self.nodes[parent].children.push(child);
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Depth (root = 1, empty = 0).
+    pub fn depth(&self) -> usize {
+        fn go(t: &TreeSpec, i: usize) -> usize {
+            1 + t.nodes[i].children.iter().map(|&c| go(t, c)).max().unwrap_or(0)
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            go(self, 0)
+        }
+    }
+
+    /// Indented text rendering (edge labels inline).
+    pub fn to_text(&self) -> String {
+        fn go(t: &TreeSpec, i: usize, depth: usize, out: &mut String) {
+            let n = &t.nodes[i];
+            let indent = "    ".repeat(depth);
+            if n.edge.is_empty() {
+                out.push_str(&format!("{indent}{}\n", n.label));
+            } else {
+                out.push_str(&format!("{indent}{} -> {}\n", n.edge, n.label));
+            }
+            for &c in &n.children {
+                go(t, c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        if !self.nodes.is_empty() {
+            go(self, 0, 0, &mut out);
+        }
+        out
+    }
+
+    /// Layered SVG rendering: leaves evenly spaced on the x axis,
+    /// internal nodes centred over their children, one layer per depth.
+    pub fn to_svg(&self) -> String {
+        const X_STEP: f64 = 130.0;
+        const Y_STEP: f64 = 90.0;
+        const MARGIN: f64 = 50.0;
+
+        if self.nodes.is_empty() {
+            return SvgDocument::new(200.0, 100.0).finish();
+        }
+
+        // Assign x to leaves in in-order, y by depth; internal nodes
+        // centred over children.
+        let mut pos = vec![(0.0f64, 0.0f64); self.nodes.len()];
+        let mut next_leaf_x = 0.0;
+        fn layout(
+            t: &TreeSpec,
+            i: usize,
+            depth: usize,
+            next_leaf_x: &mut f64,
+            pos: &mut [(f64, f64)],
+        ) -> f64 {
+            let y = depth as f64;
+            let x = if t.nodes[i].children.is_empty() {
+                let x = *next_leaf_x;
+                *next_leaf_x += 1.0;
+                x
+            } else {
+                let xs: Vec<f64> = t.nodes[i]
+                    .children
+                    .iter()
+                    .map(|&c| layout(t, c, depth + 1, next_leaf_x, pos))
+                    .collect();
+                xs.iter().sum::<f64>() / xs.len() as f64
+            };
+            pos[i] = (x, y);
+            x
+        }
+        layout(self, 0, 0, &mut next_leaf_x, &mut pos);
+
+        let width = MARGIN * 2.0 + next_leaf_x.max(1.0) * X_STEP;
+        let height = MARGIN * 2.0 + (self.depth().max(1) - 1) as f64 * Y_STEP + 40.0;
+        let mut doc = SvgDocument::new(width, height);
+        let place = |(x, y): (f64, f64)| -> (f64, f64) {
+            (MARGIN + x * X_STEP + X_STEP / 2.0, MARGIN + y * Y_STEP)
+        };
+
+        // Edges first (under the nodes).
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (px, py) = place(pos[i]);
+            for &c in &n.children {
+                let (cx, cy) = place(pos[c]);
+                doc.line(px, py, cx, cy, "#888888", 1.0);
+                let (mx, my) = ((px + cx) / 2.0, (py + cy) / 2.0 - 4.0);
+                if !self.nodes[c].edge.is_empty() {
+                    doc.text(mx, my, 11.0, "middle", &self.nodes[c].edge);
+                }
+            }
+        }
+        // Nodes.
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (x, y) = place(pos[i]);
+            if n.is_leaf {
+                let w = 10.0 + 6.5 * n.label.len() as f64;
+                doc.rect(x - w / 2.0, y - 12.0, w, 24.0, "#eef5ff", "#1f77b4");
+            } else {
+                doc.circle(x, y, 16.0, "#ffe9cc");
+            }
+            doc.text(x, y + 4.0, 12.0, "middle", &n.label);
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure4_like() -> TreeSpec {
+        let mut t = TreeSpec::new();
+        let root = t.add("node-caps", "", false);
+        let yes = t.add("deg-malig", "= yes", false);
+        let no = t.add("no-recurrence-events", "= no", true);
+        t.connect(root, yes);
+        t.connect(root, no);
+        let a = t.add("recurrence-events", "= 3", true);
+        let b = t.add("no-recurrence-events", "= 1", true);
+        t.connect(yes, a);
+        t.connect(yes, b);
+        t
+    }
+
+    #[test]
+    fn text_rendering() {
+        let t = figure4_like();
+        let text = t.to_text();
+        assert!(text.starts_with("node-caps\n"));
+        assert!(text.contains("    = yes -> deg-malig"));
+        assert!(text.contains("        = 3 -> recurrence-events"));
+    }
+
+    #[test]
+    fn svg_contains_all_labels_and_edges() {
+        let t = figure4_like();
+        let svg = t.to_svg();
+        assert!(svg.contains("node-caps"));
+        assert!(svg.contains("deg-malig"));
+        assert!(svg.contains("= yes"));
+        assert!(svg.contains("<rect")); // leaves
+        assert!(svg.contains("<circle")); // internal nodes
+    }
+
+    #[test]
+    fn metrics() {
+        let t = figure4_like();
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(TreeSpec::new().depth(), 0);
+    }
+
+    #[test]
+    fn empty_tree_renders() {
+        let svg = TreeSpec::new().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(TreeSpec::new().to_text(), "");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let mut t = TreeSpec::new();
+        t.add("only", "", true);
+        assert!(t.to_svg().contains("only"));
+        assert_eq!(t.to_text(), "only\n");
+    }
+}

@@ -1,0 +1,601 @@
+//! Workflow enactment: serial and parallel executors with per-task
+//! retry (the fault-tolerance requirement: "the framework must …
+//! include the ability to complete the task if a fault occurs by moving
+//! the job to another resource", §3 — the moving itself is implemented
+//! by [`crate::wsimport::WsTool`] host failover; the engine contributes
+//! bounded retries and failure accounting).
+
+use crate::error::{Result, WorkflowError};
+use crate::graph::{TaskGraph, TaskId, Token};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Serial or parallel enactment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Topological order on the calling thread.
+    Serial,
+    /// Ready tasks run concurrently on scoped threads.
+    Parallel,
+}
+
+/// Per-task record in an [`ExecutionReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRun {
+    /// Task display name.
+    pub task: String,
+    /// Execution attempts used (1 = no retry).
+    pub attempts: usize,
+    /// Wall-clock duration of the successful attempt (or the last
+    /// failed one).
+    pub duration: Duration,
+    /// `None` on success, the failure message otherwise.
+    pub error: Option<String>,
+}
+
+/// The result of enacting a workflow.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Output tokens of unconnected output ports: `(task, port) → token`.
+    pub outputs: HashMap<(TaskId, usize), Token>,
+    /// Per-task run records, in completion order.
+    pub runs: Vec<TaskRun>,
+    /// Total enactment wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ExecutionReport {
+    /// Fetch an output token by task id and port.
+    pub fn output(&self, task: TaskId, port: usize) -> Option<&Token> {
+        self.outputs.get(&(task, port))
+    }
+
+    /// Total retry attempts beyond first tries.
+    pub fn total_retries(&self) -> usize {
+        self.runs.iter().map(|r| r.attempts.saturating_sub(1)).sum()
+    }
+}
+
+/// A live progress event, delivered while the workflow runs — the
+/// paper's service-monitoring requirement ("the framework should allow
+/// users to monitor the progress of their jobs as they are executed on
+/// distributed resources", §3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// A task began executing (attempt number starts at 1).
+    Started {
+        /// Task display name.
+        task: String,
+        /// Attempt number.
+        attempt: usize,
+    },
+    /// A task finished successfully.
+    Finished {
+        /// Task display name.
+        task: String,
+        /// Attempts used.
+        attempts: usize,
+        /// Duration of the successful attempt.
+        duration: Duration,
+    },
+    /// A task failed terminally.
+    Failed {
+        /// Task display name.
+        task: String,
+        /// The failure message.
+        message: String,
+    },
+}
+
+/// Listener callback for [`ProgressEvent`]s. Shared across worker
+/// threads in parallel mode.
+pub type ProgressListener = std::sync::Arc<dyn Fn(ProgressEvent) + Send + Sync>;
+
+/// The workflow executor.
+#[derive(Clone)]
+pub struct Executor {
+    mode: ExecutionMode,
+    /// Maximum execution attempts per task (1 = no retries).
+    max_attempts: usize,
+    listener: Option<ProgressListener>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("mode", &self.mode)
+            .field("max_attempts", &self.max_attempts)
+            .field("listener", &self.listener.is_some())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Create a serial executor without retries.
+    pub fn serial() -> Executor {
+        Executor { mode: ExecutionMode::Serial, max_attempts: 1, listener: None }
+    }
+
+    /// Create a parallel executor without retries.
+    pub fn parallel() -> Executor {
+        Executor { mode: ExecutionMode::Parallel, max_attempts: 1, listener: None }
+    }
+
+    /// Builder: allow up to `attempts` executions per task.
+    pub fn with_max_attempts(mut self, attempts: usize) -> Executor {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Builder: receive live [`ProgressEvent`]s during enactment.
+    pub fn with_listener(mut self, listener: ProgressListener) -> Executor {
+        self.listener = Some(listener);
+        self
+    }
+
+    fn emit(&self, event: ProgressEvent) {
+        if let Some(l) = &self.listener {
+            l(event);
+        }
+    }
+
+    /// Enact `graph`. `bindings` provides tokens for unconnected input
+    /// ports (`(task, port) → token`).
+    pub fn run(
+        &self,
+        graph: &TaskGraph,
+        bindings: &HashMap<(TaskId, usize), Token>,
+    ) -> Result<ExecutionReport> {
+        // Validate that every input is fed.
+        for t in 0..graph.num_tasks() {
+            for (port, spec) in graph.unconnected_inputs(t)? {
+                if !bindings.contains_key(&(t, port)) {
+                    return Err(WorkflowError::UnboundInput {
+                        task: graph.task(t)?.name.clone(),
+                        port: spec.name,
+                    });
+                }
+            }
+        }
+        let order = graph.topological_order()?;
+        match self.mode {
+            ExecutionMode::Serial => self.run_serial(graph, bindings, &order),
+            ExecutionMode::Parallel => self.run_parallel(graph, bindings),
+        }
+    }
+
+    fn execute_task(
+        &self,
+        graph: &TaskGraph,
+        task: TaskId,
+        inputs: &[Token],
+    ) -> (std::result::Result<Vec<Token>, String>, TaskRun) {
+        let node = graph.task(task).expect("validated id");
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            self.emit(ProgressEvent::Started { task: node.name.clone(), attempt: attempts });
+            let start = Instant::now();
+            match node.tool.execute(inputs) {
+                Ok(outputs) => {
+                    let expected = node.tool.output_ports().len();
+                    if outputs.len() != expected {
+                        let msg = format!(
+                            "tool returned {} outputs, declared {expected}",
+                            outputs.len()
+                        );
+                        self.emit(ProgressEvent::Failed {
+                            task: node.name.clone(),
+                            message: msg.clone(),
+                        });
+                        return (
+                            Err(msg.clone()),
+                            TaskRun {
+                                task: node.name.clone(),
+                                attempts,
+                                duration: start.elapsed(),
+                                error: Some(msg),
+                            },
+                        );
+                    }
+                    self.emit(ProgressEvent::Finished {
+                        task: node.name.clone(),
+                        attempts,
+                        duration: start.elapsed(),
+                    });
+                    return (
+                        Ok(outputs),
+                        TaskRun {
+                            task: node.name.clone(),
+                            attempts,
+                            duration: start.elapsed(),
+                            error: None,
+                        },
+                    );
+                }
+                Err(message) => {
+                    if attempts >= self.max_attempts {
+                        self.emit(ProgressEvent::Failed {
+                            task: node.name.clone(),
+                            message: message.clone(),
+                        });
+                        return (
+                            Err(message.clone()),
+                            TaskRun {
+                                task: node.name.clone(),
+                                attempts,
+                                duration: start.elapsed(),
+                                error: Some(message),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn gather_inputs(
+        graph: &TaskGraph,
+        task: TaskId,
+        bindings: &HashMap<(TaskId, usize), Token>,
+        produced: &HashMap<(TaskId, usize), Token>,
+    ) -> Vec<Token> {
+        let num_inputs = graph.task(task).expect("validated").tool.input_ports().len();
+        (0..num_inputs)
+            .map(|port| {
+                if let Some(cable) =
+                    graph.cables().iter().find(|c| c.to_task == task && c.to_port == port)
+                {
+                    produced
+                        .get(&(cable.from_task, cable.from_port))
+                        .cloned()
+                        .expect("producer ran before consumer")
+                } else {
+                    bindings.get(&(task, port)).cloned().expect("validated binding")
+                }
+            })
+            .collect()
+    }
+
+    fn run_serial(
+        &self,
+        graph: &TaskGraph,
+        bindings: &HashMap<(TaskId, usize), Token>,
+        order: &[TaskId],
+    ) -> Result<ExecutionReport> {
+        let start = Instant::now();
+        let mut produced: HashMap<(TaskId, usize), Token> = HashMap::new();
+        let mut report = ExecutionReport::default();
+        for &task in order {
+            let inputs = Self::gather_inputs(graph, task, bindings, &produced);
+            let (result, run) = self.execute_task(graph, task, &inputs);
+            report.runs.push(run);
+            match result {
+                Ok(outputs) => {
+                    for (port, token) in outputs.into_iter().enumerate() {
+                        produced.insert((task, port), token);
+                    }
+                }
+                Err(message) => {
+                    report.elapsed = start.elapsed();
+                    return Err(WorkflowError::TaskFailed {
+                        task: graph.task(task)?.name.clone(),
+                        message,
+                    });
+                }
+            }
+        }
+        self.collect_outputs(graph, &produced, &mut report)?;
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    fn run_parallel(
+        &self,
+        graph: &TaskGraph,
+        bindings: &HashMap<(TaskId, usize), Token>,
+    ) -> Result<ExecutionReport> {
+        let start = Instant::now();
+        let n = graph.num_tasks();
+        let mut indegree = vec![0usize; n];
+        for c in graph.cables() {
+            indegree[c.to_task] += 1;
+        }
+
+        let produced = Mutex::new(HashMap::<(TaskId, usize), Token>::new());
+        let state = Mutex::new((indegree, Vec::<TaskRun>::new(), None::<(String, String)>));
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<TaskId>();
+        let pending = std::sync::atomic::AtomicUsize::new(n);
+
+        // Seed the ready queue.
+        {
+            let state = state.lock();
+            for t in 0..n {
+                if state.0[t] == 0 {
+                    work_tx.send(t).expect("queue open");
+                }
+            }
+        }
+        if n == 0 {
+            let mut report = ExecutionReport::default();
+            report.elapsed = start.elapsed();
+            return Ok(report);
+        }
+
+        // Poison pill: once the final task completes (or one fails), a
+        // worker broadcasts POISON; every receiver re-broadcasts and
+        // exits, so no thread blocks on a channel whose senders are all
+        // still alive inside blocked peers.
+        const POISON: TaskId = usize::MAX;
+        let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let work_rx = work_rx.clone();
+                let work_tx = work_tx.clone();
+                let produced = &produced;
+                let state = &state;
+                let pending = &pending;
+                scope.spawn(move |_| {
+                    while let Ok(task) = work_rx.recv() {
+                        if task == POISON {
+                            let _ = work_tx.send(POISON);
+                            break;
+                        }
+                        let inputs = {
+                            let produced = produced.lock();
+                            Self::gather_inputs(graph, task, bindings, &produced)
+                        };
+                        let (result, run) = self.execute_task(graph, task, &inputs);
+                        let failed = result.is_err();
+                        match result {
+                            Ok(outputs) => {
+                                {
+                                    let mut produced = produced.lock();
+                                    for (port, token) in outputs.into_iter().enumerate() {
+                                        produced.insert((task, port), token);
+                                    }
+                                }
+                                let mut state = state.lock();
+                                state.1.push(run);
+                                for c in graph.cables() {
+                                    if c.from_task == task {
+                                        state.0[c.to_task] -= 1;
+                                        if state.0[c.to_task] == 0 {
+                                            work_tx.send(c.to_task).expect("queue open");
+                                        }
+                                    }
+                                }
+                            }
+                            Err(message) => {
+                                let mut state = state.lock();
+                                state.1.push(run);
+                                if state.2.is_none() {
+                                    state.2 = Some((
+                                        graph.task(task).expect("validated").name.clone(),
+                                        message,
+                                    ));
+                                }
+                            }
+                        }
+                        let left =
+                            pending.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) - 1;
+                        if left == 0 || failed {
+                            let _ = work_tx.send(POISON);
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(work_tx);
+            drop(work_rx);
+        })
+        .expect("workflow worker panicked");
+
+        let (_, runs, failure) = state.into_inner();
+        let mut report = ExecutionReport { runs, ..ExecutionReport::default() };
+        if let Some((task, message)) = failure {
+            report.elapsed = start.elapsed();
+            return Err(WorkflowError::TaskFailed { task, message });
+        }
+        let produced = produced.into_inner();
+        self.collect_outputs(graph, &produced, &mut report)?;
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    fn collect_outputs(
+        &self,
+        graph: &TaskGraph,
+        produced: &HashMap<(TaskId, usize), Token>,
+        report: &mut ExecutionReport,
+    ) -> Result<()> {
+        for t in 0..graph.num_tasks() {
+            for (port, _) in graph.unconnected_outputs(t)? {
+                if let Some(token) = produced.get(&(t, port)) {
+                    report.outputs.insert((t, port), token.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::test_tools::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn serial_pipeline_produces_output() {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("hello".into())));
+        let up = g.add_task(Arc::new(Upper));
+        g.connect(src, 0, up, 0).unwrap();
+        let report = Executor::serial().run(&g, &HashMap::new()).unwrap();
+        assert_eq!(report.output(up, 0), Some(&Token::Text("HELLO".into())));
+        assert_eq!(report.runs.len(), 2);
+    }
+
+    #[test]
+    fn bindings_feed_unconnected_inputs() {
+        let mut g = TaskGraph::new();
+        let cat = g.add_task(Arc::new(Concat));
+        let mut bindings = HashMap::new();
+        bindings.insert((cat, 0), Token::Text("a".into()));
+        bindings.insert((cat, 1), Token::Text("b".into()));
+        let report = Executor::serial().run(&g, &bindings).unwrap();
+        assert_eq!(report.output(cat, 0), Some(&Token::Text("ab".into())));
+    }
+
+    #[test]
+    fn missing_binding_detected() {
+        let mut g = TaskGraph::new();
+        g.add_task(Arc::new(Upper));
+        let err = Executor::serial().run(&g, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, WorkflowError::UnboundInput { .. }));
+    }
+
+    #[test]
+    fn diamond_graph_joins() {
+        // src → (upper, concat-b) ; upper → concat-a.
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let up = g.add_task(Arc::new(Upper));
+        let cat = g.add_task(Arc::new(Concat));
+        g.connect(src, 0, up, 0).unwrap();
+        g.connect(up, 0, cat, 0).unwrap();
+        g.connect(src, 0, cat, 1).unwrap();
+        let report = Executor::serial().run(&g, &HashMap::new()).unwrap();
+        assert_eq!(report.output(cat, 0), Some(&Token::Text("Xx".into())));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("abc".into())));
+        let mut sinks = Vec::new();
+        for _ in 0..8 {
+            let up = g.add_task(Arc::new(Upper));
+            g.connect(src, 0, up, 0).unwrap();
+            sinks.push(up);
+        }
+        let serial = Executor::serial().run(&g, &HashMap::new()).unwrap();
+        let parallel = Executor::parallel().run(&g, &HashMap::new()).unwrap();
+        for &s in &sinks {
+            assert_eq!(serial.output(s, 0), parallel.output(s, 0));
+        }
+        assert_eq!(parallel.runs.len(), 9);
+    }
+
+    #[test]
+    fn failure_reports_task_name() {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let flaky = g.add_named_task("always-fails", Arc::new(Flaky::failing(usize::MAX)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        let err = Executor::serial().run(&g, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, WorkflowError::TaskFailed { ref task, .. } if task == "always-fails"));
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("ok".into())));
+        let flaky = g.add_task(Arc::new(Flaky::failing(2)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        let report = Executor::serial()
+            .with_max_attempts(3)
+            .run(&g, &HashMap::new())
+            .unwrap();
+        assert_eq!(report.output(flaky, 0), Some(&Token::Text("ok".into())));
+        assert_eq!(report.total_retries(), 2);
+    }
+
+    #[test]
+    fn insufficient_retries_still_fail() {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("ok".into())));
+        let flaky = g.add_task(Arc::new(Flaky::failing(5)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        assert!(Executor::serial()
+            .with_max_attempts(3)
+            .run(&g, &HashMap::new())
+            .is_err());
+    }
+
+    #[test]
+    fn parallel_failure_terminates() {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let flaky = g.add_task(Arc::new(Flaky::failing(usize::MAX)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        let err = Executor::parallel().run(&g, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, WorkflowError::TaskFailed { .. }));
+    }
+
+    #[test]
+    fn progress_events_stream_in_order() {
+        use parking_lot::Mutex;
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&events);
+        let listener: super::ProgressListener =
+            std::sync::Arc::new(move |e| sink.lock().push(e));
+
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let up = g.add_task(Arc::new(Upper));
+        g.connect(src, 0, up, 0).unwrap();
+        Executor::serial()
+            .with_listener(listener)
+            .run(&g, &HashMap::new())
+            .unwrap();
+        let events = events.lock();
+        assert_eq!(events.len(), 4); // 2 × (Started + Finished)
+        assert!(matches!(
+            &events[0],
+            super::ProgressEvent::Started { task, attempt: 1 } if task == "ConstText"
+        ));
+        assert!(matches!(
+            &events[3],
+            super::ProgressEvent::Finished { task, .. } if task == "Upper"
+        ));
+    }
+
+    #[test]
+    fn progress_events_report_retries_and_failures() {
+        use parking_lot::Mutex;
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&events);
+        let listener: super::ProgressListener =
+            std::sync::Arc::new(move |e| sink.lock().push(e));
+
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let flaky = g.add_task(Arc::new(Flaky::failing(usize::MAX)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        let _ = Executor::serial()
+            .with_max_attempts(3)
+            .with_listener(listener)
+            .run(&g, &HashMap::new());
+        let events = events.lock();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, super::ProgressEvent::Started { task, .. } if task == "Flaky"))
+            .count();
+        assert_eq!(starts, 3);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, super::ProgressEvent::Failed { task, .. } if task == "Flaky")));
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = TaskGraph::new();
+        let report = Executor::parallel().run(&g, &HashMap::new()).unwrap();
+        assert!(report.outputs.is_empty());
+        let report = Executor::serial().run(&g, &HashMap::new()).unwrap();
+        assert!(report.runs.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Hierarchical services: "Additional support is provided to enable
+//! service hierarchy, i.e. a single service made up of a number of
+//! others and made available as a single interface" (§2).
+//!
+//! A [`GroupTool`] wraps a whole sub-workflow behind a single tool
+//! interface: its input ports are the group's designated unbound inputs
+//! and its output ports the designated outputs; executing the group
+//! enacts the inner graph.
+
+use crate::engine::Executor;
+use crate::error::{Result, WorkflowError};
+use crate::graph::{PortSpec, TaskGraph, TaskId, Token, Tool};
+use std::collections::HashMap;
+
+/// A sub-workflow exposed as a single tool.
+pub struct GroupTool {
+    // (No derived Debug: the wrapped graph holds `dyn Tool` objects.)
+    name: String,
+    graph: TaskGraph,
+    /// Exposed inputs: `(task, input port)` in interface order.
+    inputs: Vec<(TaskId, usize)>,
+    /// Exposed outputs: `(task, output port)` in interface order.
+    outputs: Vec<(TaskId, usize)>,
+}
+
+impl std::fmt::Debug for GroupTool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupTool")
+            .field("name", &self.name)
+            .field("tasks", &self.graph.num_tasks())
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+impl GroupTool {
+    /// Group `graph` behind a single interface. `inputs` and `outputs`
+    /// name the inner ports to expose; every other unbound inner input
+    /// must be listed (they have no other way to receive data).
+    pub fn new<N: Into<String>>(
+        name: N,
+        graph: TaskGraph,
+        inputs: Vec<(TaskId, usize)>,
+        outputs: Vec<(TaskId, usize)>,
+    ) -> Result<GroupTool> {
+        // Validate exposed ports exist and all unbound inputs are exposed.
+        for &(t, p) in &inputs {
+            let node = graph.task(t)?;
+            if p >= node.tool.input_ports().len() {
+                return Err(WorkflowError::UnknownPort { task: t, port: p, input: true });
+            }
+        }
+        for &(t, p) in &outputs {
+            let node = graph.task(t)?;
+            if p >= node.tool.output_ports().len() {
+                return Err(WorkflowError::UnknownPort { task: t, port: p, input: false });
+            }
+        }
+        for t in 0..graph.num_tasks() {
+            for (p, spec) in graph.unconnected_inputs(t)? {
+                if !inputs.contains(&(t, p)) {
+                    return Err(WorkflowError::UnboundInput {
+                        task: graph.task(t)?.name.clone(),
+                        port: spec.name,
+                    });
+                }
+            }
+        }
+        Ok(GroupTool { name: name.into(), graph, inputs, outputs })
+    }
+
+    /// The wrapped graph (for XML export of hierarchies).
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+}
+
+impl Tool for GroupTool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn package(&self) -> &str {
+        "Groups"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        self.inputs
+            .iter()
+            .map(|&(t, p)| {
+                self.graph.task(t).expect("validated").tool.input_ports()[p].clone()
+            })
+            .collect()
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        self.outputs
+            .iter()
+            .map(|&(t, p)| {
+                self.graph.task(t).expect("validated").tool.output_ports()[p].clone()
+            })
+            .collect()
+    }
+
+    fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+        let mut bindings: HashMap<(TaskId, usize), Token> = HashMap::new();
+        for (&(t, p), token) in self.inputs.iter().zip(inputs) {
+            bindings.insert((t, p), token.clone());
+        }
+        let report = Executor::serial()
+            .run(&self.graph, &bindings)
+            .map_err(|e| e.to_string())?;
+        self.outputs
+            .iter()
+            .map(|&(t, p)| {
+                report
+                    .output(t, p)
+                    .cloned()
+                    .ok_or_else(|| format!("group produced no output for task {t} port {p}"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::test_tools::{Concat, ConstText, Upper};
+    use std::sync::Arc;
+
+    /// A group that uppercases and then appends "!".
+    fn shout_group() -> GroupTool {
+        let mut inner = TaskGraph::new();
+        let up = inner.add_task(Arc::new(Upper));
+        let bang = inner.add_task(Arc::new(ConstText("!".into())));
+        let cat = inner.add_task(Arc::new(Concat));
+        inner.connect(up, 0, cat, 0).unwrap();
+        inner.connect(bang, 0, cat, 1).unwrap();
+        GroupTool::new("Shout", inner, vec![(up, 0)], vec![(cat, 0)]).unwrap()
+    }
+
+    #[test]
+    fn group_has_single_interface() {
+        let g = shout_group();
+        assert_eq!(g.input_ports().len(), 1);
+        assert_eq!(g.output_ports().len(), 1);
+        assert_eq!(g.package(), "Groups");
+    }
+
+    #[test]
+    fn group_executes_inner_graph() {
+        let g = shout_group();
+        let out = g.execute(&[Token::Text("hello".into())]).unwrap();
+        assert_eq!(out, vec![Token::Text("HELLO!".into())]);
+    }
+
+    #[test]
+    fn group_usable_inside_outer_workflow() {
+        let mut outer = TaskGraph::new();
+        let src = outer.add_task(Arc::new(ConstText("nested".into())));
+        let grp = outer.add_task(Arc::new(shout_group()));
+        outer.connect(src, 0, grp, 0).unwrap();
+        let report = Executor::serial().run(&outer, &HashMap::new()).unwrap();
+        assert_eq!(report.output(grp, 0), Some(&Token::Text("NESTED!".into())));
+    }
+
+    #[test]
+    fn groups_nest_recursively() {
+        // A group containing a group.
+        let mut mid = TaskGraph::new();
+        let inner_group = mid.add_task(Arc::new(shout_group()));
+        let outer_group =
+            GroupTool::new("DoubleWrap", mid, vec![(inner_group, 0)], vec![(inner_group, 0)])
+                .unwrap();
+        let out = outer_group.execute(&[Token::Text("deep".into())]).unwrap();
+        assert_eq!(out, vec![Token::Text("DEEP!".into())]);
+    }
+
+    #[test]
+    fn unexposed_unbound_input_rejected() {
+        let mut inner = TaskGraph::new();
+        let _cat = inner.add_task(Arc::new(Concat)); // two unbound inputs
+        let err = GroupTool::new("Bad", inner, vec![(0, 0)], vec![(0, 0)]).unwrap_err();
+        assert!(matches!(err, WorkflowError::UnboundInput { .. }));
+    }
+
+    #[test]
+    fn bad_exposed_ports_rejected() {
+        let mut inner = TaskGraph::new();
+        let up = inner.add_task(Arc::new(Upper));
+        assert!(GroupTool::new("Bad", inner.clone(), vec![(up, 7)], vec![(up, 0)]).is_err());
+        assert!(GroupTool::new("Bad", inner, vec![(up, 0)], vec![(up, 7)]).is_err());
+    }
+}

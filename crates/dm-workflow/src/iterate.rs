@@ -1,0 +1,204 @@
+//! Driver-controlled iteration: "The workflow can involve significant
+//! iteration and can contain loops. … it is often necessary for a user
+//! to make decisions during the process depending on partial results of
+//! each stage" (§3.1).
+//!
+//! The enactment graph stays acyclic; looping is expressed by a driver
+//! that re-runs the graph, feeding chosen outputs of iteration *k* back
+//! into bindings of iteration *k + 1*, until a caller-supplied decision
+//! function (the stand-in for the interactive user) stops the loop.
+
+use crate::engine::{ExecutionReport, Executor};
+use crate::error::{Result, WorkflowError};
+use crate::graph::{TaskGraph, TaskId, Token};
+use std::collections::HashMap;
+
+/// A feedback edge: output `(from_task, from_port)` of one iteration
+/// becomes binding `(to_task, to_port)` of the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feedback {
+    /// Producing task of iteration *k*.
+    pub from_task: TaskId,
+    /// Its output port.
+    pub from_port: usize,
+    /// Consuming task of iteration *k + 1*.
+    pub to_task: TaskId,
+    /// Its (unconnected) input port.
+    pub to_port: usize,
+}
+
+/// What the decision function returns after inspecting an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopDecision {
+    /// Run another iteration.
+    Continue,
+    /// Stop; the current report is the result.
+    Stop,
+}
+
+/// Result of an iterated enactment.
+#[derive(Debug, Clone)]
+pub struct IterationResult {
+    /// Report of the final iteration.
+    pub final_report: ExecutionReport,
+    /// Number of iterations executed (≥ 1).
+    pub iterations: usize,
+}
+
+/// Run `graph` repeatedly. `bindings` seeds the first iteration;
+/// `feedback` edges carry outputs forward; `decide` inspects each
+/// iteration's report (the §3.1 "user decision between stages") and
+/// says whether to continue. Hard-capped at `max_iterations`.
+pub fn iterate(
+    executor: &Executor,
+    graph: &TaskGraph,
+    bindings: &HashMap<(TaskId, usize), Token>,
+    feedback: &[Feedback],
+    max_iterations: usize,
+    mut decide: impl FnMut(usize, &ExecutionReport) -> LoopDecision,
+) -> Result<IterationResult> {
+    if max_iterations == 0 {
+        return Err(WorkflowError::TaskFailed {
+            task: "(iteration driver)".into(),
+            message: "max_iterations must be >= 1".into(),
+        });
+    }
+    let mut current = bindings.clone();
+    let mut iterations = 0;
+    loop {
+        let report = executor.run(graph, &current)?;
+        iterations += 1;
+        if iterations >= max_iterations
+            || decide(iterations, &report) == LoopDecision::Stop
+        {
+            return Ok(IterationResult { final_report: report, iterations });
+        }
+        for f in feedback {
+            let token = report.output(f.from_task, f.from_port).cloned().ok_or_else(|| {
+                WorkflowError::TaskFailed {
+                    task: format!("(feedback from task {})", f.from_task),
+                    message: format!(
+                        "iteration produced no output at ({}, {})",
+                        f.from_task, f.from_port
+                    ),
+                }
+            })?;
+            current.insert((f.to_task, f.to_port), token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{PortSpec, Tool};
+    use std::sync::Arc;
+
+    /// Appends "x" to its input — iteration grows the string.
+    struct AppendX;
+
+    impl Tool for AppendX {
+        fn name(&self) -> &str {
+            "AppendX"
+        }
+
+        fn input_ports(&self) -> Vec<PortSpec> {
+            vec![PortSpec::new("in", "string")]
+        }
+
+        fn output_ports(&self) -> Vec<PortSpec> {
+            vec![PortSpec::new("out", "string")]
+        }
+
+        fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+            match &inputs[0] {
+                Token::Text(s) => Ok(vec![Token::Text(format!("{s}x"))]),
+                _ => Err("expected text".into()),
+            }
+        }
+    }
+
+    fn loop_graph() -> (TaskGraph, TaskId) {
+        let mut g = TaskGraph::new();
+        let t = g.add_task(Arc::new(AppendX));
+        (g, t)
+    }
+
+    #[test]
+    fn feedback_carries_state_forward() {
+        let (g, t) = loop_graph();
+        let mut bindings = HashMap::new();
+        bindings.insert((t, 0), Token::Text("seed".into()));
+        let feedback = [Feedback { from_task: t, from_port: 0, to_task: t, to_port: 0 }];
+        let result = iterate(
+            &Executor::serial(),
+            &g,
+            &bindings,
+            &feedback,
+            100,
+            |_, report| match report.output(t, 0) {
+                Some(Token::Text(s)) if s.len() >= 8 => LoopDecision::Stop,
+                _ => LoopDecision::Continue,
+            },
+        )
+        .unwrap();
+        assert_eq!(result.iterations, 4); // seed+x*4 = 8 chars
+        assert_eq!(
+            result.final_report.output(t, 0),
+            Some(&Token::Text("seedxxxx".into()))
+        );
+    }
+
+    #[test]
+    fn max_iterations_caps_runaway_loops() {
+        let (g, t) = loop_graph();
+        let mut bindings = HashMap::new();
+        bindings.insert((t, 0), Token::Text("s".into()));
+        let feedback = [Feedback { from_task: t, from_port: 0, to_task: t, to_port: 0 }];
+        let result = iterate(
+            &Executor::serial(),
+            &g,
+            &bindings,
+            &feedback,
+            5,
+            |_, _| LoopDecision::Continue,
+        )
+        .unwrap();
+        assert_eq!(result.iterations, 5);
+    }
+
+    #[test]
+    fn single_iteration_when_decide_stops() {
+        let (g, t) = loop_graph();
+        let mut bindings = HashMap::new();
+        bindings.insert((t, 0), Token::Text("s".into()));
+        let result =
+            iterate(&Executor::serial(), &g, &bindings, &[], 10, |_, _| LoopDecision::Stop)
+                .unwrap();
+        assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
+    fn zero_max_iterations_rejected() {
+        let (g, t) = loop_graph();
+        let mut bindings = HashMap::new();
+        bindings.insert((t, 0), Token::Text("s".into()));
+        assert!(iterate(&Executor::serial(), &g, &bindings, &[], 0, |_, _| {
+            LoopDecision::Stop
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn bad_feedback_source_reported() {
+        let (g, t) = loop_graph();
+        let mut bindings = HashMap::new();
+        bindings.insert((t, 0), Token::Text("s".into()));
+        let feedback = [Feedback { from_task: t, from_port: 9, to_task: t, to_port: 0 }];
+        let err = iterate(&Executor::serial(), &g, &bindings, &feedback, 3, |_, _| {
+            LoopDecision::Continue
+        })
+        .unwrap_err();
+        assert!(matches!(err, WorkflowError::TaskFailed { .. }));
+    }
+}

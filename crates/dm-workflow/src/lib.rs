@@ -1,0 +1,49 @@
+//! # dm-workflow — the workflow engine of `faehim-rs`
+//!
+//! The paper composes its data mining Web Services with the Triana
+//! problem-solving environment: tools live in folders in a toolbox,
+//! are dragged into a workspace, and are wired output-node →
+//! input-node with cables; imported WSDL interfaces become "a tool for
+//! each operation provided by the service"; workflows can be grouped
+//! into hierarchical services, manipulated with pattern operators, and
+//! exported as XML (Triana taskgraph and the GriPhyN DAX standard)
+//! (§2, §4). Triana is a Java GUI application; this crate implements
+//! the engine underneath those behaviours:
+//!
+//! * [`graph`] — tasks, typed ports, cables, cycle/type validation;
+//! * [`toolbox`] — folders of [`graph::Tool`] definitions (Figure 1's
+//!   left-hand pane) plus the built-in Common tools;
+//! * [`engine`] — serial and parallel (crossbeam-scoped) enactment,
+//!   with per-task retry and host migration for fault tolerance;
+//! * [`wsimport`] — WSDL import: one tool per operation, invoking the
+//!   service over the simulated network with replica failover;
+//! * [`group`] — hierarchical services ("a single service made up of a
+//!   number of others and made available as a single interface");
+//! * [`patterns`] — structural pattern operators (pipeline, fan-out /
+//!   fan-in star, ring) after Gomes, Rana & Cunha;
+//! * [`xml`] — taskgraph XML export/import and DAX-like export.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod error;
+pub mod graph;
+pub mod group;
+pub mod iterate;
+pub mod patterns;
+pub mod toolbox;
+pub mod wsimport;
+pub mod xml;
+
+pub use error::{Result, WorkflowError};
+pub use graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::engine::{ExecutionMode, ExecutionReport, Executor};
+    pub use crate::error::{Result, WorkflowError};
+    pub use crate::graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
+    pub use crate::toolbox::Toolbox;
+    pub use crate::wsimport::import_wsdl;
+}

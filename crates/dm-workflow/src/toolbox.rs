@@ -1,0 +1,296 @@
+//! The toolbox: "On the left hand side the user is provided with a
+//! collection of pre-defined folders containing tools grouped according
+//! to functions. The tools in the Common folder for example perform
+//! tasks such as inputting and viewing strings" (§4, Figure 1).
+
+use crate::error::{Result, WorkflowError};
+use crate::graph::{PortSpec, Token, Tool};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A folder-organised collection of tool prototypes.
+#[derive(Default)]
+pub struct Toolbox {
+    folders: RwLock<BTreeMap<String, Vec<Arc<dyn Tool>>>>,
+}
+
+impl Toolbox {
+    /// Create an empty toolbox.
+    pub fn new() -> Toolbox {
+        Toolbox::default()
+    }
+
+    /// Create a toolbox pre-loaded with the Common folder tools.
+    pub fn with_common_tools() -> Toolbox {
+        let tb = Toolbox::new();
+        tb.add(Arc::new(StringGen::new("")));
+        tb.add(Arc::new(StringViewer::new()));
+        tb.add(Arc::new(StringConcat));
+        tb.add(Arc::new(ToUpperCase));
+        tb.add(Arc::new(LineCount));
+        tb
+    }
+
+    /// Register a tool under its own package folder.
+    pub fn add(&self, tool: Arc<dyn Tool>) {
+        self.folders
+            .write()
+            .entry(tool.package().to_string())
+            .or_default()
+            .push(tool);
+    }
+
+    /// Folder names, sorted.
+    pub fn folders(&self) -> Vec<String> {
+        self.folders.read().keys().cloned().collect()
+    }
+
+    /// Tool names within a folder, sorted.
+    pub fn tools_in(&self, folder: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .folders
+            .read()
+            .get(folder)
+            .map(|tools| tools.iter().map(|t| t.name().to_string()).collect())
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    /// Total number of registered tools.
+    pub fn len(&self) -> usize {
+        self.folders.read().values().map(Vec::len).sum()
+    }
+
+    /// `true` when no tools are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Find a tool prototype by name (searching all folders).
+    pub fn find(&self, name: &str) -> Result<Arc<dyn Tool>> {
+        self.folders
+            .read()
+            .values()
+            .flatten()
+            .find(|t| t.name() == name)
+            .cloned()
+            .ok_or_else(|| WorkflowError::UnknownTool(name.to_string()))
+    }
+
+    /// Render the folder tree as text (the Figure-1 left pane).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (folder, tools) in self.folders.read().iter() {
+            out.push_str(&format!("{folder}/\n"));
+            let mut names: Vec<&str> = tools.iter().map(|t| t.name()).collect();
+            names.sort();
+            for name in names {
+                out.push_str(&format!("  {name}\n"));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Common-folder tools.
+// ---------------------------------------------------------------------
+
+/// Emits a configured string (the "inputting strings" tool).
+pub struct StringGen {
+    text: String,
+}
+
+impl StringGen {
+    /// Create with the given constant text.
+    pub fn new<T: Into<String>>(text: T) -> StringGen {
+        StringGen { text: text.into() }
+    }
+}
+
+impl Tool for StringGen {
+    fn name(&self) -> &str {
+        "StringGen"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("value", "string")]
+    }
+
+    fn execute(&self, _inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+        Ok(vec![Token::Text(self.text.clone())])
+    }
+}
+
+/// Collects strings for viewing (the "viewing strings" tool); the
+/// received values are retained and also passed through.
+#[derive(Default)]
+pub struct StringViewer {
+    seen: RwLock<Vec<String>>,
+}
+
+impl StringViewer {
+    /// Create an empty viewer.
+    pub fn new() -> StringViewer {
+        StringViewer::default()
+    }
+
+    /// Everything viewed so far.
+    pub fn contents(&self) -> Vec<String> {
+        self.seen.read().clone()
+    }
+}
+
+impl Tool for StringViewer {
+    fn name(&self) -> &str {
+        "StringViewer"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("text", "string")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("text", "string")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+        let text = match &inputs[0] {
+            Token::Text(s) => s.clone(),
+            other => format!("{other:?}"),
+        };
+        self.seen.write().push(text.clone());
+        Ok(vec![Token::Text(text)])
+    }
+}
+
+/// Concatenates two strings.
+pub struct StringConcat;
+
+impl Tool for StringConcat {
+    fn name(&self) -> &str {
+        "StringConcat"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("a", "string"), PortSpec::new("b", "string")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("ab", "string")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+        match (&inputs[0], &inputs[1]) {
+            (Token::Text(a), Token::Text(b)) => Ok(vec![Token::Text(format!("{a}{b}"))]),
+            _ => Err("StringConcat expects two strings".into()),
+        }
+    }
+}
+
+/// Uppercases a string.
+pub struct ToUpperCase;
+
+impl Tool for ToUpperCase {
+    fn name(&self) -> &str {
+        "ToUpperCase"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("text", "string")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("upper", "string")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+        match &inputs[0] {
+            Token::Text(s) => Ok(vec![Token::Text(s.to_uppercase())]),
+            _ => Err("ToUpperCase expects a string".into()),
+        }
+    }
+}
+
+/// Counts the lines of a string.
+pub struct LineCount;
+
+impl Tool for LineCount {
+    fn name(&self) -> &str {
+        "LineCount"
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("text", "string")]
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new("lines", "long")]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+        match &inputs[0] {
+            Token::Text(s) => Ok(vec![Token::Int(s.lines().count() as i64)]),
+            _ => Err("LineCount expects a string".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_folder_populated() {
+        let tb = Toolbox::with_common_tools();
+        assert_eq!(tb.folders(), vec!["Common".to_string()]);
+        let tools = tb.tools_in("Common");
+        assert!(tools.contains(&"StringGen".to_string()));
+        assert!(tools.contains(&"StringViewer".to_string()));
+        assert_eq!(tb.len(), 5);
+        assert!(!tb.is_empty());
+    }
+
+    #[test]
+    fn find_and_missing() {
+        let tb = Toolbox::with_common_tools();
+        assert!(tb.find("StringConcat").is_ok());
+        assert!(matches!(tb.find("Nope"), Err(WorkflowError::UnknownTool(_))));
+    }
+
+    #[test]
+    fn render_shows_folders_and_tools() {
+        let tb = Toolbox::with_common_tools();
+        let text = tb.render();
+        assert!(text.starts_with("Common/\n"));
+        assert!(text.contains("  LineCount\n"));
+    }
+
+    #[test]
+    fn viewer_collects() {
+        let v = StringViewer::new();
+        v.execute(&[Token::Text("one".into())]).unwrap();
+        v.execute(&[Token::Text("two".into())]).unwrap();
+        assert_eq!(v.contents(), vec!["one".to_string(), "two".to_string()]);
+    }
+
+    #[test]
+    fn line_count_counts() {
+        let out = LineCount.execute(&[Token::Text("a\nb\nc".into())]).unwrap();
+        assert_eq!(out, vec![Token::Int(3)]);
+        assert!(LineCount.execute(&[Token::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn empty_folder_queries() {
+        let tb = Toolbox::new();
+        assert!(tb.tools_in("Nope").is_empty());
+        assert!(tb.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! WSDL import: "A Web Service is imported to the workspace by
+//! providing its WSDL interface. Once the interface is provided Triana
+//! creates a tool for each operation provided by the service. These
+//! tools are used to invoke the service operations" (§4).
+//!
+//! [`WsTool`] is such a generated tool: its ports mirror the
+//! operation's message parts, and `execute` marshals the tokens into a
+//! SOAP call over the simulated network. A `WsTool` may carry *replica
+//! hosts*: on a transport failure it migrates the invocation to the
+//! next replica — the paper's fault-tolerance requirement ("the ability
+//! to complete the task if a fault occurs by moving the job to another
+//! resource").
+
+use crate::graph::{PortSpec, Token, Tool};
+use dm_wsrf::transport::Network;
+use dm_wsrf::wsdl::{Operation, WsdlDocument};
+use dm_wsrf::WsError;
+use std::sync::Arc;
+
+/// A workspace tool generated from one WSDL operation.
+pub struct WsTool {
+    name: String,
+    package: String,
+    service: String,
+    operation: Operation,
+    network: Arc<Network>,
+    /// Invocation targets in preference order (primary first).
+    hosts: Vec<String>,
+}
+
+impl WsTool {
+    /// The service this tool invokes.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// The hosts this tool will try, in order.
+    pub fn hosts(&self) -> &[String] {
+        &self.hosts
+    }
+
+    /// Add a replica host for failover.
+    pub fn add_replica<H: Into<String>>(&mut self, host: H) {
+        self.hosts.push(host.into());
+    }
+}
+
+impl Tool for WsTool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn package(&self) -> &str {
+        &self.package
+    }
+
+    fn input_ports(&self) -> Vec<PortSpec> {
+        self.operation
+            .inputs
+            .iter()
+            .map(|p| PortSpec::new(p.name.clone(), p.type_name.clone()))
+            .collect()
+    }
+
+    fn output_ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::new(
+            self.operation.output.name.clone(),
+            self.operation.output.type_name.clone(),
+        )]
+    }
+
+    fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+        let args: Vec<(String, Token)> = self
+            .operation
+            .inputs
+            .iter()
+            .zip(inputs)
+            .map(|(part, token)| (part.name.clone(), token.clone()))
+            .collect();
+        let mut last_error = String::from("no hosts configured");
+        for host in &self.hosts {
+            match self.network.invoke(host, &self.service, &self.operation.name, args.clone()) {
+                Ok(value) => return Ok(vec![value]),
+                Err(WsError::Transport(m)) | Err(WsError::UnknownHost(m)) => {
+                    // Job migration: try the next replica.
+                    last_error = format!("host {host}: {m}");
+                }
+                Err(other) => return Err(other.to_string()),
+            }
+        }
+        Err(format!("all hosts failed; last: {last_error}"))
+    }
+}
+
+/// Import a WSDL document: one [`WsTool`] per operation, targeting
+/// `host` (with no replicas yet). The tools are placed in a package
+/// named after the service, mirroring Triana's import behaviour.
+pub fn import_wsdl(
+    network: Arc<Network>,
+    host: &str,
+    wsdl: &WsdlDocument,
+) -> Vec<WsTool> {
+    wsdl.operations
+        .iter()
+        .map(|op| WsTool {
+            name: format!("{}.{}", wsdl.service, op.name),
+            package: format!("WebServices.{}", wsdl.service),
+            service: wsdl.service.clone(),
+            operation: op.clone(),
+            network: Arc::clone(&network),
+            hosts: vec![host.to_string()],
+        })
+        .collect()
+}
+
+/// Fetch a service's WSDL from a host and import it in one step (what
+/// pasting a `?wsdl` URL into Triana did).
+pub fn import_from_host(
+    network: Arc<Network>,
+    host: &str,
+    service: &str,
+) -> Result<Vec<WsTool>, WsError> {
+    let wsdl = network.fetch_wsdl(host, service)?;
+    Ok(import_wsdl(network, host, &wsdl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_wsrf::container::{ServiceFault, WebService};
+    use dm_wsrf::soap::SoapValue;
+    use dm_wsrf::wsdl::Part;
+
+    struct Doubler;
+
+    impl WebService for Doubler {
+        fn name(&self) -> &str {
+            "Doubler"
+        }
+
+        fn wsdl(&self) -> WsdlDocument {
+            WsdlDocument::new("Doubler", "").operation(Operation::new(
+                "double",
+                vec![Part::new("x", "long")],
+                Part::new("y", "long"),
+            ))
+        }
+
+        fn invoke(
+            &self,
+            operation: &str,
+            args: &[(String, SoapValue)],
+        ) -> Result<SoapValue, ServiceFault> {
+            match operation {
+                "double" => {
+                    let x = args
+                        .iter()
+                        .find(|(n, _)| n == "x")
+                        .and_then(|(_, v)| v.as_int().ok())
+                        .ok_or_else(|| ServiceFault::client("missing x"))?;
+                    Ok(SoapValue::Int(2 * x))
+                }
+                _ => Err(ServiceFault::client("no such operation")),
+            }
+        }
+    }
+
+    fn network() -> Arc<Network> {
+        let net = Arc::new(Network::new());
+        net.add_host("a").deploy(Arc::new(Doubler));
+        net.add_host("b").deploy(Arc::new(Doubler));
+        net
+    }
+
+    #[test]
+    fn one_tool_per_operation_with_typed_ports() {
+        let net = network();
+        let tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        assert_eq!(tools.len(), 1);
+        let tool = &tools[0];
+        assert_eq!(tool.name(), "Doubler.double");
+        assert_eq!(tool.package(), "WebServices.Doubler");
+        assert_eq!(tool.input_ports(), vec![PortSpec::new("x", "long")]);
+        assert_eq!(tool.output_ports(), vec![PortSpec::new("y", "long")]);
+    }
+
+    #[test]
+    fn tool_invokes_the_service() {
+        let net = network();
+        let tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        let out = tools[0].execute(&[Token::Int(21)]).unwrap();
+        assert_eq!(out, vec![Token::Int(42)]);
+    }
+
+    #[test]
+    fn failover_migrates_to_replica() {
+        let net = network();
+        let mut tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        tools[0].add_replica("b");
+        net.set_host_down("a", true);
+        let out = tools[0].execute(&[Token::Int(5)]).unwrap();
+        assert_eq!(out, vec![Token::Int(10)]);
+        assert_eq!(tools[0].hosts(), ["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn all_hosts_down_reports_failure() {
+        let net = network();
+        let mut tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        tools[0].add_replica("b");
+        net.set_host_down("a", true);
+        net.set_host_down("b", true);
+        let err = tools[0].execute(&[Token::Int(5)]).unwrap_err();
+        assert!(err.contains("all hosts failed"));
+    }
+
+    #[test]
+    fn soap_faults_are_not_retried() {
+        // A fault is an application error, not a transport one: it must
+        // surface immediately without trying replicas.
+        let net = network();
+        let mut tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        tools[0].add_replica("b");
+        let err = tools[0].execute(&[Token::Text("bad".into())]).unwrap_err();
+        assert!(err.contains("SOAP fault"), "got: {err}");
+    }
+
+    #[test]
+    fn import_uses_wire_wsdl() {
+        // Import must work from the XML round-trip, not object sharing.
+        let net = network();
+        let wsdl_xml = net.fetch_wsdl("a", "Doubler").unwrap().to_xml();
+        let parsed = WsdlDocument::from_xml(&wsdl_xml).unwrap();
+        let tools = import_wsdl(Arc::clone(&net), "a", &parsed);
+        assert_eq!(tools[0].execute(&[Token::Int(3)]).unwrap(), vec![Token::Int(6)]);
+    }
+}

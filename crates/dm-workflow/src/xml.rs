@@ -1,0 +1,193 @@
+//! Workflow XML: "the ability to export the workflow graph in XML; the
+//! GriPhyN DAX standard is also supported" (§2). Taskgraph XML
+//! round-trips through a [`crate::toolbox::Toolbox`] (tools are
+//! referenced by name); DAX export renders jobs and parent–child
+//! dependencies.
+
+use crate::error::{Result, WorkflowError};
+use crate::graph::{Cable, TaskGraph};
+use crate::toolbox::Toolbox;
+use dm_wsrf::xml::{parse, XmlElement};
+
+/// Export a workflow as Triana-style taskgraph XML.
+pub fn export_taskgraph(graph: &TaskGraph) -> String {
+    let mut root = XmlElement::new("taskgraph").attr("version", "1.0");
+    for (id, task) in graph.tasks().iter().enumerate() {
+        root = root.child(
+            XmlElement::new("task")
+                .attr("id", id.to_string())
+                .attr("name", task.name.clone())
+                .attr("tool", task.tool.name().to_string())
+                .attr("package", task.tool.package().to_string()),
+        );
+    }
+    for c in graph.cables() {
+        root = root.child(
+            XmlElement::new("cable")
+                .attr("fromTask", c.from_task.to_string())
+                .attr("fromPort", c.from_port.to_string())
+                .attr("toTask", c.to_task.to_string())
+                .attr("toPort", c.to_port.to_string()),
+        );
+    }
+    root.to_pretty_xml()
+}
+
+/// Import taskgraph XML, resolving tool names against `toolbox`.
+pub fn import_taskgraph(xml: &str, toolbox: &Toolbox) -> Result<TaskGraph> {
+    let doc = parse(xml).map_err(|e| WorkflowError::Xml(e.to_string()))?;
+    if doc.name != "taskgraph" {
+        return Err(WorkflowError::Xml(format!("expected <taskgraph>, got <{}>", doc.name)));
+    }
+    let mut graph = TaskGraph::new();
+    for task_el in doc.find_all("task") {
+        let name = task_el
+            .attribute("name")
+            .ok_or_else(|| WorkflowError::Xml("task without name".into()))?;
+        let tool_name = task_el
+            .attribute("tool")
+            .ok_or_else(|| WorkflowError::Xml("task without tool".into()))?;
+        let tool = toolbox.find(tool_name)?;
+        graph.add_named_task(name, tool);
+    }
+    for cable_el in doc.find_all("cable") {
+        let get = |attr: &str| -> Result<usize> {
+            cable_el
+                .attribute(attr)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| WorkflowError::Xml(format!("cable missing {attr}")))
+        };
+        graph.connect(get("fromTask")?, get("fromPort")?, get("toTask")?, get("toPort")?)?;
+    }
+    Ok(graph)
+}
+
+/// Export a workflow as a GriPhyN-DAX-style document: one `<job>` per
+/// task and `<child>/<parent>` dependency records.
+pub fn export_dax(graph: &TaskGraph) -> String {
+    let mut root = XmlElement::new("adag")
+        .attr("xmlns", "http://pegasus.isi.edu/schema/DAX")
+        .attr("version", "2.1")
+        .attr("jobCount", graph.num_tasks().to_string())
+        .attr("childCount", count_children(graph.cables()).to_string());
+    for (id, task) in graph.tasks().iter().enumerate() {
+        root = root.child(
+            XmlElement::new("job")
+                .attr("id", format!("ID{id:06}"))
+                .attr("name", task.name.clone())
+                .attr("namespace", task.tool.package().to_string()),
+        );
+    }
+    // Group dependencies by child.
+    let mut children: Vec<usize> = graph.cables().iter().map(|c| c.to_task).collect();
+    children.sort_unstable();
+    children.dedup();
+    for child in children {
+        let mut el = XmlElement::new("child").attr("ref", format!("ID{child:06}"));
+        let mut parents: Vec<usize> = graph
+            .cables()
+            .iter()
+            .filter(|c| c.to_task == child)
+            .map(|c| c.from_task)
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        for p in parents {
+            el = el.child(XmlElement::new("parent").attr("ref", format!("ID{p:06}")));
+        }
+        root = root.child(el);
+    }
+    root.to_pretty_xml()
+}
+
+fn count_children(cables: &[Cable]) -> usize {
+    let mut children: Vec<usize> = cables.iter().map(|c| c.to_task).collect();
+    children.sort_unstable();
+    children.dedup();
+    children.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Executor;
+    use crate::graph::Token;
+    use std::collections::HashMap;
+
+    fn sample() -> (TaskGraph, Toolbox) {
+        let toolbox = Toolbox::with_common_tools();
+        let mut g = TaskGraph::new();
+        let src = g.add_named_task("source", toolbox.find("StringGen").unwrap());
+        let up = g.add_named_task("upper", toolbox.find("ToUpperCase").unwrap());
+        let cat = g.add_named_task("join", toolbox.find("StringConcat").unwrap());
+        g.connect(src, 0, up, 0).unwrap();
+        g.connect(up, 0, cat, 0).unwrap();
+        g.connect(src, 0, cat, 1).unwrap();
+        (g, toolbox)
+    }
+
+    #[test]
+    fn taskgraph_roundtrip() {
+        let (g, toolbox) = sample();
+        let xml = export_taskgraph(&g);
+        assert!(xml.contains("<taskgraph"));
+        assert!(xml.contains("tool=\"ToUpperCase\""));
+        let imported = import_taskgraph(&xml, &toolbox).unwrap();
+        assert_eq!(imported.num_tasks(), 3);
+        assert_eq!(imported.cables(), g.cables());
+        assert_eq!(imported.task(1).unwrap().name, "upper");
+    }
+
+    #[test]
+    fn imported_graph_is_runnable() {
+        let (g, toolbox) = sample();
+        let imported = import_taskgraph(&export_taskgraph(&g), &toolbox).unwrap();
+        // StringGen default is empty text; bind nothing — zero-input tool.
+        let report = Executor::serial().run(&imported, &HashMap::new()).unwrap();
+        let cat = imported.find_task("join").unwrap();
+        assert_eq!(report.output(cat, 0), Some(&Token::Text(String::new())));
+    }
+
+    #[test]
+    fn unknown_tool_rejected_on_import() {
+        let xml = "<taskgraph><task id=\"0\" name=\"x\" tool=\"Nope\" package=\"P\"/></taskgraph>";
+        let toolbox = Toolbox::with_common_tools();
+        assert!(matches!(
+            import_taskgraph(xml, &toolbox),
+            Err(WorkflowError::UnknownTool(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_xml_rejected() {
+        let toolbox = Toolbox::new();
+        assert!(import_taskgraph("<nope/>", &toolbox).is_err());
+        assert!(import_taskgraph("not xml", &toolbox).is_err());
+    }
+
+    #[test]
+    fn dax_export_structure() {
+        let (g, _) = sample();
+        let dax = export_dax(&g);
+        assert!(dax.contains("<adag"));
+        assert!(dax.contains("jobCount=\"3\""));
+        assert!(dax.contains("childCount=\"2\"")); // tasks 1 and 2 have parents
+        assert!(dax.contains("<job id=\"ID000000\""));
+        // Task 2 (join) depends on 0 and 1.
+        assert!(dax.contains("<child ref=\"ID000002\">"));
+        assert!(dax.contains("<parent ref=\"ID000001\"/>"));
+    }
+
+    #[test]
+    fn dax_deduplicates_parents() {
+        let toolbox = Toolbox::with_common_tools();
+        let mut g = TaskGraph::new();
+        let src = g.add_task(toolbox.find("StringGen").unwrap());
+        let cat = g.add_task(toolbox.find("StringConcat").unwrap());
+        g.connect(src, 0, cat, 0).unwrap();
+        g.connect(src, 0, cat, 1).unwrap();
+        let dax = export_dax(&g);
+        let count = dax.matches("<parent ref=\"ID000000\"/>").count();
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! The service container — the Tomcat/Axis equivalent: services are
+//! deployed by name and envelopes are dispatched to them, with every
+//! invocation recorded by the monitor.
+
+use crate::error::{Result, WsError};
+use crate::monitor::{InvocationEvent, MonitorLog, Outcome};
+use crate::soap::{SoapCall, SoapResponse, SoapValue};
+use crate::wsdl::WsdlDocument;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A fault raised by a service implementation; mapped to a SOAP fault
+/// on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceFault {
+    /// Fault code (`"Client"` for caller errors, `"Server"` otherwise).
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ServiceFault {
+    /// A caller-error fault.
+    pub fn client<M: Into<String>>(message: M) -> ServiceFault {
+        ServiceFault { code: "Client", message: message.into() }
+    }
+
+    /// A service-error fault.
+    pub fn server<M: Into<String>>(message: M) -> ServiceFault {
+        ServiceFault { code: "Server", message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+/// A deployable Web Service. Implementations use interior mutability
+/// for any state (the container shares them across threads).
+pub trait WebService: Send + Sync {
+    /// Deployment name (also the WSDL service name).
+    fn name(&self) -> &str;
+
+    /// The service's WSDL description.
+    fn wsdl(&self) -> WsdlDocument;
+
+    /// Invoke an operation with named arguments.
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[(String, SoapValue)],
+    ) -> std::result::Result<SoapValue, ServiceFault>;
+}
+
+/// An Axis-like container holding deployed services on one host.
+pub struct ServiceContainer {
+    host: String,
+    services: RwLock<HashMap<String, Arc<dyn WebService>>>,
+    monitor: Arc<MonitorLog>,
+}
+
+impl ServiceContainer {
+    /// Create a container for `host`.
+    pub fn new<H: Into<String>>(host: H) -> ServiceContainer {
+        ServiceContainer {
+            host: host.into(),
+            services: RwLock::new(HashMap::new()),
+            monitor: Arc::new(MonitorLog::new()),
+        }
+    }
+
+    /// The host name this container runs on.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The container's invocation monitor.
+    pub fn monitor(&self) -> Arc<MonitorLog> {
+        Arc::clone(&self.monitor)
+    }
+
+    /// Deploy a service (replacing any prior deployment of the name).
+    pub fn deploy(&self, service: Arc<dyn WebService>) {
+        self.services.write().insert(service.name().to_string(), service);
+    }
+
+    /// Undeploy by name; returns whether a service was removed.
+    pub fn undeploy(&self, name: &str) -> bool {
+        self.services.write().remove(name).is_some()
+    }
+
+    /// Names of all deployed services, sorted.
+    pub fn deployed(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The WSDL of a deployed service, with the endpoint rewritten to
+    /// this host (as Axis publishes it).
+    pub fn wsdl_of(&self, name: &str) -> Result<WsdlDocument> {
+        let service = self
+            .services
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| WsError::NotDeployed(name.to_string()))?;
+        let mut wsdl = service.wsdl();
+        wsdl.endpoint = format!("http://{}:8080/axis/{}", self.host, name);
+        Ok(wsdl)
+    }
+
+    /// Dispatch a decoded call, recording the invocation.
+    pub fn dispatch(&self, call: &SoapCall) -> SoapResponse {
+        let service = self.services.read().get(&call.service).cloned();
+        let start = Instant::now();
+        let response = match service {
+            None => SoapResponse::Fault {
+                code: "Client".into(),
+                message: format!("service {:?} is not deployed on {}", call.service, self.host),
+            },
+            Some(s) => match s.invoke(&call.operation, &call.args) {
+                Ok(v) => SoapResponse::Value(v),
+                Err(fault) => {
+                    SoapResponse::Fault { code: fault.code.into(), message: fault.message }
+                }
+            },
+        };
+        let outcome = match &response {
+            SoapResponse::Value(_) => Outcome::Ok,
+            SoapResponse::Fault { code, .. } => Outcome::Fault(code.clone()),
+        };
+        self.monitor.record(InvocationEvent {
+            host: self.host.clone(),
+            service: call.service.clone(),
+            operation: call.operation.clone(),
+            duration: start.elapsed(),
+            bytes_in: call.args.iter().map(|(_, v)| v.wire_size()).sum(),
+            bytes_out: match &response {
+                SoapResponse::Value(v) => v.wire_size(),
+                SoapResponse::Fault { .. } => 64,
+            },
+            outcome,
+        });
+        response
+    }
+
+    /// Dispatch raw envelope XML — the full wire path: decode request,
+    /// dispatch, encode response.
+    pub fn dispatch_envelope(&self, request_xml: &str) -> String {
+        match SoapCall::from_envelope(request_xml) {
+            Ok(call) => self.dispatch(&call).to_envelope(&call.operation),
+            Err(e) => SoapResponse::Fault { code: "Client".into(), message: e.to_string() }
+                .to_envelope("unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// An echo service used by substrate tests.
+    pub struct EchoService;
+
+    impl WebService for EchoService {
+        fn name(&self) -> &str {
+            "Echo"
+        }
+
+        fn wsdl(&self) -> WsdlDocument {
+            use crate::wsdl::{Operation, Part};
+            WsdlDocument::new("Echo", "http://localhost/Echo")
+                .operation(Operation::new(
+                    "echo",
+                    vec![Part::new("message", "string")],
+                    Part::new("return", "string"),
+                ))
+                .operation(Operation::new("fail", vec![], Part::new("return", "string")))
+        }
+
+        fn invoke(
+            &self,
+            operation: &str,
+            args: &[(String, SoapValue)],
+        ) -> std::result::Result<SoapValue, ServiceFault> {
+            match operation {
+                "echo" => {
+                    let msg = args
+                        .iter()
+                        .find(|(n, _)| n == "message")
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| ServiceFault::client("missing message"))?;
+                    Ok(msg)
+                }
+                "fail" => Err(ServiceFault::server("deliberate failure")),
+                other => Err(ServiceFault::client(format!("no operation {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::EchoService;
+    use super::*;
+
+    fn container() -> ServiceContainer {
+        let c = ServiceContainer::new("host-a");
+        c.deploy(Arc::new(EchoService));
+        c
+    }
+
+    #[test]
+    fn deploy_and_list() {
+        let c = container();
+        assert_eq!(c.deployed(), vec!["Echo".to_string()]);
+        assert!(c.undeploy("Echo"));
+        assert!(!c.undeploy("Echo"));
+        assert!(c.deployed().is_empty());
+    }
+
+    #[test]
+    fn dispatch_success() {
+        let c = container();
+        let call = SoapCall::new("Echo", "echo").arg("message", SoapValue::Text("hi".into()));
+        match c.dispatch(&call) {
+            SoapResponse::Value(SoapValue::Text(s)) => assert_eq!(s, "hi"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_fault_paths() {
+        let c = container();
+        let fail = c.dispatch(&SoapCall::new("Echo", "fail"));
+        assert!(matches!(fail, SoapResponse::Fault { code, .. } if code == "Server"));
+        let missing = c.dispatch(&SoapCall::new("Nope", "x"));
+        assert!(matches!(missing, SoapResponse::Fault { code, .. } if code == "Client"));
+        let badop = c.dispatch(&SoapCall::new("Echo", "bogus"));
+        assert!(matches!(badop, SoapResponse::Fault { code, .. } if code == "Client"));
+    }
+
+    #[test]
+    fn envelope_wire_path() {
+        let c = container();
+        let call = SoapCall::new("Echo", "echo").arg("message", SoapValue::Int(7));
+        let response_xml = c.dispatch_envelope(&call.to_envelope());
+        let response = SoapResponse::from_envelope(&response_xml).unwrap();
+        assert_eq!(response.into_result().unwrap(), SoapValue::Int(7));
+    }
+
+    #[test]
+    fn garbage_envelope_becomes_client_fault() {
+        let c = container();
+        let response_xml = c.dispatch_envelope("this is not xml");
+        let response = SoapResponse::from_envelope(&response_xml).unwrap();
+        assert!(matches!(response, SoapResponse::Fault { code, .. } if code == "Client"));
+    }
+
+    #[test]
+    fn monitor_records_invocations() {
+        let c = container();
+        c.dispatch(&SoapCall::new("Echo", "echo").arg("message", SoapValue::Null));
+        c.dispatch(&SoapCall::new("Echo", "fail"));
+        let events = c.monitor().snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].outcome, Outcome::Ok));
+        assert!(matches!(events[1].outcome, Outcome::Fault(_)));
+        assert_eq!(events[0].service, "Echo");
+    }
+
+    #[test]
+    fn wsdl_endpoint_rewritten_to_host() {
+        let c = container();
+        let wsdl = c.wsdl_of("Echo").unwrap();
+        assert_eq!(wsdl.endpoint, "http://host-a:8080/axis/Echo");
+        assert!(c.wsdl_of("Nope").is_err());
+    }
+}

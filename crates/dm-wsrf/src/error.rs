@@ -1,0 +1,89 @@
+//! Error type shared across the Web Services substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `dm-wsrf`.
+pub type Result<T> = std::result::Result<T, WsError>;
+
+/// Errors raised by the Web Services layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WsError {
+    /// A SOAP fault returned by a service.
+    Fault {
+        /// Fault code, e.g. `"Client"` or `"Server"`.
+        code: String,
+        /// Fault string.
+        message: String,
+    },
+    /// Transport-level failure (host unreachable, injected fault, ...).
+    Transport(String),
+    /// The target host does not exist on the simulated network.
+    UnknownHost(String),
+    /// The target service is not deployed in the container.
+    NotDeployed(String),
+    /// The requested operation does not exist on the service.
+    UnknownOperation {
+        /// Service name.
+        service: String,
+        /// Operation name.
+        operation: String,
+    },
+    /// XML could not be parsed (offset, message).
+    Xml {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// An envelope or WSDL document was structurally invalid.
+    Malformed(String),
+    /// Disk-backed instance store I/O failure.
+    Store(String),
+    /// A registry inquiry matched nothing.
+    NotFound(String),
+}
+
+impl fmt::Display for WsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsError::Fault { code, message } => write!(f, "SOAP fault [{code}]: {message}"),
+            WsError::Transport(m) => write!(f, "transport error: {m}"),
+            WsError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+            WsError::NotDeployed(s) => write!(f, "service {s:?} is not deployed"),
+            WsError::UnknownOperation { service, operation } => {
+                write!(f, "service {service:?} has no operation {operation:?}")
+            }
+            WsError::Xml { offset, message } => {
+                write!(f, "XML error at byte {offset}: {message}")
+            }
+            WsError::Malformed(m) => write!(f, "malformed document: {m}"),
+            WsError::Store(m) => write!(f, "instance store error: {m}"),
+            WsError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_fault() {
+        let e = WsError::Fault { code: "Server".into(), message: "boom".into() };
+        assert_eq!(e.to_string(), "SOAP fault [Server]: boom");
+    }
+
+    #[test]
+    fn display_unknown_operation() {
+        let e = WsError::UnknownOperation { service: "S".into(), operation: "op".into() };
+        assert!(e.to_string().contains("\"op\""));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check(_: &dyn std::error::Error) {}
+        check(&WsError::Transport("x".into()));
+    }
+}

@@ -1,0 +1,53 @@
+//! # dm-wsrf — the Web Services substrate of `faehim-rs`
+//!
+//! The paper deploys its data mining algorithms as SOAP Web Services
+//! described by WSDL, hosted in Tomcat 5.0 + Axis 1.2, published in a
+//! jUDDI registry, and invoked over a 1 Gb/s LAN (§4.5, §4.6, §5.1).
+//! None of that stack can be a dependency here, so this crate rebuilds
+//! the behaviours the paper relies on:
+//!
+//! * [`soap`] — a SOAP 1.1-style envelope with typed values, encoded to
+//!   and from real XML ([`xml`] is a minimal element-tree reader/writer);
+//! * [`wsdl`] — WSDL-style service descriptions (port type, operations,
+//!   message parts, endpoint address) with XML round-tripping, so the
+//!   workflow engine can import "one tool per operation";
+//! * [`transport`] — a simulated network of named hosts with a
+//!   configurable latency + bandwidth cost model (calibrated by default
+//!   to the paper's 1 Gb/s testbed), fault injection for the
+//!   fault-tolerance experiment, and a virtual clock;
+//! * [`container`] — an Axis-like service container that deploys
+//!   [`container::WebService`] implementations and dispatches envelopes;
+//! * [`registry`] — a UDDI-like publish/inquiry registry;
+//! * [`lifecycle`] — the instance lifecycle machinery of §4.5: a
+//!   disk-backed state store for the serialise-per-invocation policy
+//!   and an in-memory harness that "maintain\[s\] an algorithm instance
+//!   object in memory", whose comparison is experiment E4;
+//! * [`monitor`] — per-invocation events for the service-monitoring
+//!   requirement (§3, category 2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod container;
+pub mod error;
+pub mod lifecycle;
+pub mod monitor;
+pub mod registry;
+pub mod session;
+pub mod soap;
+pub mod transport;
+pub mod wsdl;
+pub mod xml;
+
+pub use error::{Result, WsError};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::container::{ServiceContainer, ServiceFault, WebService};
+    pub use crate::error::{Result, WsError};
+    pub use crate::lifecycle::{InstanceStore, LifecycleManager, LifecyclePolicy};
+    pub use crate::registry::{ServiceEntry, UddiRegistry};
+    pub use crate::soap::{SoapCall, SoapValue};
+    pub use crate::transport::{Network, NetworkConfig};
+    pub use crate::wsdl::{Operation, Part, WsdlDocument};
+}

@@ -1,0 +1,173 @@
+//! Service monitoring: "the framework should allow users to monitor the
+//! progress of their jobs as they are executed on distributed
+//! resources" (§3, category 2). Containers record an event for every
+//! dispatch; the toolkit can snapshot, filter, and summarise them.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Result of one invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The operation returned a value.
+    Ok,
+    /// The operation returned a SOAP fault (carrying its code).
+    Fault(String),
+}
+
+/// One recorded invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationEvent {
+    /// Host the container runs on.
+    pub host: String,
+    /// Service name.
+    pub service: String,
+    /// Operation name.
+    pub operation: String,
+    /// Wall-clock execution time inside the container.
+    pub duration: Duration,
+    /// Request payload size (approximate wire bytes).
+    pub bytes_in: usize,
+    /// Response payload size.
+    pub bytes_out: usize,
+    /// Success or fault.
+    pub outcome: Outcome,
+}
+
+/// Aggregate statistics over a set of events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSummary {
+    /// Total invocations.
+    pub invocations: usize,
+    /// Invocations that returned a fault.
+    pub faults: usize,
+    /// Sum of execution durations.
+    pub total_duration: Duration,
+    /// Total request bytes.
+    pub bytes_in: usize,
+    /// Total response bytes.
+    pub bytes_out: usize,
+}
+
+/// A thread-safe, append-only invocation log.
+#[derive(Debug, Default)]
+pub struct MonitorLog {
+    events: Mutex<Vec<InvocationEvent>>,
+}
+
+impl MonitorLog {
+    /// Create an empty log.
+    pub fn new() -> MonitorLog {
+        MonitorLog::default()
+    }
+
+    /// Append one event.
+    pub fn record(&self, event: InvocationEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Copy of all events so far.
+    pub fn snapshot(&self) -> Vec<InvocationEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clear all events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Summarise, optionally filtered by service name.
+    pub fn summary(&self, service: Option<&str>) -> MonitorSummary {
+        let events = self.events.lock();
+        let mut s = MonitorSummary {
+            invocations: 0,
+            faults: 0,
+            total_duration: Duration::ZERO,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
+        for e in events.iter() {
+            if let Some(name) = service {
+                if e.service != name {
+                    continue;
+                }
+            }
+            s.invocations += 1;
+            if matches!(e.outcome, Outcome::Fault(_)) {
+                s.faults += 1;
+            }
+            s.total_duration += e.duration;
+            s.bytes_in += e.bytes_in;
+            s.bytes_out += e.bytes_out;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(service: &str, outcome: Outcome) -> InvocationEvent {
+        InvocationEvent {
+            host: "h".into(),
+            service: service.into(),
+            operation: "op".into(),
+            duration: Duration::from_millis(5),
+            bytes_in: 100,
+            bytes_out: 50,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let log = MonitorLog::new();
+        assert!(log.is_empty());
+        log.record(event("A", Outcome::Ok));
+        log.record(event("B", Outcome::Fault("Server".into())));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn summary_totals() {
+        let log = MonitorLog::new();
+        for _ in 0..3 {
+            log.record(event("A", Outcome::Ok));
+        }
+        log.record(event("A", Outcome::Fault("Server".into())));
+        let s = log.summary(None);
+        assert_eq!(s.invocations, 4);
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.bytes_in, 400);
+        assert_eq!(s.total_duration, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn summary_filters_by_service() {
+        let log = MonitorLog::new();
+        log.record(event("A", Outcome::Ok));
+        log.record(event("B", Outcome::Ok));
+        assert_eq!(log.summary(Some("A")).invocations, 1);
+        assert_eq!(log.summary(Some("C")).invocations, 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let log = MonitorLog::new();
+        log.record(event("A", Outcome::Ok));
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! A UDDI-like service registry.
+//!
+//! §4.6: "Access to the UDDI registry for inquiry is available at
+//! <http://agents-comsc.grid.cf.ac.uk:8334/juddi/inquiry>". This module
+//! provides the publish and inquiry operations the toolkit uses:
+//! services are published with a name, a host, a WSDL location, and
+//! category tags ("classifier", "clustering", "visualisation", ...),
+//! and can be found by exact name, name substring, or category.
+
+use crate::error::{Result, WsError};
+use parking_lot::RwLock;
+
+/// One published service record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceEntry {
+    /// Service name, e.g. `Classifier`.
+    pub name: String,
+    /// Host the service is deployed on.
+    pub host: String,
+    /// WSDL document URL.
+    pub wsdl_url: String,
+    /// Category tags (UDDI category bag).
+    pub categories: Vec<String>,
+    /// Free-text description.
+    pub description: String,
+}
+
+/// The registry. Publishing the same name twice replaces the entry
+/// (re-deployment), matching jUDDI's businessService update semantics.
+#[derive(Debug, Default)]
+pub struct UddiRegistry {
+    entries: RwLock<Vec<ServiceEntry>>,
+}
+
+impl UddiRegistry {
+    /// Create an empty registry.
+    pub fn new() -> UddiRegistry {
+        UddiRegistry::default()
+    }
+
+    /// Publish (or replace) a service entry.
+    pub fn publish(&self, entry: ServiceEntry) {
+        let mut entries = self.entries.write();
+        entries.retain(|e| e.name != entry.name);
+        entries.push(entry);
+    }
+
+    /// Remove an entry; returns whether one existed.
+    pub fn unpublish(&self, name: &str) -> bool {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|e| e.name != name);
+        entries.len() != before
+    }
+
+    /// Number of published services.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// `true` when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Exact-name inquiry.
+    pub fn find(&self, name: &str) -> Result<ServiceEntry> {
+        self.entries
+            .read()
+            .iter()
+            .find(|e| e.name == name)
+            .cloned()
+            .ok_or_else(|| WsError::NotFound(format!("service {name:?}")))
+    }
+
+    /// Substring inquiry (case-insensitive), sorted by name.
+    pub fn find_by_name(&self, pattern: &str) -> Vec<ServiceEntry> {
+        let needle = pattern.to_ascii_lowercase();
+        let mut hits: Vec<ServiceEntry> = self
+            .entries
+            .read()
+            .iter()
+            .filter(|e| e.name.to_ascii_lowercase().contains(&needle))
+            .cloned()
+            .collect();
+        hits.sort_by(|a, b| a.name.cmp(&b.name));
+        hits
+    }
+
+    /// Category inquiry, sorted by name.
+    pub fn find_by_category(&self, category: &str) -> Vec<ServiceEntry> {
+        let mut hits: Vec<ServiceEntry> = self
+            .entries
+            .read()
+            .iter()
+            .filter(|e| e.categories.iter().any(|c| c == category))
+            .cloned()
+            .collect();
+        hits.sort_by(|a, b| a.name.cmp(&b.name));
+        hits
+    }
+
+    /// All entries, sorted by name.
+    pub fn all(&self) -> Vec<ServiceEntry> {
+        let mut entries = self.entries.read().clone();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, categories: &[&str]) -> ServiceEntry {
+        ServiceEntry {
+            name: name.to_string(),
+            host: "host-a".to_string(),
+            wsdl_url: format!("http://host-a:8080/axis/{name}?wsdl"),
+            categories: categories.iter().map(|s| s.to_string()).collect(),
+            description: String::new(),
+        }
+    }
+
+    #[test]
+    fn publish_and_find() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("Classifier", &["classifier", "datamining"]));
+        reg.publish(entry("Cobweb", &["clustering", "datamining"]));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.find("Cobweb").unwrap().host, "host-a");
+        assert!(reg.find("Nope").is_err());
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("Classifier", &["v1"]));
+        let mut updated = entry("Classifier", &["v2"]);
+        updated.host = "host-b".into();
+        reg.publish(updated);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.find("Classifier").unwrap().host, "host-b");
+    }
+
+    #[test]
+    fn name_pattern_inquiry() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("ClassifierService", &[]));
+        reg.publish(entry("ClustererService", &[]));
+        reg.publish(entry("PlotService", &[]));
+        let hits = reg.find_by_name("service");
+        assert_eq!(hits.len(), 3);
+        let hits = reg.find_by_name("Cl");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].name, "ClassifierService");
+    }
+
+    #[test]
+    fn category_inquiry() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("J48", &["classifier"]));
+        reg.publish(entry("Cobweb", &["clustering"]));
+        reg.publish(entry("Classifier", &["classifier"]));
+        let hits = reg.find_by_category("classifier");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].name, "Classifier");
+        assert!(reg.find_by_category("visualisation").is_empty());
+    }
+
+    #[test]
+    fn unpublish() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("X", &[]));
+        assert!(reg.unpublish("X"));
+        assert!(!reg.unpublish("X"));
+        assert!(reg.is_empty());
+    }
+}

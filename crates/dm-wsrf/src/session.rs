@@ -1,0 +1,192 @@
+//! Session management — one of the "variety of additional services to
+//! facilitate the entire data mining process … for data translation,
+//! visualisation and session management" (§5.4 conclusion).
+//!
+//! A [`SessionManager`] issues opaque session ids and stores typed
+//! attributes per session with a time-to-live, so a user's interactive
+//! sequence of Web Service calls (select classifier → fetch options →
+//! classify → refine) can carry state across invocations without the
+//! client resending it.
+
+use crate::error::{Result, WsError};
+use crate::soap::SoapValue;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A live session's state.
+#[derive(Debug, Clone)]
+struct Session {
+    attributes: HashMap<String, SoapValue>,
+    last_touched: Instant,
+}
+
+/// Issues and tracks sessions.
+#[derive(Debug)]
+pub struct SessionManager {
+    sessions: Mutex<HashMap<String, Session>>,
+    ttl: Duration,
+    counter: Mutex<u64>,
+}
+
+impl SessionManager {
+    /// Create with the given idle time-to-live.
+    pub fn new(ttl: Duration) -> SessionManager {
+        SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            ttl,
+            counter: Mutex::new(0),
+        }
+    }
+
+    /// Open a new session, returning its id.
+    pub fn create(&self) -> String {
+        let mut counter = self.counter.lock();
+        *counter += 1;
+        let id = format!("session-{:08x}-{:04x}", *counter, std::process::id() as u16);
+        self.sessions.lock().insert(
+            id.clone(),
+            Session { attributes: HashMap::new(), last_touched: Instant::now() },
+        );
+        id
+    }
+
+    fn with_session<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut Session) -> R,
+    ) -> Result<R> {
+        let mut sessions = self.sessions.lock();
+        let session = sessions
+            .get_mut(id)
+            .ok_or_else(|| WsError::NotFound(format!("session {id:?}")))?;
+        if session.last_touched.elapsed() > self.ttl {
+            sessions.remove(id);
+            return Err(WsError::NotFound(format!("session {id:?} (expired)")));
+        }
+        session.last_touched = Instant::now();
+        Ok(f(session))
+    }
+
+    /// Store an attribute in a session.
+    pub fn put(&self, id: &str, key: &str, value: SoapValue) -> Result<()> {
+        self.with_session(id, |s| {
+            s.attributes.insert(key.to_string(), value);
+        })
+    }
+
+    /// Fetch an attribute (None if unset).
+    pub fn get(&self, id: &str, key: &str) -> Result<Option<SoapValue>> {
+        self.with_session(id, |s| s.attributes.get(key).cloned())
+    }
+
+    /// Remove an attribute; reports whether it existed.
+    pub fn remove(&self, id: &str, key: &str) -> Result<bool> {
+        self.with_session(id, |s| s.attributes.remove(key).is_some())
+    }
+
+    /// Attribute names of a session, sorted.
+    pub fn keys(&self, id: &str) -> Result<Vec<String>> {
+        self.with_session(id, |s| {
+            let mut keys: Vec<String> = s.attributes.keys().cloned().collect();
+            keys.sort();
+            keys
+        })
+    }
+
+    /// Close a session; reports whether it existed.
+    pub fn close(&self, id: &str) -> bool {
+        self.sessions.lock().remove(id).is_some()
+    }
+
+    /// Drop every expired session; returns how many were evicted.
+    pub fn sweep(&self) -> usize {
+        let mut sessions = self.sessions.lock();
+        let before = sessions.len();
+        sessions.retain(|_, s| s.last_touched.elapsed() <= self.ttl);
+        before - sessions.len()
+    }
+
+    /// Number of live (possibly expired-but-unswept) sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// `true` if no sessions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> SessionManager {
+        SessionManager::new(Duration::from_secs(60))
+    }
+
+    #[test]
+    fn create_put_get_roundtrip() {
+        let m = manager();
+        let id = m.create();
+        m.put(&id, "classifier", SoapValue::Text("J48".into())).unwrap();
+        m.put(&id, "folds", SoapValue::Int(10)).unwrap();
+        assert_eq!(m.get(&id, "classifier").unwrap(), Some(SoapValue::Text("J48".into())));
+        assert_eq!(m.get(&id, "missing").unwrap(), None);
+        assert_eq!(m.keys(&id).unwrap(), vec!["classifier".to_string(), "folds".to_string()]);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let m = manager();
+        let a = m.create();
+        let b = m.create();
+        assert_ne!(a, b);
+        m.put(&a, "x", SoapValue::Int(1)).unwrap();
+        assert_eq!(m.get(&b, "x").unwrap(), None);
+    }
+
+    #[test]
+    fn close_and_unknown() {
+        let m = manager();
+        let id = m.create();
+        assert!(m.close(&id));
+        assert!(!m.close(&id));
+        assert!(matches!(m.get(&id, "x"), Err(WsError::NotFound(_))));
+        assert!(matches!(m.put("bogus", "x", SoapValue::Null), Err(WsError::NotFound(_))));
+    }
+
+    #[test]
+    fn remove_attribute() {
+        let m = manager();
+        let id = m.create();
+        m.put(&id, "x", SoapValue::Int(1)).unwrap();
+        assert!(m.remove(&id, "x").unwrap());
+        assert!(!m.remove(&id, "x").unwrap());
+    }
+
+    #[test]
+    fn expiry_and_sweep() {
+        let m = SessionManager::new(Duration::from_millis(1));
+        let id = m.create();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(m.get(&id, "x"), Err(WsError::NotFound(_))));
+        let id2 = m.create();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(m.sweep(), 1);
+        let _ = id2;
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn touch_extends_lifetime() {
+        let m = SessionManager::new(Duration::from_millis(50));
+        let id = m.create();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(20));
+            m.put(&id, "keepalive", SoapValue::Null).unwrap(); // touches
+        }
+        assert!(m.get(&id, "keepalive").unwrap().is_some());
+    }
+}

@@ -1,0 +1,415 @@
+//! SOAP 1.1-style envelopes: typed values, calls, responses, and
+//! faults, encoded to and from real XML. "Interaction between the
+//! workflow engine and each Web Service instance is supported through
+//! pre-defined SOAP messages" (§4.5) — these are those messages.
+
+use crate::error::{Result, WsError};
+use crate::xml::{parse, XmlElement};
+
+/// A typed SOAP value (the subset of XSD the toolkit exchanges).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoapValue {
+    /// `xsd:nil`.
+    Null,
+    /// `xsd:boolean`.
+    Bool(bool),
+    /// `xsd:long`.
+    Int(i64),
+    /// `xsd:double`.
+    Double(f64),
+    /// `xsd:string`.
+    Text(String),
+    /// `xsd:base64Binary` (hex-encoded on the wire for simplicity; the
+    /// cost model charges the same 2× inflation base64 would, ×1.33).
+    Bytes(Vec<u8>),
+    /// A sequence of values.
+    List(Vec<SoapValue>),
+}
+
+impl SoapValue {
+    /// XSD-ish type name used on the wire.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SoapValue::Null => "nil",
+            SoapValue::Bool(_) => "boolean",
+            SoapValue::Int(_) => "long",
+            SoapValue::Double(_) => "double",
+            SoapValue::Text(_) => "string",
+            SoapValue::Bytes(_) => "base64Binary",
+            SoapValue::List(_) => "list",
+        }
+    }
+
+    /// Extract a string, or a fault-shaped error.
+    pub fn as_text(&self) -> Result<&str> {
+        match self {
+            SoapValue::Text(s) => Ok(s),
+            other => Err(WsError::Malformed(format!("expected string, got {}", other.type_name()))),
+        }
+    }
+
+    /// Extract bytes.
+    pub fn as_bytes(&self) -> Result<&[u8]> {
+        match self {
+            SoapValue::Bytes(b) => Ok(b),
+            other => Err(WsError::Malformed(format!("expected bytes, got {}", other.type_name()))),
+        }
+    }
+
+    /// Extract an integer.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            SoapValue::Int(i) => Ok(*i),
+            other => Err(WsError::Malformed(format!("expected long, got {}", other.type_name()))),
+        }
+    }
+
+    /// Extract a double.
+    pub fn as_double(&self) -> Result<f64> {
+        match self {
+            SoapValue::Double(d) => Ok(*d),
+            SoapValue::Int(i) => Ok(*i as f64),
+            other => Err(WsError::Malformed(format!("expected double, got {}", other.type_name()))),
+        }
+    }
+
+    /// Extract a list.
+    pub fn as_list(&self) -> Result<&[SoapValue]> {
+        match self {
+            SoapValue::List(l) => Ok(l),
+            other => Err(WsError::Malformed(format!("expected list, got {}", other.type_name()))),
+        }
+    }
+
+    fn to_element(&self, name: &str) -> XmlElement {
+        let el = XmlElement::new(name).attr("xsi:type", self.type_name());
+        match self {
+            SoapValue::Null => el,
+            SoapValue::Bool(b) => el.with_text(b.to_string()),
+            SoapValue::Int(i) => el.with_text(i.to_string()),
+            SoapValue::Double(d) => el.with_text(format_double(*d)),
+            SoapValue::Text(s) => el.with_text(s.clone()),
+            SoapValue::Bytes(b) => el.with_text(hex_encode(b)),
+            SoapValue::List(items) => items
+                .iter()
+                .fold(el, |acc, item| acc.child(item.to_element("item"))),
+        }
+    }
+
+    fn from_element(el: &XmlElement) -> Result<SoapValue> {
+        let ty = el.attribute("xsi:type").unwrap_or("string");
+        Ok(match ty {
+            "nil" => SoapValue::Null,
+            "boolean" => SoapValue::Bool(el.text == "true"),
+            "long" => SoapValue::Int(
+                el.text
+                    .parse()
+                    .map_err(|_| WsError::Malformed(format!("bad long {:?}", el.text)))?,
+            ),
+            "double" => SoapValue::Double(parse_double(&el.text)?),
+            "string" => SoapValue::Text(el.text.clone()),
+            "base64Binary" => SoapValue::Bytes(hex_decode(&el.text)?),
+            "list" => SoapValue::List(
+                el.children
+                    .iter()
+                    .map(SoapValue::from_element)
+                    .collect::<Result<_>>()?,
+            ),
+            other => return Err(WsError::Malformed(format!("unknown xsi:type {other:?}"))),
+        })
+    }
+
+    /// Approximate wire size in bytes (used by the transport cost model
+    /// so large datasets cost proportionally more to ship).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SoapValue::Null => 8,
+            SoapValue::Bool(_) => 12,
+            SoapValue::Int(_) | SoapValue::Double(_) => 24,
+            SoapValue::Text(s) => 32 + s.len(),
+            SoapValue::Bytes(b) => 32 + b.len() * 4 / 3, // base64 inflation
+            SoapValue::List(l) => 32 + l.iter().map(SoapValue::wire_size).sum::<usize>(),
+        }
+    }
+}
+
+fn format_double(d: f64) -> String {
+    if d.is_nan() {
+        "NaN".to_string()
+    } else if d == f64::INFINITY {
+        "INF".to_string()
+    } else if d == f64::NEG_INFINITY {
+        "-INF".to_string()
+    } else {
+        format!("{d:?}")
+    }
+}
+
+fn parse_double(s: &str) -> Result<f64> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "INF" => Ok(f64::INFINITY),
+        "-INF" => Ok(f64::NEG_INFINITY),
+        other => other
+            .parse()
+            .map_err(|_| WsError::Malformed(format!("bad double {other:?}"))),
+    }
+}
+
+fn hex_encode(b: &[u8]) -> String {
+    let mut s = String::with_capacity(b.len() * 2);
+    for byte in b {
+        s.push_str(&format!("{byte:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return Err(WsError::Malformed("odd-length hex payload".into()));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| WsError::Malformed(format!("bad hex at {i}")))
+        })
+        .collect()
+}
+
+/// A SOAP request: target service, operation, and named arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoapCall {
+    /// Target service name.
+    pub service: String,
+    /// Operation name.
+    pub operation: String,
+    /// Named arguments in call order.
+    pub args: Vec<(String, SoapValue)>,
+}
+
+impl SoapCall {
+    /// Create a call.
+    pub fn new<S: Into<String>, O: Into<String>>(service: S, operation: O) -> SoapCall {
+        SoapCall { service: service.into(), operation: operation.into(), args: Vec::new() }
+    }
+
+    /// Builder: append an argument.
+    pub fn arg<N: Into<String>>(mut self, name: N, value: SoapValue) -> SoapCall {
+        self.args.push((name.into(), value));
+        self
+    }
+
+    /// Argument lookup by name.
+    pub fn get(&self, name: &str) -> Result<&SoapValue> {
+        self.args
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| WsError::Malformed(format!("missing argument {name:?}")))
+    }
+
+    /// Encode as a SOAP envelope.
+    pub fn to_envelope(&self) -> String {
+        XmlElement::new("soap:Envelope")
+            .attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/")
+            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
+            .child(
+                XmlElement::new("soap:Body").child(
+                    self.args
+                        .iter()
+                        .fold(
+                            XmlElement::new(format!("ns:{}", self.operation))
+                                .attr("xmlns:ns", format!("urn:{}", self.service)),
+                            |acc, (name, value)| acc.child(value.to_element(name)),
+                        ),
+                ),
+            )
+            .to_xml()
+    }
+
+    /// Decode a request envelope.
+    pub fn from_envelope(xml: &str) -> Result<SoapCall> {
+        let doc = parse(xml)?;
+        let body = doc
+            .find("Body")
+            .ok_or_else(|| WsError::Malformed("no soap:Body".into()))?;
+        let op = body
+            .children
+            .first()
+            .ok_or_else(|| WsError::Malformed("empty soap:Body".into()))?;
+        let service = op
+            .attributes
+            .iter()
+            .find(|(k, _)| k.starts_with("xmlns"))
+            .and_then(|(_, v)| v.strip_prefix("urn:"))
+            .unwrap_or("")
+            .to_string();
+        let operation = crate::xml::local_name(&op.name).to_string();
+        let args = op
+            .children
+            .iter()
+            .map(|c| Ok((c.name.clone(), SoapValue::from_element(c)?)))
+            .collect::<Result<_>>()?;
+        Ok(SoapCall { service, operation, args })
+    }
+}
+
+/// A SOAP response: a result value or a fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoapResponse {
+    /// Successful invocation result.
+    Value(SoapValue),
+    /// SOAP fault.
+    Fault {
+        /// Fault code.
+        code: String,
+        /// Fault string.
+        message: String,
+    },
+}
+
+impl SoapResponse {
+    /// Encode as a response envelope.
+    pub fn to_envelope(&self, operation: &str) -> String {
+        let body = match self {
+            SoapResponse::Value(v) => XmlElement::new(format!("{operation}Response"))
+                .child(v.to_element("return")),
+            SoapResponse::Fault { code, message } => XmlElement::new("soap:Fault")
+                .child(XmlElement::new("faultcode").with_text(code.clone()))
+                .child(XmlElement::new("faultstring").with_text(message.clone())),
+        };
+        XmlElement::new("soap:Envelope")
+            .attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/")
+            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
+            .child(XmlElement::new("soap:Body").child(body))
+            .to_xml()
+    }
+
+    /// Decode a response envelope.
+    pub fn from_envelope(xml: &str) -> Result<SoapResponse> {
+        let doc = parse(xml)?;
+        let body = doc
+            .find("Body")
+            .ok_or_else(|| WsError::Malformed("no soap:Body".into()))?;
+        if let Some(fault) = body.find("Fault") {
+            let code = fault.find("faultcode").map(|e| e.text.clone()).unwrap_or_default();
+            let message =
+                fault.find("faultstring").map(|e| e.text.clone()).unwrap_or_default();
+            return Ok(SoapResponse::Fault { code, message });
+        }
+        let resp = body
+            .children
+            .first()
+            .ok_or_else(|| WsError::Malformed("empty response body".into()))?;
+        let ret = resp
+            .find("return")
+            .ok_or_else(|| WsError::Malformed("no return element".into()))?;
+        Ok(SoapResponse::Value(SoapValue::from_element(ret)?))
+    }
+
+    /// Convert into a plain result.
+    pub fn into_result(self) -> Result<SoapValue> {
+        match self {
+            SoapResponse::Value(v) => Ok(v),
+            SoapResponse::Fault { code, message } => Err(WsError::Fault { code, message }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_envelope_roundtrip() {
+        let call = SoapCall::new("Classifier", "classifyInstance")
+            .arg("classifier", SoapValue::Text("J48".into()))
+            .arg("options", SoapValue::Text("-C 0.25 -M 2".into()))
+            .arg("dataset", SoapValue::Bytes(vec![1, 2, 3, 250]))
+            .arg("attribute", SoapValue::Text("Class".into()));
+        let xml = call.to_envelope();
+        assert!(xml.contains("soap:Envelope"));
+        let back = SoapCall::from_envelope(&xml).unwrap();
+        assert_eq!(back, call);
+    }
+
+    #[test]
+    fn value_types_roundtrip() {
+        let values = vec![
+            SoapValue::Null,
+            SoapValue::Bool(true),
+            SoapValue::Int(-42),
+            SoapValue::Double(0.25),
+            SoapValue::Double(f64::NAN),
+            SoapValue::Text("hello <world> & 'friends'".into()),
+            SoapValue::Bytes((0..=255).collect()),
+            SoapValue::List(vec![SoapValue::Int(1), SoapValue::Text("two".into())]),
+        ];
+        for v in values {
+            let call = SoapCall::new("S", "op").arg("x", v.clone());
+            let back = SoapCall::from_envelope(&call.to_envelope()).unwrap();
+            let got = back.get("x").unwrap();
+            match (&v, got) {
+                (SoapValue::Double(a), SoapValue::Double(b)) if a.is_nan() => {
+                    assert!(b.is_nan())
+                }
+                _ => assert_eq!(got, &v),
+            }
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = SoapResponse::Value(SoapValue::Text("tree text".into()));
+        let xml = r.to_envelope("classify");
+        assert!(xml.contains("classifyResponse"));
+        assert_eq!(SoapResponse::from_envelope(&xml).unwrap(), r);
+    }
+
+    #[test]
+    fn fault_roundtrip_and_into_result() {
+        let f = SoapResponse::Fault { code: "Server".into(), message: "boom".into() };
+        let xml = f.to_envelope("classify");
+        let back = SoapResponse::from_envelope(&xml).unwrap();
+        assert!(matches!(
+            back.into_result(),
+            Err(WsError::Fault { code, .. }) if code == "Server"
+        ));
+    }
+
+    #[test]
+    fn missing_argument_reported() {
+        let call = SoapCall::new("S", "op");
+        assert!(call.get("nope").is_err());
+    }
+
+    #[test]
+    fn accessor_type_mismatch() {
+        let v = SoapValue::Int(3);
+        assert!(v.as_text().is_err());
+        assert_eq!(v.as_double().unwrap(), 3.0);
+        assert!(SoapValue::Text("x".into()).as_bytes().is_err());
+    }
+
+    #[test]
+    fn hex_codec() {
+        assert_eq!(hex_encode(&[0, 255, 16]), "00ff10");
+        assert_eq!(hex_decode("00ff10").unwrap(), vec![0, 255, 16]);
+        assert!(hex_decode("0f0").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let small = SoapValue::Bytes(vec![0; 100]).wire_size();
+        let large = SoapValue::Bytes(vec![0; 10_000]).wire_size();
+        assert!(large > small * 50);
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        assert!(SoapCall::from_envelope("<a/>").is_err());
+        assert!(SoapResponse::from_envelope("<soap:Envelope><soap:Body/></soap:Envelope>").is_err());
+    }
+}

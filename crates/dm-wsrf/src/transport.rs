@@ -1,0 +1,397 @@
+//! The simulated network.
+//!
+//! The paper's services ran over HTTP on a 1 Gb/s LAN (§5.1). This
+//! module provides the equivalent substrate: named hosts, each with a
+//! service container; invocation serialises the call to envelope XML,
+//! charges a latency + bandwidth cost against a **virtual clock**,
+//! dispatches, and charges the response the same way. A fault plan
+//! injects transport failures for the fault-tolerance experiment (E9).
+//!
+//! Virtual time (not `thread::sleep`) keeps the benchmarks fast and
+//! deterministic while preserving the *shape* of network costs: a
+//! 2 MB ARFF dataset genuinely costs ~16 ms of virtual time at 1 Gb/s
+//! while a 200-byte control message costs ~the base latency.
+
+use crate::container::ServiceContainer;
+use crate::error::{Result, WsError};
+use crate::soap::{SoapCall, SoapResponse, SoapValue};
+use crate::wsdl::WsdlDocument;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Link cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// One-way base latency per message.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl Default for NetworkConfig {
+    /// The paper's testbed: 1 Gb/s LAN, sub-millisecond latency.
+    fn default() -> Self {
+        NetworkConfig {
+            latency: Duration::from_micros(500),
+            bandwidth_bytes_per_sec: 125_000_000.0, // 1 Gb/s
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Virtual transmission time of a message of `bytes`.
+    pub fn transmit_time(&self, bytes: usize) -> Duration {
+        let transfer = bytes as f64 / self.bandwidth_bytes_per_sec;
+        self.latency + Duration::from_secs_f64(transfer)
+    }
+}
+
+/// Failure-injection plan for E9: per-host probability of a transport
+/// failure on each message, with a seeded RNG for determinism.
+#[derive(Debug)]
+struct FaultPlan {
+    probability: HashMap<String, f64>,
+    rng: StdRng,
+    /// Hosts currently marked down (fail every message).
+    down: Vec<String>,
+}
+
+/// The simulated network: hosts, cost model, virtual clock, fault plan.
+pub struct Network {
+    config: NetworkConfig,
+    hosts: RwLock<HashMap<String, Arc<ServiceContainer>>>,
+    virtual_nanos: AtomicU64,
+    faults: Mutex<FaultPlan>,
+}
+
+impl Network {
+    /// Create a network with the default (1 Gb/s) cost model.
+    pub fn new() -> Network {
+        Network::with_config(NetworkConfig::default())
+    }
+
+    /// Create with an explicit cost model.
+    pub fn with_config(config: NetworkConfig) -> Network {
+        Network {
+            config,
+            hosts: RwLock::new(HashMap::new()),
+            virtual_nanos: AtomicU64::new(0),
+            faults: Mutex::new(FaultPlan {
+                probability: HashMap::new(),
+                rng: StdRng::seed_from_u64(0xFAE),
+                down: Vec::new(),
+            }),
+        }
+    }
+
+    /// The cost model in force.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Add (or fetch) a host and its container.
+    pub fn add_host(&self, name: &str) -> Arc<ServiceContainer> {
+        let mut hosts = self.hosts.write();
+        Arc::clone(
+            hosts
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(ServiceContainer::new(name))),
+        )
+    }
+
+    /// Look up an existing host.
+    pub fn host(&self, name: &str) -> Result<Arc<ServiceContainer>> {
+        self.hosts
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| WsError::UnknownHost(name.to_string()))
+    }
+
+    /// All host names, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.hosts.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Accumulated virtual network time.
+    pub fn virtual_time(&self) -> Duration {
+        Duration::from_nanos(self.virtual_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Reset the virtual clock (between benchmark runs).
+    pub fn reset_virtual_time(&self) {
+        self.virtual_nanos.store(0, Ordering::Relaxed);
+    }
+
+    fn charge(&self, bytes: usize) -> Duration {
+        let cost = self.config.transmit_time(bytes);
+        self.virtual_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        cost
+    }
+
+    /// Set a host's per-message failure probability (0 clears).
+    pub fn set_failure_probability(&self, host: &str, p: f64) {
+        let mut plan = self.faults.lock();
+        if p <= 0.0 {
+            plan.probability.remove(host);
+        } else {
+            plan.probability.insert(host.to_string(), p.min(1.0));
+        }
+    }
+
+    /// Reseed the fault RNG (determinism between runs).
+    pub fn reseed_faults(&self, seed: u64) {
+        self.faults.lock().rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Mark a host down (all messages fail) or back up.
+    pub fn set_host_down(&self, host: &str, down: bool) {
+        let mut plan = self.faults.lock();
+        if down {
+            if !plan.down.iter().any(|h| h == host) {
+                plan.down.push(host.to_string());
+            }
+        } else {
+            plan.down.retain(|h| h != host);
+        }
+    }
+
+    fn check_fault(&self, host: &str) -> Result<()> {
+        let mut plan = self.faults.lock();
+        if plan.down.iter().any(|h| h == host) {
+            return Err(WsError::Transport(format!("host {host} is down")));
+        }
+        if let Some(&p) = plan.probability.get(host) {
+            if plan.rng.random_bool(p) {
+                return Err(WsError::Transport(format!(
+                    "connection to {host} reset (injected fault)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Invoke `service.operation(args)` on `host` over the full wire
+    /// path: envelope encode → transmit → dispatch → transmit → decode.
+    pub fn invoke(
+        &self,
+        host: &str,
+        service: &str,
+        operation: &str,
+        args: Vec<(String, SoapValue)>,
+    ) -> Result<SoapValue> {
+        let container = self.host(host)?;
+        self.check_fault(host)?;
+        let call = SoapCall {
+            service: service.to_string(),
+            operation: operation.to_string(),
+            args,
+        };
+        let request_xml = call.to_envelope();
+        self.charge(request_xml.len());
+        let response_xml = container.dispatch_envelope(&request_xml);
+        self.check_fault(host)?;
+        self.charge(response_xml.len());
+        SoapResponse::from_envelope(&response_xml)?.into_result()
+    }
+
+    /// Fetch a deployed service's WSDL from a host (what a `?wsdl` HTTP
+    /// request did on the paper's testbed), charging transport.
+    pub fn fetch_wsdl(&self, host: &str, service: &str) -> Result<WsdlDocument> {
+        let container = self.host(host)?;
+        self.check_fault(host)?;
+        let wsdl = container.wsdl_of(service)?;
+        self.charge(wsdl.to_xml().len());
+        Ok(wsdl)
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::test_support::EchoService;
+
+    fn network_with_echo() -> Network {
+        let net = Network::new();
+        let host = net.add_host("host-a");
+        host.deploy(Arc::new(EchoService));
+        net
+    }
+
+    #[test]
+    fn invoke_over_the_wire() {
+        let net = network_with_echo();
+        let result = net
+            .invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Text("hello".into()))],
+            )
+            .unwrap();
+        assert_eq!(result, SoapValue::Text("hello".into()));
+    }
+
+    #[test]
+    fn virtual_clock_advances_with_payload() {
+        let net = network_with_echo();
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Text("x".into()))],
+        )
+        .unwrap();
+        let small = net.virtual_time();
+        assert!(small >= Duration::from_micros(1000), "two messages, two latencies");
+
+        net.reset_virtual_time();
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Text("y".repeat(10_000_000)))],
+        )
+        .unwrap();
+        let big = net.virtual_time();
+        // 20 MB round trip at 1 Gb/s ≈ 160 ms ≫ the small call.
+        assert!(big > small * 10, "big {big:?} vs small {small:?}");
+    }
+
+    #[test]
+    fn transmit_time_formula() {
+        let cfg = NetworkConfig::default();
+        let t = cfg.transmit_time(125_000_000); // 1 second of data
+        assert!(t >= Duration::from_secs(1));
+        assert!(t < Duration::from_millis(1002));
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let net = network_with_echo();
+        assert!(matches!(
+            net.invoke("nowhere", "Echo", "echo", vec![]),
+            Err(WsError::UnknownHost(_))
+        ));
+    }
+
+    #[test]
+    fn faults_surface_as_soap_faults() {
+        let net = network_with_echo();
+        let err = net.invoke("host-a", "Echo", "fail", vec![]).unwrap_err();
+        assert!(matches!(err, WsError::Fault { code, .. } if code == "Server"));
+        let err2 = net.invoke("host-a", "Nope", "x", vec![]).unwrap_err();
+        assert!(matches!(err2, WsError::Fault { code, .. } if code == "Client"));
+    }
+
+    #[test]
+    fn host_down_fails_transport() {
+        let net = network_with_echo();
+        net.set_host_down("host-a", true);
+        assert!(matches!(
+            net.invoke("host-a", "Echo", "echo", vec![]),
+            Err(WsError::Transport(_))
+        ));
+        net.set_host_down("host-a", false);
+        assert!(net
+            .invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Null)]
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn probabilistic_faults_fire_roughly_at_rate() {
+        let net = network_with_echo();
+        net.set_failure_probability("host-a", 0.5);
+        net.reseed_faults(42);
+        let mut failures = 0;
+        for _ in 0..200 {
+            if net
+                .invoke(
+                    "host-a",
+                    "Echo",
+                    "echo",
+                    vec![("message".into(), SoapValue::Null)],
+                )
+                .is_err()
+            {
+                failures += 1;
+            }
+        }
+        assert!((60..=180).contains(&failures), "failures {failures}");
+        net.set_failure_probability("host-a", 0.0);
+        assert!(net
+            .invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Null)]
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn wsdl_fetch_charges_transport() {
+        let net = network_with_echo();
+        net.reset_virtual_time();
+        let wsdl = net.fetch_wsdl("host-a", "Echo").unwrap();
+        assert_eq!(wsdl.service, "Echo");
+        assert!(net.virtual_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_invocations_are_safe_and_complete() {
+        // The container and network are shared across workflow worker
+        // threads; hammer one service from eight threads.
+        let net = std::sync::Arc::new(network_with_echo());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let net = std::sync::Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let msg = format!("t{t}-{i}");
+                    let out = net
+                        .invoke(
+                            "host-a",
+                            "Echo",
+                            "echo",
+                            vec![("message".into(), SoapValue::Text(msg.clone()))],
+                        )
+                        .unwrap();
+                    assert_eq!(out, SoapValue::Text(msg));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(net.host("host-a").unwrap().monitor().len(), 400);
+    }
+
+    #[test]
+    fn add_host_is_idempotent() {
+        let net = Network::new();
+        let a = net.add_host("h");
+        let b = net.add_host("h");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(net.hosts(), vec!["h".to_string()]);
+    }
+}

@@ -1,0 +1,293 @@
+//! WSDL-style service descriptions.
+//!
+//! "A Web Service is imported to the workspace by providing its WSDL
+//! interface. Once the interface is provided Triana creates a tool for
+//! each operation provided by the service" (§4). This module models the
+//! parts of WSDL 1.1 that behaviour needs: a service name, an endpoint
+//! address, and a port type listing operations with named, typed input
+//! parts and one output part — with XML rendering and parsing so the
+//! import path exercises a real document.
+
+use crate::error::{Result, WsError};
+use crate::xml::{parse, XmlElement};
+
+/// A message part: name and XSD-ish type (`string`, `long`, `double`,
+/// `boolean`, `base64Binary`, `list`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// Part name, e.g. `dataset`.
+    pub name: String,
+    /// Type name, e.g. `string`.
+    pub type_name: String,
+}
+
+impl Part {
+    /// Create a part.
+    pub fn new<N: Into<String>, T: Into<String>>(name: N, type_name: T) -> Part {
+        Part { name: name.into(), type_name: type_name.into() }
+    }
+}
+
+/// One operation of a port type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name, e.g. `classifyInstance`.
+    pub name: String,
+    /// Input parts in call order.
+    pub inputs: Vec<Part>,
+    /// Output part.
+    pub output: Part,
+    /// One-line human documentation.
+    pub documentation: String,
+}
+
+impl Operation {
+    /// Create an operation.
+    pub fn new<N: Into<String>>(name: N, inputs: Vec<Part>, output: Part) -> Operation {
+        Operation { name: name.into(), inputs, output, documentation: String::new() }
+    }
+
+    /// Builder: attach documentation.
+    pub fn doc<D: Into<String>>(mut self, d: D) -> Operation {
+        self.documentation = d.into();
+        self
+    }
+}
+
+/// A WSDL document: service name, endpoint, and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsdlDocument {
+    /// Service name, e.g. `ClassifierService`.
+    pub service: String,
+    /// Endpoint address, e.g. `http://host-a:8080/axis/Classifier`.
+    pub endpoint: String,
+    /// Operations of the (single) port type.
+    pub operations: Vec<Operation>,
+}
+
+impl WsdlDocument {
+    /// Create a document.
+    pub fn new<S: Into<String>, E: Into<String>>(service: S, endpoint: E) -> WsdlDocument {
+        WsdlDocument { service: service.into(), endpoint: endpoint.into(), operations: Vec::new() }
+    }
+
+    /// Builder: add an operation.
+    pub fn operation(mut self, op: Operation) -> WsdlDocument {
+        self.operations.push(op);
+        self
+    }
+
+    /// Operation lookup by name.
+    pub fn find_operation(&self, name: &str) -> Result<&Operation> {
+        self.operations.iter().find(|o| o.name == name).ok_or_else(|| {
+            WsError::UnknownOperation { service: self.service.clone(), operation: name.into() }
+        })
+    }
+
+    /// Render as a WSDL 1.1-flavoured XML document.
+    pub fn to_xml(&self) -> String {
+        let mut port_type = XmlElement::new("wsdl:portType").attr("name", format!("{}PortType", self.service));
+        let mut messages: Vec<XmlElement> = Vec::new();
+        for op in &self.operations {
+            let in_msg = format!("{}Request", op.name);
+            let out_msg = format!("{}Response", op.name);
+            let mut input = XmlElement::new("wsdl:message").attr("name", in_msg.clone());
+            for p in &op.inputs {
+                input = input.child(
+                    XmlElement::new("wsdl:part")
+                        .attr("name", p.name.clone())
+                        .attr("type", format!("xsd:{}", p.type_name)),
+                );
+            }
+            messages.push(input);
+            messages.push(
+                XmlElement::new("wsdl:message").attr("name", out_msg.clone()).child(
+                    XmlElement::new("wsdl:part")
+                        .attr("name", op.output.name.clone())
+                        .attr("type", format!("xsd:{}", op.output.type_name)),
+                ),
+            );
+            let mut op_el = XmlElement::new("wsdl:operation").attr("name", op.name.clone());
+            if !op.documentation.is_empty() {
+                op_el = op_el
+                    .child(XmlElement::new("wsdl:documentation").with_text(op.documentation.clone()));
+            }
+            op_el = op_el
+                .child(XmlElement::new("wsdl:input").attr("message", in_msg))
+                .child(XmlElement::new("wsdl:output").attr("message", out_msg));
+            port_type = port_type.child(op_el);
+        }
+
+        let mut doc = XmlElement::new("wsdl:definitions")
+            .attr("name", self.service.clone())
+            .attr("targetNamespace", format!("urn:{}", self.service))
+            .attr("xmlns:wsdl", "http://schemas.xmlsoap.org/wsdl/")
+            .attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+        for m in messages {
+            doc = doc.child(m);
+        }
+        doc = doc.child(port_type);
+        doc = doc.child(
+            XmlElement::new("wsdl:service").attr("name", self.service.clone()).child(
+                XmlElement::new("wsdl:port")
+                    .attr("name", format!("{}Port", self.service))
+                    .child(XmlElement::new("soap:address").attr("location", self.endpoint.clone())),
+            ),
+        );
+        doc.to_pretty_xml()
+    }
+
+    /// Parse a document produced by [`WsdlDocument::to_xml`].
+    pub fn from_xml(xml: &str) -> Result<WsdlDocument> {
+        let doc = parse(xml)?;
+        let service_el = doc
+            .find("service")
+            .ok_or_else(|| WsError::Malformed("no wsdl:service".into()))?;
+        let service = service_el
+            .attribute("name")
+            .ok_or_else(|| WsError::Malformed("service has no name".into()))?
+            .to_string();
+        let endpoint = service_el
+            .find("port")
+            .and_then(|p| p.find("address"))
+            .and_then(|a| a.attribute("location"))
+            .unwrap_or("")
+            .to_string();
+
+        // Index messages.
+        let mut messages: Vec<(String, Vec<Part>)> = Vec::new();
+        for m in doc.find_all("message") {
+            let name = m.attribute("name").unwrap_or("").to_string();
+            let parts = m
+                .find_all("part")
+                .map(|p| {
+                    Part::new(
+                        p.attribute("name").unwrap_or(""),
+                        p.attribute("type").unwrap_or("xsd:string").trim_start_matches("xsd:"),
+                    )
+                })
+                .collect();
+            messages.push((name, parts));
+        }
+        let lookup = |name: &str| -> Vec<Part> {
+            messages
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| p.clone())
+                .unwrap_or_default()
+        };
+
+        let port_type = doc
+            .find("portType")
+            .ok_or_else(|| WsError::Malformed("no wsdl:portType".into()))?;
+        let operations = port_type
+            .find_all("operation")
+            .map(|op_el| -> Result<Operation> {
+                let name = op_el
+                    .attribute("name")
+                    .ok_or_else(|| WsError::Malformed("operation has no name".into()))?
+                    .to_string();
+                let in_msg = op_el
+                    .find("input")
+                    .and_then(|i| i.attribute("message"))
+                    .unwrap_or("")
+                    .to_string();
+                let out_msg = op_el
+                    .find("output")
+                    .and_then(|o| o.attribute("message"))
+                    .unwrap_or("")
+                    .to_string();
+                let inputs = lookup(&in_msg);
+                let output = lookup(&out_msg)
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| Part::new("return", "string"));
+                let documentation = op_el
+                    .find("documentation")
+                    .map(|d| d.text.clone())
+                    .unwrap_or_default();
+                Ok(Operation { name, inputs, output, documentation })
+            })
+            .collect::<Result<_>>()?;
+
+        Ok(WsdlDocument { service, endpoint, operations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classifier_wsdl() -> WsdlDocument {
+        WsdlDocument::new("Classifier", "http://host-a:8080/axis/Classifier")
+            .operation(
+                Operation::new("getClassifiers", vec![], Part::new("classifiers", "list"))
+                    .doc("list the classifiers known to the service"),
+            )
+            .operation(Operation::new(
+                "getOptions",
+                vec![Part::new("classifier", "string")],
+                Part::new("options", "list"),
+            ))
+            .operation(Operation::new(
+                "classifyInstance",
+                vec![
+                    Part::new("dataset", "string"),
+                    Part::new("classifier", "string"),
+                    Part::new("options", "string"),
+                    Part::new("attribute", "string"),
+                ],
+                Part::new("model", "string"),
+            ))
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let doc = classifier_wsdl();
+        let xml = doc.to_xml();
+        assert!(xml.contains("wsdl:definitions"));
+        assert!(xml.contains("classifyInstance"));
+        let back = WsdlDocument::from_xml(&xml).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn operation_lookup() {
+        let doc = classifier_wsdl();
+        assert!(doc.find_operation("getOptions").is_ok());
+        assert!(matches!(
+            doc.find_operation("bogus"),
+            Err(WsError::UnknownOperation { .. })
+        ));
+    }
+
+    #[test]
+    fn four_inputs_of_classify_instance() {
+        // §4.1: "The classify operation has 4 inputs: classifier name,
+        // options, data set in ARFF format and attribute name".
+        let doc = classifier_wsdl();
+        let op = doc.find_operation("classifyInstance").unwrap();
+        assert_eq!(op.inputs.len(), 4);
+    }
+
+    #[test]
+    fn documentation_roundtrips() {
+        let doc = classifier_wsdl();
+        let back = WsdlDocument::from_xml(&doc.to_xml()).unwrap();
+        assert_eq!(
+            back.find_operation("getClassifiers").unwrap().documentation,
+            "list the classifiers known to the service"
+        );
+    }
+
+    #[test]
+    fn endpoint_preserved() {
+        let back = WsdlDocument::from_xml(&classifier_wsdl().to_xml()).unwrap();
+        assert_eq!(back.endpoint, "http://host-a:8080/axis/Classifier");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(WsdlDocument::from_xml("<x/>").is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! A minimal XML element tree with a writer and a non-validating
+//! parser — enough for SOAP envelopes, WSDL documents, and the workflow
+//! engine's taskgraph/DAX exports. Supports elements, attributes,
+//! character data with the five standard entities, comments, processing
+//! instructions (skipped), CDATA, and self-closing tags. No DTDs, no
+//! namespace resolution (prefixes travel as part of the name).
+
+use crate::error::{Result, WsError};
+
+/// An XML element: name, attributes, child elements, and text content.
+///
+/// Mixed content is simplified: all character data of an element is
+/// concatenated into `text`, which is sufficient for the documents this
+/// toolkit exchanges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    /// Tag name (possibly prefixed, e.g. `soap:Envelope`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+    /// Concatenated character data.
+    pub text: String,
+}
+
+impl XmlElement {
+    /// Create an element with no attributes or children.
+    pub fn new<N: Into<String>>(name: N) -> XmlElement {
+        XmlElement { name: name.into(), ..XmlElement::default() }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr<K: Into<String>, V: Into<String>>(mut self, key: K, value: V) -> XmlElement {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn child(mut self, child: XmlElement) -> XmlElement {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder: set text content.
+    pub fn with_text<T: Into<String>>(mut self, text: T) -> XmlElement {
+        self.text = text.into();
+        self
+    }
+
+    /// Attribute lookup.
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// First child with the given name (ignoring any namespace prefix).
+    pub fn find(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| local_name(&c.name) == name)
+    }
+
+    /// All children with the given name (ignoring prefixes).
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.children.iter().filter(move |c| local_name(&c.name) == name)
+    }
+
+    /// Serialise to a compact XML string (no declaration).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Serialise with two-space indentation and a trailing newline.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        if pretty && depth > 0 {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth));
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push_str(&format!(" {k}=\"{}\"", escape(v)));
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        out.push_str(&escape(&self.text));
+        for c in &self.children {
+            c.write(out, depth + 1, pretty);
+        }
+        if pretty && !self.children.is_empty() {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth));
+        }
+        out.push_str(&format!("</{}>", self.name));
+    }
+}
+
+/// Strip a namespace prefix: `soap:Body` → `Body`.
+pub fn local_name(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+/// Escape the five standard XML entities.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Parse a document into its root element.
+pub fn parse(input: &str) -> Result<XmlElement> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_prolog();
+    let root = p.element()?;
+    p.skip_misc();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> WsError {
+        WsError::Xml { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_misc();
+    }
+
+    /// Skip whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                if let Some(end) = find(self.bytes, self.pos, b"?>") {
+                    self.pos = end + 2;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<!--") {
+                if let Some(end) = find(self.bytes, self.pos, b"-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            break;
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<XmlElement> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = XmlElement::new(name.clone());
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| self.err("unterminated attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    el.attributes.push((key, unescape(&raw)));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return Err(self.err("mismatched closing tag"));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                // Trim only mixed-content elements: there the character
+                // data is pretty-printing indentation. Childless
+                // elements carry values whose whitespace is significant.
+                if !el.children.is_empty() {
+                    el.text = el.text.trim().to_string();
+                }
+                return Ok(el);
+            }
+            if self.starts_with("<!--") {
+                let end = find(self.bytes, self.pos, b"-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.pos = end + 3;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                let end = find(self.bytes, start, b"]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA"))?;
+                el.text
+                    .push_str(&String::from_utf8_lossy(&self.bytes[start..end]));
+                self.pos = end + 3;
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    el.children.push(self.element()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                    el.text.push_str(&unescape(&raw));
+                }
+                None => return Err(self.err("unterminated element content")),
+            }
+        }
+    }
+}
+
+fn find(bytes: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    bytes[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Resolve the five standard entities (unknown entities pass through).
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let entity_end = rest.find(';');
+        match entity_end {
+            Some(end) if end <= 6 => {
+                match &rest[..=end] {
+                    "&amp;" => out.push('&'),
+                    "&lt;" => out.push('<'),
+                    "&gt;" => out.push('>'),
+                    "&quot;" => out.push('"'),
+                    "&apos;" => out.push('\''),
+                    other => out.push_str(other),
+                }
+                rest = &rest[end + 1..];
+            }
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_tree() {
+        let doc = XmlElement::new("root")
+            .attr("version", "1.0")
+            .child(XmlElement::new("child").with_text("hello & <world>"))
+            .child(XmlElement::new("empty"));
+        let xml = doc.to_xml();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parses_declaration_and_comments() {
+        let xml = "<?xml version=\"1.0\"?><!-- note --><a><!-- inner --><b/></a>";
+        let doc = parse(xml).unwrap();
+        assert_eq!(doc.name, "a");
+        assert_eq!(doc.children.len(), 1);
+    }
+
+    #[test]
+    fn attributes_unescaped() {
+        let doc = parse("<a title=\"x &amp; y\"/>").unwrap();
+        assert_eq!(doc.attribute("title"), Some("x & y"));
+    }
+
+    #[test]
+    fn cdata_preserved() {
+        let doc = parse("<a><![CDATA[1 < 2 && 3 > 2]]></a>").unwrap();
+        assert_eq!(doc.text, "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn namespace_prefixes_kept_but_findable() {
+        let doc = parse("<soap:Envelope><soap:Body>x</soap:Body></soap:Envelope>").unwrap();
+        assert_eq!(doc.name, "soap:Envelope");
+        assert!(doc.find("Body").is_some());
+        assert_eq!(local_name("soap:Body"), "Body");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<a attr=\"x>").is_err());
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(unescape("&copy; &amp;"), "&copy; &");
+        assert_eq!(unescape("lone & ampersand"), "lone & ampersand");
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let doc = XmlElement::new("a").child(XmlElement::new("b"));
+        let pretty = doc.to_pretty_xml();
+        assert!(pretty.contains("\n  <b/>"));
+        let parsed = parse(&pretty).unwrap();
+        assert_eq!(parsed.name, "a");
+    }
+
+    #[test]
+    fn quoted_attribute_variants() {
+        let doc = parse("<a x='single' y=\"double\"/>").unwrap();
+        assert_eq!(doc.attribute("x"), Some("single"));
+        assert_eq!(doc.attribute("y"), Some("double"));
+    }
+
+    #[test]
+    fn find_all_filters_by_local_name() {
+        let doc = parse("<r><w:item/><item/><other/></r>").unwrap();
+        assert_eq!(doc.find_all("item").count(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates the content of **Figure 2**: "The Components of the
+//! Data Mining Toolbox" — the workflow engine surrounded by the data
+//! management library, visualisation tools, the WEKA-derived algorithm
+//! pool, and the deployed third-party services.
+//!
+//! Run with `cargo run --example figure2_components`.
+
+use faehim::Toolkit;
+
+fn main() {
+    let toolkit = Toolkit::new().expect("toolkit provisioning");
+    print!("{}", toolkit.describe_components());
+
+    println!("\nUDDI inquiry demonstration (§4.6):");
+    for category in ["classifier", "clustering", "visualisation", "data-handling"] {
+        let hits = toolkit.registry().find_by_category(category);
+        let names: Vec<&str> = hits.iter().map(|e| e.name.as_str()).collect();
+        println!("  category {category:?} -> {names:?}");
+    }
+    let inquiry = toolkit.registry().find_by_name("Cl");
+    println!(
+        "  name inquiry \"Cl\" -> {:?}",
+        inquiry.iter().map(|e| e.name.as_str()).collect::<Vec<_>>()
+    );
+}

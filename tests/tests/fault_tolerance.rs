@@ -1,0 +1,94 @@
+//! E9 — fault tolerance: transport failures are retried and migrated
+//! to replica hosts so the workflow still completes (§3, category 2).
+
+use dm_workflow::engine::Executor;
+use dm_workflow::graph::{TaskGraph, Token, Tool};
+use faehim::Toolkit;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn classify_bindings(
+    task: dm_workflow::graph::TaskId,
+) -> HashMap<(dm_workflow::graph::TaskId, usize), Token> {
+    let mut bindings = HashMap::new();
+    bindings.insert((task, 0), Token::Text(dm_data::corpus::breast_cancer_arff()));
+    bindings.insert((task, 1), Token::Text("Class".into()));
+    bindings.insert((task, 2), Token::Text(String::new()));
+    bindings
+}
+
+#[test]
+fn dead_primary_migrates_to_replica() {
+    let toolkit = Toolkit::with_hosts(&["a", "b"]).unwrap();
+    let mut tools = toolkit.import_service("a", "J48").unwrap();
+    let classify = tools.remove(0);
+    assert_eq!(classify.hosts(), ["a".to_string(), "b".to_string()]);
+    toolkit.network().set_host_down("a", true);
+    let out = classify
+        .execute(&[
+            Token::Text(dm_data::corpus::breast_cancer_arff()),
+            Token::Text("Class".into()),
+            Token::Text(String::new()),
+        ])
+        .unwrap();
+    assert!(matches!(&out[0], Token::Text(t) if t.contains("node-caps")));
+}
+
+#[test]
+fn workflow_completes_under_probabilistic_faults() {
+    let toolkit = Toolkit::with_hosts(&["a", "b", "c"]).unwrap();
+    let net = toolkit.network();
+    // Import over a healthy network; inject faults afterwards (the
+    // WSDL fetch itself crosses the same links).
+    let mut tools = toolkit.import_service("a", "J48").unwrap();
+    let classify = tools.remove(0);
+    net.set_failure_probability("a", 0.6);
+    net.reseed_faults(1234);
+    let mut graph = TaskGraph::new();
+    let t = graph.add_task(Arc::new(classify));
+    let bindings = classify_bindings(t);
+    // Engine retries on top of host failover: enactment must succeed.
+    let report = Executor::serial()
+        .with_max_attempts(5)
+        .run(&graph, &bindings)
+        .unwrap();
+    assert!(report.output(t, 0).is_some());
+}
+
+#[test]
+fn all_hosts_down_fails_cleanly() {
+    let toolkit = Toolkit::with_hosts(&["a", "b"]).unwrap();
+    let net = toolkit.network();
+    let mut tools = toolkit.import_service("a", "J48").unwrap();
+    let classify = tools.remove(0);
+    net.set_host_down("a", true);
+    net.set_host_down("b", true);
+    let mut graph = TaskGraph::new();
+    let t = graph.add_task(Arc::new(classify));
+    let bindings = classify_bindings(t);
+    let err = Executor::serial().with_max_attempts(2).run(&graph, &bindings).unwrap_err();
+    assert!(matches!(err, dm_workflow::WorkflowError::TaskFailed { .. }));
+}
+
+#[test]
+fn injected_faults_do_not_corrupt_results() {
+    // With failover, the result must equal the failure-free run.
+    let clean_toolkit = Toolkit::with_hosts(&["x"]).unwrap();
+    let clean = clean_toolkit
+        .j48_client()
+        .classify(&dm_data::corpus::breast_cancer_arff(), "Class", "")
+        .unwrap();
+
+    let toolkit = Toolkit::with_hosts(&["a", "b"]).unwrap();
+    let mut tools = toolkit.import_service("a", "J48").unwrap();
+    let classify = tools.remove(0);
+    toolkit.network().set_host_down("a", true);
+    let out = classify
+        .execute(&[
+            Token::Text(dm_data::corpus::breast_cancer_arff()),
+            Token::Text("Class".into()),
+            Token::Text(String::new()),
+        ])
+        .unwrap();
+    assert_eq!(out[0], Token::Text(clean));
+}

@@ -1,0 +1,68 @@
+//! E6 — Figure 2's component inventory: the provisioned toolkit must
+//! contain the engine, the three local tool groups, the imported
+//! service tools, and the published registry.
+
+use faehim::Toolkit;
+
+#[test]
+fn figure2_components_present() {
+    let toolkit = Toolkit::new().unwrap();
+    let toolbox = toolkit.toolbox();
+
+    // Three local tool groups of §4.3 plus Common.
+    for folder in ["Common", "DataManipulation", "Processing", "Visualization"] {
+        assert!(
+            toolbox.folders().iter().any(|f| f == folder),
+            "folder {folder} missing"
+        );
+    }
+    // Imported Web Service tool folders.
+    let ws_folders: Vec<String> = toolbox
+        .folders()
+        .into_iter()
+        .filter(|f| f.starts_with("WebServices."))
+        .collect();
+    assert_eq!(ws_folders.len(), 13, "{ws_folders:?}");
+
+    // The registry holds the published suite.
+    assert_eq!(toolkit.registry().len(), 13);
+
+    // The description names the key components.
+    let text = toolkit.describe_components();
+    for needle in [
+        "Workflow engine",
+        "DataManipulation/",
+        "Visualization/",
+        "Classifier @",
+        "40 registered algorithms",
+    ] {
+        assert!(text.contains(needle), "{needle} missing from:\n{text}");
+    }
+}
+
+#[test]
+fn toolbox_tools_are_instantiable_in_graphs() {
+    let toolkit = Toolkit::new().unwrap();
+    let toolbox = toolkit.toolbox();
+    let mut graph = dm_workflow::graph::TaskGraph::new();
+    // Every registered tool can be placed as a task.
+    let mut placed = 0;
+    for folder in toolbox.folders() {
+        for tool_name in toolbox.tools_in(&folder) {
+            let tool = toolbox.find(&tool_name).unwrap();
+            graph.add_task(tool);
+            placed += 1;
+        }
+    }
+    assert_eq!(placed, toolbox.len());
+    assert!(placed > 25, "only {placed} tools");
+}
+
+#[test]
+fn registry_inquiry_paths() {
+    let toolkit = Toolkit::new().unwrap();
+    let reg = toolkit.registry();
+    assert_eq!(reg.find("Classifier").unwrap().host, toolkit.primary_host());
+    assert_eq!(reg.find_by_category("datamining").len(), 6);
+    assert!(reg.find("NoSuchService").is_err());
+}
