@@ -14,10 +14,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn star(
-    toolkit: &Toolkit,
-    width: usize,
-) -> (TaskGraph, HashMap<(usize, usize), Token>) {
+fn star(toolkit: &Toolkit, width: usize) -> (TaskGraph, HashMap<(usize, usize), Token>) {
     let mut graph = TaskGraph::new();
     let source = graph.add_task(Arc::new(faehim::tools::LocalDataset::breast_cancer()));
     let workers = patterns::widen_star(
@@ -49,19 +46,27 @@ fn star(
 }
 
 fn shape_table(toolkit: &Toolkit) {
-    banner("E10 / §2,§4", "parallel enactment of a widening star of CV jobs");
+    banner(
+        "E10 / §2,§4",
+        "parallel enactment of a widening star of CV jobs",
+    );
     println!(
         "available parallelism: {} core(s) — expected parallel speedup saturates here",
         std::thread::available_parallelism().map_or(1, |p| p.get())
     );
-    println!("{:>6} {:>14} {:>14} {:>9}", "width", "serial", "parallel", "speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "width", "serial", "parallel", "speedup"
+    );
     for &width in &[1usize, 2, 4, 8] {
         let (graph, bindings) = star(toolkit, width);
         let t0 = Instant::now();
         Executor::serial().run(&graph, &bindings).expect("serial");
         let serial = t0.elapsed();
         let t1 = Instant::now();
-        Executor::parallel().run(&graph, &bindings).expect("parallel");
+        Executor::parallel()
+            .run(&graph, &bindings)
+            .expect("parallel");
         let parallel = t1.elapsed();
         println!(
             "{width:>6} {serial:>14.3?} {parallel:>14.3?} {:>8.2}x",
@@ -77,14 +82,10 @@ fn bench(c: &mut Criterion) {
     for &width in &[2usize, 4, 8] {
         let (graph, bindings) = star(&toolkit, width);
         group.bench_with_input(BenchmarkId::new("serial", width), &width, |b, _| {
-            b.iter(|| {
-                black_box(Executor::serial().run(&graph, &bindings).expect("run"))
-            })
+            b.iter(|| black_box(Executor::serial().run(&graph, &bindings).expect("run")))
         });
         group.bench_with_input(BenchmarkId::new("parallel", width), &width, |b, _| {
-            b.iter(|| {
-                black_box(Executor::parallel().run(&graph, &bindings).expect("run"))
-            })
+            b.iter(|| black_box(Executor::parallel().run(&graph, &bindings).expect("run")))
         });
     }
     group.finish();

@@ -17,7 +17,12 @@ fn filled(n: usize) -> UddiRegistry {
             host: format!("host-{}", i % 16),
             wsdl_url: format!("http://host-{}/axis/Service{i:05}?wsdl", i % 16),
             categories: vec![
-                if i % 3 == 0 { "classifier" } else { "clustering" }.to_string(),
+                if i % 3 == 0 {
+                    "classifier"
+                } else {
+                    "clustering"
+                }
+                .to_string(),
                 "datamining".to_string(),
             ],
             description: String::new(),

@@ -22,7 +22,11 @@ fn bench(c: &mut Criterion) {
     let toolkit = faehim::Toolkit::new().expect("toolkit");
     let client = toolkit.convert_client();
     group.bench_function("via_web_service", |b| {
-        b.iter(|| client.summary(black_box(breast_cancer_arff())).expect("summary"))
+        b.iter(|| {
+            client
+                .summary(black_box(breast_cancer_arff()))
+                .expect("summary")
+        })
     });
     group.finish();
 }

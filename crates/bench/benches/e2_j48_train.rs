@@ -8,7 +8,10 @@ use dm_bench::banner;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    banner("E2 / Figure 4", "C4.5 decision tree (root must be node-caps)");
+    banner(
+        "E2 / Figure 4",
+        "C4.5 decision tree (root must be node-caps)",
+    );
     let ds = dm_data::corpus::breast_cancer();
     let mut j48 = J48::new();
     j48.train(&ds).expect("training");
@@ -26,13 +29,17 @@ fn bench(c: &mut Criterion) {
 
     for &rows in &[1_000usize, 5_000, 20_000] {
         let big = dm_data::corpus::nominal_classification(rows, 9, 4, 2, 0.15, 42);
-        group.bench_with_input(BenchmarkId::new("train_synthetic", rows), &big, |b, data| {
-            b.iter(|| {
-                let mut model = J48::new();
-                model.train(black_box(data)).expect("training");
-                model
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train_synthetic", rows),
+            &big,
+            |b, data| {
+                b.iter(|| {
+                    let mut model = J48::new();
+                    model.train(black_box(data)).expect("training");
+                    model
+                })
+            },
+        );
     }
 
     group.bench_function("render_tree_svg", |b| {

@@ -9,7 +9,10 @@ use faehim::Toolkit;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    banner("E3 / §5", "case-study workflow (URL reader → C4.5 → analyser → visualiser)");
+    banner(
+        "E3 / §5",
+        "case-study workflow (URL reader → C4.5 → analyser → visualiser)",
+    );
     let toolkit = Toolkit::new().expect("toolkit");
     let result = run_case_study_on(&toolkit).expect("case study");
     println!("per-stage costs of one enactment:");

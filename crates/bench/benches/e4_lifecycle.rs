@@ -26,7 +26,10 @@ use std::time::Instant;
 fn big_and_probe(rows: usize) -> (String, String) {
     let big = dm_data::corpus::nominal_classification(rows, 12, 4, 2, 0.25, 99);
     let probe = big.select_rows(&(0..10).collect::<Vec<_>>());
-    (dm_data::arff::write_arff(&big), dm_data::arff::write_arff(&probe))
+    (
+        dm_data::arff::write_arff(&big),
+        dm_data::arff::write_arff(&probe),
+    )
 }
 
 fn trained_service(policy: LifecyclePolicy, big_arff: &str) -> J48Service {
@@ -36,7 +39,10 @@ fn trained_service(policy: LifecyclePolicy, big_arff: &str) -> J48Service {
         &[
             ("dataset".to_string(), SoapValue::Text(big_arff.to_string())),
             ("attribute".to_string(), SoapValue::Text("class".into())),
-            ("options".to_string(), SoapValue::Text("-M 1 -U true".into())),
+            (
+                "options".to_string(),
+                SoapValue::Text("-M 1 -U true".into()),
+            ),
         ],
     )
     .expect("training");
@@ -45,7 +51,10 @@ fn trained_service(policy: LifecyclePolicy, big_arff: &str) -> J48Service {
 
 fn predict_args(probe_arff: &str) -> Vec<(String, SoapValue)> {
     vec![
-        ("dataset".to_string(), SoapValue::Text(probe_arff.to_string())),
+        (
+            "dataset".to_string(),
+            SoapValue::Text(probe_arff.to_string()),
+        ),
         ("attribute".to_string(), SoapValue::Text("class".into())),
     ]
 }
@@ -76,7 +85,10 @@ fn headline_table() {
         let per_call = trained_service(LifecyclePolicy::SerializePerCall, &big_arff);
         let harness = trained_service(LifecyclePolicy::InMemoryHarness, &big_arff);
         let args = predict_args(&probe_arff);
-        println!("{:>6} {:>22} {:>22} {:>8}", "calls", "serialize-per-call", "in-memory harness", "ratio");
+        println!(
+            "{:>6} {:>22} {:>22} {:>8}",
+            "calls", "serialize-per-call", "in-memory harness", "ratio"
+        );
         for &n in &[1usize, 4, 16, 64] {
             let t0 = Instant::now();
             for _ in 0..n {
@@ -96,8 +108,10 @@ fn headline_table() {
             );
         }
         let (ser, de, hits) = per_call.lifecycle_stats();
-        println!("per-call counters: {ser} serialisations, {de} restores (harness: 0/0, {hits_h} hits)",
-            hits_h = harness.lifecycle_stats().2);
+        println!(
+            "per-call counters: {ser} serialisations, {de} restores (harness: 0/0, {hits_h} hits)",
+            hits_h = harness.lifecycle_stats().2
+        );
         let _ = hits;
     }
 }
@@ -114,11 +128,9 @@ fn bench(c: &mut Criterion) {
     ] {
         let s = trained_service(policy, &big_arff);
         let args = predict_args(&probe_arff);
-        group.bench_with_input(
-            BenchmarkId::new("predict_big_model", label),
-            &s,
-            |b, s| b.iter(|| s.invoke("predict", black_box(&args)).expect("invoke")),
-        );
+        group.bench_with_input(BenchmarkId::new("predict_big_model", label), &s, |b, s| {
+            b.iter(|| s.invoke("predict", black_box(&args)).expect("invoke"))
+        });
     }
     // Train-per-call control: gap should be small.
     for (label, policy) in [

@@ -27,13 +27,13 @@ fn virtual_costs() {
         let ds = dataset(rows);
         for &chunk in &[16usize, 256] {
             let batches = chunk_dataset(&ds, chunk).expect("chunking");
-            let stream_total: Duration =
-                batches.iter().map(|b| cfg.transmit_time(b.byte_len())).sum();
+            let stream_total: Duration = batches
+                .iter()
+                .map(|b| cfg.transmit_time(b.byte_len()))
+                .sum();
             let first = cfg.transmit_time(batches[0].byte_len());
             let migrate = cfg.transmit_time(dm_data::arff::write_arff(&ds).len());
-            println!(
-                "{rows:>8} {chunk:>10} {stream_total:>16.3?} {first:>16.3?} {migrate:>18.3?}"
-            );
+            println!("{rows:>8} {chunk:>10} {stream_total:>16.3?} {first:>16.3?} {migrate:>18.3?}");
         }
     }
     println!("\n(shape: time-to-first-result under streaming ≈ one chunk; migration pays");

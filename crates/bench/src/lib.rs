@@ -17,7 +17,10 @@ pub fn breast_cancer_arff() -> &'static str {
 /// Standard argument vector for J48Service::classify.
 pub fn j48_classify_args() -> Vec<(String, SoapValue)> {
     vec![
-        ("dataset".to_string(), SoapValue::Text(breast_cancer_arff().to_string())),
+        (
+            "dataset".to_string(),
+            SoapValue::Text(breast_cancer_arff().to_string()),
+        ),
         ("attribute".to_string(), SoapValue::Text("Class".into())),
         ("options".to_string(), SoapValue::Text(String::new())),
     ]

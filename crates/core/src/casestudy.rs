@@ -14,7 +14,9 @@
 //! artifact (the Figure-3 summary, the Figure-4 tree text and SVG).
 
 use crate::toolkit::Toolkit;
-use crate::tools::{AttributeSelector, ClassifierSelector, OptionSelector, TreeAnalyser, TreeViewer};
+use crate::tools::{
+    AttributeSelector, ClassifierSelector, OptionSelector, TreeAnalyser, TreeViewer,
+};
 use dm_workflow::engine::{ExecutionReport, Executor};
 use dm_workflow::error::Result as WfResult;
 use dm_workflow::graph::{TaskGraph, TaskId, Token};
@@ -50,12 +52,16 @@ pub struct CaseStudyTasks {
     pub viewer: TaskId,
 }
 
+/// Input bindings keyed by `(task, input port)`, as consumed by the
+/// workflow executor.
+pub type CaseStudyBindings = HashMap<(TaskId, usize), Token>;
+
 /// Build the case-study workflow against a provisioned toolkit.
 /// Returns the graph, the task ids, and the input bindings required to
 /// run it.
 pub fn build_case_study(
     toolkit: &Toolkit,
-) -> WfResult<(TaskGraph, CaseStudyTasks, HashMap<(TaskId, usize), Token>)> {
+) -> WfResult<(TaskGraph, CaseStudyTasks, CaseStudyBindings)> {
     let toolbox = toolkit.toolbox();
     let mut g = TaskGraph::new();
 
@@ -170,7 +176,11 @@ mod tests {
     fn case_study_reproduces_paper_artifacts() {
         let result = run_case_study().unwrap();
         // Figure 4: node-caps at the root.
-        assert!(result.model_text.contains("node-caps"), "{}", result.model_text);
+        assert!(
+            result.model_text.contains("node-caps"),
+            "{}",
+            result.model_text
+        );
         assert!(result.analysis.contains("root attribute: node-caps"));
         assert!(result.tree_svg.starts_with("<svg"));
         assert!(result.tree_svg.contains("node-caps"));

@@ -53,14 +53,19 @@ pub mod prelude {
     pub use crate::casestudy::{run_case_study, CaseStudyResult};
     pub use crate::toolkit::Toolkit;
     pub use dm_data::prelude::{
-        parse_arff, write_arff, Attribute, AttributeKind, CrossValidation, Dataset,
-        DatasetSummary, Instance,
+        parse_arff, write_arff, Attribute, AttributeKind, CrossValidation, Dataset, DatasetSummary,
+        Instance,
     };
     pub use dm_services::prelude::{
         deploy_faehim_suite, publish_suite, ClassifierClient, ClustererClient, ConvertClient,
         J48Client,
     };
     pub use dm_workflow::prelude::{
-        import_wsdl, Executor, ExecutionMode, ExecutionReport, TaskGraph, Token, Tool, Toolbox,
+        import_wsdl, ExecutionMode, ExecutionReport, Executor, RetryPolicy, TaskGraph, Token, Tool,
+        Toolbox,
+    };
+    pub use dm_wsrf::prelude::{
+        BreakerBoard, BreakerConfig, BreakerState, CircuitBreaker, ResiliencePolicy,
+        ResilientCaller,
     };
 }

@@ -7,9 +7,7 @@
 //! tools compose freely with the data-mining tools (e.g. cluster the
 //! spectral features of sensor channels).
 
-use dm_algorithms::signal::{
-    autocorrelation, fft, power_spectrum, spectral_peaks, Window,
-};
+use dm_algorithms::signal::{autocorrelation, fft, power_spectrum, spectral_peaks, Window};
 use dm_workflow::graph::{PortSpec, Token, Tool};
 use dm_workflow::toolbox::Toolbox;
 use std::sync::Arc;
@@ -51,12 +49,20 @@ pub struct SignalGen {
 impl SignalGen {
     /// A single sine tone.
     pub fn sine(frequency: f64, sample_rate: f64, samples: usize) -> SignalGen {
-        SignalGen { components: vec![(frequency, 1.0)], sample_rate, samples }
+        SignalGen {
+            components: vec![(frequency, 1.0)],
+            sample_rate,
+            samples,
+        }
     }
 
     /// A sum of tones.
     pub fn tones(components: Vec<(f64, f64)>, sample_rate: f64, samples: usize) -> SignalGen {
-        SignalGen { components, sample_rate, samples }
+        SignalGen {
+            components,
+            sample_rate,
+            samples,
+        }
     }
 }
 
@@ -81,9 +87,7 @@ impl Tool for SignalGen {
         let signal = (0..self.samples).map(|i| {
             self.components
                 .iter()
-                .map(|&(f, a)| {
-                    a * (std::f64::consts::TAU * f * i as f64 / self.sample_rate).sin()
-                })
+                .map(|&(f, a)| a * (std::f64::consts::TAU * f * i as f64 / self.sample_rate).sin())
                 .sum::<f64>()
         });
         Ok(vec![to_list(signal)])
@@ -128,7 +132,10 @@ pub struct PowerSpectrumTool {
 impl PowerSpectrumTool {
     /// Create with an explicit sample rate and window.
     pub fn new(sample_rate: f64, window: Window) -> PowerSpectrumTool {
-        PowerSpectrumTool { sample_rate, window }
+        PowerSpectrumTool {
+            sample_rate,
+            window,
+        }
     }
 }
 
@@ -153,7 +160,9 @@ impl Tool for PowerSpectrumTool {
         let signal = as_signal(&inputs[0])?;
         let bins =
             power_spectrum(&signal, self.sample_rate, self.window).map_err(|e| e.to_string())?;
-        Ok(vec![to_list(bins.iter().flat_map(|b| [b.frequency, b.power]))])
+        Ok(vec![to_list(
+            bins.iter().flat_map(|b| [b.frequency, b.power]),
+        )])
     }
 }
 
@@ -194,7 +203,10 @@ impl Tool for PeakDetector {
         }
         let bins: Vec<dm_algorithms::signal::SpectrumBin> = flat
             .chunks(2)
-            .map(|p| dm_algorithms::signal::SpectrumBin { frequency: p[0], power: p[1] })
+            .map(|p| dm_algorithms::signal::SpectrumBin {
+                frequency: p[0],
+                power: p[1],
+            })
             .collect();
         let peaks = spectral_peaks(&bins, self.threshold);
         let mut out = format!("{} spectral peak(s)\n", peaks.len());
@@ -267,8 +279,10 @@ mod tests {
             .unwrap();
         let peaks = PeakDetector::new(0.05).execute(&spec).unwrap();
         match &peaks[0] {
-            Token::Text(t) => assert!(t.starts_with("2 spectral peak")
-                || t.chars().next().map_or(false, |c| c.is_ascii_digit())),
+            Token::Text(t) => assert!(
+                t.starts_with("2 spectral peak")
+                    || t.chars().next().is_some_and(|c| c.is_ascii_digit())
+            ),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -1,14 +1,20 @@
 //! The [`Toolkit`]: one-call provisioning of the FAEHIM environment —
 //! a simulated network with service hosts, the deployed Web Service
 //! suite, a UDDI registry, and a workflow toolbox organised as in
-//! Figures 1 and 2.
+//! Figures 1 and 2. [`Toolkit::enable_resilience`] turns on the
+//! resilience layer end to end: imported tools, typed clients, and
+//! executors all share one circuit-breaker board and retry policy, and
+//! [`Toolkit::degraded_mode_report`] summarises what the deployment is
+//! routing around.
 
 use dm_services::client::{ClassifierClient, ClustererClient, ConvertClient, J48Client};
 use dm_services::{deploy_faehim_suite, publish_suite};
+use dm_workflow::engine::{BackoffSink, Executor, RetryPolicy};
 use dm_workflow::toolbox::Toolbox;
 use dm_workflow::wsimport::{import_from_host, WsTool};
 use dm_wsrf::container::ServiceContainer;
 use dm_wsrf::registry::UddiRegistry;
+use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
 use dm_wsrf::transport::Network;
 use dm_wsrf::WsError;
 use std::sync::Arc;
@@ -23,6 +29,7 @@ pub struct Toolkit {
     registry: Arc<UddiRegistry>,
     toolbox: Arc<Toolbox>,
     hosts: Vec<String>,
+    resilience: Option<ResilientCaller>,
 }
 
 impl Toolkit {
@@ -45,7 +52,13 @@ impl Toolkit {
             publish_suite(&container, &registry)?;
             names.push(host.to_string());
         }
-        let toolkit = Toolkit { network, registry, toolbox, hosts: names };
+        let toolkit = Toolkit {
+            network,
+            registry,
+            toolbox,
+            hosts: names,
+            resilience: None,
+        };
         // Import every deployed service's operations as workspace tools
         // (Triana: "creates a tool for each operation").
         let primary = toolkit.hosts[0].clone();
@@ -94,8 +107,94 @@ impl Toolkit {
         self.network.host(host)
     }
 
+    /// Turn on the resilience layer: one shared circuit-breaker board
+    /// and retry policy, used by every tool subsequently imported via
+    /// [`Toolkit::import_service`], by the typed clients, and by
+    /// [`Toolkit::resilient_executor`].
+    pub fn enable_resilience(&mut self, policy: ResiliencePolicy, breakers: BreakerConfig) {
+        let board = Arc::new(BreakerBoard::new(breakers));
+        self.resilience = Some(ResilientCaller::new(self.network(), board, policy));
+    }
+
+    /// The shared resilient caller, when [`Toolkit::enable_resilience`]
+    /// has been called.
+    pub fn resilience(&self) -> Option<&ResilientCaller> {
+        self.resilience.as_ref()
+    }
+
+    /// A serial [`Executor`] aligned with the toolkit's resilience
+    /// configuration: task retries use the resilience policy's attempt
+    /// ceiling and backoff shape, backoff pauses are charged to the
+    /// network's virtual clock, and `retry_budget` bounds total retries
+    /// across the workflow. Without resilience enabled this is a plain
+    /// no-retry serial executor.
+    pub fn resilient_executor(&self, retry_budget: Option<usize>) -> Executor {
+        let mut executor = Executor::serial();
+        if let Some(caller) = &self.resilience {
+            let policy = caller.policy();
+            let network = self.network();
+            let sink: BackoffSink = Arc::new(move |pause| network.advance_virtual_time(pause));
+            executor = executor
+                .with_retry_policy(RetryPolicy {
+                    max_attempts: policy.max_attempts as usize,
+                    base_backoff: policy.base_backoff,
+                    max_backoff: policy.max_backoff,
+                    retry_budget,
+                    seed: 0xFAE1,
+                })
+                .with_backoff_sink(sink);
+        }
+        executor
+    }
+
+    /// What the deployment is currently routing around: breaker states,
+    /// per-host traffic and failure rates, and registry health.
+    pub fn degraded_mode_report(&self) -> String {
+        let now = self.network.now();
+        let mut out = String::from("Degraded-mode report\n====================\n\n");
+        match &self.resilience {
+            None => out.push_str("resilience layer: disabled\n"),
+            Some(caller) => {
+                let p = caller.policy();
+                out.push_str(&format!(
+                    "resilience layer: enabled (deadline {:?}, {} attempts, backoff {:?}..{:?})\n",
+                    p.deadline, p.max_attempts, p.base_backoff, p.max_backoff
+                ));
+                let open = caller.board().open_hosts(now);
+                if open.is_empty() {
+                    out.push_str("open breakers: none\n");
+                } else {
+                    out.push_str(&format!("open breakers: {}\n", open.join(", ")));
+                }
+                out.push_str("breaker states:\n");
+                for host in &self.hosts {
+                    let breaker = caller.board().breaker(host);
+                    out.push_str(&format!(
+                        "  {host}: {:?} (opened {} times)\n",
+                        breaker.state(now),
+                        breaker.times_opened()
+                    ));
+                }
+            }
+        }
+        out.push_str("\nper-host traffic:\n");
+        let summaries = self.network.monitor().summary_by_host();
+        if summaries.is_empty() {
+            out.push_str("  (no invocations recorded)\n");
+        }
+        for s in summaries {
+            out.push_str(&format!(
+                "  {}: {} calls, failure rate {:.2}, p50 {:?}, max {:?}\n",
+                s.host, s.invocations, s.failure_rate, s.p50_duration, s.max_duration
+            ));
+        }
+        out
+    }
+
     /// Import one service's operations as tools, with every other host
-    /// added as a failover replica.
+    /// added as a failover replica. When resilience is enabled the
+    /// tools route attempts through the shared resilient caller and
+    /// demote failing primaries behind healthy replicas.
     pub fn import_service(&self, host: &str, service: &str) -> Result<Vec<WsTool>, WsError> {
         let mut tools = import_from_host(self.network(), host, service)?;
         for tool in &mut tools {
@@ -104,29 +203,51 @@ impl Toolkit {
                     tool.add_replica(other.clone());
                 }
             }
+            if let Some(caller) = &self.resilience {
+                tool.set_resilience(caller.clone());
+            }
         }
         Ok(tools)
     }
 
     /// Typed client for the general Classifier service on the primary
-    /// host.
+    /// host (resilient when the layer is enabled).
     pub fn classifier_client(&self) -> ClassifierClient {
-        ClassifierClient::new(self.network(), self.primary_host())
+        let client = ClassifierClient::new(self.network(), self.primary_host());
+        match &self.resilience {
+            Some(caller) => client.with_resilience(caller.clone()),
+            None => client,
+        }
     }
 
-    /// Typed client for the dedicated J48 service.
+    /// Typed client for the dedicated J48 service (resilient when the
+    /// layer is enabled).
     pub fn j48_client(&self) -> J48Client {
-        J48Client::new(self.network(), self.primary_host())
+        let client = J48Client::new(self.network(), self.primary_host());
+        match &self.resilience {
+            Some(caller) => client.with_resilience(caller.clone()),
+            None => client,
+        }
     }
 
-    /// Typed client for the clustering services.
+    /// Typed client for the clustering services (resilient when the
+    /// layer is enabled).
     pub fn clusterer_client(&self) -> ClustererClient {
-        ClustererClient::new(self.network(), self.primary_host())
+        let client = ClustererClient::new(self.network(), self.primary_host());
+        match &self.resilience {
+            Some(caller) => client.with_resilience(caller.clone()),
+            None => client,
+        }
     }
 
-    /// Typed client for the conversion / URL-reader services.
+    /// Typed client for the conversion / URL-reader services (resilient
+    /// when the layer is enabled).
     pub fn convert_client(&self) -> ConvertClient {
-        ConvertClient::new(self.network(), self.primary_host())
+        let client = ConvertClient::new(self.network(), self.primary_host());
+        match &self.resilience {
+            Some(caller) => client.with_resilience(caller.clone()),
+            None => client,
+        }
     }
 
     /// The Figure-2 component inventory as text: the workflow engine
@@ -134,10 +255,17 @@ impl Toolkit {
     pub fn describe_components(&self) -> String {
         let mut out = String::from("FAEHIM toolkit components (Figure 2)\n");
         out.push_str("=====================================\n\n");
-        out.push_str("Workflow engine: dataflow composition + serial/parallel enactment\n\n");
+        out.push_str("Workflow engine: dataflow composition + serial/parallel enactment\n");
+        out.push_str(match self.resilience {
+            Some(_) => "Resilience layer: enabled (deadlines, retry budgets, circuit breakers)\n\n",
+            None => "Resilience layer: disabled\n\n",
+        });
         out.push_str("Toolbox folders:\n");
         for folder in self.toolbox.folders() {
-            out.push_str(&format!("  {folder}/  ({} tools)\n", self.toolbox.tools_in(&folder).len()));
+            out.push_str(&format!(
+                "  {folder}/  ({} tools)\n",
+                self.toolbox.tools_in(&folder).len()
+            ));
         }
         out.push_str("\nDeployed Web Services:\n");
         for entry in self.registry.all() {
@@ -170,7 +298,11 @@ mod tests {
         assert_eq!(tk.hosts().len(), 1);
         assert_eq!(tk.registry().len(), 13);
         // Common tools + local tools + imported WS operation tools.
-        assert!(tk.toolbox().len() > 20, "toolbox has {} tools", tk.toolbox().len());
+        assert!(
+            tk.toolbox().len() > 20,
+            "toolbox has {} tools",
+            tk.toolbox().len()
+        );
         let folders = tk.toolbox().folders();
         assert!(folders.iter().any(|f| f == "Common"));
         assert!(folders.iter().any(|f| f.starts_with("WebServices.")));
@@ -181,7 +313,10 @@ mod tests {
         let tk = Toolkit::with_hosts(&["host-a", "host-b"]).unwrap();
         assert_eq!(tk.hosts().len(), 2);
         let tools = tk.import_service("host-a", "J48").unwrap();
-        assert_eq!(tools[0].hosts(), ["host-a".to_string(), "host-b".to_string()]);
+        assert_eq!(
+            tools[0].hosts(),
+            ["host-a".to_string(), "host-b".to_string()]
+        );
     }
 
     #[test]
@@ -198,6 +333,81 @@ mod tests {
         assert!(text.contains("Workflow engine"));
         assert!(text.contains("Classifier @"));
         assert!(text.contains("40 registered algorithms"));
+    }
+
+    #[test]
+    fn resilient_toolkit_survives_primary_failure() {
+        use dm_workflow::graph::{Token, Tool};
+        let mut tk = Toolkit::with_hosts(&["host-a", "host-b"]).unwrap();
+        tk.enable_resilience(
+            ResiliencePolicy::default().attempts(2),
+            BreakerConfig::default(),
+        );
+        let tools = tk.import_service("host-a", "J48").unwrap();
+        let tool = tools.iter().find(|t| t.name() == "J48.classify").unwrap();
+        // The primary dies after import, mid-run.
+        tk.network().set_host_down("host-a", true);
+        let out = tool
+            .execute(&[
+                Token::Text(dm_data::corpus::breast_cancer_arff()),
+                Token::Text("Class".into()),
+                Token::Text(String::new()),
+            ])
+            .unwrap();
+        assert!(matches!(&out[0], Token::Text(tree) if tree.contains("node-caps")));
+        assert_eq!(tool.last_served_host(), Some("host-b".to_string()));
+        assert!(tool.last_call_stats().attempts >= 3);
+        // The failing primary was demoted behind the serving replica.
+        assert_eq!(tool.hosts(), ["host-b".to_string(), "host-a".to_string()]);
+
+        let report = tk.degraded_mode_report();
+        assert!(report.contains("resilience layer: enabled"), "{report}");
+        assert!(report.contains("host-a"), "{report}");
+        assert!(report.contains("failure rate"), "{report}");
+    }
+
+    #[test]
+    fn resilient_client_rides_out_scripted_outage() {
+        let mut tk = Toolkit::new().unwrap();
+        tk.enable_resilience(
+            ResiliencePolicy::default().attempts(4),
+            BreakerConfig::default(),
+        );
+        // Outage covering the next few virtual milliseconds: the first
+        // attempt fails, backoff advances the virtual clock past the
+        // window, and a retry succeeds.
+        let now = tk.network().now();
+        tk.network().add_outage(
+            tk.primary_host(),
+            now,
+            now + std::time::Duration::from_millis(5),
+        );
+        let names = tk.classifier_client().get_classifiers().unwrap();
+        assert!(names.contains(&"J48".to_string()));
+        let failures = tk
+            .network()
+            .monitor()
+            .summary_by_host()
+            .iter()
+            .map(|s| s.transport_errors)
+            .sum::<usize>();
+        assert!(
+            failures >= 1,
+            "expected the outage to cost at least one attempt"
+        );
+    }
+
+    #[test]
+    fn resilient_executor_mirrors_the_policy() {
+        let mut tk = Toolkit::new().unwrap();
+        assert_eq!(tk.resilient_executor(None).retry_policy().max_attempts, 1);
+        tk.enable_resilience(
+            ResiliencePolicy::default().attempts(5),
+            BreakerConfig::default(),
+        );
+        let executor = tk.resilient_executor(Some(12));
+        assert_eq!(executor.retry_policy().max_attempts, 5);
+        assert_eq!(executor.retry_policy().retry_budget, Some(12));
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl LocalDataset {
 
     /// The case study's breast-cancer dataset.
     pub fn breast_cancer() -> LocalDataset {
-        LocalDataset { arff: dm_data::corpus::breast_cancer_arff() }
+        LocalDataset {
+            arff: dm_data::corpus::breast_cancer_arff(),
+        }
     }
 }
 
@@ -96,9 +98,13 @@ impl Tool for CsvToArffTool {
             Token::Text(s) => s,
             _ => return Err("CSVToARFF expects CSV text".into()),
         };
-        dm_data::convert::convert(csv, dm_data::convert::DataFormat::Csv, dm_data::convert::DataFormat::Arff)
-            .map(|arff| vec![Token::Text(arff)])
-            .map_err(|e| e.to_string())
+        dm_data::convert::convert(
+            csv,
+            dm_data::convert::DataFormat::Csv,
+            dm_data::convert::DataFormat::Arff,
+        )
+        .map(|arff| vec![Token::Text(arff)])
+        .map_err(|e| e.to_string())
     }
 }
 
@@ -129,7 +135,9 @@ impl Tool for DatasetSummaryTool {
         };
         let format = dm_data::convert::DataFormat::sniff(text);
         let ds = dm_data::convert::parse(format, text).map_err(|e| e.to_string())?;
-        Ok(vec![Token::Text(dm_data::summary::DatasetSummary::of(&ds).to_table_string())])
+        Ok(vec![Token::Text(
+            dm_data::summary::DatasetSummary::of(&ds).to_table_string(),
+        )])
     }
 }
 
@@ -142,7 +150,9 @@ impl ClassifierSelector {
     /// Pre-select a classifier (the programmatic stand-in for the
     /// user's click in Triana's workspace).
     pub fn new<S: Into<String>>(selection: S) -> ClassifierSelector {
-        ClassifierSelector { selection: selection.into() }
+        ClassifierSelector {
+            selection: selection.into(),
+        }
     }
 }
 
@@ -168,8 +178,7 @@ impl Tool for ClassifierSelector {
             Token::List(l) => l,
             _ => return Err("ClassifierSelector expects the classifier list".into()),
         };
-        let available: Vec<&str> =
-            list.iter().filter_map(|v| v.as_text().ok()).collect();
+        let available: Vec<&str> = list.iter().filter_map(|v| v.as_text().ok()).collect();
         if available.iter().any(|&c| c == self.selection) {
             Ok(vec![Token::Text(self.selection.clone())])
         } else {
@@ -190,7 +199,9 @@ pub struct OptionSelector {
 impl OptionSelector {
     /// Accept every default.
     pub fn defaults() -> OptionSelector {
-        OptionSelector { overrides: Vec::new() }
+        OptionSelector {
+            overrides: Vec::new(),
+        }
     }
 
     /// Override selected flags.
@@ -228,10 +239,7 @@ impl Tool for OptionSelector {
                 .first()
                 .and_then(|c| c.as_text().ok())
                 .ok_or("option row without a flag")?;
-            let default = cells
-                .get(3)
-                .and_then(|c| c.as_text().ok())
-                .unwrap_or("");
+            let default = cells.get(3).and_then(|c| c.as_text().ok()).unwrap_or("");
             let value = self
                 .overrides
                 .iter()
@@ -253,7 +261,9 @@ pub struct AttributeSelector {
 impl AttributeSelector {
     /// Pre-select an attribute name.
     pub fn new<S: Into<String>>(attribute: S) -> AttributeSelector {
-        AttributeSelector { attribute: attribute.into() }
+        AttributeSelector {
+            attribute: attribute.into(),
+        }
     }
 }
 
@@ -280,7 +290,8 @@ impl Tool for AttributeSelector {
             _ => return Err("AttributeSelector expects dataset text".into()),
         };
         let ds = dm_data::arff::parse_arff(arff).map_err(|e| e.to_string())?;
-        ds.attribute_index(&self.attribute).map_err(|e| e.to_string())?;
+        ds.attribute_index(&self.attribute)
+            .map_err(|e| e.to_string())?;
         Ok(vec![Token::Text(self.attribute.clone())])
     }
 }
@@ -395,7 +406,9 @@ mod tests {
 
     #[test]
     fn csv_tool_converts() {
-        let out = CsvToArffTool.execute(&[Token::Text("a,b\n1,x\n".into())]).unwrap();
+        let out = CsvToArffTool
+            .execute(&[Token::Text("a,b\n1,x\n".into())])
+            .unwrap();
         match &out[0] {
             Token::Text(s) => assert!(s.contains("@attribute a numeric")),
             other => panic!("unexpected {other:?}"),
@@ -415,11 +428,10 @@ mod tests {
 
     #[test]
     fn classifier_selector_validates() {
-        let list = Token::List(vec![
-            Token::Text("ZeroR".into()),
-            Token::Text("J48".into()),
-        ]);
-        let out = ClassifierSelector::new("J48").execute(&[list.clone()]).unwrap();
+        let list = Token::List(vec![Token::Text("ZeroR".into()), Token::Text("J48".into())]);
+        let out = ClassifierSelector::new("J48")
+            .execute(std::slice::from_ref(&list))
+            .unwrap();
         assert_eq!(out, vec![Token::Text("J48".into())]);
         assert!(ClassifierSelector::new("C5.0").execute(&[list]).is_err());
     }
@@ -440,7 +452,9 @@ mod tests {
                 Token::Text("2".into()),
             ]),
         ]);
-        let defaults = OptionSelector::defaults().execute(&[options.clone()]).unwrap();
+        let defaults = OptionSelector::defaults()
+            .execute(std::slice::from_ref(&options))
+            .unwrap();
         assert_eq!(defaults, vec![Token::Text("-C 0.25 -M 2".into())]);
         let tuned = OptionSelector::with_overrides(vec![("-M".into(), "10".into())])
             .execute(&[options])
@@ -451,10 +465,13 @@ mod tests {
     #[test]
     fn attribute_selector_validates() {
         let arff = dm_data::corpus::breast_cancer_arff();
-        let out =
-            AttributeSelector::new("Class").execute(&[Token::Text(arff.clone())]).unwrap();
+        let out = AttributeSelector::new("Class")
+            .execute(&[Token::Text(arff.clone())])
+            .unwrap();
         assert_eq!(out, vec![Token::Text("Class".into())]);
-        assert!(AttributeSelector::new("nope").execute(&[Token::Text(arff)]).is_err());
+        assert!(AttributeSelector::new("nope")
+            .execute(&[Token::Text(arff)])
+            .is_err());
     }
 
     #[test]
@@ -482,8 +499,14 @@ mod tests {
         let tb = dm_workflow::toolbox::Toolbox::new();
         register_local_tools(&tb);
         assert_eq!(tb.len(), 8);
-        assert!(tb.tools_in("DataManipulation").contains(&"CSVToARFF".to_string()));
-        assert!(tb.tools_in("Processing").contains(&"OptionSelector".to_string()));
-        assert!(tb.tools_in("Visualization").contains(&"TreeViewer".to_string()));
+        assert!(tb
+            .tools_in("DataManipulation")
+            .contains(&"CSVToARFF".to_string()));
+        assert!(tb
+            .tools_in("Processing")
+            .contains(&"OptionSelector".to_string()));
+        assert!(tb
+            .tools_in("Visualization")
+            .contains(&"TreeViewer".to_string()));
     }
 }

@@ -1,9 +1,7 @@
 //! Apriori (Agrawal & Srikant 1994): level-wise frequent-itemset mining
 //! with candidate generation and the downward-closure prune.
 
-use super::{
-    rules_from_itemsets, transactions, Associator, AssociationRule, Item, ItemSet,
-};
+use super::{rules_from_itemsets, transactions, AssociationRule, Associator, Item, ItemSet};
 use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
 use dm_data::Dataset;
@@ -76,8 +74,7 @@ impl Apriori {
 
         while !frequent.is_empty() {
             // Candidate generation: join sets sharing a (k-1)-prefix.
-            let prev: HashSet<&[Item]> =
-                frequent.iter().map(|s| s.items.as_slice()).collect();
+            let prev: HashSet<&[Item]> = frequent.iter().map(|s| s.items.as_slice()).collect();
             let mut candidates: Vec<Vec<Item>> = Vec::new();
             for i in 0..frequent.len() {
                 for j in (i + 1)..frequent.len() {
@@ -113,7 +110,10 @@ impl Apriori {
                     .filter(|t| cand.iter().all(|i| t.contains(i)))
                     .count();
                 if support >= min_count {
-                    level.push(ItemSet { items: cand, support });
+                    level.push(ItemSet {
+                        items: cand,
+                        support,
+                    });
                 }
             }
             if level.is_empty() {
@@ -158,7 +158,10 @@ impl Configurable for Apriori {
                 name: "minSupport",
                 description: "minimum itemset support (fraction)",
                 default: "0.1".into(),
-                kind: OptionKind::Real { min: 1e-9, max: 1.0 },
+                kind: OptionKind::Real {
+                    min: 1e-9,
+                    max: 1.0,
+                },
             },
             OptionDescriptor {
                 flag: "-C",
@@ -172,7 +175,10 @@ impl Configurable for Apriori {
                 name: "numRules",
                 description: "maximum number of rules reported",
                 default: "10".into(),
-                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
             },
             OptionDescriptor {
                 flag: "-Z",
@@ -203,7 +209,10 @@ impl Configurable for Apriori {
             "-C" => Ok(self.min_confidence.to_string()),
             "-N" => Ok(self.max_rules.to_string()),
             "-Z" => Ok(self.skip_first_label.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -244,9 +253,9 @@ mod tests {
         let ds = baskets();
         let mut miner = market_miner();
         let sets = miner.frequent_itemsets(&ds).unwrap();
-        let triple = sets.iter().find(|s| {
-            s.items.len() == 3 && s.items.iter().all(|i| [2, 3, 4].contains(&i.attr))
-        });
+        let triple = sets
+            .iter()
+            .find(|s| s.items.len() == 3 && s.items.iter().all(|i| [2, 3, 4].contains(&i.attr)));
         assert!(triple.is_some(), "planted triple not found");
         assert!(triple.unwrap().support as f64 / 300.0 > 0.25);
     }

@@ -1,9 +1,7 @@
 //! FP-Growth (Han, Pei & Yin 2000): frequent-itemset mining without
 //! candidate generation, via recursive conditional FP-trees.
 
-use super::{
-    rules_from_itemsets, transactions, Associator, AssociationRule, Item, ItemSet,
-};
+use super::{rules_from_itemsets, transactions, AssociationRule, Associator, Item, ItemSet};
 use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
 use dm_data::Dataset;
@@ -30,7 +28,10 @@ impl FpTree {
         let mut t = FpTree::default();
         // Sentinel root.
         t.nodes.push(FpNode {
-            item: Item { attr: usize::MAX, value: usize::MAX },
+            item: Item {
+                attr: usize::MAX,
+                value: usize::MAX,
+            },
             count: 0,
             parent: usize::MAX,
             children: Vec::new(),
@@ -53,7 +54,12 @@ impl FpTree {
                 }
                 None => {
                     let id = self.nodes.len();
-                    self.nodes.push(FpNode { item, count, parent: cur, children: Vec::new() });
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        parent: cur,
+                        children: Vec::new(),
+                    });
                     self.nodes[cur].children.push(id);
                     self.header.entry(item).or_default().push(id);
                     id
@@ -114,8 +120,7 @@ impl FPGrowth {
         let min_count = (self.min_support * n as f64).ceil().max(1.0) as usize;
 
         let mut out = Vec::new();
-        let weighted: Vec<(Vec<Item>, usize)> =
-            txns.into_iter().map(|t| (t, 1usize)).collect();
+        let weighted: Vec<(Vec<Item>, usize)> = txns.into_iter().map(|t| (t, 1usize)).collect();
         Self::grow(&weighted, min_count, &mut Vec::new(), &mut out, 0)?;
         out.sort_by(|a, b| a.items.cmp(&b.items));
         self.last_itemsets = out.len();
@@ -131,7 +136,9 @@ impl FPGrowth {
         depth: usize,
     ) -> Result<()> {
         if depth > 64 {
-            return Err(AlgoError::Unsupported("FP-growth recursion too deep".into()));
+            return Err(AlgoError::Unsupported(
+                "FP-growth recursion too deep".into(),
+            ));
         }
         // Count items in this conditional database.
         let mut counts: HashMap<Item, usize> = HashMap::new();
@@ -140,18 +147,22 @@ impl FPGrowth {
                 *counts.entry(i).or_insert(0) += w;
             }
         }
-        let mut frequent: Vec<(Item, usize)> =
-            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        let mut frequent: Vec<(Item, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
         // Order by descending count (stable tie-break by item).
         frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let rank: HashMap<Item, usize> =
-            frequent.iter().enumerate().map(|(r, (i, _))| (*i, r)).collect();
+        let rank: HashMap<Item, usize> = frequent
+            .iter()
+            .enumerate()
+            .map(|(r, (i, _))| (*i, r))
+            .collect();
 
         // Build the conditional FP-tree.
         let mut tree = FpTree::new();
         for (t, w) in txns {
-            let mut path: Vec<Item> =
-                t.iter().copied().filter(|i| rank.contains_key(i)).collect();
+            let mut path: Vec<Item> = t.iter().copied().filter(|i| rank.contains_key(i)).collect();
             path.sort_by_key(|i| rank[i]);
             if !path.is_empty() {
                 tree.insert(&path, *w);
@@ -164,7 +175,10 @@ impl FPGrowth {
             suffix.push(item);
             let mut items = suffix.clone();
             items.sort();
-            out.push(ItemSet { items, support: count });
+            out.push(ItemSet {
+                items,
+                support: count,
+            });
 
             let mut conditional: Vec<(Vec<Item>, usize)> = Vec::new();
             if let Some(node_ids) = tree.header.get(&item) {
@@ -215,7 +229,10 @@ impl Configurable for FPGrowth {
                 name: "minSupport",
                 description: "minimum itemset support (fraction)",
                 default: "0.1".into(),
-                kind: OptionKind::Real { min: 1e-9, max: 1.0 },
+                kind: OptionKind::Real {
+                    min: 1e-9,
+                    max: 1.0,
+                },
             },
             OptionDescriptor {
                 flag: "-C",
@@ -229,7 +246,10 @@ impl Configurable for FPGrowth {
                 name: "numRules",
                 description: "maximum number of rules reported",
                 default: "10".into(),
-                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
             },
             OptionDescriptor {
                 flag: "-Z",
@@ -260,7 +280,10 @@ impl Configurable for FPGrowth {
             "-C" => Ok(self.min_confidence.to_string()),
             "-N" => Ok(self.max_rules.to_string()),
             "-Z" => Ok(self.skip_first_label.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -310,8 +333,9 @@ mod tests {
         let ds = baskets();
         let mut fp = market_miner();
         let sets = fp.frequent_itemsets(&ds).unwrap();
-        assert!(sets.iter().any(|s| s.items.len() == 3
-            && s.items.iter().all(|i| [2, 3, 4].contains(&i.attr))));
+        assert!(sets
+            .iter()
+            .any(|s| s.items.len() == 3 && s.items.iter().all(|i| [2, 3, 4].contains(&i.attr))));
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl AssociationRule {
                     format!(
                         "{}={}",
                         attr.name(),
-                        attr.labels().get(i.value).map(String::as_str).unwrap_or("?")
+                        attr.labels()
+                            .get(i.value)
+                            .map(String::as_str)
+                            .unwrap_or("?")
                     )
                 })
                 .collect::<Vec<_>>()
@@ -96,10 +99,7 @@ pub trait Associator: Configurable + Send {
 /// sorted list of items. `skip_first_label` drops items whose value is
 /// label 0 — the convention for market-basket data where the first
 /// label means "absent".
-pub(crate) fn transactions(
-    data: &Dataset,
-    skip_first_label: bool,
-) -> Result<Vec<Vec<Item>>> {
+pub(crate) fn transactions(data: &Dataset, skip_first_label: bool) -> Result<Vec<Vec<Item>>> {
     if data.num_instances() == 0 {
         return Err(AlgoError::Data(dm_data::DataError::Empty));
     }
@@ -139,8 +139,10 @@ pub(crate) fn rules_from_itemsets(
     max_rules: usize,
 ) -> Vec<AssociationRule> {
     use std::collections::HashMap;
-    let support_of: HashMap<&[Item], usize> =
-        itemsets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+    let support_of: HashMap<&[Item], usize> = itemsets
+        .iter()
+        .map(|s| (s.items.as_slice(), s.support))
+        .collect();
     let n = num_transactions as f64;
 
     let mut rules = Vec::new();
@@ -160,9 +162,10 @@ pub(crate) fn rules_from_itemsets(
                     cons.push(*item);
                 }
             }
-            let (Some(&sa), Some(&sc)) =
-                (support_of.get(ante.as_slice()), support_of.get(cons.as_slice()))
-            else {
+            let (Some(&sa), Some(&sc)) = (
+                support_of.get(ante.as_slice()),
+                support_of.get(cons.as_slice()),
+            ) else {
                 continue; // subset below min support: confidence undefined here
             };
             let confidence = set.support as f64 / sa as f64;
@@ -185,6 +188,11 @@ pub(crate) fn rules_from_itemsets(
             .expect("finite")
             .then(b.lift.partial_cmp(&a.lift).expect("finite"))
             .then(b.support.partial_cmp(&a.support).expect("finite"))
+            // Total-order tie-break: without it, equal-metric rules keep
+            // whatever order the miner enumerated itemsets in, and the
+            // two miners enumerate differently.
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
     });
     rules.truncate(max_rules);
     rules
@@ -211,7 +219,10 @@ mod tests {
     fn transactions_skip_missing_and_first_label() {
         let mut ds = Dataset::new(
             "t",
-            vec![Attribute::nominal("a", ["n", "y"]), Attribute::nominal("b", ["n", "y"])],
+            vec![
+                Attribute::nominal("a", ["n", "y"]),
+                Attribute::nominal("b", ["n", "y"]),
+            ],
         );
         ds.push_labels(&["y", "n"]).unwrap();
         ds.push_labels(&["?", "y"]).unwrap();
@@ -236,9 +247,18 @@ mod tests {
         let a = Item { attr: 0, value: 1 };
         let b = Item { attr: 1, value: 1 };
         let sets = vec![
-            ItemSet { items: vec![a], support: 60 },
-            ItemSet { items: vec![b], support: 50 },
-            ItemSet { items: vec![a, b], support: 45 },
+            ItemSet {
+                items: vec![a],
+                support: 60,
+            },
+            ItemSet {
+                items: vec![b],
+                support: 50,
+            },
+            ItemSet {
+                items: vec![a, b],
+                support: 45,
+            },
         ];
         let rules = rules_from_itemsets(&sets, 100, 0.7, 10);
         // A→B: conf 0.75, lift 1.5. B→A: conf 0.9, lift 1.5.
@@ -254,9 +274,18 @@ mod tests {
         let a = Item { attr: 0, value: 1 };
         let b = Item { attr: 1, value: 1 };
         let sets = vec![
-            ItemSet { items: vec![a], support: 60 },
-            ItemSet { items: vec![b], support: 50 },
-            ItemSet { items: vec![a, b], support: 45 },
+            ItemSet {
+                items: vec![a],
+                support: 60,
+            },
+            ItemSet {
+                items: vec![b],
+                support: 50,
+            },
+            ItemSet {
+                items: vec![a, b],
+                support: 45,
+            },
         ];
         let rules = rules_from_itemsets(&sets, 100, 0.8, 10);
         assert_eq!(rules.len(), 1);
@@ -267,7 +296,10 @@ mod tests {
         let ds = {
             let mut d = Dataset::new(
                 "t",
-                vec![Attribute::nominal("bread", ["n", "y"]), Attribute::nominal("milk", ["n", "y"])],
+                vec![
+                    Attribute::nominal("bread", ["n", "y"]),
+                    Attribute::nominal("milk", ["n", "y"]),
+                ],
             );
             d.push_labels(&["y", "y"]).unwrap();
             d

@@ -74,7 +74,9 @@ fn contingency(data: &Dataset, attr: usize, ci: usize, k: usize) -> Vec<Vec<f64>
 }
 
 fn class_setup(data: &Dataset) -> Result<(usize, usize)> {
-    let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+    let ci = data
+        .class_index()
+        .ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
     let k = data.num_classes()?;
     Ok((ci, k))
 }
@@ -306,11 +308,16 @@ impl AttributeEvaluator for VarianceRank {
                     if total <= 0.0 {
                         0.0
                     } else {
-                        1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+                        1.0 - counts
+                            .iter()
+                            .map(|&c| (c / total) * (c / total))
+                            .sum::<f64>()
                     }
                 } else {
                     // Range-normalised variance.
-                    let Some((min, max)) = numeric_range(data, a) else { return 0.0 };
+                    let Some((min, max)) = numeric_range(data, a) else {
+                        return 0.0;
+                    };
                     if max <= min {
                         return 0.0;
                     }
@@ -386,9 +393,8 @@ impl AttributeEvaluator for ReliefF {
                 }
             }
         };
-        let distance = |r1: usize, r2: usize| -> f64 {
-            (0..n_attrs).map(|a| diff(a, r1, r2)).sum()
-        };
+        let distance =
+            |r1: usize, r2: usize| -> f64 { (0..n_attrs).map(|a| diff(a, r1, r2)).sum() };
 
         let mut weights = vec![0.0f64; n_attrs];
         for r in 0..n {

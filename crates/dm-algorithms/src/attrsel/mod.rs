@@ -23,12 +23,12 @@ pub mod search;
 pub mod subset;
 
 pub use evaluators::{
-    AttributeEvaluator, ChiSquared, CramersV, GainRatioEval, InfoGainEval, OneRAttrEval,
-    ReliefF, SymmetricalUncertainty, VarianceRank,
+    AttributeEvaluator, ChiSquared, CramersV, GainRatioEval, InfoGainEval, OneRAttrEval, ReliefF,
+    SymmetricalUncertainty, VarianceRank,
 };
 pub use search::{
-    BestFirst, Exhaustive, GeneticSearch, GreedyBackward, GreedyForward, RandomSearch,
-    Ranker, SubsetSearch,
+    BestFirst, Exhaustive, GeneticSearch, GreedyBackward, GreedyForward, RandomSearch, Ranker,
+    SubsetSearch,
 };
 pub use subset::{CfsSubset, SubsetEvaluator, WrapperSubset};
 
@@ -77,7 +77,11 @@ pub fn approaches() -> Vec<Approach> {
         .collect();
     for e in subset_evals {
         for s in searches {
-            out.push(Approach { name: format!("{e}+{s}"), evaluator: e, search: s });
+            out.push(Approach {
+                name: format!("{e}+{s}"),
+                evaluator: e,
+                search: s,
+            });
         }
     }
     out

@@ -19,7 +19,9 @@ pub trait SubsetSearch: Send {
 
 /// Candidate (non-class, non-string) attribute indices.
 fn candidates(data: &Dataset) -> Result<Vec<usize>> {
-    let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+    let ci = data
+        .class_index()
+        .ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
     Ok((0..data.num_attributes())
         .filter(|&a| a != ci && !data.attributes()[a].is_string())
         .collect())
@@ -48,11 +50,7 @@ impl Ranker {
     }
 
     /// Rank attributes by the evaluator's scores (descending).
-    pub fn rank(
-        &self,
-        evaluator: &dyn AttributeEvaluator,
-        data: &Dataset,
-    ) -> Result<Vec<usize>> {
+    pub fn rank(&self, evaluator: &dyn AttributeEvaluator, data: &Dataset) -> Result<Vec<usize>> {
         let scores = evaluator.evaluate_all(data)?;
         let mut order = candidates(data)?;
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
@@ -266,7 +264,13 @@ pub struct GeneticSearch {
 impl GeneticSearch {
     /// Create with WEKA-like defaults (population 20, 20 generations).
     pub fn new(seed: u64) -> GeneticSearch {
-        GeneticSearch { population: 20, generations: 20, mutation: 0.033, crossover: 0.6, seed }
+        GeneticSearch {
+            population: 20,
+            generations: 20,
+            mutation: 0.033,
+            crossover: 0.6,
+            seed,
+        }
     }
 }
 
@@ -283,7 +287,11 @@ impl SubsetSearch for GeneticSearch {
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let decode = |mask: &[bool]| -> Vec<usize> {
-            pool.iter().zip(mask).filter(|(_, &m)| m).map(|(&a, _)| a).collect()
+            pool.iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(&a, _)| a)
+                .collect()
         };
         let fitness_of = |mask: &[bool]| -> Result<f64> {
             let subset = decode(mask);
@@ -340,7 +348,10 @@ impl SubsetSearch for GeneticSearch {
                 next.push(child);
             }
             population = next;
-            fitness = population.iter().map(|m| fitness_of(m)).collect::<Result<_>>()?;
+            fitness = population
+                .iter()
+                .map(|m| fitness_of(m))
+                .collect::<Result<_>>()?;
             for (m, &f) in population.iter().zip(&fitness) {
                 if f > best_fit {
                     best_fit = f;
@@ -372,7 +383,10 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// Create with an explicit sample budget.
     pub fn new(samples: usize, seed: u64) -> RandomSearch {
-        RandomSearch { samples: samples.max(1), seed }
+        RandomSearch {
+            samples: samples.max(1),
+            seed,
+        }
     }
 }
 
@@ -386,8 +400,11 @@ impl SubsetSearch for RandomSearch {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: (f64, Vec<usize>) = (f64::NEG_INFINITY, vec![pool[0]]);
         for _ in 0..self.samples {
-            let subset: Vec<usize> =
-                pool.iter().copied().filter(|_| rng.random_bool(0.5)).collect();
+            let subset: Vec<usize> = pool
+                .iter()
+                .copied()
+                .filter(|_| rng.random_bool(0.5))
+                .collect();
             if subset.is_empty() {
                 continue;
             }
@@ -464,13 +481,18 @@ mod tests {
     fn greedy_forward_finds_informative_subset() {
         let ds = weather_nominal();
         let picked = GreedyForward::new().search(&CfsSubset::new(), &ds).unwrap();
-        assert!(picked.contains(&0), "outlook should be selected: {picked:?}");
+        assert!(
+            picked.contains(&0),
+            "outlook should be selected: {picked:?}"
+        );
     }
 
     #[test]
     fn greedy_backward_returns_nonempty() {
         let ds = weather_nominal();
-        let picked = GreedyBackward::new().search(&CfsSubset::new(), &ds).unwrap();
+        let picked = GreedyBackward::new()
+            .search(&CfsSubset::new(), &ds)
+            .unwrap();
         assert!(!picked.is_empty());
     }
 
@@ -482,7 +504,10 @@ mod tests {
         let ex = Exhaustive::new().search(&cfs, &ds).unwrap();
         let bf_merit = cfs.evaluate_subset(&ds, &bf).unwrap();
         let ex_merit = cfs.evaluate_subset(&ds, &ex).unwrap();
-        assert!((bf_merit - ex_merit).abs() < 1e-9, "bf {bf_merit} vs ex {ex_merit}");
+        assert!(
+            (bf_merit - ex_merit).abs() < 1e-9,
+            "bf {bf_merit} vs ex {ex_merit}"
+        );
     }
 
     #[test]
@@ -493,7 +518,10 @@ mod tests {
         let ex = Exhaustive::new().search(&cfs, &ds).unwrap();
         let ga_merit = cfs.evaluate_subset(&ds, &ga).unwrap();
         let ex_merit = cfs.evaluate_subset(&ds, &ex).unwrap();
-        assert!(ga_merit >= 0.9 * ex_merit, "GA merit {ga_merit} vs exhaustive {ex_merit}");
+        assert!(
+            ga_merit >= 0.9 * ex_merit,
+            "GA merit {ga_merit} vs exhaustive {ex_merit}"
+        );
     }
 
     #[test]
@@ -508,7 +536,9 @@ mod tests {
     #[test]
     fn random_search_returns_valid_subset() {
         let ds = weather_nominal();
-        let picked = RandomSearch::new(50, 3).search(&CfsSubset::new(), &ds).unwrap();
+        let picked = RandomSearch::new(50, 3)
+            .search(&CfsSubset::new(), &ds)
+            .unwrap();
         assert!(!picked.is_empty());
         assert!(picked.iter().all(|&a| a < 4));
     }
@@ -530,7 +560,9 @@ mod tests {
     #[test]
     fn genetic_on_breast_cancer_keeps_node_caps() {
         let ds = dm_data::corpus::breast_cancer();
-        let picked = GeneticSearch::new(7).search(&CfsSubset::new(), &ds).unwrap();
+        let picked = GeneticSearch::new(7)
+            .search(&CfsSubset::new(), &ds)
+            .unwrap();
         let nc = ds.attribute_index("node-caps").unwrap();
         let dm = ds.attribute_index("deg-malig").unwrap();
         assert!(

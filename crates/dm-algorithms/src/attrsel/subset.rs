@@ -98,7 +98,9 @@ impl SubsetEvaluator for CfsSubset {
     }
 
     fn evaluate_subset(&self, data: &Dataset, subset: &[usize]) -> Result<f64> {
-        let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+        let ci = data
+            .class_index()
+            .ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
         if subset.is_empty() {
             return Ok(0.0);
         }
@@ -119,7 +121,11 @@ impl SubsetEvaluator for CfsSubset {
         }
         let r_ff = if pairs > 0.0 { r_ff / pairs } else { 0.0 };
         let denom = (k + k * (k - 1.0) * r_ff).sqrt();
-        Ok(if denom <= 1e-12 { 0.0 } else { k * r_cf / denom })
+        Ok(if denom <= 1e-12 {
+            0.0
+        } else {
+            k * r_cf / denom
+        })
     }
 }
 
@@ -135,7 +141,11 @@ pub struct WrapperSubset {
 impl WrapperSubset {
     /// Create a wrapper around the named registry classifier.
     pub fn new(classifier: &str, folds: usize, seed: u64) -> WrapperSubset {
-        WrapperSubset { classifier: classifier.to_string(), folds: folds.max(2), seed }
+        WrapperSubset {
+            classifier: classifier.to_string(),
+            folds: folds.max(2),
+            seed,
+        }
     }
 }
 
@@ -145,7 +155,9 @@ impl SubsetEvaluator for WrapperSubset {
     }
 
     fn evaluate_subset(&self, data: &Dataset, subset: &[usize]) -> Result<f64> {
-        let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+        let ci = data
+            .class_index()
+            .ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
         if subset.is_empty() {
             return Ok(0.0);
         }
@@ -207,14 +219,18 @@ mod tests {
         );
         ds.set_class_index(Some(2)).unwrap();
         for r in 0..src.num_instances() {
-            ds.push_row(vec![src.value(r, 0), src.value(r, 0), src.value(r, 4)]).unwrap();
+            ds.push_row(vec![src.value(r, 0), src.value(r, 0), src.value(r, 4)])
+                .unwrap();
         }
         let cfs = CfsSubset::new();
         let single = cfs.evaluate_subset(&ds, &[0]).unwrap();
         let dup = cfs.evaluate_subset(&ds, &[0, 1]).unwrap();
         // A perfectly redundant copy adds relevance and redundancy in
         // exact balance: the merit must not increase.
-        assert!(dup <= single + 1e-9, "duplicated pair {dup} beats single {single}");
+        assert!(
+            dup <= single + 1e-9,
+            "duplicated pair {dup} beats single {single}"
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl Classifier for AdaBoostM1 {
                 }
                 break;
             }
-            let beta = if err <= 1e-12 { 1e-12 / (1.0 - 1e-12) } else { err / (1.0 - err) };
+            let beta = if err <= 1e-12 {
+                1e-12 / (1.0 - 1e-12)
+            } else {
+                err / (1.0 - err)
+            };
             let alpha = (1.0 / beta).ln();
             self.members.push((member, alpha));
             if err <= 1e-12 {
@@ -111,7 +115,9 @@ impl Classifier for AdaBoostM1 {
             }
         }
         if self.members.is_empty() {
-            return Err(AlgoError::Unsupported("boosting produced no members".into()));
+            return Err(AlgoError::Unsupported(
+                "boosting produced no members".into(),
+            ));
         }
         Ok(())
     }
@@ -135,8 +141,11 @@ impl Classifier for AdaBoostM1 {
         if self.members.is_empty() {
             return "AdaBoostM1: not trained".to_string();
         }
-        let weights: Vec<String> =
-            self.members.iter().map(|(_, a)| format!("{a:.3}")).collect();
+        let weights: Vec<String> = self
+            .members
+            .iter()
+            .map(|(_, a)| format!("{a:.3}"))
+            .collect();
         format!(
             "AdaBoostM1: {} x {} with vote weights [{}]",
             self.members.len(),
@@ -154,7 +163,10 @@ impl Configurable for AdaBoostM1 {
                 name: "numIterations",
                 description: "maximum boosting rounds",
                 default: "10".into(),
-                kind: OptionKind::Integer { min: 1, max: 10_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 10_000,
+                },
             },
             OptionDescriptor {
                 flag: "-W",
@@ -184,7 +196,10 @@ impl Configurable for AdaBoostM1 {
         match flag {
             "-I" => Ok(self.iterations.to_string()),
             "-W" => Ok(self.base_name.clone()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }

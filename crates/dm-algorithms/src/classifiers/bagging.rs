@@ -55,7 +55,10 @@ impl Bagging {
 
     /// Create over an explicit base algorithm.
     pub fn with_base(base_name: &str) -> Bagging {
-        Bagging { base_name: base_name.to_string(), ..Bagging::default() }
+        Bagging {
+            base_name: base_name.to_string(),
+            ..Bagging::default()
+        }
     }
 
     /// Ensemble size after training.
@@ -122,14 +125,20 @@ impl Configurable for Bagging {
                 name: "numIterations",
                 description: "number of bagged members",
                 default: "10".into(),
-                kind: OptionKind::Integer { min: 1, max: 10_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 10_000,
+                },
             },
             OptionDescriptor {
                 flag: "-S",
                 name: "seed",
                 description: "bootstrap random seed",
                 default: "1".into(),
-                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: i64::MAX,
+                },
             },
             OptionDescriptor {
                 flag: "-W",
@@ -161,7 +170,10 @@ impl Configurable for Bagging {
             "-I" => Ok(self.iterations.to_string()),
             "-S" => Ok(self.seed.to_string()),
             "-W" => Ok(self.base_name.clone()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -241,7 +253,10 @@ mod tests {
         b.set_option("-I", "3").unwrap();
         b.train(&ds).unwrap();
         for r in 0..ds.num_instances() {
-            assert_eq!(a.distribution(&ds, r).unwrap(), b.distribution(&ds, r).unwrap());
+            assert_eq!(
+                a.distribution(&ds, r).unwrap(),
+                b.distribution(&ds, r).unwrap()
+            );
         }
     }
 

@@ -44,7 +44,10 @@ fn gini(counts: &[f64]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 impl DecisionStump {
@@ -136,9 +139,8 @@ impl Classifier for DecisionStump {
             }
         }
 
-        let (_, test, mut left, mut right) = best.ok_or_else(|| {
-            AlgoError::Unsupported("DecisionStump found no usable split".into())
-        })?;
+        let (_, test, mut left, mut right) = best
+            .ok_or_else(|| AlgoError::Unsupported("DecisionStump found no usable split".into()))?;
         let attr_index = match &test {
             Test::NominalEq { attr, .. } | Test::NumericLe { attr, .. } => *attr,
         };
@@ -173,7 +175,11 @@ impl Classifier for DecisionStump {
             }
         };
         let _ = attr;
-        Ok(if goes_left { self.left.clone() } else { self.right.clone() })
+        Ok(if goes_left {
+            self.left.clone()
+        } else {
+            self.right.clone()
+        })
     }
 
     fn describe(&self) -> String {
@@ -214,11 +220,17 @@ impl Configurable for DecisionStump {
     }
 
     fn set_option(&mut self, flag: &str, _value: &str) -> Result<()> {
-        Err(AlgoError::BadOption { flag: flag.into(), message: "DecisionStump has no options".into() })
+        Err(AlgoError::BadOption {
+            flag: flag.into(),
+            message: "DecisionStump has no options".into(),
+        })
     }
 
     fn get_option(&self, flag: &str) -> Result<String> {
-        Err(AlgoError::BadOption { flag: flag.into(), message: "DecisionStump has no options".into() })
+        Err(AlgoError::BadOption {
+            flag: flag.into(),
+            message: "DecisionStump has no options".into(),
+        })
     }
 }
 
@@ -251,8 +263,14 @@ impl Stateful for DecisionStump {
         let mut r = StateReader::new(bytes);
         self.test = match r.get_u64()? {
             0 => None,
-            1 => Some(Test::NominalEq { attr: r.get_usize()?, value: r.get_usize()? }),
-            2 => Some(Test::NumericLe { attr: r.get_usize()?, threshold: r.get_f64()? }),
+            1 => Some(Test::NominalEq {
+                attr: r.get_usize()?,
+                value: r.get_usize()?,
+            }),
+            2 => Some(Test::NumericLe {
+                attr: r.get_usize()?,
+                threshold: r.get_f64()?,
+            }),
             tag => return Err(AlgoError::BadState(format!("bad test tag {tag}"))),
         };
         if self.test.is_some() {
@@ -267,9 +285,7 @@ impl Stateful for DecisionStump {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{
-        resubstitution_accuracy, separable_numeric, weather_nominal,
-    };
+    use super::super::test_support::{resubstitution_accuracy, separable_numeric, weather_nominal};
     use super::*;
 
     #[test]

@@ -63,7 +63,10 @@ impl IBk {
 
     /// Create with an explicit `k`.
     pub fn with_k(k: usize) -> IBk {
-        IBk { k: k.max(1), ..IBk::default() }
+        IBk {
+            k: k.max(1),
+            ..IBk::default()
+        }
     }
 
     fn distance(&self, query: &[f64], stored: &[f64]) -> f64 {
@@ -135,7 +138,9 @@ impl Classifier for IBk {
             self.classes.push(Value::as_index(cv));
         }
         if self.rows.is_empty() {
-            return Err(AlgoError::Unsupported("no instances with a class value".into()));
+            return Err(AlgoError::Unsupported(
+                "no instances with a class value".into(),
+            ));
         }
         self.trained = true;
         Ok(())
@@ -189,7 +194,10 @@ impl Configurable for IBk {
                 name: "numNeighbours",
                 description: "number of nearest neighbours",
                 default: "1".into(),
-                kind: OptionKind::Integer { min: 1, max: 10_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 10_000,
+                },
             },
             OptionDescriptor {
                 flag: "-W",
@@ -231,7 +239,10 @@ impl Configurable for IBk {
                 DistanceWeighting::Similarity => "similarity",
             }
             .to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -287,17 +298,24 @@ impl Stateful for IBk {
             self.class_index = r.get_usize()?;
             self.num_classes = r.get_usize()?;
             let n = r.get_usize()?;
-            self.rows = (0..n.min(1 << 24)).map(|_| r.get_f64_vec()).collect::<Result<_>>()?;
+            self.rows = (0..n.min(1 << 24))
+                .map(|_| r.get_f64_vec())
+                .collect::<Result<_>>()?;
             self.classes = r.get_usize_vec()?;
             let nr = r.get_usize()?;
             self.ranges = (0..nr.min(1 << 16))
                 .map(|_| -> Result<Option<(f64, f64)>> {
-                    Ok(if r.get_bool()? { Some((r.get_f64()?, r.get_f64()?)) } else { None })
+                    Ok(if r.get_bool()? {
+                        Some((r.get_f64()?, r.get_f64()?))
+                    } else {
+                        None
+                    })
                 })
                 .collect::<Result<_>>()?;
             let nn = r.get_usize()?;
-            self.nominal =
-                (0..nn.min(1 << 16)).map(|_| r.get_bool()).collect::<Result<_>>()?;
+            self.nominal = (0..nn.min(1 << 16))
+                .map(|_| r.get_bool())
+                .collect::<Result<_>>()?;
         }
         Ok(())
     }
@@ -305,9 +323,7 @@ impl Stateful for IBk {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{
-        resubstitution_accuracy, separable_numeric, weather_nominal,
-    };
+    use super::super::test_support::{resubstitution_accuracy, separable_numeric, weather_nominal};
     use super::*;
 
     #[test]

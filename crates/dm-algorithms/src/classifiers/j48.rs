@@ -61,7 +61,12 @@ struct Node {
 
 impl Node {
     fn leaf(counts: Vec<f64>) -> Node {
-        Node { split: None, children: Vec::new(), branch_fracs: Vec::new(), counts }
+        Node {
+            split: None,
+            children: Vec::new(),
+            branch_fracs: Vec::new(),
+            counts,
+        }
     }
 
     fn is_leaf(&self) -> bool {
@@ -208,8 +213,10 @@ impl J48 {
             return None;
         }
         // Viability: at least 2 branches with >= min_instances.
-        let populated =
-            branch_weights.iter().filter(|&&w| w >= self.min_instances).count();
+        let populated = branch_weights
+            .iter()
+            .filter(|&&w| w >= self.min_instances)
+            .count();
         if populated < 2 {
             return None;
         }
@@ -239,7 +246,11 @@ impl J48 {
         if split_info <= 1e-12 {
             return None;
         }
-        Some(Candidate { split: Split::Nominal { attr: a }, gain, ratio: gain / split_info })
+        Some(Candidate {
+            split: Split::Nominal { attr: a },
+            gain,
+            ratio: gain / split_info,
+        })
     }
 
     /// Evaluate the best numeric threshold for attribute `a`.
@@ -347,11 +358,7 @@ impl J48 {
         let max = counts.iter().cloned().fold(0.0, f64::max);
 
         // Stop: pure, too small, or too deep (defensive cap).
-        if total <= 0.0
-            || (total - max) < 1e-9
-            || total < 2.0 * self.min_instances
-            || depth > 64
-        {
+        if total <= 0.0 || (total - max) < 1e-9 || total < 2.0 * self.min_instances || depth > 64 {
             return Node::leaf(counts);
         }
 
@@ -474,7 +481,10 @@ impl J48 {
         if node.is_leaf() {
             pessimistic_errors(node.weight(), node.training_errors(), cf)
         } else {
-            node.children.iter().map(|c| Self::subtree_error_estimate(c, cf)).sum()
+            node.children
+                .iter()
+                .map(|c| Self::subtree_error_estimate(c, cf))
+                .sum()
         }
     }
 
@@ -567,9 +577,7 @@ impl J48 {
 
     fn split_attr_name(&self, node: &Node) -> &str {
         match node.split.as_ref().expect("internal node") {
-            Split::Nominal { attr } | Split::Numeric { attr, .. } => {
-                &self.header.attr_names[*attr]
-            }
+            Split::Nominal { attr } | Split::Numeric { attr, .. } => &self.header.attr_names[*attr],
         }
     }
 
@@ -613,8 +621,13 @@ impl J48 {
         }
         let split = match r.get_u64()? {
             0 => None,
-            1 => Some(Split::Nominal { attr: r.get_usize()? }),
-            2 => Some(Split::Numeric { attr: r.get_usize()?, threshold: r.get_f64()? }),
+            1 => Some(Split::Nominal {
+                attr: r.get_usize()?,
+            }),
+            2 => Some(Split::Numeric {
+                attr: r.get_usize()?,
+                threshold: r.get_f64()?,
+            }),
             tag => return Err(AlgoError::BadState(format!("bad split tag {tag}"))),
         };
         let counts = r.get_f64_vec()?;
@@ -623,9 +636,15 @@ impl J48 {
         if n > 1 << 20 {
             return Err(AlgoError::BadState(format!("absurd child count {n}")));
         }
-        let children =
-            (0..n).map(|_| Self::decode_node(r, depth + 1)).collect::<Result<_>>()?;
-        Ok(Node { split, children, branch_fracs, counts })
+        let children = (0..n)
+            .map(|_| Self::decode_node(r, depth + 1))
+            .collect::<Result<_>>()?;
+        Ok(Node {
+            split,
+            children,
+            branch_fracs,
+            counts,
+        })
     }
 }
 
@@ -656,8 +675,7 @@ fn added_errors(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = normal_inverse(1.0 - cf);
     let f = (e + 0.5) / n;
-    let r = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     r * n - e
 }
@@ -717,7 +735,11 @@ impl Classifier for J48 {
     fn train(&mut self, data: &Dataset) -> Result<()> {
         let (ci, k) = check_trainable(data)?;
         self.header = Header {
-            attr_names: data.attributes().iter().map(|a| a.name().to_string()).collect(),
+            attr_names: data
+                .attributes()
+                .iter()
+                .map(|a| a.name().to_string())
+                .collect(),
             attr_labels: data
                 .attributes()
                 .iter()
@@ -726,8 +748,9 @@ impl Classifier for J48 {
             class_labels: data.class_attribute()?.labels().to_vec(),
             class_index: ci,
         };
-        let items: Vec<(usize, f64)> =
-            (0..data.num_instances()).map(|r| (r, data.weight(r))).collect();
+        let items: Vec<(usize, f64)> = (0..data.num_instances())
+            .map(|r| (r, data.weight(r)))
+            .collect();
         let mut root = self.build(data, &items, ci, k, 0);
         if !self.unpruned {
             Self::prune(&mut root, self.confidence);
@@ -750,7 +773,11 @@ impl Classifier for J48 {
             Some(r) => r,
         };
         let mut out = String::from("J48 ");
-        out.push_str(if self.unpruned { "unpruned tree\n" } else { "pruned tree\n" });
+        out.push_str(if self.unpruned {
+            "unpruned tree\n"
+        } else {
+            "pruned tree\n"
+        });
         out.push_str("------------------\n\n");
         out.push_str(&self.tree_model().expect("trained").to_text());
         out.push_str(&format!(
@@ -777,14 +804,20 @@ impl Configurable for J48 {
                 name: "confidenceFactor",
                 description: "confidence factor used for pessimistic pruning",
                 default: "0.25".into(),
-                kind: OptionKind::Real { min: 1e-6, max: 0.5 },
+                kind: OptionKind::Real {
+                    min: 1e-6,
+                    max: 0.5,
+                },
             },
             OptionDescriptor {
                 flag: "-M",
                 name: "minNumObj",
                 description: "minimum number of instances per leaf",
                 default: "2".into(),
-                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
             },
             OptionDescriptor {
                 flag: "-U",
@@ -813,7 +846,10 @@ impl Configurable for J48 {
             "-C" => Ok(self.confidence.to_string()),
             "-M" => Ok((self.min_instances as i64).to_string()),
             "-U" => Ok(self.unpruned.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -870,7 +906,12 @@ impl Stateful for J48 {
             }
             let class_labels = (0..cn).map(|_| r.get_str()).collect::<Result<Vec<_>>>()?;
             let class_index = r.get_usize()?;
-            self.header = Header { attr_names: names, attr_labels: labels, class_labels, class_index };
+            self.header = Header {
+                attr_names: names,
+                attr_labels: labels,
+                class_labels,
+                class_index,
+            };
             self.root = Some(Self::decode_node(&mut r, 0)?);
         } else {
             self.root = None;
@@ -881,9 +922,7 @@ impl Stateful for J48 {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{
-        resubstitution_accuracy, weather_nominal, weather_numeric,
-    };
+    use super::super::test_support::{resubstitution_accuracy, weather_nominal, weather_numeric};
     use super::*;
 
     #[test]
@@ -905,8 +944,14 @@ mod tests {
         let mut j = J48::new();
         j.train(&ds).unwrap();
         let text = j.describe();
-        assert!(text.contains("outlook = overcast: yes (4.0)"), "got:\n{text}");
-        assert!(text.contains("|   humidity = high: no (3.0)"), "got:\n{text}");
+        assert!(
+            text.contains("outlook = overcast: yes (4.0)"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("|   humidity = high: no (3.0)"),
+            "got:\n{text}"
+        );
         assert!(text.contains("Number of Leaves  : \t5"), "got:\n{text}");
     }
 

@@ -236,14 +236,20 @@ impl Configurable for Logistic {
                 name: "iterations",
                 description: "gradient descent iterations",
                 default: "200".into(),
-                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
             },
             OptionDescriptor {
                 flag: "-L",
                 name: "learningRate",
                 description: "gradient descent step size",
                 default: "0.1".into(),
-                kind: OptionKind::Real { min: 1e-9, max: 10.0 },
+                kind: OptionKind::Real {
+                    min: 1e-9,
+                    max: 10.0,
+                },
             },
         ]
     }
@@ -265,7 +271,10 @@ impl Configurable for Logistic {
             "-R" => Ok(self.ridge.to_string()),
             "-I" => Ok(self.iterations.to_string()),
             "-L" => Ok(self.learning_rate.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -327,9 +336,7 @@ impl Stateful for Logistic {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{
-        resubstitution_accuracy, separable_numeric, weather_nominal,
-    };
+    use super::super::test_support::{resubstitution_accuracy, separable_numeric, weather_nominal};
     use super::*;
 
     #[test]

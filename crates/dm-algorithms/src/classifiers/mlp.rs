@@ -172,9 +172,8 @@ impl Classifier for MultilayerPerceptron {
         self.num_features = off;
 
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut init = |n: usize| -> Vec<f64> {
-            (0..n).map(|_| rng.random_range(-0.5..0.5)).collect()
-        };
+        let mut init =
+            |n: usize| -> Vec<f64> { (0..n).map(|_| rng.random_range(-0.5..0.5)).collect() };
         self.w1 = (0..self.hidden).map(|_| init(off + 1)).collect();
         self.w2 = (0..k).map(|_| init(self.hidden + 1)).collect();
         self.trained = true;
@@ -185,7 +184,11 @@ impl Classifier for MultilayerPerceptron {
         let mut ys = Vec::with_capacity(n);
         for r in 0..n {
             let cv = data.value(r, ci);
-            ys.push(if Value::is_missing(cv) { usize::MAX } else { Value::as_index(cv) });
+            ys.push(if Value::is_missing(cv) {
+                usize::MAX
+            } else {
+                Value::as_index(cv)
+            });
             let (s, e) = (r * off, (r + 1) * off);
             let out = &mut xs[s..e];
             self.features(data, r, out);
@@ -203,9 +206,8 @@ impl Classifier for MultilayerPerceptron {
                 let x = &xs[r * off..(r + 1) * off];
                 let p = self.forward(x, &mut hidden_out);
                 // Output deltas (softmax + cross-entropy).
-                let out_delta: Vec<f64> = (0..k)
-                    .map(|c| p[c] - f64::from(u8::from(c == y)))
-                    .collect();
+                let out_delta: Vec<f64> =
+                    (0..k).map(|c| p[c] - f64::from(u8::from(c == y))).collect();
                 // Hidden deltas.
                 let mut hid_delta = vec![0.0; self.hidden];
                 for (h, hd) in hid_delta.iter_mut().enumerate() {
@@ -279,28 +281,40 @@ impl Configurable for MultilayerPerceptron {
                 name: "learningRate",
                 description: "backpropagation learning rate",
                 default: "0.3".into(),
-                kind: OptionKind::Real { min: 1e-9, max: 1.0 },
+                kind: OptionKind::Real {
+                    min: 1e-9,
+                    max: 1.0,
+                },
             },
             OptionDescriptor {
                 flag: "-M",
                 name: "momentum",
                 description: "backpropagation momentum",
                 default: "0.2".into(),
-                kind: OptionKind::Real { min: 0.0, max: 0.999 },
+                kind: OptionKind::Real {
+                    min: 0.0,
+                    max: 0.999,
+                },
             },
             OptionDescriptor {
                 flag: "-N",
                 name: "epochs",
                 description: "training epochs",
                 default: "200".into(),
-                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
             },
             OptionDescriptor {
                 flag: "-S",
                 name: "seed",
                 description: "random seed for weight initialisation",
                 default: "1".into(),
-                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: i64::MAX,
+                },
             },
         ]
     }
@@ -326,7 +340,10 @@ impl Configurable for MultilayerPerceptron {
             "-M" => Ok(self.momentum.to_string()),
             "-N" => Ok(self.epochs.to_string()),
             "-S" => Ok(self.seed.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -401,9 +418,7 @@ impl Stateful for MultilayerPerceptron {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{
-        resubstitution_accuracy, separable_numeric, weather_nominal,
-    };
+    use super::super::test_support::{resubstitution_accuracy, separable_numeric, weather_nominal};
     use super::*;
 
     #[test]
@@ -435,7 +450,8 @@ mod tests {
             ds.push_row(vec![1.0, 1.0, 0.0]).unwrap();
         }
         let mut c = MultilayerPerceptron::new();
-        c.set_options(&[("-H", "6"), ("-N", "600"), ("-L", "0.5")]).unwrap();
+        c.set_options(&[("-H", "6"), ("-N", "600"), ("-L", "0.5")])
+            .unwrap();
         c.train(&ds).unwrap();
         assert_eq!(resubstitution_accuracy(&c, &ds), 1.0, "MLP failed XOR");
     }
@@ -457,7 +473,10 @@ mod tests {
         let mut b = MultilayerPerceptron::new();
         b.train(&ds).unwrap();
         for r in 0..ds.num_instances() {
-            assert_eq!(a.distribution(&ds, r).unwrap(), b.distribution(&ds, r).unwrap());
+            assert_eq!(
+                a.distribution(&ds, r).unwrap(),
+                b.distribution(&ds, r).unwrap()
+            );
         }
     }
 
@@ -470,7 +489,10 @@ mod tests {
         let mut c2 = MultilayerPerceptron::new();
         c2.decode_state(&c.encode_state()).unwrap();
         for r in 0..ds.num_instances() {
-            let (a, b) = (c.distribution(&ds, r).unwrap(), c2.distribution(&ds, r).unwrap());
+            let (a, b) = (
+                c.distribution(&ds, r).unwrap(),
+                c2.distribution(&ds, r).unwrap(),
+            );
             for (x, y) in a.iter().zip(&b) {
                 assert!((x - y).abs() < 1e-12);
             }

@@ -88,13 +88,17 @@ pub fn argmax(xs: &[f64]) -> Option<usize> {
 /// Validate that `data` has a nominal class and at least one instance;
 /// returns `(class_index, num_classes)`.
 pub(crate) fn check_trainable(data: &Dataset) -> Result<(usize, usize)> {
-    let ci = data.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+    let ci = data
+        .class_index()
+        .ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
     let k = data.num_classes()?;
     if data.num_instances() == 0 {
         return Err(AlgoError::Data(dm_data::DataError::Empty));
     }
     if k < 2 {
-        return Err(AlgoError::Unsupported(format!("class has {k} label(s); need >= 2")));
+        return Err(AlgoError::Unsupported(format!(
+            "class has {k} label(s); need >= 2"
+        )));
     }
     Ok((ci, k))
 }
@@ -228,10 +232,7 @@ pub(crate) mod test_support {
     }
 
     /// Training-set accuracy of a trained classifier.
-    pub fn resubstitution_accuracy(
-        c: &dyn super::Classifier,
-        ds: &Dataset,
-    ) -> f64 {
+    pub fn resubstitution_accuracy(c: &dyn super::Classifier, ds: &Dataset) -> f64 {
         let ci = ds.class_index().unwrap();
         let mut hits = 0usize;
         for r in 0..ds.num_instances() {

@@ -245,7 +245,8 @@ impl Configurable for NaiveBayes {
         vec![OptionDescriptor {
             flag: "-D",
             name: "useSupervisedDiscretization",
-            description: "discretize numeric attributes before training (recognised, off by default)",
+            description:
+                "discretize numeric attributes before training (recognised, off by default)",
             default: "false".into(),
             kind: OptionKind::Flag,
         }]
@@ -261,7 +262,10 @@ impl Configurable for NaiveBayes {
     fn get_option(&self, flag: &str) -> Result<String> {
         match flag {
             "-D" => Ok(self.use_supervised_discretization.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -445,8 +449,14 @@ mod tests {
     #[test]
     fn update_batch_requires_training_and_arity() {
         let mut nb = NaiveBayes::new();
-        let batch = RecordBatch { width: 3, rows: vec![0.0; 6] };
-        assert!(matches!(nb.update_batch(&batch), Err(AlgoError::NotTrained)));
+        let batch = RecordBatch {
+            width: 3,
+            rows: vec![0.0; 6],
+        };
+        assert!(matches!(
+            nb.update_batch(&batch),
+            Err(AlgoError::NotTrained)
+        ));
         let ds = weather_nominal();
         nb.train(&ds).unwrap();
         assert!(nb.update_batch(&batch).is_err()); // width 3 != 5

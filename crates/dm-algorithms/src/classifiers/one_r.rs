@@ -129,9 +129,7 @@ impl OneR {
                 counts[pairs[j].1] += pairs[j].2;
                 j += 1;
                 let max = counts.iter().cloned().fold(0.0, f64::max);
-                if max >= min_bucket as f64
-                    && (j >= pairs.len() || pairs[j].0 != pairs[j - 1].0)
-                {
+                if max >= min_bucket as f64 && (j >= pairs.len() || pairs[j].0 != pairs[j - 1].0) {
                     break;
                 }
             }
@@ -209,7 +207,10 @@ impl Classifier for OneR {
         let class = if Value::is_missing(v) {
             self.default_class
         } else if self.is_nominal {
-            self.nominal_rule.get(Value::as_index(v)).copied().unwrap_or(self.default_class)
+            self.nominal_rule
+                .get(Value::as_index(v))
+                .copied()
+                .unwrap_or(self.default_class)
         } else {
             self.numeric_rule
                 .iter()
@@ -248,7 +249,10 @@ impl Configurable for OneR {
             name: "minBucketSize",
             description: "minimum instances per bucket for numeric attributes",
             default: "6".into(),
-            kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+            kind: OptionKind::Integer {
+                min: 1,
+                max: 1_000_000,
+            },
         }]
     }
 
@@ -265,7 +269,10 @@ impl Configurable for OneR {
     fn get_option(&self, flag: &str) -> Result<String> {
         match flag {
             "-B" => Ok(self.min_bucket.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -302,7 +309,10 @@ impl Stateful for OneR {
             let n = r.get_usize()?;
             self.numeric_rule = (0..n)
                 .map(|_| -> Result<Bucket> {
-                    Ok(Bucket { upper: r.get_f64()?, class: r.get_usize()? })
+                    Ok(Bucket {
+                        upper: r.get_f64()?,
+                        class: r.get_usize()?,
+                    })
                 })
                 .collect::<Result<_>>()?;
             self.default_class = r.get_usize()?;

@@ -70,8 +70,11 @@ impl Classifier for Prism {
                 ));
             }
         }
-        self.attr_names =
-            data.attributes().iter().map(|a| a.name().to_string()).collect();
+        self.attr_names = data
+            .attributes()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
         self.num_classes = k;
         let counts = data.class_counts()?;
         self.default_class = super::argmax(&counts).expect("k >= 2");
@@ -79,9 +82,7 @@ impl Classifier for Prism {
 
         // Usable training rows: complete in all predictive attributes.
         let complete: Vec<usize> = (0..data.num_instances())
-            .filter(|&r| {
-                (0..data.num_attributes()).all(|a| !Value::is_missing(data.value(r, a)))
-            })
+            .filter(|&r| (0..data.num_attributes()).all(|a| !Value::is_missing(data.value(r, a))))
             .collect();
 
         for class in 0..k {
@@ -134,8 +135,7 @@ impl Classifier for Prism {
                             let better = match &best {
                                 None => true,
                                 Some((bp, btot, _)) => {
-                                    p > *bp + 1e-12
-                                        || ((p - *bp).abs() <= 1e-12 && tot > *btot)
+                                    p > *bp + 1e-12 || ((p - *bp).abs() <= 1e-12 && tot > *btot)
                                 }
                             };
                             if better {
@@ -196,7 +196,11 @@ impl Classifier for Prism {
                 .iter()
                 .map(|c| format!("{} = #{}", self.attr_names[c.attr], c.value))
                 .collect();
-            out.push_str(&format!("If {} then class #{}\n", conds.join(" and "), r.class));
+            out.push_str(&format!(
+                "If {} then class #{}\n",
+                conds.join(" and "),
+                r.class
+            ));
         }
         out.push_str(&format!("Otherwise class #{}\n", self.default_class));
         out
@@ -209,11 +213,17 @@ impl Configurable for Prism {
     }
 
     fn set_option(&mut self, flag: &str, _value: &str) -> Result<()> {
-        Err(AlgoError::BadOption { flag: flag.into(), message: "Prism has no options".into() })
+        Err(AlgoError::BadOption {
+            flag: flag.into(),
+            message: "Prism has no options".into(),
+        })
     }
 
     fn get_option(&self, flag: &str) -> Result<String> {
-        Err(AlgoError::BadOption { flag: flag.into(), message: "Prism has no options".into() })
+        Err(AlgoError::BadOption {
+            flag: flag.into(),
+            message: "Prism has no options".into(),
+        })
     }
 }
 
@@ -265,7 +275,10 @@ impl Stateful for Prism {
                     }
                     let conditions = (0..nc)
                         .map(|_| -> Result<Condition> {
-                            Ok(Condition { attr: r.get_usize()?, value: r.get_usize()? })
+                            Ok(Condition {
+                                attr: r.get_usize()?,
+                                value: r.get_usize()?,
+                            })
                         })
                         .collect::<Result<_>>()?;
                     Ok(Rule { class, conditions })

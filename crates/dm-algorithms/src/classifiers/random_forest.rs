@@ -25,7 +25,13 @@ pub struct RandomForest {
 
 impl Default for RandomForest {
     fn default() -> Self {
-        RandomForest { num_trees: 10, k_attrs: 0, seed: 1, trees: Vec::new(), num_classes: 0 }
+        RandomForest {
+            num_trees: 10,
+            k_attrs: 0,
+            seed: 1,
+            trees: Vec::new(),
+            num_classes: 0,
+        }
     }
 }
 
@@ -82,7 +88,11 @@ impl Classifier for RandomForest {
         if self.trees.is_empty() {
             return "RandomForest: not trained".to_string();
         }
-        format!("Random forest of {} trees (K = {})", self.trees.len(), self.k_attrs)
+        format!(
+            "Random forest of {} trees (K = {})",
+            self.trees.len(),
+            self.k_attrs
+        )
     }
 }
 
@@ -94,21 +104,30 @@ impl Configurable for RandomForest {
                 name: "numTrees",
                 description: "number of trees in the forest",
                 default: "10".into(),
-                kind: OptionKind::Integer { min: 1, max: 10_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 10_000,
+                },
             },
             OptionDescriptor {
                 flag: "-K",
                 name: "numAttributes",
                 description: "attributes considered per node (0 = log2(n)+1)",
                 default: "0".into(),
-                kind: OptionKind::Integer { min: 0, max: 100_000 },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: 100_000,
+                },
             },
             OptionDescriptor {
                 flag: "-S",
                 name: "seed",
                 description: "random seed",
                 default: "1".into(),
-                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: i64::MAX,
+                },
             },
         ]
     }
@@ -130,7 +149,10 @@ impl Configurable for RandomForest {
             "-I" => Ok(self.num_trees.to_string()),
             "-K" => Ok(self.k_attrs.to_string()),
             "-S" => Ok(self.seed.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -202,7 +224,10 @@ mod tests {
         let mut b = RandomForest::new();
         b.train(&ds).unwrap();
         for r in 0..ds.num_instances() {
-            assert_eq!(a.distribution(&ds, r).unwrap(), b.distribution(&ds, r).unwrap());
+            assert_eq!(
+                a.distribution(&ds, r).unwrap(),
+                b.distribution(&ds, r).unwrap()
+            );
         }
     }
 

@@ -60,7 +60,10 @@ impl RandomTree {
 
     /// Create with an explicit seed (used by RandomForest).
     pub fn with_seed(seed: u64) -> RandomTree {
-        RandomTree { seed, ..RandomTree::default() }
+        RandomTree {
+            seed,
+            ..RandomTree::default()
+        }
     }
 
     fn build(
@@ -82,12 +85,16 @@ impl RandomTree {
         let total: f64 = counts.iter().sum();
         let max = counts.iter().cloned().fold(0.0, f64::max);
         if total <= 0.0 || (total - max) < 1e-9 || total < 2.0 * self.min_instances || depth > 64 {
-            return Node { split: None, children: Vec::new(), counts, majority_branch: 0 };
+            return Node {
+                split: None,
+                children: Vec::new(),
+                counts,
+                majority_branch: 0,
+            };
         }
 
         // Random attribute subset.
-        let mut attrs: Vec<usize> =
-            (0..data.num_attributes()).filter(|&a| a != ci).collect();
+        let mut attrs: Vec<usize> = (0..data.num_attributes()).filter(|&a| a != ci).collect();
         attrs.shuffle(rng);
         let kk = if self.k_attrs == 0 {
             ((data.num_attributes() as f64).log2() as usize + 1).min(attrs.len())
@@ -116,7 +123,10 @@ impl RandomTree {
                 if bw <= 0.0 {
                     continue;
                 }
-                let populated = branch.iter().filter(|b| b.iter().sum::<f64>() > 0.0).count();
+                let populated = branch
+                    .iter()
+                    .filter(|b| b.iter().sum::<f64>() > 0.0)
+                    .count();
                 if populated < 2 {
                     continue;
                 }
@@ -163,7 +173,10 @@ impl RandomTree {
                     if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                         best = Some((
                             gain,
-                            Split::Numeric { attr: a, threshold: (v + pairs[i + 1].0) / 2.0 },
+                            Split::Numeric {
+                                attr: a,
+                                threshold: (v + pairs[i + 1].0) / 2.0,
+                            },
                         ));
                     }
                 }
@@ -173,7 +186,12 @@ impl RandomTree {
         let (_, split) = match best {
             Some(b) => b,
             None => {
-                return Node { split: None, children: Vec::new(), counts, majority_branch: 0 }
+                return Node {
+                    split: None,
+                    children: Vec::new(),
+                    counts,
+                    majority_branch: 0,
+                }
             }
         };
         let num_branches = match &split {
@@ -221,7 +239,12 @@ impl RandomTree {
                 }
             })
             .collect();
-        Node { split: Some(split), children, counts, majority_branch }
+        Node {
+            split: Some(split),
+            children,
+            counts,
+            majority_branch,
+        }
     }
 
     fn node_distribution<'a>(&self, mut node: &'a Node, data: &Dataset, row: usize) -> &'a [f64] {
@@ -280,8 +303,13 @@ impl RandomTree {
         }
         let split = match r.get_u64()? {
             0 => None,
-            1 => Some(Split::Nominal { attr: r.get_usize()? }),
-            2 => Some(Split::Numeric { attr: r.get_usize()?, threshold: r.get_f64()? }),
+            1 => Some(Split::Nominal {
+                attr: r.get_usize()?,
+            }),
+            2 => Some(Split::Numeric {
+                attr: r.get_usize()?,
+                threshold: r.get_f64()?,
+            }),
             tag => return Err(AlgoError::BadState(format!("bad split tag {tag}"))),
         };
         let counts = r.get_f64_vec()?;
@@ -290,8 +318,15 @@ impl RandomTree {
         if n > 1 << 20 {
             return Err(AlgoError::BadState("absurd child count".into()));
         }
-        let children = (0..n).map(|_| Self::decode_node(r, depth + 1)).collect::<Result<_>>()?;
-        Ok(Node { split, children, counts, majority_branch })
+        let children = (0..n)
+            .map(|_| Self::decode_node(r, depth + 1))
+            .collect::<Result<_>>()?;
+        Ok(Node {
+            split,
+            children,
+            counts,
+            majority_branch,
+        })
     }
 
     fn tree_nodes(&self, node: &Node, edge: String, model: &mut TreeModel) -> usize {
@@ -336,7 +371,11 @@ impl Classifier for RandomTree {
     fn train(&mut self, data: &Dataset) -> Result<()> {
         let (ci, k) = check_trainable(data)?;
         self.num_classes = k;
-        self.attr_names = data.attributes().iter().map(|a| a.name().to_string()).collect();
+        self.attr_names = data
+            .attributes()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
         let rows: Vec<usize> = (0..data.num_instances()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.root = Some(self.build(data, &rows, ci, k, &mut rng, 0));
@@ -378,21 +417,30 @@ impl Configurable for RandomTree {
                 name: "numAttributes",
                 description: "attributes considered per node (0 = log2(n)+1)",
                 default: "0".into(),
-                kind: OptionKind::Integer { min: 0, max: 100_000 },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: 100_000,
+                },
             },
             OptionDescriptor {
                 flag: "-M",
                 name: "minNum",
                 description: "minimum instances to keep splitting",
                 default: "1".into(),
-                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
             },
             OptionDescriptor {
                 flag: "-S",
                 name: "seed",
                 description: "random seed",
                 default: "1".into(),
-                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: i64::MAX,
+                },
             },
         ]
     }
@@ -414,7 +462,10 @@ impl Configurable for RandomTree {
             "-K" => Ok(self.k_attrs.to_string()),
             "-M" => Ok((self.min_instances as i64).to_string()),
             "-S" => Ok(self.seed.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -448,16 +499,18 @@ impl Stateful for RandomTree {
             return Err(AlgoError::BadState("absurd name count".into()));
         }
         self.attr_names = (0..n).map(|_| r.get_str()).collect::<Result<_>>()?;
-        self.root = if r.get_bool()? { Some(Self::decode_node(&mut r, 0)?) } else { None };
+        self.root = if r.get_bool()? {
+            Some(Self::decode_node(&mut r, 0)?)
+        } else {
+            None
+        };
         Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{
-        resubstitution_accuracy, separable_numeric, weather_nominal,
-    };
+    use super::super::test_support::{resubstitution_accuracy, separable_numeric, weather_nominal};
     use super::*;
 
     #[test]

@@ -57,11 +57,17 @@ impl Configurable for ZeroR {
     }
 
     fn set_option(&mut self, flag: &str, _value: &str) -> Result<()> {
-        Err(AlgoError::BadOption { flag: flag.to_string(), message: "ZeroR has no options".into() })
+        Err(AlgoError::BadOption {
+            flag: flag.to_string(),
+            message: "ZeroR has no options".into(),
+        })
     }
 
     fn get_option(&self, flag: &str) -> Result<String> {
-        Err(AlgoError::BadOption { flag: flag.to_string(), message: "ZeroR has no options".into() })
+        Err(AlgoError::BadOption {
+            flag: flag.to_string(),
+            message: "ZeroR has no options".into(),
+        })
     }
 }
 
@@ -122,7 +128,10 @@ mod tests {
         let bytes = z.encode_state();
         let mut z2 = ZeroR::new();
         z2.decode_state(&bytes).unwrap();
-        assert_eq!(z.distribution(&ds, 0).unwrap(), z2.distribution(&ds, 0).unwrap());
+        assert_eq!(
+            z.distribution(&ds, 0).unwrap(),
+            z2.distribution(&ds, 0).unwrap()
+        );
         assert_eq!(z.describe(), z2.describe());
     }
 

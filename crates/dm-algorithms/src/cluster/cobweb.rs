@@ -101,7 +101,10 @@ struct Concept {
 
 impl Concept {
     fn leaf(stats: Stats) -> Concept {
-        Concept { stats, children: Vec::new() }
+        Concept {
+            stats,
+            children: Vec::new(),
+        }
     }
 
     fn num_leaves(&self) -> usize {
@@ -247,7 +250,13 @@ impl Cobweb {
         }
     }
 
-    fn render(&self, node: &Concept, edge: String, model: &mut TreeModel, next_leaf: &mut usize) -> usize {
+    fn render(
+        &self,
+        node: &Concept,
+        edge: String,
+        model: &mut TreeModel,
+        next_leaf: &mut usize,
+    ) -> usize {
         if node.children.is_empty() {
             let id = model.add_node(
                 format!("leaf {} [{}]", *next_leaf, node.stats.n),
@@ -299,17 +308,23 @@ impl Cobweb {
             return Err(AlgoError::BadState("absurd numeric count".into()));
         }
         let numeric = (0..nu)
-            .map(|_| -> Result<(f64, f64, f64)> {
-                Ok((r.get_f64()?, r.get_f64()?, r.get_f64()?))
-            })
+            .map(|_| -> Result<(f64, f64, f64)> { Ok((r.get_f64()?, r.get_f64()?, r.get_f64()?)) })
             .collect::<Result<_>>()?;
         let nc = r.get_usize()?;
         if nc > 1 << 16 {
             return Err(AlgoError::BadState("absurd child count".into()));
         }
-        let children =
-            (0..nc).map(|_| Self::decode_concept(r, depth + 1)).collect::<Result<_>>()?;
-        Ok(Concept { stats: Stats { n, nominal, numeric }, children })
+        let children = (0..nc)
+            .map(|_| Self::decode_concept(r, depth + 1))
+            .collect::<Result<_>>()?;
+        Ok(Concept {
+            stats: Stats {
+                n,
+                nominal,
+                numeric,
+            },
+            children,
+        })
     }
 }
 
@@ -380,7 +395,10 @@ impl Configurable for Cobweb {
                 name: "acuity",
                 description: "minimum numeric standard deviation",
                 default: "1.0".into(),
-                kind: OptionKind::Real { min: 1e-9, max: 1e9 },
+                kind: OptionKind::Real {
+                    min: 1e-9,
+                    max: 1e9,
+                },
             },
             OptionDescriptor {
                 flag: "-C",
@@ -407,7 +425,10 @@ impl Configurable for Cobweb {
         match flag {
             "-A" => Ok(self.acuity.to_string()),
             "-C" => Ok(self.cutoff.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -506,7 +527,10 @@ mod tests {
                 }
             }
         }
-        assert!(same as f64 / pairs as f64 > 0.6, "co-clustering {same}/{pairs}");
+        assert!(
+            same as f64 / pairs as f64 > 0.6,
+            "co-clustering {same}/{pairs}"
+        );
     }
 
     #[test]

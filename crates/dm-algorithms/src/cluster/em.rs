@@ -57,7 +57,10 @@ impl EM {
 
     /// Create with an explicit component count.
     pub fn with_k(k: usize) -> EM {
-        EM { k: k.max(1), ..EM::default() }
+        EM {
+            k: k.max(1),
+            ..EM::default()
+        }
     }
 
     /// Final training log-likelihood.
@@ -90,7 +93,9 @@ impl EM {
     }
 
     fn responsibilities(&self, data: &Dataset, row: usize) -> Vec<f64> {
-        let logs: Vec<f64> = (0..self.k).map(|c| self.log_density(data, row, c)).collect();
+        let logs: Vec<f64> = (0..self.k)
+            .map(|c| self.log_density(data, row, c))
+            .collect();
         let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut r: Vec<f64> = logs.iter().map(|&l| (l - max).exp()).collect();
         let total: f64 = r.iter().sum();
@@ -112,7 +117,10 @@ impl Clusterer for EM {
         check_clusterable(data)?;
         let n = data.num_instances();
         if self.k > n {
-            return Err(AlgoError::Unsupported(format!("k = {} exceeds {n} instances", self.k)));
+            return Err(AlgoError::Unsupported(format!(
+                "k = {} exceeds {n} instances",
+                self.k
+            )));
         }
         self.space = DistanceSpace::fit(data);
 
@@ -242,21 +250,30 @@ impl Configurable for EM {
                 name: "numClusters",
                 description: "number of mixture components",
                 default: "2".into(),
-                kind: OptionKind::Integer { min: 1, max: 10_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 10_000,
+                },
             },
             OptionDescriptor {
                 flag: "-I",
                 name: "maxIterations",
                 description: "EM iterations",
                 default: "20".into(),
-                kind: OptionKind::Integer { min: 1, max: 100_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 100_000,
+                },
             },
             OptionDescriptor {
                 flag: "-S",
                 name: "seed",
                 description: "random seed (k-means initialisation)",
                 default: "100".into(),
-                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: i64::MAX,
+                },
             },
         ]
     }
@@ -278,7 +295,10 @@ impl Configurable for EM {
             "-N" => Ok(self.k.to_string()),
             "-I" => Ok(self.iterations.to_string()),
             "-S" => Ok(self.seed.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -340,11 +360,12 @@ impl Stateful for EM {
                         .map(|_| -> Result<AttrModel> {
                             Ok(match r.get_u64()? {
                                 0 => AttrModel::Skip,
-                                1 => AttrModel::Gaussian { mean: r.get_f64()?, sd: r.get_f64()? },
+                                1 => AttrModel::Gaussian {
+                                    mean: r.get_f64()?,
+                                    sd: r.get_f64()?,
+                                },
                                 2 => AttrModel::Multinomial(r.get_f64_vec()?),
-                                tag => {
-                                    return Err(AlgoError::BadState(format!("bad tag {tag}")))
-                                }
+                                tag => return Err(AlgoError::BadState(format!("bad tag {tag}"))),
                             })
                         })
                         .collect()
@@ -365,8 +386,9 @@ mod tests {
         let ds = three_blobs();
         let mut em = EM::with_k(3);
         em.build(&ds).unwrap();
-        let assign: Vec<usize> =
-            (0..ds.num_instances()).map(|r| em.cluster_instance(&ds, r).unwrap()).collect();
+        let assign: Vec<usize> = (0..ds.num_instances())
+            .map(|r| em.cluster_instance(&ds, r).unwrap())
+            .collect();
         let ri = rand_index(&ds, &assign);
         assert!(ri > 0.95, "rand index {ri}");
     }
@@ -396,8 +418,11 @@ mod tests {
             vec![Attribute::nominal("a", ["x", "y"]), Attribute::numeric("v")],
         );
         for i in 0..20 {
-            ds.push_labels(&[if i % 2 == 0 { "x" } else { "y" }, &format!("{}", i % 2 * 100)])
-                .unwrap();
+            ds.push_labels(&[
+                if i % 2 == 0 { "x" } else { "y" },
+                &format!("{}", i % 2 * 100),
+            ])
+            .unwrap();
         }
         let mut em = EM::with_k(2);
         em.build(&ds).unwrap();

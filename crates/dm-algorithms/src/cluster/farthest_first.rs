@@ -44,7 +44,10 @@ impl FarthestFirst {
 
     /// Create with an explicit cluster count.
     pub fn with_k(k: usize) -> FarthestFirst {
-        FarthestFirst { k: k.max(1), ..FarthestFirst::default() }
+        FarthestFirst {
+            k: k.max(1),
+            ..FarthestFirst::default()
+        }
     }
 
     fn distance_to_center(&self, data: &Dataset, row: usize, center: &[f64]) -> f64 {
@@ -94,7 +97,10 @@ impl Clusterer for FarthestFirst {
         check_clusterable(data)?;
         let n = data.num_instances();
         if self.k > n {
-            return Err(AlgoError::Unsupported(format!("k = {} exceeds {n} instances", self.k)));
+            return Err(AlgoError::Unsupported(format!(
+                "k = {} exceeds {n} instances",
+                self.k
+            )));
         }
         self.space = DistanceSpace::fit(data);
         self.built = true;
@@ -154,14 +160,20 @@ impl Configurable for FarthestFirst {
                 name: "numClusters",
                 description: "number of clusters",
                 default: "2".into(),
-                kind: OptionKind::Integer { min: 1, max: 100_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 100_000,
+                },
             },
             OptionDescriptor {
                 flag: "-S",
                 name: "seed",
                 description: "random seed for the first centre",
                 default: "1".into(),
-                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: i64::MAX,
+                },
             },
         ]
     }
@@ -181,7 +193,10 @@ impl Configurable for FarthestFirst {
         match flag {
             "-N" => Ok(self.k.to_string()),
             "-S" => Ok(self.seed.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -229,8 +244,9 @@ mod tests {
         let ds = three_blobs();
         let mut ff = FarthestFirst::with_k(3);
         ff.build(&ds).unwrap();
-        let assign: Vec<usize> =
-            (0..ds.num_instances()).map(|r| ff.cluster_instance(&ds, r).unwrap()).collect();
+        let assign: Vec<usize> = (0..ds.num_instances())
+            .map(|r| ff.cluster_instance(&ds, r).unwrap())
+            .collect();
         let ri = rand_index(&ds, &assign);
         assert!(ri > 0.95, "rand index {ri}");
     }

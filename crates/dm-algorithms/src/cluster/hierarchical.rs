@@ -61,7 +61,11 @@ impl Hierarchical {
 
     /// Create with an explicit cut size and linkage.
     pub fn with_k(k: usize, linkage: Linkage) -> Hierarchical {
-        Hierarchical { k: k.max(1), linkage, ..Hierarchical::default() }
+        Hierarchical {
+            k: k.max(1),
+            linkage,
+            ..Hierarchical::default()
+        }
     }
 
     /// Flat assignments of the training rows.
@@ -102,7 +106,10 @@ impl Clusterer for Hierarchical {
         check_clusterable(data)?;
         let n = data.num_instances();
         if self.k > n {
-            return Err(AlgoError::Unsupported(format!("k = {} exceeds {n} instances", self.k)));
+            return Err(AlgoError::Unsupported(format!(
+                "k = {} exceeds {n} instances",
+                self.k
+            )));
         }
         self.space = DistanceSpace::fit(data);
 
@@ -118,8 +125,7 @@ impl Clusterer for Hierarchical {
         }
 
         // Active clusters: (id, member rows).
-        let mut clusters: Vec<(usize, Vec<usize>)> =
-            (0..n).map(|i| (i, vec![i])).collect();
+        let mut clusters: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
         let mut next_id = n;
         self.merges.clear();
         while clusters.len() > 1 {
@@ -240,7 +246,10 @@ impl Configurable for Hierarchical {
                 name: "numClusters",
                 description: "number of flat clusters after cutting the dendrogram",
                 default: "2".into(),
-                kind: OptionKind::Integer { min: 1, max: 100_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 100_000,
+                },
             },
             OptionDescriptor {
                 flag: "-L",
@@ -282,7 +291,10 @@ impl Configurable for Hierarchical {
                 Linkage::Average => "average",
             }
             .to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }
@@ -354,9 +366,21 @@ mod tests {
     fn small_blobs() -> Dataset {
         gaussian_blobs(
             &[
-                BlobSpec { center: vec![0.0, 0.0], stddev: 0.3, count: 15 },
-                BlobSpec { center: vec![10.0, 0.0], stddev: 0.3, count: 15 },
-                BlobSpec { center: vec![0.0, 10.0], stddev: 0.3, count: 15 },
+                BlobSpec {
+                    center: vec![0.0, 0.0],
+                    stddev: 0.3,
+                    count: 15,
+                },
+                BlobSpec {
+                    center: vec![10.0, 0.0],
+                    stddev: 0.3,
+                    count: 15,
+                },
+                BlobSpec {
+                    center: vec![0.0, 10.0],
+                    stddev: 0.3,
+                    count: 15,
+                },
             ],
             7,
         )

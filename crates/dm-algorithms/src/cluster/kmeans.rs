@@ -52,12 +52,17 @@ impl KMeans {
 
     /// Create with an explicit cluster count.
     pub fn with_k(k: usize) -> KMeans {
-        KMeans { k: k.max(1), ..KMeans::default() }
+        KMeans {
+            k: k.max(1),
+            ..KMeans::default()
+        }
     }
 
     /// Cluster assignments for every row of `data`.
     pub fn assignments(&self, data: &Dataset) -> Result<Vec<usize>> {
-        (0..data.num_instances()).map(|r| self.cluster_instance(data, r)).collect()
+        (0..data.num_instances())
+            .map(|r| self.cluster_instance(data, r))
+            .collect()
     }
 
     fn nearest(&self, data: &Dataset, row: usize) -> usize {
@@ -73,12 +78,7 @@ impl KMeans {
         best
     }
 
-    fn recompute_centroid(
-        &self,
-        data: &Dataset,
-        members: &[usize],
-        centroid: &mut Vec<f64>,
-    ) {
+    fn recompute_centroid(&self, data: &Dataset, members: &[usize], centroid: &mut Vec<f64>) {
         let n_attrs = data.num_attributes();
         for a in 0..n_attrs {
             if self.space.skip[a] {
@@ -261,21 +261,30 @@ impl Configurable for KMeans {
                 name: "numClusters",
                 description: "number of clusters",
                 default: "2".into(),
-                kind: OptionKind::Integer { min: 1, max: 100_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 100_000,
+                },
             },
             OptionDescriptor {
                 flag: "-I",
                 name: "maxIterations",
                 description: "maximum Lloyd iterations",
                 default: "100".into(),
-                kind: OptionKind::Integer { min: 1, max: 1_000_000 },
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
             },
             OptionDescriptor {
                 flag: "-S",
                 name: "seed",
                 description: "random seed for centroid initialisation",
                 default: "10".into(),
-                kind: OptionKind::Integer { min: 0, max: i64::MAX },
+                kind: OptionKind::Integer {
+                    min: 0,
+                    max: i64::MAX,
+                },
             },
         ]
     }
@@ -297,7 +306,10 @@ impl Configurable for KMeans {
             "-N" => Ok(self.k.to_string()),
             "-I" => Ok(self.max_iterations.to_string()),
             "-S" => Ok(self.seed.to_string()),
-            _ => Err(AlgoError::BadOption { flag: flag.into(), message: "unknown option".into() }),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
         }
     }
 }

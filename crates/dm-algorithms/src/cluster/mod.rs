@@ -86,7 +86,11 @@ impl DistanceSpace {
                 ranges.push(None);
             }
         }
-        DistanceSpace { ranges, nominal, skip }
+        DistanceSpace {
+            ranges,
+            nominal,
+            skip,
+        }
     }
 
     /// Normalise one raw value for attribute `a` into `[0, 1]`.
@@ -187,7 +191,11 @@ impl DistanceSpace {
         }
         let ranges = (0..n)
             .map(|_| -> Result<Option<(f64, f64)>> {
-                Ok(if r.get_bool()? { Some((r.get_f64()?, r.get_f64()?)) } else { None })
+                Ok(if r.get_bool()? {
+                    Some((r.get_f64()?, r.get_f64()?))
+                } else {
+                    None
+                })
             })
             .collect::<Result<_>>()?;
         let nn = r.get_usize()?;
@@ -200,7 +208,11 @@ impl DistanceSpace {
             return Err(AlgoError::BadState("absurd skip count".into()));
         }
         let skip = (0..ns).map(|_| r.get_bool()).collect::<Result<_>>()?;
-        Ok(DistanceSpace { ranges, nominal, skip })
+        Ok(DistanceSpace {
+            ranges,
+            nominal,
+            skip,
+        })
     }
 }
 
@@ -211,10 +223,12 @@ pub(crate) fn check_clusterable(data: &Dataset) -> Result<()> {
         return Err(AlgoError::Data(dm_data::DataError::Empty));
     }
     let class = data.class_index();
-    let usable = (0..data.num_attributes())
-        .any(|a| Some(a) != class && !data.attributes()[a].is_string());
+    let usable =
+        (0..data.num_attributes()).any(|a| Some(a) != class && !data.attributes()[a].is_string());
     if !usable {
-        return Err(AlgoError::Unsupported("no usable attributes to cluster on".into()));
+        return Err(AlgoError::Unsupported(
+            "no usable attributes to cluster on".into(),
+        ));
     }
     Ok(())
 }
@@ -228,9 +242,21 @@ pub(crate) mod test_support {
     pub fn three_blobs() -> Dataset {
         gaussian_blobs(
             &[
-                BlobSpec { center: vec![0.0, 0.0], stddev: 0.3, count: 50 },
-                BlobSpec { center: vec![10.0, 0.0], stddev: 0.3, count: 50 },
-                BlobSpec { center: vec![0.0, 10.0], stddev: 0.3, count: 50 },
+                BlobSpec {
+                    center: vec![0.0, 0.0],
+                    stddev: 0.3,
+                    count: 50,
+                },
+                BlobSpec {
+                    center: vec![10.0, 0.0],
+                    stddev: 0.3,
+                    count: 50,
+                },
+                BlobSpec {
+                    center: vec![0.0, 10.0],
+                    stddev: 0.3,
+                    count: 50,
+                },
             ],
             42,
         )

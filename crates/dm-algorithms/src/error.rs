@@ -64,9 +64,17 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(AlgoError::NotTrained.to_string(), "model has not been trained");
-        assert!(AlgoError::UnknownAlgorithm("X".into()).to_string().contains("\"X\""));
-        let e = AlgoError::BadOption { flag: "-C".into(), message: "not a number".into() };
+        assert_eq!(
+            AlgoError::NotTrained.to_string(),
+            "model has not been trained"
+        );
+        assert!(AlgoError::UnknownAlgorithm("X".into())
+            .to_string()
+            .contains("\"X\""));
+        let e = AlgoError::BadOption {
+            flag: "-C".into(),
+            message: "not a number".into(),
+        };
         assert_eq!(e.to_string(), "bad option -C: not a number");
     }
 

@@ -21,7 +21,11 @@ impl Evaluation {
     /// Create an empty evaluation for `k` classes.
     pub fn new(class_labels: Vec<String>) -> Evaluation {
         let k = class_labels.len();
-        Evaluation { matrix: vec![vec![0.0; k]; k], class_labels, total: 0.0 }
+        Evaluation {
+            matrix: vec![vec![0.0; k]; k],
+            class_labels,
+            total: 0.0,
+        }
     }
 
     /// Record one prediction.
@@ -32,7 +36,9 @@ impl Evaluation {
 
     /// Evaluate `classifier` on every row of `test` and accumulate.
     pub fn evaluate(&mut self, classifier: &dyn Classifier, test: &Dataset) -> Result<()> {
-        let ci = test.class_index().ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
+        let ci = test
+            .class_index()
+            .ok_or(AlgoError::Data(dm_data::DataError::NoClass))?;
         for r in 0..test.num_instances() {
             let cv = test.value(r, ci);
             if Value::is_missing(cv) {
@@ -136,7 +142,10 @@ impl Evaluation {
             self.total() - self.correct(),
             100.0 * self.error_rate()
         ));
-        out.push_str(&format!("Kappa statistic                   {:.4}\n", self.kappa()));
+        out.push_str(&format!(
+            "Kappa statistic                   {:.4}\n",
+            self.kappa()
+        ));
         out.push_str("\n=== Confusion Matrix ===\n");
         for (actual, row) in self.matrix.iter().enumerate() {
             let cells: Vec<String> = row.iter().map(|x| format!("{x:6.1}")).collect();
@@ -214,7 +223,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread panicked"))
+            .collect()
     })
     .expect("cross-validation scope");
 
@@ -304,8 +316,7 @@ mod tests {
         let ds = dm_data::corpus::breast_cancer();
         for name in ["ZeroR", "NaiveBayes", "J48"] {
             let serial = cross_validate(|| make_classifier(name), &ds, 10, 7).unwrap();
-            let parallel =
-                cross_validate_parallel(|| make_classifier(name), &ds, 10, 7).unwrap();
+            let parallel = cross_validate_parallel(|| make_classifier(name), &ds, 10, 7).unwrap();
             assert_eq!(
                 serial.confusion_matrix(),
                 parallel.confusion_matrix(),

@@ -32,6 +32,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The numeric kernels index several parallel buffers (rows, centroids,
+// responsibilities) by the same loop counter; iterator rewrites obscure
+// the maths without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::ptr_arg)]
 
 pub mod associations;
 pub mod attrsel;
@@ -49,7 +54,7 @@ pub use error::{AlgoError, Result};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::classifiers::{Classifier, J48, NaiveBayes, ZeroR};
+    pub use crate::classifiers::{Classifier, NaiveBayes, ZeroR, J48};
     pub use crate::cluster::{Clusterer, KMeans};
     pub use crate::error::{AlgoError, Result};
     pub use crate::eval::{cross_validate, Evaluation};

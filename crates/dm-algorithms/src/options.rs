@@ -52,15 +52,19 @@ pub struct OptionDescriptor {
 impl OptionDescriptor {
     /// Validate a textual value against this descriptor's kind.
     pub fn validate(&self, value: &str) -> Result<()> {
-        let bad = |message: String| AlgoError::BadOption { flag: self.flag.to_string(), message };
+        let bad = |message: String| AlgoError::BadOption {
+            flag: self.flag.to_string(),
+            message,
+        };
         match &self.kind {
             OptionKind::Flag => match value {
                 "true" | "false" => Ok(()),
                 _ => Err(bad(format!("expected true/false, got {value:?}"))),
             },
             OptionKind::Integer { min, max } => {
-                let v: i64 =
-                    value.parse().map_err(|_| bad(format!("{value:?} is not an integer")))?;
+                let v: i64 = value
+                    .parse()
+                    .map_err(|_| bad(format!("{value:?} is not an integer")))?;
                 if v < *min || v > *max {
                     Err(bad(format!("{v} outside [{min}, {max}]")))
                 } else {
@@ -68,8 +72,9 @@ impl OptionDescriptor {
                 }
             }
             OptionKind::Real { min, max } => {
-                let v: f64 =
-                    value.parse().map_err(|_| bad(format!("{value:?} is not a number")))?;
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| bad(format!("{value:?} is not a number")))?;
                 if v < *min || v > *max {
                     Err(bad(format!("{v} outside [{min}, {max}]")))
                 } else {
@@ -127,10 +132,13 @@ pub fn descriptor_for<'a>(
     descriptors: &'a [OptionDescriptor],
     flag: &str,
 ) -> Result<&'a OptionDescriptor> {
-    descriptors.iter().find(|d| d.flag == flag).ok_or_else(|| AlgoError::BadOption {
-        flag: flag.to_string(),
-        message: "unknown option".to_string(),
-    })
+    descriptors
+        .iter()
+        .find(|d| d.flag == flag)
+        .ok_or_else(|| AlgoError::BadOption {
+            flag: flag.to_string(),
+            message: "unknown option".to_string(),
+        })
 }
 
 /// Parse a WEKA-style option string (`-C 0.25 -U true`) into pairs.
@@ -219,7 +227,10 @@ mod tests {
         let pairs = parse_options_string("-C 0.25 -M 2");
         assert_eq!(
             pairs,
-            vec![("-C".to_string(), "0.25".to_string()), ("-M".to_string(), "2".to_string())]
+            vec![
+                ("-C".to_string(), "0.25".to_string()),
+                ("-M".to_string(), "2".to_string())
+            ]
         );
     }
 

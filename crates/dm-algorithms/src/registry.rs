@@ -7,10 +7,10 @@
 
 use crate::associations::{Apriori, Associator, FPGrowth};
 use crate::classifiers::{
-    AdaBoostM1, Bagging, Classifier, DecisionStump, IBk, J48, Logistic,
-    MultilayerPerceptron, NaiveBayes, OneR, Prism, RandomForest, RandomTree, ZeroR,
+    AdaBoostM1, Bagging, Classifier, DecisionStump, IBk, Logistic, MultilayerPerceptron,
+    NaiveBayes, OneR, Prism, RandomForest, RandomTree, ZeroR, J48,
 };
-use crate::cluster::{Cobweb, Clusterer, FarthestFirst, Hierarchical, KMeans, EM};
+use crate::cluster::{Clusterer, Cobweb, FarthestFirst, Hierarchical, KMeans, EM};
 use crate::error::{AlgoError, Result};
 
 /// Names of all registered classifiers, in stable order.
@@ -54,7 +54,13 @@ pub fn make_classifier(name: &str) -> Result<Box<dyn Classifier>> {
 
 /// Names of all registered clusterers, in stable order.
 pub fn clusterer_names() -> Vec<&'static str> {
-    vec!["SimpleKMeans", "FarthestFirst", "Cobweb", "EM", "HierarchicalClusterer"]
+    vec![
+        "SimpleKMeans",
+        "FarthestFirst",
+        "Cobweb",
+        "EM",
+        "HierarchicalClusterer",
+    ]
 }
 
 /// Construct a clusterer by registry name.
@@ -147,7 +153,8 @@ mod tests {
                 // Prism needs all-nominal data — weather_nominal is; OK.
             }
             let mut c = make_classifier(name).unwrap();
-            c.train(&ds).unwrap_or_else(|e| panic!("{name} failed to train: {e}"));
+            c.train(&ds)
+                .unwrap_or_else(|e| panic!("{name} failed to train: {e}"));
             let d = c.distribution(&ds, 0).unwrap();
             assert_eq!(d.len(), 2, "{name} distribution arity");
             let s: f64 = d.iter().sum();
@@ -163,7 +170,8 @@ mod tests {
             if name == "Cobweb" {
                 c.set_option("-A", "0.3").unwrap();
             }
-            c.build(&ds).unwrap_or_else(|e| panic!("{name} failed to build: {e}"));
+            c.build(&ds)
+                .unwrap_or_else(|e| panic!("{name} failed to build: {e}"));
             assert!(c.num_clusters().unwrap() >= 1, "{name} cluster count");
             let assignment = c.cluster_instance(&ds, 0).unwrap();
             assert!(assignment < c.num_clusters().unwrap().max(1000));

@@ -42,11 +42,17 @@ impl Complex {
     }
 
     fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -111,8 +117,7 @@ pub fn fft(signal: &[f64]) -> Result<Vec<Complex>> {
         return Err(AlgoError::Unsupported("FFT of an empty signal".into()));
     }
     let n = next_pow2(signal.len());
-    let mut data: Vec<Complex> =
-        signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
     data.resize(n, Complex::default());
     fft_in_place(&mut data, false)?;
     Ok(data)
@@ -180,7 +185,9 @@ pub fn power_spectrum(
     window: Window,
 ) -> Result<Vec<SpectrumBin>> {
     if sample_rate <= 0.0 {
-        return Err(AlgoError::Unsupported(format!("sample rate {sample_rate} must be > 0")));
+        return Err(AlgoError::Unsupported(format!(
+            "sample rate {sample_rate} must be > 0"
+        )));
     }
     let mut windowed = signal.to_vec();
     window.apply(&mut windowed);
@@ -195,7 +202,10 @@ pub fn power_spectrum(
             if k != 0 && k != n / 2 {
                 power *= 2.0;
             }
-            SpectrumBin { frequency: k as f64 * sample_rate / n as f64, power }
+            SpectrumBin {
+                frequency: k as f64 * sample_rate / n as f64,
+                power,
+            }
         })
         .collect())
 }
@@ -222,12 +232,13 @@ pub fn spectral_peaks(spectrum: &[SpectrumBin], threshold: f64) -> Vec<SpectrumB
 pub fn autocorrelation(signal: &[f64]) -> Result<Vec<f64>> {
     let n = signal.len();
     if n == 0 {
-        return Err(AlgoError::Unsupported("autocorrelation of an empty signal".into()));
+        return Err(AlgoError::Unsupported(
+            "autocorrelation of an empty signal".into(),
+        ));
     }
     // Zero-pad to 2n to avoid circular wrap-around.
     let padded = next_pow2(2 * n);
-    let mut data: Vec<Complex> =
-        signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
     data.resize(padded, Complex::default());
     fft_in_place(&mut data, false)?;
     for x in data.iter_mut() {
@@ -251,7 +262,9 @@ mod tests {
 
     #[test]
     fn fft_roundtrip() {
-        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64).collect();
+        let signal: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64)
+            .collect();
         let spectrum = fft(&signal).unwrap();
         let back = ifft(&spectrum).unwrap();
         for (orig, rec) in signal.iter().zip(&back) {
@@ -307,7 +320,11 @@ mod tests {
             .iter()
             .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap())
             .unwrap();
-        assert!((peak.frequency - 50.0).abs() < 2.0, "peak at {}", peak.frequency);
+        assert!(
+            (peak.frequency - 50.0).abs() < 2.0,
+            "peak at {}",
+            peak.frequency
+        );
     }
 
     #[test]
@@ -336,8 +353,9 @@ mod tests {
     #[test]
     fn autocorrelation_of_periodic_signal() {
         // Period-20 square-ish wave: autocorrelation peaks near lag 20.
-        let signal: Vec<f64> =
-            (0..400).map(|i| if (i / 10) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f64> = (0..400)
+            .map(|i| if (i / 10) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let ac = autocorrelation(&signal).unwrap();
         assert!((ac[0] - 1.0).abs() < 1e-9);
         assert!(ac[20] > 0.8, "lag-20 autocorrelation {}", ac[20]);

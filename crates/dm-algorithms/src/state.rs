@@ -138,7 +138,9 @@ impl<'a> StateReader<'a> {
     pub fn get_str(&mut self) -> Result<String> {
         let len = self.get_usize()?;
         if len > self.buf.len() {
-            return Err(AlgoError::BadState(format!("string length {len} exceeds buffer")));
+            return Err(AlgoError::BadState(format!(
+                "string length {len} exceeds buffer"
+            )));
         }
         let b = self.take(len)?;
         String::from_utf8(b.to_vec())
@@ -149,7 +151,9 @@ impl<'a> StateReader<'a> {
     pub fn get_f64_vec(&mut self) -> Result<Vec<f64>> {
         let len = self.get_usize()?;
         if len > self.buf.len() {
-            return Err(AlgoError::BadState(format!("f64 vec length {len} exceeds buffer")));
+            return Err(AlgoError::BadState(format!(
+                "f64 vec length {len} exceeds buffer"
+            )));
         }
         (0..len).map(|_| self.get_f64()).collect()
     }
@@ -158,7 +162,9 @@ impl<'a> StateReader<'a> {
     pub fn get_usize_vec(&mut self) -> Result<Vec<usize>> {
         let len = self.get_usize()?;
         if len > self.buf.len() {
-            return Err(AlgoError::BadState(format!("usize vec length {len} exceeds buffer")));
+            return Err(AlgoError::BadState(format!(
+                "usize vec length {len} exceeds buffer"
+            )));
         }
         (0..len).map(|_| self.get_usize()).collect()
     }
@@ -167,7 +173,9 @@ impl<'a> StateReader<'a> {
     pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
         let len = self.get_usize()?;
         if len > self.buf.len() {
-            return Err(AlgoError::BadState(format!("byte slice length {len} exceeds buffer")));
+            return Err(AlgoError::BadState(format!(
+                "byte slice length {len} exceeds buffer"
+            )));
         }
         Ok(self.take(len)?.to_vec())
     }

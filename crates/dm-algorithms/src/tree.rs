@@ -6,8 +6,8 @@
 //! crate renders it as text or SVG, and the Web Service layer ships it
 //! as the graph payload.
 
-use crate::state::{StateReader, StateWriter};
 use crate::error::Result;
+use crate::state::{StateReader, StateWriter};
 
 /// One node of a [`TreeModel`].
 #[derive(Debug, Clone, PartialEq)]
@@ -91,7 +91,12 @@ impl TreeModel {
     /// Depth of the tree (root = 1; 0 for an empty tree).
     pub fn depth(&self) -> usize {
         fn go(t: &TreeModel, i: usize) -> usize {
-            1 + t.nodes[i].children.iter().map(|&c| go(t, c)).max().unwrap_or(0)
+            1 + t.nodes[i]
+                .children
+                .iter()
+                .map(|&c| go(t, c))
+                .max()
+                .unwrap_or(0)
         }
         self.root().map_or(0, |r| go(self, r))
     }
@@ -137,14 +142,14 @@ impl TreeModel {
         let mut out = format!("digraph {name} {{\n");
         for (i, n) in self.nodes.iter().enumerate() {
             let shape = if n.is_leaf { "box" } else { "ellipse" };
-            out.push_str(&format!(
-                "  n{i} [label={:?}, shape={shape}];\n",
-                n.label
-            ));
+            out.push_str(&format!("  n{i} [label={:?}, shape={shape}];\n", n.label));
         }
         for (i, n) in self.nodes.iter().enumerate() {
             for &c in &n.children {
-                out.push_str(&format!("  n{i} -> n{} [label={:?}];\n", c, self.nodes[c].edge));
+                out.push_str(&format!(
+                    "  n{i} -> n{} [label={:?}];\n",
+                    c, self.nodes[c].edge
+                ));
             }
         }
         out.push_str("}\n");
@@ -171,7 +176,12 @@ impl TreeModel {
             let edge = r.get_str()?;
             let is_leaf = r.get_bool()?;
             let children = r.get_usize_vec()?;
-            nodes.push(TreeNode { label, edge, children, is_leaf });
+            nodes.push(TreeNode {
+                label,
+                edge,
+                children,
+                is_leaf,
+            });
         }
         Ok(TreeModel { nodes })
     }

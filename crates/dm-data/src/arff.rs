@@ -46,7 +46,10 @@ pub fn parse_arff(text: &str) -> Result<Dataset> {
         } else if lower.starts_with("@relation") {
             relation = unquote(line["@relation".len()..].trim()).to_string();
         } else if lower.starts_with("@attribute") {
-            attributes.push(parse_attribute_decl(line["@attribute".len()..].trim(), lineno + 1)?);
+            attributes.push(parse_attribute_decl(
+                line["@attribute".len()..].trim(),
+                lineno + 1,
+            )?);
         } else if lower.starts_with("@data") {
             if attributes.is_empty() {
                 return Err(DataError::Parse {
@@ -63,7 +66,10 @@ pub fn parse_arff(text: &str) -> Result<Dataset> {
         }
     }
 
-    dataset.ok_or(DataError::Parse { line: 0, message: "no @data section".into() })
+    dataset.ok_or(DataError::Parse {
+        line: 0,
+        message: "no @data section".into(),
+    })
 }
 
 fn push_textual_row(ds: &mut Dataset, fields: &[String], lineno: usize) -> Result<()> {
@@ -112,18 +118,24 @@ fn parse_sparse_row(ds: &mut Dataset, line: &str, lineno: usize) -> Result<()> {
     let inner = line
         .strip_prefix('{')
         .and_then(|s| s.strip_suffix('}'))
-        .ok_or_else(|| DataError::Parse { line: lineno, message: "unterminated sparse row".into() })?;
+        .ok_or_else(|| DataError::Parse {
+            line: lineno,
+            message: "unterminated sparse row".into(),
+        })?;
     // Sparse rows default unlisted values to 0 (numeric) or first label.
     let mut row = vec![0.0; ds.num_attributes()];
     if !inner.trim().is_empty() {
         for part in split_csv_line(inner) {
             let mut it = part.splitn(2, char::is_whitespace);
-            let idx: usize = it
-                .next()
-                .unwrap_or("")
-                .trim()
-                .parse()
-                .map_err(|_| DataError::Parse { line: lineno, message: "bad sparse index".into() })?;
+            let idx: usize =
+                it.next()
+                    .unwrap_or("")
+                    .trim()
+                    .parse()
+                    .map_err(|_| DataError::Parse {
+                        line: lineno,
+                        message: "bad sparse index".into(),
+                    })?;
             let val = it.next().unwrap_or("").trim();
             if idx >= ds.num_attributes() {
                 return Err(DataError::Parse {
@@ -136,12 +148,14 @@ fn parse_sparse_row(ds: &mut Dataset, line: &str, lineno: usize) -> Result<()> {
                 Value::MISSING
             } else {
                 match attr.kind() {
-                    AttributeKind::Nominal(_) => Value::from_index(
-                        attr.label_index(&unquote(val)).ok_or_else(|| DataError::Parse {
-                            line: lineno,
-                            message: format!("label {val:?} not in domain"),
-                        })?,
-                    ),
+                    AttributeKind::Nominal(_) => {
+                        Value::from_index(attr.label_index(&unquote(val)).ok_or_else(|| {
+                            DataError::Parse {
+                                line: lineno,
+                                message: format!("label {val:?} not in domain"),
+                            }
+                        })?)
+                    }
                     AttributeKind::Numeric => val.parse::<f64>().map_err(|_| DataError::Parse {
                         line: lineno,
                         message: format!("{val:?} is not numeric"),
@@ -159,7 +173,10 @@ fn parse_attribute_decl(decl: &str, lineno: usize) -> Result<Attribute> {
     // Name may be quoted and may contain spaces when quoted.
     let (name, rest) = take_token(decl);
     if name.is_empty() {
-        return Err(DataError::Parse { line: lineno, message: "missing attribute name".into() });
+        return Err(DataError::Parse {
+            line: lineno,
+            message: "missing attribute name".into(),
+        });
     }
     let rest = rest.trim();
     if rest.starts_with('{') {
@@ -221,9 +238,7 @@ pub fn write_arff(ds: &Dataset) -> String {
 
 /// Quote a token with single quotes when it contains ARFF separators.
 pub fn quote_if_needed(token: &str) -> String {
-    if token.is_empty()
-        || token.contains([' ', ',', '{', '}', '%', '\'', '"'])
-    {
+    if token.is_empty() || token.contains([' ', ',', '{', '}', '%', '\'', '"']) {
         format!("'{}'", token.replace('\'', "\\'"))
     } else {
         token.to_string()
@@ -350,7 +365,8 @@ mod tests {
 
     #[test]
     fn integer_and_date_types() {
-        let text = "@relation t\n@attribute n integer\n@attribute d date yyyy-MM-dd\n@data\n4,100\n";
+        let text =
+            "@relation t\n@attribute n integer\n@attribute d date yyyy-MM-dd\n@data\n4,100\n";
         let ds = parse_arff(text).unwrap();
         assert!(ds.attribute(0).unwrap().is_numeric());
         assert!(ds.attribute(1).unwrap().is_numeric());

@@ -63,12 +63,18 @@ impl Attribute {
 
     /// Create a numeric attribute.
     pub fn numeric<N: Into<String>>(name: N) -> Self {
-        Attribute { name: name.into(), kind: AttributeKind::Numeric }
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Numeric,
+        }
     }
 
     /// Create a string attribute.
     pub fn string<N: Into<String>>(name: N) -> Self {
-        Attribute { name: name.into(), kind: AttributeKind::Str }
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Str,
+        }
     }
 
     /// The attribute's name.
@@ -117,13 +123,18 @@ impl Attribute {
     /// Label at `index`, or an error for non-nominal / out-of-range.
     pub fn label(&self, index: usize) -> Result<&str> {
         match &self.kind {
-            AttributeKind::Nominal(l) => l.get(index).map(String::as_str).ok_or_else(|| {
-                DataError::UnknownLabel {
-                    attribute: self.name.clone(),
-                    label: format!("#{index}"),
-                }
+            AttributeKind::Nominal(l) => {
+                l.get(index)
+                    .map(String::as_str)
+                    .ok_or_else(|| DataError::UnknownLabel {
+                        attribute: self.name.clone(),
+                        label: format!("#{index}"),
+                    })
+            }
+            _ => Err(DataError::KindMismatch {
+                attribute: self.name.clone(),
+                expected: "nominal",
             }),
-            _ => Err(DataError::KindMismatch { attribute: self.name.clone(), expected: "nominal" }),
         }
     }
 
@@ -135,7 +146,10 @@ impl Attribute {
                 l.push(label.into());
                 Ok(l.len() - 1)
             }
-            _ => Err(DataError::KindMismatch { attribute: self.name.clone(), expected: "nominal" }),
+            _ => Err(DataError::KindMismatch {
+                attribute: self.name.clone(),
+                expected: "nominal",
+            }),
         }
     }
 
@@ -201,6 +215,9 @@ mod tests {
     fn arff_type_rendering() {
         assert_eq!(Attribute::numeric("x").arff_type(), "numeric");
         assert_eq!(Attribute::string("s").arff_type(), "string");
-        assert_eq!(Attribute::nominal("n", ["a", "b c"]).arff_type(), "{a,'b c'}");
+        assert_eq!(
+            Attribute::nominal("n", ["a", "b c"]).arff_type(),
+            "{a,'b c'}"
+        );
     }
 }

@@ -20,10 +20,17 @@ pub enum DataFormat {
 impl DataFormat {
     /// Parse a format name (case-insensitive; accepts file extensions).
     pub fn from_name(name: &str) -> Result<DataFormat> {
-        match name.trim().trim_start_matches('.').to_ascii_lowercase().as_str() {
+        match name
+            .trim()
+            .trim_start_matches('.')
+            .to_ascii_lowercase()
+            .as_str()
+        {
             "arff" => Ok(DataFormat::Arff),
             "csv" => Ok(DataFormat::Csv),
-            other => Err(DataError::InvalidParameter(format!("unknown data format {other:?}"))),
+            other => Err(DataError::InvalidParameter(format!(
+                "unknown data format {other:?}"
+            ))),
         }
     }
 
@@ -97,8 +104,16 @@ pub struct Converter {
 /// The converter library shipped with the toolkit.
 pub fn converter_library() -> Vec<Converter> {
     vec![
-        Converter { name: "CSVToARFF", from: DataFormat::Csv, to: DataFormat::Arff },
-        Converter { name: "ARFFToCSV", from: DataFormat::Arff, to: DataFormat::Csv },
+        Converter {
+            name: "CSVToARFF",
+            from: DataFormat::Csv,
+            to: DataFormat::Arff,
+        },
+        Converter {
+            name: "ARFFToCSV",
+            from: DataFormat::Arff,
+            to: DataFormat::Csv,
+        },
     ]
 }
 
@@ -126,7 +141,10 @@ mod tests {
 
     #[test]
     fn sniffing() {
-        assert_eq!(DataFormat::sniff("% hi\n@relation x\n@data\n"), DataFormat::Arff);
+        assert_eq!(
+            DataFormat::sniff("% hi\n@relation x\n@data\n"),
+            DataFormat::Arff
+        );
         assert_eq!(DataFormat::sniff("a,b\n1,2\n"), DataFormat::Csv);
     }
 

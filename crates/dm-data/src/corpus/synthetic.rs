@@ -23,8 +23,9 @@ pub struct BlobSpec {
 /// the class so clustering output can be scored against ground truth).
 pub fn gaussian_blobs(blobs: &[BlobSpec], seed: u64) -> Dataset {
     let dims = blobs.first().map_or(0, |b| b.center.len());
-    let mut attributes: Vec<Attribute> =
-        (0..dims).map(|d| Attribute::numeric(format!("x{d}"))).collect();
+    let mut attributes: Vec<Attribute> = (0..dims)
+        .map(|d| Attribute::numeric(format!("x{d}")))
+        .collect();
     attributes.push(Attribute::nominal(
         "cluster",
         (0..blobs.len()).map(|i| format!("c{i}")),
@@ -34,7 +35,11 @@ pub fn gaussian_blobs(blobs: &[BlobSpec], seed: u64) -> Dataset {
 
     let mut rng = StdRng::seed_from_u64(seed);
     for (b, blob) in blobs.iter().enumerate() {
-        assert_eq!(blob.center.len(), dims, "all blobs must share dimensionality");
+        assert_eq!(
+            blob.center.len(),
+            dims,
+            "all blobs must share dimensionality"
+        );
         for _ in 0..blob.count {
             let mut row: Vec<f64> = blob
                 .center
@@ -139,8 +144,16 @@ mod tests {
     #[test]
     fn blobs_have_expected_counts_and_centres() {
         let blobs = vec![
-            BlobSpec { center: vec![0.0, 0.0], stddev: 0.5, count: 200 },
-            BlobSpec { center: vec![10.0, 10.0], stddev: 0.5, count: 100 },
+            BlobSpec {
+                center: vec![0.0, 0.0],
+                stddev: 0.5,
+                count: 200,
+            },
+            BlobSpec {
+                center: vec![10.0, 10.0],
+                stddev: 0.5,
+                count: 100,
+            },
         ];
         let ds = gaussian_blobs(&blobs, 7);
         assert_eq!(ds.num_instances(), 300);
@@ -162,7 +175,11 @@ mod tests {
 
     #[test]
     fn blobs_deterministic_per_seed() {
-        let spec = vec![BlobSpec { center: vec![1.0], stddev: 1.0, count: 50 }];
+        let spec = vec![BlobSpec {
+            center: vec![1.0],
+            stddev: 1.0,
+            count: 50,
+        }];
         assert_eq!(gaussian_blobs(&spec, 3), gaussian_blobs(&spec, 3));
         assert_ne!(gaussian_blobs(&spec, 3), gaussian_blobs(&spec, 4));
     }

@@ -54,7 +54,13 @@ pub fn parse_csv_with(text: &str, opts: &CsvOptions) -> Result<Dataset> {
         }
         let row: Vec<Option<String>> = fields
             .into_iter()
-            .map(|f| if opts.missing_tokens.contains(&f) { None } else { Some(f) })
+            .map(|f| {
+                if opts.missing_tokens.contains(&f) {
+                    None
+                } else {
+                    Some(f)
+                }
+            })
             .collect();
         rows.push(row);
     }
@@ -63,7 +69,10 @@ pub fn parse_csv_with(text: &str, opts: &CsvOptions) -> Result<Dataset> {
         .as_ref()
         .map(Vec::len)
         .or_else(|| rows.first().map(Vec::len))
-        .ok_or(DataError::Parse { line: 0, message: "empty CSV input".into() })?;
+        .ok_or(DataError::Parse {
+            line: 0,
+            message: "empty CSV input".into(),
+        })?;
 
     for (i, row) in rows.iter().enumerate() {
         if row.len() != ncols {
@@ -117,12 +126,12 @@ pub fn parse_csv_with(text: &str, opts: &CsvOptions) -> Result<Dataset> {
                             message: format!("{text:?} is not numeric"),
                         })
                     } else {
-                        attr.label_index(text).map(Value::from_index).ok_or_else(|| {
-                            DataError::UnknownLabel {
+                        attr.label_index(text)
+                            .map(Value::from_index)
+                            .ok_or_else(|| DataError::UnknownLabel {
                                 attribute: attr.name().to_string(),
                                 label: text.clone(),
-                            }
-                        })
+                            })
                     }
                 }
             })
@@ -198,7 +207,10 @@ fn split_quoted(line: &str, sep: char, lineno: usize) -> Result<Vec<String>> {
         }
     }
     if in_quote {
-        return Err(DataError::Parse { line: lineno, message: "unterminated quoted field".into() });
+        return Err(DataError::Parse {
+            line: lineno,
+            message: "unterminated quoted field".into(),
+        });
     }
     fields.push(cur.trim().to_string());
     Ok(fields)
@@ -231,7 +243,10 @@ mod tests {
 
     #[test]
     fn headerless_mode_names_columns() {
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let ds = parse_csv_with("1,2\n3,4\n", &opts).unwrap();
         assert_eq!(ds.attribute(0).unwrap().name(), "col1");
         assert_eq!(ds.num_instances(), 2);
@@ -239,7 +254,10 @@ mod tests {
 
     #[test]
     fn custom_separator() {
-        let opts = CsvOptions { separator: ';', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            separator: ';',
+            ..CsvOptions::default()
+        };
         let ds = parse_csv_with("a;b\n1;x\n", &opts).unwrap();
         assert_eq!(ds.num_attributes(), 2);
         assert_eq!(ds.instance(0).label(1), Some("x"));

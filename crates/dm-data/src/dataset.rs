@@ -86,7 +86,10 @@ impl<'a> Instance<'a> {
     /// has no class attribute.
     #[inline]
     pub fn class_value(&self) -> f64 {
-        let c = self.dataset.class_index().expect("dataset has no class attribute");
+        let c = self
+            .dataset
+            .class_index()
+            .expect("dataset has no class attribute");
         self.value(c)
     }
 
@@ -183,9 +186,10 @@ impl Dataset {
 
     /// Attribute descriptor at `index`.
     pub fn attribute(&self, index: usize) -> Result<&Attribute> {
-        self.attributes
-            .get(index)
-            .ok_or(DataError::AttributeIndex { index, len: self.attributes.len() })
+        self.attributes.get(index).ok_or(DataError::AttributeIndex {
+            index,
+            len: self.attributes.len(),
+        })
     }
 
     /// All attribute descriptors.
@@ -211,7 +215,10 @@ impl Dataset {
     pub fn set_class_index(&mut self, index: Option<usize>) -> Result<()> {
         if let Some(i) = index {
             if i >= self.attributes.len() {
-                return Err(DataError::AttributeIndex { index: i, len: self.attributes.len() });
+                return Err(DataError::AttributeIndex {
+                    index: i,
+                    len: self.attributes.len(),
+                });
             }
         }
         self.class_index = index;
@@ -251,7 +258,10 @@ impl Dataset {
     /// Append a row of encoded values with an explicit weight.
     pub fn push_row_weighted(&mut self, row: Vec<f64>, weight: f64) -> Result<()> {
         if row.len() != self.attributes.len() {
-            return Err(DataError::Arity { got: row.len(), expected: self.attributes.len() });
+            return Err(DataError::Arity {
+                got: row.len(),
+                expected: self.attributes.len(),
+            });
         }
         self.values.extend_from_slice(&row);
         self.weights.push(weight);
@@ -262,7 +272,10 @@ impl Dataset {
     /// Nominal labels are resolved against each attribute's domain.
     pub fn push_labels<S: AsRef<str>>(&mut self, fields: &[S]) -> Result<()> {
         if fields.len() != self.attributes.len() {
-            return Err(DataError::Arity { got: fields.len(), expected: self.attributes.len() });
+            return Err(DataError::Arity {
+                got: fields.len(),
+                expected: self.attributes.len(),
+            });
         }
         let mut row = Vec::with_capacity(fields.len());
         for (field, attr) in fields.iter().zip(&self.attributes) {
@@ -278,13 +291,14 @@ impl Dataset {
             return Ok(Value::MISSING);
         }
         match attr.kind() {
-            AttributeKind::Nominal(_) => attr
-                .label_index(field)
-                .map(Value::from_index)
-                .ok_or_else(|| DataError::UnknownLabel {
-                    attribute: attr.name().to_string(),
-                    label: field.to_string(),
-                }),
+            AttributeKind::Nominal(_) => {
+                attr.label_index(field)
+                    .map(Value::from_index)
+                    .ok_or_else(|| DataError::UnknownLabel {
+                        attribute: attr.name().to_string(),
+                        label: field.to_string(),
+                    })
+            }
             AttributeKind::Numeric => field.parse::<f64>().map_err(|_| DataError::Parse {
                 line: 0,
                 message: format!("{field:?} is not numeric (attribute {:?})", attr.name()),
@@ -503,7 +517,10 @@ mod tests {
         let mut ds = weather();
         assert!(matches!(
             ds.push_row(vec![0.0, 1.0]),
-            Err(DataError::Arity { got: 2, expected: 3 })
+            Err(DataError::Arity {
+                got: 2,
+                expected: 3
+            })
         ));
     }
 

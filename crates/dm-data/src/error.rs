@@ -68,17 +68,26 @@ impl fmt::Display for DataError {
                 }
             }
             DataError::AttributeIndex { index, len } => {
-                write!(f, "attribute index {index} out of range (dataset has {len})")
+                write!(
+                    f,
+                    "attribute index {index} out of range (dataset has {len})"
+                )
             }
             DataError::UnknownLabel { attribute, label } => {
-                write!(f, "label {label:?} not in domain of attribute {attribute:?}")
+                write!(
+                    f,
+                    "label {label:?} not in domain of attribute {attribute:?}"
+                )
             }
             DataError::UnknownAttribute(name) => write!(f, "no attribute named {name:?}"),
             DataError::Arity { got, expected } => {
                 write!(f, "instance has {got} values, header expects {expected}")
             }
             DataError::NoClass => write!(f, "operation requires a class attribute but none is set"),
-            DataError::KindMismatch { attribute, expected } => {
+            DataError::KindMismatch {
+                attribute,
+                expected,
+            } => {
                 write!(f, "attribute {attribute:?} is not {expected}")
             }
             DataError::Empty => write!(f, "dataset contains no instances"),
@@ -96,19 +105,28 @@ mod tests {
 
     #[test]
     fn display_parse_with_line() {
-        let e = DataError::Parse { line: 7, message: "bad token".into() };
+        let e = DataError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert_eq!(e.to_string(), "parse error at line 7: bad token");
     }
 
     #[test]
     fn display_parse_without_line() {
-        let e = DataError::Parse { line: 0, message: "bad token".into() };
+        let e = DataError::Parse {
+            line: 0,
+            message: "bad token".into(),
+        };
         assert_eq!(e.to_string(), "parse error: bad token");
     }
 
     #[test]
     fn display_arity() {
-        let e = DataError::Arity { got: 3, expected: 10 };
+        let e = DataError::Arity {
+            got: 3,
+            expected: 10,
+        };
         assert_eq!(e.to_string(), "instance has 3 values, header expects 10");
     }
 

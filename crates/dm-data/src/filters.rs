@@ -56,7 +56,10 @@ impl Normalize {
 impl Filter for Normalize {
     fn apply(&self, ds: &Dataset) -> Result<Dataset> {
         if ds.num_attributes() != self.ranges.len() {
-            return Err(DataError::Arity { got: ds.num_attributes(), expected: self.ranges.len() });
+            return Err(DataError::Arity {
+                got: ds.num_attributes(),
+                expected: self.ranges.len(),
+            });
         }
         let mut out = ds.clone();
         for (a, range) in self.ranges.iter().enumerate() {
@@ -125,7 +128,10 @@ impl Standardize {
 impl Filter for Standardize {
     fn apply(&self, ds: &Dataset) -> Result<Dataset> {
         if ds.num_attributes() != self.moments.len() {
-            return Err(DataError::Arity { got: ds.num_attributes(), expected: self.moments.len() });
+            return Err(DataError::Arity {
+                got: ds.num_attributes(),
+                expected: self.moments.len(),
+            });
         }
         let mut out = ds.clone();
         for (a, m) in self.moments.iter().enumerate() {
@@ -199,7 +205,10 @@ impl ReplaceMissing {
 impl Filter for ReplaceMissing {
     fn apply(&self, ds: &Dataset) -> Result<Dataset> {
         if ds.num_attributes() != self.fill.len() {
-            return Err(DataError::Arity { got: ds.num_attributes(), expected: self.fill.len() });
+            return Err(DataError::Arity {
+                got: ds.num_attributes(),
+                expected: self.fill.len(),
+            });
         }
         let mut out = ds.clone();
         for (a, f) in self.fill.iter().enumerate() {
@@ -231,7 +240,9 @@ impl Discretize {
     /// Learn per-attribute value ranges from `ds`.
     pub fn fit(ds: &Dataset, bins: usize) -> Result<Discretize> {
         if bins < 2 {
-            return Err(DataError::InvalidParameter(format!("bins = {bins}; need >= 2")));
+            return Err(DataError::InvalidParameter(format!(
+                "bins = {bins}; need >= 2"
+            )));
         }
         let class = ds.class_index();
         let mut cuts = Vec::with_capacity(ds.num_attributes());
@@ -267,7 +278,10 @@ impl Discretize {
 impl Filter for Discretize {
     fn apply(&self, ds: &Dataset) -> Result<Dataset> {
         if ds.num_attributes() != self.cuts.len() {
-            return Err(DataError::Arity { got: ds.num_attributes(), expected: self.cuts.len() });
+            return Err(DataError::Arity {
+                got: ds.num_attributes(),
+                expected: self.cuts.len(),
+            });
         }
         // Rebuild the header with binned attributes replaced by nominal.
         let attributes: Vec<Attribute> = ds
@@ -403,7 +417,9 @@ impl SupervisedDiscretize {
                 best = Some((weighted, i, (v + pairs[i + 1].0) / 2.0));
             }
         }
-        let Some((weighted, idx, cut)) = best else { return };
+        let Some((weighted, idx, cut)) = best else {
+            return;
+        };
 
         // MDL acceptance criterion.
         let gain = total_entropy - weighted;
@@ -430,7 +446,10 @@ impl SupervisedDiscretize {
 impl Filter for SupervisedDiscretize {
     fn apply(&self, ds: &Dataset) -> Result<Dataset> {
         if ds.num_attributes() != self.cuts.len() {
-            return Err(DataError::Arity { got: ds.num_attributes(), expected: self.cuts.len() });
+            return Err(DataError::Arity {
+                got: ds.num_attributes(),
+                expected: self.cuts.len(),
+            });
         }
         let attributes: Vec<Attribute> = ds
             .attributes()
@@ -488,7 +507,10 @@ impl Filter for SupervisedDiscretize {
 pub fn project(ds: &Dataset, keep: &[usize]) -> Result<Dataset> {
     for &k in keep {
         if k >= ds.num_attributes() {
-            return Err(DataError::AttributeIndex { index: k, len: ds.num_attributes() });
+            return Err(DataError::AttributeIndex {
+                index: k,
+                len: ds.num_attributes(),
+            });
         }
     }
     let attributes: Vec<Attribute> = keep.iter().map(|&k| ds.attributes()[k].clone()).collect();
@@ -507,7 +529,9 @@ pub fn project(ds: &Dataset, keep: &[usize]) -> Result<Dataset> {
 
 /// Remove the attributes at `drop` (complement of [`project`]).
 pub fn remove(ds: &Dataset, drop: &[usize]) -> Result<Dataset> {
-    let keep: Vec<usize> = (0..ds.num_attributes()).filter(|i| !drop.contains(i)).collect();
+    let keep: Vec<usize> = (0..ds.num_attributes())
+        .filter(|i| !drop.contains(i))
+        .collect();
     project(ds, &keep)
 }
 
@@ -519,7 +543,9 @@ pub fn remove(ds: &Dataset, drop: &[usize]) -> Result<Dataset> {
 /// replacement otherwise) of a dataset, seeded.
 pub fn resample(ds: &Dataset, fraction: f64, seed: u64) -> Result<Dataset> {
     if fraction <= 0.0 {
-        return Err(DataError::InvalidParameter(format!("fraction {fraction} must be > 0")));
+        return Err(DataError::InvalidParameter(format!(
+            "fraction {fraction} must be > 0"
+        )));
     }
     if ds.num_instances() == 0 {
         return Err(DataError::Empty);
@@ -585,8 +611,10 @@ mod tests {
     fn standardize_zero_mean() {
         let ds = toy();
         let out = Standardize::fit(&ds).apply(&ds).unwrap();
-        let vals: Vec<f64> =
-            (0..4).map(|r| out.value(r, 0)).filter(|v| !v.is_nan()).collect();
+        let vals: Vec<f64> = (0..4)
+            .map(|r| out.value(r, 0))
+            .filter(|v| !v.is_nan())
+            .collect();
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!(mean.abs() < 1e-12);
     }
@@ -686,7 +714,10 @@ mod tests {
     fn supervised_discretize_requires_class() {
         let mut ds = Dataset::new("x", vec![Attribute::numeric("x")]);
         ds.push_row(vec![1.0]).unwrap();
-        assert!(matches!(SupervisedDiscretize::fit(&ds), Err(DataError::NoClass)));
+        assert!(matches!(
+            SupervisedDiscretize::fit(&ds),
+            Err(DataError::NoClass)
+        ));
     }
 
     #[test]
@@ -697,7 +728,8 @@ mod tests {
         );
         ds.set_class_index(Some(1)).unwrap();
         for i in 0..20 {
-            ds.push_row(vec![i as f64, f64::from(u8::from(i >= 10))]).unwrap();
+            ds.push_row(vec![i as f64, f64::from(u8::from(i >= 10))])
+                .unwrap();
         }
         ds.push_row(vec![f64::NAN, 0.0]).unwrap();
         let f = SupervisedDiscretize::fit(&ds).unwrap();

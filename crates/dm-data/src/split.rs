@@ -20,7 +20,11 @@ use rand::SeedableRng;
 /// let (train, test) = dm_data::split::train_test_split(&ds, 0.7, 42).unwrap();
 /// assert_eq!(train.num_instances() + test.num_instances(), 286);
 /// ```
-pub fn train_test_split(ds: &Dataset, train_fraction: f64, seed: u64) -> Result<(Dataset, Dataset)> {
+pub fn train_test_split(
+    ds: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
     if !(0.0..=1.0).contains(&train_fraction) {
         return Err(DataError::InvalidParameter(format!(
             "train_fraction {train_fraction} not in [0,1]"
@@ -125,10 +129,7 @@ impl CrossValidation {
     }
 
     /// Iterate over `(train, test)` pairs for all folds.
-    pub fn splits<'a>(
-        &'a self,
-        ds: &'a Dataset,
-    ) -> impl Iterator<Item = (Dataset, Dataset)> + 'a {
+    pub fn splits<'a>(&'a self, ds: &'a Dataset) -> impl Iterator<Item = (Dataset, Dataset)> + 'a {
         (0..self.k()).map(move |f| self.split(ds, f))
     }
 }
@@ -159,7 +160,7 @@ mod tests {
         assert_eq!(tr.num_instances(), 66);
         assert_eq!(te.num_instances(), 34);
         // Every original x value appears exactly once across both parts.
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for d in [&tr, &te] {
             for r in 0..d.num_instances() {
                 let x = d.value(r, 0) as usize;
@@ -199,7 +200,7 @@ mod tests {
         let cv = CrossValidation::new(&ds, 10, 3).unwrap();
         let total: usize = (0..10).map(|f| cv.test_rows(f).len()).sum();
         assert_eq!(total, 103);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for f in 0..10 {
             for &r in cv.test_rows(f) {
                 assert!(!seen[r]);
@@ -233,7 +234,10 @@ mod tests {
     fn stratified_requires_class() {
         let mut ds = toy(20);
         ds.set_class_index(None).unwrap();
-        assert!(matches!(CrossValidation::stratified(&ds, 2, 0), Err(DataError::NoClass)));
+        assert!(matches!(
+            CrossValidation::stratified(&ds, 2, 0),
+            Err(DataError::NoClass)
+        ));
     }
 
     #[test]

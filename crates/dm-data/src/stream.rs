@@ -26,11 +26,7 @@ pub struct RecordBatch {
 impl RecordBatch {
     /// Number of rows in the batch.
     pub fn num_rows(&self) -> usize {
-        if self.width == 0 {
-            0
-        } else {
-            self.rows.len() / self.width
-        }
+        self.rows.len().checked_div(self.width).unwrap_or(0)
     }
 
     /// Borrow row `i`.
@@ -47,7 +43,9 @@ impl RecordBatch {
 /// Split a dataset into batches of at most `chunk_rows` rows.
 pub fn chunk_dataset(ds: &Dataset, chunk_rows: usize) -> Result<Vec<RecordBatch>> {
     if chunk_rows == 0 {
-        return Err(DataError::InvalidParameter("chunk_rows must be >= 1".into()));
+        return Err(DataError::InvalidParameter(
+            "chunk_rows must be >= 1".into(),
+        ));
     }
     let width = ds.num_attributes();
     let mut batches = Vec::new();
@@ -55,12 +53,18 @@ pub fn chunk_dataset(ds: &Dataset, chunk_rows: usize) -> Result<Vec<RecordBatch>
     for r in 0..ds.num_instances() {
         current.extend_from_slice(ds.row(r));
         if current.len() == chunk_rows * width {
-            batches.push(RecordBatch { width, rows: std::mem::take(&mut current) });
+            batches.push(RecordBatch {
+                width,
+                rows: std::mem::take(&mut current),
+            });
             current.reserve(chunk_rows * width);
         }
     }
     if !current.is_empty() {
-        batches.push(RecordBatch { width, rows: current });
+        batches.push(RecordBatch {
+            width,
+            rows: current,
+        });
     }
     Ok(batches)
 }
@@ -84,7 +88,13 @@ pub struct StreamReceiver {
 /// blocks (back-pressure).
 pub fn record_stream(header: &Dataset, capacity: usize) -> (StreamSender, StreamReceiver) {
     let (tx, rx) = bounded(capacity.max(1));
-    (StreamSender { tx }, StreamReceiver { header: header.header_clone(), rx })
+    (
+        StreamSender { tx },
+        StreamReceiver {
+            header: header.header_clone(),
+            rx,
+        },
+    )
 }
 
 impl StreamSender {
@@ -121,7 +131,10 @@ impl StreamReceiver {
         let width = ds.num_attributes();
         while let Ok(batch) = self.rx.recv() {
             if batch.width != width {
-                return Err(DataError::Arity { got: batch.width, expected: width });
+                return Err(DataError::Arity {
+                    got: batch.width,
+                    expected: width,
+                });
             }
             for i in 0..batch.num_rows() {
                 ds.push_row(batch.row(i).to_vec())?;
@@ -159,7 +172,11 @@ pub struct RunningStats {
 impl RunningStats {
     /// Create an aggregator for `width` attributes.
     pub fn new(width: usize) -> RunningStats {
-        RunningStats { count: vec![0.0; width], mean: vec![0.0; width], rows: 0 }
+        RunningStats {
+            count: vec![0.0; width],
+            mean: vec![0.0; width],
+            rows: 0,
+        }
     }
 
     /// Absorb one batch (Welford update per attribute).
@@ -182,8 +199,10 @@ mod tests {
     use crate::attribute::Attribute;
 
     fn toy(n: usize) -> Dataset {
-        let mut ds =
-            Dataset::new("toy", vec![Attribute::numeric("x"), Attribute::numeric("y")]);
+        let mut ds = Dataset::new(
+            "toy",
+            vec![Attribute::numeric("x"), Attribute::numeric("y")],
+        );
         for i in 0..n {
             ds.push_row(vec![i as f64, (2 * i) as f64]).unwrap();
         }
@@ -239,7 +258,10 @@ mod tests {
         let ds = toy(1);
         let (tx, rx) = record_stream(&ds, 1);
         drop(rx);
-        let err = tx.send(RecordBatch { width: 2, rows: vec![1.0, 2.0] });
+        let err = tx.send(RecordBatch {
+            width: 2,
+            rows: vec![1.0, 2.0],
+        });
         assert!(matches!(err, Err(DataError::StreamClosed)));
     }
 
@@ -247,7 +269,11 @@ mod tests {
     fn width_mismatch_detected_on_collect() {
         let ds = toy(1);
         let (tx, rx) = record_stream(&ds, 1);
-        tx.send(RecordBatch { width: 3, rows: vec![1.0, 2.0, 3.0] }).unwrap();
+        tx.send(RecordBatch {
+            width: 3,
+            rows: vec![1.0, 2.0, 3.0],
+        })
+        .unwrap();
         drop(tx);
         assert!(rx.collect().is_err());
     }
@@ -255,7 +281,10 @@ mod tests {
     #[test]
     fn running_stats_skips_missing() {
         let mut s = RunningStats::new(1);
-        s.update(&RecordBatch { width: 1, rows: vec![1.0, f64::NAN, 3.0] });
+        s.update(&RecordBatch {
+            width: 1,
+            rows: vec![1.0, f64::NAN, 3.0],
+        });
         assert_eq!(s.rows, 3);
         assert_eq!(s.count[0], 2.0);
         assert!((s.mean[0] - 2.0).abs() < 1e-12);
@@ -263,7 +292,10 @@ mod tests {
 
     #[test]
     fn batch_byte_len_scales_with_rows() {
-        let b = RecordBatch { width: 2, rows: vec![0.0; 20] };
+        let b = RecordBatch {
+            width: 2,
+            rows: vec![0.0; 20],
+        };
         assert_eq!(b.byte_len(), 8 * 20 + 16);
     }
 }

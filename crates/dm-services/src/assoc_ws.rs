@@ -93,8 +93,12 @@ mod tests {
     fn lists_miners() {
         let s = AssociationService::new();
         let v = s.invoke("getAssociators", &[]).unwrap();
-        let names: Vec<&str> =
-            v.as_list().unwrap().iter().map(|x| x.as_text().unwrap()).collect();
+        let names: Vec<&str> = v
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_text().unwrap())
+            .collect();
         assert_eq!(names, vec!["Apriori", "FPGrowth"]);
     }
 

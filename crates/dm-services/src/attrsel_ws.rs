@@ -45,7 +45,10 @@ impl WebService for AttributeSelectionService {
             .operation(
                 Operation::new(
                     "geneticSearch",
-                    vec![Part::new("dataset", "string"), Part::new("attribute", "string")],
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("attribute", "string"),
+                    ],
                     Part::new("selected", "list"),
                 )
                 .doc("the genetic search service used by the case study (§5.3)"),
@@ -115,10 +118,17 @@ mod tests {
     fn info_gain_ranker_orders_attributes() {
         let s = AttributeSelectionService::new();
         let mut args = base_args();
-        args.push(("approach".to_string(), SoapValue::Text("InfoGain+Ranker".into())));
+        args.push((
+            "approach".to_string(),
+            SoapValue::Text("InfoGain+Ranker".into()),
+        ));
         let v = s.invoke("select", &args).unwrap();
-        let names: Vec<&str> =
-            v.as_list().unwrap().iter().map(|x| x.as_text().unwrap()).collect();
+        let names: Vec<&str> = v
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_text().unwrap())
+            .collect();
         assert_eq!(names.len(), 9);
         // The strong attributes must rank above `breast`.
         let pos = |n: &str| names.iter().position(|&x| x == n).unwrap();

@@ -31,8 +31,13 @@ impl ClassifierService {
 
     fn build_model(
         args: &[(String, SoapValue)],
-    ) -> Result<(Box<dyn dm_algorithms::classifiers::Classifier>, dm_data::Dataset), ServiceFault>
-    {
+    ) -> Result<
+        (
+            Box<dyn dm_algorithms::classifiers::Classifier>,
+            dm_data::Dataset,
+        ),
+        ServiceFault,
+    > {
         let arff = text_arg(args, "dataset")?;
         let name = text_arg(args, "classifier")?;
         let options = opt_text_arg(args, "options")?.unwrap_or("");
@@ -188,9 +193,15 @@ mod tests {
     fn args_for(classifier: &str) -> Vec<(String, SoapValue)> {
         vec![
             ("dataset".to_string(), SoapValue::Text(breast_cancer_arff())),
-            ("classifier".to_string(), SoapValue::Text(classifier.to_string())),
+            (
+                "classifier".to_string(),
+                SoapValue::Text(classifier.to_string()),
+            ),
             ("options".to_string(), SoapValue::Text(String::new())),
-            ("attribute".to_string(), SoapValue::Text("Class".to_string())),
+            (
+                "attribute".to_string(),
+                SoapValue::Text("Class".to_string()),
+            ),
         ]
     }
 
@@ -249,7 +260,9 @@ mod tests {
     #[test]
     fn graph_for_non_tree_model_faults() {
         let s = ClassifierService::new();
-        let err = s.invoke("classifyGraph", &args_for("NaiveBayes")).unwrap_err();
+        let err = s
+            .invoke("classifyGraph", &args_for("NaiveBayes"))
+            .unwrap_err();
         assert_eq!(err.code, "Client");
     }
 
@@ -280,7 +293,10 @@ mod tests {
             ("options".to_string(), SoapValue::Text(String::new())),
             ("attribute".to_string(), SoapValue::Text("Class".into())),
         ];
-        assert_eq!(s.invoke("classifyInstance", &args).unwrap_err().code, "Client");
+        assert_eq!(
+            s.invoke("classifyInstance", &args).unwrap_err().code,
+            "Client"
+        );
     }
 
     #[test]
@@ -288,6 +304,12 @@ mod tests {
         let s = ClassifierService::new();
         let wsdl = s.wsdl();
         assert_eq!(wsdl.operations.len(), 5);
-        assert_eq!(wsdl.find_operation("classifyInstance").unwrap().inputs.len(), 4);
+        assert_eq!(
+            wsdl.find_operation("classifyInstance")
+                .unwrap()
+                .inputs
+                .len(),
+            4
+        );
     }
 }

@@ -1,8 +1,11 @@
 //! Typed client stubs: what Triana's generated per-operation tools do —
 //! marshal arguments into SOAP calls over the (simulated) network and
-//! unmarshal the results.
+//! unmarshal the results. Every client can optionally route through a
+//! [`ResilientCaller`] so its calls get deadlines, backoff retries, and
+//! circuit-breaker accounting.
 
 use dm_wsrf::error::Result;
+use dm_wsrf::resilience::ResilientCaller;
 use dm_wsrf::soap::SoapValue;
 use dm_wsrf::transport::Network;
 use std::sync::Arc;
@@ -12,31 +15,89 @@ fn text(v: SoapValue) -> Result<String> {
 }
 
 fn text_list(v: SoapValue) -> Result<Vec<String>> {
-    v.as_list()?.iter().map(|x| Ok(x.as_text()?.to_string())).collect()
+    v.as_list()?
+        .iter()
+        .map(|x| Ok(x.as_text()?.to_string()))
+        .collect()
+}
+
+/// The transport handle shared by the typed clients: a target host and
+/// either the bare network or a resilient caller over it.
+#[derive(Clone)]
+pub struct ClientChannel {
+    network: Arc<Network>,
+    host: String,
+    resilience: Option<ResilientCaller>,
+}
+
+impl ClientChannel {
+    /// A plain channel to `host` on `network`.
+    pub fn new(network: Arc<Network>, host: &str) -> ClientChannel {
+        ClientChannel {
+            network,
+            host: host.to_string(),
+            resilience: None,
+        }
+    }
+
+    /// Route every invocation through `caller` (deadline, retries with
+    /// backoff on the virtual clock, circuit breakers).
+    pub fn with_resilience(mut self, caller: ResilientCaller) -> ClientChannel {
+        self.resilience = Some(caller);
+        self
+    }
+
+    /// The target host.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Invoke `operation` on `service` at the channel's host.
+    pub fn invoke(
+        &self,
+        service: &str,
+        operation: &str,
+        args: Vec<(String, SoapValue)>,
+    ) -> Result<SoapValue> {
+        match &self.resilience {
+            Some(caller) => caller.invoke(&self.host, service, operation, args),
+            None => self.network.invoke(&self.host, service, operation, args),
+        }
+    }
 }
 
 /// Client for the general Classifier Web Service.
 #[derive(Clone)]
 pub struct ClassifierClient {
-    network: Arc<Network>,
-    host: String,
+    channel: ClientChannel,
 }
 
 impl ClassifierClient {
     /// Point the client at `host` on `network`.
     pub fn new(network: Arc<Network>, host: &str) -> ClassifierClient {
-        ClassifierClient { network, host: host.to_string() }
+        ClassifierClient {
+            channel: ClientChannel::new(network, host),
+        }
+    }
+
+    /// Route this client's calls through `caller` (deadlines, backoff
+    /// retries, circuit breakers).
+    pub fn with_resilience(mut self, caller: ResilientCaller) -> ClassifierClient {
+        self.channel = self.channel.with_resilience(caller);
+        self
     }
 
     /// `getClassifiers` — available classifier names.
     pub fn get_classifiers(&self) -> Result<Vec<String>> {
-        text_list(self.network.invoke(&self.host, "Classifier", "getClassifiers", vec![])?)
+        text_list(
+            self.channel
+                .invoke("Classifier", "getClassifiers", vec![])?,
+        )
     }
 
     /// `getOptions` — `(flag, name, description, default)` rows.
     pub fn get_options(&self, classifier: &str) -> Result<Vec<(String, String, String, String)>> {
-        let v = self.network.invoke(
-            &self.host,
+        let v = self.channel.invoke(
             "Classifier",
             "getOptions",
             vec![("classifier".into(), SoapValue::Text(classifier.into()))],
@@ -63,8 +124,7 @@ impl ClassifierClient {
         options: &str,
         attribute: &str,
     ) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "Classifier",
             "classifyInstance",
             vec![
@@ -84,8 +144,7 @@ impl ClassifierClient {
         options: &str,
         attribute: &str,
     ) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "Classifier",
             "classifyGraph",
             vec![
@@ -106,8 +165,7 @@ impl ClassifierClient {
         attribute: &str,
         folds: usize,
     ) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "Classifier",
             "crossValidate",
             vec![
@@ -124,20 +182,27 @@ impl ClassifierClient {
 /// Client for the dedicated J48 Web Service.
 #[derive(Clone)]
 pub struct J48Client {
-    network: Arc<Network>,
-    host: String,
+    channel: ClientChannel,
 }
 
 impl J48Client {
     /// Point the client at `host` on `network`.
     pub fn new(network: Arc<Network>, host: &str) -> J48Client {
-        J48Client { network, host: host.to_string() }
+        J48Client {
+            channel: ClientChannel::new(network, host),
+        }
+    }
+
+    /// Route this client's calls through `caller` (deadlines, backoff
+    /// retries, circuit breakers).
+    pub fn with_resilience(mut self, caller: ResilientCaller) -> J48Client {
+        self.channel = self.channel.with_resilience(caller);
+        self
     }
 
     /// `classify` — returns the textual decision tree.
     pub fn classify(&self, dataset_arff: &str, attribute: &str, options: &str) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "J48",
             "classify",
             vec![
@@ -155,8 +220,7 @@ impl J48Client {
         attribute: &str,
         options: &str,
     ) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "J48",
             "classifyGraph",
             vec![
@@ -169,8 +233,7 @@ impl J48Client {
 
     /// `setLifecycle` — `"serialize-per-call"` or `"in-memory-harness"`.
     pub fn set_lifecycle(&self, policy: &str) -> Result<()> {
-        self.network.invoke(
-            &self.host,
+        self.channel.invoke(
             "J48",
             "setLifecycle",
             vec![("policy".into(), SoapValue::Text(policy.into()))],
@@ -180,7 +243,7 @@ impl J48Client {
 
     /// `getLifecycleStats` — `(serialisations, deserialisations, hits)`.
     pub fn lifecycle_stats(&self) -> Result<(i64, i64, i64)> {
-        let v = self.network.invoke(&self.host, "J48", "getLifecycleStats", vec![])?;
+        let v = self.channel.invoke("J48", "getLifecycleStats", vec![])?;
         let list = v.as_list()?;
         Ok((list[0].as_int()?, list[1].as_int()?, list[2].as_int()?))
     }
@@ -189,25 +252,32 @@ impl J48Client {
 /// Client for the clustering services.
 #[derive(Clone)]
 pub struct ClustererClient {
-    network: Arc<Network>,
-    host: String,
+    channel: ClientChannel,
 }
 
 impl ClustererClient {
     /// Point the client at `host` on `network`.
     pub fn new(network: Arc<Network>, host: &str) -> ClustererClient {
-        ClustererClient { network, host: host.to_string() }
+        ClustererClient {
+            channel: ClientChannel::new(network, host),
+        }
+    }
+
+    /// Route this client's calls through `caller` (deadlines, backoff
+    /// retries, circuit breakers).
+    pub fn with_resilience(mut self, caller: ResilientCaller) -> ClustererClient {
+        self.channel = self.channel.with_resilience(caller);
+        self
     }
 
     /// General service: available clusterer names.
     pub fn get_clusterers(&self) -> Result<Vec<String>> {
-        text_list(self.network.invoke(&self.host, "Clusterer", "getClusterers", vec![])?)
+        text_list(self.channel.invoke("Clusterer", "getClusterers", vec![])?)
     }
 
     /// General service: build a named clusterer, returns the report.
     pub fn cluster(&self, dataset_arff: &str, clusterer: &str, options: &str) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "Clusterer",
             "cluster",
             vec![
@@ -220,8 +290,7 @@ impl ClustererClient {
 
     /// Dedicated Cobweb service: `getCobwebGraph` SVG.
     pub fn cobweb_graph(&self, dataset_arff: &str, options: &str) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "Cobweb",
             "getCobwebGraph",
             vec![
@@ -235,20 +304,27 @@ impl ClustererClient {
 /// Client for the data conversion and URL-reader services.
 #[derive(Clone)]
 pub struct ConvertClient {
-    network: Arc<Network>,
-    host: String,
+    channel: ClientChannel,
 }
 
 impl ConvertClient {
     /// Point the client at `host` on `network`.
     pub fn new(network: Arc<Network>, host: &str) -> ConvertClient {
-        ConvertClient { network, host: host.to_string() }
+        ConvertClient {
+            channel: ClientChannel::new(network, host),
+        }
+    }
+
+    /// Route this client's calls through `caller` (deadlines, backoff
+    /// retries, circuit breakers).
+    pub fn with_resilience(mut self, caller: ResilientCaller) -> ConvertClient {
+        self.channel = self.channel.with_resilience(caller);
+        self
     }
 
     /// `csvToArff`.
     pub fn csv_to_arff(&self, csv: &str) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "DataConversion",
             "csvToArff",
             vec![("csv".into(), SoapValue::Text(csv.into()))],
@@ -257,8 +333,7 @@ impl ConvertClient {
 
     /// `summary` — the Figure-3 table.
     pub fn summary(&self, dataset: &str) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "DataConversion",
             "summary",
             vec![("dataset".into(), SoapValue::Text(dataset.into()))],
@@ -267,8 +342,7 @@ impl ConvertClient {
 
     /// `readArff` on the URL reader.
     pub fn read_arff(&self, url: &str) -> Result<String> {
-        text(self.network.invoke(
-            &self.host,
+        text(self.channel.invoke(
             "UrlReader",
             "readArff",
             vec![("url".into(), SoapValue::Text(url.into()))],
@@ -342,8 +416,16 @@ mod tests {
         assert!(client.get_clusterers().unwrap().len() >= 5);
         let ds = dm_data::corpus::gaussian_blobs(
             &[
-                dm_data::corpus::BlobSpec { center: vec![0.0], stddev: 0.2, count: 20 },
-                dm_data::corpus::BlobSpec { center: vec![9.0], stddev: 0.2, count: 20 },
+                dm_data::corpus::BlobSpec {
+                    center: vec![0.0],
+                    stddev: 0.2,
+                    count: 20,
+                },
+                dm_data::corpus::BlobSpec {
+                    center: vec![9.0],
+                    stddev: 0.2,
+                    count: 20,
+                },
             ],
             3,
         );

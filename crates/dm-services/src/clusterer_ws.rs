@@ -75,7 +75,10 @@ impl WebService for CobwebService {
             .operation(
                 Operation::new(
                     "cluster",
-                    vec![Part::new("dataset", "string"), Part::new("options", "string")],
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("options", "string"),
+                    ],
                     Part::new("result", "string"),
                 )
                 .doc("apply the Cobweb algorithm; returns a textual clustering description"),
@@ -83,7 +86,10 @@ impl WebService for CobwebService {
             .operation(
                 Operation::new(
                     "getCobwebGraph",
-                    vec![Part::new("dataset", "string"), Part::new("options", "string")],
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("options", "string"),
+                    ],
                     Part::new("graph", "string"),
                 )
                 .doc("apply Cobweb and return the concept hierarchy as an SVG tree"),
@@ -233,8 +239,16 @@ mod tests {
     fn blobs_arff() -> String {
         let ds = gaussian_blobs(
             &[
-                BlobSpec { center: vec![0.0, 0.0], stddev: 0.3, count: 30 },
-                BlobSpec { center: vec![8.0, 8.0], stddev: 0.3, count: 30 },
+                BlobSpec {
+                    center: vec![0.0, 0.0],
+                    stddev: 0.3,
+                    count: 30,
+                },
+                BlobSpec {
+                    center: vec![8.0, 8.0],
+                    stddev: 0.3,
+                    count: 30,
+                },
             ],
             5,
         );
@@ -290,7 +304,10 @@ mod tests {
                 "assignments",
                 &[
                     ("dataset".to_string(), SoapValue::Text(blobs_arff())),
-                    ("clusterer".to_string(), SoapValue::Text("SimpleKMeans".into())),
+                    (
+                        "clusterer".to_string(),
+                        SoapValue::Text("SimpleKMeans".into()),
+                    ),
                     ("options".to_string(), SoapValue::Text("-N 2".into())),
                 ],
             )
@@ -309,7 +326,10 @@ mod tests {
         let v = s
             .invoke(
                 "getOptions",
-                &[("clusterer".to_string(), SoapValue::Text("SimpleKMeans".into()))],
+                &[(
+                    "clusterer".to_string(),
+                    SoapValue::Text("SimpleKMeans".into()),
+                )],
             )
             .unwrap();
         assert!(!v.as_list().unwrap().is_empty());

@@ -179,8 +179,7 @@ impl WebService for UrlReaderService {
             "readUrl" => Ok(SoapValue::Text(content)),
             "readArff" => {
                 let format = DataFormat::sniff(&content);
-                let arff =
-                    convert(&content, format, DataFormat::Arff).map_err(data_fault)?;
+                let arff = convert(&content, format, DataFormat::Arff).map_err(data_fault)?;
                 Ok(SoapValue::Text(arff))
             }
             other => Err(ServiceFault::client(format!("no operation {other:?}"))),
@@ -196,7 +195,10 @@ mod tests {
     fn csv_arff_roundtrip() {
         let s = DataConversionService::new();
         let v = s
-            .invoke("csvToArff", &[("csv".to_string(), SoapValue::Text("a,b\n1,x\n2,y\n".into()))])
+            .invoke(
+                "csvToArff",
+                &[("csv".to_string(), SoapValue::Text("a,b\n1,x\n2,y\n".into()))],
+            )
             .unwrap();
         let arff = v.as_text().unwrap().to_string();
         assert!(arff.contains("@attribute a numeric"));
@@ -236,8 +238,12 @@ mod tests {
                 )],
             )
             .unwrap();
-        let names: Vec<&str> =
-            v.as_list().unwrap().iter().map(|x| x.as_text().unwrap()).collect();
+        let names: Vec<&str> = v
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_text().unwrap())
+            .collect();
         assert_eq!(names.len(), 10);
         assert!(names.contains(&"node-caps"));
     }
@@ -276,7 +282,10 @@ mod tests {
         let v = s
             .invoke(
                 "readArff",
-                &[("url".to_string(), SoapValue::Text("http://example/x.csv".into()))],
+                &[(
+                    "url".to_string(),
+                    SoapValue::Text("http://example/x.csv".into()),
+                )],
             )
             .unwrap();
         assert!(v.as_text().unwrap().contains("@relation"));
@@ -286,7 +295,10 @@ mod tests {
     fn bad_csv_faults() {
         let s = DataConversionService::new();
         let err = s
-            .invoke("csvToArff", &[("csv".to_string(), SoapValue::Text("".into()))])
+            .invoke(
+                "csvToArff",
+                &[("csv".to_string(), SoapValue::Text("".into()))],
+            )
             .unwrap_err();
         assert_eq!(err.code, "Client");
     }

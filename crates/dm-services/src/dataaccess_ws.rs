@@ -39,9 +39,7 @@ fn parse_where(ds: &Dataset, clause: &str) -> Result<Vec<Term>, ServiceFault> {
             .iter()
             .filter_map(|&op| raw.find(op).map(|p| (op, p)))
             .min_by_key(|&(_, p)| p)
-            .ok_or_else(|| {
-                ServiceFault::client(format!("condition {raw:?} has no =, < or >"))
-            })?;
+            .ok_or_else(|| ServiceFault::client(format!("condition {raw:?} has no =, < or >")))?;
         let (name, value) = (raw[..pos].trim(), raw[pos + 1..].trim());
         let attr = ds
             .attribute_index(name)
@@ -160,7 +158,10 @@ impl WebService for DataAccessService {
             .operation(
                 Operation::new(
                     "rowCount",
-                    vec![Part::new("resource", "string"), Part::new("where", "string")],
+                    vec![
+                        Part::new("resource", "string"),
+                        Part::new("where", "string"),
+                    ],
                     Part::new("count", "long"),
                 )
                 .doc("number of rows matching a condition"),
@@ -196,7 +197,10 @@ impl WebService for DataAccessService {
             }
             "query" => {
                 let ds = self.resource(text_arg(args, "resource")?)?;
-                let select = opt_text_arg(args, "select")?.unwrap_or("").trim().to_string();
+                let select = opt_text_arg(args, "select")?
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
                 let clause = opt_text_arg(args, "where")?.unwrap_or("");
                 let limit = args
                     .iter()
@@ -227,8 +231,9 @@ impl WebService for DataAccessService {
                 let ds = self.resource(text_arg(args, "resource")?)?;
                 let clause = opt_text_arg(args, "where")?.unwrap_or("");
                 let terms = parse_where(&ds, clause)?;
-                let count =
-                    (0..ds.num_instances()).filter(|&r| matches(&ds, r, &terms)).count();
+                let count = (0..ds.num_instances())
+                    .filter(|&r| matches(&ds, r, &terms))
+                    .count();
                 Ok(SoapValue::Int(count as i64))
             }
             other => Err(ServiceFault::client(format!("no operation {other:?}"))),
@@ -259,7 +264,10 @@ mod tests {
         let schema = s
             .invoke(
                 "getSchema",
-                &[("resource".to_string(), SoapValue::Text("breast_cancer".into()))],
+                &[(
+                    "resource".to_string(),
+                    SoapValue::Text("breast_cancer".into()),
+                )],
             )
             .unwrap();
         let cols = schema.as_list().unwrap();
@@ -275,8 +283,14 @@ mod tests {
             .invoke(
                 "query",
                 &[
-                    ("resource".to_string(), SoapValue::Text("breast_cancer".into())),
-                    ("select".to_string(), SoapValue::Text("node-caps, Class".into())),
+                    (
+                        "resource".to_string(),
+                        SoapValue::Text("breast_cancer".into()),
+                    ),
+                    (
+                        "select".to_string(),
+                        SoapValue::Text("node-caps, Class".into()),
+                    ),
                     ("where".to_string(), SoapValue::Text("node-caps=yes".into())),
                     ("limit".to_string(), SoapValue::Int(1000)),
                 ],
@@ -297,7 +311,10 @@ mod tests {
             .invoke(
                 "rowCount",
                 &[
-                    ("resource".to_string(), SoapValue::Text("breast_cancer".into())),
+                    (
+                        "resource".to_string(),
+                        SoapValue::Text("breast_cancer".into()),
+                    ),
                     (
                         "where".to_string(),
                         SoapValue::Text("node-caps=yes; Class=recurrence-events".into()),
@@ -315,7 +332,10 @@ mod tests {
             .invoke(
                 "query",
                 &[
-                    ("resource".to_string(), SoapValue::Text("breast_cancer".into())),
+                    (
+                        "resource".to_string(),
+                        SoapValue::Text("breast_cancer".into()),
+                    ),
                     ("select".to_string(), SoapValue::Text(String::new())),
                     ("where".to_string(), SoapValue::Text(String::new())),
                     ("limit".to_string(), SoapValue::Int(7)),
@@ -348,7 +368,10 @@ mod tests {
                 "rowCount",
                 &[
                     ("resource".to_string(), SoapValue::Text("readings".into())),
-                    ("where".to_string(), SoapValue::Text("value>4.5; value<10".into())),
+                    (
+                        "where".to_string(),
+                        SoapValue::Text("value>4.5; value<10".into()),
+                    ),
                 ],
             )
             .unwrap();
@@ -363,7 +386,10 @@ mod tests {
             .invoke(
                 "query",
                 &[
-                    ("resource".to_string(), SoapValue::Text("breast_cancer".into())),
+                    (
+                        "resource".to_string(),
+                        SoapValue::Text("breast_cancer".into()),
+                    ),
                     ("select".to_string(), SoapValue::Text(String::new())),
                     ("where".to_string(), SoapValue::Text(String::new())),
                     ("limit".to_string(), SoapValue::Int(i64::MAX)),
@@ -390,12 +416,18 @@ mod tests {
         let s = service();
         let bad = |args: Vec<(String, SoapValue)>| s.invoke("query", &args).unwrap_err().code;
         assert_eq!(
-            bad(vec![("resource".to_string(), SoapValue::Text("nope".into()))]),
+            bad(vec![(
+                "resource".to_string(),
+                SoapValue::Text("nope".into())
+            )]),
             "Client"
         );
         assert_eq!(
             bad(vec![
-                ("resource".to_string(), SoapValue::Text("breast_cancer".into())),
+                (
+                    "resource".to_string(),
+                    SoapValue::Text("breast_cancer".into())
+                ),
                 ("select".to_string(), SoapValue::Text("bogus_col".into())),
                 ("where".to_string(), SoapValue::Text(String::new())),
             ]),
@@ -403,7 +435,10 @@ mod tests {
         );
         assert_eq!(
             bad(vec![
-                ("resource".to_string(), SoapValue::Text("breast_cancer".into())),
+                (
+                    "resource".to_string(),
+                    SoapValue::Text("breast_cancer".into())
+                ),
                 ("select".to_string(), SoapValue::Text(String::new())),
                 ("where".to_string(), SoapValue::Text("age!adult".into())),
             ]),
@@ -411,7 +446,10 @@ mod tests {
         );
         assert_eq!(
             bad(vec![
-                ("resource".to_string(), SoapValue::Text("breast_cancer".into())),
+                (
+                    "resource".to_string(),
+                    SoapValue::Text("breast_cancer".into())
+                ),
                 ("select".to_string(), SoapValue::Text(String::new())),
                 ("where".to_string(), SoapValue::Text("node-caps<yes".into())),
             ]),

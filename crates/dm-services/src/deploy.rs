@@ -30,8 +30,12 @@ pub fn deploy_faehim_suite(container: &ServiceContainer) -> Result<Vec<String>> 
     container.deploy(std::sync::Arc::new(
         crate::dataaccess_ws::DataAccessService::with_standard_resources(),
     ));
-    container.deploy(std::sync::Arc::new(crate::session_ws::SessionService::default()));
-    container.deploy(std::sync::Arc::new(crate::preprocess_ws::PreprocessService::new()));
+    container.deploy(std::sync::Arc::new(
+        crate::session_ws::SessionService::default(),
+    ));
+    container.deploy(std::sync::Arc::new(
+        crate::preprocess_ws::PreprocessService::new(),
+    ));
     Ok(container.deployed())
 }
 

@@ -30,12 +30,16 @@ pub struct J48Service {
 impl J48Service {
     /// Create with the default Axis-like `SerializePerCall` lifecycle.
     pub fn new() -> Result<J48Service, dm_wsrf::WsError> {
-        Ok(J48Service { lifecycle: LifecycleManager::new(LifecyclePolicy::SerializePerCall)? })
+        Ok(J48Service {
+            lifecycle: LifecycleManager::new(LifecyclePolicy::SerializePerCall)?,
+        })
     }
 
     /// Create with an explicit lifecycle policy.
     pub fn with_policy(policy: LifecyclePolicy) -> Result<J48Service, dm_wsrf::WsError> {
-        Ok(J48Service { lifecycle: LifecycleManager::new(policy)? })
+        Ok(J48Service {
+            lifecycle: LifecycleManager::new(policy)?,
+        })
     }
 
     /// `(serialisations, deserialisations, cache hits)` so far.
@@ -49,9 +53,7 @@ impl J48Service {
         &self,
         f: impl FnOnce(&mut J48) -> Result<R, ServiceFault>,
     ) -> Result<R, ServiceFault> {
-        
-        self
-            .lifecycle
+        self.lifecycle
             .with_instance(
                 "j48-model",
                 J48::new,
@@ -113,7 +115,10 @@ impl WebService for J48Service {
             .operation(
                 Operation::new(
                     "predict",
-                    vec![Part::new("dataset", "string"), Part::new("attribute", "string")],
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("attribute", "string"),
+                    ],
                     Part::new("predictions", "list"),
                 )
                 .doc("label the given instances with the previously built tree"),
@@ -167,8 +172,7 @@ impl WebService for J48Service {
                 let ds = dataset_with_class(arff, attribute)?;
                 self.with_model(|model| {
                     let class_attr = ds.class_attribute().map_err(crate::support::data_fault)?;
-                    let labels: Vec<String> =
-                        class_attr.labels().to_vec();
+                    let labels: Vec<String> = class_attr.labels().to_vec();
                     let mut out = Vec::with_capacity(ds.num_instances());
                     for r in 0..ds.num_instances() {
                         let c = model.predict(&ds, r).map_err(algo_fault)?;
@@ -186,8 +190,8 @@ impl WebService for J48Service {
                     "in-memory-harness" => LifecyclePolicy::InMemoryHarness,
                     other => {
                         return Err(ServiceFault::client(format!(
-                            "unknown lifecycle {other:?} (want serialize-per-call | in-memory-harness)"
-                        )))
+                        "unknown lifecycle {other:?} (want serialize-per-call | in-memory-harness)"
+                    )))
                     }
                 };
                 self.lifecycle.set_policy(policy);
@@ -264,7 +268,10 @@ mod tests {
         let s = J48Service::new().unwrap();
         s.invoke(
             "setLifecycle",
-            &[("policy".to_string(), SoapValue::Text("in-memory-harness".into()))],
+            &[(
+                "policy".to_string(),
+                SoapValue::Text("in-memory-harness".into()),
+            )],
         )
         .unwrap();
         s.invoke("classify", &classify_args()).unwrap();
@@ -272,13 +279,12 @@ mod tests {
         let stats = s.invoke("getLifecycleStats", &[]).unwrap();
         let list = stats.as_list().unwrap();
         assert_eq!(list[0].as_int().unwrap(), 0); // no serialisations
-        assert!(
-            s.invoke(
+        assert!(s
+            .invoke(
                 "setLifecycle",
                 &[("policy".to_string(), SoapValue::Text("bogus".into()))]
             )
-            .is_err()
-        );
+            .is_err());
     }
 
     #[test]
@@ -296,9 +302,10 @@ mod tests {
             .unwrap();
         let predictions = v.as_list().unwrap();
         assert_eq!(predictions.len(), 286);
-        assert!(predictions
-            .iter()
-            .all(|p| matches!(p.as_text().unwrap(), "no-recurrence-events" | "recurrence-events")));
+        assert!(predictions.iter().all(|p| matches!(
+            p.as_text().unwrap(),
+            "no-recurrence-events" | "recurrence-events"
+        )));
     }
 
     #[test]

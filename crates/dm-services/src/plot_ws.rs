@@ -90,20 +90,27 @@ impl WebService for PlotService {
         match operation {
             "scatter" | "line" => {
                 let cols = csv_columns(csv, 2)?;
-                let points: Vec<(f64, f64)> =
-                    cols[0].iter().zip(&cols[1]).map(|(&x, &y)| (x, y)).collect();
+                let points: Vec<(f64, f64)> = cols[0]
+                    .iter()
+                    .zip(&cols[1])
+                    .map(|(&x, &y)| (x, y))
+                    .collect();
                 let series = if operation == "scatter" {
                     dm_viz::Series::scatter("data", points)
                 } else {
                     dm_viz::Series::line("data", points)
                 };
                 Ok(SoapValue::Text(
-                    dm_viz::Chart::new(title).labels("x", "y").with(series).to_svg(),
+                    dm_viz::Chart::new(title)
+                        .labels("x", "y")
+                        .with(series)
+                        .to_svg(),
                 ))
             }
             "histogram" => {
-                let bins = crate::support::int_arg(args, "bins").unwrap_or(10).clamp(2, 200)
-                    as usize;
+                let bins = crate::support::int_arg(args, "bins")
+                    .unwrap_or(10)
+                    .clamp(2, 200) as usize;
                 let cols = csv_columns(csv, 1)?;
                 let values = &cols[0];
                 let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -179,8 +186,9 @@ impl WebService for MathService {
         match operation {
             "plot3D" => {
                 let csv = text_arg(args, "csv")?;
-                let width =
-                    crate::support::int_arg(args, "width").unwrap_or(640).clamp(16, 4096) as usize;
+                let width = crate::support::int_arg(args, "width")
+                    .unwrap_or(640)
+                    .clamp(16, 4096) as usize;
                 let height = crate::support::int_arg(args, "height")
                     .unwrap_or(480)
                     .clamp(16, 4096) as usize;
@@ -304,7 +312,10 @@ mod tests {
     fn statistics_per_column() {
         let s = MathService::new();
         let v = s
-            .invoke("statistics", &[("csv".to_string(), SoapValue::Text(xy_csv()))])
+            .invoke(
+                "statistics",
+                &[("csv".to_string(), SoapValue::Text(xy_csv()))],
+            )
             .unwrap();
         let stats = v.as_list().unwrap();
         assert_eq!(stats.len(), 2);

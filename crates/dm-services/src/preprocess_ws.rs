@@ -96,7 +96,10 @@ impl WebService for PreprocessService {
             .operation(
                 Operation::new(
                     "removeAttributes",
-                    vec![Part::new("dataset", "string"), Part::new("attributes", "string")],
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("attributes", "string"),
+                    ],
                     Part::new("arff", "string"),
                 )
                 .doc("drop the named (comma-separated) attributes"),
@@ -132,7 +135,9 @@ impl WebService for PreprocessService {
             }
             "replaceMissing" => {
                 let ds = parse(arff)?;
-                Ok(emit(&ReplaceMissing::fit(&ds).apply(&ds).map_err(data_fault)?))
+                Ok(emit(
+                    &ReplaceMissing::fit(&ds).apply(&ds).map_err(data_fault)?,
+                ))
             }
             "discretize" => {
                 let class = opt_text_arg(args, "class")?;
@@ -164,7 +169,9 @@ impl WebService for PreprocessService {
                         })
                     })
                     .collect::<Result<_, _>>()?;
-                Ok(emit(&dm_data::filters::remove(&ds, &drop).map_err(data_fault)?))
+                Ok(emit(
+                    &dm_data::filters::remove(&ds, &drop).map_err(data_fault)?,
+                ))
             }
             "resample" => {
                 let ds = parse(arff)?;
@@ -178,7 +185,9 @@ impl WebService for PreprocessService {
                     .find(|(n, _)| n == "seed")
                     .and_then(|(_, v)| v.as_int().ok())
                     .unwrap_or(1) as u64;
-                Ok(emit(&dm_data::filters::resample(&ds, fraction, seed).map_err(data_fault)?))
+                Ok(emit(
+                    &dm_data::filters::resample(&ds, fraction, seed).map_err(data_fault)?,
+                ))
             }
             other => Err(ServiceFault::client(format!("no operation {other:?}"))),
         }
@@ -223,8 +232,10 @@ mod tests {
     #[test]
     fn standardize_centres() {
         let ds = one("standardize", vec![]);
-        let values: Vec<f64> =
-            (0..4).map(|r| ds.value(r, 0)).filter(|v| !v.is_nan()).collect();
+        let values: Vec<f64> = (0..4)
+            .map(|r| ds.value(r, 0))
+            .filter(|v| !v.is_nan())
+            .collect();
         let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
         assert!(mean.abs() < 1e-9);
     }
@@ -277,8 +288,16 @@ mod tests {
         let s = PreprocessService::new();
         let numeric = dm_data::corpus::gaussian_blobs(
             &[
-                dm_data::corpus::BlobSpec { center: vec![0.0], stddev: 0.2, count: 20 },
-                dm_data::corpus::BlobSpec { center: vec![9.0], stddev: 0.2, count: 20 },
+                dm_data::corpus::BlobSpec {
+                    center: vec![0.0],
+                    stddev: 0.2,
+                    count: 20,
+                },
+                dm_data::corpus::BlobSpec {
+                    center: vec![9.0],
+                    stddev: 0.2,
+                    count: 20,
+                },
             ],
             4,
         );
@@ -315,8 +334,16 @@ mod tests {
         let s = PreprocessService::new();
         let blobs = dm_data::corpus::gaussian_blobs(
             &[
-                dm_data::corpus::BlobSpec { center: vec![0.0], stddev: 0.5, count: 40 },
-                dm_data::corpus::BlobSpec { center: vec![10.0], stddev: 0.5, count: 40 },
+                dm_data::corpus::BlobSpec {
+                    center: vec![0.0],
+                    stddev: 0.5,
+                    count: 40,
+                },
+                dm_data::corpus::BlobSpec {
+                    center: vec![10.0],
+                    stddev: 0.5,
+                    count: 40,
+                },
             ],
             6,
         );

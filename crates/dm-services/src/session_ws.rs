@@ -25,7 +25,9 @@ impl Default for SessionService {
 impl SessionService {
     /// Create with an explicit idle TTL.
     pub fn new(ttl: Duration) -> SessionService {
-        SessionService { manager: SessionManager::new(ttl) }
+        SessionService {
+            manager: SessionManager::new(ttl),
+        }
     }
 
     /// The underlying manager (for tests and local callers).
@@ -205,7 +207,12 @@ mod tests {
     #[test]
     fn unset_attribute_is_nil() {
         let s = SessionService::default();
-        let id = s.invoke("createSession", &[]).unwrap().as_text().unwrap().to_string();
+        let id = s
+            .invoke("createSession", &[])
+            .unwrap()
+            .as_text()
+            .unwrap()
+            .to_string();
         let got = s
             .invoke(
                 "getAttribute",

@@ -24,18 +24,15 @@ pub fn data_fault(e: DataError) -> ServiceFault {
 pub fn algo_fault(e: AlgoError) -> ServiceFault {
     match e {
         AlgoError::Data(d) => data_fault(d),
-        AlgoError::UnknownAlgorithm(_) | AlgoError::BadOption { .. } | AlgoError::Unsupported(_) => {
-            ServiceFault::client(e.to_string())
-        }
+        AlgoError::UnknownAlgorithm(_)
+        | AlgoError::BadOption { .. }
+        | AlgoError::Unsupported(_) => ServiceFault::client(e.to_string()),
         AlgoError::NotTrained | AlgoError::BadState(_) => ServiceFault::server(e.to_string()),
     }
 }
 
 /// Fetch a required string argument.
-pub fn text_arg<'a>(
-    args: &'a [(String, SoapValue)],
-    name: &str,
-) -> Result<&'a str, ServiceFault> {
+pub fn text_arg<'a>(args: &'a [(String, SoapValue)], name: &str) -> Result<&'a str, ServiceFault> {
     match args.iter().find(|(n, _)| n == name) {
         Some((_, SoapValue::Text(s))) => Ok(s),
         Some((_, other)) => Err(ServiceFault::client(format!(
@@ -128,7 +125,10 @@ mod tests {
     fn fault_codes() {
         assert_eq!(data_fault(DataError::Empty).code, "Client");
         assert_eq!(algo_fault(AlgoError::NotTrained).code, "Server");
-        assert_eq!(algo_fault(AlgoError::UnknownAlgorithm("X".into())).code, "Client");
+        assert_eq!(
+            algo_fault(AlgoError::UnknownAlgorithm("X".into())).code,
+            "Client"
+        );
     }
 
     #[test]

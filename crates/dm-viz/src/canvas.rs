@@ -16,7 +16,11 @@ pub struct Canvas {
 impl Canvas {
     /// Create a white canvas.
     pub fn new(width: usize, height: usize) -> Canvas {
-        Canvas { width, height, pixels: vec![[255, 255, 255]; width * height] }
+        Canvas {
+            width,
+            height,
+            pixels: vec![[255, 255, 255]; width * height],
+        }
     }
 
     /// Canvas width in pixels.
@@ -134,7 +138,9 @@ pub fn plot3d(points: &[(f64, f64, f64)], width: usize, height: usize) -> Canvas
     // Points, back-to-front (painter's order by x+y).
     let mut ordered: Vec<(f64, f64, f64)> = points.to_vec();
     ordered.sort_by(|a, b| {
-        (a.0 + a.1).partial_cmp(&(b.0 + b.1)).expect("finite coordinates")
+        (a.0 + a.1)
+            .partial_cmp(&(b.0 + b.1))
+            .expect("finite coordinates")
     });
     for (x, y, z) in ordered {
         let (nx, ny, nz) = (norm(x, 0), norm(y, 1), norm(z, 2));
@@ -196,7 +202,7 @@ mod tests {
         let points: Vec<(f64, f64, f64)> = (0..100)
             .map(|i| {
                 let t = i as f64 / 100.0;
-                (t, (t * 6.28).sin() * 0.5 + 0.5, t * t)
+                (t, (t * std::f64::consts::TAU).sin() * 0.5 + 0.5, t * t)
             })
             .collect();
         let canvas = plot3d(&points, 320, 240);

@@ -28,17 +28,29 @@ pub struct Series {
 impl Series {
     /// Create a scatter series.
     pub fn scatter<N: Into<String>>(name: N, points: Vec<(f64, f64)>) -> Series {
-        Series { name: name.into(), points, style: SeriesStyle::Scatter }
+        Series {
+            name: name.into(),
+            points,
+            style: SeriesStyle::Scatter,
+        }
     }
 
     /// Create a line series.
     pub fn line<N: Into<String>>(name: N, points: Vec<(f64, f64)>) -> Series {
-        Series { name: name.into(), points, style: SeriesStyle::Line }
+        Series {
+            name: name.into(),
+            points,
+            style: SeriesStyle::Line,
+        }
     }
 
     /// Create a bar series.
     pub fn bars<N: Into<String>>(name: N, points: Vec<(f64, f64)>) -> Series {
-        Series { name: name.into(), points, style: SeriesStyle::Bars }
+        Series {
+            name: name.into(),
+            points,
+            style: SeriesStyle::Bars,
+        }
     }
 }
 
@@ -134,7 +146,13 @@ impl Chart {
         doc.rect(M_LEFT, M_TOP, plot_w, plot_h, "none", "#333333");
         // Title and axis labels.
         doc.text(self.width / 2.0, 24.0, 16.0, "middle", &self.title);
-        doc.text(self.width / 2.0, self.height - 12.0, 13.0, "middle", &self.x_label);
+        doc.text(
+            self.width / 2.0,
+            self.height - 12.0,
+            13.0,
+            "middle",
+            &self.x_label,
+        );
         doc.text(16.0, M_TOP - 12.0, 13.0, "start", &self.y_label);
         // Ticks (5 per axis).
         for i in 0..=5 {
@@ -192,11 +210,7 @@ fn tick_label(v: f64) -> String {
 
 /// The cluster visualiser: scatter-plot 2-D points coloured by cluster
 /// assignment (one series per cluster).
-pub fn cluster_plot(
-    title: &str,
-    points: &[(f64, f64)],
-    assignments: &[usize],
-) -> String {
+pub fn cluster_plot(title: &str, points: &[(f64, f64)], assignments: &[usize]) -> String {
     let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
     let mut chart = Chart::new(title).labels("x", "y");
     for c in 0..k {
@@ -265,7 +279,13 @@ pub fn confusion_heatmap(title: &str, labels: &[String], matrix: &[Vec<f64>]) ->
             );
         }
     }
-    doc.text(M_LEFT - 8.0, M_TOP - 30.0, 11.0, "end", "actual \\ predicted");
+    doc.text(
+        M_LEFT - 8.0,
+        M_TOP - 30.0,
+        11.0,
+        "end",
+        "actual \\ predicted",
+    );
     doc.finish()
 }
 

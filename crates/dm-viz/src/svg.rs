@@ -12,13 +12,20 @@ pub struct SvgDocument {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 impl SvgDocument {
     /// Create a document of the given pixel size.
     pub fn new(width: f64, height: f64) -> SvgDocument {
-        SvgDocument { width, height, body: String::new() }
+        SvgDocument {
+            width,
+            height,
+            body: String::new(),
+        }
     }
 
     /// Document width.
@@ -51,8 +58,11 @@ impl SvgDocument {
 
     /// Add a circle.
     pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
-        writeln!(self.body, r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#)
-            .expect("string write");
+        writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#
+        )
+        .expect("string write");
     }
 
     /// Add text (anchor: `start`, `middle`, or `end`).
@@ -67,8 +77,10 @@ impl SvgDocument {
 
     /// Add a polyline through the given points.
     pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
-        let pts: Vec<String> =
-            points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
         writeln!(
             self.body,
             r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,

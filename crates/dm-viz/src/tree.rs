@@ -61,7 +61,12 @@ impl TreeSpec {
     /// Depth (root = 1, empty = 0).
     pub fn depth(&self) -> usize {
         fn go(t: &TreeSpec, i: usize) -> usize {
-            1 + t.nodes[i].children.iter().map(|&c| go(t, c)).max().unwrap_or(0)
+            1 + t.nodes[i]
+                .children
+                .iter()
+                .map(|&c| go(t, c))
+                .max()
+                .unwrap_or(0)
         }
         if self.nodes.is_empty() {
             0

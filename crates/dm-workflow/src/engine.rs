@@ -7,6 +7,7 @@
 
 use crate::error::{Result, WorkflowError};
 use crate::graph::{TaskGraph, TaskId, Token};
+use dm_wsrf::resilience::{BackoffSchedule, ResiliencePolicy};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -20,6 +21,43 @@ pub enum ExecutionMode {
     Parallel,
 }
 
+/// Retry behaviour for the executor: a per-task attempt ceiling plus
+/// exponential backoff between attempts and an optional per-workflow
+/// retry *budget* shared by every task in a run — once the budget is
+/// spent, no task may retry again, bounding the total extra work a
+/// degraded deployment can absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum execution attempts per task (1 = no retries).
+    pub max_attempts: usize,
+    /// First backoff pause; later pauses grow with decorrelated jitter.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Total retries allowed across the whole run (`None` = unlimited).
+    pub retry_budget: Option<usize>,
+    /// Jitter seed, perturbed per task, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            retry_budget: None,
+            seed: 0xB0FF,
+        }
+    }
+}
+
+/// Receives each backoff pause instead of sleeping. The toolkit wires
+/// this to the simulated network's virtual clock
+/// ([`dm_wsrf::transport::Network::advance_virtual_time`]) so pauses
+/// are charged to simulated time and enactment stays fast.
+pub type BackoffSink = std::sync::Arc<dyn Fn(Duration) + Send + Sync>;
+
 /// Per-task record in an [`ExecutionReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskRun {
@@ -30,6 +68,8 @@ pub struct TaskRun {
     /// Wall-clock duration of the successful attempt (or the last
     /// failed one).
     pub duration: Duration,
+    /// Backoff accumulated between this task's attempts.
+    pub backoff: Duration,
     /// `None` on success, the failure message otherwise.
     pub error: Option<String>,
 }
@@ -43,6 +83,8 @@ pub struct ExecutionReport {
     pub runs: Vec<TaskRun>,
     /// Total enactment wall-clock time.
     pub elapsed: Duration,
+    /// Retries left in the run's shared budget (`None` = unlimited).
+    pub retry_budget_remaining: Option<usize>,
 }
 
 impl ExecutionReport {
@@ -54,6 +96,11 @@ impl ExecutionReport {
     /// Total retry attempts beyond first tries.
     pub fn total_retries(&self) -> usize {
         self.runs.iter().map(|r| r.attempts.saturating_sub(1)).sum()
+    }
+
+    /// Total backoff accumulated between attempts, across all tasks.
+    pub fn total_backoff(&self) -> Duration {
+        self.runs.iter().map(|r| r.backoff).sum()
     }
 }
 
@@ -79,6 +126,19 @@ pub enum ProgressEvent {
         /// Duration of the successful attempt.
         duration: Duration,
     },
+    /// A task attempt failed and a retry is scheduled after a backoff
+    /// pause. Fires only between attempts, never on clean runs.
+    Retrying {
+        /// Task display name.
+        task: String,
+        /// The attempt number about to run (≥ 2).
+        next_attempt: usize,
+        /// Backoff pause before the next attempt.
+        backoff: Duration,
+        /// Retries left in the shared budget after this one (`None` =
+        /// unlimited).
+        budget_remaining: Option<usize>,
+    },
     /// A task failed terminally.
     Failed {
         /// Task display name.
@@ -96,8 +156,8 @@ pub type ProgressListener = std::sync::Arc<dyn Fn(ProgressEvent) + Send + Sync>;
 #[derive(Clone)]
 pub struct Executor {
     mode: ExecutionMode,
-    /// Maximum execution attempts per task (1 = no retries).
-    max_attempts: usize,
+    policy: RetryPolicy,
+    backoff_sink: Option<BackoffSink>,
     listener: Option<ProgressListener>,
 }
 
@@ -105,7 +165,8 @@ impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
             .field("mode", &self.mode)
-            .field("max_attempts", &self.max_attempts)
+            .field("policy", &self.policy)
+            .field("backoff_sink", &self.backoff_sink.is_some())
             .field("listener", &self.listener.is_some())
             .finish()
     }
@@ -114,17 +175,48 @@ impl std::fmt::Debug for Executor {
 impl Executor {
     /// Create a serial executor without retries.
     pub fn serial() -> Executor {
-        Executor { mode: ExecutionMode::Serial, max_attempts: 1, listener: None }
+        Executor {
+            mode: ExecutionMode::Serial,
+            policy: RetryPolicy::default(),
+            backoff_sink: None,
+            listener: None,
+        }
     }
 
     /// Create a parallel executor without retries.
     pub fn parallel() -> Executor {
-        Executor { mode: ExecutionMode::Parallel, max_attempts: 1, listener: None }
+        Executor {
+            mode: ExecutionMode::Parallel,
+            policy: RetryPolicy::default(),
+            backoff_sink: None,
+            listener: None,
+        }
     }
 
     /// Builder: allow up to `attempts` executions per task.
     pub fn with_max_attempts(mut self, attempts: usize) -> Executor {
-        self.max_attempts = attempts.max(1);
+        self.policy.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Builder: install a full [`RetryPolicy`] (attempt ceiling,
+    /// backoff shape, shared retry budget, jitter seed).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Executor {
+        self.policy = policy;
+        self.policy.max_attempts = self.policy.max_attempts.max(1);
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Builder: deliver backoff pauses to `sink` instead of sleeping.
+    /// Without a sink, backoff is accounted in reports and events but
+    /// no time passes anywhere.
+    pub fn with_backoff_sink(mut self, sink: BackoffSink) -> Executor {
+        self.backoff_sink = Some(sink);
         self
     }
 
@@ -170,12 +262,21 @@ impl Executor {
         graph: &TaskGraph,
         task: TaskId,
         inputs: &[Token],
+        budget: &Mutex<Option<usize>>,
     ) -> (std::result::Result<Vec<Token>, String>, TaskRun) {
         let node = graph.task(task).expect("validated id");
+        let backoff_policy =
+            ResiliencePolicy::default().backoff(self.policy.base_backoff, self.policy.max_backoff);
+        let mut schedule =
+            BackoffSchedule::new(&backoff_policy, self.policy.seed ^ task_seed(&node.name));
+        let mut backoff_total = Duration::ZERO;
         let mut attempts = 0;
         loop {
             attempts += 1;
-            self.emit(ProgressEvent::Started { task: node.name.clone(), attempt: attempts });
+            self.emit(ProgressEvent::Started {
+                task: node.name.clone(),
+                attempt: attempts,
+            });
             let start = Instant::now();
             match node.tool.execute(inputs) {
                 Ok(outputs) => {
@@ -195,6 +296,7 @@ impl Executor {
                                 task: node.name.clone(),
                                 attempts,
                                 duration: start.elapsed(),
+                                backoff: backoff_total,
                                 error: Some(msg),
                             },
                         );
@@ -210,25 +312,61 @@ impl Executor {
                             task: node.name.clone(),
                             attempts,
                             duration: start.elapsed(),
+                            backoff: backoff_total,
                             error: None,
                         },
                     );
                 }
-                Err(message) => {
-                    if attempts >= self.max_attempts {
-                        self.emit(ProgressEvent::Failed {
-                            task: node.name.clone(),
-                            message: message.clone(),
-                        });
-                        return (
-                            Err(message.clone()),
-                            TaskRun {
+                Err(mut message) => {
+                    // Charge the shared per-workflow budget before
+                    // retrying; exhaustion turns this failure terminal
+                    // even with attempts left.
+                    let budget_remaining = if attempts < self.policy.max_attempts {
+                        let mut budget = budget.lock();
+                        match *budget {
+                            None => Some(None),
+                            Some(n) if n > 0 => {
+                                *budget = Some(n - 1);
+                                Some(Some(n - 1))
+                            }
+                            Some(_) => {
+                                message = format!("{message} (retry budget exhausted)");
+                                None
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    match budget_remaining {
+                        Some(remaining) => {
+                            let delay = schedule.next_delay();
+                            backoff_total += delay;
+                            if let Some(sink) = &self.backoff_sink {
+                                sink(delay);
+                            }
+                            self.emit(ProgressEvent::Retrying {
                                 task: node.name.clone(),
-                                attempts,
-                                duration: start.elapsed(),
-                                error: Some(message),
-                            },
-                        );
+                                next_attempt: attempts + 1,
+                                backoff: delay,
+                                budget_remaining: remaining,
+                            });
+                        }
+                        None => {
+                            self.emit(ProgressEvent::Failed {
+                                task: node.name.clone(),
+                                message: message.clone(),
+                            });
+                            return (
+                                Err(message.clone()),
+                                TaskRun {
+                                    task: node.name.clone(),
+                                    attempts,
+                                    duration: start.elapsed(),
+                                    backoff: backoff_total,
+                                    error: Some(message),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -241,18 +379,28 @@ impl Executor {
         bindings: &HashMap<(TaskId, usize), Token>,
         produced: &HashMap<(TaskId, usize), Token>,
     ) -> Vec<Token> {
-        let num_inputs = graph.task(task).expect("validated").tool.input_ports().len();
+        let num_inputs = graph
+            .task(task)
+            .expect("validated")
+            .tool
+            .input_ports()
+            .len();
         (0..num_inputs)
             .map(|port| {
-                if let Some(cable) =
-                    graph.cables().iter().find(|c| c.to_task == task && c.to_port == port)
+                if let Some(cable) = graph
+                    .cables()
+                    .iter()
+                    .find(|c| c.to_task == task && c.to_port == port)
                 {
                     produced
                         .get(&(cable.from_task, cable.from_port))
                         .cloned()
                         .expect("producer ran before consumer")
                 } else {
-                    bindings.get(&(task, port)).cloned().expect("validated binding")
+                    bindings
+                        .get(&(task, port))
+                        .cloned()
+                        .expect("validated binding")
                 }
             })
             .collect()
@@ -265,11 +413,12 @@ impl Executor {
         order: &[TaskId],
     ) -> Result<ExecutionReport> {
         let start = Instant::now();
+        let budget = Mutex::new(self.policy.retry_budget);
         let mut produced: HashMap<(TaskId, usize), Token> = HashMap::new();
         let mut report = ExecutionReport::default();
         for &task in order {
             let inputs = Self::gather_inputs(graph, task, bindings, &produced);
-            let (result, run) = self.execute_task(graph, task, &inputs);
+            let (result, run) = self.execute_task(graph, task, &inputs, &budget);
             report.runs.push(run);
             match result {
                 Ok(outputs) => {
@@ -288,6 +437,7 @@ impl Executor {
         }
         self.collect_outputs(graph, &produced, &mut report)?;
         report.elapsed = start.elapsed();
+        report.retry_budget_remaining = budget.into_inner();
         Ok(report)
     }
 
@@ -304,6 +454,7 @@ impl Executor {
         }
 
         let produced = Mutex::new(HashMap::<(TaskId, usize), Token>::new());
+        let budget = Mutex::new(self.policy.retry_budget);
         let state = Mutex::new((indegree, Vec::<TaskRun>::new(), None::<(String, String)>));
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<TaskId>();
         let pending = std::sync::atomic::AtomicUsize::new(n);
@@ -318,9 +469,10 @@ impl Executor {
             }
         }
         if n == 0 {
-            let mut report = ExecutionReport::default();
-            report.elapsed = start.elapsed();
-            return Ok(report);
+            return Ok(ExecutionReport {
+                elapsed: start.elapsed(),
+                ..Default::default()
+            });
         }
 
         // Poison pill: once the final task completes (or one fails), a
@@ -328,12 +480,15 @@ impl Executor {
         // exits, so no thread blocks on a channel whose senders are all
         // still alive inside blocked peers.
         const POISON: TaskId = usize::MAX;
-        let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
+        let workers = std::thread::available_parallelism()
+            .map_or(4, |p| p.get())
+            .min(n.max(1));
         crossbeam::scope(|scope| {
             for _ in 0..workers {
                 let work_rx = work_rx.clone();
                 let work_tx = work_tx.clone();
                 let produced = &produced;
+                let budget = &budget;
                 let state = &state;
                 let pending = &pending;
                 scope.spawn(move |_| {
@@ -346,7 +501,7 @@ impl Executor {
                             let produced = produced.lock();
                             Self::gather_inputs(graph, task, bindings, &produced)
                         };
-                        let (result, run) = self.execute_task(graph, task, &inputs);
+                        let (result, run) = self.execute_task(graph, task, &inputs, budget);
                         let failed = result.is_err();
                         match result {
                             Ok(outputs) => {
@@ -378,8 +533,7 @@ impl Executor {
                                 }
                             }
                         }
-                        let left =
-                            pending.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) - 1;
+                        let left = pending.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) - 1;
                         if left == 0 || failed {
                             let _ = work_tx.send(POISON);
                             break;
@@ -393,7 +547,10 @@ impl Executor {
         .expect("workflow worker panicked");
 
         let (_, runs, failure) = state.into_inner();
-        let mut report = ExecutionReport { runs, ..ExecutionReport::default() };
+        let mut report = ExecutionReport {
+            runs,
+            ..ExecutionReport::default()
+        };
         if let Some((task, message)) = failure {
             report.elapsed = start.elapsed();
             return Err(WorkflowError::TaskFailed { task, message });
@@ -401,6 +558,7 @@ impl Executor {
         let produced = produced.into_inner();
         self.collect_outputs(graph, &produced, &mut report)?;
         report.elapsed = start.elapsed();
+        report.retry_budget_remaining = budget.into_inner();
         Ok(report)
     }
 
@@ -419,6 +577,17 @@ impl Executor {
         }
         Ok(())
     }
+}
+
+/// Stable per-task seed perturbation so concurrent tasks don't share
+/// one backoff-jitter stream.
+fn task_seed(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -496,7 +665,9 @@ mod tests {
         let flaky = g.add_named_task("always-fails", Arc::new(Flaky::failing(usize::MAX)));
         g.connect(src, 0, flaky, 0).unwrap();
         let err = Executor::serial().run(&g, &HashMap::new()).unwrap_err();
-        assert!(matches!(err, WorkflowError::TaskFailed { ref task, .. } if task == "always-fails"));
+        assert!(
+            matches!(err, WorkflowError::TaskFailed { ref task, .. } if task == "always-fails")
+        );
     }
 
     #[test]
@@ -540,8 +711,7 @@ mod tests {
         use parking_lot::Mutex;
         let events = std::sync::Arc::new(Mutex::new(Vec::new()));
         let sink = std::sync::Arc::clone(&events);
-        let listener: super::ProgressListener =
-            std::sync::Arc::new(move |e| sink.lock().push(e));
+        let listener: super::ProgressListener = std::sync::Arc::new(move |e| sink.lock().push(e));
 
         let mut g = TaskGraph::new();
         let src = g.add_task(Arc::new(ConstText("x".into())));
@@ -568,8 +738,7 @@ mod tests {
         use parking_lot::Mutex;
         let events = std::sync::Arc::new(Mutex::new(Vec::new()));
         let sink = std::sync::Arc::clone(&events);
-        let listener: super::ProgressListener =
-            std::sync::Arc::new(move |e| sink.lock().push(e));
+        let listener: super::ProgressListener = std::sync::Arc::new(move |e| sink.lock().push(e));
 
         let mut g = TaskGraph::new();
         let src = g.add_task(Arc::new(ConstText("x".into())));
@@ -588,6 +757,119 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, super::ProgressEvent::Failed { task, .. } if task == "Flaky")));
+    }
+
+    #[test]
+    fn backoff_is_accounted_and_delivered_to_sink() {
+        use parking_lot::Mutex;
+        let charged = std::sync::Arc::new(Mutex::new(Duration::ZERO));
+        let sink_total = std::sync::Arc::clone(&charged);
+        let sink: super::BackoffSink = std::sync::Arc::new(move |d| *sink_total.lock() += d);
+
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("ok".into())));
+        let flaky = g.add_task(Arc::new(Flaky::failing(2)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        let report = Executor::serial()
+            .with_max_attempts(3)
+            .with_backoff_sink(sink)
+            .run(&g, &HashMap::new())
+            .unwrap();
+        assert_eq!(report.total_retries(), 2);
+        // Two pauses, each at least the base backoff.
+        let total = report.total_backoff();
+        assert!(
+            total >= 2 * RetryPolicy::default().base_backoff,
+            "total {total:?}"
+        );
+        assert_eq!(*charged.lock(), total);
+        // The backoff is attributed to the flaky task's run record.
+        let flaky_run = report.runs.iter().find(|r| r.task == "Flaky").unwrap();
+        assert_eq!(flaky_run.backoff, total);
+        assert_eq!(report.retry_budget_remaining, None);
+    }
+
+    #[test]
+    fn retry_budget_is_shared_across_tasks() {
+        // Two flaky tasks each need 2 retries; a budget of 2 is burned
+        // by the first, so the second fails even with attempts left.
+        let build = || {
+            let mut g = TaskGraph::new();
+            let src = g.add_task(Arc::new(ConstText("ok".into())));
+            let a = g.add_named_task("flaky-a", Arc::new(Flaky::failing(2)));
+            let b = g.add_named_task("flaky-b", Arc::new(Flaky::failing(2)));
+            g.connect(src, 0, a, 0).unwrap();
+            g.connect(a, 0, b, 0).unwrap();
+            g
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+
+        let starved = Executor::serial()
+            .with_retry_policy(RetryPolicy {
+                retry_budget: Some(2),
+                ..policy
+            })
+            .run(&build(), &HashMap::new());
+        let err = starved.unwrap_err();
+        assert!(
+            matches!(err, WorkflowError::TaskFailed { ref task, ref message }
+                if task == "flaky-b" && message.contains("retry budget exhausted")),
+            "got: {err}"
+        );
+
+        let funded = Executor::serial()
+            .with_retry_policy(RetryPolicy {
+                retry_budget: Some(5),
+                ..policy
+            })
+            .run(&build(), &HashMap::new())
+            .unwrap();
+        assert_eq!(funded.total_retries(), 4);
+        assert_eq!(funded.retry_budget_remaining, Some(1));
+    }
+
+    #[test]
+    fn retrying_events_fire_between_attempts() {
+        use parking_lot::Mutex;
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&events);
+        let listener: super::ProgressListener = std::sync::Arc::new(move |e| sink.lock().push(e));
+
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let flaky = g.add_task(Arc::new(Flaky::failing(1)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        Executor::serial()
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 2,
+                retry_budget: Some(10),
+                ..RetryPolicy::default()
+            })
+            .with_listener(listener)
+            .run(&g, &HashMap::new())
+            .unwrap();
+        let events = events.lock();
+        let retrying: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                super::ProgressEvent::Retrying {
+                    task,
+                    next_attempt,
+                    backoff,
+                    budget_remaining,
+                } => Some((task.clone(), *next_attempt, *backoff, *budget_remaining)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retrying.len(), 1);
+        let (task, next_attempt, backoff, budget_remaining) = &retrying[0];
+        assert_eq!(task, "Flaky");
+        assert_eq!(*next_attempt, 2);
+        assert!(*backoff >= RetryPolicy::default().base_backoff);
+        assert_eq!(*budget_remaining, Some(9));
     }
 
     #[test]

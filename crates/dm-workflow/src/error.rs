@@ -74,7 +74,10 @@ impl fmt::Display for WorkflowError {
             }
             WorkflowError::Cycle => write!(f, "workflow graph contains a cycle"),
             WorkflowError::UnboundInput { task, port } => {
-                write!(f, "input {port:?} of task {task:?} is not connected or bound")
+                write!(
+                    f,
+                    "input {port:?} of task {task:?} is not connected or bound"
+                )
             }
             WorkflowError::TaskFailed { task, message } => {
                 write!(f, "task {task:?} failed: {message}")
@@ -100,10 +103,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(WorkflowError::Cycle.to_string(), "workflow graph contains a cycle");
-        let e = WorkflowError::UnknownPort { task: 3, port: 1, input: true };
+        assert_eq!(
+            WorkflowError::Cycle.to_string(),
+            "workflow graph contains a cycle"
+        );
+        let e = WorkflowError::UnknownPort {
+            task: 3,
+            port: 1,
+            input: true,
+        };
         assert!(e.to_string().contains("input port 1"));
-        let e = WorkflowError::TaskFailed { task: "t".into(), message: "m".into() };
+        let e = WorkflowError::TaskFailed {
+            task: "t".into(),
+            message: "m".into(),
+        };
         assert!(e.to_string().contains("\"t\""));
     }
 

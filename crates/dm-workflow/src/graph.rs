@@ -24,7 +24,10 @@ pub struct PortSpec {
 impl PortSpec {
     /// Create a port spec.
     pub fn new<N: Into<String>, T: Into<String>>(name: N, type_name: T) -> PortSpec {
-        PortSpec { name: name.into(), type_name: type_name.into() }
+        PortSpec {
+            name: name.into(),
+            type_name: type_name.into(),
+        }
     }
 
     /// `true` if a value of `self`'s type may flow into `other`.
@@ -97,14 +100,21 @@ impl TaskGraph {
     pub fn add_task(&mut self, tool: Arc<dyn Tool>) -> TaskId {
         let base = tool.name().to_string();
         let count = self.tasks.iter().filter(|t| t.tool.name() == base).count();
-        let name = if count == 0 { base } else { format!("{base}-{}", count + 1) };
+        let name = if count == 0 {
+            base
+        } else {
+            format!("{base}-{}", count + 1)
+        };
         self.tasks.push(TaskNode { name, tool });
         self.tasks.len() - 1
     }
 
     /// Place a tool with an explicit display name.
     pub fn add_named_task<N: Into<String>>(&mut self, name: N, tool: Arc<dyn Tool>) -> TaskId {
-        self.tasks.push(TaskNode { name: name.into(), tool });
+        self.tasks.push(TaskNode {
+            name: name.into(),
+            tool,
+        });
         self.tasks.len() - 1
     }
 
@@ -158,10 +168,22 @@ impl TaskGraph {
                 to: in_spec.type_name.clone(),
             });
         }
-        if self.cables.iter().any(|c| c.to_task == to_task && c.to_port == to_port) {
-            return Err(WorkflowError::PortAlreadyConnected { task: to_task, port: to_port });
+        if self
+            .cables
+            .iter()
+            .any(|c| c.to_task == to_task && c.to_port == to_port)
+        {
+            return Err(WorkflowError::PortAlreadyConnected {
+                task: to_task,
+                port: to_port,
+            });
         }
-        let cable = Cable { from_task, from_port, to_task, to_port };
+        let cable = Cable {
+            from_task,
+            from_port,
+            to_task,
+            to_port,
+        };
         self.cables.push(cable);
         if self.topological_order().is_err() {
             self.cables.pop();
@@ -177,8 +199,7 @@ impl TaskGraph {
         for c in &self.cables {
             indegree[c.to_task] += 1;
         }
-        let mut queue: Vec<TaskId> =
-            (0..n).filter(|&t| indegree[t] == 0).collect();
+        let mut queue: Vec<TaskId> = (0..n).filter(|&t| indegree[t] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(t) = queue.pop() {
             order.push(t);
@@ -208,7 +229,10 @@ impl TaskGraph {
             .into_iter()
             .enumerate()
             .filter(|(p, _)| {
-                !self.cables.iter().any(|c| c.to_task == task && c.to_port == *p)
+                !self
+                    .cables
+                    .iter()
+                    .any(|c| c.to_task == task && c.to_port == *p)
             })
             .collect())
     }
@@ -222,7 +246,10 @@ impl TaskGraph {
             .into_iter()
             .enumerate()
             .filter(|(p, _)| {
-                !self.cables.iter().any(|c| c.from_task == task && c.from_port == *p)
+                !self
+                    .cables
+                    .iter()
+                    .any(|c| c.from_task == task && c.from_port == *p)
             })
             .collect())
     }
@@ -390,7 +417,9 @@ pub(crate) mod test_tools {
 
     impl Flaky {
         pub fn failing(n: usize) -> Flaky {
-            Flaky { remaining: std::sync::atomic::AtomicUsize::new(n) }
+            Flaky {
+                remaining: std::sync::atomic::AtomicUsize::new(n),
+            }
         }
     }
 
@@ -486,7 +515,10 @@ mod tests {
     fn bad_ids_and_ports_rejected() {
         let mut g = TaskGraph::new();
         let a = g.add_task(Arc::new(ConstText("x".into())));
-        assert!(matches!(g.connect(a, 0, 99, 0), Err(WorkflowError::UnknownTask(99))));
+        assert!(matches!(
+            g.connect(a, 0, 99, 0),
+            Err(WorkflowError::UnknownTask(99))
+        ));
         let up = g.add_task(Arc::new(Upper));
         assert!(matches!(
             g.connect(a, 5, up, 0),

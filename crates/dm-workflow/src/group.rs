@@ -48,13 +48,21 @@ impl GroupTool {
         for &(t, p) in &inputs {
             let node = graph.task(t)?;
             if p >= node.tool.input_ports().len() {
-                return Err(WorkflowError::UnknownPort { task: t, port: p, input: true });
+                return Err(WorkflowError::UnknownPort {
+                    task: t,
+                    port: p,
+                    input: true,
+                });
             }
         }
         for &(t, p) in &outputs {
             let node = graph.task(t)?;
             if p >= node.tool.output_ports().len() {
-                return Err(WorkflowError::UnknownPort { task: t, port: p, input: false });
+                return Err(WorkflowError::UnknownPort {
+                    task: t,
+                    port: p,
+                    input: false,
+                });
             }
         }
         for t in 0..graph.num_tasks() {
@@ -67,7 +75,12 @@ impl GroupTool {
                 }
             }
         }
-        Ok(GroupTool { name: name.into(), graph, inputs, outputs })
+        Ok(GroupTool {
+            name: name.into(),
+            graph,
+            inputs,
+            outputs,
+        })
     }
 
     /// The wrapped graph (for XML export of hierarchies).
@@ -88,18 +101,14 @@ impl Tool for GroupTool {
     fn input_ports(&self) -> Vec<PortSpec> {
         self.inputs
             .iter()
-            .map(|&(t, p)| {
-                self.graph.task(t).expect("validated").tool.input_ports()[p].clone()
-            })
+            .map(|&(t, p)| self.graph.task(t).expect("validated").tool.input_ports()[p].clone())
             .collect()
     }
 
     fn output_ports(&self) -> Vec<PortSpec> {
         self.outputs
             .iter()
-            .map(|&(t, p)| {
-                self.graph.task(t).expect("validated").tool.output_ports()[p].clone()
-            })
+            .map(|&(t, p)| self.graph.task(t).expect("validated").tool.output_ports()[p].clone())
             .collect()
     }
 
@@ -170,9 +179,13 @@ mod tests {
         // A group containing a group.
         let mut mid = TaskGraph::new();
         let inner_group = mid.add_task(Arc::new(shout_group()));
-        let outer_group =
-            GroupTool::new("DoubleWrap", mid, vec![(inner_group, 0)], vec![(inner_group, 0)])
-                .unwrap();
+        let outer_group = GroupTool::new(
+            "DoubleWrap",
+            mid,
+            vec![(inner_group, 0)],
+            vec![(inner_group, 0)],
+        )
+        .unwrap();
         let out = outer_group.execute(&[Token::Text("deep".into())]).unwrap();
         assert_eq!(out, vec![Token::Text("DEEP!".into())]);
     }

@@ -68,21 +68,23 @@ pub fn iterate(
     loop {
         let report = executor.run(graph, &current)?;
         iterations += 1;
-        if iterations >= max_iterations
-            || decide(iterations, &report) == LoopDecision::Stop
-        {
-            return Ok(IterationResult { final_report: report, iterations });
+        if iterations >= max_iterations || decide(iterations, &report) == LoopDecision::Stop {
+            return Ok(IterationResult {
+                final_report: report,
+                iterations,
+            });
         }
         for f in feedback {
-            let token = report.output(f.from_task, f.from_port).cloned().ok_or_else(|| {
-                WorkflowError::TaskFailed {
+            let token = report
+                .output(f.from_task, f.from_port)
+                .cloned()
+                .ok_or_else(|| WorkflowError::TaskFailed {
                     task: format!("(feedback from task {})", f.from_task),
                     message: format!(
                         "iteration produced no output at ({}, {})",
                         f.from_task, f.from_port
                     ),
-                }
-            })?;
+                })?;
             current.insert((f.to_task, f.to_port), token);
         }
     }
@@ -129,7 +131,12 @@ mod tests {
         let (g, t) = loop_graph();
         let mut bindings = HashMap::new();
         bindings.insert((t, 0), Token::Text("seed".into()));
-        let feedback = [Feedback { from_task: t, from_port: 0, to_task: t, to_port: 0 }];
+        let feedback = [Feedback {
+            from_task: t,
+            from_port: 0,
+            to_task: t,
+            to_port: 0,
+        }];
         let result = iterate(
             &Executor::serial(),
             &g,
@@ -154,15 +161,15 @@ mod tests {
         let (g, t) = loop_graph();
         let mut bindings = HashMap::new();
         bindings.insert((t, 0), Token::Text("s".into()));
-        let feedback = [Feedback { from_task: t, from_port: 0, to_task: t, to_port: 0 }];
-        let result = iterate(
-            &Executor::serial(),
-            &g,
-            &bindings,
-            &feedback,
-            5,
-            |_, _| LoopDecision::Continue,
-        )
+        let feedback = [Feedback {
+            from_task: t,
+            from_port: 0,
+            to_task: t,
+            to_port: 0,
+        }];
+        let result = iterate(&Executor::serial(), &g, &bindings, &feedback, 5, |_, _| {
+            LoopDecision::Continue
+        })
         .unwrap();
         assert_eq!(result.iterations, 5);
     }
@@ -172,9 +179,10 @@ mod tests {
         let (g, t) = loop_graph();
         let mut bindings = HashMap::new();
         bindings.insert((t, 0), Token::Text("s".into()));
-        let result =
-            iterate(&Executor::serial(), &g, &bindings, &[], 10, |_, _| LoopDecision::Stop)
-                .unwrap();
+        let result = iterate(&Executor::serial(), &g, &bindings, &[], 10, |_, _| {
+            LoopDecision::Stop
+        })
+        .unwrap();
         assert_eq!(result.iterations, 1);
     }
 
@@ -194,7 +202,12 @@ mod tests {
         let (g, t) = loop_graph();
         let mut bindings = HashMap::new();
         bindings.insert((t, 0), Token::Text("s".into()));
-        let feedback = [Feedback { from_task: t, from_port: 9, to_task: t, to_port: 0 }];
+        let feedback = [Feedback {
+            from_task: t,
+            from_port: 9,
+            to_task: t,
+            to_port: 0,
+        }];
         let err = iterate(&Executor::serial(), &g, &bindings, &feedback, 3, |_, _| {
             LoopDecision::Continue
         })

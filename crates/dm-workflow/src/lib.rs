@@ -14,9 +14,11 @@
 //! * [`toolbox`] — folders of [`graph::Tool`] definitions (Figure 1's
 //!   left-hand pane) plus the built-in Common tools;
 //! * [`engine`] — serial and parallel (crossbeam-scoped) enactment,
-//!   with per-task retry and host migration for fault tolerance;
+//!   with per-task retry (exponential backoff, a shared per-workflow
+//!   retry budget) and host migration for fault tolerance;
 //! * [`wsimport`] — WSDL import: one tool per operation, invoking the
-//!   service over the simulated network with replica failover;
+//!   service over the simulated network with health-aware replica
+//!   failover (circuit breakers, deadlines, failing-primary demotion);
 //! * [`group`] — hierarchical services ("a single service made up of a
 //!   number of others and made available as a single interface");
 //! * [`patterns`] — structural pattern operators (pipeline, fan-out /
@@ -41,7 +43,9 @@ pub use graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::engine::{ExecutionMode, ExecutionReport, Executor};
+    pub use crate::engine::{
+        BackoffSink, ExecutionMode, ExecutionReport, Executor, ProgressEvent, RetryPolicy,
+    };
     pub use crate::error::{Result, WorkflowError};
     pub use crate::graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
     pub use crate::toolbox::Toolbox;

@@ -36,11 +36,7 @@ pub fn fan_out(
 
 /// Fan `producers` into one sink with matching input arity (a join).
 /// Returns the sink id.
-pub fn fan_in(
-    graph: &mut TaskGraph,
-    producers: &[TaskId],
-    sink: Arc<dyn Tool>,
-) -> Result<TaskId> {
+pub fn fan_in(graph: &mut TaskGraph, producers: &[TaskId], sink: Arc<dyn Tool>) -> Result<TaskId> {
     let sink_id = graph.add_task(sink);
     for (port, &p) in producers.iter().enumerate() {
         graph.connect(p, 0, sink_id, port)?;
@@ -91,7 +87,11 @@ mod tests {
         let mut g = TaskGraph::new();
         let ids = pipeline(
             &mut g,
-            vec![Arc::new(ConstText("abc".into())), Arc::new(Upper), Arc::new(Upper)],
+            vec![
+                Arc::new(ConstText("abc".into())),
+                Arc::new(Upper),
+                Arc::new(Upper),
+            ],
         )
         .unwrap();
         assert_eq!(ids.len(), 3);

@@ -261,7 +261,10 @@ mod tests {
     fn find_and_missing() {
         let tb = Toolbox::with_common_tools();
         assert!(tb.find("StringConcat").is_ok());
-        assert!(matches!(tb.find("Nope"), Err(WorkflowError::UnknownTool(_))));
+        assert!(matches!(
+            tb.find("Nope"),
+            Err(WorkflowError::UnknownTool(_))
+        ));
     }
 
     #[test]

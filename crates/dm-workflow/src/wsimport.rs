@@ -12,9 +12,11 @@
 //! resource").
 
 use crate::graph::{PortSpec, Token, Tool};
+use dm_wsrf::resilience::{CallStats, ResilientCaller};
 use dm_wsrf::transport::Network;
 use dm_wsrf::wsdl::{Operation, WsdlDocument};
 use dm_wsrf::WsError;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A workspace tool generated from one WSDL operation.
@@ -25,7 +27,15 @@ pub struct WsTool {
     operation: Operation,
     network: Arc<Network>,
     /// Invocation targets in preference order (primary first).
-    hosts: Vec<String>,
+    hosts: Mutex<Vec<String>>,
+    /// When attached, every per-host attempt goes through the resilient
+    /// caller (deadline, backoff retries, circuit breakers) and failing
+    /// primaries are demoted behind healthy replicas.
+    resilience: Option<ResilientCaller>,
+    /// Host that served the most recent successful `execute`.
+    last_served: Mutex<Option<String>>,
+    /// Aggregate attempt/backoff statistics of the most recent `execute`.
+    last_stats: Mutex<CallStats>,
 }
 
 impl WsTool {
@@ -35,13 +45,95 @@ impl WsTool {
     }
 
     /// The hosts this tool will try, in order.
-    pub fn hosts(&self) -> &[String] {
-        &self.hosts
+    pub fn hosts(&self) -> Vec<String> {
+        self.hosts.lock().clone()
     }
 
     /// Add a replica host for failover.
     pub fn add_replica<H: Into<String>>(&mut self, host: H) {
-        self.hosts.push(host.into());
+        self.hosts.lock().push(host.into());
+    }
+
+    /// Route invocations through `caller` (builder form).
+    pub fn with_resilience(mut self, caller: ResilientCaller) -> WsTool {
+        self.set_resilience(caller);
+        self
+    }
+
+    /// Route invocations through `caller`: each per-host attempt gets
+    /// the caller's deadline/retry/breaker treatment, and a host that
+    /// fails an `execute` is demoted behind the replicas that did not.
+    pub fn set_resilience(&mut self, caller: ResilientCaller) {
+        self.resilience = Some(caller);
+    }
+
+    /// The host that served the last successful [`Tool::execute`], if any.
+    pub fn last_served_host(&self) -> Option<String> {
+        self.last_served.lock().clone()
+    }
+
+    /// Attempt/backoff statistics aggregated over every host tried by
+    /// the last [`Tool::execute`] (zeroed at the start of each call).
+    pub fn last_call_stats(&self) -> CallStats {
+        *self.last_stats.lock()
+    }
+
+    /// One invocation attempt against `host`, through the resilient
+    /// caller when attached. Always reports the attempt stats, even for
+    /// failed calls, so `execute` can account retries spent on hosts
+    /// that never answered.
+    fn try_host(
+        &self,
+        host: &str,
+        args: &[(String, Token)],
+    ) -> (Result<Token, WsError>, CallStats) {
+        match &self.resilience {
+            Some(caller) => {
+                caller.invoke_collect(host, &self.service, &self.operation.name, args.to_vec())
+            }
+            None => {
+                let result =
+                    self.network
+                        .invoke(host, &self.service, &self.operation.name, args.to_vec());
+                (
+                    result,
+                    CallStats {
+                        attempts: 1,
+                        ..CallStats::default()
+                    },
+                )
+            }
+        }
+    }
+
+    /// Should `err` migrate the job to the next replica?
+    fn fails_over(&self, err: &WsError) -> bool {
+        if self.resilience.is_some() {
+            // The resilient caller has already burned its retry budget on
+            // this host, so anything transport-shaped — including an open
+            // breaker, a blown deadline, or a corrupt response envelope —
+            // moves on to the next replica.
+            err.is_transport_level() || matches!(err, WsError::Xml { .. } | WsError::Malformed(_))
+        } else {
+            err.is_retryable()
+        }
+    }
+
+    /// Move every host in `failed` behind the hosts that are not,
+    /// preserving relative order within each group.
+    fn demote(&self, failed: &[String]) {
+        let mut hosts = self.hosts.lock();
+        let mut healthy: Vec<String> = Vec::with_capacity(hosts.len());
+        let mut demoted: Vec<String> = Vec::new();
+        for host in hosts.drain(..) {
+            if failed.contains(&host) {
+                demoted.push(host);
+            } else {
+                healthy.push(host);
+            }
+        }
+        healthy.append(&mut demoted);
+        *hosts = healthy;
     }
 }
 
@@ -77,29 +169,53 @@ impl Tool for WsTool {
             .zip(inputs)
             .map(|(part, token)| (part.name.clone(), token.clone()))
             .collect();
-        let mut last_error = String::from("no hosts configured");
-        for host in &self.hosts {
-            match self.network.invoke(host, &self.service, &self.operation.name, args.clone()) {
-                Ok(value) => return Ok(vec![value]),
-                Err(WsError::Transport(m)) | Err(WsError::UnknownHost(m)) => {
-                    // Job migration: try the next replica.
-                    last_error = format!("host {host}: {m}");
+        *self.last_served.lock() = None;
+        *self.last_stats.lock() = CallStats::default();
+
+        let hosts = self.hosts();
+        let mut attempt_errors: Vec<String> = Vec::new();
+        let mut failed_hosts: Vec<String> = Vec::new();
+        for host in &hosts {
+            let (result, stats) = self.try_host(host, &args);
+            {
+                let mut total = self.last_stats.lock();
+                total.attempts += stats.attempts;
+                total.backoff += stats.backoff;
+                total.possibly_duplicated += stats.possibly_duplicated;
+            }
+            match result {
+                Ok(value) => {
+                    *self.last_served.lock() = Some(host.clone());
+                    if self.resilience.is_some() && !failed_hosts.is_empty() {
+                        self.demote(&failed_hosts);
+                    }
+                    return Ok(vec![value]);
                 }
-                Err(other) => return Err(other.to_string()),
+                Err(err) if self.fails_over(&err) => {
+                    // Job migration: try the next replica.
+                    attempt_errors.push(format!("host {host}: {err}"));
+                    failed_hosts.push(host.clone());
+                }
+                Err(err) => return Err(err.to_string()),
             }
         }
-        Err(format!("all hosts failed; last: {last_error}"))
+        if self.resilience.is_some() && !failed_hosts.is_empty() {
+            self.demote(&failed_hosts);
+        }
+        if attempt_errors.is_empty() {
+            attempt_errors.push("no hosts configured".to_string());
+        }
+        Err(format!(
+            "all hosts failed; attempts: [{}]",
+            attempt_errors.join(" | ")
+        ))
     }
 }
 
 /// Import a WSDL document: one [`WsTool`] per operation, targeting
 /// `host` (with no replicas yet). The tools are placed in a package
 /// named after the service, mirroring Triana's import behaviour.
-pub fn import_wsdl(
-    network: Arc<Network>,
-    host: &str,
-    wsdl: &WsdlDocument,
-) -> Vec<WsTool> {
+pub fn import_wsdl(network: Arc<Network>, host: &str, wsdl: &WsdlDocument) -> Vec<WsTool> {
     wsdl.operations
         .iter()
         .map(|op| WsTool {
@@ -108,7 +224,10 @@ pub fn import_wsdl(
             service: wsdl.service.clone(),
             operation: op.clone(),
             network: Arc::clone(&network),
-            hosts: vec![host.to_string()],
+            hosts: Mutex::new(vec![host.to_string()]),
+            resilience: None,
+            last_served: Mutex::new(None),
+            last_stats: Mutex::new(CallStats::default()),
         })
         .collect()
 }
@@ -225,6 +344,93 @@ mod tests {
         assert!(err.contains("SOAP fault"), "got: {err}");
     }
 
+    fn resilient(net: &Arc<Network>) -> ResilientCaller {
+        use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy};
+        ResilientCaller::new(
+            Arc::clone(net),
+            Arc::new(BreakerBoard::new(BreakerConfig::default())),
+            ResiliencePolicy::default().attempts(2),
+        )
+    }
+
+    #[test]
+    fn plain_execute_records_serving_host_and_stats() {
+        let net = network();
+        let tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        assert_eq!(tools[0].last_served_host(), None);
+        tools[0].execute(&[Token::Int(1)]).unwrap();
+        assert_eq!(tools[0].last_served_host(), Some("a".to_string()));
+        assert_eq!(tools[0].last_call_stats().attempts, 1);
+    }
+
+    #[test]
+    fn resilient_failover_demotes_failing_primary() {
+        let net = network();
+        let tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        let mut tool = tools
+            .into_iter()
+            .next()
+            .unwrap()
+            .with_resilience(resilient(&net));
+        tool.add_replica("b");
+        net.set_host_down("a", true);
+
+        let out = tool.execute(&[Token::Int(5)]).unwrap();
+        assert_eq!(out, vec![Token::Int(10)]);
+        assert_eq!(tool.last_served_host(), Some("b".to_string()));
+        // The failing primary is demoted behind the replica that served.
+        assert_eq!(tool.hosts(), ["b".to_string(), "a".to_string()]);
+        // Two attempts burned on "a", one succeeded on "b".
+        let stats = tool.last_call_stats();
+        assert_eq!(stats.attempts, 3);
+        assert!(stats.backoff > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn resilient_execute_collects_every_attempt_error() {
+        let net = network();
+        let tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        let mut tool = tools
+            .into_iter()
+            .next()
+            .unwrap()
+            .with_resilience(resilient(&net));
+        tool.add_replica("b");
+        net.set_host_down("a", true);
+        net.set_host_down("b", true);
+
+        let err = tool.execute(&[Token::Int(5)]).unwrap_err();
+        assert!(err.contains("all hosts failed"), "got: {err}");
+        assert!(err.contains("host a:"), "got: {err}");
+        assert!(err.contains("host b:"), "got: {err}");
+        assert_eq!(tool.last_served_host(), None);
+        assert_eq!(tool.last_call_stats().attempts, 4);
+    }
+
+    #[test]
+    fn open_breaker_routes_around_host_without_attempting_it() {
+        let net = network();
+        let caller = resilient(&net);
+        // Trip "a"'s breaker: enough recorded failures to cross the
+        // default min-calls floor and failure-rate threshold.
+        let breaker = caller.board().breaker("a");
+        for _ in 0..4 {
+            breaker.record_failure(net.now());
+        }
+        let tools = import_from_host(Arc::clone(&net), "a", "Doubler").unwrap();
+        let mut tool = tools.into_iter().next().unwrap().with_resilience(caller);
+        tool.add_replica("b");
+
+        // "a" is actually up, but its breaker is open, so the call is
+        // served by "b" without ever touching "a".
+        let before = net.monitor().len();
+        let out = tool.execute(&[Token::Int(7)]).unwrap();
+        assert_eq!(out, vec![Token::Int(14)]);
+        assert_eq!(tool.last_served_host(), Some("b".to_string()));
+        assert_eq!(net.monitor().len(), before + 1);
+        assert_eq!(tool.hosts(), ["b".to_string(), "a".to_string()]);
+    }
+
     #[test]
     fn import_uses_wire_wsdl() {
         // Import must work from the XML round-trip, not object sharing.
@@ -232,6 +438,9 @@ mod tests {
         let wsdl_xml = net.fetch_wsdl("a", "Doubler").unwrap().to_xml();
         let parsed = WsdlDocument::from_xml(&wsdl_xml).unwrap();
         let tools = import_wsdl(Arc::clone(&net), "a", &parsed);
-        assert_eq!(tools[0].execute(&[Token::Int(3)]).unwrap(), vec![Token::Int(6)]);
+        assert_eq!(
+            tools[0].execute(&[Token::Int(3)]).unwrap(),
+            vec![Token::Int(6)]
+        );
     }
 }

@@ -37,7 +37,10 @@ pub fn export_taskgraph(graph: &TaskGraph) -> String {
 pub fn import_taskgraph(xml: &str, toolbox: &Toolbox) -> Result<TaskGraph> {
     let doc = parse(xml).map_err(|e| WorkflowError::Xml(e.to_string()))?;
     if doc.name != "taskgraph" {
-        return Err(WorkflowError::Xml(format!("expected <taskgraph>, got <{}>", doc.name)));
+        return Err(WorkflowError::Xml(format!(
+            "expected <taskgraph>, got <{}>",
+            doc.name
+        )));
     }
     let mut graph = TaskGraph::new();
     for task_el in doc.find_all("task") {
@@ -57,7 +60,12 @@ pub fn import_taskgraph(xml: &str, toolbox: &Toolbox) -> Result<TaskGraph> {
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| WorkflowError::Xml(format!("cable missing {attr}")))
         };
-        graph.connect(get("fromTask")?, get("fromPort")?, get("toTask")?, get("toPort")?)?;
+        graph.connect(
+            get("fromTask")?,
+            get("fromPort")?,
+            get("toTask")?,
+            get("toPort")?,
+        )?;
     }
     Ok(graph)
 }

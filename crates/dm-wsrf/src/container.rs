@@ -24,12 +24,18 @@ pub struct ServiceFault {
 impl ServiceFault {
     /// A caller-error fault.
     pub fn client<M: Into<String>>(message: M) -> ServiceFault {
-        ServiceFault { code: "Client", message: message.into() }
+        ServiceFault {
+            code: "Client",
+            message: message.into(),
+        }
     }
 
     /// A service-error fault.
     pub fn server<M: Into<String>>(message: M) -> ServiceFault {
-        ServiceFault { code: "Server", message: message.into() }
+        ServiceFault {
+            code: "Server",
+            message: message.into(),
+        }
     }
 }
 
@@ -85,7 +91,9 @@ impl ServiceContainer {
 
     /// Deploy a service (replacing any prior deployment of the name).
     pub fn deploy(&self, service: Arc<dyn WebService>) {
-        self.services.write().insert(service.name().to_string(), service);
+        self.services
+            .write()
+            .insert(service.name().to_string(), service);
     }
 
     /// Undeploy by name; returns whether a service was removed.
@@ -121,13 +129,17 @@ impl ServiceContainer {
         let response = match service {
             None => SoapResponse::Fault {
                 code: "Client".into(),
-                message: format!("service {:?} is not deployed on {}", call.service, self.host),
+                message: format!(
+                    "service {:?} is not deployed on {}",
+                    call.service, self.host
+                ),
             },
             Some(s) => match s.invoke(&call.operation, &call.args) {
                 Ok(v) => SoapResponse::Value(v),
-                Err(fault) => {
-                    SoapResponse::Fault { code: fault.code.into(), message: fault.message }
-                }
+                Err(fault) => SoapResponse::Fault {
+                    code: fault.code.into(),
+                    message: fault.message,
+                },
             },
         };
         let outcome = match &response {
@@ -154,8 +166,11 @@ impl ServiceContainer {
     pub fn dispatch_envelope(&self, request_xml: &str) -> String {
         match SoapCall::from_envelope(request_xml) {
             Ok(call) => self.dispatch(&call).to_envelope(&call.operation),
-            Err(e) => SoapResponse::Fault { code: "Client".into(), message: e.to_string() }
-                .to_envelope("unknown"),
+            Err(e) => SoapResponse::Fault {
+                code: "Client".into(),
+                message: e.to_string(),
+            }
+            .to_envelope("unknown"),
         }
     }
 }
@@ -180,7 +195,11 @@ pub(crate) mod test_support {
                     vec![Part::new("message", "string")],
                     Part::new("return", "string"),
                 ))
-                .operation(Operation::new("fail", vec![], Part::new("return", "string")))
+                .operation(Operation::new(
+                    "fail",
+                    vec![],
+                    Part::new("return", "string"),
+                ))
         }
 
         fn invoke(

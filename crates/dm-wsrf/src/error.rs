@@ -1,6 +1,7 @@
 //! Error type shared across the Web Services substrate.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Result alias used throughout `dm-wsrf`.
 pub type Result<T> = std::result::Result<T, WsError>;
@@ -15,8 +16,25 @@ pub enum WsError {
         /// Fault string.
         message: String,
     },
-    /// Transport-level failure (host unreachable, injected fault, ...).
+    /// Transport-level failure on the **request leg**: the call never
+    /// reached the service, so no work was performed and a retry is
+    /// safe.
     Transport(String),
+    /// Transport-level failure on the **response leg**: the service may
+    /// have executed the operation but the reply was lost, so a retry
+    /// can duplicate work. Retry layers must account for this.
+    ResponseLost(String),
+    /// A resilience policy's per-call deadline elapsed before the call
+    /// (including retries and backoff) completed.
+    DeadlineExceeded {
+        /// Virtual time consumed when the deadline check fired.
+        elapsed: Duration,
+        /// The deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// A circuit breaker is open for the named host; the call was
+    /// rejected without touching the network.
+    CircuitOpen(String),
     /// The target host does not exist on the simulated network.
     UnknownHost(String),
     /// The target service is not deployed in the container.
@@ -48,6 +66,16 @@ impl fmt::Display for WsError {
         match self {
             WsError::Fault { code, message } => write!(f, "SOAP fault [{code}]: {message}"),
             WsError::Transport(m) => write!(f, "transport error: {m}"),
+            WsError::ResponseLost(m) => {
+                write!(f, "response lost (work may have executed): {m}")
+            }
+            WsError::DeadlineExceeded { elapsed, deadline } => {
+                write!(
+                    f,
+                    "deadline exceeded: {elapsed:?} elapsed of {deadline:?} allowed"
+                )
+            }
+            WsError::CircuitOpen(h) => write!(f, "circuit open for host {h:?}"),
             WsError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
             WsError::NotDeployed(s) => write!(f, "service {s:?} is not deployed"),
             WsError::UnknownOperation { service, operation } => {
@@ -63,6 +91,40 @@ impl fmt::Display for WsError {
     }
 }
 
+impl WsError {
+    /// `true` for failures of the network path itself (either leg,
+    /// unreachable hosts, open breakers, blown deadlines) as opposed to
+    /// the service answering with a fault or a bad document.
+    pub fn is_transport_level(&self) -> bool {
+        matches!(
+            self,
+            WsError::Transport(_)
+                | WsError::ResponseLost(_)
+                | WsError::UnknownHost(_)
+                | WsError::CircuitOpen(_)
+                | WsError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// `true` when the failed call may nonetheless have executed on the
+    /// service (the reply was lost after dispatch). Retrying such a
+    /// call is not idempotence-free.
+    pub fn work_may_have_executed(&self) -> bool {
+        matches!(self, WsError::ResponseLost(_))
+    }
+
+    /// `true` when a retry (on this or another replica) can meaningfully
+    /// be attempted: transport failures on either leg. SOAP faults and
+    /// malformed requests are deterministic and excluded; open breakers
+    /// and blown deadlines are terminal for the current call.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            WsError::Transport(_) | WsError::ResponseLost(_) | WsError::UnknownHost(_)
+        )
+    }
+}
+
 impl std::error::Error for WsError {}
 
 #[cfg(test)]
@@ -71,13 +133,19 @@ mod tests {
 
     #[test]
     fn display_fault() {
-        let e = WsError::Fault { code: "Server".into(), message: "boom".into() };
+        let e = WsError::Fault {
+            code: "Server".into(),
+            message: "boom".into(),
+        };
         assert_eq!(e.to_string(), "SOAP fault [Server]: boom");
     }
 
     #[test]
     fn display_unknown_operation() {
-        let e = WsError::UnknownOperation { service: "S".into(), operation: "op".into() };
+        let e = WsError::UnknownOperation {
+            service: "S".into(),
+            operation: "op".into(),
+        };
         assert!(e.to_string().contains("\"op\""));
     }
 

@@ -17,7 +17,11 @@
 //!   fault-tolerance experiment, and a virtual clock;
 //! * [`container`] — an Axis-like service container that deploys
 //!   [`container::WebService`] implementations and dispatches envelopes;
-//! * [`registry`] — a UDDI-like publish/inquiry registry;
+//! * [`registry`] — a UDDI-like publish/inquiry registry with per-
+//!   service liveness (heartbeats, health-aware inquiry);
+//! * [`resilience`] — per-call deadlines and backoff retry budgets on
+//!   the virtual clock, per-host circuit breakers, and a resilient
+//!   calling front-end over [`transport`];
 //! * [`lifecycle`] — the instance lifecycle machinery of §4.5: a
 //!   disk-backed state store for the serialise-per-invocation policy
 //!   and an in-memory harness that "maintain\[s\] an algorithm instance
@@ -33,6 +37,7 @@ pub mod error;
 pub mod lifecycle;
 pub mod monitor;
 pub mod registry;
+pub mod resilience;
 pub mod session;
 pub mod soap;
 pub mod transport;
@@ -47,6 +52,10 @@ pub mod prelude {
     pub use crate::error::{Result, WsError};
     pub use crate::lifecycle::{InstanceStore, LifecycleManager, LifecyclePolicy};
     pub use crate::registry::{ServiceEntry, UddiRegistry};
+    pub use crate::resilience::{
+        BreakerBoard, BreakerConfig, BreakerState, CircuitBreaker, ResiliencePolicy,
+        ResilientCaller,
+    };
     pub use crate::soap::{SoapCall, SoapValue};
     pub use crate::transport::{Network, NetworkConfig};
     pub use crate::wsdl::{Operation, Part, WsdlDocument};

@@ -48,10 +48,7 @@ impl InstanceStore {
     pub fn temp() -> Result<InstanceStore> {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "faehim-instances-{}-{n}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("faehim-instances-{}-{n}", std::process::id()));
         fs::create_dir_all(&dir).map_err(|e| WsError::Store(e.to_string()))?;
         Ok(InstanceStore { dir })
     }
@@ -66,7 +63,13 @@ impl InstanceStore {
         // Keys may contain separators; flatten defensively.
         let safe: String = key
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.dir.join(format!("{safe}.state"))
     }
@@ -236,9 +239,12 @@ mod tests {
     }
 
     fn decode(b: &[u8]) -> Result<Counter> {
-        let arr: [u8; 8] =
-            b.try_into().map_err(|_| WsError::Store("bad counter state".into()))?;
-        Ok(Counter { n: u64::from_le_bytes(arr) })
+        let arr: [u8; 8] = b
+            .try_into()
+            .map_err(|_| WsError::Store("bad counter state".into()))?;
+        Ok(Counter {
+            n: u64::from_le_bytes(arr),
+        })
     }
 
     fn bump(mgr: &LifecycleManager, key: &str) -> u64 {

@@ -13,6 +13,17 @@ pub enum Outcome {
     Ok,
     /// The operation returned a SOAP fault (carrying its code).
     Fault(String),
+    /// The call failed in transit (either leg) and never produced a
+    /// usable response. Only network-level logs record this; container
+    /// logs cannot see transport failures.
+    TransportError(String),
+}
+
+impl Outcome {
+    /// `true` for anything other than a successful return.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Outcome::Ok)
+    }
 }
 
 /// One recorded invocation.
@@ -43,6 +54,30 @@ pub struct MonitorSummary {
     pub faults: usize,
     /// Sum of execution durations.
     pub total_duration: Duration,
+    /// Total request bytes.
+    pub bytes_in: usize,
+    /// Total response bytes.
+    pub bytes_out: usize,
+}
+
+/// Per-host aggregate statistics, the registry's and circuit breakers'
+/// view of endpoint health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSummary {
+    /// Host name.
+    pub host: String,
+    /// Total attempts recorded against the host.
+    pub invocations: usize,
+    /// Attempts that ended in a SOAP fault.
+    pub faults: usize,
+    /// Attempts that failed in transit (network-level logs only).
+    pub transport_errors: usize,
+    /// `(faults + transport_errors) / invocations`; 0 when empty.
+    pub failure_rate: f64,
+    /// Median per-attempt duration.
+    pub p50_duration: Duration,
+    /// Worst per-attempt duration.
+    pub max_duration: Duration,
     /// Total request bytes.
     pub bytes_in: usize,
     /// Total response bytes.
@@ -103,7 +138,7 @@ impl MonitorLog {
                 }
             }
             s.invocations += 1;
-            if matches!(e.outcome, Outcome::Fault(_)) {
+            if e.outcome.is_failure() {
                 s.faults += 1;
             }
             s.total_duration += e.duration;
@@ -111,6 +146,51 @@ impl MonitorLog {
             s.bytes_out += e.bytes_out;
         }
         s
+    }
+
+    /// Per-host aggregates (failure rate, p50/max duration, traffic),
+    /// sorted by host name. This is the feed for health-aware host
+    /// selection: a host whose failure rate climbs shows up here before
+    /// a breaker trips.
+    pub fn summary_by_host(&self) -> Vec<HostSummary> {
+        let events = self.events.lock();
+        let mut hosts: Vec<&str> = events.iter().map(|e| e.host.as_str()).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+
+        hosts
+            .into_iter()
+            .map(|host| {
+                let mut durations: Vec<Duration> = Vec::new();
+                let mut s = HostSummary {
+                    host: host.to_string(),
+                    invocations: 0,
+                    faults: 0,
+                    transport_errors: 0,
+                    failure_rate: 0.0,
+                    p50_duration: Duration::ZERO,
+                    max_duration: Duration::ZERO,
+                    bytes_in: 0,
+                    bytes_out: 0,
+                };
+                for e in events.iter().filter(|e| e.host == host) {
+                    s.invocations += 1;
+                    match &e.outcome {
+                        Outcome::Ok => {}
+                        Outcome::Fault(_) => s.faults += 1,
+                        Outcome::TransportError(_) => s.transport_errors += 1,
+                    }
+                    durations.push(e.duration);
+                    s.max_duration = s.max_duration.max(e.duration);
+                    s.bytes_in += e.bytes_in;
+                    s.bytes_out += e.bytes_out;
+                }
+                durations.sort_unstable();
+                s.p50_duration = durations[durations.len() / 2];
+                s.failure_rate = (s.faults + s.transport_errors) as f64 / s.invocations as f64;
+                s
+            })
+            .collect()
     }
 }
 
@@ -161,6 +241,45 @@ mod tests {
         log.record(event("B", Outcome::Ok));
         assert_eq!(log.summary(Some("A")).invocations, 1);
         assert_eq!(log.summary(Some("C")).invocations, 0);
+    }
+
+    #[test]
+    fn summary_by_host_aggregates_and_sorts() {
+        let log = MonitorLog::new();
+        let on = |host: &str, ms: u64, outcome: Outcome| {
+            let mut e = event("A", outcome);
+            e.host = host.into();
+            e.duration = Duration::from_millis(ms);
+            log.record(e);
+        };
+        on("b", 10, Outcome::Ok);
+        on("a", 2, Outcome::Ok);
+        on("a", 4, Outcome::TransportError("reset".into()));
+        on("a", 6, Outcome::Fault("Server".into()));
+        on("a", 8, Outcome::Ok);
+
+        let hosts = log.summary_by_host();
+        assert_eq!(hosts.len(), 2);
+        let a = &hosts[0];
+        assert_eq!(a.host, "a");
+        assert_eq!(a.invocations, 4);
+        assert_eq!(a.faults, 1);
+        assert_eq!(a.transport_errors, 1);
+        assert!((a.failure_rate - 0.5).abs() < 1e-12);
+        assert_eq!(a.p50_duration, Duration::from_millis(6));
+        assert_eq!(a.max_duration, Duration::from_millis(8));
+        let b = &hosts[1];
+        assert_eq!(b.host, "b");
+        assert!((b.failure_rate - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_errors_count_as_failures_in_summary() {
+        let log = MonitorLog::new();
+        log.record(event("A", Outcome::TransportError("lost".into())));
+        assert_eq!(log.summary(None).faults, 1);
+        assert!(Outcome::TransportError("x".into()).is_failure());
+        assert!(!Outcome::Ok.is_failure());
     }
 
     #[test]

@@ -6,9 +6,19 @@
 //! services are published with a name, a host, a WSDL location, and
 //! category tags ("classifier", "clustering", "visualisation", ...),
 //! and can be found by exact name, name substring, or category.
+//!
+//! The registry also tracks per-service **liveness** on the virtual
+//! clock: services heartbeat ([`UddiRegistry::heartbeat`]), can be
+//! marked dead outright, and the health-aware inquiries
+//! ([`UddiRegistry::find_by_category_healthy`],
+//! [`UddiRegistry::find_healthy`]) filter out dead endpoints and rank
+//! fresh ones first, so importers never bind a workflow to a host the
+//! monitor already knows is gone.
 
 use crate::error::{Result, WsError};
 use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Duration;
 
 /// One published service record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,11 +35,31 @@ pub struct ServiceEntry {
     pub description: String,
 }
 
+/// Liveness of a published service as the registry sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// No heartbeat has ever been recorded (freshly published).
+    Unknown,
+    /// A heartbeat arrived within the freshness horizon.
+    Alive,
+    /// Explicitly marked dead, or the last heartbeat is stale.
+    Dead,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct HealthRecord {
+    last_heartbeat: Option<Duration>,
+    marked_dead: bool,
+}
+
 /// The registry. Publishing the same name twice replaces the entry
 /// (re-deployment), matching jUDDI's businessService update semantics.
+/// Health lives in a side table keyed by service name so entry records
+/// stay plain published data.
 #[derive(Debug, Default)]
 pub struct UddiRegistry {
     entries: RwLock<Vec<ServiceEntry>>,
+    health: RwLock<HashMap<String, HealthRecord>>,
 }
 
 impl UddiRegistry {
@@ -38,9 +68,11 @@ impl UddiRegistry {
         UddiRegistry::default()
     }
 
-    /// Publish (or replace) a service entry.
+    /// Publish (or replace) a service entry. Re-publishing resets any
+    /// previous health record: a redeployed service starts Unknown.
     pub fn publish(&self, entry: ServiceEntry) {
         let mut entries = self.entries.write();
+        self.health.write().remove(&entry.name);
         entries.retain(|e| e.name != entry.name);
         entries.push(entry);
     }
@@ -48,9 +80,44 @@ impl UddiRegistry {
     /// Remove an entry; returns whether one existed.
     pub fn unpublish(&self, name: &str) -> bool {
         let mut entries = self.entries.write();
+        self.health.write().remove(name);
         let before = entries.len();
         entries.retain(|e| e.name != name);
         entries.len() != before
+    }
+
+    /// Record a liveness heartbeat for `name` at virtual time `now`.
+    /// Clears any prior dead mark.
+    pub fn heartbeat(&self, name: &str, now: Duration) {
+        let mut health = self.health.write();
+        let record = health.entry(name.to_string()).or_default();
+        record.last_heartbeat = Some(now);
+        record.marked_dead = false;
+    }
+
+    /// Explicitly mark `name` dead (e.g. a breaker opened for its
+    /// host). A later heartbeat revives it.
+    pub fn mark_dead(&self, name: &str) {
+        self.health
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .marked_dead = true;
+    }
+
+    /// Health of `name` at `now`: heartbeats older than `freshness`
+    /// count as dead, never-heartbeated services are Unknown.
+    pub fn health_of(&self, name: &str, now: Duration, freshness: Duration) -> HealthStatus {
+        let health = self.health.read();
+        match health.get(name) {
+            None => HealthStatus::Unknown,
+            Some(record) if record.marked_dead => HealthStatus::Dead,
+            Some(record) => match record.last_heartbeat {
+                None => HealthStatus::Unknown,
+                Some(at) if now.saturating_sub(at) <= freshness => HealthStatus::Alive,
+                Some(_) => HealthStatus::Dead,
+            },
+        }
     }
 
     /// Number of published services.
@@ -105,6 +172,50 @@ impl UddiRegistry {
         let mut entries = self.entries.read().clone();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         entries
+    }
+
+    fn rank_healthy(
+        &self,
+        mut hits: Vec<ServiceEntry>,
+        now: Duration,
+        freshness: Duration,
+    ) -> Vec<ServiceEntry> {
+        hits.retain(|e| self.health_of(&e.name, now, freshness) != HealthStatus::Dead);
+        // Alive (freshest heartbeat first) ahead of Unknown; names break
+        // ties so the order is total.
+        hits.sort_by(|a, b| {
+            let key = |e: &ServiceEntry| {
+                let health = self.health.read();
+                match health.get(&e.name).and_then(|r| r.last_heartbeat) {
+                    Some(at) => (0u8, std::cmp::Reverse(at)),
+                    None => (1u8, std::cmp::Reverse(Duration::ZERO)),
+                }
+            };
+            key(a).cmp(&key(b)).then_with(|| a.name.cmp(&b.name))
+        });
+        hits
+    }
+
+    /// Category inquiry that drops dead endpoints and ranks live ones
+    /// (freshest heartbeat) first, then Unknown, by name within ties.
+    pub fn find_by_category_healthy(
+        &self,
+        category: &str,
+        now: Duration,
+        freshness: Duration,
+    ) -> Vec<ServiceEntry> {
+        self.rank_healthy(self.find_by_category(category), now, freshness)
+    }
+
+    /// Substring inquiry filtered and ranked like
+    /// [`find_by_category_healthy`](Self::find_by_category_healthy).
+    pub fn find_healthy(
+        &self,
+        pattern: &str,
+        now: Duration,
+        freshness: Duration,
+    ) -> Vec<ServiceEntry> {
+        self.rank_healthy(self.find_by_name(pattern), now, freshness)
     }
 }
 
@@ -166,6 +277,88 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].name, "Classifier");
         assert!(reg.find_by_category("visualisation").is_empty());
+    }
+
+    #[test]
+    fn health_lifecycle() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("A", &[]));
+        let fresh = Duration::from_secs(10);
+        assert_eq!(
+            reg.health_of("A", Duration::ZERO, fresh),
+            HealthStatus::Unknown
+        );
+
+        reg.heartbeat("A", Duration::from_secs(5));
+        assert_eq!(
+            reg.health_of("A", Duration::from_secs(6), fresh),
+            HealthStatus::Alive
+        );
+        // Stale heartbeat reads as dead.
+        assert_eq!(
+            reg.health_of("A", Duration::from_secs(30), fresh),
+            HealthStatus::Dead
+        );
+
+        reg.mark_dead("A");
+        assert_eq!(
+            reg.health_of("A", Duration::from_secs(6), fresh),
+            HealthStatus::Dead
+        );
+        // A heartbeat revives an explicitly dead service.
+        reg.heartbeat("A", Duration::from_secs(7));
+        assert_eq!(
+            reg.health_of("A", Duration::from_secs(8), fresh),
+            HealthStatus::Alive
+        );
+
+        // Re-publishing resets health to Unknown.
+        reg.publish(entry("A", &[]));
+        assert_eq!(
+            reg.health_of("A", Duration::from_secs(8), fresh),
+            HealthStatus::Unknown
+        );
+    }
+
+    #[test]
+    fn healthy_inquiry_filters_and_ranks() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("Stale", &["classifier"]));
+        reg.publish(entry("Fresh", &["classifier"]));
+        reg.publish(entry("Newcomer", &["classifier"]));
+        reg.publish(entry("Corpse", &["classifier"]));
+
+        let now = Duration::from_secs(100);
+        let fresh = Duration::from_secs(30);
+        reg.heartbeat("Stale", Duration::from_secs(10)); // 90 s old: dead
+        reg.heartbeat("Fresh", Duration::from_secs(95));
+        reg.mark_dead("Corpse");
+
+        let hits = reg.find_by_category_healthy("classifier", now, fresh);
+        let names: Vec<&str> = hits.iter().map(|e| e.name.as_str()).collect();
+        // Alive first, then never-heartbeated; stale + marked-dead gone.
+        assert_eq!(names, ["Fresh", "Newcomer"]);
+
+        let by_name = reg.find_healthy("e", now, fresh);
+        assert!(by_name
+            .iter()
+            .all(|e| e.name != "Corpse" && e.name != "Stale"));
+
+        // The plain inquiries still see everything.
+        assert_eq!(reg.find_by_category("classifier").len(), 4);
+    }
+
+    #[test]
+    fn freshest_heartbeat_ranks_first() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("Old", &["c"]));
+        reg.publish(entry("New", &["c"]));
+        reg.heartbeat("Old", Duration::from_secs(1));
+        reg.heartbeat("New", Duration::from_secs(9));
+        let hits =
+            reg.find_by_category_healthy("c", Duration::from_secs(10), Duration::from_secs(60));
+        assert_eq!(hits[0].name, "New");
+        assert_eq!(hits[1].name, "Old");
     }
 
     #[test]

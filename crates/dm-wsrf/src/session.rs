@@ -46,16 +46,15 @@ impl SessionManager {
         let id = format!("session-{:08x}-{:04x}", *counter, std::process::id() as u16);
         self.sessions.lock().insert(
             id.clone(),
-            Session { attributes: HashMap::new(), last_touched: Instant::now() },
+            Session {
+                attributes: HashMap::new(),
+                last_touched: Instant::now(),
+            },
         );
         id
     }
 
-    fn with_session<R>(
-        &self,
-        id: &str,
-        f: impl FnOnce(&mut Session) -> R,
-    ) -> Result<R> {
+    fn with_session<R>(&self, id: &str, f: impl FnOnce(&mut Session) -> R) -> Result<R> {
         let mut sessions = self.sessions.lock();
         let session = sessions
             .get_mut(id)
@@ -130,11 +129,18 @@ mod tests {
     fn create_put_get_roundtrip() {
         let m = manager();
         let id = m.create();
-        m.put(&id, "classifier", SoapValue::Text("J48".into())).unwrap();
+        m.put(&id, "classifier", SoapValue::Text("J48".into()))
+            .unwrap();
         m.put(&id, "folds", SoapValue::Int(10)).unwrap();
-        assert_eq!(m.get(&id, "classifier").unwrap(), Some(SoapValue::Text("J48".into())));
+        assert_eq!(
+            m.get(&id, "classifier").unwrap(),
+            Some(SoapValue::Text("J48".into()))
+        );
         assert_eq!(m.get(&id, "missing").unwrap(), None);
-        assert_eq!(m.keys(&id).unwrap(), vec!["classifier".to_string(), "folds".to_string()]);
+        assert_eq!(
+            m.keys(&id).unwrap(),
+            vec!["classifier".to_string(), "folds".to_string()]
+        );
     }
 
     #[test]
@@ -154,7 +160,10 @@ mod tests {
         assert!(m.close(&id));
         assert!(!m.close(&id));
         assert!(matches!(m.get(&id, "x"), Err(WsError::NotFound(_))));
-        assert!(matches!(m.put("bogus", "x", SoapValue::Null), Err(WsError::NotFound(_))));
+        assert!(matches!(
+            m.put("bogus", "x", SoapValue::Null),
+            Err(WsError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl SoapValue {
     pub fn as_text(&self) -> Result<&str> {
         match self {
             SoapValue::Text(s) => Ok(s),
-            other => Err(WsError::Malformed(format!("expected string, got {}", other.type_name()))),
+            other => Err(WsError::Malformed(format!(
+                "expected string, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -52,7 +55,10 @@ impl SoapValue {
     pub fn as_bytes(&self) -> Result<&[u8]> {
         match self {
             SoapValue::Bytes(b) => Ok(b),
-            other => Err(WsError::Malformed(format!("expected bytes, got {}", other.type_name()))),
+            other => Err(WsError::Malformed(format!(
+                "expected bytes, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -60,7 +66,10 @@ impl SoapValue {
     pub fn as_int(&self) -> Result<i64> {
         match self {
             SoapValue::Int(i) => Ok(*i),
-            other => Err(WsError::Malformed(format!("expected long, got {}", other.type_name()))),
+            other => Err(WsError::Malformed(format!(
+                "expected long, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -69,7 +78,10 @@ impl SoapValue {
         match self {
             SoapValue::Double(d) => Ok(*d),
             SoapValue::Int(i) => Ok(*i as f64),
-            other => Err(WsError::Malformed(format!("expected double, got {}", other.type_name()))),
+            other => Err(WsError::Malformed(format!(
+                "expected double, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -77,7 +89,10 @@ impl SoapValue {
     pub fn as_list(&self) -> Result<&[SoapValue]> {
         match self {
             SoapValue::List(l) => Ok(l),
-            other => Err(WsError::Malformed(format!("expected list, got {}", other.type_name()))),
+            other => Err(WsError::Malformed(format!(
+                "expected list, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -191,7 +206,11 @@ pub struct SoapCall {
 impl SoapCall {
     /// Create a call.
     pub fn new<S: Into<String>, O: Into<String>>(service: S, operation: O) -> SoapCall {
-        SoapCall { service: service.into(), operation: operation.into(), args: Vec::new() }
+        SoapCall {
+            service: service.into(),
+            operation: operation.into(),
+            args: Vec::new(),
+        }
     }
 
     /// Builder: append an argument.
@@ -216,13 +235,11 @@ impl SoapCall {
             .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
             .child(
                 XmlElement::new("soap:Body").child(
-                    self.args
-                        .iter()
-                        .fold(
-                            XmlElement::new(format!("ns:{}", self.operation))
-                                .attr("xmlns:ns", format!("urn:{}", self.service)),
-                            |acc, (name, value)| acc.child(value.to_element(name)),
-                        ),
+                    self.args.iter().fold(
+                        XmlElement::new(format!("ns:{}", self.operation))
+                            .attr("xmlns:ns", format!("urn:{}", self.service)),
+                        |acc, (name, value)| acc.child(value.to_element(name)),
+                    ),
                 ),
             )
             .to_xml()
@@ -251,7 +268,11 @@ impl SoapCall {
             .iter()
             .map(|c| Ok((c.name.clone(), SoapValue::from_element(c)?)))
             .collect::<Result<_>>()?;
-        Ok(SoapCall { service, operation, args })
+        Ok(SoapCall {
+            service,
+            operation,
+            args,
+        })
     }
 }
 
@@ -273,8 +294,9 @@ impl SoapResponse {
     /// Encode as a response envelope.
     pub fn to_envelope(&self, operation: &str) -> String {
         let body = match self {
-            SoapResponse::Value(v) => XmlElement::new(format!("{operation}Response"))
-                .child(v.to_element("return")),
+            SoapResponse::Value(v) => {
+                XmlElement::new(format!("{operation}Response")).child(v.to_element("return"))
+            }
             SoapResponse::Fault { code, message } => XmlElement::new("soap:Fault")
                 .child(XmlElement::new("faultcode").with_text(code.clone()))
                 .child(XmlElement::new("faultstring").with_text(message.clone())),
@@ -293,9 +315,14 @@ impl SoapResponse {
             .find("Body")
             .ok_or_else(|| WsError::Malformed("no soap:Body".into()))?;
         if let Some(fault) = body.find("Fault") {
-            let code = fault.find("faultcode").map(|e| e.text.clone()).unwrap_or_default();
-            let message =
-                fault.find("faultstring").map(|e| e.text.clone()).unwrap_or_default();
+            let code = fault
+                .find("faultcode")
+                .map(|e| e.text.clone())
+                .unwrap_or_default();
+            let message = fault
+                .find("faultstring")
+                .map(|e| e.text.clone())
+                .unwrap_or_default();
             return Ok(SoapResponse::Fault { code, message });
         }
         let resp = body
@@ -369,7 +396,10 @@ mod tests {
 
     #[test]
     fn fault_roundtrip_and_into_result() {
-        let f = SoapResponse::Fault { code: "Server".into(), message: "boom".into() };
+        let f = SoapResponse::Fault {
+            code: "Server".into(),
+            message: "boom".into(),
+        };
         let xml = f.to_envelope("classify");
         let back = SoapResponse::from_envelope(&xml).unwrap();
         assert!(matches!(
@@ -410,6 +440,8 @@ mod tests {
     #[test]
     fn malformed_envelopes_rejected() {
         assert!(SoapCall::from_envelope("<a/>").is_err());
-        assert!(SoapResponse::from_envelope("<soap:Envelope><soap:Body/></soap:Envelope>").is_err());
+        assert!(
+            SoapResponse::from_envelope("<soap:Envelope><soap:Body/></soap:Envelope>").is_err()
+        );
     }
 }

@@ -4,8 +4,17 @@
 //! module provides the equivalent substrate: named hosts, each with a
 //! service container; invocation serialises the call to envelope XML,
 //! charges a latency + bandwidth cost against a **virtual clock**,
-//! dispatches, and charges the response the same way. A fault plan
-//! injects transport failures for the fault-tolerance experiment (E9).
+//! dispatches, and charges the response the same way.
+//!
+//! A scripted per-host fault engine drives the fault-tolerance
+//! experiment (E9): random per-message failures, hosts marked down,
+//! outage windows and latency spikes scheduled on the virtual clock,
+//! square-wave "flapping", and response-envelope corruption that
+//! surfaces as decode errors. Failures distinguish the **request leg**
+//! ([`WsError::Transport`] — the service never ran) from the
+//! **response leg** ([`WsError::ResponseLost`] — the service may have
+//! executed before the reply was lost), which is what retry layers
+//! need to account for duplicated work.
 //!
 //! Virtual time (not `thread::sleep`) keeps the benchmarks fast and
 //! deterministic while preserving the *shape* of network costs: a
@@ -14,6 +23,7 @@
 
 use crate::container::ServiceContainer;
 use crate::error::{Result, WsError};
+use crate::monitor::{InvocationEvent, MonitorLog, Outcome};
 use crate::soap::{SoapCall, SoapResponse, SoapValue};
 use crate::wsdl::WsdlDocument;
 use parking_lot::{Mutex, RwLock};
@@ -52,22 +62,88 @@ impl NetworkConfig {
     }
 }
 
-/// Failure-injection plan for E9: per-host probability of a transport
-/// failure on each message, with a seeded RNG for determinism.
-#[derive(Debug)]
-struct FaultPlan {
-    probability: HashMap<String, f64>,
-    rng: StdRng,
-    /// Hosts currently marked down (fail every message).
-    down: Vec<String>,
+/// Which half of the wire path a fault fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    Request,
+    Response,
 }
 
-/// The simulated network: hosts, cost model, virtual clock, fault plan.
+/// Scripted faults for one host. All windows are on the virtual clock.
+#[derive(Debug, Default, Clone)]
+struct HostFaults {
+    /// Per-message random failure probability.
+    probability: f64,
+    /// Probability a response envelope is corrupted in transit.
+    corrupt_probability: f64,
+    /// Hard down (every message fails) until cleared.
+    down: bool,
+    /// Scheduled outages: messages fail while `from <= now < until`.
+    outages: Vec<(Duration, Duration)>,
+    /// Latency spikes: `(from, until, extra)` adds `extra` to every
+    /// message charge while the window is active.
+    latency_spikes: Vec<(Duration, Duration, Duration)>,
+    /// Square-wave flapping: `(period, up_fraction)` — the host is up
+    /// for the first `up_fraction` of each period, down for the rest.
+    flap: Option<(Duration, f64)>,
+}
+
+impl HostFaults {
+    fn is_unreachable(&self, now: Duration) -> Option<String> {
+        if self.down {
+            return Some("host marked down".to_string());
+        }
+        if let Some(&(from, until)) = self
+            .outages
+            .iter()
+            .find(|&&(from, until)| from <= now && now < until)
+        {
+            return Some(format!("scripted outage {from:?}..{until:?}"));
+        }
+        if let Some((period, up_fraction)) = self.flap {
+            if !period.is_zero() {
+                let phase = now.as_nanos() % period.as_nanos();
+                let up_for = (period.as_nanos() as f64 * up_fraction.clamp(0.0, 1.0)) as u128;
+                if phase >= up_for {
+                    return Some(format!("flapping (down phase of {period:?} cycle)"));
+                }
+            }
+        }
+        None
+    }
+
+    fn extra_latency(&self, now: Duration) -> Duration {
+        self.latency_spikes
+            .iter()
+            .filter(|&&(from, until, _)| from <= now && now < until)
+            .map(|&(_, _, extra)| extra)
+            .sum()
+    }
+}
+
+/// Failure-injection engine for E9: scripted per-host faults plus a
+/// seeded RNG for the probabilistic ones, so runs are deterministic.
+#[derive(Debug)]
+struct FaultPlan {
+    hosts: HashMap<String, HostFaults>,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    fn host_mut(&mut self, host: &str) -> &mut HostFaults {
+        self.hosts.entry(host.to_string()).or_default()
+    }
+}
+
+/// The simulated network: hosts, cost model, virtual clock, fault
+/// engine, and a network-level monitor log that — unlike the container
+/// logs — sees transport failures.
 pub struct Network {
     config: NetworkConfig,
     hosts: RwLock<HashMap<String, Arc<ServiceContainer>>>,
     virtual_nanos: AtomicU64,
     faults: Mutex<FaultPlan>,
+    monitor: MonitorLog,
 }
 
 impl Network {
@@ -83,10 +159,10 @@ impl Network {
             hosts: RwLock::new(HashMap::new()),
             virtual_nanos: AtomicU64::new(0),
             faults: Mutex::new(FaultPlan {
-                probability: HashMap::new(),
+                hosts: HashMap::new(),
                 rng: StdRng::seed_from_u64(0xFAE),
-                down: Vec::new(),
             }),
+            monitor: MonitorLog::new(),
         }
     }
 
@@ -126,25 +202,54 @@ impl Network {
         Duration::from_nanos(self.virtual_nanos.load(Ordering::Relaxed))
     }
 
+    /// The current virtual instant — alias of [`virtual_time`]
+    /// (Self::virtual_time) read as "now" by resilience code.
+    pub fn now(&self) -> Duration {
+        self.virtual_time()
+    }
+
+    /// Advance the virtual clock without sending anything. Backoff
+    /// sleeps in the resilience layer are charged through here, so
+    /// recovery latency is measurable while runs stay fast.
+    pub fn advance_virtual_time(&self, by: Duration) {
+        self.virtual_nanos
+            .fetch_add(by.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Reset the virtual clock (between benchmark runs).
     pub fn reset_virtual_time(&self) {
         self.virtual_nanos.store(0, Ordering::Relaxed);
     }
 
-    fn charge(&self, bytes: usize) -> Duration {
-        let cost = self.config.transmit_time(bytes);
-        self.virtual_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+    /// The network-level attempt log. Every `invoke` records here —
+    /// including transport failures, which container logs cannot see.
+    pub fn monitor(&self) -> &MonitorLog {
+        &self.monitor
+    }
+
+    fn charge(&self, host: &str, bytes: usize) -> Duration {
+        let spike = {
+            let plan = self.faults.lock();
+            plan.hosts
+                .get(host)
+                .map(|f| f.extra_latency(self.virtual_time()))
+                .unwrap_or(Duration::ZERO)
+        };
+        let cost = self.config.transmit_time(bytes) + spike;
+        self.virtual_nanos
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
         cost
     }
 
-    /// Set a host's per-message failure probability (0 clears).
+    /// Set a host's per-message random failure probability (0 clears).
     pub fn set_failure_probability(&self, host: &str, p: f64) {
-        let mut plan = self.faults.lock();
-        if p <= 0.0 {
-            plan.probability.remove(host);
-        } else {
-            plan.probability.insert(host.to_string(), p.min(1.0));
-        }
+        self.faults.lock().host_mut(host).probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Set the probability that a response envelope is corrupted in
+    /// transit (surfacing to the caller as an XML decode error).
+    pub fn set_corrupt_probability(&self, host: &str, p: f64) {
+        self.faults.lock().host_mut(host).corrupt_probability = p.clamp(0.0, 1.0);
     }
 
     /// Reseed the fault RNG (determinism between runs).
@@ -154,33 +259,86 @@ impl Network {
 
     /// Mark a host down (all messages fail) or back up.
     pub fn set_host_down(&self, host: &str, down: bool) {
+        self.faults.lock().host_mut(host).down = down;
+    }
+
+    /// Schedule an outage window on the virtual clock: every message to
+    /// `host` fails while `from <= now < until`.
+    pub fn add_outage(&self, host: &str, from: Duration, until: Duration) {
+        self.faults
+            .lock()
+            .host_mut(host)
+            .outages
+            .push((from, until));
+    }
+
+    /// Schedule a latency spike: every message to `host` costs an extra
+    /// `extra` while `from <= now < until`.
+    pub fn add_latency_spike(&self, host: &str, from: Duration, until: Duration, extra: Duration) {
+        self.faults
+            .lock()
+            .host_mut(host)
+            .latency_spikes
+            .push((from, until, extra));
+    }
+
+    /// Make `host` flap on a square wave: up for the first
+    /// `up_fraction` of every `period`, down for the rest.
+    pub fn set_flapping(&self, host: &str, period: Duration, up_fraction: f64) {
+        self.faults.lock().host_mut(host).flap = Some((period, up_fraction));
+    }
+
+    /// Clear every scripted and probabilistic fault for `host`.
+    pub fn clear_faults(&self, host: &str) {
+        self.faults.lock().hosts.remove(host);
+    }
+
+    fn check_fault(&self, host: &str, leg: Leg) -> Result<()> {
+        let now = self.virtual_time();
         let mut plan = self.faults.lock();
-        if down {
-            if !plan.down.iter().any(|h| h == host) {
-                plan.down.push(host.to_string());
-            }
+        let Some(faults) = plan.hosts.get(host).cloned() else {
+            return Ok(());
+        };
+        let reason = if let Some(why) = faults.is_unreachable(now) {
+            Some(format!("host {host} unreachable: {why}"))
+        } else if faults.probability > 0.0 && plan.rng.random_bool(faults.probability) {
+            Some(format!("connection to {host} reset (injected fault)"))
         } else {
-            plan.down.retain(|h| h != host);
+            None
+        };
+        match reason {
+            None => Ok(()),
+            Some(message) => Err(match leg {
+                Leg::Request => WsError::Transport(message),
+                Leg::Response => WsError::ResponseLost(message),
+            }),
         }
     }
 
-    fn check_fault(&self, host: &str) -> Result<()> {
+    /// Should this response envelope be corrupted, and if so mangle it.
+    fn maybe_corrupt(&self, host: &str, response_xml: &mut String) {
         let mut plan = self.faults.lock();
-        if plan.down.iter().any(|h| h == host) {
-            return Err(WsError::Transport(format!("host {host} is down")));
-        }
-        if let Some(&p) = plan.probability.get(host) {
-            if plan.rng.random_bool(p) {
-                return Err(WsError::Transport(format!(
-                    "connection to {host} reset (injected fault)"
-                )));
+        let p = plan
+            .hosts
+            .get(host)
+            .map(|f| f.corrupt_probability)
+            .unwrap_or(0.0);
+        if p > 0.0 && plan.rng.random_bool(p) {
+            // Truncate mid-document: the envelope no longer balances,
+            // so decoding fails at the SOAP layer like a torn TCP
+            // stream would.
+            let mut cut = response_xml.len() / 2;
+            while cut > 0 && !response_xml.is_char_boundary(cut) {
+                cut -= 1;
             }
+            response_xml.truncate(cut);
         }
-        Ok(())
     }
 
     /// Invoke `service.operation(args)` on `host` over the full wire
     /// path: envelope encode → transmit → dispatch → transmit → decode.
+    /// Records the attempt (including transport failures) in the
+    /// network monitor.
     pub fn invoke(
         &self,
         host: &str,
@@ -188,18 +346,61 @@ impl Network {
         operation: &str,
         args: Vec<(String, SoapValue)>,
     ) -> Result<SoapValue> {
+        let started = self.virtual_time();
+        let mut bytes_in = 0;
+        let mut bytes_out = 0;
+        let result = self.invoke_wire(
+            host,
+            service,
+            operation,
+            args,
+            &mut bytes_in,
+            &mut bytes_out,
+        );
+        let outcome = match &result {
+            Ok(_) => Outcome::Ok,
+            Err(WsError::Fault { code, .. }) => Outcome::Fault(code.clone()),
+            Err(e) => Outcome::TransportError(e.to_string()),
+        };
+        self.monitor.record(InvocationEvent {
+            host: host.to_string(),
+            service: service.to_string(),
+            operation: operation.to_string(),
+            duration: self.virtual_time() - started,
+            bytes_in,
+            bytes_out,
+            outcome,
+        });
+        result
+    }
+
+    fn invoke_wire(
+        &self,
+        host: &str,
+        service: &str,
+        operation: &str,
+        args: Vec<(String, SoapValue)>,
+        bytes_in: &mut usize,
+        bytes_out: &mut usize,
+    ) -> Result<SoapValue> {
         let container = self.host(host)?;
-        self.check_fault(host)?;
+        // Request leg: a failure here means the service never ran.
+        self.check_fault(host, Leg::Request)?;
         let call = SoapCall {
             service: service.to_string(),
             operation: operation.to_string(),
             args,
         };
         let request_xml = call.to_envelope();
-        self.charge(request_xml.len());
-        let response_xml = container.dispatch_envelope(&request_xml);
-        self.check_fault(host)?;
-        self.charge(response_xml.len());
+        *bytes_in = request_xml.len();
+        self.charge(host, request_xml.len());
+        let mut response_xml = container.dispatch_envelope(&request_xml);
+        // Response leg: the service has already executed; a failure or
+        // corruption from here on may leave duplicated work behind.
+        self.check_fault(host, Leg::Response)?;
+        self.maybe_corrupt(host, &mut response_xml);
+        *bytes_out = response_xml.len();
+        self.charge(host, response_xml.len());
         SoapResponse::from_envelope(&response_xml)?.into_result()
     }
 
@@ -207,9 +408,9 @@ impl Network {
     /// request did on the paper's testbed), charging transport.
     pub fn fetch_wsdl(&self, host: &str, service: &str) -> Result<WsdlDocument> {
         let container = self.host(host)?;
-        self.check_fault(host)?;
+        self.check_fault(host, Leg::Request)?;
         let wsdl = container.wsdl_of(service)?;
-        self.charge(wsdl.to_xml().len());
+        self.charge(host, wsdl.to_xml().len());
         Ok(wsdl)
     }
 }
@@ -217,6 +418,16 @@ impl Network {
 impl Default for Network {
     fn default() -> Self {
         Network::new()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("config", &self.config)
+            .field("hosts", &self.hosts())
+            .field("virtual_time", &self.virtual_time())
+            .finish_non_exhaustive()
     }
 }
 
@@ -257,7 +468,10 @@ mod tests {
         )
         .unwrap();
         let small = net.virtual_time();
-        assert!(small >= Duration::from_micros(1000), "two messages, two latencies");
+        assert!(
+            small >= Duration::from_micros(1000),
+            "two messages, two latencies"
+        );
 
         net.reset_virtual_time();
         net.invoke(
@@ -346,6 +560,170 @@ mod tests {
                 vec![("message".into(), SoapValue::Null)]
             )
             .is_ok());
+    }
+
+    #[test]
+    fn outage_windows_follow_the_virtual_clock() {
+        let net = network_with_echo();
+        net.add_outage(
+            "host-a",
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        );
+        let call = |net: &Network| {
+            net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Null)],
+            )
+        };
+        assert!(call(&net).is_ok(), "before the window");
+        net.advance_virtual_time(Duration::from_millis(12));
+        let err = call(&net).unwrap_err();
+        assert!(
+            matches!(err, WsError::Transport(ref m) if m.contains("outage")),
+            "{err:?}"
+        );
+        net.advance_virtual_time(Duration::from_millis(10));
+        assert!(call(&net).is_ok(), "after the window");
+    }
+
+    #[test]
+    fn flapping_host_alternates() {
+        let net = network_with_echo();
+        net.set_flapping("host-a", Duration::from_millis(10), 0.5);
+        let mut up = 0;
+        let mut down = 0;
+        for _ in 0..40 {
+            let r = net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Null)],
+            );
+            if r.is_ok() {
+                up += 1;
+            } else {
+                down += 1;
+            }
+            net.advance_virtual_time(Duration::from_millis(3));
+        }
+        assert!(
+            up > 5 && down > 5,
+            "square wave should hit both phases: {up}/{down}"
+        );
+    }
+
+    #[test]
+    fn latency_spike_inflates_charges() {
+        let net = network_with_echo();
+        net.reset_virtual_time();
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Null)],
+        )
+        .unwrap();
+        let normal = net.virtual_time();
+
+        net.reset_virtual_time();
+        net.add_latency_spike(
+            "host-a",
+            Duration::ZERO,
+            Duration::from_secs(60),
+            Duration::from_millis(50),
+        );
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Null)],
+        )
+        .unwrap();
+        let spiked = net.virtual_time();
+        assert!(
+            spiked >= normal + Duration::from_millis(100),
+            "two legs, 50 ms each: {spiked:?} vs {normal:?}"
+        );
+        net.clear_faults("host-a");
+    }
+
+    #[test]
+    fn response_leg_faults_are_response_lost() {
+        let net = network_with_echo();
+        // Fire only on the second fault check (response leg): probability
+        // 1.0 would kill the request leg, so flip the host down *during*
+        // dispatch via an outage that starts after the request charge.
+        let call_cost = net.config().transmit_time(200); // > request envelope
+        net.add_outage("host-a", call_cost / 4, Duration::from_secs(60));
+        let err = net
+            .invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Text("x".repeat(2000)))],
+            )
+            .unwrap_err();
+        assert!(matches!(err, WsError::ResponseLost(_)), "{err:?}");
+        assert!(err.work_may_have_executed());
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn corrupt_responses_surface_as_decode_errors() {
+        let net = network_with_echo();
+        net.set_corrupt_probability("host-a", 1.0);
+        let err = net
+            .invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Text("hello".into()))],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, WsError::Xml { .. } | WsError::Malformed(_)),
+            "corruption should fail decode: {err:?}"
+        );
+        net.set_corrupt_probability("host-a", 0.0);
+        assert!(net
+            .invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Null)]
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn network_monitor_sees_transport_failures() {
+        let net = network_with_echo();
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Null)],
+        )
+        .unwrap();
+        net.set_host_down("host-a", true);
+        let _ = net.invoke("host-a", "Echo", "echo", vec![]);
+        net.set_host_down("host-a", false);
+
+        let events = net.monitor().snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].outcome, crate::monitor::Outcome::Ok));
+        assert!(matches!(
+            events[1].outcome,
+            crate::monitor::Outcome::TransportError(_)
+        ));
+        // Container logs can't see the failed attempt.
+        assert_eq!(net.host("host-a").unwrap().monitor().len(), 1);
+        let by_host = net.monitor().summary_by_host();
+        assert_eq!(by_host.len(), 1);
+        assert!((by_host[0].failure_rate - 0.5).abs() < 1e-12);
     }
 
     #[test]

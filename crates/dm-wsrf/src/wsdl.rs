@@ -24,7 +24,10 @@ pub struct Part {
 impl Part {
     /// Create a part.
     pub fn new<N: Into<String>, T: Into<String>>(name: N, type_name: T) -> Part {
-        Part { name: name.into(), type_name: type_name.into() }
+        Part {
+            name: name.into(),
+            type_name: type_name.into(),
+        }
     }
 }
 
@@ -44,7 +47,12 @@ pub struct Operation {
 impl Operation {
     /// Create an operation.
     pub fn new<N: Into<String>>(name: N, inputs: Vec<Part>, output: Part) -> Operation {
-        Operation { name: name.into(), inputs, output, documentation: String::new() }
+        Operation {
+            name: name.into(),
+            inputs,
+            output,
+            documentation: String::new(),
+        }
     }
 
     /// Builder: attach documentation.
@@ -68,7 +76,11 @@ pub struct WsdlDocument {
 impl WsdlDocument {
     /// Create a document.
     pub fn new<S: Into<String>, E: Into<String>>(service: S, endpoint: E) -> WsdlDocument {
-        WsdlDocument { service: service.into(), endpoint: endpoint.into(), operations: Vec::new() }
+        WsdlDocument {
+            service: service.into(),
+            endpoint: endpoint.into(),
+            operations: Vec::new(),
+        }
     }
 
     /// Builder: add an operation.
@@ -79,14 +91,19 @@ impl WsdlDocument {
 
     /// Operation lookup by name.
     pub fn find_operation(&self, name: &str) -> Result<&Operation> {
-        self.operations.iter().find(|o| o.name == name).ok_or_else(|| {
-            WsError::UnknownOperation { service: self.service.clone(), operation: name.into() }
-        })
+        self.operations
+            .iter()
+            .find(|o| o.name == name)
+            .ok_or_else(|| WsError::UnknownOperation {
+                service: self.service.clone(),
+                operation: name.into(),
+            })
     }
 
     /// Render as a WSDL 1.1-flavoured XML document.
     pub fn to_xml(&self) -> String {
-        let mut port_type = XmlElement::new("wsdl:portType").attr("name", format!("{}PortType", self.service));
+        let mut port_type =
+            XmlElement::new("wsdl:portType").attr("name", format!("{}PortType", self.service));
         let mut messages: Vec<XmlElement> = Vec::new();
         for op in &self.operations {
             let in_msg = format!("{}Request", op.name);
@@ -101,16 +118,19 @@ impl WsdlDocument {
             }
             messages.push(input);
             messages.push(
-                XmlElement::new("wsdl:message").attr("name", out_msg.clone()).child(
-                    XmlElement::new("wsdl:part")
-                        .attr("name", op.output.name.clone())
-                        .attr("type", format!("xsd:{}", op.output.type_name)),
-                ),
+                XmlElement::new("wsdl:message")
+                    .attr("name", out_msg.clone())
+                    .child(
+                        XmlElement::new("wsdl:part")
+                            .attr("name", op.output.name.clone())
+                            .attr("type", format!("xsd:{}", op.output.type_name)),
+                    ),
             );
             let mut op_el = XmlElement::new("wsdl:operation").attr("name", op.name.clone());
             if !op.documentation.is_empty() {
-                op_el = op_el
-                    .child(XmlElement::new("wsdl:documentation").with_text(op.documentation.clone()));
+                op_el = op_el.child(
+                    XmlElement::new("wsdl:documentation").with_text(op.documentation.clone()),
+                );
             }
             op_el = op_el
                 .child(XmlElement::new("wsdl:input").attr("message", in_msg))
@@ -128,11 +148,15 @@ impl WsdlDocument {
         }
         doc = doc.child(port_type);
         doc = doc.child(
-            XmlElement::new("wsdl:service").attr("name", self.service.clone()).child(
-                XmlElement::new("wsdl:port")
-                    .attr("name", format!("{}Port", self.service))
-                    .child(XmlElement::new("soap:address").attr("location", self.endpoint.clone())),
-            ),
+            XmlElement::new("wsdl:service")
+                .attr("name", self.service.clone())
+                .child(
+                    XmlElement::new("wsdl:port")
+                        .attr("name", format!("{}Port", self.service))
+                        .child(
+                            XmlElement::new("soap:address").attr("location", self.endpoint.clone()),
+                        ),
+                ),
         );
         doc.to_pretty_xml()
     }
@@ -163,7 +187,9 @@ impl WsdlDocument {
                 .map(|p| {
                     Part::new(
                         p.attribute("name").unwrap_or(""),
-                        p.attribute("type").unwrap_or("xsd:string").trim_start_matches("xsd:"),
+                        p.attribute("type")
+                            .unwrap_or("xsd:string")
+                            .trim_start_matches("xsd:"),
                     )
                 })
                 .collect();
@@ -206,11 +232,20 @@ impl WsdlDocument {
                     .find("documentation")
                     .map(|d| d.text.clone())
                     .unwrap_or_default();
-                Ok(Operation { name, inputs, output, documentation })
+                Ok(Operation {
+                    name,
+                    inputs,
+                    output,
+                    documentation,
+                })
             })
             .collect::<Result<_>>()?;
 
-        Ok(WsdlDocument { service, endpoint, operations })
+        Ok(WsdlDocument {
+            service,
+            endpoint,
+            operations,
+        })
     }
 }
 

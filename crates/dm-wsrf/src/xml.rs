@@ -27,7 +27,10 @@ pub struct XmlElement {
 impl XmlElement {
     /// Create an element with no attributes or children.
     pub fn new<N: Into<String>>(name: N) -> XmlElement {
-        XmlElement { name: name.into(), ..XmlElement::default() }
+        XmlElement {
+            name: name.into(),
+            ..XmlElement::default()
+        }
     }
 
     /// Builder: add an attribute.
@@ -50,7 +53,10 @@ impl XmlElement {
 
     /// Attribute lookup.
     pub fn attribute(&self, key: &str) -> Option<&str> {
-        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// First child with the given name (ignoring any namespace prefix).
@@ -60,7 +66,9 @@ impl XmlElement {
 
     /// All children with the given name (ignoring prefixes).
     pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
-        self.children.iter().filter(move |c| local_name(&c.name) == name)
+        self.children
+            .iter()
+            .filter(move |c| local_name(&c.name) == name)
     }
 
     /// Serialise to a compact XML string (no declaration).
@@ -128,7 +136,10 @@ pub fn escape(s: &str) -> String {
 
 /// Parse a document into its root element.
 pub fn parse(input: &str) -> Result<XmlElement> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_prolog();
     let root = p.element()?;
     p.skip_misc();
@@ -145,7 +156,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> WsError {
-        WsError::Xml { offset: self.pos, message: message.to_string() }
+        WsError::Xml {
+            offset: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -237,7 +251,9 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                     self.skip_ws();
-                    let quote = self.peek().ok_or_else(|| self.err("unterminated attribute"))?;
+                    let quote = self
+                        .peek()
+                        .ok_or_else(|| self.err("unterminated attribute"))?;
                     if quote != b'"' && quote != b'\'' {
                         return Err(self.err("attribute value must be quoted"));
                     }

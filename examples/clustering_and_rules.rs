@@ -19,9 +19,21 @@ fn main() {
     // --- Clustering -----------------------------------------------------
     let blobs = gaussian_blobs(
         &[
-            BlobSpec { center: vec![0.0, 0.0], stddev: 0.4, count: 60 },
-            BlobSpec { center: vec![8.0, 0.5], stddev: 0.4, count: 60 },
-            BlobSpec { center: vec![4.0, 7.0], stddev: 0.4, count: 60 },
+            BlobSpec {
+                center: vec![0.0, 0.0],
+                stddev: 0.4,
+                count: 60,
+            },
+            BlobSpec {
+                center: vec![8.0, 0.5],
+                stddev: 0.4,
+                count: 60,
+            },
+            BlobSpec {
+                center: vec![4.0, 7.0],
+                stddev: 0.4,
+                count: 60,
+            },
         ],
         2026,
     );
@@ -59,8 +71,9 @@ fn main() {
         .iter()
         .map(|v| v.as_int().expect("int") as usize)
         .collect();
-    let points: Vec<(f64, f64)> =
-        (0..blobs.num_instances()).map(|r| (blobs.value(r, 0), blobs.value(r, 1))).collect();
+    let points: Vec<(f64, f64)> = (0..blobs.num_instances())
+        .map(|r| (blobs.value(r, 0), blobs.value(r, 1)))
+        .collect();
     std::fs::write(
         "target/clusters.svg",
         dm_viz::plot::cluster_plot("k-means clusters", &points, &assignments),
@@ -79,7 +92,10 @@ fn main() {
             vec![
                 ("dataset".into(), SoapValue::Text(baskets_arff)),
                 ("associator".into(), SoapValue::Text("Apriori".into())),
-                ("options".into(), SoapValue::Text("-Z true -M 0.2 -C 0.7 -N 15".into())),
+                (
+                    "options".into(),
+                    SoapValue::Text("-Z true -M 0.2 -C 0.7 -N 15".into()),
+                ),
             ],
         )
         .expect("association mining");
@@ -106,8 +122,7 @@ fn main() {
             ],
         )
         .expect("plot3D");
-    std::fs::write("target/plot3d.ppm", image.as_bytes().expect("bytes"))
-        .expect("write image");
+    std::fs::write("target/plot3d.ppm", image.as_bytes().expect("bytes")).expect("write image");
     println!("\nplot3D image written to target/plot3d.ppm");
     println!("Simulated network time consumed: {:?}", net.virtual_time());
 }

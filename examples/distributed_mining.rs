@@ -41,11 +41,15 @@ fn main() {
     // --- Parallel cross-validation fan-out --------------------------------
     println!("\n=== Parallel enactment: 3 classifiers across 3 hosts ===");
     let mut graph = TaskGraph::new();
-    let dataset =
-        graph.add_task(Arc::new(faehim::tools::LocalDataset::breast_cancer()));
+    let dataset = graph.add_task(Arc::new(faehim::tools::LocalDataset::breast_cancer()));
     let mut sinks = Vec::new();
-    for (i, (host, classifier)) in
-        [("wesc-a", "J48"), ("wesc-b", "NaiveBayes"), ("wesc-c", "IBk")].iter().enumerate()
+    for (i, (host, classifier)) in [
+        ("wesc-a", "J48"),
+        ("wesc-b", "NaiveBayes"),
+        ("wesc-c", "IBk"),
+    ]
+    .iter()
+    .enumerate()
     {
         let tools = toolkit.import_service(host, "Classifier").expect("import");
         let cv = tools
@@ -64,7 +68,9 @@ fn main() {
         bindings.insert((id, 3), Token::Text("Class".into()));
         bindings.insert((id, 4), Token::Int(10));
     }
-    let report = Executor::parallel().run(&graph, &bindings).expect("parallel run");
+    let report = Executor::parallel()
+        .run(&graph, &bindings)
+        .expect("parallel run");
     for (id, classifier) in &sinks {
         if let Some(Token::Text(summary)) = report.output(*id, 0) {
             let accuracy = summary

@@ -16,8 +16,14 @@ fn main() {
     println!("\nChecks against the published figure:");
     let checks: [(&str, bool); 6] = [
         ("286 instances", summary.num_instances == 286),
-        ("10 attributes, all discrete", summary.num_discrete == 10 && summary.num_continuous == 0),
-        ("9 missing values (0.3%)", summary.missing_values == 9 && summary.missing_pct == 0.3),
+        (
+            "10 attributes, all discrete",
+            summary.num_discrete == 10 && summary.num_continuous == 0,
+        ),
+        (
+            "9 missing values (0.3%)",
+            summary.missing_values == 9 && summary.missing_pct == 0.3,
+        ),
         (
             "node-caps: Enum 97%, 8 missing, 2 distinct",
             summary.attributes[4].nominal_pct == 97

@@ -39,7 +39,13 @@ fn main() {
 
     // Testing the discovered knowledge (§3): cross-validate.
     let evaluation = client
-        .cross_validate(&dm_data::corpus::breast_cancer_arff(), "J48", "", "Class", 10)
+        .cross_validate(
+            &dm_data::corpus::breast_cancer_arff(),
+            "J48",
+            "",
+            "Class",
+            10,
+        )
         .expect("crossValidate");
     println!("{evaluation}");
 

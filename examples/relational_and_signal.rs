@@ -39,10 +39,7 @@ fn main() {
             vec![
                 ("resource".into(), SoapValue::Text("breast_cancer".into())),
                 ("select".into(), SoapValue::Text(String::new())),
-                (
-                    "where".into(),
-                    SoapValue::Text("menopause=premeno".into()),
-                ),
+                ("where".into(), SoapValue::Text("menopause=premeno".into())),
                 ("limit".into(), SoapValue::Int(i64::MAX)),
             ],
         )
@@ -57,7 +54,10 @@ fn main() {
         .classifier_client()
         .classify_instance(arff.as_text().expect("text"), "J48", "", "Class")
         .expect("classify the query result");
-    let root = model.lines().find(|l| l.contains(" = ")).unwrap_or("(leaf)");
+    let root = model
+        .lines()
+        .find(|l| l.contains(" = "))
+        .unwrap_or("(leaf)");
     println!("J48 over the query result; first split: {root}\n");
 
     // --- Session management ----------------------------------------------
@@ -66,8 +66,11 @@ fn main() {
         .invoke(&host, "Session", "createSession", vec![])
         .expect("createSession");
     let session_id = session.as_text().expect("text").to_string();
-    for (key, value) in [("classifier", "J48"), ("options", "-C 0.25 -M 2"), ("attribute", "Class")]
-    {
+    for (key, value) in [
+        ("classifier", "J48"),
+        ("options", "-C 0.25 -M 2"),
+        ("attribute", "Class"),
+    ] {
         net.invoke(
             &host,
             "Session",

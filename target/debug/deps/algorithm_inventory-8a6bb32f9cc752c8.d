@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithm_inventory-8a6bb32f9cc752c8.d: tests/tests/algorithm_inventory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithm_inventory-8a6bb32f9cc752c8.rmeta: tests/tests/algorithm_inventory.rs Cargo.toml
+
+tests/tests/algorithm_inventory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

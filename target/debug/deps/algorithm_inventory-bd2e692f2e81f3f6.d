@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_inventory-bd2e692f2e81f3f6.d: tests/tests/algorithm_inventory.rs
+
+/root/repo/target/debug/deps/algorithm_inventory-bd2e692f2e81f3f6: tests/tests/algorithm_inventory.rs
+
+tests/tests/algorithm_inventory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study-6f29c6dae48fe71e.d: tests/tests/case_study.rs
+
+/root/repo/target/debug/deps/case_study-6f29c6dae48fe71e: tests/tests/case_study.rs
+
+tests/tests/case_study.rs:

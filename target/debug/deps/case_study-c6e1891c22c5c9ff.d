@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_study-c6e1891c22c5c9ff.d: tests/tests/case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_study-c6e1891c22c5c9ff.rmeta: tests/tests/case_study.rs Cargo.toml
+
+tests/tests/case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,41 @@
+/root/repo/target/debug/deps/dm_algorithms-a822954ee0c81489.d: crates/dm-algorithms/src/lib.rs crates/dm-algorithms/src/associations/mod.rs crates/dm-algorithms/src/associations/apriori.rs crates/dm-algorithms/src/associations/fpgrowth.rs crates/dm-algorithms/src/attrsel/mod.rs crates/dm-algorithms/src/attrsel/evaluators.rs crates/dm-algorithms/src/attrsel/search.rs crates/dm-algorithms/src/attrsel/subset.rs crates/dm-algorithms/src/classifiers/mod.rs crates/dm-algorithms/src/classifiers/adaboost.rs crates/dm-algorithms/src/classifiers/bagging.rs crates/dm-algorithms/src/classifiers/decision_stump.rs crates/dm-algorithms/src/classifiers/ibk.rs crates/dm-algorithms/src/classifiers/j48.rs crates/dm-algorithms/src/classifiers/logistic.rs crates/dm-algorithms/src/classifiers/mlp.rs crates/dm-algorithms/src/classifiers/naive_bayes.rs crates/dm-algorithms/src/classifiers/one_r.rs crates/dm-algorithms/src/classifiers/prism.rs crates/dm-algorithms/src/classifiers/random_forest.rs crates/dm-algorithms/src/classifiers/random_tree.rs crates/dm-algorithms/src/classifiers/zero_r.rs crates/dm-algorithms/src/cluster/mod.rs crates/dm-algorithms/src/cluster/cobweb.rs crates/dm-algorithms/src/cluster/em.rs crates/dm-algorithms/src/cluster/farthest_first.rs crates/dm-algorithms/src/cluster/hierarchical.rs crates/dm-algorithms/src/cluster/kmeans.rs crates/dm-algorithms/src/error.rs crates/dm-algorithms/src/eval/mod.rs crates/dm-algorithms/src/options.rs crates/dm-algorithms/src/registry.rs crates/dm-algorithms/src/signal.rs crates/dm-algorithms/src/state.rs crates/dm-algorithms/src/tree.rs
+
+/root/repo/target/debug/deps/libdm_algorithms-a822954ee0c81489.rlib: crates/dm-algorithms/src/lib.rs crates/dm-algorithms/src/associations/mod.rs crates/dm-algorithms/src/associations/apriori.rs crates/dm-algorithms/src/associations/fpgrowth.rs crates/dm-algorithms/src/attrsel/mod.rs crates/dm-algorithms/src/attrsel/evaluators.rs crates/dm-algorithms/src/attrsel/search.rs crates/dm-algorithms/src/attrsel/subset.rs crates/dm-algorithms/src/classifiers/mod.rs crates/dm-algorithms/src/classifiers/adaboost.rs crates/dm-algorithms/src/classifiers/bagging.rs crates/dm-algorithms/src/classifiers/decision_stump.rs crates/dm-algorithms/src/classifiers/ibk.rs crates/dm-algorithms/src/classifiers/j48.rs crates/dm-algorithms/src/classifiers/logistic.rs crates/dm-algorithms/src/classifiers/mlp.rs crates/dm-algorithms/src/classifiers/naive_bayes.rs crates/dm-algorithms/src/classifiers/one_r.rs crates/dm-algorithms/src/classifiers/prism.rs crates/dm-algorithms/src/classifiers/random_forest.rs crates/dm-algorithms/src/classifiers/random_tree.rs crates/dm-algorithms/src/classifiers/zero_r.rs crates/dm-algorithms/src/cluster/mod.rs crates/dm-algorithms/src/cluster/cobweb.rs crates/dm-algorithms/src/cluster/em.rs crates/dm-algorithms/src/cluster/farthest_first.rs crates/dm-algorithms/src/cluster/hierarchical.rs crates/dm-algorithms/src/cluster/kmeans.rs crates/dm-algorithms/src/error.rs crates/dm-algorithms/src/eval/mod.rs crates/dm-algorithms/src/options.rs crates/dm-algorithms/src/registry.rs crates/dm-algorithms/src/signal.rs crates/dm-algorithms/src/state.rs crates/dm-algorithms/src/tree.rs
+
+/root/repo/target/debug/deps/libdm_algorithms-a822954ee0c81489.rmeta: crates/dm-algorithms/src/lib.rs crates/dm-algorithms/src/associations/mod.rs crates/dm-algorithms/src/associations/apriori.rs crates/dm-algorithms/src/associations/fpgrowth.rs crates/dm-algorithms/src/attrsel/mod.rs crates/dm-algorithms/src/attrsel/evaluators.rs crates/dm-algorithms/src/attrsel/search.rs crates/dm-algorithms/src/attrsel/subset.rs crates/dm-algorithms/src/classifiers/mod.rs crates/dm-algorithms/src/classifiers/adaboost.rs crates/dm-algorithms/src/classifiers/bagging.rs crates/dm-algorithms/src/classifiers/decision_stump.rs crates/dm-algorithms/src/classifiers/ibk.rs crates/dm-algorithms/src/classifiers/j48.rs crates/dm-algorithms/src/classifiers/logistic.rs crates/dm-algorithms/src/classifiers/mlp.rs crates/dm-algorithms/src/classifiers/naive_bayes.rs crates/dm-algorithms/src/classifiers/one_r.rs crates/dm-algorithms/src/classifiers/prism.rs crates/dm-algorithms/src/classifiers/random_forest.rs crates/dm-algorithms/src/classifiers/random_tree.rs crates/dm-algorithms/src/classifiers/zero_r.rs crates/dm-algorithms/src/cluster/mod.rs crates/dm-algorithms/src/cluster/cobweb.rs crates/dm-algorithms/src/cluster/em.rs crates/dm-algorithms/src/cluster/farthest_first.rs crates/dm-algorithms/src/cluster/hierarchical.rs crates/dm-algorithms/src/cluster/kmeans.rs crates/dm-algorithms/src/error.rs crates/dm-algorithms/src/eval/mod.rs crates/dm-algorithms/src/options.rs crates/dm-algorithms/src/registry.rs crates/dm-algorithms/src/signal.rs crates/dm-algorithms/src/state.rs crates/dm-algorithms/src/tree.rs
+
+crates/dm-algorithms/src/lib.rs:
+crates/dm-algorithms/src/associations/mod.rs:
+crates/dm-algorithms/src/associations/apriori.rs:
+crates/dm-algorithms/src/associations/fpgrowth.rs:
+crates/dm-algorithms/src/attrsel/mod.rs:
+crates/dm-algorithms/src/attrsel/evaluators.rs:
+crates/dm-algorithms/src/attrsel/search.rs:
+crates/dm-algorithms/src/attrsel/subset.rs:
+crates/dm-algorithms/src/classifiers/mod.rs:
+crates/dm-algorithms/src/classifiers/adaboost.rs:
+crates/dm-algorithms/src/classifiers/bagging.rs:
+crates/dm-algorithms/src/classifiers/decision_stump.rs:
+crates/dm-algorithms/src/classifiers/ibk.rs:
+crates/dm-algorithms/src/classifiers/j48.rs:
+crates/dm-algorithms/src/classifiers/logistic.rs:
+crates/dm-algorithms/src/classifiers/mlp.rs:
+crates/dm-algorithms/src/classifiers/naive_bayes.rs:
+crates/dm-algorithms/src/classifiers/one_r.rs:
+crates/dm-algorithms/src/classifiers/prism.rs:
+crates/dm-algorithms/src/classifiers/random_forest.rs:
+crates/dm-algorithms/src/classifiers/random_tree.rs:
+crates/dm-algorithms/src/classifiers/zero_r.rs:
+crates/dm-algorithms/src/cluster/mod.rs:
+crates/dm-algorithms/src/cluster/cobweb.rs:
+crates/dm-algorithms/src/cluster/em.rs:
+crates/dm-algorithms/src/cluster/farthest_first.rs:
+crates/dm-algorithms/src/cluster/hierarchical.rs:
+crates/dm-algorithms/src/cluster/kmeans.rs:
+crates/dm-algorithms/src/error.rs:
+crates/dm-algorithms/src/eval/mod.rs:
+crates/dm-algorithms/src/options.rs:
+crates/dm-algorithms/src/registry.rs:
+crates/dm-algorithms/src/signal.rs:
+crates/dm-algorithms/src/state.rs:
+crates/dm-algorithms/src/tree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dm_bench-87e173b330200d26.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdm_bench-87e173b330200d26.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdm_bench-87e173b330200d26.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

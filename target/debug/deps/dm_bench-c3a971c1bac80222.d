@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dm_bench-c3a971c1bac80222.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdm_bench-c3a971c1bac80222.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dm_bench-f12d814fc9919b74.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dm_bench-f12d814fc9919b74: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

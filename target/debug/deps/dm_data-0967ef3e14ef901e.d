@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dm_data-0967ef3e14ef901e.d: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdm_data-0967ef3e14ef901e.rmeta: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs Cargo.toml
+
+crates/dm-data/src/lib.rs:
+crates/dm-data/src/arff.rs:
+crates/dm-data/src/attribute.rs:
+crates/dm-data/src/convert.rs:
+crates/dm-data/src/corpus/mod.rs:
+crates/dm-data/src/corpus/breast_cancer.rs:
+crates/dm-data/src/corpus/synthetic.rs:
+crates/dm-data/src/corpus/weather.rs:
+crates/dm-data/src/csv.rs:
+crates/dm-data/src/dataset.rs:
+crates/dm-data/src/error.rs:
+crates/dm-data/src/filters.rs:
+crates/dm-data/src/split.rs:
+crates/dm-data/src/stream.rs:
+crates/dm-data/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

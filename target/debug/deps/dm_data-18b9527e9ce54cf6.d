@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dm_data-18b9527e9ce54cf6.d: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+/root/repo/target/debug/deps/libdm_data-18b9527e9ce54cf6.rlib: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+/root/repo/target/debug/deps/libdm_data-18b9527e9ce54cf6.rmeta: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+crates/dm-data/src/lib.rs:
+crates/dm-data/src/arff.rs:
+crates/dm-data/src/attribute.rs:
+crates/dm-data/src/convert.rs:
+crates/dm-data/src/corpus/mod.rs:
+crates/dm-data/src/corpus/breast_cancer.rs:
+crates/dm-data/src/corpus/synthetic.rs:
+crates/dm-data/src/corpus/weather.rs:
+crates/dm-data/src/csv.rs:
+crates/dm-data/src/dataset.rs:
+crates/dm-data/src/error.rs:
+crates/dm-data/src/filters.rs:
+crates/dm-data/src/split.rs:
+crates/dm-data/src/stream.rs:
+crates/dm-data/src/summary.rs:

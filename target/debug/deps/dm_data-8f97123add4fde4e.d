@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dm_data-8f97123add4fde4e.d: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+/root/repo/target/debug/deps/dm_data-8f97123add4fde4e: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+crates/dm-data/src/lib.rs:
+crates/dm-data/src/arff.rs:
+crates/dm-data/src/attribute.rs:
+crates/dm-data/src/convert.rs:
+crates/dm-data/src/corpus/mod.rs:
+crates/dm-data/src/corpus/breast_cancer.rs:
+crates/dm-data/src/corpus/synthetic.rs:
+crates/dm-data/src/corpus/weather.rs:
+crates/dm-data/src/csv.rs:
+crates/dm-data/src/dataset.rs:
+crates/dm-data/src/error.rs:
+crates/dm-data/src/filters.rs:
+crates/dm-data/src/split.rs:
+crates/dm-data/src/stream.rs:
+crates/dm-data/src/summary.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dm_services-9a914c8c3fc55365.d: crates/dm-services/src/lib.rs crates/dm-services/src/assoc_ws.rs crates/dm-services/src/attrsel_ws.rs crates/dm-services/src/classifier_ws.rs crates/dm-services/src/client.rs crates/dm-services/src/clusterer_ws.rs crates/dm-services/src/convert_ws.rs crates/dm-services/src/dataaccess_ws.rs crates/dm-services/src/deploy.rs crates/dm-services/src/j48_ws.rs crates/dm-services/src/plot_ws.rs crates/dm-services/src/preprocess_ws.rs crates/dm-services/src/session_ws.rs crates/dm-services/src/support.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdm_services-9a914c8c3fc55365.rmeta: crates/dm-services/src/lib.rs crates/dm-services/src/assoc_ws.rs crates/dm-services/src/attrsel_ws.rs crates/dm-services/src/classifier_ws.rs crates/dm-services/src/client.rs crates/dm-services/src/clusterer_ws.rs crates/dm-services/src/convert_ws.rs crates/dm-services/src/dataaccess_ws.rs crates/dm-services/src/deploy.rs crates/dm-services/src/j48_ws.rs crates/dm-services/src/plot_ws.rs crates/dm-services/src/preprocess_ws.rs crates/dm-services/src/session_ws.rs crates/dm-services/src/support.rs Cargo.toml
+
+crates/dm-services/src/lib.rs:
+crates/dm-services/src/assoc_ws.rs:
+crates/dm-services/src/attrsel_ws.rs:
+crates/dm-services/src/classifier_ws.rs:
+crates/dm-services/src/client.rs:
+crates/dm-services/src/clusterer_ws.rs:
+crates/dm-services/src/convert_ws.rs:
+crates/dm-services/src/dataaccess_ws.rs:
+crates/dm-services/src/deploy.rs:
+crates/dm-services/src/j48_ws.rs:
+crates/dm-services/src/plot_ws.rs:
+crates/dm-services/src/preprocess_ws.rs:
+crates/dm-services/src/session_ws.rs:
+crates/dm-services/src/support.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

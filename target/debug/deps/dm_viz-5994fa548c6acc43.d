@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dm_viz-5994fa548c6acc43.d: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdm_viz-5994fa548c6acc43.rmeta: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs Cargo.toml
+
+crates/dm-viz/src/lib.rs:
+crates/dm-viz/src/ascii.rs:
+crates/dm-viz/src/canvas.rs:
+crates/dm-viz/src/plot.rs:
+crates/dm-viz/src/svg.rs:
+crates/dm-viz/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

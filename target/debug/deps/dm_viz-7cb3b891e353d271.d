@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dm_viz-7cb3b891e353d271.d: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+/root/repo/target/debug/deps/libdm_viz-7cb3b891e353d271.rlib: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+/root/repo/target/debug/deps/libdm_viz-7cb3b891e353d271.rmeta: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+crates/dm-viz/src/lib.rs:
+crates/dm-viz/src/ascii.rs:
+crates/dm-viz/src/canvas.rs:
+crates/dm-viz/src/plot.rs:
+crates/dm-viz/src/svg.rs:
+crates/dm-viz/src/tree.rs:

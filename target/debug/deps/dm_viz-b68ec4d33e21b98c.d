@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dm_viz-b68ec4d33e21b98c.d: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdm_viz-b68ec4d33e21b98c.rmeta: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs Cargo.toml
+
+crates/dm-viz/src/lib.rs:
+crates/dm-viz/src/ascii.rs:
+crates/dm-viz/src/canvas.rs:
+crates/dm-viz/src/plot.rs:
+crates/dm-viz/src/svg.rs:
+crates/dm-viz/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

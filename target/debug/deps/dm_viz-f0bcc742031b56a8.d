@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dm_viz-f0bcc742031b56a8.d: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+/root/repo/target/debug/deps/dm_viz-f0bcc742031b56a8: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+crates/dm-viz/src/lib.rs:
+crates/dm-viz/src/ascii.rs:
+crates/dm-viz/src/canvas.rs:
+crates/dm-viz/src/plot.rs:
+crates/dm-viz/src/svg.rs:
+crates/dm-viz/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dm_workflow-bf6e4d9697980f12.d: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+/root/repo/target/debug/deps/libdm_workflow-bf6e4d9697980f12.rlib: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+/root/repo/target/debug/deps/libdm_workflow-bf6e4d9697980f12.rmeta: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+crates/dm-workflow/src/lib.rs:
+crates/dm-workflow/src/engine.rs:
+crates/dm-workflow/src/error.rs:
+crates/dm-workflow/src/graph.rs:
+crates/dm-workflow/src/group.rs:
+crates/dm-workflow/src/iterate.rs:
+crates/dm-workflow/src/patterns.rs:
+crates/dm-workflow/src/toolbox.rs:
+crates/dm-workflow/src/wsimport.rs:
+crates/dm-workflow/src/xml.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dm_workflow-dc08de8ebd3133b9.d: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdm_workflow-dc08de8ebd3133b9.rmeta: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs Cargo.toml
+
+crates/dm-workflow/src/lib.rs:
+crates/dm-workflow/src/engine.rs:
+crates/dm-workflow/src/error.rs:
+crates/dm-workflow/src/graph.rs:
+crates/dm-workflow/src/group.rs:
+crates/dm-workflow/src/iterate.rs:
+crates/dm-workflow/src/patterns.rs:
+crates/dm-workflow/src/toolbox.rs:
+crates/dm-workflow/src/wsimport.rs:
+crates/dm-workflow/src/xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dm_workflow-dc6edd9fe69eb110.d: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+/root/repo/target/debug/deps/dm_workflow-dc6edd9fe69eb110: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+crates/dm-workflow/src/lib.rs:
+crates/dm-workflow/src/engine.rs:
+crates/dm-workflow/src/error.rs:
+crates/dm-workflow/src/graph.rs:
+crates/dm-workflow/src/group.rs:
+crates/dm-workflow/src/iterate.rs:
+crates/dm-workflow/src/patterns.rs:
+crates/dm-workflow/src/toolbox.rs:
+crates/dm-workflow/src/wsimport.rs:
+crates/dm-workflow/src/xml.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dm_wsrf-88daa436f9ae8190.d: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs
+
+/root/repo/target/debug/deps/libdm_wsrf-88daa436f9ae8190.rlib: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs
+
+/root/repo/target/debug/deps/libdm_wsrf-88daa436f9ae8190.rmeta: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs
+
+crates/dm-wsrf/src/lib.rs:
+crates/dm-wsrf/src/container.rs:
+crates/dm-wsrf/src/error.rs:
+crates/dm-wsrf/src/lifecycle.rs:
+crates/dm-wsrf/src/monitor.rs:
+crates/dm-wsrf/src/registry.rs:
+crates/dm-wsrf/src/resilience.rs:
+crates/dm-wsrf/src/session.rs:
+crates/dm-wsrf/src/soap.rs:
+crates/dm-wsrf/src/transport.rs:
+crates/dm-wsrf/src/wsdl.rs:
+crates/dm-wsrf/src/xml.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dm_wsrf-dd7268f082e3922d.d: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdm_wsrf-dd7268f082e3922d.rmeta: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs Cargo.toml
+
+crates/dm-wsrf/src/lib.rs:
+crates/dm-wsrf/src/container.rs:
+crates/dm-wsrf/src/error.rs:
+crates/dm-wsrf/src/lifecycle.rs:
+crates/dm-wsrf/src/monitor.rs:
+crates/dm-wsrf/src/registry.rs:
+crates/dm-wsrf/src/resilience.rs:
+crates/dm-wsrf/src/session.rs:
+crates/dm-wsrf/src/soap.rs:
+crates/dm-wsrf/src/transport.rs:
+crates/dm-wsrf/src/wsdl.rs:
+crates/dm-wsrf/src/xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

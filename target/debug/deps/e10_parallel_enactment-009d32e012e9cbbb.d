@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_parallel_enactment-009d32e012e9cbbb.d: crates/bench/benches/e10_parallel_enactment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_parallel_enactment-009d32e012e9cbbb.rmeta: crates/bench/benches/e10_parallel_enactment.rs Cargo.toml
+
+crates/bench/benches/e10_parallel_enactment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_registry_inquiry-4b4620effac5ba2b.d: crates/bench/benches/e11_registry_inquiry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_registry_inquiry-4b4620effac5ba2b.rmeta: crates/bench/benches/e11_registry_inquiry.rs Cargo.toml
+
+crates/bench/benches/e11_registry_inquiry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

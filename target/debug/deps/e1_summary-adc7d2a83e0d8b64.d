@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_summary-adc7d2a83e0d8b64.d: crates/bench/benches/e1_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_summary-adc7d2a83e0d8b64.rmeta: crates/bench/benches/e1_summary.rs Cargo.toml
+
+crates/bench/benches/e1_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

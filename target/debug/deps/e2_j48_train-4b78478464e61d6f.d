@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_j48_train-4b78478464e61d6f.d: crates/bench/benches/e2_j48_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_j48_train-4b78478464e61d6f.rmeta: crates/bench/benches/e2_j48_train.rs Cargo.toml
+
+crates/bench/benches/e2_j48_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

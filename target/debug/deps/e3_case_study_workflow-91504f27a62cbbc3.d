@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_case_study_workflow-91504f27a62cbbc3.d: crates/bench/benches/e3_case_study_workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_case_study_workflow-91504f27a62cbbc3.rmeta: crates/bench/benches/e3_case_study_workflow.rs Cargo.toml
+
+crates/bench/benches/e3_case_study_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

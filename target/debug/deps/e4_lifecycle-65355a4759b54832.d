@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_lifecycle-65355a4759b54832.d: crates/bench/benches/e4_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_lifecycle-65355a4759b54832.rmeta: crates/bench/benches/e4_lifecycle.rs Cargo.toml
+
+crates/bench/benches/e4_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

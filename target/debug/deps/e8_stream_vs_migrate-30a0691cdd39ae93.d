@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_stream_vs_migrate-30a0691cdd39ae93.d: crates/bench/benches/e8_stream_vs_migrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_stream_vs_migrate-30a0691cdd39ae93.rmeta: crates/bench/benches/e8_stream_vs_migrate.rs Cargo.toml
+
+crates/bench/benches/e8_stream_vs_migrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

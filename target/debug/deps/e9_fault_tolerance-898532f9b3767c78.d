@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_fault_tolerance-898532f9b3767c78.d: crates/bench/benches/e9_fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_fault_tolerance-898532f9b3767c78.rmeta: crates/bench/benches/e9_fault_tolerance.rs Cargo.toml
+
+crates/bench/benches/e9_fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-bed1d22d568f924a.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-bed1d22d568f924a: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faehim-56929ebc49ec26ac.d: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+/root/repo/target/debug/deps/faehim-56929ebc49ec26ac: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+crates/core/src/lib.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/signal_tools.rs:
+crates/core/src/toolkit.rs:
+crates/core/src/tools.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/faehim-777583715dee64e3.d: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaehim-777583715dee64e3.rmeta: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/signal_tools.rs:
+crates/core/src/toolkit.rs:
+crates/core/src/tools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

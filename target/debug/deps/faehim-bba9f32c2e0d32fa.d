@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/faehim-bba9f32c2e0d32fa.d: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+/root/repo/target/debug/deps/libfaehim-bba9f32c2e0d32fa.rlib: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+/root/repo/target/debug/deps/libfaehim-bba9f32c2e0d32fa.rmeta: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+crates/core/src/lib.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/signal_tools.rs:
+crates/core/src/toolkit.rs:
+crates/core/src/tools.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faehim_integration-2915873ce26e3d25.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/faehim_integration-2915873ce26e3d25: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/faehim_integration-780b03282b192365.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libfaehim_integration-780b03282b192365.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libfaehim_integration-780b03282b192365.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

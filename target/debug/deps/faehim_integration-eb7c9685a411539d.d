@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faehim_integration-eb7c9685a411539d.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaehim_integration-eb7c9685a411539d.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

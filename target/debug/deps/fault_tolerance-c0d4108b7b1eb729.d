@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-c0d4108b7b1eb729.d: tests/tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-c0d4108b7b1eb729: tests/tests/fault_tolerance.rs
+
+tests/tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-6d2b4bd37a0da32d.d: tests/tests/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-6d2b4bd37a0da32d.rmeta: tests/tests/figure3.rs Cargo.toml
+
+tests/tests/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

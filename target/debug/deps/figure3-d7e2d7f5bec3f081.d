@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-d7e2d7f5bec3f081.d: tests/tests/figure3.rs
+
+/root/repo/target/debug/deps/figure3-d7e2d7f5bec3f081: tests/tests/figure3.rs
+
+tests/tests/figure3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-105cabb5d3660550.d: tests/tests/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-105cabb5d3660550.rmeta: tests/tests/figure4.rs Cargo.toml
+
+tests/tests/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-7e9a0e849e100f52.d: tests/tests/figure4.rs
+
+/root/repo/target/debug/deps/figure4-7e9a0e849e100f52: tests/tests/figure4.rs
+
+tests/tests/figure4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle_e4-19807db115d16351.d: tests/tests/lifecycle_e4.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle_e4-19807db115d16351.rmeta: tests/tests/lifecycle_e4.rs Cargo.toml
+
+tests/tests/lifecycle_e4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle_e4-e0d9f9741028a752.d: tests/tests/lifecycle_e4.rs
+
+/root/repo/target/debug/deps/lifecycle_e4-e0d9f9741028a752: tests/tests/lifecycle_e4.rs
+
+tests/tests/lifecycle_e4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patterns-0249ab286be01954.d: tests/tests/patterns.rs
+
+/root/repo/target/debug/deps/patterns-0249ab286be01954: tests/tests/patterns.rs
+
+tests/tests/patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/patterns-a30e2cdc85e7d27f.d: tests/tests/patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpatterns-a30e2cdc85e7d27f.rmeta: tests/tests/patterns.rs Cargo.toml
+
+tests/tests/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_tmp-89c690d5d981cb02.d: tests/tests/probe_tmp.rs
+
+/root/repo/target/debug/deps/probe_tmp-89c690d5d981cb02: tests/tests/probe_tmp.rs
+
+tests/tests/probe_tmp.rs:

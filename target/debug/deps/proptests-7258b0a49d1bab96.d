@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7258b0a49d1bab96.d: tests/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7258b0a49d1bab96.rmeta: tests/tests/proptests.rs Cargo.toml
+
+tests/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9f074893dab1249c.d: tests/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9f074893dab1249c: tests/tests/proptests.rs
+
+tests/tests/proptests.rs:

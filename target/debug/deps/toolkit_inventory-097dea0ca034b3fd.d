@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/toolkit_inventory-097dea0ca034b3fd.d: tests/tests/toolkit_inventory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtoolkit_inventory-097dea0ca034b3fd.rmeta: tests/tests/toolkit_inventory.rs Cargo.toml
+
+tests/tests/toolkit_inventory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/toolkit_inventory-6d299503ce65fb63.d: tests/tests/toolkit_inventory.rs
+
+/root/repo/target/debug/deps/toolkit_inventory-6d299503ce65fb63: tests/tests/toolkit_inventory.rs
+
+tests/tests/toolkit_inventory.rs:

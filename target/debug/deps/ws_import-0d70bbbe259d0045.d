@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ws_import-0d70bbbe259d0045.d: tests/tests/ws_import.rs
+
+/root/repo/target/debug/deps/ws_import-0d70bbbe259d0045: tests/tests/ws_import.rs
+
+tests/tests/ws_import.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ws_import-223cac4b7636f544.d: tests/tests/ws_import.rs Cargo.toml
+
+/root/repo/target/debug/deps/libws_import-223cac4b7636f544.rmeta: tests/tests/ws_import.rs Cargo.toml
+
+tests/tests/ws_import.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/case_study-4a891fac46b0e6e5.d: crates/core/../../examples/case_study.rs
+
+/root/repo/target/debug/examples/case_study-4a891fac46b0e6e5: crates/core/../../examples/case_study.rs
+
+crates/core/../../examples/case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/case_study-7fc0da3815a87ae2.d: crates/core/../../examples/case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcase_study-7fc0da3815a87ae2.rmeta: crates/core/../../examples/case_study.rs Cargo.toml
+
+crates/core/../../examples/case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clustering_and_rules-699a83c087af4921.d: crates/core/../../examples/clustering_and_rules.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclustering_and_rules-699a83c087af4921.rmeta: crates/core/../../examples/clustering_and_rules.rs Cargo.toml
+
+crates/core/../../examples/clustering_and_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_and_rules-d79de30bd5280b4a.d: crates/core/../../examples/clustering_and_rules.rs
+
+/root/repo/target/debug/examples/clustering_and_rules-d79de30bd5280b4a: crates/core/../../examples/clustering_and_rules.rs
+
+crates/core/../../examples/clustering_and_rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_mining-0cd33ec66fe38c78.d: crates/core/../../examples/distributed_mining.rs
+
+/root/repo/target/debug/examples/distributed_mining-0cd33ec66fe38c78: crates/core/../../examples/distributed_mining.rs
+
+crates/core/../../examples/distributed_mining.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_mining-839ba39d81f46777.d: crates/core/../../examples/distributed_mining.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_mining-839ba39d81f46777.rmeta: crates/core/../../examples/distributed_mining.rs Cargo.toml
+
+crates/core/../../examples/distributed_mining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

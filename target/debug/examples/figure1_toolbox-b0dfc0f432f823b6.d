@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure1_toolbox-b0dfc0f432f823b6.d: crates/core/../../examples/figure1_toolbox.rs
+
+/root/repo/target/debug/examples/figure1_toolbox-b0dfc0f432f823b6: crates/core/../../examples/figure1_toolbox.rs
+
+crates/core/../../examples/figure1_toolbox.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure1_toolbox-e9f921b3fdce3c5a.d: crates/core/../../examples/figure1_toolbox.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure1_toolbox-e9f921b3fdce3c5a.rmeta: crates/core/../../examples/figure1_toolbox.rs Cargo.toml
+
+crates/core/../../examples/figure1_toolbox.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

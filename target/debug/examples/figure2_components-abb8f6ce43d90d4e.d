@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure2_components-abb8f6ce43d90d4e.d: crates/core/../../examples/figure2_components.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure2_components-abb8f6ce43d90d4e.rmeta: crates/core/../../examples/figure2_components.rs Cargo.toml
+
+crates/core/../../examples/figure2_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

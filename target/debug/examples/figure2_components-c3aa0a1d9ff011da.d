@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure2_components-c3aa0a1d9ff011da.d: crates/core/../../examples/figure2_components.rs
+
+/root/repo/target/debug/examples/figure2_components-c3aa0a1d9ff011da: crates/core/../../examples/figure2_components.rs
+
+crates/core/../../examples/figure2_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure3_dataset_summary-6de4966f98b99808.d: crates/core/../../examples/figure3_dataset_summary.rs
+
+/root/repo/target/debug/examples/figure3_dataset_summary-6de4966f98b99808: crates/core/../../examples/figure3_dataset_summary.rs
+
+crates/core/../../examples/figure3_dataset_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure3_dataset_summary-8b685f864e70266b.d: crates/core/../../examples/figure3_dataset_summary.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure3_dataset_summary-8b685f864e70266b.rmeta: crates/core/../../examples/figure3_dataset_summary.rs Cargo.toml
+
+crates/core/../../examples/figure3_dataset_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

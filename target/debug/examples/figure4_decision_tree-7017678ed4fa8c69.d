@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure4_decision_tree-7017678ed4fa8c69.d: crates/core/../../examples/figure4_decision_tree.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure4_decision_tree-7017678ed4fa8c69.rmeta: crates/core/../../examples/figure4_decision_tree.rs Cargo.toml
+
+crates/core/../../examples/figure4_decision_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

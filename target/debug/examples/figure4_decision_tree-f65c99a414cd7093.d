@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure4_decision_tree-f65c99a414cd7093.d: crates/core/../../examples/figure4_decision_tree.rs
+
+/root/repo/target/debug/examples/figure4_decision_tree-f65c99a414cd7093: crates/core/../../examples/figure4_decision_tree.rs
+
+crates/core/../../examples/figure4_decision_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f6c3282fa627029c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f6c3282fa627029c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/relational_and_signal-c18f39ee7d6b4a7e.d: crates/core/../../examples/relational_and_signal.rs Cargo.toml
+
+/root/repo/target/debug/examples/librelational_and_signal-c18f39ee7d6b4a7e.rmeta: crates/core/../../examples/relational_and_signal.rs Cargo.toml
+
+crates/core/../../examples/relational_and_signal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

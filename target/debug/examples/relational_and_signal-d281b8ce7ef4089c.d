@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/relational_and_signal-d281b8ce7ef4089c.d: crates/core/../../examples/relational_and_signal.rs
+
+/root/repo/target/debug/examples/relational_and_signal-d281b8ce7ef4089c: crates/core/../../examples/relational_and_signal.rs
+
+crates/core/../../examples/relational_and_signal.rs:

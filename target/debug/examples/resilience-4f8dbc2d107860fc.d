@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilience-4f8dbc2d107860fc.d: crates/core/../../examples/resilience.rs
+
+/root/repo/target/debug/examples/resilience-4f8dbc2d107860fc: crates/core/../../examples/resilience.rs
+
+crates/core/../../examples/resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilience-bd648e1b5c43bca2.d: crates/core/../../examples/resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilience-bd648e1b5c43bca2.rmeta: crates/core/../../examples/resilience.rs Cargo.toml
+
+crates/core/../../examples/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

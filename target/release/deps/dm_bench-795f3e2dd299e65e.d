@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dm_bench-795f3e2dd299e65e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdm_bench-795f3e2dd299e65e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdm_bench-795f3e2dd299e65e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

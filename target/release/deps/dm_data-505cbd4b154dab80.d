@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/dm_data-505cbd4b154dab80.d: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+/root/repo/target/release/deps/libdm_data-505cbd4b154dab80.rlib: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+/root/repo/target/release/deps/libdm_data-505cbd4b154dab80.rmeta: crates/dm-data/src/lib.rs crates/dm-data/src/arff.rs crates/dm-data/src/attribute.rs crates/dm-data/src/convert.rs crates/dm-data/src/corpus/mod.rs crates/dm-data/src/corpus/breast_cancer.rs crates/dm-data/src/corpus/synthetic.rs crates/dm-data/src/corpus/weather.rs crates/dm-data/src/csv.rs crates/dm-data/src/dataset.rs crates/dm-data/src/error.rs crates/dm-data/src/filters.rs crates/dm-data/src/split.rs crates/dm-data/src/stream.rs crates/dm-data/src/summary.rs
+
+crates/dm-data/src/lib.rs:
+crates/dm-data/src/arff.rs:
+crates/dm-data/src/attribute.rs:
+crates/dm-data/src/convert.rs:
+crates/dm-data/src/corpus/mod.rs:
+crates/dm-data/src/corpus/breast_cancer.rs:
+crates/dm-data/src/corpus/synthetic.rs:
+crates/dm-data/src/corpus/weather.rs:
+crates/dm-data/src/csv.rs:
+crates/dm-data/src/dataset.rs:
+crates/dm-data/src/error.rs:
+crates/dm-data/src/filters.rs:
+crates/dm-data/src/split.rs:
+crates/dm-data/src/stream.rs:
+crates/dm-data/src/summary.rs:

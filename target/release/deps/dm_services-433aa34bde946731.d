@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/dm_services-433aa34bde946731.d: crates/dm-services/src/lib.rs crates/dm-services/src/assoc_ws.rs crates/dm-services/src/attrsel_ws.rs crates/dm-services/src/classifier_ws.rs crates/dm-services/src/client.rs crates/dm-services/src/clusterer_ws.rs crates/dm-services/src/convert_ws.rs crates/dm-services/src/dataaccess_ws.rs crates/dm-services/src/deploy.rs crates/dm-services/src/j48_ws.rs crates/dm-services/src/plot_ws.rs crates/dm-services/src/preprocess_ws.rs crates/dm-services/src/session_ws.rs crates/dm-services/src/support.rs
+
+/root/repo/target/release/deps/libdm_services-433aa34bde946731.rlib: crates/dm-services/src/lib.rs crates/dm-services/src/assoc_ws.rs crates/dm-services/src/attrsel_ws.rs crates/dm-services/src/classifier_ws.rs crates/dm-services/src/client.rs crates/dm-services/src/clusterer_ws.rs crates/dm-services/src/convert_ws.rs crates/dm-services/src/dataaccess_ws.rs crates/dm-services/src/deploy.rs crates/dm-services/src/j48_ws.rs crates/dm-services/src/plot_ws.rs crates/dm-services/src/preprocess_ws.rs crates/dm-services/src/session_ws.rs crates/dm-services/src/support.rs
+
+/root/repo/target/release/deps/libdm_services-433aa34bde946731.rmeta: crates/dm-services/src/lib.rs crates/dm-services/src/assoc_ws.rs crates/dm-services/src/attrsel_ws.rs crates/dm-services/src/classifier_ws.rs crates/dm-services/src/client.rs crates/dm-services/src/clusterer_ws.rs crates/dm-services/src/convert_ws.rs crates/dm-services/src/dataaccess_ws.rs crates/dm-services/src/deploy.rs crates/dm-services/src/j48_ws.rs crates/dm-services/src/plot_ws.rs crates/dm-services/src/preprocess_ws.rs crates/dm-services/src/session_ws.rs crates/dm-services/src/support.rs
+
+crates/dm-services/src/lib.rs:
+crates/dm-services/src/assoc_ws.rs:
+crates/dm-services/src/attrsel_ws.rs:
+crates/dm-services/src/classifier_ws.rs:
+crates/dm-services/src/client.rs:
+crates/dm-services/src/clusterer_ws.rs:
+crates/dm-services/src/convert_ws.rs:
+crates/dm-services/src/dataaccess_ws.rs:
+crates/dm-services/src/deploy.rs:
+crates/dm-services/src/j48_ws.rs:
+crates/dm-services/src/plot_ws.rs:
+crates/dm-services/src/preprocess_ws.rs:
+crates/dm-services/src/session_ws.rs:
+crates/dm-services/src/support.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dm_viz-37d1fe973e393d56.d: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+/root/repo/target/release/deps/libdm_viz-37d1fe973e393d56.rlib: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+/root/repo/target/release/deps/libdm_viz-37d1fe973e393d56.rmeta: crates/dm-viz/src/lib.rs crates/dm-viz/src/ascii.rs crates/dm-viz/src/canvas.rs crates/dm-viz/src/plot.rs crates/dm-viz/src/svg.rs crates/dm-viz/src/tree.rs
+
+crates/dm-viz/src/lib.rs:
+crates/dm-viz/src/ascii.rs:
+crates/dm-viz/src/canvas.rs:
+crates/dm-viz/src/plot.rs:
+crates/dm-viz/src/svg.rs:
+crates/dm-viz/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dm_workflow-13d81e4b7d4a716e.d: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+/root/repo/target/release/deps/libdm_workflow-13d81e4b7d4a716e.rlib: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+/root/repo/target/release/deps/libdm_workflow-13d81e4b7d4a716e.rmeta: crates/dm-workflow/src/lib.rs crates/dm-workflow/src/engine.rs crates/dm-workflow/src/error.rs crates/dm-workflow/src/graph.rs crates/dm-workflow/src/group.rs crates/dm-workflow/src/iterate.rs crates/dm-workflow/src/patterns.rs crates/dm-workflow/src/toolbox.rs crates/dm-workflow/src/wsimport.rs crates/dm-workflow/src/xml.rs
+
+crates/dm-workflow/src/lib.rs:
+crates/dm-workflow/src/engine.rs:
+crates/dm-workflow/src/error.rs:
+crates/dm-workflow/src/graph.rs:
+crates/dm-workflow/src/group.rs:
+crates/dm-workflow/src/iterate.rs:
+crates/dm-workflow/src/patterns.rs:
+crates/dm-workflow/src/toolbox.rs:
+crates/dm-workflow/src/wsimport.rs:
+crates/dm-workflow/src/xml.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dm_wsrf-bae13d7cf8f879e8.d: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs
+
+/root/repo/target/release/deps/libdm_wsrf-bae13d7cf8f879e8.rlib: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs
+
+/root/repo/target/release/deps/libdm_wsrf-bae13d7cf8f879e8.rmeta: crates/dm-wsrf/src/lib.rs crates/dm-wsrf/src/container.rs crates/dm-wsrf/src/error.rs crates/dm-wsrf/src/lifecycle.rs crates/dm-wsrf/src/monitor.rs crates/dm-wsrf/src/registry.rs crates/dm-wsrf/src/resilience.rs crates/dm-wsrf/src/session.rs crates/dm-wsrf/src/soap.rs crates/dm-wsrf/src/transport.rs crates/dm-wsrf/src/wsdl.rs crates/dm-wsrf/src/xml.rs
+
+crates/dm-wsrf/src/lib.rs:
+crates/dm-wsrf/src/container.rs:
+crates/dm-wsrf/src/error.rs:
+crates/dm-wsrf/src/lifecycle.rs:
+crates/dm-wsrf/src/monitor.rs:
+crates/dm-wsrf/src/registry.rs:
+crates/dm-wsrf/src/resilience.rs:
+crates/dm-wsrf/src/session.rs:
+crates/dm-wsrf/src/soap.rs:
+crates/dm-wsrf/src/transport.rs:
+crates/dm-wsrf/src/wsdl.rs:
+crates/dm-wsrf/src/xml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e9_fault_tolerance-44ca71f47b798b9c.d: crates/bench/benches/e9_fault_tolerance.rs
+
+/root/repo/target/release/deps/e9_fault_tolerance-44ca71f47b798b9c: crates/bench/benches/e9_fault_tolerance.rs
+
+crates/bench/benches/e9_fault_tolerance.rs:

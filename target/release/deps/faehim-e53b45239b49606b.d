@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/faehim-e53b45239b49606b.d: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+/root/repo/target/release/deps/libfaehim-e53b45239b49606b.rlib: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+/root/repo/target/release/deps/libfaehim-e53b45239b49606b.rmeta: crates/core/src/lib.rs crates/core/src/casestudy.rs crates/core/src/signal_tools.rs crates/core/src/toolkit.rs crates/core/src/tools.rs
+
+crates/core/src/lib.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/signal_tools.rs:
+crates/core/src/toolkit.rs:
+crates/core/src/tools.rs:

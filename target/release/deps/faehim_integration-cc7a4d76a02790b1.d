@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/faehim_integration-cc7a4d76a02790b1.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libfaehim_integration-cc7a4d76a02790b1.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libfaehim_integration-cc7a4d76a02790b1.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-843231b6dbf6da96.d: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-843231b6dbf6da96.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-843231b6dbf6da96.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-f1efa955d23ab60e.d: crates/core/../../examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-f1efa955d23ab60e: crates/core/../../examples/_probe.rs
+
+crates/core/../../examples/_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_mining-7375028e0d90d6c0.d: crates/core/../../examples/distributed_mining.rs
+
+/root/repo/target/release/examples/distributed_mining-7375028e0d90d6c0: crates/core/../../examples/distributed_mining.rs
+
+crates/core/../../examples/distributed_mining.rs:

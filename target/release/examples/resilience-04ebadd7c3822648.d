@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilience-04ebadd7c3822648.d: crates/core/../../examples/resilience.rs
+
+/root/repo/target/release/examples/resilience-04ebadd7c3822648: crates/core/../../examples/resilience.rs
+
+crates/core/../../examples/resilience.rs:

@@ -41,8 +41,16 @@ fn every_classifier_handles_breast_cancer() {
 fn every_clusterer_handles_blobs() {
     let ds = dm_data::corpus::gaussian_blobs(
         &[
-            dm_data::corpus::BlobSpec { center: vec![0.0, 0.0], stddev: 0.3, count: 40 },
-            dm_data::corpus::BlobSpec { center: vec![9.0, 9.0], stddev: 0.3, count: 40 },
+            dm_data::corpus::BlobSpec {
+                center: vec![0.0, 0.0],
+                stddev: 0.3,
+                count: 40,
+            },
+            dm_data::corpus::BlobSpec {
+                center: vec![9.0, 9.0],
+                stddev: 0.3,
+                count: 40,
+            },
         ],
         17,
     );
@@ -67,7 +75,8 @@ fn associators_agree() {
     let mut apriori = registry::make_associator("Apriori").unwrap();
     let mut fp = registry::make_associator("FPGrowth").unwrap();
     for m in [&mut apriori, &mut fp] {
-        m.set_options(&[("-Z", "true"), ("-M", "0.25"), ("-C", "0.6"), ("-N", "30")]).unwrap();
+        m.set_options(&[("-Z", "true"), ("-M", "0.25"), ("-C", "0.6"), ("-N", "30")])
+            .unwrap();
     }
     let a = apriori.mine(&ds).unwrap();
     let b = fp.mine(&ds).unwrap();
@@ -79,8 +88,7 @@ fn associators_agree() {
 #[ignore = "2^9 wrapped cross-validations; run with --ignored for the full sweep"]
 fn wrapper_exhaustive_full_sweep() {
     let ds = dm_data::corpus::breast_cancer();
-    let picked =
-        dm_algorithms::attrsel::run_approach("Wrapper+Exhaustive", &ds, 3).unwrap();
+    let picked = dm_algorithms::attrsel::run_approach("Wrapper+Exhaustive", &ds, 3).unwrap();
     assert!(!picked.is_empty());
 }
 

@@ -34,14 +34,21 @@ fn case_study_invocations_are_monitored() {
     let summary = monitor.summary(None);
     // readArff + getClassifiers + getOptions + classifyInstance +
     // classifyGraph + the direct summary call = 6 service invocations.
-    assert!(summary.invocations >= 6, "only {} invocations", summary.invocations);
+    assert!(
+        summary.invocations >= 6,
+        "only {} invocations",
+        summary.invocations
+    );
     assert_eq!(summary.faults, 0);
 }
 
 #[test]
 fn url_reader_serves_case_study_url() {
     let toolkit = Toolkit::new().unwrap();
-    let arff = toolkit.convert_client().read_arff(BREAST_CANCER_URL).unwrap();
+    let arff = toolkit
+        .convert_client()
+        .read_arff(BREAST_CANCER_URL)
+        .unwrap();
     let ds = dm_data::arff::parse_arff(&arff).unwrap();
     assert_eq!(ds.num_instances(), 286);
 }

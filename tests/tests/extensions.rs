@@ -81,8 +81,16 @@ fn preprocess_normalize_over_the_wire() {
     let toolkit = Toolkit::new().unwrap();
     let blobs = dm_data::corpus::gaussian_blobs(
         &[
-            dm_data::corpus::BlobSpec { center: vec![100.0], stddev: 5.0, count: 20 },
-            dm_data::corpus::BlobSpec { center: vec![900.0], stddev: 5.0, count: 20 },
+            dm_data::corpus::BlobSpec {
+                center: vec![100.0],
+                stddev: 5.0,
+                count: 20,
+            },
+            dm_data::corpus::BlobSpec {
+                center: vec![900.0],
+                stddev: 5.0,
+                count: 20,
+            },
         ],
         8,
     );
@@ -146,7 +154,10 @@ fn iteration_driver_refines_a_model_parameter() {
         }
 
         fn output_ports(&self) -> Vec<PortSpec> {
-            vec![PortSpec::new("nextM", "long"), PortSpec::new("size", "long")]
+            vec![
+                PortSpec::new("nextM", "long"),
+                PortSpec::new("size", "long"),
+            ]
         }
 
         fn execute(&self, inputs: &[Token]) -> Result<Vec<Token>, String> {
@@ -157,7 +168,8 @@ fn iteration_driver_refines_a_model_parameter() {
             };
             let ds = dm_data::corpus::breast_cancer();
             let mut j48 = dm_algorithms::classifiers::J48::new();
-            j48.set_option("-M", &m.to_string()).map_err(|e| e.to_string())?;
+            j48.set_option("-M", &m.to_string())
+                .map_err(|e| e.to_string())?;
             use dm_algorithms::classifiers::Classifier;
             j48.train(&ds).map_err(|e| e.to_string())?;
             Ok(vec![
@@ -171,7 +183,12 @@ fn iteration_driver_refines_a_model_parameter() {
     let t = g.add_task(Arc::new(TrainWithM));
     let mut bindings = std::collections::HashMap::new();
     bindings.insert((t, 0), Token::Int(2));
-    let feedback = [Feedback { from_task: t, from_port: 0, to_task: t, to_port: 0 }];
+    let feedback = [Feedback {
+        from_task: t,
+        from_port: 0,
+        to_task: t,
+        to_port: 0,
+    }];
     let result = iterate(
         &dm_workflow::engine::Executor::serial(),
         &g,
@@ -184,7 +201,10 @@ fn iteration_driver_refines_a_model_parameter() {
         },
     )
     .unwrap();
-    assert!(result.iterations >= 2, "coarsening should take several steps");
+    assert!(
+        result.iterations >= 2,
+        "coarsening should take several steps"
+    );
     match result.final_report.output(t, 1) {
         Some(&Token::Int(size)) => assert!(size <= 3),
         other => panic!("unexpected {other:?}"),
@@ -222,6 +242,9 @@ fn incremental_naive_bayes_matches_batch_via_stream() {
     let streaming = streaming.unwrap();
     assert_eq!(streaming.observed_weight(), 286.0);
     for r in 0..ds.num_instances() {
-        assert_eq!(batch.predict(&ds, r).unwrap(), streaming.predict(&ds, r).unwrap());
+        assert_eq!(
+            batch.predict(&ds, r).unwrap(),
+            streaming.predict(&ds, r).unwrap()
+        );
     }
 }

@@ -1,17 +1,28 @@
 //! E9 — fault tolerance: transport failures are retried and migrated
-//! to replica hosts so the workflow still completes (§3, category 2).
+//! to replica hosts so the workflow still completes (§3, category 2),
+//! now with the resilience layer on top — scripted outage windows,
+//! circuit breakers with half-open probes, and deadline-bounded
+//! retry/backoff schedules.
 
 use dm_workflow::engine::Executor;
 use dm_workflow::graph::{TaskGraph, Token, Tool};
+use dm_wsrf::prelude::{
+    BreakerBoard, BreakerConfig, BreakerState, Network, ResiliencePolicy, ResilientCaller,
+};
 use faehim::Toolkit;
+use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn classify_bindings(
     task: dm_workflow::graph::TaskId,
 ) -> HashMap<(dm_workflow::graph::TaskId, usize), Token> {
     let mut bindings = HashMap::new();
-    bindings.insert((task, 0), Token::Text(dm_data::corpus::breast_cancer_arff()));
+    bindings.insert(
+        (task, 0),
+        Token::Text(dm_data::corpus::breast_cancer_arff()),
+    );
     bindings.insert((task, 1), Token::Text("Class".into()));
     bindings.insert((task, 2), Token::Text(String::new()));
     bindings
@@ -66,8 +77,187 @@ fn all_hosts_down_fails_cleanly() {
     let mut graph = TaskGraph::new();
     let t = graph.add_task(Arc::new(classify));
     let bindings = classify_bindings(t);
-    let err = Executor::serial().with_max_attempts(2).run(&graph, &bindings).unwrap_err();
+    let err = Executor::serial()
+        .with_max_attempts(2)
+        .run(&graph, &bindings)
+        .unwrap_err();
     assert!(matches!(err, dm_workflow::WorkflowError::TaskFailed { .. }));
+}
+
+#[test]
+fn scripted_outage_recovers_via_breaker_guided_failover() {
+    let mut toolkit = Toolkit::with_hosts(&["a", "b"]).unwrap();
+    toolkit.enable_resilience(
+        ResiliencePolicy::default().attempts(2),
+        BreakerConfig {
+            min_calls: 2,
+            ..BreakerConfig::default()
+        },
+    );
+    let mut tools = toolkit.import_service("a", "J48").unwrap();
+    let classify = Arc::new(tools.remove(0));
+    let net = toolkit.network();
+    // Host "a" dies mid-run: a scripted outage window opens at the
+    // current virtual instant and outlasts the whole workflow.
+    let now = net.now();
+    net.add_outage("a", now, now + Duration::from_secs(300));
+
+    let mut graph = TaskGraph::new();
+    let t = graph.add_task(Arc::clone(&classify) as Arc<dyn Tool>);
+    let bindings = classify_bindings(t);
+    let report = toolkit
+        .resilient_executor(Some(4))
+        .run(&graph, &bindings)
+        .unwrap();
+    assert!(report.output(t, 0).is_some());
+
+    // The per-call record shows who served and what the detour cost:
+    // two attempts (with backoff) burned on "a", then "b" answered.
+    assert_eq!(classify.last_served_host(), Some("b".to_string()));
+    let stats = classify.last_call_stats();
+    assert!(stats.attempts >= 3, "attempts {}", stats.attempts);
+    assert!(stats.backoff > Duration::ZERO);
+
+    // The network monitor agrees: transport errors on "a", clean
+    // service from "b".
+    let hosts = net.monitor().summary_by_host();
+    let a = hosts.iter().find(|h| h.host == "a").unwrap();
+    assert!(
+        a.transport_errors >= 2,
+        "a saw {} transport errors",
+        a.transport_errors
+    );
+    let b = hosts.iter().find(|h| h.host == "b").unwrap();
+    assert!((b.failure_rate - 0.0).abs() < 1e-12);
+
+    // Those failures tripped "a"'s breaker, and the tool demoted it, so
+    // the next call is served by "b" without touching "a" at all.
+    let board = toolkit.resilience().unwrap().board();
+    assert_eq!(board.breaker("a").state(net.now()), BreakerState::Open);
+    assert_eq!(classify.hosts(), ["b".to_string(), "a".to_string()]);
+    let a_attempts_before = a.invocations;
+    classify
+        .execute(&[
+            Token::Text(dm_data::corpus::breast_cancer_arff()),
+            Token::Text("Class".into()),
+            Token::Text(String::new()),
+        ])
+        .unwrap();
+    let hosts = net.monitor().summary_by_host();
+    let a = hosts.iter().find(|h| h.host == "a").unwrap();
+    assert_eq!(
+        a.invocations, a_attempts_before,
+        "open breaker must not admit calls to a"
+    );
+
+    let degraded = toolkit.degraded_mode_report();
+    assert!(degraded.contains("open breakers: a"), "{degraded}");
+}
+
+#[test]
+fn breaker_half_open_probe_restores_service() {
+    let mut toolkit = Toolkit::with_hosts(&["a"]).unwrap();
+    toolkit.enable_resilience(
+        ResiliencePolicy::default().attempts(1),
+        BreakerConfig {
+            min_calls: 2,
+            open_for: Duration::from_millis(200),
+            ..BreakerConfig::default()
+        },
+    );
+    let caller = toolkit.resilience().unwrap().clone();
+    let net = toolkit.network();
+    net.set_host_down("a", true);
+
+    // Repeated failures trip the breaker.
+    for _ in 0..2 {
+        assert!(caller
+            .invoke("a", "Classifier", "getClassifiers", vec![])
+            .is_err());
+    }
+    assert_eq!(
+        caller.board().breaker("a").state(net.now()),
+        BreakerState::Open
+    );
+
+    // While open, calls fail fast without touching the network.
+    let events_before = net.monitor().len();
+    let err = caller
+        .invoke("a", "Classifier", "getClassifiers", vec![])
+        .unwrap_err();
+    assert!(
+        matches!(err, dm_wsrf::WsError::CircuitOpen(_)),
+        "got: {err}"
+    );
+    assert_eq!(net.monitor().len(), events_before);
+
+    // The host recovers; once the open window lapses a half-open probe
+    // is admitted, succeeds, and closes the breaker.
+    net.set_host_down("a", false);
+    net.advance_virtual_time(Duration::from_millis(250));
+    assert_eq!(
+        caller.board().breaker("a").state(net.now()),
+        BreakerState::HalfOpen
+    );
+    let names = caller
+        .invoke("a", "Classifier", "getClassifiers", vec![])
+        .unwrap();
+    assert!(!names.as_list().unwrap().is_empty());
+    assert_eq!(
+        caller.board().breaker("a").state(net.now()),
+        BreakerState::Closed
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn retry_schedules_terminate_within_the_deadline_budget(
+        deadline_ms in 1u64..1_000,
+        attempts in 1u32..16,
+        base_us in 100u64..50_000,
+        cap_ms in 1u64..500,
+        seed in any::<u64>(),
+    ) {
+        // Whatever the policy shape, a call against a dead host must
+        // terminate, and the backoff it charges to the virtual clock
+        // must stay inside the deadline budget.
+        let net = Arc::new(Network::new());
+        net.add_host("dead");
+        net.set_host_down("dead", true);
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_millis(cap_ms).max(base);
+        let policy = ResiliencePolicy::with_deadline(Duration::from_millis(deadline_ms))
+            .attempts(attempts)
+            .backoff(base, cap);
+        let caller = ResilientCaller::new(
+            Arc::clone(&net),
+            Arc::new(BreakerBoard::new(BreakerConfig {
+                // Effectively disabled: this property is about the
+                // retry/backoff schedule, not breaker behaviour.
+                failure_rate_to_open: 2.0,
+                ..BreakerConfig::default()
+            })),
+            policy,
+        )
+        .with_seed(seed);
+
+        let before = net.now();
+        let (result, stats) =
+            caller.invoke_collect("dead", "Classifier", "getClassifiers", vec![]);
+        let elapsed = net.now() - before;
+        prop_assert!(result.is_err());
+        prop_assert!(stats.attempts <= attempts);
+        prop_assert!(
+            stats.backoff < policy.deadline,
+            "backoff {:?} must stay under deadline {:?}",
+            stats.backoff,
+            policy.deadline
+        );
+        // Elapsed virtual time = backoff charged plus per-attempt wire
+        // costs; the backoff part never overruns the deadline.
+        prop_assert!(elapsed >= stats.backoff);
+    }
 }
 
 #[test]

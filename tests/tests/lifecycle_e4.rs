@@ -3,15 +3,18 @@
 //! cost measurably more than under the in-memory harness, and the
 //! lifecycle counters must reflect the mechanism.
 
-use dm_wsrf::lifecycle::LifecyclePolicy;
-use dm_wsrf::soap::SoapValue;
 use dm_services::j48_ws::J48Service;
 use dm_wsrf::container::WebService;
+use dm_wsrf::lifecycle::LifecyclePolicy;
+use dm_wsrf::soap::SoapValue;
 use std::time::Instant;
 
 fn classify_args() -> Vec<(String, SoapValue)> {
     vec![
-        ("dataset".to_string(), SoapValue::Text(dm_data::corpus::breast_cancer_arff())),
+        (
+            "dataset".to_string(),
+            SoapValue::Text(dm_data::corpus::breast_cancer_arff()),
+        ),
         ("attribute".to_string(), SoapValue::Text("Class".into())),
         ("options".to_string(), SoapValue::Text(String::new())),
     ]
@@ -78,7 +81,10 @@ fn predict_roundtrips_model_through_disk_state() {
         .invoke(
             "predict",
             &[
-                ("dataset".to_string(), SoapValue::Text(dm_data::corpus::breast_cancer_arff())),
+                (
+                    "dataset".to_string(),
+                    SoapValue::Text(dm_data::corpus::breast_cancer_arff()),
+                ),
                 ("attribute".to_string(), SoapValue::Text("Class".into())),
             ],
         )

@@ -70,7 +70,10 @@ fn pipeline_pattern_over_services() {
     )
     .unwrap();
     let mut bindings = HashMap::new();
-    bindings.insert((ids[0], 0), Token::Text("age,class\n30,a\n40,b\n".to_string()));
+    bindings.insert(
+        (ids[0], 0),
+        Token::Text("age,class\n30,a\n40,b\n".to_string()),
+    );
     let report = Executor::serial().run(&graph, &bindings).unwrap();
     assert!(matches!(
         report.output(ids[1], 0),

@@ -2,8 +2,8 @@
 //! creates one workspace tool per operation, with ports mirroring the
 //! message parts, usable inside composed workflows.
 
-use dm_workflow::graph::{TaskGraph, Token, Tool};
 use dm_workflow::engine::Executor;
+use dm_workflow::graph::{TaskGraph, Token, Tool};
 use faehim::Toolkit;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,7 +11,9 @@ use std::sync::Arc;
 #[test]
 fn one_tool_per_operation() {
     let toolkit = Toolkit::new().unwrap();
-    let tools = toolkit.import_service(toolkit.primary_host(), "Classifier").unwrap();
+    let tools = toolkit
+        .import_service(toolkit.primary_host(), "Classifier")
+        .unwrap();
     let names: Vec<&str> = tools.iter().map(|t| t.name()).collect();
     assert_eq!(
         names,
@@ -28,8 +30,13 @@ fn one_tool_per_operation() {
 #[test]
 fn imported_ports_mirror_wsdl_parts() {
     let toolkit = Toolkit::new().unwrap();
-    let tools = toolkit.import_service(toolkit.primary_host(), "Classifier").unwrap();
-    let classify = tools.iter().find(|t| t.name().ends_with("classifyInstance")).unwrap();
+    let tools = toolkit
+        .import_service(toolkit.primary_host(), "Classifier")
+        .unwrap();
+    let classify = tools
+        .iter()
+        .find(|t| t.name().ends_with("classifyInstance"))
+        .unwrap();
     let inputs = classify.input_ports();
     assert_eq!(inputs.len(), 4);
     assert_eq!(inputs[0].name, "dataset");
@@ -42,8 +49,13 @@ fn imported_ports_mirror_wsdl_parts() {
 #[test]
 fn imported_tool_runs_in_workflow() {
     let toolkit = Toolkit::new().unwrap();
-    let mut tools = toolkit.import_service(toolkit.primary_host(), "DataConversion").unwrap();
-    let idx = tools.iter().position(|t| t.name().ends_with(".csvToArff")).unwrap();
+    let mut tools = toolkit
+        .import_service(toolkit.primary_host(), "DataConversion")
+        .unwrap();
+    let idx = tools
+        .iter()
+        .position(|t| t.name().ends_with(".csvToArff"))
+        .unwrap();
     let csv_to_arff = tools.remove(idx);
     let mut g = TaskGraph::new();
     let t = g.add_task(Arc::new(csv_to_arff));

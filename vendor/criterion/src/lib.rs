@@ -1,0 +1,238 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the same bench-authoring surface the workspace uses —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! `criterion_group!`, `criterion_main!` — backed by a plain
+//! wall-clock sampling loop: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints mean / min / max per
+//! iteration. No statistical analysis, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each bench target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named identifier `function_name/parameter` for parameterised runs.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.samples(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.samples(), |b| f(b, input));
+        self
+    }
+
+    /// End the group. (The real crate emits summary artefacts here.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    /// Duration of the sample most recently collected via [`iter`].
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times per sample to get a
+    /// stable per-iteration figure.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration: find an iteration count that makes one
+    // sample take roughly a few milliseconds.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 1,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(5);
+    bencher.iterations = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut per_iter_nanos = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut bencher);
+        per_iter_nanos.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+    }
+    per_iter_nanos.sort_by(|a, b| a.total_cmp(b));
+    let mean = per_iter_nanos.iter().sum::<f64>() / per_iter_nanos.len() as f64;
+    println!(
+        "bench {label:<48} mean {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
+        fmt_nanos(mean),
+        fmt_nanos(per_iter_nanos[0]),
+        fmt_nanos(*per_iter_nanos.last().unwrap()),
+        samples,
+        bencher.iterations,
+    );
+}
+
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group: either the struct-ish form with
+/// `name/config/targets` or the positional `(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("find", 128).to_string(), "find/128");
+    }
+}

@@ -1,0 +1,84 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain sampling strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy sampling the full domain of `T`.
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// A strategy covering all of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mostly "ordinary" magnitudes, sometimes extreme bit patterns
+        // (subnormals, infinities, NaN) so codecs see the full domain.
+        match rng.below(8) {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => 0.0,
+            2 => -0.0,
+            _ => {
+                let magnitude = (rng.unit_f64() * 40.0) - 20.0; // 1e-20 ..= 1e20
+                let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                sign * rng.unit_f64() * 10f64.powf(magnitude)
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII most of the time; valid arbitrary scalar otherwise.
+        if rng.below(4) > 0 {
+            char::from(0x20 + rng.below(0x5f) as u8)
+        } else {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{fffd}')
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The [`Strategy`] trait and the built-in strategies this workspace
+//! uses: numeric ranges, tuples, `prop_map`, and `&str` interpreted as
+//! a small regex subset.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for sampling values of one type. Unlike real proptest there
+/// is no value tree or shrinking — `generate` draws a single value.
+pub trait Strategy {
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform sampled values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            map: f,
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty float range strategy");
+                    let unit = rng.unit_f64() as $ty;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// `&str` strategies are regex patterns over a small subset: literal
+/// characters, `.` (printable ASCII plus a few multibyte chars),
+/// character classes like `[a-z0-9_]`, and the quantifiers `{n}`,
+/// `{m,n}`, `?`, `*`, `+` (the open-ended ones capped at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.repeat.sample(rng);
+            for _ in 0..count {
+                out.push(atom.chars.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+/// Characters `.` can produce: printable ASCII plus a few multibyte
+/// code points so XML-escaping and UTF-8 handling get exercised.
+const ANY_EXTRA: &[char] = &['é', 'λ', '中', '—', 'ß'];
+
+enum CharSet {
+    /// A single literal character.
+    Literal(char),
+    /// Explicit alternatives (expanded from `[...]`).
+    OneOf(Vec<char>),
+    /// The `.` wildcard.
+    Any,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Literal(c) => *c,
+            CharSet::OneOf(chars) => chars[rng.below(chars.len() as u64) as usize],
+            CharSet::Any => {
+                let printable = 0x7f - 0x20; // ' ' ..= '~'
+                let idx = rng.below(printable + ANY_EXTRA.len() as u64);
+                if idx < printable {
+                    char::from(0x20 + idx as u8)
+                } else {
+                    ANY_EXTRA[(idx - printable) as usize]
+                }
+            }
+        }
+    }
+}
+
+struct Repeat {
+    min: u64,
+    max: u64,
+}
+
+impl Repeat {
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        self.min + rng.below(self.max - self.min + 1)
+    }
+}
+
+struct Atom {
+    chars: CharSet,
+    repeat: Repeat,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::Any,
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    let m = chars.next().expect("unterminated character class");
+                    if m == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        // `m-hi` range unless the '-' is last (literal).
+                        chars.next();
+                        match chars.peek() {
+                            Some(&']') | None => {
+                                members.push(m);
+                                members.push('-');
+                            }
+                            Some(_) => {
+                                let hi = chars.next().unwrap();
+                                for code in (m as u32)..=(hi as u32) {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        members.push(ch);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        members.push(m);
+                    }
+                }
+                assert!(!members.is_empty(), "empty character class in {pattern:?}");
+                CharSet::OneOf(members)
+            }
+            '\\' => CharSet::Literal(chars.next().expect("dangling escape")),
+            other => CharSet::Literal(other),
+        };
+        let repeat = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => Repeat {
+                        min: lo.trim().parse().expect("bad {m,n} lower bound"),
+                        max: hi.trim().parse().expect("bad {m,n} upper bound"),
+                    },
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} count");
+                        Repeat { min: n, max: n }
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                Repeat { min: 0, max: 1 }
+            }
+            Some('*') => {
+                chars.next();
+                Repeat { min: 0, max: 8 }
+            }
+            Some('+') => {
+                chars.next();
+                Repeat { min: 1, max: 8 }
+            }
+            _ => Repeat { min: 1, max: 1 },
+        };
+        atoms.push(Atom { chars: set, repeat });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn char_class_ranges_expand() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c0-2_]".generate(&mut r);
+            let c = s.chars().next().unwrap();
+            assert!("abc012_".contains(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_repeats_respect_bounds() {
+        let mut r = rng();
+        let mut seen_min = false;
+        let mut seen_more = false;
+        for _ in 0..200 {
+            let s = "x{2,5}".generate(&mut r);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            seen_min |= s.len() == 2;
+            seen_more |= s.len() > 2;
+        }
+        assert!(seen_min && seen_more);
+    }
+
+    #[test]
+    fn dot_yields_printable_or_known_extras() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = ".{0,64}".generate(&mut r);
+            assert!(s.chars().count() <= 64);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) || ANY_EXTRA.contains(&c), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_span() {
+        let mut r = rng();
+        let mut seen = [false; 7];
+        for _ in 0..400 {
+            let v = (3usize..10).generate(&mut r);
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}
