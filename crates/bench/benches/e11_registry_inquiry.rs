@@ -1,8 +1,9 @@
 //! E11 — UDDI registry publish and inquiry at scale: lookup costs as
 //! the registry grows from the paper's ten services to thousands.
-//! Expected shape: exact-name and category inquiry scale linearly in
-//! this list-backed registry; publication is O(n) due to the replace
-//! scan — documented behaviour at toolkit scale.
+//! Expected shape: exact-name inquiry and publish-with-replace are
+//! O(1) hash-map lookups, and category inquiry walks only the services
+//! carrying that category via the inverted category→services index —
+//! flat curves where the old list-backed scan grew linearly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dm_bench::banner;

@@ -1,0 +1,120 @@
+//! E12 — the content-addressed data plane: cold versus warm
+//! re-enactment of the §5 case study with pass-by-reference payloads,
+//! the trained-model cache, and memoised pure tasks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_bench::banner;
+use dm_workflow::engine::Executor;
+use dm_workflow::memo::MemoCache;
+use faehim::casestudy::run_case_study_with;
+use faehim::Toolkit;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    banner(
+        "E12",
+        "content-addressed data plane (pass-by-reference + model cache + memoised enactment)",
+    );
+
+    let toolkit = Toolkit::new().expect("toolkit");
+    toolkit.enable_data_plane();
+    let net = toolkit.network();
+    let executor = Executor::serial().with_memoisation(Arc::new(MemoCache::new(64)));
+
+    net.reset_wire_stats();
+    let cold_start = net.now();
+    let cold = run_case_study_with(&toolkit, &executor).expect("cold run");
+    let cold_time = net.now() - cold_start;
+    let cold_wire = net.wire_stats();
+
+    net.reset_wire_stats();
+    let warm_start = net.now();
+    let warm = run_case_study_with(&toolkit, &executor).expect("warm run");
+    let warm_time = net.now() - warm_start;
+    let warm_wire = net.wire_stats();
+    assert_eq!(cold.model_text, warm.model_text, "outputs must not change");
+
+    println!("wire traffic, one case-study enactment:");
+    println!(
+        "  cold: {} envelopes, {} bytes, {:?} simulated network time",
+        cold_wire.envelopes, cold_wire.bytes, cold_time
+    );
+    println!(
+        "  warm: {} envelopes, {} bytes, {:?} simulated network time",
+        warm_wire.envelopes, warm_wire.bytes, warm_time
+    );
+    println!(
+        "  warm refs: {} substitutions, {} bytes saved, {} memo hits",
+        warm_wire.ref_substitutions,
+        warm_wire.bytes_saved,
+        warm.report.memo_hits()
+    );
+    println!(
+        "  ratios: {:.1}x fewer bytes, {:.1}x less network time",
+        cold_wire.bytes as f64 / warm_wire.bytes.max(1) as f64,
+        cold_time.as_nanos() as f64 / warm_time.as_nanos().max(1) as f64
+    );
+
+    // The E4 workload under the data plane: ten repeated
+    // `classifyInstance` calls on the same dataset. The first call
+    // ships the ARFF and trains; the rest travel by handle and hit the
+    // trained-model cache.
+    let e4_toolkit = Toolkit::new().expect("toolkit");
+    e4_toolkit.enable_data_plane();
+    let e4_net = e4_toolkit.network();
+    let arff = dm_data::corpus::breast_cancer_arff();
+    let classifier = e4_toolkit.classifier_client();
+    e4_net.reset_wire_stats();
+    let first_start = e4_net.now();
+    let first = classifier
+        .classify_instance(&arff, "J48", "", "Class")
+        .expect("classify");
+    let first_time = e4_net.now() - first_start;
+    let first_wire = e4_net.wire_stats();
+    e4_net.reset_wire_stats();
+    let rest_start = e4_net.now();
+    for _ in 0..9 {
+        let repeat = classifier
+            .classify_instance(&arff, "J48", "", "Class")
+            .expect("classify");
+        assert_eq!(first, repeat);
+    }
+    let rest_time = (e4_net.now() - rest_start) / 9;
+    let rest_wire = e4_net.wire_stats();
+    println!("repeated classifyInstance (E4 workload), per call:");
+    println!(
+        "  first: {} bytes, {:?} network time",
+        first_wire.bytes, first_time
+    );
+    println!(
+        "  later: {} bytes, {:?} network time ({:.1}x fewer bytes)",
+        rest_wire.bytes / 9,
+        rest_time,
+        first_wire.bytes as f64 / (rest_wire.bytes as f64 / 9.0)
+    );
+
+    let mut group = c.benchmark_group("e12_dataplane");
+    // Cold: everything from scratch, including service provisioning —
+    // the paper's pass-by-value baseline.
+    group.bench_function("cold_enactment", |b| {
+        b.iter(|| {
+            let tk = Toolkit::new().expect("toolkit");
+            tk.enable_data_plane();
+            let exec = Executor::serial().with_memoisation(Arc::new(MemoCache::new(64)));
+            run_case_study_with(black_box(&tk), &exec).expect("run")
+        })
+    });
+    // Warm: shared stores + model cache + memo cache.
+    group.bench_function("warm_enactment", |b| {
+        b.iter(|| run_case_study_with(black_box(&toolkit), &executor).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

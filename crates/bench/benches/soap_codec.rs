@@ -1,0 +1,64 @@
+//! SOAP envelope codec micro-benchmarks: encode/decode cost for small
+//! control-plane calls, bulk dataset-bearing calls, and list-shaped
+//! responses. Guards the allocation-churn work in the envelope writers
+//! (single-buffer fast paths instead of tree construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_bench::banner;
+use dm_data::corpus::breast_cancer_arff;
+use dm_wsrf::soap::{SoapCall, SoapResponse, SoapValue};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner(
+        "codec",
+        "SOAP envelope encode/decode (control calls, bulk datasets, list responses)",
+    );
+
+    let small =
+        SoapCall::new("Classifier", "getOptions").arg("name", SoapValue::Text("J48".into()));
+    let bulk = SoapCall::new("Classifier", "classifyInstance")
+        .arg("dataset", SoapValue::Text(breast_cancer_arff()))
+        .arg("classifier", SoapValue::Text("J48".into()))
+        .arg("options", SoapValue::Text(String::new()))
+        .arg("attribute", SoapValue::Text("Class".into()));
+    let list = SoapResponse::Value(SoapValue::List(
+        (0..40)
+            .map(|i| SoapValue::Text(format!("algorithm-{i}")))
+            .collect(),
+    ));
+
+    let small_xml = small.to_envelope();
+    let bulk_xml = bulk.to_envelope();
+    let list_xml = list.to_envelope("getClassifiers");
+
+    println!(
+        "envelope sizes: small {} B, bulk {} B, list {} B",
+        small_xml.len(),
+        bulk_xml.len(),
+        list_xml.len()
+    );
+
+    let mut group = c.benchmark_group("soap_codec");
+    for (label, call, xml) in [
+        ("small_call", &small, &small_xml),
+        ("bulk_call", &bulk, &bulk_xml),
+    ] {
+        group.bench_with_input(BenchmarkId::new("encode", label), call, |b, call| {
+            b.iter(|| black_box(call).to_envelope())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", label), xml, |b, xml| {
+            b.iter(|| SoapCall::from_envelope(black_box(xml)).expect("decode"))
+        });
+    }
+    group.bench_function("encode/list_response", |b| {
+        b.iter(|| black_box(&list).to_envelope("getClassifiers"))
+    });
+    group.bench_function("decode/list_response", |b| {
+        b.iter(|| SoapResponse::from_envelope(black_box(&list_xml)).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -144,8 +144,14 @@ pub fn run_case_study() -> WfResult<CaseStudyResult> {
 
 /// Enact the case study on an existing toolkit.
 pub fn run_case_study_on(toolkit: &Toolkit) -> WfResult<CaseStudyResult> {
+    run_case_study_with(toolkit, &Executor::serial())
+}
+
+/// Enact the case study on an existing toolkit with a caller-supplied
+/// executor (e.g. one carrying a memo cache for warm re-enactment).
+pub fn run_case_study_with(toolkit: &Toolkit, executor: &Executor) -> WfResult<CaseStudyResult> {
     let (graph, tasks, bindings) = build_case_study(toolkit)?;
-    let report = Executor::serial().run(&graph, &bindings)?;
+    let report = executor.run(&graph, &bindings)?;
     let text_of = |task: TaskId, port: usize| -> String {
         report
             .output(task, port)

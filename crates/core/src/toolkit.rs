@@ -15,7 +15,7 @@ use dm_workflow::wsimport::{import_from_host, WsTool};
 use dm_wsrf::container::ServiceContainer;
 use dm_wsrf::registry::UddiRegistry;
 use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
-use dm_wsrf::transport::Network;
+use dm_wsrf::transport::{DataPlaneConfig, Network, WireStats};
 use dm_wsrf::WsError;
 use std::sync::Arc;
 
@@ -122,6 +122,21 @@ impl Toolkit {
         self.resilience.as_ref()
     }
 
+    /// Turn on the content-addressed data plane with default settings:
+    /// datasets and models above the inline threshold travel as
+    /// `DataRef` handles whenever the receiving side already holds the
+    /// payload, and the network starts accounting wire bytes saved
+    /// ([`Toolkit::wire_stats`]).
+    pub fn enable_data_plane(&self) {
+        self.network.enable_data_plane(DataPlaneConfig::default());
+    }
+
+    /// Wire-level traffic counters (envelopes, bytes, bytes saved by
+    /// pass-by-reference substitution).
+    pub fn wire_stats(&self) -> WireStats {
+        self.network.wire_stats()
+    }
+
     /// A serial [`Executor`] aligned with the toolkit's resilience
     /// configuration: task retries use the resilience policy's attempt
     /// ceiling and backoff shape, backoff pauses are charged to the
@@ -198,6 +213,12 @@ impl Toolkit {
     pub fn import_service(&self, host: &str, service: &str) -> Result<Vec<WsTool>, WsError> {
         let mut tools = import_from_host(self.network(), host, service)?;
         for tool in &mut tools {
+            // Purity metadata makes the imported tool eligible for
+            // memoised enactment (Executor::with_memoisation).
+            tool.set_pure(dm_services::is_pure_operation(
+                service,
+                &tool.operation().name,
+            ));
             for other in &self.hosts {
                 if other != host {
                     tool.add_replica(other.clone());

@@ -70,6 +70,19 @@ impl Tool for LocalDataset {
     fn execute(&self, _inputs: &[Token]) -> Result<Vec<Token>, String> {
         Ok(vec![Token::Text(self.arff.clone())])
     }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
+
+    fn memo_identity(&self) -> String {
+        // The emitted dataset is configuration, not an input port, so
+        // it must be part of the identity.
+        format!(
+            "LocalDataset:{:032x}",
+            dm_wsrf::dataplane::hash_bytes(self.arff.as_bytes())
+        )
+    }
 }
 
 /// Converts CSV text into ARFF, locally (the toolbox's CSV→ARFF tool;
@@ -106,6 +119,10 @@ impl Tool for CsvToArffTool {
         .map(|arff| vec![Token::Text(arff)])
         .map_err(|e| e.to_string())
     }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
 }
 
 /// Emits the Figure-3 summary table of a dataset.
@@ -138,6 +155,10 @@ impl Tool for DatasetSummaryTool {
         Ok(vec![Token::Text(
             dm_data::summary::DatasetSummary::of(&ds).to_table_string(),
         )])
+    }
+
+    fn is_pure(&self) -> bool {
+        true
     }
 }
 
@@ -187,6 +208,14 @@ impl Tool for ClassifierSelector {
                 self.selection
             ))
         }
+    }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
+
+    fn memo_identity(&self) -> String {
+        format!("ClassifierSelector:{}", self.selection)
     }
 }
 
@@ -250,6 +279,18 @@ impl Tool for OptionSelector {
         }
         Ok(vec![Token::Text(parts.join(" "))])
     }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
+
+    fn memo_identity(&self) -> String {
+        let mut id = String::from("OptionSelector");
+        for (flag, value) in &self.overrides {
+            id.push_str(&format!(":{flag}={value}"));
+        }
+        id
+    }
 }
 
 /// Selects (and validates) the attribute the classifier should classify
@@ -293,6 +334,14 @@ impl Tool for AttributeSelector {
         ds.attribute_index(&self.attribute)
             .map_err(|e| e.to_string())?;
         Ok(vec![Token::Text(self.attribute.clone())])
+    }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
+
+    fn memo_identity(&self) -> String {
+        format!("AttributeSelector:{}", self.attribute)
     }
 }
 
@@ -342,6 +391,10 @@ impl Tool for TreeAnalyser {
         Ok(vec![Token::Text(format!(
             "root attribute: {root}\nleaves: {leaves}\ntree size: {size}"
         ))])
+    }
+
+    fn is_pure(&self) -> bool {
+        true
     }
 }
 

@@ -12,44 +12,74 @@
 //! SVG when the model is tree-shaped, and `crossValidate` covers the
 //! "testing the discovered knowledge" requirement.
 
+use crate::model_cache::{eval_key, model_key, ModelCache, SharedModel};
 use crate::support::{algo_fault, dataset_with_class, int_arg, opt_text_arg, text_arg};
 use dm_algorithms::options::parse_options_string;
 use dm_algorithms::registry::{classifier_names, make_classifier};
 use dm_wsrf::container::{ServiceFault, WebService};
+use dm_wsrf::dataplane::CacheStats;
 use dm_wsrf::soap::SoapValue;
 use dm_wsrf::wsdl::{Operation, Part, WsdlDocument};
+use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// The general Classifier Web Service.
 #[derive(Debug, Default)]
-pub struct ClassifierService;
+pub struct ClassifierService {
+    cache: ModelCache,
+}
 
 impl ClassifierService {
-    /// Create the service.
+    /// Create the service with the default model/evaluation cache.
     pub fn new() -> ClassifierService {
-        ClassifierService
+        ClassifierService::default()
     }
 
-    fn build_model(
-        args: &[(String, SoapValue)],
-    ) -> Result<
-        (
-            Box<dyn dm_algorithms::classifiers::Classifier>,
-            dm_data::Dataset,
-        ),
-        ServiceFault,
-    > {
+    /// Create the service with explicit cache capacities (entries, not
+    /// bytes). A capacity of 1 effectively keeps only the latest model.
+    pub fn with_cache(model_capacity: usize, eval_capacity: usize) -> ClassifierService {
+        ClassifierService {
+            cache: ModelCache::new(model_capacity, eval_capacity),
+        }
+    }
+
+    /// The trained-model / evaluation cache (counters, clearing).
+    pub fn cache(&self) -> &ModelCache {
+        &self.cache
+    }
+
+    /// Train (or fetch from cache) the model described by the standard
+    /// four arguments: dataset, classifier, options, attribute.
+    fn trained_model(&self, args: &[(String, SoapValue)]) -> Result<SharedModel, ServiceFault> {
         let arff = text_arg(args, "dataset")?;
         let name = text_arg(args, "classifier")?;
         let options = opt_text_arg(args, "options")?.unwrap_or("");
         let attribute = text_arg(args, "attribute")?;
+        let key = model_key(name, options, attribute, arff);
+        if let Some(model) = self.cache.get_model(key) {
+            return Ok(model);
+        }
         let ds = dataset_with_class(arff, attribute)?;
         let mut model = make_classifier(name).map_err(algo_fault)?;
         for (flag, value) in parse_options_string(options) {
             model.set_option(&flag, &value).map_err(algo_fault)?;
         }
         model.train(&ds).map_err(algo_fault)?;
-        Ok((model, ds))
+        let shared: SharedModel = Arc::new(Mutex::new(model));
+        self.cache.insert_model(key, Arc::clone(&shared));
+        Ok(shared)
     }
+}
+
+fn stats_row(stats: &CacheStats) -> SoapValue {
+    SoapValue::List(vec![
+        SoapValue::Int(stats.lookups as i64),
+        SoapValue::Int(stats.hits as i64),
+        SoapValue::Int(stats.misses as i64),
+        SoapValue::Int(stats.insertions as i64),
+        SoapValue::Int(stats.evictions as i64),
+        SoapValue::Int(stats.entries as i64),
+    ])
 }
 
 impl WebService for ClassifierService {
@@ -111,6 +141,10 @@ impl WebService for ClassifierService {
                 )
                 .doc("stratified k-fold cross-validation summary"),
             )
+            .operation(
+                Operation::new("getCacheStats", vec![], Part::new("stats", "list"))
+                    .doc("trained-model and evaluation cache counters"),
+            )
     }
 
     fn invoke(
@@ -144,11 +178,13 @@ impl WebService for ClassifierService {
                 ))
             }
             "classifyInstance" => {
-                let (model, _) = Self::build_model(args)?;
-                Ok(SoapValue::Text(model.describe()))
+                let model = self.trained_model(args)?;
+                let text = model.lock().describe();
+                Ok(SoapValue::Text(text))
             }
             "classifyGraph" => {
-                let (model, _) = Self::build_model(args)?;
+                let model = self.trained_model(args)?;
+                let model = model.lock();
                 let tree = model.tree_model().ok_or_else(|| {
                     ServiceFault::client(format!(
                         "classifier {:?} does not produce a tree graph",
@@ -162,7 +198,12 @@ impl WebService for ClassifierService {
                 let name = text_arg(args, "classifier")?;
                 let options = opt_text_arg(args, "options")?.unwrap_or("").to_string();
                 let attribute = text_arg(args, "attribute")?;
-                let folds = int_arg(args, "folds")?.clamp(2, 100) as usize;
+                let folds_arg = int_arg(args, "folds")?;
+                let key = eval_key(name, &options, attribute, folds_arg, arff);
+                if let Some(summary) = self.cache.get_eval(key) {
+                    return Ok(SoapValue::Text(summary.to_string()));
+                }
+                let folds = folds_arg.clamp(2, 100) as usize;
                 let ds = dataset_with_class(arff, attribute)?;
                 let name = name.to_string();
                 let eval = dm_algorithms::eval::cross_validate(
@@ -178,8 +219,14 @@ impl WebService for ClassifierService {
                     1,
                 )
                 .map_err(algo_fault)?;
-                Ok(SoapValue::Text(eval.summary()))
+                let summary = eval.summary();
+                self.cache.insert_eval(key, Arc::from(summary.as_str()));
+                Ok(SoapValue::Text(summary))
             }
+            "getCacheStats" => Ok(SoapValue::List(vec![
+                stats_row(&self.cache.model_stats()),
+                stats_row(&self.cache.eval_stats()),
+            ])),
             other => Err(ServiceFault::client(format!("no operation {other:?}"))),
         }
     }
@@ -300,10 +347,10 @@ mod tests {
     }
 
     #[test]
-    fn wsdl_has_five_operations() {
+    fn wsdl_has_six_operations() {
         let s = ClassifierService::new();
         let wsdl = s.wsdl();
-        assert_eq!(wsdl.operations.len(), 5);
+        assert_eq!(wsdl.operations.len(), 6);
         assert_eq!(
             wsdl.find_operation("classifyInstance")
                 .unwrap()
@@ -311,5 +358,63 @@ mod tests {
                 .len(),
             4
         );
+        assert!(wsdl.find_operation("getCacheStats").is_ok());
+    }
+
+    #[test]
+    fn repeat_classification_reuses_the_trained_model() {
+        let s = ClassifierService::new();
+        let cold = s.invoke("classifyInstance", &args_for("J48")).unwrap();
+        // classifyGraph on the same (dataset, classifier, options,
+        // attribute) reuses the cached model rather than retraining.
+        s.invoke("classifyGraph", &args_for("J48")).unwrap();
+        let warm = s.invoke("classifyInstance", &args_for("J48")).unwrap();
+        assert_eq!(cold, warm, "cached model must reproduce the output");
+        let stats = s.cache().model_stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.hits + stats.misses, stats.lookups);
+    }
+
+    #[test]
+    fn changed_options_miss_the_model_cache() {
+        let s = ClassifierService::new();
+        s.invoke("classifyInstance", &args_for("J48")).unwrap();
+        let mut args = args_for("J48");
+        args[2].1 = SoapValue::Text("-M 30".into());
+        s.invoke("classifyInstance", &args).unwrap();
+        let stats = s.cache().model_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn cross_validation_results_are_cached() {
+        let s = ClassifierService::new();
+        let mut args = args_for("ZeroR");
+        args.push(("folds".to_string(), SoapValue::Int(5)));
+        let cold = s.invoke("crossValidate", &args).unwrap();
+        let warm = s.invoke("crossValidate", &args).unwrap();
+        assert_eq!(cold, warm);
+        let stats = s.cache().eval_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn cache_stats_operation_reports_counters() {
+        let s = ClassifierService::new();
+        s.invoke("classifyInstance", &args_for("J48")).unwrap();
+        s.invoke("classifyInstance", &args_for("J48")).unwrap();
+        let v = s.invoke("getCacheStats", &[]).unwrap();
+        let rows = v.as_list().unwrap();
+        assert_eq!(rows.len(), 2);
+        let models = rows[0].as_list().unwrap();
+        // [lookups, hits, misses, insertions, evictions, entries]
+        assert_eq!(models[0], SoapValue::Int(2));
+        assert_eq!(models[1], SoapValue::Int(1));
+        assert_eq!(models[2], SoapValue::Int(1));
+        assert_eq!(models[5], SoapValue::Int(1));
     }
 }

@@ -40,6 +40,7 @@ pub mod convert_ws;
 pub mod dataaccess_ws;
 pub mod deploy;
 pub mod j48_ws;
+pub mod model_cache;
 pub mod plot_ws;
 pub mod preprocess_ws;
 pub mod session_ws;
@@ -47,10 +48,33 @@ mod support;
 
 pub use deploy::{deploy_faehim_suite, publish_suite};
 
+/// Is `operation` on `service` a pure function of its arguments (no
+/// side effects, deterministic output)? This is the service metadata
+/// that lets the workflow engine memoise imported tools
+/// (`dm_workflow::graph::Tool::is_pure`): everything in the simulated
+/// suite is seeded and deterministic, so the impure set is exactly the
+/// operations with observable state — session storage, lifecycle
+/// counters, and cache statistics.
+pub fn is_pure_operation(service: &str, operation: &str) -> bool {
+    match service {
+        // All session state lives server-side.
+        "Session" => false,
+        // Lifecycle mode is service state; its stats are counters.
+        "J48" => !matches!(operation, "setLifecycle" | "getLifecycleStats"),
+        // Cache counters change on every trained-model lookup.
+        "Classifier" => operation != "getCacheStats",
+        "Cobweb" | "Clusterer" | "Association" | "AttributeSelection" | "Preprocess"
+        | "DataConversion" | "UrlReader" | "DataAccess" | "Plot" | "Math" => true,
+        _ => false,
+    }
+}
+
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::classifier_ws::ClassifierService;
     pub use crate::client::{ClassifierClient, ClustererClient, ConvertClient, J48Client};
     pub use crate::deploy::{deploy_faehim_suite, publish_suite};
+    pub use crate::is_pure_operation;
     pub use crate::j48_ws::J48Service;
+    pub use crate::model_cache::ModelCache;
 }

@@ -7,9 +7,11 @@
 
 use crate::error::{Result, WorkflowError};
 use crate::graph::{TaskGraph, TaskId, Token};
+use crate::memo::MemoCache;
 use dm_wsrf::resilience::{BackoffSchedule, ResiliencePolicy};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Serial or parallel enactment.
@@ -70,6 +72,9 @@ pub struct TaskRun {
     pub duration: Duration,
     /// Backoff accumulated between this task's attempts.
     pub backoff: Duration,
+    /// `true` when the outputs came from the memo cache and the tool
+    /// never executed (then `attempts` is 0).
+    pub cached: bool,
     /// `None` on success, the failure message otherwise.
     pub error: Option<String>,
 }
@@ -101,6 +106,11 @@ impl ExecutionReport {
     /// Total backoff accumulated between attempts, across all tasks.
     pub fn total_backoff(&self) -> Duration {
         self.runs.iter().map(|r| r.backoff).sum()
+    }
+
+    /// Tasks served from the memo cache without executing.
+    pub fn memo_hits(&self) -> usize {
+        self.runs.iter().filter(|r| r.cached).count()
     }
 }
 
@@ -146,6 +156,12 @@ pub enum ProgressEvent {
         /// The failure message.
         message: String,
     },
+    /// A pure task's outputs were served from the memo cache; the tool
+    /// did not execute.
+    CacheHit {
+        /// Task display name.
+        task: String,
+    },
 }
 
 /// Listener callback for [`ProgressEvent`]s. Shared across worker
@@ -159,6 +175,7 @@ pub struct Executor {
     policy: RetryPolicy,
     backoff_sink: Option<BackoffSink>,
     listener: Option<ProgressListener>,
+    memo: Option<Arc<MemoCache>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -168,6 +185,7 @@ impl std::fmt::Debug for Executor {
             .field("policy", &self.policy)
             .field("backoff_sink", &self.backoff_sink.is_some())
             .field("listener", &self.listener.is_some())
+            .field("memo", &self.memo.is_some())
             .finish()
     }
 }
@@ -180,6 +198,7 @@ impl Executor {
             policy: RetryPolicy::default(),
             backoff_sink: None,
             listener: None,
+            memo: None,
         }
     }
 
@@ -190,6 +209,7 @@ impl Executor {
             policy: RetryPolicy::default(),
             backoff_sink: None,
             listener: None,
+            memo: None,
         }
     }
 
@@ -224,6 +244,19 @@ impl Executor {
     pub fn with_listener(mut self, listener: ProgressListener) -> Executor {
         self.listener = Some(listener);
         self
+    }
+
+    /// Builder: serve pure tasks ([`crate::graph::Tool::is_pure`]) from
+    /// `cache` when their inputs are unchanged, and record fresh
+    /// results into it. Impure tasks always execute.
+    pub fn with_memoisation(mut self, cache: Arc<MemoCache>) -> Executor {
+        self.memo = Some(cache);
+        self
+    }
+
+    /// The memo cache in use, if any.
+    pub fn memo_cache(&self) -> Option<Arc<MemoCache>> {
+        self.memo.clone()
     }
 
     fn emit(&self, event: ProgressEvent) {
@@ -265,6 +298,30 @@ impl Executor {
         budget: &Mutex<Option<usize>>,
     ) -> (std::result::Result<Vec<Token>, String>, TaskRun) {
         let node = graph.task(task).expect("validated id");
+        // Memoisation: pure tasks with unchanged inputs are served from
+        // the cache without executing (attempts stays 0).
+        let memo_key = self
+            .memo
+            .as_deref()
+            .and_then(|m| m.key_for(node.tool.as_ref(), inputs));
+        if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
+            if let Some(outputs) = memo.get(key) {
+                self.emit(ProgressEvent::CacheHit {
+                    task: node.name.clone(),
+                });
+                return (
+                    Ok(outputs),
+                    TaskRun {
+                        task: node.name.clone(),
+                        attempts: 0,
+                        duration: Duration::ZERO,
+                        backoff: Duration::ZERO,
+                        cached: true,
+                        error: None,
+                    },
+                );
+            }
+        }
         let backoff_policy =
             ResiliencePolicy::default().backoff(self.policy.base_backoff, self.policy.max_backoff);
         let mut schedule =
@@ -297,6 +354,7 @@ impl Executor {
                                 attempts,
                                 duration: start.elapsed(),
                                 backoff: backoff_total,
+                                cached: false,
                                 error: Some(msg),
                             },
                         );
@@ -306,6 +364,9 @@ impl Executor {
                         attempts,
                         duration: start.elapsed(),
                     });
+                    if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
+                        memo.insert(key, outputs.clone());
+                    }
                     return (
                         Ok(outputs),
                         TaskRun {
@@ -313,6 +374,7 @@ impl Executor {
                             attempts,
                             duration: start.elapsed(),
                             backoff: backoff_total,
+                            cached: false,
                             error: None,
                         },
                     );
@@ -363,6 +425,7 @@ impl Executor {
                                     attempts,
                                     duration: start.elapsed(),
                                     backoff: backoff_total,
+                                    cached: false,
                                     error: Some(message),
                                 },
                             );
@@ -870,6 +933,116 @@ mod tests {
         assert_eq!(*next_attempt, 2);
         assert!(*backoff >= RetryPolicy::default().base_backoff);
         assert_eq!(*budget_remaining, Some(9));
+    }
+
+    /// Pure uppercase that counts real executions.
+    struct PureUpper {
+        executions: std::sync::atomic::AtomicUsize,
+    }
+
+    impl PureUpper {
+        fn new() -> PureUpper {
+            PureUpper {
+                executions: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl crate::graph::Tool for PureUpper {
+        fn name(&self) -> &str {
+            "PureUpper"
+        }
+
+        fn input_ports(&self) -> Vec<crate::graph::PortSpec> {
+            vec![crate::graph::PortSpec::new("text", "string")]
+        }
+
+        fn output_ports(&self) -> Vec<crate::graph::PortSpec> {
+            vec![crate::graph::PortSpec::new("upper", "string")]
+        }
+
+        fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+            self.executions
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            match &inputs[0] {
+                Token::Text(s) => Ok(vec![Token::Text(s.to_uppercase())]),
+                _ => Err("expected text".into()),
+            }
+        }
+
+        fn is_pure(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn memoised_rerun_skips_pure_tasks() {
+        use crate::memo::MemoCache;
+        let tool = Arc::new(PureUpper::new());
+        let mut g = TaskGraph::new();
+        let up = g.add_task(Arc::clone(&tool) as Arc<dyn crate::graph::Tool>);
+        let mut bindings = HashMap::new();
+        bindings.insert((up, 0), Token::Text("hello".into()));
+
+        let cache = Arc::new(MemoCache::new(16));
+        let exec = Executor::serial().with_memoisation(Arc::clone(&cache));
+        let cold = exec.run(&g, &bindings).unwrap();
+        assert_eq!(cold.output(up, 0), Some(&Token::Text("HELLO".into())));
+        assert_eq!(cold.memo_hits(), 0);
+        let warm = exec.run(&g, &bindings).unwrap();
+        assert_eq!(warm.output(up, 0), Some(&Token::Text("HELLO".into())));
+        assert_eq!(warm.memo_hits(), 1);
+        let run = &warm.runs[0];
+        assert!(run.cached);
+        assert_eq!(run.attempts, 0);
+        // The tool body ran exactly once across both enactments.
+        assert_eq!(tool.executions.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Changed input bypasses the cache.
+        bindings.insert((up, 0), Token::Text("other".into()));
+        let changed = exec.run(&g, &bindings).unwrap();
+        assert_eq!(changed.output(up, 0), Some(&Token::Text("OTHER".into())));
+        assert_eq!(changed.memo_hits(), 0);
+        assert_eq!(tool.executions.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn impure_tasks_are_never_memoised() {
+        use crate::memo::MemoCache;
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let up = g.add_task(Arc::new(Upper));
+        g.connect(src, 0, up, 0).unwrap();
+        let cache = Arc::new(MemoCache::new(16));
+        let exec = Executor::serial().with_memoisation(Arc::clone(&cache));
+        exec.run(&g, &HashMap::new()).unwrap();
+        let rerun = exec.run(&g, &HashMap::new()).unwrap();
+        assert_eq!(rerun.memo_hits(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_hit_events_fire_on_warm_runs() {
+        use crate::memo::MemoCache;
+        use parking_lot::Mutex;
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&events);
+        let listener: super::ProgressListener = std::sync::Arc::new(move |e| sink.lock().push(e));
+
+        let mut g = TaskGraph::new();
+        let up = g.add_task(Arc::new(PureUpper::new()));
+        let mut bindings = HashMap::new();
+        bindings.insert((up, 0), Token::Text("x".into()));
+        let exec = Executor::serial()
+            .with_memoisation(Arc::new(MemoCache::new(4)))
+            .with_listener(listener);
+        exec.run(&g, &bindings).unwrap();
+        exec.run(&g, &bindings).unwrap();
+        let events = events.lock();
+        let hits = events
+            .iter()
+            .filter(|e| matches!(e, super::ProgressEvent::CacheHit { task } if task == "PureUpper"))
+            .count();
+        assert_eq!(hits, 1);
     }
 
     #[test]

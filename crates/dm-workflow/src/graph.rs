@@ -55,6 +55,24 @@ pub trait Tool: Send + Sync {
     /// Execute with one token per input port; must return one token per
     /// output port.
     fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String>;
+
+    /// `true` when the tool is a pure function of its input tokens: no
+    /// side effects, and identical inputs always produce identical
+    /// outputs. Pure tasks are eligible for memoised enactment
+    /// ([`crate::memo::MemoCache`]). Defaults to `false` — impure until
+    /// proven otherwise.
+    fn is_pure(&self) -> bool {
+        false
+    }
+
+    /// Identity string mixed into memo keys alongside the input
+    /// fingerprints. Tools whose behaviour depends on configuration
+    /// (selected algorithm, option strings, …) must embed that
+    /// configuration here, or differently-configured instances sharing
+    /// a name would collide in the cache. Defaults to [`Tool::name`].
+    fn memo_identity(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// Task identifier within a [`TaskGraph`].

@@ -16,6 +16,10 @@
 //! * [`engine`] — serial and parallel (crossbeam-scoped) enactment,
 //!   with per-task retry (exponential backoff, a shared per-workflow
 //!   retry budget) and host migration for fault tolerance;
+//! * [`memo`] — memoised enactment: pure tasks with unchanged input
+//!   fingerprints are served from an LRU result cache without
+//!   executing (the workflow half of the content-addressed data
+//!   plane);
 //! * [`wsimport`] — WSDL import: one tool per operation, invoking the
 //!   service over the simulated network with health-aware replica
 //!   failover (circuit breakers, deadlines, failing-primary demotion);
@@ -33,6 +37,7 @@ pub mod error;
 pub mod graph;
 pub mod group;
 pub mod iterate;
+pub mod memo;
 pub mod patterns;
 pub mod toolbox;
 pub mod wsimport;
@@ -48,6 +53,7 @@ pub mod prelude {
     };
     pub use crate::error::{Result, WorkflowError};
     pub use crate::graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
+    pub use crate::memo::MemoCache;
     pub use crate::toolbox::Toolbox;
     pub use crate::wsimport::import_wsdl;
 }

@@ -36,12 +36,29 @@ pub struct WsTool {
     last_served: Mutex<Option<String>>,
     /// Aggregate attempt/backoff statistics of the most recent `execute`.
     last_stats: Mutex<CallStats>,
+    /// Whether the remote operation is a pure function of its inputs
+    /// (set from service metadata; enables memoised enactment).
+    pure: bool,
 }
 
 impl WsTool {
     /// The service this tool invokes.
     pub fn service(&self) -> &str {
         &self.service
+    }
+
+    /// The WSDL operation this tool marshals.
+    pub fn operation(&self) -> &Operation {
+        &self.operation
+    }
+
+    /// Declare whether the remote operation is pure (side-effect free
+    /// and deterministic in its inputs). Import cannot know this from
+    /// the WSDL alone, so it defaults to impure; deployments with
+    /// service metadata (e.g. a per-service purity table) opt
+    /// operations in.
+    pub fn set_pure(&mut self, pure: bool) {
+        self.pure = pure;
     }
 
     /// The hosts this tool will try, in order.
@@ -210,6 +227,16 @@ impl Tool for WsTool {
             attempt_errors.join(" | ")
         ))
     }
+
+    fn is_pure(&self) -> bool {
+        self.pure
+    }
+
+    fn memo_identity(&self) -> String {
+        // Service + operation, not the display name: replica set and
+        // resilience wiring don't change what a pure operation returns.
+        format!("ws:{}.{}", self.service, self.operation.name)
+    }
 }
 
 /// Import a WSDL document: one [`WsTool`] per operation, targeting
@@ -228,6 +255,7 @@ pub fn import_wsdl(network: Arc<Network>, host: &str, wsdl: &WsdlDocument) -> Ve
             resilience: None,
             last_served: Mutex::new(None),
             last_stats: Mutex::new(CallStats::default()),
+            pure: false,
         })
         .collect()
 }

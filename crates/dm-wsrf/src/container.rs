@@ -2,6 +2,7 @@
 //! deployed by name and envelopes are dispatched to them, with every
 //! invocation recorded by the monitor.
 
+use crate::dataplane::AttachmentStore;
 use crate::error::{Result, WsError};
 use crate::monitor::{InvocationEvent, MonitorLog, Outcome};
 use crate::soap::{SoapCall, SoapResponse, SoapValue};
@@ -62,11 +63,23 @@ pub trait WebService: Send + Sync {
     ) -> std::result::Result<SoapValue, ServiceFault>;
 }
 
+/// Default per-host attachment store bound: 64 MiB, comfortably more
+/// than the paper's datasets while still exercising eviction in tests.
+pub const DEFAULT_ATTACHMENT_CAPACITY: usize = 64 * 1024 * 1024;
+
+/// Materialised arguments plus what the resolution saved on the wire.
+struct ResolvedArgs {
+    args: Vec<(String, SoapValue)>,
+    ref_hits: usize,
+    bytes_saved: usize,
+}
+
 /// An Axis-like container holding deployed services on one host.
 pub struct ServiceContainer {
     host: String,
     services: RwLock<HashMap<String, Arc<dyn WebService>>>,
     monitor: Arc<MonitorLog>,
+    attachments: Arc<AttachmentStore>,
 }
 
 impl ServiceContainer {
@@ -76,6 +89,7 @@ impl ServiceContainer {
             host: host.into(),
             services: RwLock::new(HashMap::new()),
             monitor: Arc::new(MonitorLog::new()),
+            attachments: Arc::new(AttachmentStore::new(DEFAULT_ATTACHMENT_CAPACITY)),
         }
     }
 
@@ -87,6 +101,12 @@ impl ServiceContainer {
     /// The container's invocation monitor.
     pub fn monitor(&self) -> Arc<MonitorLog> {
         Arc::clone(&self.monitor)
+    }
+
+    /// The host-side attachment store: payloads this host has already
+    /// received or served, addressable by content hash.
+    pub fn attachments(&self) -> Arc<AttachmentStore> {
+        Arc::clone(&self.attachments)
     }
 
     /// Deploy a service (replacing any prior deployment of the name).
@@ -122,10 +142,50 @@ impl ServiceContainer {
         Ok(wsdl)
     }
 
-    /// Dispatch a decoded call, recording the invocation.
+    /// Resolve any `DataRef` arguments against this host's attachment
+    /// store. Returns the materialised arguments (or the originals,
+    /// untouched, when no references are present) plus how many
+    /// references resolved and the wire bytes they saved. An unknown
+    /// reference is the caller's error — the sender substituted a
+    /// handle this host never held.
+    fn resolve_refs(
+        &self,
+        args: &[(String, SoapValue)],
+    ) -> std::result::Result<ResolvedArgs, ServiceFault> {
+        let mut resolved = ResolvedArgs {
+            args: Vec::with_capacity(args.len()),
+            ref_hits: 0,
+            bytes_saved: 0,
+        };
+        for (name, value) in args {
+            if let Some((hash, _, _)) = value.as_data_ref() {
+                let payload = self.attachments.get(hash).ok_or_else(|| {
+                    ServiceFault::client(format!(
+                        "unknown dataRef {hash:032x} (not in {}'s attachment store)",
+                        self.host
+                    ))
+                })?;
+                let materialised = payload.to_value();
+                resolved.ref_hits += 1;
+                resolved.bytes_saved += materialised.wire_size().saturating_sub(value.wire_size());
+                resolved.args.push((name.clone(), materialised));
+            } else {
+                resolved.args.push((name.clone(), value.clone()));
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// Dispatch a decoded call, recording the invocation. `DataRef`
+    /// arguments are materialised from the attachment store before the
+    /// service sees them — services never know whether a payload
+    /// arrived inline or by reference.
     pub fn dispatch(&self, call: &SoapCall) -> SoapResponse {
         let service = self.services.read().get(&call.service).cloned();
         let start = Instant::now();
+        let has_refs = call.args.iter().any(|(_, v)| v.as_data_ref().is_some());
+        let mut ref_hits = 0;
+        let mut bytes_saved = 0;
         let response = match service {
             None => SoapResponse::Fault {
                 code: "Client".into(),
@@ -134,13 +194,27 @@ impl ServiceContainer {
                     call.service, self.host
                 ),
             },
-            Some(s) => match s.invoke(&call.operation, &call.args) {
-                Ok(v) => SoapResponse::Value(v),
-                Err(fault) => SoapResponse::Fault {
-                    code: fault.code.into(),
-                    message: fault.message,
-                },
-            },
+            Some(s) => {
+                let invoked = if has_refs {
+                    match self.resolve_refs(&call.args) {
+                        Ok(resolved) => {
+                            ref_hits = resolved.ref_hits;
+                            bytes_saved = resolved.bytes_saved;
+                            s.invoke(&call.operation, &resolved.args)
+                        }
+                        Err(fault) => Err(fault),
+                    }
+                } else {
+                    s.invoke(&call.operation, &call.args)
+                };
+                match invoked {
+                    Ok(v) => SoapResponse::Value(v),
+                    Err(fault) => SoapResponse::Fault {
+                        code: fault.code.into(),
+                        message: fault.message,
+                    },
+                }
+            }
         };
         let outcome = match &response {
             SoapResponse::Value(_) => Outcome::Ok,
@@ -156,6 +230,8 @@ impl ServiceContainer {
                 SoapResponse::Value(v) => v.wire_size(),
                 SoapResponse::Fault { .. } => 64,
             },
+            bytes_saved,
+            ref_hits,
             outcome,
         });
         response
@@ -291,6 +367,51 @@ mod tests {
         assert!(matches!(events[0].outcome, Outcome::Ok));
         assert!(matches!(events[1].outcome, Outcome::Fault(_)));
         assert_eq!(events[0].service, "Echo");
+    }
+
+    #[test]
+    fn data_ref_args_resolve_from_attachment_store() {
+        use crate::dataplane::{content_ref, Payload};
+        let c = container();
+        let payload = SoapValue::Text("x".repeat(5000));
+        let cr = content_ref(&payload).unwrap();
+        c.attachments()
+            .insert(cr.hash, Payload::from_value(&payload).unwrap());
+        let call = SoapCall::new("Echo", "echo").arg(
+            "message",
+            SoapValue::DataRef {
+                hash: cr.hash,
+                len: cr.len,
+                kind: cr.kind,
+            },
+        );
+        match c.dispatch(&call) {
+            SoapResponse::Value(v) => assert_eq!(v, payload),
+            other => panic!("expected materialised payload, got {other:?}"),
+        }
+        let event = c.monitor().snapshot().pop().unwrap();
+        assert_eq!(event.ref_hits, 1);
+        assert!(event.bytes_saved > 4000, "saved {}", event.bytes_saved);
+    }
+
+    #[test]
+    fn unknown_data_ref_is_client_fault() {
+        let c = container();
+        let call = SoapCall::new("Echo", "echo").arg(
+            "message",
+            SoapValue::DataRef {
+                hash: 0x1234,
+                len: 10,
+                kind: crate::soap::RefKind::Text,
+            },
+        );
+        match c.dispatch(&call) {
+            SoapResponse::Fault { code, message } => {
+                assert_eq!(code, "Client");
+                assert!(message.contains("dataRef"), "{message}");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
     }
 
     #[test]

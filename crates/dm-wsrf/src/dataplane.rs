@@ -1,0 +1,705 @@
+//! The content-addressed data plane.
+//!
+//! The paper's SOAP messages ship every dataset and serialised model
+//! inline on every call — §4.5 measures exactly that cost. This module
+//! supplies the era's remedy (SOAP attachments / DIME, and the
+//! data-locality strategy of Grid-WEKA): payloads are identified by a
+//! stable **content hash** and can travel as compact
+//! [`crate::soap::SoapValue::DataRef`] handles once the receiving side
+//! already holds the bytes in its [`AttachmentStore`].
+//!
+//! Three pieces live here:
+//!
+//! * content hashing ([`content_hash`], [`fingerprint`]) — a seeded
+//!   double-FNV-1a 128-bit digest, dependency-free and stable across
+//!   runs, used both for attachment identity and for memoisation keys;
+//! * [`AttachmentStore`] — a size-bounded, thread-safe LRU of payloads
+//!   keyed by content hash, with hit/miss/eviction counters. One store
+//!   sits in every service container (the host side) and one in the
+//!   network (the client/engine side);
+//! * [`LruMap`] — the generic entry-bounded LRU underneath the
+//!   trained-model and memoisation caches in the upper layers.
+
+use crate::soap::{RefKind, SoapValue};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// FNV-1a over two 64-bit lanes with distinct offset bases, cross-mixed
+/// so the lanes decorrelate. Not cryptographic — collision resistance
+/// only needs to hold against honest workloads, like the CRC-style
+/// content ids of the DIME era.
+#[derive(Debug, Clone)]
+pub struct Hasher128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        Hasher128::new()
+    }
+}
+
+impl Hasher128 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Start a fresh digest.
+    pub fn new() -> Hasher128 {
+        Hasher128 {
+            lo: 0xcbf2_9ce4_8422_2325,
+            hi: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(Self::PRIME);
+            self.hi = (self.hi ^ u64::from(b)).wrapping_mul(Self::PRIME) ^ self.lo.rotate_left(29);
+        }
+    }
+
+    /// Absorb a single tag byte (used to separate value kinds).
+    pub fn write_u8(&mut self, byte: u8) {
+        self.write(&[byte]);
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+/// Hash a byte string.
+pub fn hash_bytes(bytes: &[u8]) -> u128 {
+    let mut h = Hasher128::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A content-addressed description of a Text or Bytes payload: what a
+/// [`crate::soap::SoapValue::DataRef`] carries on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentRef {
+    /// Content hash of the payload bytes (kind-tagged).
+    pub hash: u128,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Whether the payload was a string or binary.
+    pub kind: RefKind,
+}
+
+/// Compute the content address of a value, if it is one of the payload
+/// kinds the data plane can pass by reference (Text or Bytes). The
+/// hash is tagged by kind so equal byte strings of different kinds
+/// never alias.
+pub fn content_ref(value: &SoapValue) -> Option<ContentRef> {
+    let (tag, bytes, kind) = match value {
+        SoapValue::Text(s) => (b'T', s.as_bytes(), RefKind::Text),
+        SoapValue::Bytes(b) => (b'B', b.as_slice(), RefKind::Bytes),
+        _ => return None,
+    };
+    let mut h = Hasher128::new();
+    h.write_u8(tag);
+    h.write(bytes);
+    Some(ContentRef {
+        hash: h.finish(),
+        len: bytes.len() as u64,
+        kind,
+    })
+}
+
+/// Structural fingerprint of any SOAP value — every variant, nested
+/// lists included. This is the memoisation key material: two values
+/// fingerprint equal iff they would serialise identically.
+pub fn fingerprint(value: &SoapValue) -> u128 {
+    let mut h = Hasher128::new();
+    fingerprint_into(value, &mut h);
+    h.finish()
+}
+
+fn fingerprint_into(value: &SoapValue, h: &mut Hasher128) {
+    match value {
+        SoapValue::Null => h.write_u8(0),
+        SoapValue::Bool(b) => {
+            h.write_u8(1);
+            h.write_u8(u8::from(*b));
+        }
+        SoapValue::Int(i) => {
+            h.write_u8(2);
+            h.write(&i.to_le_bytes());
+        }
+        SoapValue::Double(d) => {
+            h.write_u8(3);
+            h.write(&d.to_bits().to_le_bytes());
+        }
+        SoapValue::Text(s) => {
+            h.write_u8(4);
+            h.write(&(s.len() as u64).to_le_bytes());
+            h.write(s.as_bytes());
+        }
+        SoapValue::Bytes(b) => {
+            h.write_u8(5);
+            h.write(&(b.len() as u64).to_le_bytes());
+            h.write(b);
+        }
+        SoapValue::List(items) => {
+            h.write_u8(6);
+            h.write(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                fingerprint_into(item, h);
+            }
+        }
+        SoapValue::DataRef { hash, len, kind } => {
+            h.write_u8(7);
+            h.write(&hash.to_le_bytes());
+            h.write(&len.to_le_bytes());
+            h.write_u8(match kind {
+                RefKind::Text => 0,
+                RefKind::Bytes => 1,
+            });
+        }
+    }
+}
+
+/// A stored payload. Text and binary bodies are kept behind `Arc` so
+/// hits never copy until the payload is materialised into a value.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A string body.
+    Text(Arc<str>),
+    /// A binary body.
+    Bytes(Arc<[u8]>),
+}
+
+impl Payload {
+    /// Capture the payload of a Text or Bytes value.
+    pub fn from_value(value: &SoapValue) -> Option<Payload> {
+        match value {
+            SoapValue::Text(s) => Some(Payload::Text(Arc::from(s.as_str()))),
+            SoapValue::Bytes(b) => Some(Payload::Bytes(Arc::from(b.as_slice()))),
+            _ => None,
+        }
+    }
+
+    /// Materialise back into a SOAP value.
+    pub fn to_value(&self) -> SoapValue {
+        match self {
+            Payload::Text(s) => SoapValue::Text(s.to_string()),
+            Payload::Bytes(b) => SoapValue::Bytes(b.to_vec()),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Text(s) => s.len(),
+            Payload::Bytes(b) => b.len(),
+        }
+    }
+
+    /// `true` for a zero-length payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Counter snapshot shared by every cache in the data plane. The
+/// invariant callers may rely on: `lookups == hits + misses`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total `get` calls.
+    pub lookups: u64,
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries added.
+    pub insertions: u64,
+    /// Entries pushed out by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Payload bytes currently held (0 for entry-bounded caches that do
+    /// not track sizes).
+    pub bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Counters {
+    fn hit(&self) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, entries: usize, bytes: usize) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+struct StoreInner {
+    /// hash → (payload, recency sequence number).
+    map: HashMap<u128, (Payload, u64)>,
+    /// recency sequence → hash; the first entry is the LRU victim.
+    order: BTreeMap<u64, u128>,
+    clock: u64,
+    bytes: usize,
+    capacity: usize,
+}
+
+impl StoreInner {
+    fn touch(&mut self, hash: u128) {
+        if let Some((_, seq)) = self.map.get_mut(&hash) {
+            self.order.remove(seq);
+            self.clock += 1;
+            *seq = self.clock;
+            self.order.insert(self.clock, hash);
+        }
+    }
+
+    fn evict_lru(&mut self) -> bool {
+        let Some((&seq, &hash)) = self.order.iter().next() else {
+            return false;
+        };
+        self.order.remove(&seq);
+        if let Some((payload, _)) = self.map.remove(&hash) {
+            self.bytes -= payload.len();
+        }
+        true
+    }
+}
+
+/// A size-bounded LRU attachment store keyed by content hash.
+///
+/// Every host container owns one (the server side of pass-by-reference)
+/// and the network owns one for the client/engine side. `get` counts a
+/// hit or miss and refreshes recency; `insert` evicts least-recently
+/// used payloads until the byte bound holds. A payload larger than the
+/// whole store is not cached at all — callers simply keep shipping it
+/// inline.
+pub struct AttachmentStore {
+    inner: Mutex<StoreInner>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for AttachmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("AttachmentStore")
+            .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl AttachmentStore {
+    /// Create a store bounded to `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: usize) -> AttachmentStore {
+        AttachmentStore {
+            inner: Mutex::new(StoreInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+                bytes: 0,
+                capacity: capacity_bytes,
+            }),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The byte bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Rebound the store, evicting LRU payloads if it now overflows.
+    pub fn set_capacity(&self, capacity_bytes: usize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity_bytes;
+        let mut evicted = 0;
+        while inner.bytes > inner.capacity && inner.evict_lru() {
+            evicted += 1;
+        }
+        self.counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Fetch a payload by hash, counting a hit or miss and refreshing
+    /// recency on hit.
+    pub fn get(&self, hash: u128) -> Option<Payload> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(&hash) {
+            Some((payload, _)) => {
+                let payload = payload.clone();
+                inner.touch(hash);
+                self.counters.hit();
+                Some(payload)
+            }
+            None => {
+                self.counters.miss();
+                None
+            }
+        }
+    }
+
+    /// Presence check without touching recency or counters (test and
+    /// diagnostic use).
+    pub fn contains(&self, hash: u128) -> bool {
+        self.inner.lock().map.contains_key(&hash)
+    }
+
+    /// Insert a payload, evicting LRU entries until the byte bound
+    /// holds. Oversized payloads (larger than the whole store) are
+    /// dropped rather than cached.
+    pub fn insert(&self, hash: u128, payload: Payload) {
+        let mut inner = self.inner.lock();
+        if payload.len() > inner.capacity {
+            return;
+        }
+        if inner.map.contains_key(&hash) {
+            inner.touch(hash);
+            return;
+        }
+        inner.bytes += payload.len();
+        inner.clock += 1;
+        let seq = inner.clock;
+        inner.map.insert(hash, (payload, seq));
+        inner.order.insert(seq, hash);
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = 0;
+        while inner.bytes > inner.capacity && inner.evict_lru() {
+            evicted += 1;
+        }
+        self.counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Number of payloads held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().map.is_empty()
+    }
+
+    /// Payload bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Counter snapshot (`lookups == hits + misses`).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        self.counters.snapshot(inner.map.len(), inner.bytes)
+    }
+
+    /// Drop every payload (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+}
+
+struct LruInner<K, V> {
+    map: HashMap<K, (V, u64)>,
+    order: BTreeMap<u64, K>,
+    clock: u64,
+    capacity: usize,
+}
+
+/// A generic entry-bounded LRU map with the same counter discipline as
+/// [`AttachmentStore`]. The trained-model cache (`dm-services`) and the
+/// workflow memoisation cache (`dm-workflow`) are both built on this.
+pub struct LruMap<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+    counters: Counters,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
+    /// Create a map bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> LruMap<K, V> {
+        LruMap {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+                capacity: capacity.max(1),
+            }),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Fetch, counting a hit or miss and refreshing recency on hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key) {
+            Some((value, _)) => {
+                let value = value.clone();
+                let seq = inner.map.get(key).map(|(_, s)| *s).unwrap_or_default();
+                inner.order.remove(&seq);
+                inner.clock += 1;
+                let clock = inner.clock;
+                if let Some((_, s)) = inner.map.get_mut(key) {
+                    *s = clock;
+                }
+                inner.order.insert(clock, key.clone());
+                self.counters.hit();
+                Some(value)
+            }
+            None => {
+                self.counters.miss();
+                None
+            }
+        }
+    }
+
+    /// Presence check without counters or recency effects.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Insert (replacing any previous value), evicting the LRU entry
+    /// when the entry bound is exceeded.
+    pub fn insert(&self, key: K, value: V) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let seq = inner.clock;
+        if let Some((_, old_seq)) = inner.map.insert(key.clone(), (value, seq)) {
+            inner.order.remove(&old_seq);
+        } else {
+            self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.order.insert(seq, key);
+        while inner.map.len() > inner.capacity {
+            let Some((&victim_seq, victim)) = inner.order.iter().next() else {
+                break;
+            };
+            let victim = victim.clone();
+            inner.order.remove(&victim_seq);
+            inner.map.remove(&victim);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of entries held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().map.is_empty()
+    }
+
+    /// Counter snapshot (`lookups == hits + misses`).
+    pub fn stats(&self) -> CacheStats {
+        self.counters.snapshot(self.inner.lock().map.len(), 0)
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+impl<K, V> std::fmt::Debug for LruMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruMap")
+            .field("entries", &self.inner.lock().map.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(n: usize, fill: char) -> SoapValue {
+        SoapValue::Text(fill.to_string().repeat(n))
+    }
+
+    fn stored(v: &SoapValue) -> (u128, Payload) {
+        let r = content_ref(v).unwrap();
+        (r.hash, Payload::from_value(v).unwrap())
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_kind_tagged() {
+        let a = content_ref(&SoapValue::Text("abc".into())).unwrap();
+        let b = content_ref(&SoapValue::Text("abc".into())).unwrap();
+        assert_eq!(a, b);
+        let bytes = content_ref(&SoapValue::Bytes(b"abc".to_vec())).unwrap();
+        assert_ne!(a.hash, bytes.hash, "kind tag must separate Text/Bytes");
+        assert_eq!(a.len, 3);
+        assert!(content_ref(&SoapValue::Int(3)).is_none());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let a = fingerprint(&SoapValue::List(vec![
+            SoapValue::Text("ab".into()),
+            SoapValue::Text("c".into()),
+        ]));
+        let b = fingerprint(&SoapValue::List(vec![
+            SoapValue::Text("a".into()),
+            SoapValue::Text("bc".into()),
+        ]));
+        assert_ne!(a, b, "length prefixes must prevent concatenation aliasing");
+        assert_ne!(
+            fingerprint(&SoapValue::Int(1)),
+            fingerprint(&SoapValue::Bool(true))
+        );
+        assert_eq!(
+            fingerprint(&SoapValue::Double(0.5)),
+            fingerprint(&SoapValue::Double(0.5))
+        );
+    }
+
+    #[test]
+    fn store_counts_hits_and_misses() {
+        let store = AttachmentStore::new(1024);
+        let (hash, payload) = stored(&text(10, 'x'));
+        assert!(store.get(hash).is_none());
+        store.insert(hash, payload);
+        assert!(store.get(hash).is_some());
+        assert!(store.get(hash).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, 10);
+    }
+
+    #[test]
+    fn store_evicts_lru_first() {
+        // Capacity fits two 10-byte payloads; touching A must make B
+        // the victim when C arrives.
+        let store = AttachmentStore::new(20);
+        let (ha, pa) = stored(&text(10, 'a'));
+        let (hb, pb) = stored(&text(10, 'b'));
+        let (hc, pc) = stored(&text(10, 'c'));
+        store.insert(ha, pa);
+        store.insert(hb, pb);
+        assert!(store.get(ha).is_some(), "touch A");
+        store.insert(hc, pc);
+        assert!(store.contains(ha), "recently used survives");
+        assert!(!store.contains(hb), "LRU entry is evicted");
+        assert!(store.contains(hc));
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.bytes() <= 20);
+    }
+
+    #[test]
+    fn store_rejects_oversized_payloads() {
+        let store = AttachmentStore::new(8);
+        let (h, p) = stored(&text(100, 'z'));
+        store.insert(h, p);
+        assert!(store.is_empty(), "oversized payloads are not cached");
+    }
+
+    #[test]
+    fn store_recapacity_evicts() {
+        let store = AttachmentStore::new(100);
+        for fill in ['a', 'b', 'c'] {
+            let (h, p) = stored(&text(30, fill));
+            store.insert(h, p);
+        }
+        assert_eq!(store.len(), 3);
+        store.set_capacity(40);
+        assert_eq!(store.len(), 1);
+        let (hc, _) = stored(&text(30, 'c'));
+        assert!(store.contains(hc), "most recent payload survives");
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        for v in [text(5, 'q'), SoapValue::Bytes(vec![1, 2, 3])] {
+            let p = Payload::from_value(&v).unwrap();
+            assert_eq!(p.to_value(), v);
+            assert!(!p.is_empty());
+        }
+        assert!(Payload::from_value(&SoapValue::Null).is_none());
+    }
+
+    #[test]
+    fn lru_map_eviction_order_and_stats() {
+        let cache: LruMap<u32, String> = LruMap::new(2);
+        cache.insert(1, "one".into());
+        cache.insert(2, "two".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        cache.insert(3, "three".into());
+        assert!(!cache.contains(&2), "LRU entry evicted");
+        assert!(cache.contains(&1) && cache.contains(&3));
+        assert!(cache.get(&2).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn lru_map_replace_keeps_len() {
+        let cache: LruMap<u32, u32> = LruMap::new(4);
+        cache.insert(1, 10);
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn stores_are_thread_safe() {
+        let store = Arc::new(AttachmentStore::new(1 << 20));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let v = SoapValue::Text(format!("t{t}-{i}"));
+                    let r = content_ref(&v).unwrap();
+                    store.insert(r.hash, Payload::from_value(&v).unwrap());
+                    assert!(store.get(r.hash).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 400);
+    }
+}

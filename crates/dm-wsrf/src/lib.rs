@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod container;
+pub mod dataplane;
 pub mod error;
 pub mod lifecycle;
 pub mod monitor;
@@ -49,6 +50,7 @@ pub use error::{Result, WsError};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::container::{ServiceContainer, ServiceFault, WebService};
+    pub use crate::dataplane::{AttachmentStore, CacheStats, LruMap};
     pub use crate::error::{Result, WsError};
     pub use crate::lifecycle::{InstanceStore, LifecycleManager, LifecyclePolicy};
     pub use crate::registry::{ServiceEntry, UddiRegistry};

@@ -41,6 +41,11 @@ pub struct InvocationEvent {
     pub bytes_in: usize,
     /// Response payload size.
     pub bytes_out: usize,
+    /// Wire bytes avoided by pass-by-reference substitution (0 when
+    /// the data plane is off or nothing was substituted).
+    pub bytes_saved: usize,
+    /// Payloads that travelled as `DataRef` handles instead of inline.
+    pub ref_hits: usize,
     /// Success or fault.
     pub outcome: Outcome,
 }
@@ -58,6 +63,10 @@ pub struct MonitorSummary {
     pub bytes_in: usize,
     /// Total response bytes.
     pub bytes_out: usize,
+    /// Total wire bytes avoided by pass-by-reference substitution.
+    pub bytes_saved: usize,
+    /// Total payloads that travelled as `DataRef` handles.
+    pub ref_hits: usize,
 }
 
 /// Per-host aggregate statistics, the registry's and circuit breakers'
@@ -130,6 +139,8 @@ impl MonitorLog {
             total_duration: Duration::ZERO,
             bytes_in: 0,
             bytes_out: 0,
+            bytes_saved: 0,
+            ref_hits: 0,
         };
         for e in events.iter() {
             if let Some(name) = service {
@@ -144,6 +155,8 @@ impl MonitorLog {
             s.total_duration += e.duration;
             s.bytes_in += e.bytes_in;
             s.bytes_out += e.bytes_out;
+            s.bytes_saved += e.bytes_saved;
+            s.ref_hits += e.ref_hits;
         }
         s
     }
@@ -206,6 +219,8 @@ mod tests {
             duration: Duration::from_millis(5),
             bytes_in: 100,
             bytes_out: 50,
+            bytes_saved: 0,
+            ref_hits: 0,
             outcome,
         }
     }

@@ -17,7 +17,7 @@
 
 use crate::error::{Result, WsError};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
 
 /// One published service record.
@@ -52,13 +52,53 @@ struct HealthRecord {
     marked_dead: bool,
 }
 
+/// Indexed entry storage: name → entry for O(1) exact inquiry, plus a
+/// category → names inverted index so category inquiry is proportional
+/// to the result set, not the registry (E11 measured the old list scan
+/// at 122 µs per inquiry at 1 000 entries). `BTreeSet` keeps each
+/// category's names sorted, which is exactly the order the category
+/// inquiry API promises.
+#[derive(Debug, Default)]
+struct EntryIndex {
+    by_name: HashMap<String, ServiceEntry>,
+    by_category: HashMap<String, BTreeSet<String>>,
+}
+
+impl EntryIndex {
+    fn insert(&mut self, entry: ServiceEntry) {
+        self.remove(&entry.name);
+        for category in &entry.categories {
+            self.by_category
+                .entry(category.clone())
+                .or_default()
+                .insert(entry.name.clone());
+        }
+        self.by_name.insert(entry.name.clone(), entry);
+    }
+
+    fn remove(&mut self, name: &str) -> bool {
+        let Some(old) = self.by_name.remove(name) else {
+            return false;
+        };
+        for category in &old.categories {
+            if let Some(names) = self.by_category.get_mut(category) {
+                names.remove(name);
+                if names.is_empty() {
+                    self.by_category.remove(category);
+                }
+            }
+        }
+        true
+    }
+}
+
 /// The registry. Publishing the same name twice replaces the entry
 /// (re-deployment), matching jUDDI's businessService update semantics.
 /// Health lives in a side table keyed by service name so entry records
 /// stay plain published data.
 #[derive(Debug, Default)]
 pub struct UddiRegistry {
-    entries: RwLock<Vec<ServiceEntry>>,
+    entries: RwLock<EntryIndex>,
     health: RwLock<HashMap<String, HealthRecord>>,
 }
 
@@ -73,17 +113,14 @@ impl UddiRegistry {
     pub fn publish(&self, entry: ServiceEntry) {
         let mut entries = self.entries.write();
         self.health.write().remove(&entry.name);
-        entries.retain(|e| e.name != entry.name);
-        entries.push(entry);
+        entries.insert(entry);
     }
 
     /// Remove an entry; returns whether one existed.
     pub fn unpublish(&self, name: &str) -> bool {
         let mut entries = self.entries.write();
         self.health.write().remove(name);
-        let before = entries.len();
-        entries.retain(|e| e.name != name);
-        entries.len() != before
+        entries.remove(name)
     }
 
     /// Record a liveness heartbeat for `name` at virtual time `now`.
@@ -122,20 +159,20 @@ impl UddiRegistry {
 
     /// Number of published services.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().by_name.len()
     }
 
     /// `true` when nothing is published.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries.read().by_name.is_empty()
     }
 
-    /// Exact-name inquiry.
+    /// Exact-name inquiry (indexed: one hash lookup).
     pub fn find(&self, name: &str) -> Result<ServiceEntry> {
         self.entries
             .read()
-            .iter()
-            .find(|e| e.name == name)
+            .by_name
+            .get(name)
             .cloned()
             .ok_or_else(|| WsError::NotFound(format!("service {name:?}")))
     }
@@ -146,7 +183,8 @@ impl UddiRegistry {
         let mut hits: Vec<ServiceEntry> = self
             .entries
             .read()
-            .iter()
+            .by_name
+            .values()
             .filter(|e| e.name.to_ascii_lowercase().contains(&needle))
             .cloned()
             .collect();
@@ -154,22 +192,24 @@ impl UddiRegistry {
         hits
     }
 
-    /// Category inquiry, sorted by name.
+    /// Category inquiry, sorted by name. Served from the inverted
+    /// index: cost is proportional to the number of matches, and the
+    /// `BTreeSet` iterates names already in sorted order.
     pub fn find_by_category(&self, category: &str) -> Vec<ServiceEntry> {
-        let mut hits: Vec<ServiceEntry> = self
-            .entries
-            .read()
-            .iter()
-            .filter(|e| e.categories.iter().any(|c| c == category))
-            .cloned()
-            .collect();
-        hits.sort_by(|a, b| a.name.cmp(&b.name));
-        hits
+        let entries = self.entries.read();
+        match entries.by_category.get(category) {
+            None => Vec::new(),
+            Some(names) => names
+                .iter()
+                .filter_map(|name| entries.by_name.get(name).cloned())
+                .collect(),
+        }
     }
 
     /// All entries, sorted by name.
     pub fn all(&self) -> Vec<ServiceEntry> {
-        let mut entries = self.entries.read().clone();
+        let mut entries: Vec<ServiceEntry> =
+            self.entries.read().by_name.values().cloned().collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         entries
     }
@@ -359,6 +399,40 @@ mod tests {
             reg.find_by_category_healthy("c", Duration::from_secs(10), Duration::from_secs(60));
         assert_eq!(hits[0].name, "New");
         assert_eq!(hits[1].name, "Old");
+    }
+
+    #[test]
+    fn category_index_follows_republish_and_unpublish() {
+        let reg = UddiRegistry::new();
+        reg.publish(entry("S", &["alpha", "beta"]));
+        assert_eq!(reg.find_by_category("alpha").len(), 1);
+        assert_eq!(reg.find_by_category("beta").len(), 1);
+
+        // Re-publishing with different categories must drop the stale
+        // index entries and add the new ones.
+        reg.publish(entry("S", &["beta", "gamma"]));
+        assert!(reg.find_by_category("alpha").is_empty());
+        assert_eq!(reg.find_by_category("beta").len(), 1);
+        assert_eq!(reg.find_by_category("gamma").len(), 1);
+
+        reg.unpublish("S");
+        assert!(reg.find_by_category("beta").is_empty());
+        assert!(reg.find_by_category("gamma").is_empty());
+    }
+
+    #[test]
+    fn category_results_stay_name_sorted_at_scale() {
+        let reg = UddiRegistry::new();
+        // Insert in reverse order; the index must still return sorted.
+        for i in (0..100).rev() {
+            reg.publish(entry(&format!("Svc{i:03}"), &["datamining"]));
+        }
+        let hits = reg.find_by_category("datamining");
+        assert_eq!(hits.len(), 100);
+        let names: Vec<&str> = hits.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -4,7 +4,25 @@
 //! pre-defined SOAP messages" (§4.5) — these are those messages.
 
 use crate::error::{Result, WsError};
-use crate::xml::{parse, XmlElement};
+use crate::xml::{escape_into, parse, XmlElement};
+
+/// The payload kind behind a [`SoapValue::DataRef`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// The referenced payload is a string (`xsd:string`).
+    Text,
+    /// The referenced payload is binary (`xsd:base64Binary`).
+    Bytes,
+}
+
+impl RefKind {
+    fn wire_name(self) -> &'static str {
+        match self {
+            RefKind::Text => "text",
+            RefKind::Bytes => "bytes",
+        }
+    }
+}
 
 /// A typed SOAP value (the subset of XSD the toolkit exchanges).
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +42,19 @@ pub enum SoapValue {
     Bytes(Vec<u8>),
     /// A sequence of values.
     List(Vec<SoapValue>),
+    /// A content-addressed handle standing in for a Text or Bytes
+    /// payload the receiver is expected to already hold (the SOAP
+    /// attachment / pass-by-reference style of the data plane). On the
+    /// wire it is `hash:len:kind`, a fixed ~80 bytes regardless of the
+    /// payload size it replaces.
+    DataRef {
+        /// Content hash of the referenced payload.
+        hash: u128,
+        /// Referenced payload length in bytes.
+        len: u64,
+        /// Whether the payload is a string or binary.
+        kind: RefKind,
+    },
 }
 
 impl SoapValue {
@@ -37,6 +68,7 @@ impl SoapValue {
             SoapValue::Text(_) => "string",
             SoapValue::Bytes(_) => "base64Binary",
             SoapValue::List(_) => "list",
+            SoapValue::DataRef { .. } => "dataRef",
         }
     }
 
@@ -96,19 +128,54 @@ impl SoapValue {
         }
     }
 
-    fn to_element(&self, name: &str) -> XmlElement {
-        let el = XmlElement::new(name).attr("xsi:type", self.type_name());
-        match self {
-            SoapValue::Null => el,
-            SoapValue::Bool(b) => el.with_text(b.to_string()),
-            SoapValue::Int(i) => el.with_text(i.to_string()),
-            SoapValue::Double(d) => el.with_text(format_double(*d)),
-            SoapValue::Text(s) => el.with_text(s.clone()),
-            SoapValue::Bytes(b) => el.with_text(hex_encode(b)),
-            SoapValue::List(items) => items
-                .iter()
-                .fold(el, |acc, item| acc.child(item.to_element("item"))),
+    /// Write this value as `<name xsi:type="...">...</name>` directly
+    /// into `out`, byte-identical to building an [`XmlElement`] tree and
+    /// serialising it, but without cloning names, text, or intermediate
+    /// nodes. Envelope encoding is on the hot path of every simulated
+    /// wire message, so this is where the allocation churn used to be.
+    fn write_element(&self, name: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(name);
+        out.push_str(" xsi:type=\"");
+        out.push_str(self.type_name());
+        out.push('"');
+        // Mirror the tree writer: childless, textless elements
+        // self-close.
+        let self_closing = match self {
+            SoapValue::Null => true,
+            SoapValue::Text(s) => s.is_empty(),
+            SoapValue::Bytes(b) => b.is_empty(),
+            SoapValue::List(items) => items.is_empty(),
+            _ => false,
+        };
+        if self_closing {
+            out.push_str("/>");
+            return;
         }
+        out.push('>');
+        match self {
+            SoapValue::Null => {}
+            SoapValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            SoapValue::Int(i) => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{i}");
+            }
+            SoapValue::Double(d) => format_double_into(*d, out),
+            SoapValue::Text(s) => escape_into(s, out),
+            SoapValue::Bytes(b) => hex_encode_into(b, out),
+            SoapValue::List(items) => {
+                for item in items {
+                    item.write_element("item", out);
+                }
+            }
+            SoapValue::DataRef { hash, len, kind } => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{hash:032x}:{len}:{}", kind.wire_name());
+            }
+        }
+        out.push_str("</");
+        out.push_str(name);
+        out.push('>');
     }
 
     fn from_element(el: &XmlElement) -> Result<SoapValue> {
@@ -130,6 +197,7 @@ impl SoapValue {
                     .map(SoapValue::from_element)
                     .collect::<Result<_>>()?,
             ),
+            "dataRef" => parse_data_ref(&el.text)?,
             other => return Err(WsError::Malformed(format!("unknown xsi:type {other:?}"))),
         })
     }
@@ -144,19 +212,50 @@ impl SoapValue {
             SoapValue::Text(s) => 32 + s.len(),
             SoapValue::Bytes(b) => 32 + b.len() * 4 / 3, // base64 inflation
             SoapValue::List(l) => 32 + l.iter().map(SoapValue::wire_size).sum::<usize>(),
+            // 32-hex-digit hash + length + kind + framing: a fixed
+            // handle cost regardless of the payload it stands for.
+            SoapValue::DataRef { .. } => 80,
+        }
+    }
+
+    /// The hash/length/kind triple if this value is a [`SoapValue::DataRef`].
+    pub fn as_data_ref(&self) -> Option<(u128, u64, RefKind)> {
+        match self {
+            SoapValue::DataRef { hash, len, kind } => Some((*hash, *len, *kind)),
+            _ => None,
         }
     }
 }
 
-fn format_double(d: f64) -> String {
+fn parse_data_ref(text: &str) -> Result<SoapValue> {
+    let bad = || WsError::Malformed(format!("bad dataRef {text:?}"));
+    let mut parts = text.splitn(3, ':');
+    let hash = parts
+        .next()
+        .and_then(|p| u128::from_str_radix(p, 16).ok())
+        .ok_or_else(bad)?;
+    let len = parts
+        .next()
+        .and_then(|p| p.parse::<u64>().ok())
+        .ok_or_else(bad)?;
+    let kind = match parts.next() {
+        Some("text") => RefKind::Text,
+        Some("bytes") => RefKind::Bytes,
+        _ => return Err(bad()),
+    };
+    Ok(SoapValue::DataRef { hash, len, kind })
+}
+
+fn format_double_into(d: f64, out: &mut String) {
+    use std::fmt::Write as _;
     if d.is_nan() {
-        "NaN".to_string()
+        out.push_str("NaN");
     } else if d == f64::INFINITY {
-        "INF".to_string()
+        out.push_str("INF");
     } else if d == f64::NEG_INFINITY {
-        "-INF".to_string()
+        out.push_str("-INF");
     } else {
-        format!("{d:?}")
+        let _ = write!(out, "{d:?}");
     }
 }
 
@@ -171,12 +270,14 @@ fn parse_double(s: &str) -> Result<f64> {
     }
 }
 
-fn hex_encode(b: &[u8]) -> String {
-    let mut s = String::with_capacity(b.len() * 2);
-    for byte in b {
-        s.push_str(&format!("{byte:02x}"));
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+fn hex_encode_into(b: &[u8], out: &mut String) {
+    out.reserve(b.len() * 2);
+    for &byte in b {
+        out.push(HEX_DIGITS[usize::from(byte >> 4)] as char);
+        out.push(HEX_DIGITS[usize::from(byte & 0x0f)] as char);
     }
-    s
 }
 
 fn hex_decode(s: &str) -> Result<Vec<u8>> {
@@ -190,6 +291,27 @@ fn hex_decode(s: &str) -> Result<Vec<u8>> {
                 .map_err(|_| WsError::Malformed(format!("bad hex at {i}")))
         })
         .collect()
+}
+
+/// The fixed envelope preamble every message shares.
+const ENVELOPE_OPEN: &str = "<soap:Envelope \
+     xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
+     xmlns:xsi=\"http://www.w3.org/2001/XMLSchema-instance\">";
+
+/// `<name>escaped text</name>`, self-closing when the text is empty —
+/// the same shape the element-tree writer produces.
+fn write_text_element(name: &str, text: &str, out: &mut String) {
+    out.push('<');
+    out.push_str(name);
+    if text.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    escape_into(text, out);
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
 }
 
 /// A SOAP request: target service, operation, and named arguments.
@@ -228,21 +350,36 @@ impl SoapCall {
             .ok_or_else(|| WsError::Malformed(format!("missing argument {name:?}")))
     }
 
-    /// Encode as a SOAP envelope.
+    /// Encode as a SOAP envelope. Writes the envelope directly into a
+    /// pre-sized buffer (byte-identical to serialising the equivalent
+    /// element tree) rather than building intermediate [`XmlElement`]s.
     pub fn to_envelope(&self) -> String {
-        XmlElement::new("soap:Envelope")
-            .attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/")
-            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
-            .child(
-                XmlElement::new("soap:Body").child(
-                    self.args.iter().fold(
-                        XmlElement::new(format!("ns:{}", self.operation))
-                            .attr("xmlns:ns", format!("urn:{}", self.service)),
-                        |acc, (name, value)| acc.child(value.to_element(name)),
-                    ),
-                ),
-            )
-            .to_xml()
+        let estimate = 256
+            + self
+                .args
+                .iter()
+                .map(|(n, v)| 2 * n.len() + 2 * v.wire_size())
+                .sum::<usize>();
+        let mut out = String::with_capacity(estimate);
+        out.push_str(ENVELOPE_OPEN);
+        out.push_str("<soap:Body><ns:");
+        out.push_str(&self.operation);
+        out.push_str(" xmlns:ns=\"urn:");
+        escape_into(&self.service, &mut out);
+        out.push('"');
+        if self.args.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            for (name, value) in &self.args {
+                value.write_element(name, &mut out);
+            }
+            out.push_str("</ns:");
+            out.push_str(&self.operation);
+            out.push('>');
+        }
+        out.push_str("</soap:Body></soap:Envelope>");
+        out
     }
 
     /// Decode a request envelope.
@@ -291,21 +428,36 @@ pub enum SoapResponse {
 }
 
 impl SoapResponse {
-    /// Encode as a response envelope.
+    /// Encode as a response envelope (direct-written and pre-sized like
+    /// [`SoapCall::to_envelope`]).
     pub fn to_envelope(&self, operation: &str) -> String {
-        let body = match self {
+        let estimate = 256
+            + match self {
+                SoapResponse::Value(v) => 2 * operation.len() + 2 * v.wire_size(),
+                SoapResponse::Fault { code, message } => code.len() + message.len(),
+            };
+        let mut out = String::with_capacity(estimate);
+        out.push_str(ENVELOPE_OPEN);
+        out.push_str("<soap:Body>");
+        match self {
             SoapResponse::Value(v) => {
-                XmlElement::new(format!("{operation}Response")).child(v.to_element("return"))
+                out.push('<');
+                out.push_str(operation);
+                out.push_str("Response>");
+                v.write_element("return", &mut out);
+                out.push_str("</");
+                out.push_str(operation);
+                out.push_str("Response>");
             }
-            SoapResponse::Fault { code, message } => XmlElement::new("soap:Fault")
-                .child(XmlElement::new("faultcode").with_text(code.clone()))
-                .child(XmlElement::new("faultstring").with_text(message.clone())),
-        };
-        XmlElement::new("soap:Envelope")
-            .attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/")
-            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
-            .child(XmlElement::new("soap:Body").child(body))
-            .to_xml()
+            SoapResponse::Fault { code, message } => {
+                out.push_str("<soap:Fault>");
+                write_text_element("faultcode", code, &mut out);
+                write_text_element("faultstring", message, &mut out);
+                out.push_str("</soap:Fault>");
+            }
+        }
+        out.push_str("</soap:Body></soap:Envelope>");
+        out
     }
 
     /// Decode a response envelope.
@@ -428,6 +580,156 @@ mod tests {
         assert_eq!(hex_decode("00ff10").unwrap(), vec![0, 255, 16]);
         assert!(hex_decode("0f0").is_err());
         assert!(hex_decode("zz").is_err());
+    }
+
+    fn hex_encode(b: &[u8]) -> String {
+        let mut s = String::with_capacity(b.len() * 2);
+        hex_encode_into(b, &mut s);
+        s
+    }
+
+    /// The reference encoder the direct writers replaced: build the
+    /// element tree, then serialise. The fast path must stay
+    /// byte-identical to it.
+    fn value_to_element(value: &SoapValue, name: &str) -> XmlElement {
+        let el = XmlElement::new(name).attr("xsi:type", value.type_name());
+        match value {
+            SoapValue::Null => el,
+            SoapValue::Bool(b) => el.with_text(b.to_string()),
+            SoapValue::Int(i) => el.with_text(i.to_string()),
+            SoapValue::Double(d) => {
+                let mut s = String::new();
+                format_double_into(*d, &mut s);
+                el.with_text(s)
+            }
+            SoapValue::Text(s) => el.with_text(s.clone()),
+            SoapValue::Bytes(b) => el.with_text(hex_encode(b)),
+            SoapValue::List(items) => items
+                .iter()
+                .fold(el, |acc, item| acc.child(value_to_element(item, "item"))),
+            SoapValue::DataRef { hash, len, kind } => {
+                el.with_text(format!("{hash:032x}:{len}:{}", kind.wire_name()))
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_envelopes_match_tree_encoder() {
+        let call = SoapCall::new("Classifier", "classifyInstance")
+            .arg("classifier", SoapValue::Text("J48".into()))
+            .arg("empty", SoapValue::Text(String::new()))
+            .arg("nil", SoapValue::Null)
+            .arg("flag", SoapValue::Bool(false))
+            .arg("n", SoapValue::Int(-7))
+            .arg("d", SoapValue::Double(0.25))
+            .arg("esc", SoapValue::Text("a<b>&\"c'".into()))
+            .arg("data", SoapValue::Bytes(vec![0, 255, 16]))
+            .arg("none", SoapValue::Bytes(Vec::new()))
+            .arg(
+                "list",
+                SoapValue::List(vec![SoapValue::Int(1), SoapValue::List(Vec::new())]),
+            )
+            .arg(
+                "ref",
+                SoapValue::DataRef {
+                    hash: 0xdead_beef,
+                    len: 1234,
+                    kind: RefKind::Text,
+                },
+            );
+        let reference = XmlElement::new("soap:Envelope")
+            .attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/")
+            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
+            .child(
+                XmlElement::new("soap:Body").child(
+                    call.args.iter().fold(
+                        XmlElement::new(format!("ns:{}", call.operation))
+                            .attr("xmlns:ns", format!("urn:{}", call.service)),
+                        |acc, (name, value)| acc.child(value_to_element(value, name)),
+                    ),
+                ),
+            )
+            .to_xml();
+        assert_eq!(call.to_envelope(), reference);
+
+        // No-argument calls self-close the operation element.
+        let empty = SoapCall::new("S", "ping");
+        assert!(empty
+            .to_envelope()
+            .contains("<ns:ping xmlns:ns=\"urn:S\"/>"));
+        assert_eq!(
+            SoapCall::from_envelope(&empty.to_envelope()).unwrap(),
+            empty
+        );
+
+        let value = SoapResponse::Value(SoapValue::Text("x & y".into()));
+        let reference = XmlElement::new("soap:Envelope")
+            .attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/")
+            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
+            .child(
+                XmlElement::new("soap:Body").child(
+                    XmlElement::new("opResponse")
+                        .child(value_to_element(&SoapValue::Text("x & y".into()), "return")),
+                ),
+            )
+            .to_xml();
+        assert_eq!(value.to_envelope("op"), reference);
+
+        let fault = SoapResponse::Fault {
+            code: "Server".into(),
+            message: "boom & <bust>".into(),
+        };
+        let reference = XmlElement::new("soap:Envelope")
+            .attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/")
+            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
+            .child(
+                XmlElement::new("soap:Body").child(
+                    XmlElement::new("soap:Fault")
+                        .child(XmlElement::new("faultcode").with_text("Server"))
+                        .child(XmlElement::new("faultstring").with_text("boom & <bust>")),
+                ),
+            )
+            .to_xml();
+        assert_eq!(fault.to_envelope("op"), reference);
+    }
+
+    #[test]
+    fn data_ref_roundtrip_and_wire_size() {
+        let r = SoapValue::DataRef {
+            hash: u128::MAX - 5,
+            len: 9_876_543,
+            kind: RefKind::Bytes,
+        };
+        let call = SoapCall::new("S", "op").arg("dataset", r.clone());
+        let back = SoapCall::from_envelope(&call.to_envelope()).unwrap();
+        assert_eq!(back.get("dataset").unwrap(), &r);
+        assert_eq!(r.wire_size(), 80);
+        assert_eq!(
+            r.as_data_ref(),
+            Some((u128::MAX - 5, 9_876_543, RefKind::Bytes))
+        );
+        assert_eq!(SoapValue::Null.as_data_ref(), None);
+
+        // A large payload's handle is dramatically smaller than the
+        // payload itself.
+        let payload = SoapValue::Text("x".repeat(100_000));
+        assert!(payload.wire_size() > 1000 * r.wire_size());
+    }
+
+    #[test]
+    fn malformed_data_refs_rejected() {
+        for text in [
+            "",
+            "zz:3:text",
+            "ff:notanum:text",
+            "ff:3:maybe",
+            "ff:3",
+            "ff",
+        ] {
+            assert!(parse_data_ref(text).is_err(), "should reject {text:?}");
+        }
+        let ok = parse_data_ref("00000000000000000000000000000abc:42:text").unwrap();
+        assert_eq!(ok.as_data_ref(), Some((0xabc, 42, RefKind::Text)));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! while a 200-byte control message costs ~the base latency.
 
 use crate::container::ServiceContainer;
+use crate::dataplane::{content_ref, AttachmentStore, Payload};
 use crate::error::{Result, WsError};
 use crate::monitor::{InvocationEvent, MonitorLog, Outcome};
 use crate::soap::{SoapCall, SoapResponse, SoapValue};
@@ -62,11 +63,105 @@ impl NetworkConfig {
     }
 }
 
+/// Configuration of the content-addressed data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPlaneConfig {
+    /// Text/Bytes payloads of at least this many bytes are eligible for
+    /// pass-by-reference substitution; smaller ones always ship inline
+    /// (a handle would not be smaller).
+    pub inline_threshold: usize,
+    /// Byte bound of every host-side attachment store.
+    pub host_store_capacity: usize,
+    /// Byte bound of the client/engine-side attachment store.
+    pub client_store_capacity: usize,
+}
+
+impl Default for DataPlaneConfig {
+    fn default() -> Self {
+        DataPlaneConfig {
+            inline_threshold: 1024,
+            host_store_capacity: crate::container::DEFAULT_ATTACHMENT_CAPACITY,
+            client_store_capacity: crate::container::DEFAULT_ATTACHMENT_CAPACITY,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct DataPlaneState {
+    config: DataPlaneConfig,
+    client_store: Arc<AttachmentStore>,
+}
+
+/// Wire-cost accounting snapshot: what actually crossed the simulated
+/// network, and what the data plane kept off it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Envelopes transmitted (request + response legs + WSDL fetches).
+    pub envelopes: u64,
+    /// Total envelope bytes charged to the virtual clock.
+    pub bytes: u64,
+    /// Envelope bytes avoided by substituting `DataRef` handles.
+    pub bytes_saved: u64,
+    /// Payloads that travelled as handles instead of inline.
+    pub ref_substitutions: u64,
+    /// Envelope serialisations performed (one per encoded message).
+    pub serialisations: u64,
+}
+
+#[derive(Debug, Default)]
+struct WireCounters {
+    envelopes: AtomicU64,
+    bytes: AtomicU64,
+    bytes_saved: AtomicU64,
+    ref_substitutions: AtomicU64,
+    serialisations: AtomicU64,
+}
+
+impl WireCounters {
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            envelopes: self.envelopes.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            bytes_saved: self.bytes_saved.load(Ordering::Relaxed),
+            ref_substitutions: self.ref_substitutions.load(Ordering::Relaxed),
+            serialisations: self.serialisations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.envelopes.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.bytes_saved.store(0, Ordering::Relaxed);
+        self.ref_substitutions.store(0, Ordering::Relaxed);
+        self.serialisations.store(0, Ordering::Relaxed);
+    }
+
+    fn sent(&self, bytes: usize) {
+        self.envelopes.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.serialisations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn substituted(&self, saved: usize) {
+        self.ref_substitutions.fetch_add(1, Ordering::Relaxed);
+        self.bytes_saved.fetch_add(saved as u64, Ordering::Relaxed);
+    }
+}
+
 /// Which half of the wire path a fault fires on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Leg {
     Request,
     Response,
+}
+
+/// Per-invocation wire accounting threaded through `invoke_wire`.
+#[derive(Debug, Default)]
+struct LegAccounting {
+    bytes_in: usize,
+    bytes_out: usize,
+    bytes_saved: usize,
+    ref_hits: usize,
 }
 
 /// Scripted faults for one host. All windows are on the virtual clock.
@@ -144,6 +239,8 @@ pub struct Network {
     virtual_nanos: AtomicU64,
     faults: Mutex<FaultPlan>,
     monitor: MonitorLog,
+    dataplane: RwLock<Option<DataPlaneState>>,
+    wire: WireCounters,
 }
 
 impl Network {
@@ -163,6 +260,8 @@ impl Network {
                 rng: StdRng::seed_from_u64(0xFAE),
             }),
             monitor: MonitorLog::new(),
+            dataplane: RwLock::new(None),
+            wire: WireCounters::default(),
         }
     }
 
@@ -174,11 +273,59 @@ impl Network {
     /// Add (or fetch) a host and its container.
     pub fn add_host(&self, name: &str) -> Arc<ServiceContainer> {
         let mut hosts = self.hosts.write();
-        Arc::clone(
-            hosts
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(ServiceContainer::new(name))),
-        )
+        Arc::clone(hosts.entry(name.to_string()).or_insert_with(|| {
+            let c = ServiceContainer::new(name);
+            if let Some(dp) = self.dataplane.read().as_ref() {
+                c.attachments().set_capacity(dp.config.host_store_capacity);
+            }
+            Arc::new(c)
+        }))
+    }
+
+    /// Turn on the content-addressed data plane: large Text/Bytes
+    /// payloads are substituted with `DataRef` handles whenever the
+    /// receiving side's attachment store already holds the bytes, and
+    /// stored on first sight so the *next* transfer is a handle.
+    /// Existing hosts' stores are re-bounded to the configured capacity.
+    pub fn enable_data_plane(&self, config: DataPlaneConfig) {
+        for container in self.hosts.read().values() {
+            container
+                .attachments()
+                .set_capacity(config.host_store_capacity);
+        }
+        *self.dataplane.write() = Some(DataPlaneState {
+            config,
+            client_store: Arc::new(AttachmentStore::new(config.client_store_capacity)),
+        });
+    }
+
+    /// Turn the data plane back off (payloads ship inline again).
+    pub fn disable_data_plane(&self) {
+        *self.dataplane.write() = None;
+    }
+
+    /// Whether the data plane is on.
+    pub fn data_plane_enabled(&self) -> bool {
+        self.dataplane.read().is_some()
+    }
+
+    /// The client/engine-side attachment store, when the data plane is
+    /// enabled.
+    pub fn client_store(&self) -> Option<Arc<AttachmentStore>> {
+        self.dataplane
+            .read()
+            .as_ref()
+            .map(|dp| Arc::clone(&dp.client_store))
+    }
+
+    /// Wire-cost accounting snapshot.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire.snapshot()
+    }
+
+    /// Zero the wire-cost counters (between experiment phases).
+    pub fn reset_wire_stats(&self) {
+        self.wire.reset();
     }
 
     /// Look up an existing host.
@@ -347,16 +494,8 @@ impl Network {
         args: Vec<(String, SoapValue)>,
     ) -> Result<SoapValue> {
         let started = self.virtual_time();
-        let mut bytes_in = 0;
-        let mut bytes_out = 0;
-        let result = self.invoke_wire(
-            host,
-            service,
-            operation,
-            args,
-            &mut bytes_in,
-            &mut bytes_out,
-        );
+        let mut wire = LegAccounting::default();
+        let result = self.invoke_wire(host, service, operation, args, &mut wire);
         let outcome = match &result {
             Ok(_) => Outcome::Ok,
             Err(WsError::Fault { code, .. }) => Outcome::Fault(code.clone()),
@@ -367,11 +506,62 @@ impl Network {
             service: service.to_string(),
             operation: operation.to_string(),
             duration: self.virtual_time() - started,
-            bytes_in,
-            bytes_out,
+            bytes_in: wire.bytes_in,
+            bytes_out: wire.bytes_out,
+            bytes_saved: wire.bytes_saved,
+            ref_hits: wire.ref_hits,
             outcome,
         });
         result
+    }
+
+    /// Substitute eligible payloads in `values` with `DataRef` handles
+    /// wherever `store` (the receiving side) already holds the bytes;
+    /// payloads seen for the first time are inserted so the *next*
+    /// transfer is a handle. Returns the pinned payloads of the
+    /// substituted values, so the receive path can materialise them
+    /// without racing a concurrent eviction.
+    fn substitute_refs(
+        &self,
+        dp: &DataPlaneState,
+        store: &AttachmentStore,
+        values: &mut [(String, SoapValue)],
+        wire: &mut LegAccounting,
+    ) -> Vec<(u128, Payload)> {
+        let mut pinned = Vec::new();
+        for (_, value) in values.iter_mut() {
+            let eligible = match value {
+                SoapValue::Text(s) => s.len() >= dp.config.inline_threshold,
+                SoapValue::Bytes(b) => b.len() >= dp.config.inline_threshold,
+                _ => false,
+            };
+            if !eligible {
+                continue;
+            }
+            let Some(cr) = content_ref(value) else {
+                continue;
+            };
+            match store.get(cr.hash) {
+                Some(payload) => {
+                    let saved = value.wire_size().saturating_sub(80);
+                    wire.bytes_saved += saved;
+                    wire.ref_hits += 1;
+                    self.wire.substituted(saved);
+                    pinned.push((cr.hash, payload));
+                    *value = SoapValue::DataRef {
+                        hash: cr.hash,
+                        len: cr.len,
+                        kind: cr.kind,
+                    };
+                }
+                None => {
+                    if let Some(payload) = Payload::from_value(value) {
+                        store.insert(cr.hash, payload);
+                    }
+                }
+            }
+        }
+        pinned
     }
 
     fn invoke_wire(
@@ -379,29 +569,72 @@ impl Network {
         host: &str,
         service: &str,
         operation: &str,
-        args: Vec<(String, SoapValue)>,
-        bytes_in: &mut usize,
-        bytes_out: &mut usize,
+        mut args: Vec<(String, SoapValue)>,
+        wire: &mut LegAccounting,
     ) -> Result<SoapValue> {
         let container = self.host(host)?;
         // Request leg: a failure here means the service never ran.
         self.check_fault(host, Leg::Request)?;
+        let dp = self.dataplane.read().clone();
+        if let Some(dp) = &dp {
+            // The receiving side of the request leg is the host's store.
+            self.substitute_refs(dp, &container.attachments(), &mut args, wire);
+        }
         let call = SoapCall {
             service: service.to_string(),
             operation: operation.to_string(),
             args,
         };
         let request_xml = call.to_envelope();
-        *bytes_in = request_xml.len();
+        wire.bytes_in = request_xml.len();
+        self.wire.sent(request_xml.len());
         self.charge(host, request_xml.len());
-        let mut response_xml = container.dispatch_envelope(&request_xml);
+        // Server side: decode, dispatch, substitute the response
+        // payload if the *client's* store already holds it, encode.
+        // (This is `ServiceContainer::dispatch_envelope` with the
+        // data-plane substitution spliced in between dispatch and
+        // encode.)
+        let mut pinned = Vec::new();
+        let mut response_xml = match SoapCall::from_envelope(&request_xml) {
+            Ok(decoded) => {
+                let mut response = container.dispatch(&decoded);
+                if let (Some(dp), SoapResponse::Value(v)) = (&dp, &mut response) {
+                    let mut returns = vec![(String::new(), std::mem::replace(v, SoapValue::Null))];
+                    pinned = self.substitute_refs(dp, &dp.client_store, &mut returns, wire);
+                    *v = returns.pop().map(|(_, v)| v).unwrap_or(SoapValue::Null);
+                }
+                response.to_envelope(&decoded.operation)
+            }
+            Err(e) => SoapResponse::Fault {
+                code: "Client".into(),
+                message: e.to_string(),
+            }
+            .to_envelope("unknown"),
+        };
         // Response leg: the service has already executed; a failure or
         // corruption from here on may leave duplicated work behind.
         self.check_fault(host, Leg::Response)?;
         self.maybe_corrupt(host, &mut response_xml);
-        *bytes_out = response_xml.len();
+        wire.bytes_out = response_xml.len();
+        self.wire.sent(response_xml.len());
         self.charge(host, response_xml.len());
-        SoapResponse::from_envelope(&response_xml)?.into_result()
+        let value = SoapResponse::from_envelope(&response_xml)?.into_result()?;
+        // Client side: materialise a returned handle. The pinned
+        // payload from substitution time makes this immune to the
+        // client store evicting the entry mid-flight.
+        if let Some((hash, _, _)) = value.as_data_ref() {
+            if let Some((_, payload)) = pinned.iter().find(|(h, _)| *h == hash) {
+                return Ok(payload.to_value());
+            }
+            let fetched = dp
+                .as_ref()
+                .and_then(|dp| dp.client_store.get(hash))
+                .map(|p| p.to_value());
+            return fetched.ok_or_else(|| {
+                WsError::Malformed(format!("unresolvable dataRef {hash:032x} in response"))
+            });
+        }
+        Ok(value)
     }
 
     /// Fetch a deployed service's WSDL from a host (what a `?wsdl` HTTP
@@ -410,7 +643,9 @@ impl Network {
         let container = self.host(host)?;
         self.check_fault(host, Leg::Request)?;
         let wsdl = container.wsdl_of(service)?;
-        self.charge(host, wsdl.to_xml().len());
+        let len = wsdl.to_xml().len();
+        self.wire.sent(len);
+        self.charge(host, len);
         Ok(wsdl)
     }
 }
@@ -762,6 +997,126 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(net.host("host-a").unwrap().monitor().len(), 400);
+    }
+
+    #[test]
+    fn data_plane_dedupes_repeated_payloads() {
+        let net = network_with_echo();
+        net.enable_data_plane(DataPlaneConfig::default());
+        let payload = SoapValue::Text("d".repeat(50_000));
+        let call = |net: &Network| {
+            net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), payload.clone())],
+            )
+            .unwrap()
+        };
+
+        // Cold: payload ships inline on both legs and is remembered by
+        // both stores.
+        net.reset_virtual_time();
+        assert_eq!(call(&net), payload);
+        let cold_time = net.virtual_time();
+        let cold = net.wire_stats();
+        assert!(cold.bytes > 100_000, "two inline legs: {cold:?}");
+        assert_eq!(cold.ref_substitutions, 0);
+
+        // Warm: both legs travel as handles; outputs byte-identical.
+        net.reset_virtual_time();
+        net.reset_wire_stats();
+        assert_eq!(call(&net), payload);
+        let warm_time = net.virtual_time();
+        let warm = net.wire_stats();
+        assert_eq!(warm.ref_substitutions, 2, "{warm:?}");
+        assert!(
+            warm.bytes * 20 < cold.bytes,
+            "warm {} vs cold {}",
+            warm.bytes,
+            cold.bytes
+        );
+        assert!(warm.bytes_saved > 90_000, "{warm:?}");
+        assert!(warm_time < cold_time, "{warm_time:?} vs {cold_time:?}");
+
+        // The monitor saw the substitutions.
+        let event = net.monitor().snapshot().pop().unwrap();
+        assert_eq!(event.ref_hits, 2);
+        assert!(event.bytes_saved > 90_000);
+    }
+
+    #[test]
+    fn data_plane_ignores_small_payloads() {
+        let net = network_with_echo();
+        net.enable_data_plane(DataPlaneConfig::default());
+        let small = SoapValue::Text("tiny".into());
+        for _ in 0..3 {
+            let out = net
+                .invoke(
+                    "host-a",
+                    "Echo",
+                    "echo",
+                    vec![("message".into(), small.clone())],
+                )
+                .unwrap();
+            assert_eq!(out, small);
+        }
+        assert_eq!(net.wire_stats().ref_substitutions, 0);
+        assert!(net.host("host-a").unwrap().attachments().is_empty());
+    }
+
+    #[test]
+    fn data_plane_survives_host_store_eviction() {
+        // Host store too small for both payloads: the second insert
+        // evicts the first, so re-sending payload A re-ships it inline
+        // (a transparent re-fetch) and everything still round-trips.
+        let net = network_with_echo();
+        net.enable_data_plane(DataPlaneConfig {
+            inline_threshold: 1024,
+            host_store_capacity: 60_000,
+            client_store_capacity: 1024 * 1024,
+        });
+        let a = SoapValue::Text("a".repeat(50_000));
+        let b = SoapValue::Text("b".repeat(50_000));
+        let call = |v: &SoapValue| {
+            net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), v.clone())],
+            )
+            .unwrap()
+        };
+        assert_eq!(call(&a), a); // a cached on host
+        assert_eq!(call(&b), b); // b evicts a
+        let store = net.host("host-a").unwrap().attachments();
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(call(&a), a); // inline again, transparently
+        let stats = store.stats();
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+    }
+
+    #[test]
+    fn data_plane_off_by_default_and_disablable() {
+        let net = network_with_echo();
+        assert!(!net.data_plane_enabled());
+        assert!(net.client_store().is_none());
+        net.enable_data_plane(DataPlaneConfig::default());
+        assert!(net.data_plane_enabled());
+        assert!(net.client_store().is_some());
+        net.disable_data_plane();
+        assert!(!net.data_plane_enabled());
+        let payload = SoapValue::Text("z".repeat(10_000));
+        for _ in 0..2 {
+            net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), payload.clone())],
+            )
+            .unwrap();
+        }
+        assert_eq!(net.wire_stats().ref_substitutions, 0);
     }
 
     #[test]

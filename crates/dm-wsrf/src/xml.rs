@@ -89,27 +89,39 @@ impl XmlElement {
     fn write(&self, out: &mut String, depth: usize, pretty: bool) {
         if pretty && depth > 0 {
             out.push('\n');
-            out.push_str(&"  ".repeat(depth));
+            push_indent(out, depth);
         }
         out.push('<');
         out.push_str(&self.name);
         for (k, v) in &self.attributes {
-            out.push_str(&format!(" {k}=\"{}\"", escape(v)));
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out);
+            out.push('"');
         }
         if self.children.is_empty() && self.text.is_empty() {
             out.push_str("/>");
             return;
         }
         out.push('>');
-        out.push_str(&escape(&self.text));
+        escape_into(&self.text, out);
         for c in &self.children {
             c.write(out, depth + 1, pretty);
         }
         if pretty && !self.children.is_empty() {
             out.push('\n');
-            out.push_str(&"  ".repeat(depth));
+            push_indent(out, depth);
         }
-        out.push_str(&format!("</{}>", self.name));
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
     }
 }
 
@@ -121,17 +133,27 @@ pub fn local_name(name: &str) -> &str {
 /// Escape the five standard XML entities.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&apos;"),
-            other => out.push(other),
-        }
-    }
+    escape_into(s, &mut out);
     out
+}
+
+/// Escape into an existing buffer. Clean runs (the overwhelmingly
+/// common case for dataset payloads) are appended in one `push_str`
+/// instead of char by char.
+pub fn escape_into(s: &str, out: &mut String) {
+    let mut rest = s;
+    while let Some(i) = rest.find(['&', '<', '>', '"', '\'']) {
+        out.push_str(&rest[..i]);
+        match rest.as_bytes()[i] {
+            b'&' => out.push_str("&amp;"),
+            b'<' => out.push_str("&lt;"),
+            b'>' => out.push_str("&gt;"),
+            b'"' => out.push_str("&quot;"),
+            _ => out.push_str("&apos;"),
+        }
+        rest = &rest[i + 1..];
+    }
+    out.push_str(rest);
 }
 
 /// Parse a document into its root element.
@@ -450,6 +472,17 @@ mod tests {
         let doc = parse("<a x='single' y=\"double\"/>").unwrap();
         assert_eq!(doc.attribute("x"), Some("single"));
         assert_eq!(doc.attribute("y"), Some("double"));
+    }
+
+    #[test]
+    fn escape_handles_runs_and_specials() {
+        assert_eq!(
+            escape("a&b<c>d\"e'f plain tail"),
+            "a&amp;b&lt;c&gt;d&quot;e&apos;f plain tail"
+        );
+        assert_eq!(escape("no specials at all"), "no specials at all");
+        assert_eq!(escape(""), "");
+        assert_eq!(escape("&&&"), "&amp;&amp;&amp;");
     }
 
     #[test]

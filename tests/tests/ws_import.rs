@@ -23,6 +23,7 @@ fn one_tool_per_operation() {
             "Classifier.classifyInstance",
             "Classifier.classifyGraph",
             "Classifier.crossValidate",
+            "Classifier.getCacheStats",
         ]
     );
 }
