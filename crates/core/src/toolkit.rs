@@ -13,8 +13,10 @@ use dm_workflow::engine::{BackoffSink, Executor, RetryPolicy};
 use dm_workflow::toolbox::Toolbox;
 use dm_workflow::wsimport::{import_from_host, WsTool};
 use dm_wsrf::container::ServiceContainer;
+use dm_wsrf::metrics::MetricsRegistry;
 use dm_wsrf::registry::UddiRegistry;
 use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
+use dm_wsrf::trace::Tracer;
 use dm_wsrf::transport::{DataPlaneConfig, Network, WireStats};
 use dm_wsrf::WsError;
 use std::sync::Arc;
@@ -137,6 +139,54 @@ impl Toolkit {
         self.network.wire_stats()
     }
 
+    /// Turn on causal tracing end to end: every container records
+    /// dispatch spans, the transport records send/receive legs, and
+    /// executors built by [`Toolkit::resilient_executor`] open workflow
+    /// and task spans into the same tracer. Span intervals run on the
+    /// network's virtual clock.
+    pub fn enable_tracing(&self) -> Arc<Tracer> {
+        self.network.enable_tracing()
+    }
+
+    /// The shared tracer, when [`Toolkit::enable_tracing`] has been
+    /// called.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.network.tracer()
+    }
+
+    /// Snapshot the deployment's counters into a fresh
+    /// [`MetricsRegistry`]: per-service invocation counts, latency
+    /// histograms and byte counters from the monitor log, wire-level
+    /// envelope/byte/savings totals, the attachment stores, and the
+    /// classifier's model/evaluation caches. Fetching the classifier
+    /// cache counters is itself a recorded service call, so it runs
+    /// before the monitor snapshot and is accounted like any other
+    /// invocation.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let metrics = MetricsRegistry::new();
+        let classifier_caches = self.classifier_client().get_cache_stats().ok();
+        metrics.ingest_monitor(self.network.monitor());
+        metrics.ingest_wire(&self.network.wire_stats());
+        if let Some((model, eval)) = classifier_caches {
+            let labels = [("service", "Classifier")];
+            metrics.ingest_cache("model", &labels, &model);
+            metrics.ingest_cache("eval", &labels, &eval);
+        }
+        for host in &self.hosts {
+            if let Ok(container) = self.network.host(host) {
+                metrics.ingest_cache(
+                    "attachments",
+                    &[("host", host)],
+                    &container.attachments().stats(),
+                );
+            }
+        }
+        if let Some(store) = self.network.client_store() {
+            metrics.ingest_cache("attachments", &[("host", "client")], &store.stats());
+        }
+        metrics
+    }
+
     /// A serial [`Executor`] aligned with the toolkit's resilience
     /// configuration: task retries use the resilience policy's attempt
     /// ceiling and backoff shape, backoff pauses are charged to the
@@ -145,6 +195,9 @@ impl Toolkit {
     /// no-retry serial executor.
     pub fn resilient_executor(&self, retry_budget: Option<usize>) -> Executor {
         let mut executor = Executor::serial();
+        if let Some(tracer) = self.network.tracer() {
+            executor = executor.with_tracing(tracer);
+        }
         if let Some(caller) = &self.resilience {
             let policy = caller.policy();
             let network = self.network();

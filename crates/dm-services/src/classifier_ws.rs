@@ -13,7 +13,9 @@
 //! "testing the discovered knowledge" requirement.
 
 use crate::model_cache::{eval_key, model_key, ModelCache, SharedModel};
-use crate::support::{algo_fault, dataset_with_class, int_arg, opt_text_arg, text_arg};
+use crate::support::{
+    algo_fault, dataset_with_class, int_arg, opt_text_arg, text_arg, traced_handler,
+};
 use dm_algorithms::options::parse_options_string;
 use dm_algorithms::registry::{classifier_names, make_classifier};
 use dm_wsrf::container::{ServiceFault, WebService};
@@ -152,7 +154,7 @@ impl WebService for ClassifierService {
         operation: &str,
         args: &[(String, SoapValue)],
     ) -> Result<SoapValue, ServiceFault> {
-        match operation {
+        traced_handler(self.name(), operation, || match operation {
             "getClassifiers" => Ok(SoapValue::List(
                 classifier_names()
                     .into_iter()
@@ -228,7 +230,7 @@ impl WebService for ClassifierService {
                 stats_row(&self.cache.eval_stats()),
             ])),
             other => Err(ServiceFault::client(format!("no operation {other:?}"))),
-        }
+        })
     }
 }
 

@@ -4,9 +4,11 @@
 //! [`ResilientCaller`] so its calls get deadlines, backoff retries, and
 //! circuit-breaker accounting.
 
+use dm_wsrf::dataplane::CacheStats;
 use dm_wsrf::error::Result;
 use dm_wsrf::resilience::ResilientCaller;
 use dm_wsrf::soap::SoapValue;
+use dm_wsrf::trace::{current, SpanKind};
 use dm_wsrf::transport::Network;
 use std::sync::Arc;
 
@@ -59,10 +61,26 @@ impl ClientChannel {
         operation: &str,
         args: Vec<(String, SoapValue)>,
     ) -> Result<SoapValue> {
-        match &self.resilience {
+        // Open a SOAP-call span chained under the caller's current span
+        // when one exists (e.g. a workflow task), or as a new root
+        // trace for direct client calls. Making it current lets the
+        // transport legs below nest under it.
+        let mut span = self.network.tracer().map(|tracer| {
+            let parent = current().map(|(_, ctx)| ctx);
+            let mut s =
+                tracer.start_span(format!("{service}.{operation}"), SpanKind::SoapCall, parent);
+            s.set_attr("host", &self.host);
+            s
+        });
+        let _current = span.as_ref().map(|s| s.make_current());
+        let result = match &self.resilience {
             Some(caller) => caller.invoke(&self.host, service, operation, args),
             None => self.network.invoke(&self.host, service, operation, args),
+        };
+        if let (Some(s), Err(err)) = (span.as_mut(), &result) {
+            s.set_error(err.to_string());
         }
+        result
     }
 }
 
@@ -114,6 +132,26 @@ impl ClassifierClient {
                 ))
             })
             .collect()
+    }
+
+    /// `getCacheStats` — `(model, evaluation)` cache counters. Rows
+    /// carry counts only, so `bytes` is always 0.
+    pub fn get_cache_stats(&self) -> Result<(CacheStats, CacheStats)> {
+        let v = self.channel.invoke("Classifier", "getCacheStats", vec![])?;
+        let rows = v.as_list()?;
+        let decode = |row: &SoapValue| -> Result<CacheStats> {
+            let cells = row.as_list()?;
+            Ok(CacheStats {
+                lookups: cells[0].as_int()? as u64,
+                hits: cells[1].as_int()? as u64,
+                misses: cells[2].as_int()? as u64,
+                insertions: cells[3].as_int()? as u64,
+                evictions: cells[4].as_int()? as u64,
+                entries: cells[5].as_int()? as usize,
+                bytes: 0,
+            })
+        };
+        Ok((decode(&rows[0])?, decode(&rows[1])?))
     }
 
     /// `classifyInstance` — the paper's four-input operation.

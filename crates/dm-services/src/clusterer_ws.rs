@@ -3,7 +3,7 @@
 //! mirroring the general Classifier design (`getClusterers`,
 //! `getOptions`, `cluster`).
 
-use crate::support::{algo_fault, data_fault, opt_text_arg, text_arg, tree_to_svg};
+use crate::support::{algo_fault, data_fault, opt_text_arg, text_arg, traced_handler, tree_to_svg};
 use dm_algorithms::options::parse_options_string;
 use dm_algorithms::registry::{clusterer_names, make_clusterer};
 use dm_wsrf::container::{ServiceFault, WebService};
@@ -101,23 +101,25 @@ impl WebService for CobwebService {
         operation: &str,
         args: &[(String, SoapValue)],
     ) -> Result<SoapValue, ServiceFault> {
-        let options = opt_text_arg(args, "options")?.unwrap_or("");
-        match operation {
-            "cluster" => {
-                let arff = text_arg(args, "dataset")?;
-                let (clusterer, ds) = run_clusterer("Cobweb", options, arff)?;
-                Ok(SoapValue::Text(cluster_report(clusterer.as_ref(), &ds)?))
+        traced_handler(self.name(), operation, || {
+            let options = opt_text_arg(args, "options")?.unwrap_or("");
+            match operation {
+                "cluster" => {
+                    let arff = text_arg(args, "dataset")?;
+                    let (clusterer, ds) = run_clusterer("Cobweb", options, arff)?;
+                    Ok(SoapValue::Text(cluster_report(clusterer.as_ref(), &ds)?))
+                }
+                "getCobwebGraph" => {
+                    let arff = text_arg(args, "dataset")?;
+                    let (clusterer, _) = run_clusterer("Cobweb", options, arff)?;
+                    let tree = clusterer
+                        .tree_model()
+                        .ok_or_else(|| ServiceFault::server("Cobweb produced no hierarchy"))?;
+                    Ok(SoapValue::Text(tree_to_svg(&tree)))
+                }
+                other => Err(ServiceFault::client(format!("no operation {other:?}"))),
             }
-            "getCobwebGraph" => {
-                let arff = text_arg(args, "dataset")?;
-                let (clusterer, _) = run_clusterer("Cobweb", options, arff)?;
-                let tree = clusterer
-                    .tree_model()
-                    .ok_or_else(|| ServiceFault::server("Cobweb produced no hierarchy"))?;
-                Ok(SoapValue::Text(tree_to_svg(&tree)))
-            }
-            other => Err(ServiceFault::client(format!("no operation {other:?}"))),
-        }
+        })
     }
 }
 
@@ -182,7 +184,7 @@ impl WebService for ClustererService {
         operation: &str,
         args: &[(String, SoapValue)],
     ) -> Result<SoapValue, ServiceFault> {
-        match operation {
+        traced_handler(self.name(), operation, || match operation {
             "getClusterers" => Ok(SoapValue::List(
                 clusterer_names()
                     .into_iter()
@@ -227,7 +229,7 @@ impl WebService for ClustererService {
                 Ok(SoapValue::List(out))
             }
             other => Err(ServiceFault::client(format!("no operation {other:?}"))),
-        }
+        })
     }
 }
 

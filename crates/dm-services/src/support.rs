@@ -5,6 +5,24 @@ use dm_algorithms::AlgoError;
 use dm_data::DataError;
 use dm_wsrf::container::ServiceFault;
 use dm_wsrf::soap::SoapValue;
+use dm_wsrf::trace::{child_span, SpanKind};
+
+/// Run a service handler under a `Handler` span chained to the
+/// container's current dispatch span (a no-op when no tracer is
+/// current). Faults mark the span as errored.
+pub fn traced_handler<T>(
+    service: &str,
+    operation: &str,
+    body: impl FnOnce() -> Result<T, ServiceFault>,
+) -> Result<T, ServiceFault> {
+    let mut span = child_span(format!("{service}.{operation}"), SpanKind::Handler);
+    let _current = span.as_ref().map(|s| s.make_current());
+    let result = body();
+    if let (Some(s), Err(fault)) = (span.as_mut(), &result) {
+        s.set_error(format!("[{}] {}", fault.code, fault.message));
+    }
+    result
+}
 
 /// Convert a data error into a SOAP fault (caller errors are `Client`).
 pub fn data_fault(e: DataError) -> ServiceFault {

@@ -14,7 +14,9 @@
 //! * [`canvas`] — a raster canvas with a PPM encoder and the `plot3D`
 //!   projection renderer (the Mathematica substitute returning real
 //!   image bytes);
-//! * [`ascii`] — terminal renderers for quick inspection.
+//! * [`ascii`] — terminal renderers for quick inspection;
+//! * [`spantree`] — ASCII rendering of [`dm_wsrf::trace`] span trees
+//!   (the observability companion: print a workflow's causal chain).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +24,7 @@
 pub mod ascii;
 pub mod canvas;
 pub mod plot;
+pub mod spantree;
 pub mod svg;
 pub mod tree;
 

@@ -1,0 +1,146 @@
+//! ASCII rendering of causal span trees ([`dm_wsrf::trace`]): one box
+//! per trace, children indented under their parent span, siblings in
+//! start order. The terminal companion to the metrics exporters — run a
+//! workflow with tracing on, then print
+//! `render_span_tree(&tracer.finished_spans())` to see the
+//! workflow → task → SOAP call → transport leg → dispatch chain.
+
+use dm_wsrf::trace::{Span, SpanStatus};
+use std::collections::{BTreeMap, HashSet};
+
+/// Render every trace in `spans` as an indented ASCII tree.
+///
+/// Spans are grouped by `trace_id`; within a trace, spans whose parent
+/// is absent (or `None`) are roots. Siblings sort by start instant,
+/// ties by span id, so the rendering is deterministic.
+pub fn render_span_tree(spans: &[Span]) -> String {
+    let mut traces: BTreeMap<u128, Vec<&Span>> = BTreeMap::new();
+    for span in spans {
+        traces.entry(span.trace_id).or_default().push(span);
+    }
+    let mut out = String::new();
+    for (trace_id, mut members) in traces {
+        members.sort_by_key(|s| (s.start, s.span_id));
+        let ids: HashSet<u64> = members.iter().map(|s| s.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+        let mut roots: Vec<&Span> = Vec::new();
+        for span in &members {
+            match span.parent_span_id {
+                Some(parent) if ids.contains(&parent) => {
+                    children.entry(parent).or_default().push(span)
+                }
+                _ => roots.push(span),
+            }
+        }
+        out.push_str(&format!("trace {trace_id:032x}\n"));
+        let last = roots.len();
+        for (i, root) in roots.into_iter().enumerate() {
+            render_node(root, &children, "", i + 1 == last, &mut out);
+        }
+    }
+    out
+}
+
+fn render_node(
+    span: &Span,
+    children: &BTreeMap<u64, Vec<&Span>>,
+    prefix: &str,
+    last: bool,
+    out: &mut String,
+) {
+    out.push_str(prefix);
+    out.push_str(if last { "└─ " } else { "├─ " });
+    out.push_str(&describe(span));
+    out.push('\n');
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    if let Some(kids) = children.get(&span.span_id) {
+        let n = kids.len();
+        for (i, kid) in kids.iter().enumerate() {
+            render_node(kid, children, &child_prefix, i + 1 == n, out);
+        }
+    }
+}
+
+fn describe(span: &Span) -> String {
+    let mut line = format!(
+        "{} [{}] {:?}..{:?}",
+        span.name,
+        span.kind.as_str(),
+        span.start,
+        span.end
+    );
+    for (key, value) in &span.attributes {
+        line.push_str(&format!(" {key}={value}"));
+    }
+    if let SpanStatus::Error(message) = &span.status {
+        line.push_str(&format!("  ERROR: {message}"));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_wsrf::trace::{SpanKind, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_nested_spans_with_branch_glyphs() {
+        let tracer = Arc::new(Tracer::wall_clock());
+        let root = tracer.start_span("workflow", SpanKind::Workflow, None);
+        let mut task = tracer.start_span("Train", SpanKind::Task, Some(root.ctx()));
+        task.set_attr("attempt", "1");
+        let call = tracer.start_span("J48.classify", SpanKind::SoapCall, Some(task.ctx()));
+        let mut sibling = tracer.start_span("Plot", SpanKind::Task, Some(root.ctx()));
+        sibling.set_error("boom");
+        drop(call);
+        drop(sibling);
+        drop(task);
+        drop(root);
+
+        let text = render_span_tree(&tracer.finished_spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("trace "));
+        assert!(lines[1].contains("workflow [workflow]"), "{text}");
+        // The task opened first is rendered before its sibling, and the
+        // SOAP call indents one level deeper.
+        assert!(lines[2].contains("├─ Train [task]"), "{text}");
+        assert!(lines[2].contains("attempt=1"), "{text}");
+        assert!(
+            lines[3].contains("│  └─ J48.classify [soap-call]"),
+            "{text}"
+        );
+        assert!(lines[4].contains("└─ Plot [task]"), "{text}");
+        assert!(lines[4].contains("ERROR: boom"), "{text}");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn separate_traces_render_as_separate_blocks() {
+        let tracer = Arc::new(Tracer::wall_clock());
+        tracer
+            .start_span("first", SpanKind::Workflow, None)
+            .finish();
+        tracer
+            .start_span("second", SpanKind::Workflow, None)
+            .finish();
+        let text = render_span_tree(&tracer.finished_spans());
+        assert_eq!(text.matches("trace ").count(), 2);
+        assert!(render_span_tree(&[]).is_empty());
+    }
+
+    #[test]
+    fn orphaned_parent_falls_back_to_root() {
+        // A span whose parent was never recorded (e.g. filtered out)
+        // still renders, as a root of its trace.
+        let tracer = Arc::new(Tracer::wall_clock());
+        let root = tracer.start_span("workflow", SpanKind::Workflow, None);
+        let ctx = root.ctx();
+        std::mem::forget(root); // parent never finishes → never recorded
+        tracer
+            .start_span("leg", SpanKind::TransportLeg, Some(ctx))
+            .finish();
+        let text = render_span_tree(&tracer.finished_spans());
+        assert!(text.contains("└─ leg [transport-leg]"), "{text}");
+    }
+}

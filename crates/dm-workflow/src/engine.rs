@@ -9,6 +9,7 @@ use crate::error::{Result, WorkflowError};
 use crate::graph::{TaskGraph, TaskId, Token};
 use crate::memo::MemoCache;
 use dm_wsrf::resilience::{BackoffSchedule, ResiliencePolicy};
+use dm_wsrf::trace::{SpanContext, SpanKind, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -162,6 +163,19 @@ pub enum ProgressEvent {
         /// Task display name.
         task: String,
     },
+    /// Enactment began (fires once, before any task event).
+    RunStarted {
+        /// Number of tasks in the graph.
+        tasks: usize,
+    },
+    /// Enactment completed successfully (terminal failures emit
+    /// [`ProgressEvent::Failed`] instead).
+    RunFinished {
+        /// Number of task runs recorded (including cached ones).
+        tasks: usize,
+        /// Total enactment wall-clock time.
+        elapsed: Duration,
+    },
 }
 
 /// Listener callback for [`ProgressEvent`]s. Shared across worker
@@ -176,6 +190,7 @@ pub struct Executor {
     backoff_sink: Option<BackoffSink>,
     listener: Option<ProgressListener>,
     memo: Option<Arc<MemoCache>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -186,6 +201,7 @@ impl std::fmt::Debug for Executor {
             .field("backoff_sink", &self.backoff_sink.is_some())
             .field("listener", &self.listener.is_some())
             .field("memo", &self.memo.is_some())
+            .field("tracer", &self.tracer.is_some())
             .finish()
     }
 }
@@ -199,6 +215,7 @@ impl Executor {
             backoff_sink: None,
             listener: None,
             memo: None,
+            tracer: None,
         }
     }
 
@@ -210,6 +227,7 @@ impl Executor {
             backoff_sink: None,
             listener: None,
             memo: None,
+            tracer: None,
         }
     }
 
@@ -259,6 +277,23 @@ impl Executor {
         self.memo.clone()
     }
 
+    /// Builder: record causal spans into `tracer` — one workflow root
+    /// per run, one task span per execution attempt. Task spans are
+    /// made the thread's current span while the tool executes, so
+    /// deeper layers (SOAP calls, transport legs, dispatches) chain
+    /// under them. Use the tracer from
+    /// [`dm_wsrf::transport::Network::enable_tracing`] so the whole
+    /// stack shares one trace.
+    pub fn with_tracing(mut self, tracer: Arc<Tracer>) -> Executor {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The tracer in use, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.clone()
+    }
+
     fn emit(&self, event: ProgressEvent) {
         if let Some(l) = &self.listener {
             l(event);
@@ -284,10 +319,31 @@ impl Executor {
             }
         }
         let order = graph.topological_order()?;
-        match self.mode {
-            ExecutionMode::Serial => self.run_serial(graph, bindings, &order),
-            ExecutionMode::Parallel => self.run_parallel(graph, bindings),
+        self.emit(ProgressEvent::RunStarted {
+            tasks: graph.num_tasks(),
+        });
+        let mut root_span = self.tracer.as_ref().map(|t| {
+            let mut span = t.start_span("workflow", SpanKind::Workflow, None);
+            span.set_attr("tasks", graph.num_tasks().to_string());
+            span
+        });
+        let root = root_span.as_ref().map(|s| s.ctx());
+        let result = match self.mode {
+            ExecutionMode::Serial => self.run_serial(graph, bindings, &order, root),
+            ExecutionMode::Parallel => self.run_parallel(graph, bindings, root),
+        };
+        match &result {
+            Ok(report) => self.emit(ProgressEvent::RunFinished {
+                tasks: report.runs.len(),
+                elapsed: report.elapsed,
+            }),
+            Err(e) => {
+                if let Some(span) = root_span.as_mut() {
+                    span.set_error(e.to_string());
+                }
+            }
         }
+        result
     }
 
     fn execute_task(
@@ -296,6 +352,7 @@ impl Executor {
         task: TaskId,
         inputs: &[Token],
         budget: &Mutex<Option<usize>>,
+        root: Option<SpanContext>,
     ) -> (std::result::Result<Vec<Token>, String>, TaskRun) {
         let node = graph.task(task).expect("validated id");
         // Memoisation: pure tasks with unchanged inputs are served from
@@ -306,6 +363,10 @@ impl Executor {
             .and_then(|m| m.key_for(node.tool.as_ref(), inputs));
         if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
             if let Some(outputs) = memo.get(key) {
+                if let Some(t) = &self.tracer {
+                    let mut span = t.start_span(node.name.clone(), SpanKind::Task, root);
+                    span.set_attr("cached", "true");
+                }
                 self.emit(ProgressEvent::CacheHit {
                     task: node.name.clone(),
                 });
@@ -334,6 +395,14 @@ impl Executor {
                 task: node.name.clone(),
                 attempt: attempts,
             });
+            // One span per attempt, current for the duration of the
+            // tool call so SOAP-call spans opened inside chain under it.
+            let mut task_span = self.tracer.as_ref().map(|t| {
+                let mut span = t.start_span(node.name.clone(), SpanKind::Task, root);
+                span.set_attr("attempt", attempts.to_string());
+                span
+            });
+            let _current = task_span.as_ref().map(|s| s.make_current());
             let start = Instant::now();
             match node.tool.execute(inputs) {
                 Ok(outputs) => {
@@ -343,6 +412,9 @@ impl Executor {
                             "tool returned {} outputs, declared {expected}",
                             outputs.len()
                         );
+                        if let Some(span) = task_span.as_mut() {
+                            span.set_error(msg.clone());
+                        }
                         self.emit(ProgressEvent::Failed {
                             task: node.name.clone(),
                             message: msg.clone(),
@@ -380,6 +452,9 @@ impl Executor {
                     );
                 }
                 Err(mut message) => {
+                    if let Some(span) = task_span.as_mut() {
+                        span.set_error(message.clone());
+                    }
                     // Charge the shared per-workflow budget before
                     // retrying; exhaustion turns this failure terminal
                     // even with attempts left.
@@ -474,6 +549,7 @@ impl Executor {
         graph: &TaskGraph,
         bindings: &HashMap<(TaskId, usize), Token>,
         order: &[TaskId],
+        root: Option<SpanContext>,
     ) -> Result<ExecutionReport> {
         let start = Instant::now();
         let budget = Mutex::new(self.policy.retry_budget);
@@ -481,7 +557,7 @@ impl Executor {
         let mut report = ExecutionReport::default();
         for &task in order {
             let inputs = Self::gather_inputs(graph, task, bindings, &produced);
-            let (result, run) = self.execute_task(graph, task, &inputs, &budget);
+            let (result, run) = self.execute_task(graph, task, &inputs, &budget, root);
             report.runs.push(run);
             match result {
                 Ok(outputs) => {
@@ -508,6 +584,7 @@ impl Executor {
         &self,
         graph: &TaskGraph,
         bindings: &HashMap<(TaskId, usize), Token>,
+        root: Option<SpanContext>,
     ) -> Result<ExecutionReport> {
         let start = Instant::now();
         let n = graph.num_tasks();
@@ -564,7 +641,7 @@ impl Executor {
                             let produced = produced.lock();
                             Self::gather_inputs(graph, task, bindings, &produced)
                         };
-                        let (result, run) = self.execute_task(graph, task, &inputs, budget);
+                        let (result, run) = self.execute_task(graph, task, &inputs, budget, root);
                         let failed = result.is_err();
                         match result {
                             Ok(outputs) => {
@@ -785,15 +862,99 @@ mod tests {
             .run(&g, &HashMap::new())
             .unwrap();
         let events = events.lock();
-        assert_eq!(events.len(), 4); // 2 × (Started + Finished)
+        // RunStarted + 2 × (Started + Finished) + RunFinished
+        assert_eq!(events.len(), 6);
         assert!(matches!(
             &events[0],
+            super::ProgressEvent::RunStarted { tasks: 2 }
+        ));
+        assert!(matches!(
+            &events[1],
             super::ProgressEvent::Started { task, attempt: 1 } if task == "ConstText"
         ));
         assert!(matches!(
-            &events[3],
+            &events[4],
             super::ProgressEvent::Finished { task, .. } if task == "Upper"
         ));
+        assert!(matches!(
+            &events[5],
+            super::ProgressEvent::RunFinished { tasks: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn tracing_links_task_spans_under_one_workflow_root() {
+        let tracer = Arc::new(Tracer::wall_clock());
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let up = g.add_task(Arc::new(Upper));
+        g.connect(src, 0, up, 0).unwrap();
+        Executor::serial()
+            .with_tracing(Arc::clone(&tracer))
+            .run(&g, &HashMap::new())
+            .unwrap();
+
+        let spans = tracer.finished_spans();
+        assert_eq!(spans.len(), 3); // 2 task spans + 1 workflow root
+        let root = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Workflow)
+            .expect("workflow root span");
+        assert_eq!(root.parent_span_id, None);
+        assert_eq!(root.attribute("tasks"), Some("2"));
+        for task in spans.iter().filter(|s| s.kind == SpanKind::Task) {
+            assert_eq!(task.trace_id, root.trace_id);
+            assert_eq!(task.parent_span_id, Some(root.span_id));
+            assert_eq!(task.attribute("attempt"), Some("1"));
+        }
+        assert!(spans.iter().any(|s| s.name == "ConstText"));
+        assert!(spans.iter().any(|s| s.name == "Upper"));
+    }
+
+    #[test]
+    fn tracing_marks_failed_attempts_and_cache_hits() {
+        use crate::memo::MemoCache;
+        let tracer = Arc::new(Tracer::wall_clock());
+        let memo = Arc::new(MemoCache::new(16));
+        let mut g = TaskGraph::new();
+        let up = g.add_task(Arc::new(PureUpper::new()));
+        let mut bindings = HashMap::new();
+        bindings.insert((up, 0), Token::Text("hello".into()));
+        let exec = Executor::serial()
+            .with_tracing(Arc::clone(&tracer))
+            .with_memoisation(Arc::clone(&memo));
+        exec.run(&g, &bindings).unwrap();
+        exec.run(&g, &bindings).unwrap();
+        let spans = tracer.finished_spans();
+        let cached = spans
+            .iter()
+            .find(|s| s.attribute("cached") == Some("true"))
+            .expect("cache-hit span");
+        assert_eq!(cached.kind, SpanKind::Task);
+
+        tracer.clear();
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let flaky = g.add_task(Arc::new(Flaky::failing(usize::MAX)));
+        g.connect(src, 0, flaky, 0).unwrap();
+        let _ = Executor::serial()
+            .with_max_attempts(2)
+            .with_tracing(Arc::clone(&tracer))
+            .run(&g, &HashMap::new());
+        let spans = tracer.finished_spans();
+        let failed: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.status, dm_wsrf::trace::SpanStatus::Error(_)))
+            .collect();
+        // Both flaky attempts errored, and the workflow root errored.
+        assert_eq!(
+            failed
+                .iter()
+                .filter(|s| s.kind == SpanKind::Task && s.name == "Flaky")
+                .count(),
+            2
+        );
+        assert!(failed.iter().any(|s| s.kind == SpanKind::Workflow));
     }
 
     #[test]

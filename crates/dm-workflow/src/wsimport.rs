@@ -13,6 +13,7 @@
 
 use crate::graph::{PortSpec, Token, Tool};
 use dm_wsrf::resilience::{CallStats, ResilientCaller};
+use dm_wsrf::trace::{current, SpanKind};
 use dm_wsrf::transport::Network;
 use dm_wsrf::wsdl::{Operation, WsdlDocument};
 use dm_wsrf::WsError;
@@ -104,7 +105,18 @@ impl WsTool {
         host: &str,
         args: &[(String, Token)],
     ) -> (Result<Token, WsError>, CallStats) {
-        match &self.resilience {
+        // Open a SOAP-call span chained under the enclosing task span
+        // when one exists, or as a new root trace when the tool runs
+        // outside an enactment. Making it current lets the transport
+        // legs opened below parent under it.
+        let mut span = self.network.tracer().map(|tracer| {
+            let parent = current().map(|(_, ctx)| ctx);
+            let mut s = tracer.start_span(self.name.clone(), SpanKind::SoapCall, parent);
+            s.set_attr("host", host);
+            s
+        });
+        let _current = span.as_ref().map(|s| s.make_current());
+        let (result, stats) = match &self.resilience {
             Some(caller) => {
                 caller.invoke_collect(host, &self.service, &self.operation.name, args.to_vec())
             }
@@ -120,7 +132,11 @@ impl WsTool {
                     },
                 )
             }
+        };
+        if let (Some(s), Err(err)) = (span.as_mut(), &result) {
+            s.set_error(err.to_string());
         }
+        (result, stats)
     }
 
     /// Should `err` migrate the job to the next replica?

@@ -6,6 +6,7 @@ use crate::dataplane::AttachmentStore;
 use crate::error::{Result, WsError};
 use crate::monitor::{InvocationEvent, MonitorLog, Outcome};
 use crate::soap::{SoapCall, SoapResponse, SoapValue};
+use crate::trace::{SpanKind, Tracer};
 use crate::wsdl::WsdlDocument;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -80,6 +81,7 @@ pub struct ServiceContainer {
     services: RwLock<HashMap<String, Arc<dyn WebService>>>,
     monitor: Arc<MonitorLog>,
     attachments: Arc<AttachmentStore>,
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl ServiceContainer {
@@ -90,7 +92,14 @@ impl ServiceContainer {
             services: RwLock::new(HashMap::new()),
             monitor: Arc::new(MonitorLog::new()),
             attachments: Arc::new(AttachmentStore::new(DEFAULT_ATTACHMENT_CAPACITY)),
+            tracer: RwLock::new(None),
         }
+    }
+
+    /// Install (or remove) the tracer this container records dispatch
+    /// spans into. `Network::enable_tracing` wires this for every host.
+    pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        *self.tracer.write() = tracer;
     }
 
     /// The host name this container runs on.
@@ -167,7 +176,11 @@ impl ServiceContainer {
                 })?;
                 let materialised = payload.to_value();
                 resolved.ref_hits += 1;
-                resolved.bytes_saved += materialised.wire_size().saturating_sub(value.wire_size());
+                // Exact envelope bytes the handle kept off the wire
+                // (the element name cancels out of the difference).
+                resolved.bytes_saved += materialised
+                    .serialized_size("p")
+                    .saturating_sub(value.serialized_size("p"));
                 resolved.args.push((name.clone(), materialised));
             } else {
                 resolved.args.push((name.clone(), value.clone()));
@@ -183,6 +196,20 @@ impl ServiceContainer {
     pub fn dispatch(&self, call: &SoapCall) -> SoapResponse {
         let service = self.services.read().get(&call.service).cloned();
         let start = Instant::now();
+        // The dispatch span parents under the envelope's traceparent
+        // header (the transport's request leg) — this is the causal
+        // link across the simulated wire. Making it current lets
+        // service handlers open child spans of their own.
+        let mut dispatch_span = self.tracer.read().clone().map(|t| {
+            let mut span = t.start_span(
+                format!("{}.{} dispatch", call.service, call.operation),
+                SpanKind::Dispatch,
+                call.trace_parent,
+            );
+            span.set_attr("host", self.host.clone());
+            span
+        });
+        let _current = dispatch_span.as_ref().map(|s| s.make_current());
         let has_refs = call.args.iter().any(|(_, v)| v.as_data_ref().is_some());
         let mut ref_hits = 0;
         let mut bytes_saved = 0;
@@ -216,6 +243,11 @@ impl ServiceContainer {
                 }
             }
         };
+        if let (Some(span), SoapResponse::Fault { code, message }) =
+            (dispatch_span.as_mut(), &response)
+        {
+            span.set_error(format!("[{code}] {message}"));
+        }
         let outcome = match &response {
             SoapResponse::Value(_) => Outcome::Ok,
             SoapResponse::Fault { code, .. } => Outcome::Fault(code.clone()),

@@ -633,6 +633,49 @@ mod tests {
     }
 
     #[test]
+    fn oversized_insert_rejected_without_disturbing_residents() {
+        // A payload larger than the whole store must bounce at the
+        // door: admitting it would evict every resident and then still
+        // overflow, leaving an empty store that also failed to cache
+        // the newcomer — the worst of both.
+        let store = AttachmentStore::new(50);
+        let (ha, pa) = stored(&text(20, 'a'));
+        let (hb, pb) = stored(&text(20, 'b'));
+        store.insert(ha, pa);
+        store.insert(hb, pb);
+        let before = store.stats();
+
+        let (hbig, pbig) = stored(&text(51, 'z'));
+        store.insert(hbig, pbig);
+        assert!(
+            store.contains(ha) && store.contains(hb),
+            "residents survive"
+        );
+        assert!(!store.contains(hbig));
+        let after = store.stats();
+        assert_eq!(after.evictions, before.evictions, "no eviction churn");
+        assert_eq!(
+            after.insertions, before.insertions,
+            "a rejected payload is not an insertion"
+        );
+        assert_eq!(after.entries, 2);
+        assert_eq!(after.bytes, 40);
+
+        // Boundary: a payload exactly at capacity IS admissible — it
+        // evicts the residents and sits alone.
+        let (hfit, pfit) = stored(&text(50, 'f'));
+        store.insert(hfit, pfit);
+        assert!(store.contains(hfit));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), 50);
+        let fitted = store.stats();
+        assert_eq!(fitted.insertions, before.insertions + 1);
+        assert_eq!(fitted.evictions, before.evictions + 2);
+        // Counter discipline holds throughout.
+        assert_eq!(fitted.lookups, fitted.hits + fitted.misses);
+    }
+
+    #[test]
     fn store_recapacity_evicts() {
         let store = AttachmentStore::new(100);
         for fill in ['a', 'b', 'c'] {

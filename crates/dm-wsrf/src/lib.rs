@@ -27,7 +27,14 @@
 //!   and an in-memory harness that "maintain\[s\] an algorithm instance
 //!   object in memory", whose comparison is experiment E4;
 //! * [`monitor`] — per-invocation events for the service-monitoring
-//!   requirement (§3, category 2).
+//!   requirement (§3, category 2);
+//! * [`trace`] — causal spans on the virtual clock (workflow run →
+//!   task attempt → SOAP call → transport leg → container dispatch →
+//!   service handler), propagated across the simulated wire via a
+//!   `traceparent` SOAP header;
+//! * [`metrics`] — a counters/gauges/histograms registry that absorbs
+//!   the monitor, wire, and cache counters, exported as Prometheus
+//!   text or a JSON snapshot.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,11 +43,13 @@ pub mod container;
 pub mod dataplane;
 pub mod error;
 pub mod lifecycle;
+pub mod metrics;
 pub mod monitor;
 pub mod registry;
 pub mod resilience;
 pub mod session;
 pub mod soap;
+pub mod trace;
 pub mod transport;
 pub mod wsdl;
 pub mod xml;
@@ -53,12 +62,14 @@ pub mod prelude {
     pub use crate::dataplane::{AttachmentStore, CacheStats, LruMap};
     pub use crate::error::{Result, WsError};
     pub use crate::lifecycle::{InstanceStore, LifecycleManager, LifecyclePolicy};
+    pub use crate::metrics::MetricsRegistry;
     pub use crate::registry::{ServiceEntry, UddiRegistry};
     pub use crate::resilience::{
         BreakerBoard, BreakerConfig, BreakerState, CircuitBreaker, ResiliencePolicy,
         ResilientCaller,
     };
     pub use crate::soap::{SoapCall, SoapValue};
+    pub use crate::trace::{Span, SpanContext, SpanKind, SpanStatus, Tracer};
     pub use crate::transport::{Network, NetworkConfig};
     pub use crate::wsdl::{Operation, Part, WsdlDocument};
 }

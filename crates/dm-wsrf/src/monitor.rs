@@ -199,7 +199,10 @@ impl MonitorLog {
                     s.bytes_out += e.bytes_out;
                 }
                 durations.sort_unstable();
-                s.p50_duration = durations[durations.len() / 2];
+                // Nearest-rank median: the ceil(n/2)-th sorted sample,
+                // i.e. index (n-1)/2. `len/2` would be the *upper*
+                // median on even-length samples, biasing p50 high.
+                s.p50_duration = durations[(durations.len() - 1) / 2];
                 s.failure_rate = (s.faults + s.transport_errors) as f64 / s.invocations as f64;
                 s
             })
@@ -281,11 +284,35 @@ mod tests {
         assert_eq!(a.faults, 1);
         assert_eq!(a.transport_errors, 1);
         assert!((a.failure_rate - 0.5).abs() < 1e-12);
-        assert_eq!(a.p50_duration, Duration::from_millis(6));
+        // Nearest-rank median of [2,4,6,8] ms is the 2nd sample, 4 ms.
+        assert_eq!(a.p50_duration, Duration::from_millis(4));
         assert_eq!(a.max_duration, Duration::from_millis(8));
         let b = &hosts[1];
         assert_eq!(b.host, "b");
         assert!((b.failure_rate - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p50_is_nearest_rank_not_upper_median() {
+        // Two wildly different samples: the nearest-rank median is the
+        // lower one. The pre-fix `durations[len / 2]` picked the upper
+        // (9 ms) — this test fails on that code.
+        let log = MonitorLog::new();
+        for ms in [1, 9] {
+            let mut e = event("A", Outcome::Ok);
+            e.duration = Duration::from_millis(ms);
+            log.record(e);
+        }
+        let hosts = log.summary_by_host();
+        assert_eq!(hosts[0].p50_duration, Duration::from_millis(1));
+        // Odd-length samples agree under both definitions.
+        let mut e = event("A", Outcome::Ok);
+        e.duration = Duration::from_millis(5);
+        log.record(e);
+        assert_eq!(
+            log.summary_by_host()[0].p50_duration,
+            Duration::from_millis(5)
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! pre-defined SOAP messages" (§4.5) — these are those messages.
 
 use crate::error::{Result, WsError};
-use crate::xml::{escape_into, parse, XmlElement};
+use crate::trace::SpanContext;
+use crate::xml::{escape_into, escaped_len, parse, XmlElement};
 
 /// The payload kind behind a [`SoapValue::DataRef`] handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -218,12 +219,72 @@ impl SoapValue {
         }
     }
 
+    /// Exact length in bytes of [`Self::write_element`]'s output for
+    /// this value under `name`, computed without serialising. Unlike
+    /// [`Self::wire_size`] — a *cost model* that charges base64
+    /// inflation and fixed framing overheads — this is the real
+    /// envelope byte count, which is what the pass-by-reference
+    /// accounting needs to report exact savings.
+    pub fn serialized_size(&self, name: &str) -> usize {
+        // `<name xsi:type="TYPE"` … then either `/>` or
+        // `>content</name>`.
+        let prefix = 1 + name.len() + 11 + self.type_name().len() + 1;
+        let self_closing = match self {
+            SoapValue::Null => true,
+            SoapValue::Text(s) => s.is_empty(),
+            SoapValue::Bytes(b) => b.is_empty(),
+            SoapValue::List(items) => items.is_empty(),
+            _ => false,
+        };
+        if self_closing {
+            return prefix + 2;
+        }
+        let content = match self {
+            SoapValue::Null => 0,
+            SoapValue::Bool(b) => {
+                if *b {
+                    4
+                } else {
+                    5
+                }
+            }
+            SoapValue::Int(i) => decimal_len_i64(*i),
+            SoapValue::Double(d) => {
+                let mut scratch = String::new();
+                format_double_into(*d, &mut scratch);
+                scratch.len()
+            }
+            SoapValue::Text(s) => escaped_len(s),
+            SoapValue::Bytes(b) => b.len() * 2,
+            SoapValue::List(items) => items.iter().map(|i| i.serialized_size("item")).sum(),
+            SoapValue::DataRef { len, kind, .. } => {
+                32 + 1 + decimal_len_u64(*len) + 1 + kind.wire_name().len()
+            }
+        };
+        prefix + 1 + content + 2 + name.len() + 1
+    }
+
     /// The hash/length/kind triple if this value is a [`SoapValue::DataRef`].
     pub fn as_data_ref(&self) -> Option<(u128, u64, RefKind)> {
         match self {
             SoapValue::DataRef { hash, len, kind } => Some((*hash, *len, *kind)),
             _ => None,
         }
+    }
+}
+
+fn decimal_len_u64(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (v.ilog10() + 1) as usize
+}
+
+fn decimal_len_i64(v: i64) -> usize {
+    if v < 0 {
+        1 + decimal_len_u64(v.unsigned_abs())
+    } else {
+        decimal_len_u64(v as u64)
     }
 }
 
@@ -323,6 +384,12 @@ pub struct SoapCall {
     pub operation: String,
     /// Named arguments in call order.
     pub args: Vec<(String, SoapValue)>,
+    /// The calling span's identity, carried across the wire as a
+    /// W3C-style `traceparent` SOAP header so the receiving container
+    /// can parent its dispatch span under the caller. `None` keeps the
+    /// envelope header-free (and byte-identical to pre-tracing
+    /// envelopes).
+    pub trace_parent: Option<SpanContext>,
 }
 
 impl SoapCall {
@@ -332,6 +399,7 @@ impl SoapCall {
             service: service.into(),
             operation: operation.into(),
             args: Vec::new(),
+            trace_parent: None,
         }
     }
 
@@ -362,6 +430,11 @@ impl SoapCall {
                 .sum::<usize>();
         let mut out = String::with_capacity(estimate);
         out.push_str(ENVELOPE_OPEN);
+        if let Some(ctx) = &self.trace_parent {
+            out.push_str("<soap:Header><traceparent>");
+            out.push_str(&ctx.to_traceparent());
+            out.push_str("</traceparent></soap:Header>");
+        }
         out.push_str("<soap:Body><ns:");
         out.push_str(&self.operation);
         out.push_str(" xmlns:ns=\"urn:");
@@ -405,10 +478,15 @@ impl SoapCall {
             .iter()
             .map(|c| Ok((c.name.clone(), SoapValue::from_element(c)?)))
             .collect::<Result<_>>()?;
+        let trace_parent = doc
+            .find("Header")
+            .and_then(|h| h.find("traceparent"))
+            .and_then(|e| SpanContext::from_traceparent(&e.text));
         Ok(SoapCall {
             service,
             operation,
             args,
+            trace_parent,
         })
     }
 }
@@ -737,6 +815,73 @@ mod tests {
         let small = SoapValue::Bytes(vec![0; 100]).wire_size();
         let large = SoapValue::Bytes(vec![0; 10_000]).wire_size();
         assert!(large > small * 50);
+    }
+
+    #[test]
+    fn serialized_size_is_exact_for_every_value_shape() {
+        let values = vec![
+            SoapValue::Null,
+            SoapValue::Bool(true),
+            SoapValue::Bool(false),
+            SoapValue::Int(0),
+            SoapValue::Int(-7001),
+            SoapValue::Int(i64::MIN),
+            SoapValue::Double(0.25),
+            SoapValue::Double(f64::NAN),
+            SoapValue::Double(-1.5e300),
+            SoapValue::Text(String::new()),
+            SoapValue::Text("plain".into()),
+            SoapValue::Text("a<b>&\"c' with specials".into()),
+            SoapValue::Bytes(Vec::new()),
+            SoapValue::Bytes(vec![0, 255, 16]),
+            SoapValue::List(Vec::new()),
+            SoapValue::List(vec![
+                SoapValue::Int(1),
+                SoapValue::Text("two & three".into()),
+                SoapValue::List(vec![SoapValue::Null]),
+            ]),
+            SoapValue::DataRef {
+                hash: 0xdead_beef,
+                len: 0,
+                kind: RefKind::Text,
+            },
+            SoapValue::DataRef {
+                hash: u128::MAX,
+                len: 9_876_543,
+                kind: RefKind::Bytes,
+            },
+        ];
+        for v in values {
+            let mut out = String::new();
+            v.write_element("dataset", &mut out);
+            assert_eq!(
+                v.serialized_size("dataset"),
+                out.len(),
+                "serialized_size mismatch for {v:?}: wrote {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_parent_rides_a_header_and_roundtrips() {
+        let ctx = SpanContext {
+            trace_id: 0xfeed_f00d,
+            span_id: 7,
+        };
+        let mut call = SoapCall::new("S", "op").arg("x", SoapValue::Int(1));
+        let plain = call.to_envelope();
+        assert!(!plain.contains("Header"));
+        call.trace_parent = Some(ctx);
+        let traced = call.to_envelope();
+        assert!(traced.contains("<soap:Header><traceparent>"));
+        let back = SoapCall::from_envelope(&traced).unwrap();
+        assert_eq!(back.trace_parent, Some(ctx));
+        assert_eq!(back.get("x").unwrap(), &SoapValue::Int(1));
+        // Headerless envelopes decode to None.
+        assert_eq!(SoapCall::from_envelope(&plain).unwrap().trace_parent, None);
+        // The header costs a fixed 109 bytes: a 55-char traceparent
+        // value plus its framing tags.
+        assert_eq!(traced.len() - plain.len(), 109);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::dataplane::{content_ref, AttachmentStore, Payload};
 use crate::error::{Result, WsError};
 use crate::monitor::{InvocationEvent, MonitorLog, Outcome};
 use crate::soap::{SoapCall, SoapResponse, SoapValue};
+use crate::trace::{self, SpanKind, Tracer};
 use crate::wsdl::WsdlDocument;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -236,11 +237,12 @@ impl FaultPlan {
 pub struct Network {
     config: NetworkConfig,
     hosts: RwLock<HashMap<String, Arc<ServiceContainer>>>,
-    virtual_nanos: AtomicU64,
+    virtual_nanos: Arc<AtomicU64>,
     faults: Mutex<FaultPlan>,
     monitor: MonitorLog,
     dataplane: RwLock<Option<DataPlaneState>>,
     wire: WireCounters,
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl Network {
@@ -254,7 +256,7 @@ impl Network {
         Network {
             config,
             hosts: RwLock::new(HashMap::new()),
-            virtual_nanos: AtomicU64::new(0),
+            virtual_nanos: Arc::new(AtomicU64::new(0)),
             faults: Mutex::new(FaultPlan {
                 hosts: HashMap::new(),
                 rng: StdRng::seed_from_u64(0xFAE),
@@ -262,6 +264,7 @@ impl Network {
             monitor: MonitorLog::new(),
             dataplane: RwLock::new(None),
             wire: WireCounters::default(),
+            tracer: RwLock::new(None),
         }
     }
 
@@ -277,6 +280,9 @@ impl Network {
             let c = ServiceContainer::new(name);
             if let Some(dp) = self.dataplane.read().as_ref() {
                 c.attachments().set_capacity(dp.config.host_store_capacity);
+            }
+            if let Some(tracer) = self.tracer.read().as_ref() {
+                c.set_tracer(Some(Arc::clone(tracer)));
             }
             Arc::new(c)
         }))
@@ -302,6 +308,36 @@ impl Network {
     /// Turn the data plane back off (payloads ship inline again).
     pub fn disable_data_plane(&self) {
         *self.dataplane.write() = None;
+    }
+
+    /// Turn on causal tracing: a [`Tracer`] on this network's virtual
+    /// clock records transport-leg spans for every invocation, and
+    /// every container (existing and future) records dispatch spans
+    /// parented under the request leg via the envelope's `traceparent`
+    /// header.
+    pub fn enable_tracing(&self) -> Arc<Tracer> {
+        let nanos = Arc::clone(&self.virtual_nanos);
+        let tracer = Arc::new(Tracer::new(Arc::new(move || {
+            Duration::from_nanos(nanos.load(Ordering::Relaxed))
+        })));
+        for container in self.hosts.read().values() {
+            container.set_tracer(Some(Arc::clone(&tracer)));
+        }
+        *self.tracer.write() = Some(Arc::clone(&tracer));
+        tracer
+    }
+
+    /// Stop recording spans (existing spans are kept in the tracer).
+    pub fn disable_tracing(&self) {
+        for container in self.hosts.read().values() {
+            container.set_tracer(None);
+        }
+        *self.tracer.write() = None;
+    }
+
+    /// The active tracer, when tracing is enabled.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.read().clone()
     }
 
     /// Whether the data plane is on.
@@ -543,16 +579,22 @@ impl Network {
             };
             match store.get(cr.hash) {
                 Some(payload) => {
-                    let saved = value.wire_size().saturating_sub(80);
-                    wire.bytes_saved += saved;
-                    wire.ref_hits += 1;
-                    self.wire.substituted(saved);
-                    pinned.push((cr.hash, payload));
-                    *value = SoapValue::DataRef {
+                    let handle = SoapValue::DataRef {
                         hash: cr.hash,
                         len: cr.len,
                         kind: cr.kind,
                     };
+                    // Exact envelope bytes kept off the wire: the
+                    // element name is the same either way, so any name
+                    // cancels out of the difference.
+                    let saved = value
+                        .serialized_size("p")
+                        .saturating_sub(handle.serialized_size("p"));
+                    wire.bytes_saved += saved;
+                    wire.ref_hits += 1;
+                    self.wire.substituted(saved);
+                    pinned.push((cr.hash, payload));
+                    *value = handle;
                 }
                 None => {
                     if let Some(payload) = Payload::from_value(value) {
@@ -574,7 +616,27 @@ impl Network {
     ) -> Result<SoapValue> {
         let container = self.host(host)?;
         // Request leg: a failure here means the service never ran.
-        self.check_fault(host, Leg::Request)?;
+        // The leg span parents under whatever span the caller made
+        // current (a SOAP-call span in WsTool/ClientChannel), and its
+        // own context rides the envelope so the container's dispatch
+        // span links under this leg.
+        let tracer = self.tracer.read().clone();
+        let mut request_leg = tracer.as_ref().map(|t| {
+            let parent = trace::current().map(|(_, ctx)| ctx);
+            let mut span = t.start_span(
+                format!("{service}.{operation} request"),
+                SpanKind::TransportLeg,
+                parent,
+            );
+            span.set_attr("host", host);
+            span
+        });
+        if let Err(e) = self.check_fault(host, Leg::Request) {
+            if let Some(span) = request_leg.as_mut() {
+                span.set_error(e.to_string());
+            }
+            return Err(e);
+        }
         let dp = self.dataplane.read().clone();
         if let Some(dp) = &dp {
             // The receiving side of the request leg is the host's store.
@@ -584,11 +646,15 @@ impl Network {
             service: service.to_string(),
             operation: operation.to_string(),
             args,
+            trace_parent: request_leg.as_ref().map(|s| s.ctx()),
         };
         let request_xml = call.to_envelope();
         wire.bytes_in = request_xml.len();
         self.wire.sent(request_xml.len());
         self.charge(host, request_xml.len());
+        if let Some(mut span) = request_leg.take() {
+            span.set_attr("bytes", request_xml.len().to_string());
+        }
         // Server side: decode, dispatch, substitute the response
         // payload if the *client's* store already holds it, encode.
         // (This is `ServiceContainer::dispatch_envelope` with the
@@ -613,11 +679,29 @@ impl Network {
         };
         // Response leg: the service has already executed; a failure or
         // corruption from here on may leave duplicated work behind.
-        self.check_fault(host, Leg::Response)?;
+        let mut response_leg = tracer.as_ref().map(|t| {
+            let parent = trace::current().map(|(_, ctx)| ctx);
+            let mut span = t.start_span(
+                format!("{service}.{operation} response"),
+                SpanKind::TransportLeg,
+                parent,
+            );
+            span.set_attr("host", host);
+            span
+        });
+        if let Err(e) = self.check_fault(host, Leg::Response) {
+            if let Some(span) = response_leg.as_mut() {
+                span.set_error(e.to_string());
+            }
+            return Err(e);
+        }
         self.maybe_corrupt(host, &mut response_xml);
         wire.bytes_out = response_xml.len();
         self.wire.sent(response_xml.len());
         self.charge(host, response_xml.len());
+        if let Some(mut span) = response_leg.take() {
+            span.set_attr("bytes", response_xml.len().to_string());
+        }
         let value = SoapResponse::from_envelope(&response_xml)?.into_result()?;
         // Client side: materialise a returned handle. The pinned
         // payload from substitution time makes this immune to the
@@ -1117,6 +1201,179 @@ mod tests {
             .unwrap();
         }
         assert_eq!(net.wire_stats().ref_substitutions, 0);
+    }
+
+    #[test]
+    fn outage_window_boundaries_are_start_inclusive_end_exclusive() {
+        // Pin the scripted-fault window semantics so scenarios are
+        // reproducible: a request at exactly `from` is faulted, a
+        // request at exactly `until` is not.
+        let net = network_with_echo();
+        let from = Duration::from_millis(10);
+        let until = Duration::from_millis(20);
+        net.add_outage("host-a", from, until);
+        let call = |net: &Network| {
+            net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Null)],
+            )
+        };
+        net.reset_virtual_time();
+        net.advance_virtual_time(from);
+        assert!(
+            call(&net).is_err(),
+            "exactly window.start must be inside the outage"
+        );
+        net.reset_virtual_time();
+        net.advance_virtual_time(until);
+        assert!(
+            call(&net).is_ok(),
+            "exactly window.end must be outside the outage"
+        );
+    }
+
+    #[test]
+    fn latency_spike_boundaries_match_outage_semantics() {
+        let net = network_with_echo();
+        let from = Duration::from_millis(10);
+        let until = Duration::from_millis(20);
+        let extra = Duration::from_secs(1);
+        net.add_latency_spike("host-a", from, until, extra);
+        // At exactly `until` the spike no longer applies: a whole call
+        // (two legs) costs far less than one spiked leg would.
+        net.reset_virtual_time();
+        net.advance_virtual_time(until);
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Null)],
+        )
+        .unwrap();
+        assert!(net.virtual_time() < until + extra);
+        // At exactly `from` it does: the request leg pays the
+        // surcharge (the 1 s spike then pushes the clock past the
+        // window, so only proving start-inclusion needs leg one).
+        net.reset_virtual_time();
+        net.advance_virtual_time(from);
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Null)],
+        )
+        .unwrap();
+        assert!(net.virtual_time() >= from + extra);
+    }
+
+    #[test]
+    fn bytes_saved_is_the_exact_envelope_difference() {
+        // Regression for the hard-coded 80-byte DataRef estimate: the
+        // accounting must equal (inline envelope) − (ref envelope),
+        // measured on the actual serialised bytes.
+        let net = network_with_echo();
+        net.enable_data_plane(DataPlaneConfig::default());
+        let payload = SoapValue::Text("d".repeat(50_000));
+        let call = |net: &Network| {
+            net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), payload.clone())],
+            )
+            .unwrap()
+        };
+        // Cold run ships inline on both legs; measure those envelopes.
+        call(&net);
+        let cold = net.wire_stats();
+        // Warm run substitutes both legs.
+        net.reset_wire_stats();
+        call(&net);
+        let warm = net.wire_stats();
+        assert_eq!(warm.ref_substitutions, 2);
+        let actual_difference = cold.bytes - warm.bytes;
+        assert_eq!(
+            warm.bytes_saved, actual_difference,
+            "bytes_saved must equal the measured envelope shrinkage \
+             (the old fixed-80 estimate was off by the real handle size)"
+        );
+        // The container-side resolution reports the same exact number
+        // for its leg.
+        let event = net.monitor().snapshot().pop().unwrap();
+        assert_eq!(event.ref_hits, 2);
+        // The per-value saving: inline content is 50 000 chars, the
+        // handle's content is 32+1+5+1+4 = 43 chars, and the type name
+        // differs by one char ("string" vs "dataRef") — per leg.
+        assert_eq!(event.bytes_saved, warm.bytes_saved as usize);
+    }
+
+    #[test]
+    fn tracing_records_linked_transport_and_dispatch_spans() {
+        use crate::trace::SpanStatus;
+        let net = network_with_echo();
+        let tracer = net.enable_tracing();
+        // An enclosing SOAP-call span (as WsTool/ClientChannel would
+        // open) makes both transport legs siblings in one trace.
+        {
+            let call_span = tracer.start_span("Echo.echo", SpanKind::SoapCall, None);
+            let _current = call_span.make_current();
+            net.invoke(
+                "host-a",
+                "Echo",
+                "echo",
+                vec![("message".into(), SoapValue::Text("hi".into()))],
+            )
+            .unwrap();
+        }
+        let spans = tracer.finished_spans();
+        let request = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::TransportLeg && s.name.ends_with("request"))
+            .expect("request leg span");
+        let response = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::TransportLeg && s.name.ends_with("response"))
+            .expect("response leg span");
+        let dispatch = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Dispatch)
+            .expect("dispatch span");
+        // The dispatch span parents under the request leg via the
+        // traceparent header; all three share the trace.
+        assert_eq!(dispatch.parent_span_id, Some(request.span_id));
+        assert_eq!(dispatch.trace_id, request.trace_id);
+        assert_eq!(response.trace_id, request.trace_id);
+        assert_eq!(request.status, SpanStatus::Ok);
+        assert!(request.attribute("bytes").is_some());
+        assert_eq!(request.attribute("host"), Some("host-a"));
+        // Spans are stamped on the virtual clock: the request leg ends
+        // at or before the response leg starts.
+        assert!(request.end <= response.start);
+
+        // A transport failure marks the leg span as an error.
+        net.set_host_down("host-a", true);
+        let _ = net.invoke("host-a", "Echo", "echo", vec![]);
+        let failed = tracer
+            .finished_spans()
+            .into_iter()
+            .rfind(|s| s.kind == SpanKind::TransportLeg)
+            .unwrap();
+        assert!(matches!(failed.status, SpanStatus::Error(_)));
+
+        net.disable_tracing();
+        assert!(net.tracer().is_none());
+        let before = tracer.len();
+        net.set_host_down("host-a", false);
+        net.invoke(
+            "host-a",
+            "Echo",
+            "echo",
+            vec![("message".into(), SoapValue::Null)],
+        )
+        .unwrap();
+        assert_eq!(tracer.len(), before, "no spans once tracing is off");
     }
 
     #[test]

@@ -156,6 +156,21 @@ pub fn escape_into(s: &str, out: &mut String) {
     out.push_str(rest);
 }
 
+/// Length of [`escape`]'s output without allocating it — used by the
+/// exact wire-size accounting in [`crate::soap`].
+pub fn escaped_len(s: &str) -> usize {
+    let mut extra = 0;
+    for b in s.bytes() {
+        extra += match b {
+            b'&' => 4,         // &amp;
+            b'"' | b'\'' => 5, // &quot; / &apos;
+            b'<' | b'>' => 3,  // &lt; / &gt;
+            _ => 0,
+        };
+    }
+    s.len() + extra
+}
+
 /// Parse a document into its root element.
 pub fn parse(input: &str) -> Result<XmlElement> {
     let mut p = Parser {
@@ -483,6 +498,13 @@ mod tests {
         assert_eq!(escape("no specials at all"), "no specials at all");
         assert_eq!(escape(""), "");
         assert_eq!(escape("&&&"), "&amp;&amp;&amp;");
+    }
+
+    #[test]
+    fn escaped_len_matches_escape() {
+        for s in ["", "plain", "a&b<c>d\"e'f", "&&&", "mixed & <tags> 'x'"] {
+            assert_eq!(escaped_len(s), escape(s).len(), "{s:?}");
+        }
     }
 
     #[test]
