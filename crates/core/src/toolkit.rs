@@ -12,7 +12,7 @@ use dm_services::{deploy_faehim_suite, publish_suite};
 use dm_workflow::engine::{BackoffSink, Executor, RetryPolicy};
 use dm_workflow::toolbox::Toolbox;
 use dm_workflow::wsimport::{import_from_host, WsTool};
-use dm_wsrf::container::ServiceContainer;
+use dm_wsrf::container::{CapacityConfig, ServiceContainer};
 use dm_wsrf::metrics::MetricsRegistry;
 use dm_wsrf::registry::UddiRegistry;
 use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
@@ -124,6 +124,23 @@ impl Toolkit {
         self.resilience.as_ref()
     }
 
+    /// Turn on admission control on every provisioned host: each
+    /// container simulates `config.workers` parallel workers with a
+    /// FIFO accept queue of `config.queue_limit` slots on the network's
+    /// virtual clock. Arrivals beyond the queue are shed with a
+    /// retryable `ServerBusy` fault; admitted requests charge their
+    /// queueing delay and service time to the clock. Pass
+    /// `queue_limit: None` to model the pathological unbounded queue.
+    /// Call with a fresh config to reset the per-host load counters, or
+    /// see [`ServiceContainer::set_capacity`] for per-host control.
+    pub fn enable_admission_control(&self, config: CapacityConfig) {
+        for host in &self.hosts {
+            if let Ok(container) = self.network.host(host) {
+                container.set_capacity(Some(config));
+            }
+        }
+    }
+
     /// Turn on the content-addressed data plane with default settings:
     /// datasets and models above the inline threshold travel as
     /// `DataRef` handles whenever the receiving side already holds the
@@ -172,6 +189,7 @@ impl Toolkit {
             metrics.ingest_cache("model", &labels, &model);
             metrics.ingest_cache("eval", &labels, &eval);
         }
+        let now = self.network.now();
         for host in &self.hosts {
             if let Ok(container) = self.network.host(host) {
                 metrics.ingest_cache(
@@ -179,6 +197,9 @@ impl Toolkit {
                     &[("host", host)],
                     &container.attachments().stats(),
                 );
+                if let Some(load) = container.load_stats(now) {
+                    metrics.ingest_load(host, &load);
+                }
             }
         }
         if let Some(store) = self.network.client_store() {
@@ -195,6 +216,12 @@ impl Toolkit {
     /// no-retry serial executor.
     pub fn resilient_executor(&self, retry_budget: Option<usize>) -> Executor {
         let mut executor = Executor::serial();
+        {
+            // Execution reports read simulated elapsed time off the
+            // network's virtual clock, clock charges included.
+            let network = self.network();
+            executor = executor.with_virtual_clock(Arc::new(move || network.now()));
+        }
         if let Some(tracer) = self.network.tracer() {
             executor = executor.with_tracing(tracer);
         }
@@ -489,5 +516,71 @@ mod tests {
         let tk = Toolkit::new().unwrap();
         let viz = tk.registry().find_by_category("visualisation");
         assert_eq!(viz.len(), 2); // Plot, Math
+    }
+
+    #[test]
+    fn admission_control_feeds_load_metrics() {
+        use dm_wsrf::container::CapacityConfig;
+        let tk = Toolkit::new().unwrap();
+        tk.enable_admission_control(CapacityConfig {
+            workers: 1,
+            queue_limit: Some(0),
+            service_time: std::time::Duration::from_secs(1),
+        });
+        // First call occupies the worker for a simulated second; the
+        // rewound second call is concurrent with it and gets shed.
+        tk.classifier_client().get_classifiers().unwrap();
+        tk.network().set_virtual_time(std::time::Duration::ZERO);
+        let err = tk.classifier_client().get_classifiers().unwrap_err();
+        assert!(err.is_server_busy(), "{err}");
+
+        // Jump far past the busy window so the snapshot's own service
+        // call (cache-stats fetch) is admitted, not shed.
+        tk.network()
+            .set_virtual_time(std::time::Duration::from_secs(10));
+        let metrics = tk.metrics_registry();
+        let labels = [("host", DEFAULT_HOST)];
+        assert_eq!(
+            metrics.counter_value("faehim_requests_shed_total", &labels),
+            1
+        );
+        assert!(metrics.counter_value("faehim_requests_admitted_total", &labels) >= 2);
+        assert_eq!(
+            metrics.gauge_value("faehim_queue_depth", &labels),
+            Some(0.0)
+        );
+        assert!(metrics
+            .histogram_quantile("faehim_queueing_delay_seconds", &labels, 0.5)
+            .is_some());
+        let text = metrics.export_prometheus();
+        assert!(
+            text.contains("faehim_requests_shed_total"),
+            "load counters not exported:\n{text}"
+        );
+    }
+
+    #[test]
+    fn resilient_executor_reports_simulated_elapsed() {
+        let tk = Toolkit::new().unwrap();
+        let toolbox = tk.toolbox();
+        let tool = toolbox
+            .find("Classifier.getClassifiers")
+            .expect("imported tool");
+        let mut g = dm_workflow::graph::TaskGraph::new();
+        g.add_task(tool);
+        let report = tk
+            .resilient_executor(None)
+            .run(&g, &std::collections::HashMap::new())
+            .unwrap();
+        // The service call charged transmit time to the virtual clock,
+        // and the executor's clock source picked that up.
+        assert!(
+            report.virtual_elapsed > std::time::Duration::ZERO,
+            "virtual elapsed not wired: {report:?}"
+        );
+        assert!(report
+            .runs
+            .iter()
+            .any(|r| r.virtual_duration > std::time::Duration::ZERO));
     }
 }

@@ -101,10 +101,7 @@ fn push_textual_row(ds: &mut Dataset, fields: &[String], lineno: usize) -> Resul
                         ),
                     })?)
                 }
-                AttributeKind::Numeric => field.parse::<f64>().map_err(|_| DataError::Parse {
-                    line: lineno,
-                    message: format!("{field:?} is not numeric"),
-                })?,
+                AttributeKind::Numeric => parse_finite(field, lineno)?,
                 AttributeKind::Str => Value::from_index(ds.intern_string(field.clone())),
             }
         };
@@ -156,10 +153,7 @@ fn parse_sparse_row(ds: &mut Dataset, line: &str, lineno: usize) -> Result<()> {
                             }
                         })?)
                     }
-                    AttributeKind::Numeric => val.parse::<f64>().map_err(|_| DataError::Parse {
-                        line: lineno,
-                        message: format!("{val:?} is not numeric"),
-                    })?,
+                    AttributeKind::Numeric => parse_finite(val, lineno)?,
                     AttributeKind::Str => Value::from_index(ds.intern_string(unquote(val))),
                 }
             };
@@ -167,6 +161,21 @@ fn parse_sparse_row(ds: &mut Dataset, line: &str, lineno: usize) -> Result<()> {
     }
     ds.push_row(row)?;
     Ok(())
+}
+
+/// Parse a numeric literal, rejecting non-finite values: `NaN` would
+/// silently alias the missing-value sentinel and infinities poison
+/// summary statistics, so both are malformed input here (WEKA's ARFF
+/// has no non-finite literals either — `?` is the only missing marker).
+fn parse_finite(field: &str, lineno: usize) -> Result<f64> {
+    field
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| DataError::Parse {
+            line: lineno,
+            message: format!("{field:?} is not a finite number (use '?' for missing)"),
+        })
 }
 
 fn parse_attribute_decl(decl: &str, lineno: usize) -> Result<Attribute> {
@@ -408,6 +417,28 @@ mod tests {
             Err(DataError::Parse { line, .. }) => assert_eq!(line, 5),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn non_finite_numeric_literals_rejected() {
+        for literal in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let text = format!("@relation t\n@attribute a numeric\n@data\n{literal}\n");
+            match parse_arff(&text) {
+                Err(DataError::Parse { line, message }) => {
+                    assert_eq!(line, 4, "{literal}");
+                    assert!(message.contains("finite"), "{literal}: {message}");
+                }
+                other => panic!("{literal} accepted as numeric: {other:?}"),
+            }
+        }
+        // Sparse rows run through the same guard.
+        let sparse = "@relation t\n@attribute a numeric\n@data\n{0 NaN}\n";
+        assert!(parse_arff(sparse).is_err());
+        // The explicit missing marker still works in both forms.
+        let ok = "@relation t\n@attribute a numeric\n@data\n?\n{0 ?}\n";
+        let ds = parse_arff(ok).unwrap();
+        assert!(ds.instance(0).is_missing(0));
+        assert!(ds.instance(1).is_missing(0));
     }
 
     #[test]

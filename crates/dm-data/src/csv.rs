@@ -88,13 +88,16 @@ pub fn parse_csv_with(text: &str, opts: &CsvOptions) -> Result<Dataset> {
         None => (0..ncols).map(|i| format!("col{}", i + 1)).collect(),
     };
 
-    // Infer column types.
+    // Infer column types. Non-finite literals ("NaN", "inf") do not
+    // count as numeric: NaN aliases the MISSING sentinel and infinities
+    // poison summary statistics, so such columns fall back to nominal
+    // where the literal survives as an ordinary label.
     let mut attributes = Vec::with_capacity(ncols);
     for (c, name) in names.iter().enumerate() {
         let numeric = rows
             .iter()
             .filter_map(|r| r[c].as_deref())
-            .all(|f| f.trim().parse::<f64>().is_ok());
+            .all(|f| f.trim().parse::<f64>().is_ok_and(|v| v.is_finite()));
         let any_value = rows.iter().any(|r| r[c].is_some());
         if numeric && any_value {
             attributes.push(Attribute::numeric(name.clone()));
@@ -112,7 +115,8 @@ pub fn parse_csv_with(text: &str, opts: &CsvOptions) -> Result<Dataset> {
     }
 
     let mut ds = Dataset::new("csv-import", attributes);
-    for row in &rows {
+    for (r, row) in rows.iter().enumerate() {
+        let lineno = r + 1 + usize::from(opts.has_header);
         let encoded: Vec<f64> = row
             .iter()
             .enumerate()
@@ -121,10 +125,14 @@ pub fn parse_csv_with(text: &str, opts: &CsvOptions) -> Result<Dataset> {
                 Some(text) => {
                     let attr = ds.attribute(c)?;
                     if attr.is_numeric() {
-                        text.trim().parse::<f64>().map_err(|_| DataError::Parse {
-                            line: 0,
-                            message: format!("{text:?} is not numeric"),
-                        })
+                        text.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|v| v.is_finite())
+                            .ok_or_else(|| DataError::Parse {
+                                line: lineno,
+                                message: format!("{text:?} is not a finite number"),
+                            })
                     } else {
                         attr.label_index(text)
                             .map(Value::from_index)
@@ -294,5 +302,28 @@ mod tests {
         let ds = parse_csv("a,b\n,1\n,2\n").unwrap();
         assert!(ds.attribute(0).unwrap().is_nominal());
         assert_eq!(ds.attribute(0).unwrap().num_labels(), 0);
+    }
+
+    #[test]
+    fn non_finite_literals_do_not_infer_numeric() {
+        // "NaN" parses as f64 but would silently alias the MISSING
+        // sentinel; "inf" would poison summary statistics. Columns
+        // containing them fall back to nominal, where the literal
+        // survives as an ordinary label instead of corrupting data.
+        let ds = parse_csv("a,b\nNaN,1\ninf,2\n").unwrap();
+        let a = ds.attribute(0).unwrap();
+        assert!(a.is_nominal(), "non-finite literals inferred as numeric");
+        assert_eq!(ds.instance(0).label(0), Some("NaN"));
+        assert_eq!(ds.instance(1).label(0), Some("inf"));
+        assert!(ds.attribute(1).unwrap().is_numeric());
+        assert_eq!(ds.value(1, 1), 2.0);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_tolerated() {
+        let ds = parse_csv("a,b\r\n1,x\r\n2,y\r\n").unwrap();
+        assert!(ds.attribute(0).unwrap().is_numeric());
+        assert_eq!(ds.value(1, 0), 2.0);
+        assert_eq!(ds.instance(0).label(1), Some("x"));
     }
 }

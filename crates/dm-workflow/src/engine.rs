@@ -61,6 +61,12 @@ impl Default for RetryPolicy {
 /// are charged to simulated time and enactment stays fast.
 pub type BackoffSink = std::sync::Arc<dyn Fn(Duration) + Send + Sync>;
 
+/// Reads the current simulated instant. The toolkit wires this to
+/// [`dm_wsrf::transport::Network::now`] so reports measure enactment on
+/// the same virtual clock the whole stack charges — wall-clock
+/// `Instant` readings say nothing about a simulation that never sleeps.
+pub type ClockSource = std::sync::Arc<dyn Fn() -> Duration + Send + Sync>;
+
 /// Per-task record in an [`ExecutionReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskRun {
@@ -71,8 +77,14 @@ pub struct TaskRun {
     /// Wall-clock duration of the successful attempt (or the last
     /// failed one).
     pub duration: Duration,
+    /// Simulated-time duration of the same attempt, read from the
+    /// executor's [`ClockSource`]; zero when no clock is wired.
+    pub virtual_duration: Duration,
     /// Backoff accumulated between this task's attempts.
     pub backoff: Duration,
+    /// `ServerBusy` sheds absorbed by the task's tool across all
+    /// attempts ([`crate::graph::Tool::last_call_sheds`]).
+    pub sheds: u64,
     /// `true` when the outputs came from the memo cache and the tool
     /// never executed (then `attempts` is 0).
     pub cached: bool,
@@ -89,6 +101,10 @@ pub struct ExecutionReport {
     pub runs: Vec<TaskRun>,
     /// Total enactment wall-clock time.
     pub elapsed: Duration,
+    /// Total enactment time on the simulated clock (zero when the
+    /// executor has no [`ClockSource`]). This is the figure that agrees
+    /// with benches and traces; `elapsed` only measures host CPU time.
+    pub virtual_elapsed: Duration,
     /// Retries left in the run's shared budget (`None` = unlimited).
     pub retry_budget_remaining: Option<usize>,
 }
@@ -112,6 +128,12 @@ impl ExecutionReport {
     /// Tasks served from the memo cache without executing.
     pub fn memo_hits(&self) -> usize {
         self.runs.iter().filter(|r| r.cached).count()
+    }
+
+    /// Total `ServerBusy` sheds absorbed across all task runs — the
+    /// overload pressure the resilience layer hid from the outputs.
+    pub fn total_sheds(&self) -> u64 {
+        self.runs.iter().map(|r| r.sheds).sum()
     }
 }
 
@@ -175,6 +197,9 @@ pub enum ProgressEvent {
         tasks: usize,
         /// Total enactment wall-clock time.
         elapsed: Duration,
+        /// Total enactment time on the simulated clock (zero without a
+        /// [`ClockSource`]).
+        virtual_elapsed: Duration,
     },
 }
 
@@ -188,6 +213,7 @@ pub struct Executor {
     mode: ExecutionMode,
     policy: RetryPolicy,
     backoff_sink: Option<BackoffSink>,
+    clock: Option<ClockSource>,
     listener: Option<ProgressListener>,
     memo: Option<Arc<MemoCache>>,
     tracer: Option<Arc<Tracer>>,
@@ -199,6 +225,7 @@ impl std::fmt::Debug for Executor {
             .field("mode", &self.mode)
             .field("policy", &self.policy)
             .field("backoff_sink", &self.backoff_sink.is_some())
+            .field("clock", &self.clock.is_some())
             .field("listener", &self.listener.is_some())
             .field("memo", &self.memo.is_some())
             .field("tracer", &self.tracer.is_some())
@@ -213,6 +240,7 @@ impl Executor {
             mode: ExecutionMode::Serial,
             policy: RetryPolicy::default(),
             backoff_sink: None,
+            clock: None,
             listener: None,
             memo: None,
             tracer: None,
@@ -225,6 +253,7 @@ impl Executor {
             mode: ExecutionMode::Parallel,
             policy: RetryPolicy::default(),
             backoff_sink: None,
+            clock: None,
             listener: None,
             memo: None,
             tracer: None,
@@ -256,6 +285,21 @@ impl Executor {
     pub fn with_backoff_sink(mut self, sink: BackoffSink) -> Executor {
         self.backoff_sink = Some(sink);
         self
+    }
+
+    /// Builder: measure enactment on `clock` (the simulated instant,
+    /// usually [`dm_wsrf::transport::Network::now`]) in addition to
+    /// wall time. Fills [`ExecutionReport::virtual_elapsed`] and
+    /// [`TaskRun::virtual_duration`]; without a clock both stay zero.
+    pub fn with_virtual_clock(mut self, clock: ClockSource) -> Executor {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The simulated instant per the wired [`ClockSource`], or zero
+    /// when none is wired (differences then stay zero too).
+    fn virtual_now(&self) -> Duration {
+        self.clock.as_ref().map(|c| c()).unwrap_or(Duration::ZERO)
     }
 
     /// Builder: receive live [`ProgressEvent`]s during enactment.
@@ -336,6 +380,7 @@ impl Executor {
             Ok(report) => self.emit(ProgressEvent::RunFinished {
                 tasks: report.runs.len(),
                 elapsed: report.elapsed,
+                virtual_elapsed: report.virtual_elapsed,
             }),
             Err(e) => {
                 if let Some(span) = root_span.as_mut() {
@@ -376,7 +421,9 @@ impl Executor {
                         task: node.name.clone(),
                         attempts: 0,
                         duration: Duration::ZERO,
+                        virtual_duration: Duration::ZERO,
                         backoff: Duration::ZERO,
+                        sheds: 0,
                         cached: true,
                         error: None,
                     },
@@ -388,6 +435,7 @@ impl Executor {
         let mut schedule =
             BackoffSchedule::new(&backoff_policy, self.policy.seed ^ task_seed(&node.name));
         let mut backoff_total = Duration::ZERO;
+        let mut sheds = 0u64;
         let mut attempts = 0;
         loop {
             attempts += 1;
@@ -404,7 +452,12 @@ impl Executor {
             });
             let _current = task_span.as_ref().map(|s| s.make_current());
             let start = Instant::now();
-            match node.tool.execute(inputs) {
+            let vstart = self.virtual_now();
+            let result = node.tool.execute(inputs);
+            // Sheds the tool absorbed this attempt (retried or failed-
+            // over ServerBusy responses) roll up into the run record.
+            sheds += node.tool.last_call_sheds();
+            match result {
                 Ok(outputs) => {
                     let expected = node.tool.output_ports().len();
                     if outputs.len() != expected {
@@ -425,7 +478,9 @@ impl Executor {
                                 task: node.name.clone(),
                                 attempts,
                                 duration: start.elapsed(),
+                                virtual_duration: self.virtual_now().saturating_sub(vstart),
                                 backoff: backoff_total,
+                                sheds,
                                 cached: false,
                                 error: Some(msg),
                             },
@@ -445,7 +500,9 @@ impl Executor {
                             task: node.name.clone(),
                             attempts,
                             duration: start.elapsed(),
+                            virtual_duration: self.virtual_now().saturating_sub(vstart),
                             backoff: backoff_total,
+                            sheds,
                             cached: false,
                             error: None,
                         },
@@ -499,7 +556,9 @@ impl Executor {
                                     task: node.name.clone(),
                                     attempts,
                                     duration: start.elapsed(),
+                                    virtual_duration: self.virtual_now().saturating_sub(vstart),
                                     backoff: backoff_total,
+                                    sheds,
                                     cached: false,
                                     error: Some(message),
                                 },
@@ -552,6 +611,7 @@ impl Executor {
         root: Option<SpanContext>,
     ) -> Result<ExecutionReport> {
         let start = Instant::now();
+        let vstart = self.virtual_now();
         let budget = Mutex::new(self.policy.retry_budget);
         let mut produced: HashMap<(TaskId, usize), Token> = HashMap::new();
         let mut report = ExecutionReport::default();
@@ -576,6 +636,7 @@ impl Executor {
         }
         self.collect_outputs(graph, &produced, &mut report)?;
         report.elapsed = start.elapsed();
+        report.virtual_elapsed = self.virtual_now().saturating_sub(vstart);
         report.retry_budget_remaining = budget.into_inner();
         Ok(report)
     }
@@ -587,6 +648,7 @@ impl Executor {
         root: Option<SpanContext>,
     ) -> Result<ExecutionReport> {
         let start = Instant::now();
+        let vstart = self.virtual_now();
         let n = graph.num_tasks();
         let mut indegree = vec![0usize; n];
         for c in graph.cables() {
@@ -637,6 +699,18 @@ impl Executor {
                             let _ = work_tx.send(POISON);
                             break;
                         }
+                        // Fail-fast cancellation. Tasks already sitting
+                        // in the queue when a sibling fails must not
+                        // execute: without this check they race the
+                        // POISON pill, and which of them win depends on
+                        // scheduling — the set of tasks that ran after
+                        // a failure was nondeterministic. The failing
+                        // worker has already broadcast POISON, so
+                        // skipping (not executing, not touching
+                        // `pending`) still terminates every worker.
+                        if state.lock().2.is_some() {
+                            continue;
+                        }
                         let inputs = {
                             let produced = produced.lock();
                             Self::gather_inputs(graph, task, bindings, &produced)
@@ -653,11 +727,17 @@ impl Executor {
                                 }
                                 let mut state = state.lock();
                                 state.1.push(run);
-                                for c in graph.cables() {
-                                    if c.from_task == task {
-                                        state.0[c.to_task] -= 1;
-                                        if state.0[c.to_task] == 0 {
-                                            work_tx.send(c.to_task).expect("queue open");
+                                // A sibling failed while this task was
+                                // in flight: record the completed run
+                                // but schedule no successors — the run
+                                // is over.
+                                if state.2.is_none() {
+                                    for c in graph.cables() {
+                                        if c.from_task == task {
+                                            state.0[c.to_task] -= 1;
+                                            if state.0[c.to_task] == 0 {
+                                                work_tx.send(c.to_task).expect("queue open");
+                                            }
                                         }
                                     }
                                 }
@@ -698,6 +778,7 @@ impl Executor {
         let produced = produced.into_inner();
         self.collect_outputs(graph, &produced, &mut report)?;
         report.elapsed = start.elapsed();
+        report.virtual_elapsed = self.virtual_now().saturating_sub(vstart);
         report.retry_budget_remaining = budget.into_inner();
         Ok(report)
     }
@@ -1213,5 +1294,192 @@ mod tests {
         assert!(report.outputs.is_empty());
         let report = Executor::serial().run(&g, &HashMap::new()).unwrap();
         assert!(report.runs.is_empty());
+    }
+
+    /// Passes its input through, counting executions.
+    struct CountingPass {
+        name: String,
+        executions: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl crate::graph::Tool for CountingPass {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn input_ports(&self) -> Vec<crate::graph::PortSpec> {
+            vec![crate::graph::PortSpec::new("in", "string")]
+        }
+
+        fn output_ports(&self) -> Vec<crate::graph::PortSpec> {
+            vec![crate::graph::PortSpec::new("out", "string")]
+        }
+
+        fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+            self.executions
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(vec![inputs[0].clone()])
+        }
+    }
+
+    /// Blocks until `failed` is raised (a sibling's terminal failure),
+    /// then succeeds — so its successors are provably enqueued *after*
+    /// the failure, where the pre-fix executor could still run them.
+    struct WaitForFailure {
+        failed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl crate::graph::Tool for WaitForFailure {
+        fn name(&self) -> &str {
+            "WaitForFailure"
+        }
+
+        fn input_ports(&self) -> Vec<crate::graph::PortSpec> {
+            vec![crate::graph::PortSpec::new("in", "string")]
+        }
+
+        fn output_ports(&self) -> Vec<crate::graph::PortSpec> {
+            vec![crate::graph::PortSpec::new("out", "string")]
+        }
+
+        fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+            let start = Instant::now();
+            while !self.failed.load(std::sync::atomic::Ordering::SeqCst)
+                && start.elapsed() < Duration::from_secs(5)
+            {
+                std::thread::yield_now();
+            }
+            // Grace period: the Failed event fires just before the
+            // failing worker records the failure under the state lock;
+            // give it time to get there so this completion lands after.
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(vec![inputs[0].clone()])
+        }
+    }
+
+    #[test]
+    fn parallel_failure_cancels_queued_tasks_deterministically() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        // src fans out to an instantly-failing task and a gate that
+        // completes only after the failure is visible; the gate's five
+        // successors are therefore queued (or about to be) when the
+        // failure is recorded. Pre-fix, workers could claim and execute
+        // them before the POISON pill propagated, so how many ran
+        // varied run to run. Post-fix they must never run: claimed
+        // tasks re-check the failure flag, and completions after a
+        // failure schedule no successors. 100 iterations pin it.
+        for iteration in 0..100 {
+            let failed = std::sync::Arc::new(AtomicBool::new(false));
+            let downstream = std::sync::Arc::new(AtomicUsize::new(0));
+
+            let mut g = TaskGraph::new();
+            let src = g.add_task(Arc::new(ConstText("x".into())));
+            let fail = g.add_named_task("fail", Arc::new(Flaky::failing(usize::MAX)));
+            let gate = g.add_task(Arc::new(WaitForFailure {
+                failed: std::sync::Arc::clone(&failed),
+            }));
+            g.connect(src, 0, fail, 0).unwrap();
+            g.connect(src, 0, gate, 0).unwrap();
+            for i in 0..5 {
+                let sink = g.add_task(Arc::new(CountingPass {
+                    name: format!("downstream-{i}"),
+                    executions: std::sync::Arc::clone(&downstream),
+                }));
+                g.connect(gate, 0, sink, 0).unwrap();
+            }
+
+            let flag = std::sync::Arc::clone(&failed);
+            let listener: super::ProgressListener = std::sync::Arc::new(move |e| {
+                if matches!(e, super::ProgressEvent::Failed { .. }) {
+                    flag.store(true, Ordering::SeqCst);
+                }
+            });
+            let err = Executor::parallel()
+                .with_listener(listener)
+                .run(&g, &HashMap::new())
+                .unwrap_err();
+            assert!(
+                matches!(err, WorkflowError::TaskFailed { ref task, .. } if task == "fail"),
+                "iteration {iteration}: wrong failure: {err}"
+            );
+            assert_eq!(
+                downstream.load(Ordering::SeqCst),
+                0,
+                "iteration {iteration}: a queued task executed after the failure"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_clock_reports_simulated_elapsed() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        /// Charges 5 ms of simulated time per execution, like a WsTool
+        /// charging transport against the network's virtual clock.
+        struct Charging {
+            nanos: std::sync::Arc<AtomicU64>,
+        }
+        impl crate::graph::Tool for Charging {
+            fn name(&self) -> &str {
+                "Charging"
+            }
+            fn input_ports(&self) -> Vec<crate::graph::PortSpec> {
+                vec![crate::graph::PortSpec::new("in", "string")]
+            }
+            fn output_ports(&self) -> Vec<crate::graph::PortSpec> {
+                vec![crate::graph::PortSpec::new("out", "string")]
+            }
+            fn execute(&self, inputs: &[Token]) -> std::result::Result<Vec<Token>, String> {
+                self.nanos
+                    .fetch_add(Duration::from_millis(5).as_nanos() as u64, Ordering::SeqCst);
+                Ok(vec![inputs[0].clone()])
+            }
+        }
+
+        let nanos = std::sync::Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("x".into())));
+        let charge = g.add_task(Arc::new(Charging {
+            nanos: std::sync::Arc::clone(&nanos),
+        }));
+        g.connect(src, 0, charge, 0).unwrap();
+
+        // Without a clock source both simulated figures stay zero.
+        let report = Executor::serial().run(&g, &HashMap::new()).unwrap();
+        assert_eq!(report.virtual_elapsed, Duration::ZERO);
+        assert!(report
+            .runs
+            .iter()
+            .all(|r| r.virtual_duration == Duration::ZERO));
+
+        nanos.store(0, Ordering::SeqCst);
+        let clock_nanos = std::sync::Arc::clone(&nanos);
+        let clock: super::ClockSource =
+            std::sync::Arc::new(move || Duration::from_nanos(clock_nanos.load(Ordering::SeqCst)));
+        use parking_lot::Mutex;
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&events);
+        let listener: super::ProgressListener = std::sync::Arc::new(move |e| sink.lock().push(e));
+
+        let report = Executor::serial()
+            .with_virtual_clock(clock)
+            .with_listener(listener)
+            .run(&g, &HashMap::new())
+            .unwrap();
+        // The whole enactment advanced the simulated clock by exactly
+        // the 5 ms the charging task spent; wall elapsed says nothing
+        // about that (the run never sleeps).
+        assert_eq!(report.virtual_elapsed, Duration::from_millis(5));
+        let charge_run = report.runs.iter().find(|r| r.task == "Charging").unwrap();
+        assert_eq!(charge_run.virtual_duration, Duration::from_millis(5));
+        let src_run = report.runs.iter().find(|r| r.task == "ConstText").unwrap();
+        assert_eq!(src_run.virtual_duration, Duration::ZERO);
+        // RunFinished carries the simulated figure too, so live
+        // monitors agree with benches and traces.
+        let events = events.lock();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            super::ProgressEvent::RunFinished { virtual_elapsed, .. }
+                if *virtual_elapsed == Duration::from_millis(5)
+        )));
     }
 }

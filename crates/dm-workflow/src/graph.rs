@@ -73,6 +73,15 @@ pub trait Tool: Send + Sync {
     fn memo_identity(&self) -> String {
         self.name().to_string()
     }
+
+    /// `ServerBusy` sheds absorbed (by retries or failover) during this
+    /// tool's most recent [`Tool::execute`]. Local tools never touch
+    /// the network and report 0; [`crate::wsimport::WsTool`] reports the
+    /// busy-attempt count of its last call so the executor can surface
+    /// overload pressure in [`crate::engine::ExecutionReport`].
+    fn last_call_sheds(&self) -> u64 {
+        0
+    }
 }
 
 /// Task identifier within a [`TaskGraph`].

@@ -124,10 +124,12 @@ impl WsTool {
                 let result =
                     self.network
                         .invoke(host, &self.service, &self.operation.name, args.to_vec());
+                let busy = u32::from(matches!(&result, Err(e) if e.is_server_busy()));
                 (
                     result,
                     CallStats {
                         attempts: 1,
+                        busy,
                         ..CallStats::default()
                     },
                 )
@@ -145,8 +147,11 @@ impl WsTool {
             // The resilient caller has already burned its retry budget on
             // this host, so anything transport-shaped — including an open
             // breaker, a blown deadline, or a corrupt response envelope —
-            // moves on to the next replica.
-            err.is_transport_level() || matches!(err, WsError::Xml { .. } | WsError::Malformed(_))
+            // moves on to the next replica. A host still shedding after
+            // the whole backoff budget is saturated, so spread the load.
+            err.is_transport_level()
+                || err.is_server_busy()
+                || matches!(err, WsError::Xml { .. } | WsError::Malformed(_))
         } else {
             err.is_retryable()
         }
@@ -215,6 +220,7 @@ impl Tool for WsTool {
                 total.attempts += stats.attempts;
                 total.backoff += stats.backoff;
                 total.possibly_duplicated += stats.possibly_duplicated;
+                total.busy += stats.busy;
             }
             match result {
                 Ok(value) => {
@@ -246,6 +252,10 @@ impl Tool for WsTool {
 
     fn is_pure(&self) -> bool {
         self.pure
+    }
+
+    fn last_call_sheds(&self) -> u64 {
+        u64::from(self.last_stats.lock().busy)
     }
 
     fn memo_identity(&self) -> String {

@@ -4,14 +4,15 @@
 
 use crate::dataplane::AttachmentStore;
 use crate::error::{Result, WsError};
+use crate::metrics::Histogram;
 use crate::monitor::{InvocationEvent, MonitorLog, Outcome};
 use crate::soap::{SoapCall, SoapResponse, SoapValue};
 use crate::trace::{SpanKind, Tracer};
 use crate::wsdl::WsdlDocument;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A fault raised by a service implementation; mapped to a SOAP fault
 /// on the wire.
@@ -68,6 +69,148 @@ pub trait WebService: Send + Sync {
 /// than the paper's datasets while still exercising eviction in tests.
 pub const DEFAULT_ATTACHMENT_CAPACITY: usize = 64 * 1024 * 1024;
 
+/// Capacity model of one simulated host: a Tomcat/Axis-like connector
+/// with a fixed worker pool, a per-request service time charged to the
+/// virtual clock, and a bounded FIFO accept queue. Requests arriving
+/// while all workers are busy wait in the queue; requests arriving
+/// while the queue is full are shed with a `ServerBusy` SOAP fault.
+///
+/// Hosts have no capacity model by default (legacy behaviour: infinite
+/// free concurrency), so nothing changes off the overload path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityConfig {
+    /// Parallel worker threads (clamped to at least 1 on install).
+    pub workers: usize,
+    /// Accept-queue bound beyond the workers themselves; `None` models
+    /// an unbounded queue (the pre-admission-control pathology: no
+    /// request is ever shed, latency grows without limit under
+    /// sustained overload).
+    pub queue_limit: Option<usize>,
+    /// Virtual time one worker spends serving one request.
+    pub service_time: Duration,
+}
+
+impl Default for CapacityConfig {
+    fn default() -> CapacityConfig {
+        CapacityConfig {
+            workers: 4,
+            queue_limit: Some(8),
+            service_time: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The connector's admission decision for one request arriving at a
+/// given virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted: the request waits `queue_wait` for a worker, then is
+    /// served for `service_time`; both belong on the virtual clock.
+    Admitted {
+        /// Virtual time spent queued before a worker frees up.
+        queue_wait: Duration,
+        /// Virtual time the worker spends on the request.
+        service_time: Duration,
+        /// Requests in the system (serving + queued) after admission.
+        depth: usize,
+    },
+    /// The accept queue was full; the request is shed with a
+    /// `ServerBusy` fault and never reaches a service.
+    Shed {
+        /// Requests in the system at the (refused) arrival.
+        in_system: usize,
+    },
+}
+
+/// Snapshot of one host's admission-control counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadStats {
+    /// Requests admitted (served immediately or queued).
+    pub admitted: u64,
+    /// Admitted requests that had to wait for a worker.
+    pub queued: u64,
+    /// Requests refused with `ServerBusy`.
+    pub shed: u64,
+    /// Sum of all queue waits (virtual time).
+    pub total_queue_wait: Duration,
+    /// Requests in the system (serving + queued) at the snapshot's
+    /// virtual instant.
+    pub in_system: usize,
+    /// Distribution of per-request queue waits, in seconds.
+    pub queue_waits: Histogram,
+}
+
+/// Virtual-clock queueing state behind a capacity model: per-worker
+/// busy-until instants plus the completion times of every admitted
+/// request still in the system.
+#[derive(Debug)]
+struct CapacityState {
+    config: CapacityConfig,
+    /// Virtual instant each worker frees up.
+    worker_free: Vec<Duration>,
+    /// Virtual completion instants of requests currently in the system.
+    in_system: Vec<Duration>,
+    admitted: u64,
+    queued: u64,
+    shed: u64,
+    total_queue_wait: Duration,
+    queue_waits: Histogram,
+}
+
+impl CapacityState {
+    fn new(config: CapacityConfig) -> CapacityState {
+        let workers = config.workers.max(1);
+        CapacityState {
+            config: CapacityConfig { workers, ..config },
+            worker_free: vec![Duration::ZERO; workers],
+            in_system: Vec::new(),
+            admitted: 0,
+            queued: 0,
+            shed: 0,
+            total_queue_wait: Duration::ZERO,
+            queue_waits: Histogram::new(),
+        }
+    }
+
+    /// Decide admission for a request arriving at virtual instant
+    /// `now`, updating the queueing state. FIFO discipline: arrivals
+    /// are assigned to whichever worker frees up earliest.
+    fn admit(&mut self, now: Duration) -> Admission {
+        self.in_system.retain(|&end| end > now);
+        if let Some(limit) = self.config.queue_limit {
+            if self.in_system.len() >= self.config.workers + limit {
+                self.shed += 1;
+                return Admission::Shed {
+                    in_system: self.in_system.len(),
+                };
+            }
+        }
+        let slot = self
+            .worker_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, free)| *free)
+            .map(|(i, _)| i)
+            .expect("capacity model has at least one worker");
+        let start = self.worker_free[slot].max(now);
+        let queue_wait = start - now;
+        let end = start + self.config.service_time;
+        self.worker_free[slot] = end;
+        self.in_system.push(end);
+        self.admitted += 1;
+        if !queue_wait.is_zero() {
+            self.queued += 1;
+        }
+        self.total_queue_wait += queue_wait;
+        self.queue_waits.observe(queue_wait.as_secs_f64());
+        Admission::Admitted {
+            queue_wait,
+            service_time: self.config.service_time,
+            depth: self.in_system.len(),
+        }
+    }
+}
+
 /// Materialised arguments plus what the resolution saved on the wire.
 struct ResolvedArgs {
     args: Vec<(String, SoapValue)>,
@@ -82,6 +225,7 @@ pub struct ServiceContainer {
     monitor: Arc<MonitorLog>,
     attachments: Arc<AttachmentStore>,
     tracer: RwLock<Option<Arc<Tracer>>>,
+    capacity: Mutex<Option<CapacityState>>,
 }
 
 impl ServiceContainer {
@@ -93,7 +237,56 @@ impl ServiceContainer {
             monitor: Arc::new(MonitorLog::new()),
             attachments: Arc::new(AttachmentStore::new(DEFAULT_ATTACHMENT_CAPACITY)),
             tracer: RwLock::new(None),
+            capacity: Mutex::new(None),
         }
+    }
+
+    /// Install (or, with `None`, remove) this host's capacity model.
+    /// Installing resets all queueing state and load counters.
+    pub fn set_capacity(&self, config: Option<CapacityConfig>) {
+        *self.capacity.lock() = config.map(CapacityState::new);
+    }
+
+    /// The installed capacity model, if any (with `workers` clamped as
+    /// stored).
+    pub fn capacity(&self) -> Option<CapacityConfig> {
+        self.capacity.lock().as_ref().map(|s| s.config)
+    }
+
+    /// Admission decision for a request arriving at virtual instant
+    /// `now`. `None` means no capacity model is installed and the
+    /// request proceeds with the legacy free-concurrency behaviour.
+    pub fn admit(&self, now: Duration) -> Option<Admission> {
+        self.capacity.lock().as_mut().map(|s| s.admit(now))
+    }
+
+    /// Requests in the system (serving + queued) at virtual instant
+    /// `now`; 0 without a capacity model. This is the load signal the
+    /// registry's least-outstanding ranking consumes.
+    pub fn in_system(&self, now: Duration) -> usize {
+        match self.capacity.lock().as_mut() {
+            Some(state) => {
+                state.in_system.retain(|&end| end > now);
+                state.in_system.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Snapshot of the host's load counters; `None` without a capacity
+    /// model. `in_system` is evaluated at `now` on the virtual clock.
+    pub fn load_stats(&self, now: Duration) -> Option<LoadStats> {
+        self.capacity.lock().as_mut().map(|state| {
+            state.in_system.retain(|&end| end > now);
+            LoadStats {
+                admitted: state.admitted,
+                queued: state.queued,
+                shed: state.shed,
+                total_queue_wait: state.total_queue_wait,
+                in_system: state.in_system.len(),
+                queue_waits: state.queue_waits.clone(),
+            }
+        })
     }
 
     /// Install (or remove) the tracer this container records dispatch
@@ -452,5 +645,114 @@ mod tests {
         let wsdl = c.wsdl_of("Echo").unwrap();
         assert_eq!(wsdl.endpoint, "http://host-a:8080/axis/Echo");
         assert!(c.wsdl_of("Nope").is_err());
+    }
+
+    #[test]
+    fn capacity_disabled_by_default() {
+        let c = container();
+        assert_eq!(c.capacity(), None);
+        assert_eq!(c.admit(Duration::ZERO), None);
+        assert_eq!(c.load_stats(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn admission_queues_then_sheds() {
+        let c = container();
+        c.set_capacity(Some(CapacityConfig {
+            workers: 2,
+            queue_limit: Some(2),
+            service_time: Duration::from_millis(10),
+        }));
+        let now = Duration::ZERO;
+        // Two workers: first two arrivals start immediately.
+        for _ in 0..2 {
+            match c.admit(now).unwrap() {
+                Admission::Admitted { queue_wait, .. } => assert_eq!(queue_wait, Duration::ZERO),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Next two wait one and two service times for a worker to free.
+        for expected_ms in [10, 10] {
+            match c.admit(now).unwrap() {
+                Admission::Admitted { queue_wait, .. } => {
+                    assert!(
+                        queue_wait >= Duration::from_millis(expected_ms),
+                        "wanted >= {expected_ms} ms wait, got {queue_wait:?}"
+                    );
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // workers + queue_limit = 4 in system: the fifth is shed.
+        assert_eq!(c.admit(now).unwrap(), Admission::Shed { in_system: 4 });
+
+        let stats = c.load_stats(now).unwrap();
+        assert_eq!(stats.admitted, 4);
+        assert_eq!(stats.queued, 2);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.in_system, 4);
+        assert_eq!(stats.queue_waits.count, 4);
+    }
+
+    #[test]
+    fn capacity_drains_on_the_virtual_clock() {
+        let c = container();
+        c.set_capacity(Some(CapacityConfig {
+            workers: 1,
+            queue_limit: Some(0),
+            service_time: Duration::from_millis(5),
+        }));
+        assert!(matches!(
+            c.admit(Duration::ZERO).unwrap(),
+            Admission::Admitted { .. }
+        ));
+        // The single worker is busy until t = 5 ms; no queue slots.
+        assert!(matches!(
+            c.admit(Duration::from_millis(1)).unwrap(),
+            Admission::Shed { .. }
+        ));
+        // Once the clock passes the busy period the host accepts again.
+        assert!(matches!(
+            c.admit(Duration::from_millis(6)).unwrap(),
+            Admission::Admitted { queue_wait, .. } if queue_wait == Duration::ZERO
+        ));
+        assert_eq!(c.in_system(Duration::from_millis(20)), 0);
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds_but_waits_grow() {
+        let c = container();
+        c.set_capacity(Some(CapacityConfig {
+            workers: 1,
+            queue_limit: None,
+            service_time: Duration::from_millis(1),
+        }));
+        let mut last_wait = Duration::ZERO;
+        for i in 0..64 {
+            match c.admit(Duration::ZERO).unwrap() {
+                Admission::Admitted { queue_wait, .. } => {
+                    assert!(queue_wait >= last_wait, "arrival {i} wait shrank");
+                    last_wait = queue_wait;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let stats = c.load_stats(Duration::ZERO).unwrap();
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.in_system, 64);
+        assert_eq!(last_wait, Duration::from_millis(63));
+    }
+
+    #[test]
+    fn set_capacity_resets_state() {
+        let c = container();
+        let config = CapacityConfig::default();
+        c.set_capacity(Some(config));
+        c.admit(Duration::ZERO);
+        assert_eq!(c.load_stats(Duration::ZERO).unwrap().admitted, 1);
+        c.set_capacity(Some(config));
+        assert_eq!(c.load_stats(Duration::ZERO).unwrap().admitted, 0);
+        c.set_capacity(None);
+        assert_eq!(c.load_stats(Duration::ZERO), None);
     }
 }

@@ -6,6 +6,12 @@ use std::time::Duration;
 /// Result alias used throughout `dm-wsrf`.
 pub type Result<T> = std::result::Result<T, WsError>;
 
+/// SOAP fault code raised when an admission-controlled host sheds a
+/// request because its accept queue is full. Unlike other SOAP faults
+/// this one is transient by construction, so the resilience layer
+/// treats it as retryable-with-backoff.
+pub const SERVER_BUSY_CODE: &str = "ServerBusy";
+
 /// Errors raised by the Web Services layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WsError {
@@ -113,15 +119,24 @@ impl WsError {
         matches!(self, WsError::ResponseLost(_))
     }
 
+    /// `true` for a `ServerBusy` SOAP fault — the host's admission
+    /// controller shed the request before it reached a service. No work
+    /// was performed, and the overload is transient, so callers should
+    /// back off (or fail over to a less-loaded replica) and retry.
+    pub fn is_server_busy(&self) -> bool {
+        matches!(self, WsError::Fault { code, .. } if code == SERVER_BUSY_CODE)
+    }
+
     /// `true` when a retry (on this or another replica) can meaningfully
-    /// be attempted: transport failures on either leg. SOAP faults and
-    /// malformed requests are deterministic and excluded; open breakers
-    /// and blown deadlines are terminal for the current call.
+    /// be attempted: transport failures on either leg, plus `ServerBusy`
+    /// sheds (transient overload, no work performed). Other SOAP faults
+    /// and malformed requests are deterministic and excluded; open
+    /// breakers and blown deadlines are terminal for the current call.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             WsError::Transport(_) | WsError::ResponseLost(_) | WsError::UnknownHost(_)
-        )
+        ) || self.is_server_busy()
     }
 }
 
@@ -153,5 +168,24 @@ mod tests {
     fn is_std_error() {
         fn check(_: &dyn std::error::Error) {}
         check(&WsError::Transport("x".into()));
+    }
+
+    #[test]
+    fn server_busy_is_retryable_other_faults_are_not() {
+        let busy = WsError::Fault {
+            code: SERVER_BUSY_CODE.into(),
+            message: "queue full".into(),
+        };
+        assert!(busy.is_server_busy());
+        assert!(busy.is_retryable());
+        assert!(!busy.is_transport_level());
+        assert!(!busy.work_may_have_executed());
+
+        let server = WsError::Fault {
+            code: "Server".into(),
+            message: "boom".into(),
+        };
+        assert!(!server.is_server_busy());
+        assert!(!server.is_retryable());
     }
 }

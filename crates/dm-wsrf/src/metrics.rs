@@ -11,6 +11,7 @@
 //! definition [`crate::monitor::MonitorLog::summary_by_host`] uses for
 //! its median.
 
+use crate::container::LoadStats;
 use crate::dataplane::CacheStats;
 use crate::monitor::{MonitorLog, Outcome};
 use crate::transport::WireStats;
@@ -41,8 +42,18 @@ pub struct Histogram {
     pub count: u64,
 }
 
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
 impl Histogram {
-    fn new() -> Histogram {
+    /// An empty histogram over [`LATENCY_BUCKETS`]. Public so other
+    /// layers (e.g. the container's admission-control load state) can
+    /// pre-aggregate observations and merge them in later via
+    /// [`MetricsRegistry::merge_histogram`].
+    pub fn new() -> Histogram {
         Histogram {
             buckets: vec![0; LATENCY_BUCKETS.len() + 1],
             sum: 0.0,
@@ -50,7 +61,8 @@ impl Histogram {
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    /// Record one observation (in seconds).
+    pub fn observe(&mut self, value: f64) {
         let idx = LATENCY_BUCKETS
             .iter()
             .position(|&bound| value <= bound)
@@ -149,6 +161,39 @@ impl MetricsRegistry {
                 .or_insert_with(Histogram::new)
                 .observe(seconds);
         }
+    }
+
+    /// Merge a pre-aggregated [`Histogram`] into a histogram series
+    /// (bucket-wise addition). This is how the container's queue-wait
+    /// distributions reach the registry without replaying every
+    /// observation.
+    pub fn merge_histogram(&self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let mut metrics = self.metrics.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(BTreeMap::new()));
+        if let Metric::Histogram(series) = metric {
+            let into = series
+                .entry(labels_of(labels))
+                .or_insert_with(Histogram::new);
+            for (bucket, add) in into.buckets.iter_mut().zip(&h.buckets) {
+                *bucket += add;
+            }
+            into.sum += h.sum;
+            into.count += h.count;
+        }
+    }
+
+    /// Ingest one host's admission-control [`LoadStats`]: admitted /
+    /// queued / shed counters, a queue-depth gauge, and the
+    /// queueing-delay histogram, all labelled by host.
+    pub fn ingest_load(&self, host: &str, stats: &LoadStats) {
+        let labels = [("host", host)];
+        self.inc_counter("faehim_requests_admitted_total", &labels, stats.admitted);
+        self.inc_counter("faehim_requests_queued_total", &labels, stats.queued);
+        self.inc_counter("faehim_requests_shed_total", &labels, stats.shed);
+        self.set_gauge("faehim_queue_depth", &labels, stats.in_system as f64);
+        self.merge_histogram("faehim_queueing_delay_seconds", &labels, &stats.queue_waits);
     }
 
     /// Current value of a counter series (0 when absent).

@@ -143,7 +143,12 @@ impl UddiRegistry {
     }
 
     /// Health of `name` at `now`: heartbeats older than `freshness`
-    /// count as dead, never-heartbeated services are Unknown.
+    /// count as dead, never-heartbeated services are Unknown. The
+    /// freshness window is start-inclusive, end-exclusive — a heartbeat
+    /// at `t` keeps the service alive for `now ∈ [t, t + freshness)`,
+    /// the same half-open convention the fault engine pins for outage
+    /// windows and latency spikes, so a heartbeat aged exactly
+    /// `freshness` already reads as dead.
     pub fn health_of(&self, name: &str, now: Duration, freshness: Duration) -> HealthStatus {
         let health = self.health.read();
         match health.get(name) {
@@ -151,7 +156,7 @@ impl UddiRegistry {
             Some(record) if record.marked_dead => HealthStatus::Dead,
             Some(record) => match record.last_heartbeat {
                 None => HealthStatus::Unknown,
-                Some(at) if now.saturating_sub(at) <= freshness => HealthStatus::Alive,
+                Some(at) if now.saturating_sub(at) < freshness => HealthStatus::Alive,
                 Some(_) => HealthStatus::Dead,
             },
         }
@@ -256,6 +261,41 @@ impl UddiRegistry {
         freshness: Duration,
     ) -> Vec<ServiceEntry> {
         self.rank_healthy(self.find_by_name(pattern), now, freshness)
+    }
+
+    /// Rank `hits` least-outstanding first: dead endpoints are dropped,
+    /// and the survivors are ordered by the caller-supplied per-host
+    /// load (e.g. [`Network::load_snapshot`]; absent hosts count as
+    /// idle). Ties fall back to the health ranking — alive-freshest
+    /// first, then Unknown, then name — so two idle replicas still
+    /// prefer the one heartbeating.
+    ///
+    /// [`Network::load_snapshot`]: crate::transport::Network::load_snapshot
+    pub fn rank_least_outstanding(
+        &self,
+        hits: Vec<ServiceEntry>,
+        now: Duration,
+        freshness: Duration,
+        loads: &HashMap<String, u64>,
+    ) -> Vec<ServiceEntry> {
+        let mut hits = self.rank_healthy(hits, now, freshness);
+        // Stable sort: equal loads keep the health ranking's order.
+        hits.sort_by_key(|e| loads.get(&e.host).copied().unwrap_or(0));
+        hits
+    }
+
+    /// Category inquiry ranked least-outstanding first (see
+    /// [`rank_least_outstanding`](Self::rank_least_outstanding)) so a
+    /// workflow binding replicas actually spreads load instead of
+    /// piling onto the freshest heartbeat.
+    pub fn find_by_category_least_loaded(
+        &self,
+        category: &str,
+        now: Duration,
+        freshness: Duration,
+        loads: &HashMap<String, u64>,
+    ) -> Vec<ServiceEntry> {
+        self.rank_least_outstanding(self.find_by_category(category), now, freshness, loads)
     }
 }
 
@@ -386,6 +426,76 @@ mod tests {
 
         // The plain inquiries still see everything.
         assert_eq!(reg.find_by_category("classifier").len(), 4);
+    }
+
+    #[test]
+    fn freshness_window_is_start_inclusive_end_exclusive() {
+        // Same half-open convention as the fault engine's outage
+        // windows: alive for now ∈ [t, t + freshness), dead at the
+        // boundary itself.
+        let reg = UddiRegistry::new();
+        reg.publish(entry("A", &[]));
+        let fresh = Duration::from_secs(30);
+        reg.heartbeat("A", Duration::from_secs(10));
+
+        // Age 0 (the heartbeat instant) is alive.
+        assert_eq!(
+            reg.health_of("A", Duration::from_secs(10), fresh),
+            HealthStatus::Alive
+        );
+        // One nanosecond inside the window is still alive.
+        assert_eq!(
+            reg.health_of(
+                "A",
+                Duration::from_secs(40) - Duration::from_nanos(1),
+                fresh
+            ),
+            HealthStatus::Alive
+        );
+        // A heartbeat aged exactly `freshness` is already dead.
+        assert_eq!(
+            reg.health_of("A", Duration::from_secs(40), fresh),
+            HealthStatus::Dead
+        );
+    }
+
+    #[test]
+    fn least_loaded_inquiry_spreads_replicas() {
+        let reg = UddiRegistry::new();
+        let replica = |name: &str, host: &str| {
+            let mut e = entry(name, &["classifier"]);
+            e.host = host.to_string();
+            e
+        };
+        reg.publish(replica("ClassifierA", "host-a"));
+        reg.publish(replica("ClassifierB", "host-b"));
+        reg.publish(replica("ClassifierC", "host-c"));
+        reg.publish(replica("ClassifierDead", "host-d"));
+        reg.mark_dead("ClassifierDead");
+
+        let now = Duration::from_secs(100);
+        let fresh = Duration::from_secs(30);
+        reg.heartbeat("ClassifierA", Duration::from_secs(99));
+        reg.heartbeat("ClassifierB", Duration::from_secs(98));
+        reg.heartbeat("ClassifierC", Duration::from_secs(97));
+
+        // Health-only ranking piles onto the freshest heartbeat (A).
+        let healthy = reg.find_by_category_healthy("classifier", now, fresh);
+        assert_eq!(healthy[0].name, "ClassifierA");
+
+        // Load-aware ranking sends the call to the idle replica.
+        let loads: HashMap<String, u64> =
+            [("host-a".to_string(), 7), ("host-b".to_string(), 2)].into();
+        let ranked = reg.find_by_category_least_loaded("classifier", now, fresh, &loads);
+        let names: Vec<&str> = ranked.iter().map(|e| e.name.as_str()).collect();
+        // host-c has no load entry (idle), then host-b (2), then
+        // host-a (7); the dead replica never appears.
+        assert_eq!(names, ["ClassifierC", "ClassifierB", "ClassifierA"]);
+
+        // Equal loads fall back to the health ranking's order.
+        let ranked = reg.find_by_category_least_loaded("classifier", now, fresh, &HashMap::new());
+        let names: Vec<&str> = ranked.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["ClassifierA", "ClassifierB", "ClassifierC"]);
     }
 
     #[test]

@@ -364,6 +364,9 @@ pub struct CallStats {
     /// Attempts that failed after dispatch (`work_may_have_executed`),
     /// i.e. an upper bound on duplicated server-side work.
     pub possibly_duplicated: u32,
+    /// Attempts rejected with a `ServerBusy` shed by an overloaded
+    /// host's admission controller.
+    pub busy: u32,
 }
 
 /// A [`Network`] front-end applying a [`ResiliencePolicy`] and a
@@ -479,6 +482,9 @@ impl ResilientCaller {
                     if e.work_may_have_executed() {
                         stats.possibly_duplicated += 1;
                     }
+                    if e.is_server_busy() {
+                        stats.busy += 1;
+                    }
                     // Response-leg decode errors (corrupt envelopes) are
                     // transport artefacts here, so retry those too.
                     let retryable = e.is_retryable()
@@ -490,7 +496,13 @@ impl ResilientCaller {
                 }
             }
             if attempt < self.policy.max_attempts {
-                let delay = backoff.next_delay();
+                let mut delay = backoff.next_delay();
+                // Shed-aware backoff: a ServerBusy response means the
+                // host's accept queue is full, so wait harder than for
+                // a lost packet and give the queue time to drain.
+                if last_err.is_server_busy() {
+                    delay = (delay * 2).min(self.policy.max_backoff);
+                }
                 let now = self.network.now();
                 let remaining = self.policy.deadline.saturating_sub(now - start);
                 if delay >= remaining {
@@ -735,6 +747,48 @@ mod tests {
         };
         assert!(matches!(err, WsError::Fault { .. }));
         assert_eq!(attempts, 1, "deterministic fault retried");
+    }
+
+    #[test]
+    fn server_busy_is_retried_with_extended_backoff() {
+        use crate::container::CapacityConfig;
+        let net = echo_network();
+        net.host("host-a")
+            .unwrap()
+            .set_capacity(Some(CapacityConfig {
+                workers: 1,
+                queue_limit: Some(0),
+                service_time: Duration::from_millis(50),
+            }));
+        // Saturate the single worker, then rewind so the resilient call
+        // arrives while it is still busy.
+        net.invoke("host-a", "Echo", "echo", msg()).unwrap();
+        net.set_virtual_time(Duration::ZERO);
+
+        let caller = ResilientCaller::new(
+            Arc::clone(&net),
+            Arc::new(BreakerBoard::new(BreakerConfig {
+                min_calls: 100,
+                ..Default::default()
+            })),
+            ResiliencePolicy::default().attempts(5),
+        );
+        let (value, stats) = caller
+            .invoke_with_stats("host-a", "Echo", "echo", msg())
+            .expect("busy host drains within the retry budget");
+        assert_eq!(value, SoapValue::Text("hi".into()));
+        assert!(stats.busy >= 1, "no shed observed: {stats:?}");
+        assert_eq!(
+            stats.attempts,
+            stats.busy + 1,
+            "every shed costs exactly one retry: {stats:?}"
+        );
+        // Shed-aware backoff doubles the drawn delay, so each busy
+        // retry waits at least twice the 10 ms base.
+        assert!(
+            stats.backoff >= Duration::from_millis(20) * stats.busy,
+            "backoff not extended after shed: {stats:?}"
+        );
     }
 
     #[test]
