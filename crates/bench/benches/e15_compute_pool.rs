@@ -1,0 +1,366 @@
+//! E15 — compute-pool speedup: forest training, 10-fold
+//! cross-validation, and 1000-instance batch scoring on breast-cancer
+//! at 1 / 2 / 4 / 8 pool threads, with byte-identical outputs at every
+//! thread count.
+//!
+//! Two numbers are reported per workload and thread count:
+//!
+//! * **measured wall-clock** — the actual elapsed time under
+//!   `pool::with_threads(n, ..)` on this host. On a single-core host
+//!   (the CI container has one CPU) extra threads timeshare one core,
+//!   so the measured curve is flat — included for honesty, not as the
+//!   headline.
+//! * **modeled makespan** — each workload's tasks (one tree, one fold,
+//!   one row) are timed individually, then list-scheduled onto W
+//!   earliest-available workers, the same greedy order the
+//!   work-stealing deques converge to. This is the speedup the pool
+//!   delivers once W cores exist, computed from *measured* per-task
+//!   durations rather than an assumed uniform split.
+//!
+//! The determinism contract is asserted inline: forest state bytes,
+//! pooled-CV `Evaluation`s, and batched predictions must be identical
+//! at 1, 2, 4, and 8 threads.
+//!
+//! `FAEHIM_E15_SMOKE=1` shrinks the workloads for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_algorithms::classifiers::{Classifier, RandomForest, RandomTree};
+use dm_algorithms::eval::{cross_validate, cross_validate_parallel};
+use dm_algorithms::options::Configurable;
+use dm_algorithms::pool;
+use dm_algorithms::registry::make_classifier;
+use dm_algorithms::state::Stateful;
+use dm_bench::banner;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 0xFAE15;
+
+fn smoke() -> bool {
+    std::env::var("FAEHIM_E15_SMOKE").is_ok()
+}
+
+fn num_trees() -> usize {
+    if smoke() {
+        8
+    } else {
+        64
+    }
+}
+
+fn batch_rows() -> usize {
+    if smoke() {
+        200
+    } else {
+        1000
+    }
+}
+
+const CV_FOLDS: usize = 10;
+
+fn dataset() -> dm_data::Dataset {
+    let mut ds = dm_data::arff::parse_arff(dm_bench::breast_cancer_arff()).unwrap();
+    ds.set_class_by_name("Class").unwrap();
+    ds
+}
+
+/// The scoring batch: breast-cancer rows cycled up to `batch_rows()`.
+fn batch_dataset(ds: &dm_data::Dataset) -> dm_data::Dataset {
+    let n = ds.num_instances();
+    let rows: Vec<usize> = (0..batch_rows()).map(|i| i % n).collect();
+    ds.select_rows(&rows)
+}
+
+/// Greedy list scheduling of `durations` (seconds) onto `workers`
+/// earliest-available workers; returns the makespan in seconds.
+fn greedy_makespan(durations: &[f64], workers: usize) -> f64 {
+    let mut free_at = vec![0.0f64; workers.max(1)];
+    for &d in durations {
+        let earliest = free_at
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap();
+        *earliest += d;
+    }
+    free_at.into_iter().fold(0.0, f64::max)
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Median-of-3 wall-clock for `f` under an `n`-thread pool.
+fn wall_clock<R>(threads: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| pool::with_threads(threads, || time(&mut f).1))
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[1]
+}
+
+/// Train the E15 forest under whatever pool threads are in effect.
+fn train_forest(ds: &dm_data::Dataset) -> RandomForest {
+    let mut forest = RandomForest::new();
+    forest.set_option("-I", &num_trees().to_string()).unwrap();
+    forest.set_option("-S", &SEED.to_string()).unwrap();
+    forest.train(ds).unwrap();
+    forest
+}
+
+fn trained_forest(threads: usize, ds: &dm_data::Dataset) -> RandomForest {
+    pool::with_threads(threads, || train_forest(ds))
+}
+
+/// Per-task durations of the forest workload: training one random tree
+/// on one 286-row bootstrap resample (xorshift index stream — the cost
+/// model only needs representative task sizes, not the forest's exact
+/// bootstrap stream).
+fn forest_task_durations(ds: &dm_data::Dataset) -> Vec<f64> {
+    let n = ds.num_instances();
+    let mut state = SEED | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..num_trees())
+        .map(|i| {
+            let rows: Vec<usize> = (0..n).map(|_| (next() % n as u64) as usize).collect();
+            let sample = ds.select_rows(&rows);
+            let (_, secs) = time(|| {
+                let mut tree = RandomTree::new();
+                tree.set_option("-S", &(SEED + i as u64).to_string())
+                    .unwrap();
+                tree.train(&sample).unwrap();
+                black_box(tree.encode_state().len())
+            });
+            secs
+        })
+        .collect()
+}
+
+/// Per-task durations of the CV workload: train + evaluate one J48
+/// fold of the stratified 10-fold split.
+fn cv_task_durations(ds: &dm_data::Dataset) -> Vec<f64> {
+    let labels = ds.class_attribute().unwrap().labels().to_vec();
+    let cv = dm_data::split::CrossValidation::stratified(ds, CV_FOLDS, SEED).unwrap();
+    (0..cv.k())
+        .map(|fold| {
+            let (train, test) = cv.split(ds, fold);
+            let (_, secs) = time(|| {
+                let mut c = make_classifier("J48").unwrap();
+                c.train(&train).unwrap();
+                let mut eval = dm_algorithms::eval::Evaluation::new(labels.clone());
+                eval.evaluate(c.as_ref(), &test).unwrap();
+                black_box(eval.accuracy())
+            });
+            secs
+        })
+        .collect()
+}
+
+/// Per-task durations of the batch-scoring workload: one `predict`
+/// call per batch row against the trained forest — the same model the
+/// measured path scores with (votes run inline under 1 thread, as they
+/// do inside a pool worker).
+fn scoring_task_durations(forest: &RandomForest, batch: &dm_data::Dataset) -> Vec<f64> {
+    pool::with_threads(1, || {
+        (0..batch.num_instances())
+            .map(|row| time(|| black_box(forest.predict(batch, row).unwrap())).1)
+            .collect()
+    })
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    tasks: usize,
+    serial_total: f64,
+    modeled_speedup_at: Vec<(usize, f64)>,
+    measured_wall_clock: Vec<(usize, f64)>,
+}
+
+fn report(w: &WorkloadReport) {
+    println!(
+        "{}: {} tasks, serial task total {:.1} ms",
+        w.name,
+        w.tasks,
+        w.serial_total * 1e3
+    );
+    for (threads, speedup) in &w.modeled_speedup_at {
+        println!("  modeled  {threads} workers: {speedup:.2}x");
+    }
+    for (threads, secs) in &w.measured_wall_clock {
+        println!("  measured {threads} threads: {:.1} ms", secs * 1e3);
+    }
+}
+
+fn modeled(durations: &[f64]) -> Vec<(usize, f64)> {
+    let total: f64 = durations.iter().sum();
+    THREAD_COUNTS
+        .iter()
+        .map(|&w| (w, total / greedy_makespan(durations, w)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    banner(
+        "E15",
+        "compute-pool speedup: forest training, 10-fold CV, batch scoring at 1/2/4/8 threads",
+    );
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host CPUs: {host_cpus} (measured wall-clock is core-bound; modeled makespan uses measured per-task durations)"
+    );
+    let ds = dataset();
+    let batch = batch_dataset(&ds);
+
+    // --- Determinism: byte-identical outputs at every thread count. --
+    let reference = trained_forest(1, &ds);
+    let ref_state = reference.encode_state();
+    for &threads in &THREAD_COUNTS[1..] {
+        assert!(
+            trained_forest(threads, &ds).encode_state() == ref_state,
+            "forest state diverged at {threads} threads"
+        );
+    }
+    let make = || make_classifier("J48");
+    let serial_cv = cross_validate(make, &ds, CV_FOLDS, SEED).unwrap();
+    for &threads in &THREAD_COUNTS {
+        let pooled = pool::with_threads(threads, || {
+            cross_validate_parallel(make, &ds, CV_FOLDS, SEED).unwrap()
+        });
+        assert!(pooled == serial_cv, "CV diverged at {threads} threads");
+    }
+    let ref_preds: Vec<usize> = pool::with_threads(1, || {
+        pool::parallel_map(batch.num_instances(), |r| {
+            reference.predict(&batch, r).unwrap()
+        })
+    });
+    for &threads in &THREAD_COUNTS[1..] {
+        let preds = pool::with_threads(threads, || {
+            pool::parallel_map(batch.num_instances(), |r| {
+                reference.predict(&batch, r).unwrap()
+            })
+        });
+        assert_eq!(
+            preds, ref_preds,
+            "batch predictions diverged at {threads} threads"
+        );
+    }
+    println!(
+        "determinism: forest state, CV evaluation, and {} batch predictions identical at {THREAD_COUNTS:?} threads",
+        batch.num_instances()
+    );
+
+    // --- Forest training. --------------------------------------------
+    let durations = forest_task_durations(&ds);
+    let forest = WorkloadReport {
+        name: "forest training",
+        tasks: durations.len(),
+        serial_total: durations.iter().sum(),
+        modeled_speedup_at: modeled(&durations),
+        measured_wall_clock: THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    wall_clock(t, || black_box(train_forest(&ds).encode_state().len())),
+                )
+            })
+            .collect(),
+    };
+    report(&forest);
+
+    // --- 10-fold cross-validation. -----------------------------------
+    let durations = cv_task_durations(&ds);
+    let cv = WorkloadReport {
+        name: "10-fold CV (J48)",
+        tasks: durations.len(),
+        serial_total: durations.iter().sum(),
+        modeled_speedup_at: modeled(&durations),
+        measured_wall_clock: THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    wall_clock(t, || {
+                        black_box(
+                            cross_validate_parallel(make, &ds, CV_FOLDS, SEED)
+                                .unwrap()
+                                .accuracy(),
+                        )
+                    }),
+                )
+            })
+            .collect(),
+    };
+    report(&cv);
+
+    // --- Batch scoring. ----------------------------------------------
+    let durations = scoring_task_durations(&reference, &batch);
+    let scoring = WorkloadReport {
+        name: "batch scoring",
+        tasks: durations.len(),
+        serial_total: durations.iter().sum(),
+        modeled_speedup_at: modeled(&durations),
+        measured_wall_clock: THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    wall_clock(t, || {
+                        black_box(pool::parallel_map(batch.num_instances(), |r| {
+                            reference.predict(&batch, r).unwrap()
+                        }))
+                    }),
+                )
+            })
+            .collect(),
+    };
+    report(&scoring);
+
+    // The acceptance floor: >= 2x at 4 workers on forest training and
+    // CV, from measured per-task durations under greedy scheduling.
+    for w in [&forest, &cv] {
+        let at4 = w
+            .modeled_speedup_at
+            .iter()
+            .find(|(t, _)| *t == 4)
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert!(
+            at4 >= 2.0,
+            "{} modeled speedup at 4 workers is only {at4:.2}x",
+            w.name
+        );
+    }
+
+    let pool_stats = pool::stats();
+    println!(
+        "pool counters: {} tasks, {} batches, {} steals across {} worker slots",
+        pool_stats.tasks,
+        pool_stats.batches,
+        pool_stats.steals,
+        pool_stats.workers.len()
+    );
+
+    let mut group = c.benchmark_group("e15_compute_pool");
+    group.bench_function("forest_train_1_thread", |b| {
+        b.iter(|| black_box(trained_forest(1, &ds).encode_state().len()))
+    });
+    group.bench_function("forest_train_4_threads", |b| {
+        b.iter(|| black_box(trained_forest(4, &ds).encode_state().len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

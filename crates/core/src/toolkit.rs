@@ -13,7 +13,7 @@ use dm_workflow::engine::{BackoffSink, Executor, RetryPolicy};
 use dm_workflow::toolbox::Toolbox;
 use dm_workflow::wsimport::{import_from_host, WsTool};
 use dm_wsrf::container::{CapacityConfig, ServiceContainer};
-use dm_wsrf::metrics::MetricsRegistry;
+use dm_wsrf::metrics::{MetricsRegistry, PoolSnapshot};
 use dm_wsrf::registry::UddiRegistry;
 use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
 use dm_wsrf::trace::Tracer;
@@ -171,10 +171,39 @@ impl Toolkit {
         self.network.tracer()
     }
 
+    /// Set the shared compute pool's worker budget for subsequent
+    /// parallel training, batched scoring, and cross-validation
+    /// batches (see `dm_algorithms::pool`). Equivalent to launching
+    /// with `FAEHIM_POOL_THREADS=n`, but takes effect immediately.
+    /// Results are byte-identical at every thread count; this knob
+    /// only trades wall-clock time for cores.
+    pub fn set_compute_threads(&self, threads: usize) {
+        dm_algorithms::pool::set_global_threads(threads);
+    }
+
+    /// Snapshot of the shared compute pool's lifetime counters
+    /// (threads, tasks, batches, steals, per-worker busy time),
+    /// flattened to the primitive form the metrics registry ingests.
+    pub fn compute_pool_stats(&self) -> PoolSnapshot {
+        let stats = dm_algorithms::pool::stats();
+        PoolSnapshot {
+            threads: stats.threads,
+            tasks: stats.tasks,
+            batches: stats.batches,
+            steals: stats.steals,
+            workers: stats
+                .workers
+                .iter()
+                .map(|w| (w.tasks, w.busy.as_secs_f64()))
+                .collect(),
+        }
+    }
+
     /// Snapshot the deployment's counters into a fresh
     /// [`MetricsRegistry`]: per-service invocation counts, latency
     /// histograms and byte counters from the monitor log, wire-level
-    /// envelope/byte/savings totals, the attachment stores, and the
+    /// envelope/byte/savings totals, the attachment stores, the
+    /// compute pool's task/steal/busy counters, and the
     /// classifier's model/evaluation caches. Fetching the classifier
     /// cache counters is itself a recorded service call, so it runs
     /// before the monitor snapshot and is accounted like any other
@@ -205,6 +234,7 @@ impl Toolkit {
         if let Some(store) = self.network.client_store() {
             metrics.ingest_cache("attachments", &[("host", "client")], &store.stats());
         }
+        metrics.ingest_pool(&self.compute_pool_stats());
         metrics
     }
 
@@ -557,6 +587,35 @@ mod tests {
             text.contains("faehim_requests_shed_total"),
             "load counters not exported:\n{text}"
         );
+    }
+
+    #[test]
+    fn compute_pool_metrics_flow_into_registry() {
+        let tk = Toolkit::new().unwrap();
+        tk.set_compute_threads(2);
+        dm_algorithms::pool::reset_stats();
+        // Drive one parallel batch through the pool: the batched
+        // scoring operation fans the 286 rows out across workers.
+        let arff = dm_data::corpus::breast_cancer_arff();
+        let preds = tk
+            .classifier_client()
+            .classify_instances(&arff, "NaiveBayes", "", "Class", &arff)
+            .unwrap();
+        assert_eq!(preds.len(), 286);
+
+        let snap = tk.compute_pool_stats();
+        assert_eq!(snap.threads, 2);
+        assert!(snap.tasks >= 286, "pool only saw {} tasks", snap.tasks);
+        assert!(snap.batches >= 1);
+        assert!(!snap.workers.is_empty());
+
+        let metrics = tk.metrics_registry();
+        assert_eq!(metrics.gauge_value("faehim_pool_threads", &[]), Some(2.0));
+        assert!(metrics.counter_value("faehim_pool_tasks_total", &[]) >= 286);
+        assert!(metrics.counter_value("faehim_pool_batches_total", &[]) >= 1);
+        let text = metrics.export_prometheus();
+        assert!(text.contains("faehim_pool_tasks_total"), "{text}");
+        assert!(text.contains("faehim_pool_worker_tasks_total"), "{text}");
     }
 
     #[test]

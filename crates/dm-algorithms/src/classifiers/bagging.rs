@@ -4,6 +4,7 @@
 use super::{normalize, Classifier};
 use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::pool;
 use crate::state::{StateReader, StateWriter, Stateful};
 use dm_data::Dataset;
 use rand::rngs::StdRng;
@@ -82,14 +83,23 @@ impl Classifier for Bagging {
         let (_, k) = super::check_trainable(data)?;
         self.num_classes = k;
         self.members.clear();
+        // Draw all bootstrap resamples from the shared RNG first (stream
+        // identical to the old serial loop), then train members on the
+        // pool — each member's own seed is derived from its index, so
+        // training order is immaterial.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        for i in 0..self.iterations {
-            let sample = Self::bootstrap(data, &mut rng);
+        let samples: Vec<Dataset> = (0..self.iterations)
+            .map(|_| Self::bootstrap(data, &mut rng))
+            .collect();
+        let trained: Vec<Result<Box<dyn Classifier>>> = pool::parallel_map(self.iterations, |i| {
             let mut member = crate::registry::make_classifier(&self.base_name)?;
             // Give seeded members distinct streams where supported.
             let _ = member.set_option("-S", &(self.seed + i as u64 + 1).to_string());
-            member.train(&sample)?;
-            self.members.push(member);
+            member.train(&samples[i])?;
+            Ok(member)
+        });
+        for m in trained {
+            self.members.push(m?);
         }
         Ok(())
     }
@@ -98,10 +108,15 @@ impl Classifier for Bagging {
         if self.members.is_empty() {
             return Err(AlgoError::NotTrained);
         }
+        // Parallel member votes, serial member-order fold: identical
+        // floating-point accumulation to the old loop.
+        let votes: Vec<Result<Vec<f64>>> =
+            pool::parallel_map_min(self.members.len(), super::MIN_PARALLEL_MEMBERS, |i| {
+                self.members[i].distribution(data, row)
+            });
         let mut dist = vec![0.0; self.num_classes];
-        for m in &self.members {
-            let d = m.distribution(data, row)?;
-            for (acc, x) in dist.iter_mut().zip(&d) {
+        for d in votes {
+            for (acc, x) in dist.iter_mut().zip(&d?) {
                 *acc += x;
             }
         }

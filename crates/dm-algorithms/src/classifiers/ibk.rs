@@ -8,8 +8,43 @@
 use super::{check_trainable, normalize, Classifier};
 use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::pool;
 use crate::state::{StateReader, StateWriter, Stateful};
-use dm_data::{Dataset, Value};
+use dm_data::{block_ranges, Dataset, Value};
+use std::collections::BinaryHeap;
+
+/// Minimum stored-instance count before the distance scan is
+/// partitioned across the pool; below this the per-row work cannot
+/// amortise batch setup.
+const MIN_PARALLEL_ROWS: usize = 1024;
+
+/// A candidate neighbour under the total order `(distance, stored
+/// index)`. The index tiebreak makes k-selection deterministic (the old
+/// `select_nth_unstable` left ties at the k-boundary arbitrary) and
+/// lets per-block results merge into the same global k-set no matter
+/// how the scan was partitioned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Neighbour {
+    d: f64,
+    idx: usize,
+}
+
+impl Eq for Neighbour {}
+
+impl Ord for Neighbour {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d
+            .partial_cmp(&other.d)
+            .expect("no NaN distances")
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialOrd for Neighbour {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Distance weighting schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +133,54 @@ impl IBk {
         }
         d.sqrt()
     }
+
+    /// The `kk` nearest stored rows to `query` within `range`, via a
+    /// bounded max-heap: O(len log kk) instead of sorting the block.
+    fn k_nearest_in_block(
+        &self,
+        query: &[f64],
+        range: std::ops::Range<usize>,
+        kk: usize,
+    ) -> Vec<Neighbour> {
+        let mut heap: BinaryHeap<Neighbour> = BinaryHeap::with_capacity(kk + 1);
+        for idx in range {
+            let cand = Neighbour {
+                d: self.distance(query, &self.rows[idx]),
+                idx,
+            };
+            if heap.len() < kk {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("kk >= 1") {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+        heap.into_vec()
+    }
+
+    /// The global `kk` nearest neighbours of `query`, sorted ascending
+    /// by `(distance, index)`. Large stores are scanned as parallel row
+    /// blocks; because the order is total, the merged global k-set (and
+    /// therefore the vote) is identical for any partitioning, including
+    /// the serial single-block scan.
+    fn k_nearest(&self, query: &[f64], kk: usize) -> Vec<Neighbour> {
+        let n = self.rows.len();
+        let threads = pool::current_threads();
+        let mut candidates = if n >= MIN_PARALLEL_ROWS && threads > 1 {
+            let blocks = block_ranges(n, threads);
+            pool::parallel_map(blocks.len(), |b| {
+                self.k_nearest_in_block(query, blocks[b].clone(), kk)
+            })
+            .into_iter()
+            .flatten()
+            .collect::<Vec<Neighbour>>()
+        } else {
+            self.k_nearest_in_block(query, 0..n, kk)
+        };
+        candidates.sort_unstable();
+        candidates.truncate(kk);
+        candidates
+    }
 }
 
 impl Classifier for IBk {
@@ -151,23 +234,19 @@ impl Classifier for IBk {
             return Err(AlgoError::NotTrained);
         }
         let query = data.row(row);
-        // Partial selection of the k smallest distances.
-        let mut dists: Vec<(f64, usize)> = self
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, stored)| (self.distance(query, stored), self.classes[i]))
-            .collect();
-        let kk = self.k.min(dists.len());
-        dists.select_nth_unstable_by(kk - 1, |a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let kk = self.k.min(self.rows.len());
+        // Bounded k-selection (O(n log k)), then votes accumulated in
+        // (distance, index) order — the same order serial and pooled
+        // scans produce, so the distribution is byte-identical.
+        let neighbours = self.k_nearest(query, kk);
         let mut dist = vec![0.0; self.num_classes];
-        for &(d, c) in &dists[..kk] {
+        for nb in neighbours {
             let w = match self.weighting {
                 DistanceWeighting::None => 1.0,
-                DistanceWeighting::Inverse => 1.0 / (d + 1e-9),
-                DistanceWeighting::Similarity => (1.0 - d).max(0.0),
+                DistanceWeighting::Inverse => 1.0 / (nb.d + 1e-9),
+                DistanceWeighting::Similarity => (1.0 - nb.d).max(0.0),
             };
-            dist[c] += w;
+            dist[self.classes[nb.idx]] += w;
         }
         normalize(&mut dist);
         Ok(dist)
@@ -391,5 +470,93 @@ mod tests {
     fn untrained_errors() {
         let ds = weather_nominal();
         assert!(IBk::new().distribution(&ds, 0).is_err());
+    }
+
+    /// Reference k-selection: full stable sort by `(distance, index)`.
+    fn full_sort_k_nearest(c: &IBk, query: &[f64], kk: usize) -> Vec<(f64, usize)> {
+        let mut all: Vec<(f64, usize)> = c
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, stored)| (c.distance(query, stored), i))
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        all.truncate(kk);
+        all
+    }
+
+    #[test]
+    fn bounded_heap_matches_full_sort() {
+        let ds = dm_data::corpus::breast_cancer();
+        for k in [1usize, 3, 7, 25] {
+            let mut c = IBk::with_k(k);
+            c.train(&ds).unwrap();
+            let kk = k.min(c.rows.len());
+            for r in (0..ds.num_instances()).step_by(29) {
+                let query = ds.row(r);
+                let heap: Vec<(f64, usize)> = c
+                    .k_nearest(query, kk)
+                    .into_iter()
+                    .map(|nb| (nb.d, nb.idx))
+                    .collect();
+                assert_eq!(heap, full_sort_k_nearest(&c, query, kk), "k={k} row={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn breast_cancer_predictions_pinned_against_reference() {
+        // The bounded-heap scan must leave predictions exactly where
+        // the full-sort reference puts them, on the paper's case study.
+        let ds = dm_data::corpus::breast_cancer();
+        let mut c = IBk::with_k(5);
+        c.train(&ds).unwrap();
+        let ci = ds.class_index().unwrap();
+        let mut correct = 0usize;
+        for r in 0..ds.num_instances() {
+            let kk = 5.min(c.rows.len());
+            let reference = full_sort_k_nearest(&c, ds.row(r), kk);
+            let mut dist = vec![0.0; c.num_classes];
+            for &(_, i) in &reference {
+                dist[c.classes[i]] += 1.0;
+            }
+            let expected = crate::classifiers::argmax(&dist).unwrap();
+            let got = c.predict(&ds, r).unwrap();
+            assert_eq!(got, expected, "row {r}");
+            if Value::as_index(ds.value(r, ci)) == got {
+                correct += 1;
+            }
+        }
+        // Absolute pin: 236 of 286 under the (distance, index) total
+        // order. The old unstable selection landed on an arbitrary tie
+        // subset at the k-boundary (230 on this corpus, where all-nominal
+        // attributes make tied distances common); the bounded heap pins
+        // the deterministic lowest-index tie-break instead.
+        assert_eq!(correct, 236, "5-NN correct count moved");
+    }
+
+    #[test]
+    fn parallel_scan_identical_to_serial() {
+        // Force the pooled block scan (store >= MIN_PARALLEL_ROWS is
+        // not reachable with the small corpora, so drop the threshold
+        // by duplicating rows) and compare with the 1-thread path.
+        let base = separable_numeric(40);
+        let rows: Vec<usize> = (0..MIN_PARALLEL_ROWS + 50).map(|i| i % 40).collect();
+        let big = base.select_rows(&rows);
+        let mut c = IBk::with_k(9);
+        c.set_option("-W", "inverse").unwrap();
+        c.train(&big).unwrap();
+        for r in (0..40).step_by(7) {
+            let serial = crate::pool::with_threads(1, || c.distribution(&base, r).unwrap());
+            for threads in [2, 8] {
+                let pooled =
+                    crate::pool::with_threads(threads, || c.distribution(&base, r).unwrap());
+                let same = serial
+                    .iter()
+                    .zip(&pooled)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "threads={threads} row={r}");
+            }
+        }
     }
 }

@@ -42,8 +42,17 @@ use crate::state::Stateful;
 use crate::tree::TreeModel;
 use dm_data::Dataset;
 
+/// Minimum ensemble width before per-member vote aggregation fans out
+/// on the compute pool; a default 10-member forest stays inline, where
+/// the per-member work is too small to pay batch setup.
+pub(crate) const MIN_PARALLEL_MEMBERS: usize = 16;
+
 /// A trainable classification algorithm.
-pub trait Classifier: Configurable + Stateful + Send {
+///
+/// `Sync` is a supertrait so trained models can be scored from several
+/// pool workers at once (batched `classifyInstances`, parallel
+/// cross-validation); no classifier uses interior mutability.
+pub trait Classifier: Configurable + Stateful + Send + Sync {
     /// Registry name, e.g. `"J48"`.
     fn name(&self) -> &'static str;
 

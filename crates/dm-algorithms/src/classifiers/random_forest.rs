@@ -4,6 +4,7 @@
 use super::{normalize, Classifier, RandomTree};
 use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::pool;
 use crate::state::{StateReader, StateWriter, Stateful};
 use dm_data::Dataset;
 use rand::rngs::StdRng;
@@ -56,15 +57,24 @@ impl Classifier for RandomForest {
         let (_, k) = super::check_trainable(data)?;
         self.num_classes = k;
         self.trees.clear();
+        // Presample every bootstrap serially so the shared RNG stream is
+        // identical to the historical one-loop implementation; member
+        // training then fans out on the pool (each tree has its own
+        // derived seed, so training order cannot matter).
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = data.num_instances();
-        for i in 0..self.num_trees {
-            let rows: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
-            let sample = data.select_rows(&rows);
+        let bootstraps: Vec<Vec<usize>> = (0..self.num_trees)
+            .map(|_| (0..n).map(|_| rng.random_range(0..n)).collect())
+            .collect();
+        let trained: Vec<Result<RandomTree>> = pool::parallel_map(self.num_trees, |i| {
+            let sample = data.select_rows(&bootstraps[i]);
             let mut tree = RandomTree::with_seed(self.seed ^ (i as u64).wrapping_mul(0x9E37));
             tree.set_option("-K", &self.k_attrs.to_string())?;
             tree.train(&sample)?;
-            self.trees.push(tree);
+            Ok(tree)
+        });
+        for t in trained {
+            self.trees.push(t?);
         }
         Ok(())
     }
@@ -73,10 +83,16 @@ impl Classifier for RandomForest {
         if self.trees.is_empty() {
             return Err(AlgoError::NotTrained);
         }
+        // Member votes are computed in parallel (for wide ensembles) but
+        // folded serially in member order, so the floating-point sums
+        // match the old serial loop bit-for-bit.
+        let votes: Vec<Result<Vec<f64>>> =
+            pool::parallel_map_min(self.trees.len(), super::MIN_PARALLEL_MEMBERS, |i| {
+                self.trees[i].distribution(data, row)
+            });
         let mut dist = vec![0.0; self.num_classes];
-        for t in &self.trees {
-            let d = t.distribution(data, row)?;
-            for (acc, x) in dist.iter_mut().zip(&d) {
+        for d in votes {
+            for (acc, x) in dist.iter_mut().zip(&d?) {
                 *acc += x;
             }
         }

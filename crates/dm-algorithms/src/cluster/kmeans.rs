@@ -4,8 +4,12 @@
 use super::{check_clusterable, Clusterer, DistanceSpace};
 use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::pool;
 use crate::state::{StateReader, StateWriter, Stateful};
 use dm_data::{Dataset, Value};
+
+/// Minimum row count before the assignment step fans out on the pool.
+const MIN_PARALLEL_ASSIGN: usize = 512;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -58,11 +62,21 @@ impl KMeans {
         }
     }
 
-    /// Cluster assignments for every row of `data`.
+    /// Cluster assignments for every row of `data`. Rows are scored in
+    /// parallel for large datasets; each assignment is an independent
+    /// argmin, so the result is identical at any thread count.
     pub fn assignments(&self, data: &Dataset) -> Result<Vec<usize>> {
-        (0..data.num_instances())
-            .map(|r| self.cluster_instance(data, r))
-            .collect()
+        if !self.built {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.assign_all(data))
+    }
+
+    /// The Lloyd assignment step: nearest centroid per row.
+    fn assign_all(&self, data: &Dataset) -> Vec<usize> {
+        pool::parallel_map_min(data.num_instances(), MIN_PARALLEL_ASSIGN, |r| {
+            self.nearest(data, r)
+        })
     }
 
     fn nearest(&self, data: &Dataset, row: usize) -> usize {
@@ -191,9 +205,11 @@ impl Clusterer for KMeans {
         self.iterations_run = 0;
         for _ in 0..self.max_iterations {
             self.iterations_run += 1;
+            // Parallel assignment step; centroid recomputation below
+            // stays serial (it folds member rows in row order).
+            let next = self.assign_all(data);
             let mut changed = false;
-            for r in 0..data.num_instances() {
-                let c = self.nearest(data, r);
+            for (r, &c) in next.iter().enumerate() {
                 if assign[r] != c {
                     assign[r] = c;
                     changed = true;

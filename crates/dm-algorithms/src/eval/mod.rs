@@ -5,6 +5,7 @@
 
 use crate::classifiers::Classifier;
 use crate::error::{AlgoError, Result};
+use crate::pool;
 use dm_data::split::CrossValidation;
 use dm_data::{Dataset, Value};
 
@@ -193,9 +194,13 @@ where
 /// Fold-parallel stratified cross-validation — the distribution Grid
 /// WEKA is built around ("cross-validation … distributed across several
 /// computers", §2 of the paper). Folds train and test concurrently on
-/// crossbeam-scoped threads; the pooled result is *identical* to
-/// [`cross_validate`] with the same seed (fold construction is
-/// deterministic and accumulation is order-independent).
+/// the shared compute pool ([`crate::pool`]), so CV over an ensemble
+/// cannot oversubscribe the host: member training inside a fold runs
+/// inline on that fold's worker. Fold results are folded in fold order,
+/// making the pooled result *identical* to [`cross_validate`] with the
+/// same seed. A panicking fold (factory or classifier) re-raises its
+/// panic payload on the caller — it no longer aborts the process the
+/// way the old `join().expect("fold thread panicked")` did.
 pub fn cross_validate_parallel<F>(
     make: F,
     data: &Dataset,
@@ -207,28 +212,15 @@ where
 {
     let labels = data.class_attribute()?.labels().to_vec();
     let cv = CrossValidation::stratified(data, folds, seed)?;
-    let results: Vec<Result<Evaluation>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..cv.k())
-            .map(|fold| {
-                let make = &make;
-                let cv = &cv;
-                let labels = labels.clone();
-                scope.spawn(move |_| -> Result<Evaluation> {
-                    let (train, test) = cv.split(data, fold);
-                    let mut c = make()?;
-                    c.train(&train)?;
-                    let mut eval = Evaluation::new(labels);
-                    eval.evaluate(c.as_ref(), &test)?;
-                    Ok(eval)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fold thread panicked"))
-            .collect()
-    })
-    .expect("cross-validation scope");
+    let fold_labels = &labels;
+    let results: Vec<Result<Evaluation>> = pool::parallel_map(cv.k(), |fold| {
+        let (train, test) = cv.split(data, fold);
+        let mut c = make()?;
+        c.train(&train)?;
+        let mut eval = Evaluation::new(fold_labels.clone());
+        eval.evaluate(c.as_ref(), &test)?;
+        Ok(eval)
+    });
 
     let mut pooled = Evaluation::new(labels);
     for result in results {
@@ -330,6 +322,45 @@ mod tests {
         let ds = dm_data::corpus::breast_cancer();
         let err = cross_validate_parallel(|| make_classifier("NoSuch"), &ds, 3, 1);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_cv_propagates_panic_payload() {
+        // Regression: a panicking fold used to die inside the fold
+        // thread and surface as `join().expect("fold thread panicked")`
+        // — losing the original payload. It must now unwind the caller
+        // with the payload intact.
+        let ds = weather_nominal();
+        for threads in [1, 4] {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::pool::with_threads(threads, || {
+                    cross_validate_parallel(
+                        || -> Result<Box<dyn Classifier>> { panic!("fold bomb") },
+                        &ds,
+                        3,
+                        1,
+                    )
+                })
+            }));
+            let payload = caught.expect_err("panic must propagate");
+            assert_eq!(
+                payload.downcast_ref::<&str>().copied(),
+                Some("fold bomb"),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_cv_identical_across_pool_sizes() {
+        let ds = dm_data::corpus::breast_cancer();
+        let serial = cross_validate(|| make_classifier("NaiveBayes"), &ds, 10, 7).unwrap();
+        for threads in [1, 2, 8] {
+            let pooled = crate::pool::with_threads(threads, || {
+                cross_validate_parallel(|| make_classifier("NaiveBayes"), &ds, 10, 7).unwrap()
+            });
+            assert_eq!(serial, pooled, "threads={threads}");
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod cluster;
 pub mod error;
 pub mod eval;
 pub mod options;
+pub mod pool;
 pub mod registry;
 pub mod signal;
 pub mod state;

@@ -403,6 +403,20 @@ impl Dataset {
         out
     }
 
+    /// Split the row index space into up to `blocks` near-equal
+    /// contiguous [`RowBlock`] views (no copying). Block boundaries
+    /// depend only on `(num_instances, blocks)`, so partitioned scans
+    /// that merge per-block results in block order are deterministic.
+    pub fn row_blocks(&self, blocks: usize) -> Vec<RowBlock<'_>> {
+        block_ranges(self.num_instances(), blocks)
+            .into_iter()
+            .map(|range| RowBlock {
+                dataset: self,
+                range,
+            })
+            .collect()
+    }
+
     /// Class distribution (weighted counts per label). Errors if the
     /// class is unset or non-nominal. Missing classes are skipped.
     pub fn class_counts(&self) -> Result<Vec<f64>> {
@@ -445,6 +459,71 @@ impl Dataset {
                 .map(str::to_string)
                 .unwrap_or_else(|| format!("#{}", Value::as_index(v))),
         }
+    }
+}
+
+/// Split `0..n` into up to `blocks` near-equal contiguous ranges (the
+/// first `n % blocks` ranges are one longer). Never returns an empty
+/// range: fewer than `blocks` ranges come back when `n < blocks`, and
+/// `n == 0` yields none. Purely a function of `(n, blocks)`, so callers
+/// that merge per-block results in block order stay deterministic at
+/// any worker count.
+pub fn block_ranges(n: usize, blocks: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 || blocks == 0 {
+        return Vec::new();
+    }
+    let blocks = blocks.min(n);
+    let base = n / blocks;
+    let extra = n % blocks;
+    let mut ranges = Vec::with_capacity(blocks);
+    let mut start = 0;
+    for b in 0..blocks {
+        let len = base + usize::from(b < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// A borrowed view of a contiguous run of dataset rows — the unit of
+/// work the compute pool partitions scans over. No row data is copied;
+/// row indices are in the coordinates of the underlying [`Dataset`].
+#[derive(Clone)]
+pub struct RowBlock<'a> {
+    dataset: &'a Dataset,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a> RowBlock<'a> {
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// The absolute row range this block covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.range.clone()
+    }
+
+    /// First absolute row index in the block.
+    pub fn start(&self) -> usize {
+        self.range.start
+    }
+
+    /// Number of rows in the block.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// `true` when the block covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Iterate the block's rows as `(absolute_row, values)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, &'a [f64])> + '_ {
+        let ds = self.dataset;
+        self.range.clone().map(move |r| (r, ds.row(r)))
     }
 }
 
@@ -573,5 +652,64 @@ mod tests {
         let mut ds = weather();
         ds.set_weight(0, 0.5);
         assert!((ds.total_weight() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_ranges_partition_exactly() {
+        for n in [0usize, 1, 2, 7, 16, 100, 1001] {
+            for blocks in [1usize, 2, 3, 8, 200] {
+                let ranges = block_ranges(n, blocks);
+                // Contiguous, in order, covering 0..n exactly once.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} blocks={blocks}");
+                    assert!(!r.is_empty(), "n={n} blocks={blocks}");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "n={n} blocks={blocks}");
+                assert!(ranges.len() <= blocks.min(n.max(1)));
+                // Near-equal: lengths differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1, "n={n} blocks={blocks}");
+                }
+            }
+        }
+        assert!(block_ranges(5, 0).is_empty());
+    }
+
+    #[test]
+    fn row_blocks_view_rows_without_copying() {
+        let ds = weather();
+        let blocks = ds.row_blocks(2);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].range(), 0..2);
+        assert_eq!(blocks[1].range(), 2..3);
+        assert_eq!(blocks[0].start(), 0);
+        assert_eq!(blocks[1].len(), 1);
+        assert!(!blocks[0].is_empty());
+        let collected: Vec<(usize, &[f64])> = blocks.iter().flat_map(|b| b.rows()).collect();
+        assert_eq!(collected.len(), 3);
+        for (r, values) in collected {
+            // Bitwise comparison: the weather fixture has a missing
+            // (NaN) temperature, and NaN != NaN under `==`.
+            let expect = ds.row(r);
+            assert_eq!(values.len(), expect.len());
+            assert!(values
+                .iter()
+                .zip(expect)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        assert!(std::ptr::eq(blocks[0].dataset(), &ds));
+    }
+
+    #[test]
+    fn row_blocks_more_blocks_than_rows() {
+        let ds = weather();
+        let blocks = ds.row_blocks(10);
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.iter().all(|b| b.len() == 1));
     }
 }

@@ -47,7 +47,7 @@ pub mod stream;
 pub mod summary;
 
 pub use attribute::{Attribute, AttributeKind};
-pub use dataset::{Dataset, Instance, Value};
+pub use dataset::{block_ranges, Dataset, Instance, RowBlock, Value};
 pub use error::{DataError, Result};
 
 /// Convenience re-exports for downstream crates.

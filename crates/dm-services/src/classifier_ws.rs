@@ -131,6 +131,23 @@ impl WebService for ClassifierService {
             )
             .operation(
                 Operation::new(
+                    "classifyInstances",
+                    vec![
+                        Part::new("dataset", "string"),
+                        Part::new("classifier", "string"),
+                        Part::new("options", "string"),
+                        Part::new("attribute", "string"),
+                        Part::new("instances", "string"),
+                    ],
+                    Part::new("predictions", "list"),
+                )
+                .doc(
+                    "train (or reuse) the model and score a whole batch of instances in one \
+                     envelope; returns predicted class labels in row order",
+                ),
+            )
+            .operation(
+                Operation::new(
                     "crossValidate",
                     vec![
                         Part::new("dataset", "string"),
@@ -194,6 +211,33 @@ impl WebService for ClassifierService {
                     ))
                 })?;
                 Ok(SoapValue::Text(crate::support::tree_to_svg(&tree)))
+            }
+            "classifyInstances" => {
+                // One envelope, N instances: amortise the SOAP round
+                // trip and score rows in parallel on the compute pool.
+                let model = self.trained_model(args)?;
+                let attribute = text_arg(args, "attribute")?;
+                let instances_arff = text_arg(args, "instances")?;
+                let batch = dataset_with_class(instances_arff, attribute)?;
+                let labels = batch
+                    .class_attribute()
+                    .map_err(crate::support::data_fault)?
+                    .labels()
+                    .to_vec();
+                let guard = model.lock();
+                let trained: &dyn dm_algorithms::classifiers::Classifier = &**guard;
+                let predictions = dm_algorithms::pool::parallel_map(batch.num_instances(), |r| {
+                    trained.predict(&batch, r)
+                });
+                let mut out = Vec::with_capacity(predictions.len());
+                for p in predictions {
+                    let idx = p.map_err(algo_fault)?;
+                    let label = labels.get(idx).ok_or_else(|| {
+                        ServiceFault::server(format!("predicted class index {idx} out of range"))
+                    })?;
+                    out.push(SoapValue::Text(label.clone()));
+                }
+                Ok(SoapValue::List(out))
             }
             "crossValidate" => {
                 let arff = text_arg(args, "dataset")?;
@@ -349,10 +393,10 @@ mod tests {
     }
 
     #[test]
-    fn wsdl_has_six_operations() {
+    fn wsdl_has_seven_operations() {
         let s = ClassifierService::new();
         let wsdl = s.wsdl();
-        assert_eq!(wsdl.operations.len(), 6);
+        assert_eq!(wsdl.operations.len(), 7);
         assert_eq!(
             wsdl.find_operation("classifyInstance")
                 .unwrap()
@@ -360,7 +404,45 @@ mod tests {
                 .len(),
             4
         );
+        assert_eq!(
+            wsdl.find_operation("classifyInstances")
+                .unwrap()
+                .inputs
+                .len(),
+            5
+        );
         assert!(wsdl.find_operation("getCacheStats").is_ok());
+    }
+
+    #[test]
+    fn classify_instances_batch_matches_single_scoring() {
+        let s = ClassifierService::new();
+        let mut args = args_for("J48");
+        // Score the training set itself as the batch.
+        args.push((
+            "instances".to_string(),
+            SoapValue::Text(breast_cancer_arff()),
+        ));
+        let v = s.invoke("classifyInstances", &args).unwrap();
+        let preds = v.as_list().unwrap();
+        assert_eq!(preds.len(), 286);
+        let valid = ["no-recurrence-events", "recurrence-events"];
+        assert!(preds.iter().all(|p| valid.contains(&p.as_text().unwrap())));
+        // Byte-identical envelopes at every pool size.
+        for threads in [1, 2, 8] {
+            let again = dm_algorithms::pool::with_threads(threads, || {
+                s.invoke("classifyInstances", &args).unwrap()
+            });
+            assert_eq!(again, v, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn classify_instances_requires_instances_argument() {
+        let s = ClassifierService::new();
+        let err = s.invoke("classifyInstances", &args_for("J48")).unwrap_err();
+        assert_eq!(err.code, "Client");
+        assert!(err.message.contains("instances"));
     }
 
     #[test]

@@ -194,6 +194,32 @@ impl ClassifierClient {
         )?)
     }
 
+    /// `classifyInstances` — train (or reuse) the model and score a
+    /// whole batch of instances in one envelope. `instances_arff` must
+    /// share the training header; returns predicted class labels in row
+    /// order. One SOAP round trip replaces N `classifyInstance` calls
+    /// and the server scores the rows in parallel.
+    pub fn classify_instances(
+        &self,
+        dataset_arff: &str,
+        classifier: &str,
+        options: &str,
+        attribute: &str,
+        instances_arff: &str,
+    ) -> Result<Vec<String>> {
+        text_list(self.channel.invoke(
+            "Classifier",
+            "classifyInstances",
+            vec![
+                ("dataset".into(), SoapValue::Text(dataset_arff.into())),
+                ("classifier".into(), SoapValue::Text(classifier.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+                ("attribute".into(), SoapValue::Text(attribute.into())),
+                ("instances".into(), SoapValue::Text(instances_arff.into())),
+            ],
+        )?)
+    }
+
     /// `crossValidate` — k-fold CV summary text.
     pub fn cross_validate(
         &self,

@@ -98,6 +98,24 @@ impl Histogram {
     }
 }
 
+/// A snapshot of the shared compute pool's counters, flattened to
+/// primitives so this crate needs no dependency on the algorithms
+/// crate. `workers` holds `(tasks_executed, busy_seconds)` per worker
+/// slot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolSnapshot {
+    /// Configured worker count (threads the pool may use per batch).
+    pub threads: usize,
+    /// Tasks executed across all batches since the last reset.
+    pub tasks: u64,
+    /// Parallel batches dispatched.
+    pub batches: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Per-worker `(tasks, busy_seconds)` pairs, indexed by slot.
+    pub workers: Vec<(u64, f64)>,
+}
+
 #[derive(Debug)]
 enum Metric {
     Counter(BTreeMap<LabelSet, u64>),
@@ -297,6 +315,23 @@ impl MetricsRegistry {
         let mut byte_labels = all;
         byte_labels.push(("unit", "bytes"));
         self.set_gauge("faehim_cache_size", &byte_labels, stats.bytes as f64);
+    }
+
+    /// Ingest a [`PoolSnapshot`] of the shared compute pool: global
+    /// task / batch / steal counters, a thread-count gauge, and
+    /// per-worker task counters and busy-time gauges labelled by
+    /// worker slot.
+    pub fn ingest_pool(&self, snap: &PoolSnapshot) {
+        self.set_gauge("faehim_pool_threads", &[], snap.threads as f64);
+        self.inc_counter("faehim_pool_tasks_total", &[], snap.tasks);
+        self.inc_counter("faehim_pool_batches_total", &[], snap.batches);
+        self.inc_counter("faehim_pool_steals_total", &[], snap.steals);
+        for (slot, (tasks, busy_seconds)) in snap.workers.iter().enumerate() {
+            let slot = slot.to_string();
+            let labels = [("worker", slot.as_str())];
+            self.inc_counter("faehim_pool_worker_tasks_total", &labels, *tasks);
+            self.set_gauge("faehim_pool_worker_busy_seconds", &labels, *busy_seconds);
+        }
     }
 
     /// Prometheus text exposition: `# TYPE` lines, one sample line per
@@ -636,6 +671,43 @@ mod tests {
             ),
             Some(2048.0)
         );
+    }
+
+    #[test]
+    fn pool_ingestion_pins_prometheus_names() {
+        let m = MetricsRegistry::new();
+        m.ingest_pool(&PoolSnapshot {
+            threads: 4,
+            tasks: 120,
+            batches: 3,
+            steals: 17,
+            workers: vec![(70, 0.25), (50, 0.125)],
+        });
+        assert_eq!(m.gauge_value("faehim_pool_threads", &[]), Some(4.0));
+        assert_eq!(m.counter_value("faehim_pool_tasks_total", &[]), 120);
+        assert_eq!(m.counter_value("faehim_pool_batches_total", &[]), 3);
+        assert_eq!(m.counter_value("faehim_pool_steals_total", &[]), 17);
+        assert_eq!(
+            m.counter_value("faehim_pool_worker_tasks_total", &[("worker", "0")]),
+            70
+        );
+        assert_eq!(
+            m.gauge_value("faehim_pool_worker_busy_seconds", &[("worker", "1")]),
+            Some(0.125)
+        );
+        // The exposition text carries the exact series names dashboards
+        // scrape — pin them so renames are a deliberate act.
+        let text = m.export_prometheus();
+        for name in [
+            "faehim_pool_threads 4",
+            "faehim_pool_tasks_total 120",
+            "faehim_pool_batches_total 3",
+            "faehim_pool_steals_total 17",
+            "faehim_pool_worker_tasks_total{worker=\"0\"} 70",
+            "faehim_pool_worker_busy_seconds{worker=\"1\"} 0.125",
+        ] {
+            assert!(text.contains(name), "missing `{name}` in:\n{text}");
+        }
     }
 
     #[test]

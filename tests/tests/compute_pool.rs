@@ -1,0 +1,151 @@
+//! Determinism contract of the shared compute pool: every parallelised
+//! kernel (ensemble training, ensemble voting, k-means assignment,
+//! parallel cross-validation, batched service scoring) must produce
+//! byte-identical results at every thread count. These properties pin
+//! that contract across random seeds and pool sizes {1, 2, 8}.
+
+use dm_algorithms::cluster::{Clusterer, KMeans};
+use dm_algorithms::options::Configurable;
+use dm_algorithms::pool;
+use dm_algorithms::registry::make_classifier;
+use dm_algorithms::state::Stateful;
+use proptest::prelude::*;
+
+/// Pool sizes every property is checked at; 1 is the serial reference.
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+/// Train a fresh classifier of `name` (with `-S` = seed, `-I` =
+/// members) under `threads` pool threads and return its encoded state.
+fn trained_state(
+    name: &str,
+    members: &str,
+    seed: u32,
+    ds: &dm_data::Dataset,
+    threads: usize,
+) -> Vec<u8> {
+    pool::with_threads(threads, || {
+        let mut c = make_classifier(name).unwrap();
+        c.set_option("-I", members).unwrap();
+        c.set_option("-S", &seed.to_string()).unwrap();
+        c.train(ds).unwrap();
+        c.encode_state()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_forest_state_identical_at_every_pool_size(seed in any::<u32>(), noise in 0.0f64..0.4) {
+        let ds = dm_data::corpus::nominal_classification(80, 4, 3, 2, noise, seed as u64);
+        let reference = trained_state("RandomForest", "8", seed, &ds, 1);
+        for threads in [2, 8] {
+            let state = trained_state("RandomForest", "8", seed, &ds, threads);
+            prop_assert!(state == reference, "forest state diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn bagging_state_identical_at_every_pool_size(seed in any::<u32>(), noise in 0.0f64..0.4) {
+        let ds = dm_data::corpus::nominal_classification(70, 4, 3, 2, noise, seed as u64);
+        let reference = trained_state("Bagging", "6", seed, &ds, 1);
+        for threads in [2, 8] {
+            let state = trained_state("Bagging", "6", seed, &ds, threads);
+            prop_assert!(state == reference, "bagging state diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn ensemble_votes_identical_at_every_pool_size(seed in any::<u32>()) {
+        let ds = dm_data::corpus::nominal_classification(60, 4, 3, 2, 0.2, seed as u64);
+        let mut forest = make_classifier("RandomForest").unwrap();
+        forest.set_option("-I", "20").unwrap();
+        forest.set_option("-S", &seed.to_string()).unwrap();
+        pool::with_threads(1, || forest.train(&ds)).unwrap();
+        for row in 0..ds.num_instances().min(8) {
+            let reference = pool::with_threads(1, || forest.distribution(&ds, row)).unwrap();
+            for threads in [2, 8] {
+                let dist = pool::with_threads(threads, || forest.distribution(&ds, row)).unwrap();
+                let same = reference.len() == dist.len()
+                    && reference.iter().zip(&dist).all(|(a, b)| a.to_bits() == b.to_bits());
+                prop_assert!(same, "vote fold diverged at {threads} threads on row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_state_and_assignments_identical_at_every_pool_size(
+        seed in any::<u32>(),
+        k in 2usize..5,
+    ) {
+        let ds = dm_data::corpus::nominal_classification(90, 5, 3, 2, 0.3, seed as u64);
+        let build = |threads: usize| {
+            pool::with_threads(threads, || {
+                let mut km = KMeans::with_k(k);
+                km.set_option("-S", &seed.to_string()).unwrap();
+                km.build(&ds).unwrap();
+                let assigns = km.assignments(&ds).unwrap();
+                (km.encode_state(), assigns)
+            })
+        };
+        let (ref_state, ref_assigns) = build(1);
+        for threads in [2, 8] {
+            let (state, assigns) = build(threads);
+            prop_assert!(state == ref_state, "k-means state diverged at {threads} threads");
+            prop_assert_eq!(&assigns, &ref_assigns, "assignments diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_cv_equals_serial_cv_at_every_pool_size(seed in any::<u32>(), folds in 2usize..6) {
+        let ds = dm_data::corpus::nominal_classification(60, 4, 3, 2, 0.25, seed as u64);
+        let make = || make_classifier("NaiveBayes");
+        let serial = dm_algorithms::eval::cross_validate(make, &ds, folds, seed as u64).unwrap();
+        for threads in POOL_SIZES {
+            let pooled = pool::with_threads(threads, || {
+                dm_algorithms::eval::cross_validate_parallel(make, &ds, folds, seed as u64)
+            })
+            .unwrap();
+            prop_assert!(pooled == serial, "CV diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn batched_scoring_byte_identical_across_pool_sizes() {
+    // End-to-end: the classifyInstances operation through the typed
+    // client must return the same SOAP-decoded predictions at every
+    // pool size (the envelope path is exercised in dm-services tests;
+    // here the whole toolkit stack is in the loop).
+    let toolkit = faehim::Toolkit::new().unwrap();
+    let arff = dm_data::corpus::breast_cancer_arff();
+    let client = toolkit.classifier_client();
+    let reference = pool::with_threads(1, || {
+        client
+            .classify_instances(&arff, "J48", "", "Class", &arff)
+            .unwrap()
+    });
+    assert_eq!(reference.len(), 286);
+    for threads in [2, 8] {
+        let preds = pool::with_threads(threads, || {
+            client
+                .classify_instances(&arff, "J48", "", "Class", &arff)
+                .unwrap()
+        });
+        assert_eq!(
+            preds, reference,
+            "batch predictions diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pool_env_override_is_respected() {
+    // FAEHIM_POOL_THREADS is read once at first pool touch; the
+    // explicit setter wins afterwards. This pins the setter +
+    // current_threads round-trip the CI matrix relies on.
+    pool::set_global_threads(3);
+    assert_eq!(pool::current_threads(), 3);
+    pool::with_threads(5, || assert_eq!(pool::current_threads(), 5));
+    assert_eq!(pool::current_threads(), 3);
+}

@@ -22,10 +22,46 @@ fn one_tool_per_operation() {
             "Classifier.getOptions",
             "Classifier.classifyInstance",
             "Classifier.classifyGraph",
+            "Classifier.classifyInstances",
             "Classifier.crossValidate",
             "Classifier.getCacheStats",
         ]
     );
+}
+
+#[test]
+fn imported_batch_tool_scores_instances() {
+    // The batched operation decodes through the same WsTool path: one
+    // envelope in, a list token of predicted labels out.
+    let toolkit = Toolkit::new().unwrap();
+    let tools = toolkit
+        .import_service(toolkit.primary_host(), "Classifier")
+        .unwrap();
+    let batch = tools
+        .iter()
+        .find(|t| t.name().ends_with("classifyInstances"))
+        .unwrap();
+    assert_eq!(batch.input_ports().len(), 5);
+    assert_eq!(batch.input_ports()[4].name, "instances");
+    assert_eq!(batch.output_ports()[0].type_name, "list");
+    let arff = dm_data::corpus::breast_cancer_arff();
+    let out = batch
+        .execute(&[
+            Token::Text(arff.clone()),
+            Token::Text("J48".to_string()),
+            Token::Text(String::new()),
+            Token::Text("Class".to_string()),
+            Token::Text(arff),
+        ])
+        .unwrap();
+    match &out[0] {
+        Token::List(preds) => {
+            assert_eq!(preds.len(), 286);
+            assert!(matches!(&preds[0], Token::Text(label)
+                if label == "no-recurrence-events" || label == "recurrence-events"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
 }
 
 #[test]

@@ -1,0 +1,342 @@
+//! Offline stand-in for `crossbeam-deque`: the work-stealing deque API
+//! subset the compute pool uses — a per-worker [`Worker`] queue with
+//! [`Stealer`] handles for other threads, and a global [`Injector`] for
+//! externally submitted tasks.
+//!
+//! The real crate implements the Chase–Lev lock-free algorithm; this
+//! stand-in keeps the exact same API and semantics (FIFO/LIFO worker
+//! ends, stealers always take from the opposite end to the owner,
+//! batched steals move half the victim's queue) on a `Mutex<VecDeque>`.
+//! The workspace forbids `unsafe`, so lock-freedom is out of scope; the
+//! pool's scalability on the simulated single-box deployments is bound
+//! by task granularity, not deque contention.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty at the time of the attempt.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Steal::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// `true` for [`Steal::Retry`].
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// Which end the owning worker pops from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// Owner pushes back, pops front (queue order).
+    Fifo,
+    /// Owner pushes back, pops back (stack order).
+    Lifo,
+}
+
+/// The owner side of a work-stealing deque. Not `Clone`: exactly one
+/// thread owns the worker end; everyone else goes through [`Stealer`]s.
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A FIFO worker: `pop` takes the oldest task (queue order).
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// A LIFO worker: `pop` takes the most recently pushed task.
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// A [`Stealer`] handle other threads can take tasks through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pop a task from the owner end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().expect("deque poisoned");
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// `true` if the deque currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+}
+
+/// A handle for stealing tasks from another thread's [`Worker`].
+/// Stealers take from the front (the end FIFO owners also pop from,
+/// and the opposite end to LIFO owners — matching crossbeam, where
+/// steals always see the oldest task first).
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        let mut q = self.inner.lock().expect("deque poisoned");
+        match q.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal roughly half the victim's tasks into `dest`, returning one
+    /// of them (crossbeam's `steal_batch_and_pop`).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.inner.lock().expect("deque poisoned");
+        let n = q.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = n.div_ceil(2);
+        let mut batch: Vec<T> = Vec::with_capacity(take);
+        for _ in 0..take {
+            match q.pop_front() {
+                Some(t) => batch.push(t),
+                None => break,
+            }
+        }
+        drop(q);
+        let mut it = batch.into_iter();
+        let first = it.next().expect("take >= 1");
+        let mut dest_q = dest.inner.lock().expect("deque poisoned");
+        for t in it {
+            dest_q.push_back(t);
+        }
+        Steal::Success(first)
+    }
+
+    /// `true` if the victim's deque currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of tasks currently in the victim's deque.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+}
+
+/// A global FIFO queue for tasks injected from outside the pool.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        let mut q = self.inner.lock().expect("injector poisoned");
+        match q.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch of tasks into `dest` and return one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.inner.lock().expect("injector poisoned");
+        let n = q.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = n.div_ceil(2);
+        let mut batch: Vec<T> = Vec::with_capacity(take);
+        for _ in 0..take {
+            match q.pop_front() {
+                Some(t) => batch.push(t),
+                None => break,
+            }
+        }
+        drop(q);
+        let mut it = batch.into_iter();
+        let first = it.next().expect("take >= 1");
+        let mut dest_q = dest.inner.lock().expect("deque poisoned");
+        for t in it {
+            dest_q.push_back(t);
+        }
+        Steal::Success(first)
+    }
+
+    /// `true` if the queue currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("injector poisoned").is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("injector poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_worker_pops_in_push_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn lifo_worker_pops_newest_first() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_half() {
+        let victim = Worker::new_fifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let thief = Worker::new_fifo();
+        let got = victim.stealer().steal_batch_and_pop(&thief);
+        assert_eq!(got, Steal::Success(0));
+        assert_eq!(thief.len(), 3); // half of 8 = 4, one returned
+        assert_eq!(victim.len(), 4);
+        assert_eq!(thief.pop(), Some(1));
+    }
+
+    #[test]
+    fn injector_roundtrip() {
+        let inj = Injector::new();
+        assert!(inj.is_empty());
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing() {
+        let w = Worker::new_fifo();
+        for i in 0..1000u64 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = stealers
+                .into_iter()
+                .map(|st| {
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        loop {
+                            match st.steal() {
+                                Steal::Success(v) => sum += v,
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            let mut own = 0u64;
+            while let Some(v) = w.pop() {
+                own += v;
+            }
+            own + handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        });
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+}

@@ -1,11 +1,12 @@
 //! Offline stand-in for `crossbeam`: the slice of its API this
 //! workspace uses — multi-producer **multi-consumer** channels
-//! ([`channel`]) and scoped threads ([`scope`]) — implemented on
-//! `std::sync` and `std::thread::scope`.
+//! ([`channel`]), work-stealing deques ([`deque`]), and scoped threads
+//! ([`scope`]) — implemented on `std::sync` and `std::thread::scope`.
 
 #![forbid(unsafe_code)]
 
 pub mod channel;
+pub mod deque;
 
 use std::thread;
 
