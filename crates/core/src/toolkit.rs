@@ -9,11 +9,15 @@
 
 use dm_services::client::{ClassifierClient, ClustererClient, ConvertClient, J48Client};
 use dm_services::{deploy_faehim_suite, publish_suite};
-use dm_workflow::engine::{BackoffSink, Executor, RetryPolicy};
+use dm_workflow::durable::DurableConfig;
+use dm_workflow::engine::{BackoffSink, ExecutionReport, Executor, RetryPolicy};
+use dm_workflow::graph::{TaskGraph, TaskId, Token};
+use dm_workflow::journal::RunJournal;
 use dm_workflow::toolbox::Toolbox;
 use dm_workflow::wsimport::{import_from_host, WsTool};
 use dm_wsrf::container::{CapacityConfig, ServiceContainer};
-use dm_wsrf::metrics::{MetricsRegistry, PoolSnapshot};
+use dm_wsrf::dataplane::AttachmentStore;
+use dm_wsrf::metrics::{MetricsRegistry, PoolSnapshot, RecoverySnapshot};
 use dm_wsrf::registry::UddiRegistry;
 use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
 use dm_wsrf::trace::Tracer;
@@ -32,6 +36,7 @@ pub struct Toolkit {
     toolbox: Arc<Toolbox>,
     hosts: Vec<String>,
     resilience: Option<ResilientCaller>,
+    durable: Option<DurableConfig>,
 }
 
 impl Toolkit {
@@ -60,6 +65,7 @@ impl Toolkit {
             toolbox,
             hosts: names,
             resilience: None,
+            durable: None,
         };
         // Import every deployed service's operations as workspace tools
         // (Triana: "creates a tool for each operation").
@@ -171,6 +177,67 @@ impl Toolkit {
         self.network.tracer()
     }
 
+    /// Turn on event-sourced durable enactment: subsequent
+    /// [`Toolkit::run_durable`] calls append every run event to one
+    /// shared append-only [`RunJournal`], dispatch tasks to `workers`
+    /// claim/ack worker threads, and can resume a crashed run from the
+    /// log without re-executing completed tasks. Large task outputs are
+    /// persisted as content-addressed refs into the client attachment
+    /// store when the data plane is enabled (a dedicated store is
+    /// provisioned otherwise), so the journal itself stays small.
+    /// Returns the journal so callers can snapshot its bytes, inject
+    /// crashes against its append counter, or rebuild it after a
+    /// simulated orchestrator death.
+    pub fn enable_durable_enactment(&mut self, workers: usize) -> Arc<RunJournal> {
+        let store = self
+            .network
+            .client_store()
+            .unwrap_or_else(|| Arc::new(AttachmentStore::new(64 << 20)));
+        let journal = Arc::new(RunJournal::with_store(store, 1024));
+        self.durable = Some(DurableConfig::new(Arc::clone(&journal)).with_workers(workers));
+        journal
+    }
+
+    /// Adopt a rebuilt journal (e.g. one recovered from a dead
+    /// orchestrator's bytes via [`RunJournal::from_bytes`]) as the
+    /// durable-enactment log, replacing whatever
+    /// [`Toolkit::enable_durable_enactment`] installed.
+    pub fn adopt_journal(&mut self, journal: Arc<RunJournal>) {
+        let workers = self.durable.as_ref().map_or(4, DurableConfig::workers);
+        self.durable = Some(DurableConfig::new(journal).with_workers(workers));
+    }
+
+    /// The durable-enactment configuration, when
+    /// [`Toolkit::enable_durable_enactment`] has been called. Clone and
+    /// extend it (crash scripts, kill points) before handing it to
+    /// [`dm_workflow::engine::Executor::run_durable`] directly.
+    pub fn durable_config(&self) -> Option<&DurableConfig> {
+        self.durable.as_ref()
+    }
+
+    /// Enact `graph` durably: every lifecycle event is journalled
+    /// before it takes effect, completed work recorded by a previous
+    /// (possibly crashed) run of the same graph is replayed from the
+    /// log instead of re-executed, and task failures block only their
+    /// downstream cone while independent branches run to completion.
+    /// The executor is the toolkit's resilient executor, so retries,
+    /// virtual-clock accounting, and tracing all apply. Errors with a
+    /// [`dm_workflow::error::WorkflowError::Ws`] message when durable
+    /// enactment has not been enabled.
+    pub fn run_durable(
+        &self,
+        graph: &TaskGraph,
+        bindings: &std::collections::HashMap<(TaskId, usize), Token>,
+    ) -> dm_workflow::error::Result<ExecutionReport> {
+        let config = self.durable.as_ref().ok_or_else(|| {
+            dm_workflow::error::WorkflowError::Ws(
+                "durable enactment is not enabled; call Toolkit::enable_durable_enactment".into(),
+            )
+        })?;
+        self.resilient_executor(None)
+            .run_durable(graph, bindings, config)
+    }
+
     /// Set the shared compute pool's worker budget for subsequent
     /// parallel training, batched scoring, and cross-validation
     /// batches (see `dm_algorithms::pool`). Equivalent to launching
@@ -235,6 +302,17 @@ impl Toolkit {
             metrics.ingest_cache("attachments", &[("host", "client")], &store.stats());
         }
         metrics.ingest_pool(&self.compute_pool_stats());
+        if let Some(config) = &self.durable {
+            let stats = config.journal().stats();
+            metrics.ingest_recovery(&RecoverySnapshot {
+                journal_appends: stats.appends,
+                journal_records: stats.records,
+                journal_bytes: stats.bytes,
+                replay_hits: stats.replay_hits,
+                redeliveries: stats.redeliveries,
+                torn_bytes_dropped: stats.torn_bytes,
+            });
+        }
         metrics
     }
 
@@ -641,5 +719,44 @@ mod tests {
             .runs
             .iter()
             .any(|r| r.virtual_duration > std::time::Duration::ZERO));
+    }
+
+    #[test]
+    fn durable_enactment_journals_replays_and_feeds_metrics() {
+        let mut tk = Toolkit::new().unwrap();
+        assert!(
+            tk.run_durable(
+                &dm_workflow::graph::TaskGraph::new(),
+                &std::collections::HashMap::new()
+            )
+            .is_err(),
+            "run_durable must refuse until durable enactment is enabled"
+        );
+        let journal = tk.enable_durable_enactment(2);
+        let toolbox = tk.toolbox();
+        let tool = toolbox
+            .find("Classifier.getClassifiers")
+            .expect("imported tool");
+        let mut g = dm_workflow::graph::TaskGraph::new();
+        g.add_task(tool);
+        let bindings = std::collections::HashMap::new();
+        let report = tk.run_durable(&g, &bindings).unwrap();
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.replay_hits(), 0);
+        // run-started + task-started + task-completed + run-finished.
+        assert_eq!(journal.stats().appends, 4);
+
+        // A second enactment of the same graph replays from the log:
+        // nothing re-executes, the report bytes match.
+        let resumed = tk.run_durable(&g, &bindings).unwrap();
+        assert_eq!(resumed.replay_hits(), 1);
+        assert!(resumed.runs.iter().all(|r| r.replayed));
+        assert_eq!(resumed.canonical_bytes(), report.canonical_bytes());
+
+        let metrics = tk.metrics_registry();
+        assert!(metrics.counter_value("faehim_journal_appends_total", &[]) >= 4);
+        assert!(metrics.counter_value("faehim_replay_hits_total", &[]) >= 1);
+        let text = metrics.export_prometheus();
+        assert!(text.contains("faehim_journal_bytes"), "{text}");
     }
 }

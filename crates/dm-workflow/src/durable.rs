@@ -1,0 +1,843 @@
+//! Durable enactment: an orchestrator / worker-pool split over the
+//! run journal, with crash injection and resume-from-log recovery.
+//!
+//! The engine's in-memory modes ([`Executor::run`]) lose the whole run
+//! when the enacting process dies — unacceptable for the paper's
+//! long-running distributed mining jobs. Durable mode splits the
+//! engine in two:
+//!
+//! * the **orchestrator** (the calling thread) owns the graph logic:
+//!   it replays the [`RunJournal`] to reconstruct the remaining-work
+//!   frontier (completed tasks are restored, **not** re-executed;
+//!   failed tasks block only their downstream cone, independent
+//!   branches continue), dispatches ready tasks to the worker pool
+//!   with claim/ack job-queue semantics, and is the only writer of the
+//!   journal;
+//! * the **workers** (scoped threads) execute tools via the engine's
+//!   retry machinery and report each claim's outcome. A worker that
+//!   dies mid-claim never acks, and the orchestrator redelivers the
+//!   task under a fresh claim — at-least-once execution, exactly-once
+//!   recording.
+//!
+//! Crash injection wires into the fault engine
+//! ([`dm_wsrf::resilience::CrashScript`]): scripted orchestrator
+//! kill-points (by virtual-clock instant or by journal-append count,
+//! so tests can kill the enactment at *every* task boundary and
+//! mid-task) and scripted worker deaths. A killed orchestrator returns
+//! [`WorkflowError::Crashed`]; everything appended before the kill is
+//! durable, and a fresh `Executor` given the surviving journal bytes
+//! resumes to a report whose
+//! [`canonical bytes`](ExecutionReport::canonical_bytes) are identical
+//! to an uninterrupted run's.
+
+use crate::engine::{ExecutionReport, Executor, ProgressEvent, TaskRun};
+use crate::error::{Result, WorkflowError};
+use crate::graph::{TaskGraph, TaskId, Token};
+use crate::journal::{RunEvent, RunJournal};
+use dm_wsrf::resilience::CrashScript;
+use dm_wsrf::trace::SpanKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sentinel task id telling a worker to exit.
+const POISON: TaskId = usize::MAX;
+
+/// Configuration for one durable enactment: the journal to append to
+/// (and resume from), the worker-pool width, and optional scripted
+/// crashes for fault-injection tests.
+#[derive(Clone)]
+pub struct DurableConfig {
+    journal: Arc<RunJournal>,
+    workers: usize,
+    orchestrator_crash: Option<Arc<CrashScript>>,
+    kill_after_appends: Option<u64>,
+    worker_crash: Option<Arc<CrashScript>>,
+    kill_worker_on_claim: Option<u64>,
+}
+
+impl std::fmt::Debug for DurableConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableConfig")
+            .field("journal", &self.journal)
+            .field("workers", &self.workers)
+            .field("orchestrator_crash", &self.orchestrator_crash.is_some())
+            .field("kill_after_appends", &self.kill_after_appends)
+            .field("worker_crash", &self.worker_crash.is_some())
+            .field("kill_worker_on_claim", &self.kill_worker_on_claim)
+            .finish()
+    }
+}
+
+impl DurableConfig {
+    /// Durable enactment appending to (and resuming from) `journal`,
+    /// with a default pool of 4 workers and no scripted crashes.
+    pub fn new(journal: Arc<RunJournal>) -> DurableConfig {
+        DurableConfig {
+            journal,
+            workers: 4,
+            orchestrator_crash: None,
+            kill_after_appends: None,
+            worker_crash: None,
+            kill_worker_on_claim: None,
+        }
+    }
+
+    /// Builder: use `workers` pool threads (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> DurableConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder: kill the orchestrator when `script` schedules a crash
+    /// on the virtual clock (polled at each task acknowledgement).
+    pub fn with_orchestrator_crash(mut self, script: Arc<CrashScript>) -> DurableConfig {
+        self.orchestrator_crash = Some(script);
+        self
+    }
+
+    /// Builder: kill the orchestrator immediately after its `n`-th
+    /// journal append in this process — the boundary-exhaustive kill
+    /// point (append 1 is the run-started record; task-started appends
+    /// land mid-task, before the matching completion).
+    pub fn with_kill_after_appends(mut self, n: u64) -> DurableConfig {
+        self.kill_after_appends = Some(n);
+        self
+    }
+
+    /// Builder: workers die (discard their finished claim without
+    /// acking) when `script` schedules a crash on the virtual clock.
+    pub fn with_worker_crash(mut self, script: Arc<CrashScript>) -> DurableConfig {
+        self.worker_crash = Some(script);
+        self
+    }
+
+    /// Builder: the worker executing claim number `claim` (claims are
+    /// numbered from 1 in dispatch order) dies instead of acking it —
+    /// a deterministic single worker death.
+    pub fn with_kill_worker_on_claim(mut self, claim: u64) -> DurableConfig {
+        self.kill_worker_on_claim = Some(claim);
+        self
+    }
+
+    /// The journal this enactment appends to.
+    pub fn journal(&self) -> &Arc<RunJournal> {
+        &self.journal
+    }
+
+    /// The configured worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// A dispatched claim: the job queue carries `(claim, task)` and the
+/// orchestrator only trusts outcomes whose claim is still current.
+struct Job {
+    claim: u64,
+    task: TaskId,
+}
+
+/// What a worker did with a claim.
+enum Outcome {
+    /// The claim is acked: the task ran to a terminal result.
+    Finished {
+        result: std::result::Result<Vec<Token>, String>,
+        run: TaskRun,
+        events: Vec<ProgressEvent>,
+        tick: Duration,
+    },
+    /// The worker died mid-claim (scripted): no ack, results discarded.
+    Died,
+}
+
+struct Done {
+    claim: u64,
+    task: TaskId,
+    outcome: Outcome,
+}
+
+/// Orchestrator-side task lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Completed,
+    Failed,
+    Blocked,
+}
+
+/// The orchestrator's journal writer: counts this-process appends and
+/// enforces the append-count kill point.
+struct Appender<'a> {
+    journal: &'a RunJournal,
+    appended: u64,
+    kill_after: Option<u64>,
+}
+
+impl Appender<'_> {
+    fn append(&mut self, event: &RunEvent) -> Result<()> {
+        self.journal.append(event);
+        self.appended += 1;
+        if self.kill_after == Some(self.appended) {
+            return Err(WorkflowError::Crashed {
+                appended: self.appended,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    appender: &mut Appender<'_>,
+    claims: &mut HashMap<TaskId, u64>,
+    next_claim: &mut u64,
+    job_tx: &crossbeam::channel::Sender<Job>,
+    in_flight: &mut usize,
+    graph: &TaskGraph,
+    task: TaskId,
+) -> Result<()> {
+    // Journal the dispatch first: a crash between this append and the
+    // task's completion record is the mid-task kill point — on resume
+    // the started-but-never-completed task is simply re-executed.
+    appender.append(&RunEvent::TaskStarted {
+        task,
+        name: graph.task(task)?.name.clone(),
+    })?;
+    let claim = *next_claim;
+    *next_claim += 1;
+    claims.insert(task, claim);
+    let _ = job_tx.send(Job { claim, task });
+    *in_flight += 1;
+    Ok(())
+}
+
+/// Mark every not-yet-resolved descendant of `task` blocked: a failed
+/// node poisons only its downstream cone; independent branches keep
+/// running.
+fn block_cone(graph: &TaskGraph, status: &mut [Status], task: TaskId) {
+    let mut queue = vec![task];
+    while let Some(t) = queue.pop() {
+        for c in graph.cables() {
+            if c.from_task == t && status[c.to_task] == Status::Runnable {
+                status[c.to_task] = Status::Blocked;
+                queue.push(c.to_task);
+            }
+        }
+    }
+}
+
+impl Executor {
+    /// Enact `graph` durably: journal every state transition to
+    /// `config.journal()`, executing on a claim/ack worker pool. If the
+    /// journal already holds a prefix of this workflow's history, the
+    /// enactment **resumes**: completed tasks are restored from the log
+    /// (zero re-execution, counted as replay hits), failed tasks stay
+    /// terminal with their downstream cones blocked, and only the
+    /// remaining frontier runs.
+    ///
+    /// Unlike [`Executor::run`], task failure is not fatal to the
+    /// enactment: the run continues on independent branches and the
+    /// returned report carries per-task errors ([`TaskRun::error`]).
+    /// The report's event stream and run order are deterministic (as
+    /// with [`Executor::with_deterministic_events`]).
+    ///
+    /// Returns [`WorkflowError::Crashed`] when a scripted crash kills
+    /// the orchestrator (the journal keeps everything appended before
+    /// the kill), and [`WorkflowError::JournalMismatch`] when the
+    /// journal belongs to a different workflow.
+    pub fn run_durable(
+        &self,
+        graph: &TaskGraph,
+        bindings: &HashMap<(TaskId, usize), Token>,
+        config: &DurableConfig,
+    ) -> Result<ExecutionReport> {
+        // Validate that every input is fed, exactly as `run` does.
+        for t in 0..graph.num_tasks() {
+            for (port, spec) in graph.unconnected_inputs(t)? {
+                if !bindings.contains_key(&(t, port)) {
+                    return Err(WorkflowError::UnboundInput {
+                        task: graph.task(t)?.name.clone(),
+                        port: spec.name,
+                    });
+                }
+            }
+        }
+        let order = graph.topological_order()?;
+        let n = graph.num_tasks();
+        let fingerprint = graph.structure_fingerprint();
+        let journal = config.journal.as_ref();
+
+        // Replay: reconstruct the frontier from the journal.
+        let replay = journal.replay();
+        if let Some((_, journal_fp)) = replay.started {
+            if journal_fp != fingerprint {
+                return Err(WorkflowError::JournalMismatch {
+                    journal: journal_fp,
+                    graph: fingerprint,
+                });
+            }
+        }
+        journal.note_replay_hits(replay.completed.len() as u64);
+
+        let start = Instant::now();
+        let vstart = self.virtual_now();
+        self.emit(ProgressEvent::RunStarted { tasks: n });
+        let mut root_span = self.tracer.as_ref().map(|t| {
+            let mut span = t.start_span("durable-workflow", SpanKind::Workflow, None);
+            span.set_attr("tasks", n.to_string());
+            span.set_attr("replayed", replay.completed.len().to_string());
+            span
+        });
+        let root = root_span.as_ref().map(|s| s.ctx());
+
+        let mut appender = Appender {
+            journal,
+            appended: 0,
+            kill_after: config.kill_after_appends,
+        };
+        let crash_check = |appender: &Appender<'_>| -> Result<()> {
+            if let Some(script) = &config.orchestrator_crash {
+                if script.poll_kill(self.virtual_now()) {
+                    return Err(WorkflowError::Crashed {
+                        appended: appender.appended,
+                    });
+                }
+            }
+            Ok(())
+        };
+
+        // Restore produced tokens from replayed completions.
+        let mut produced_map: HashMap<(TaskId, usize), Token> = HashMap::new();
+        for (&task, replayed) in &replay.completed {
+            for (port, token) in replayed.outputs.iter().enumerate() {
+                produced_map.insert((task, port), token.clone());
+            }
+        }
+        // Repopulate the memo cache from replayed pure tasks, in
+        // topological order, so memo hits survive recovery: re-executed
+        // downstream work (and future warm runs) still find them.
+        if let Some(memo) = &self.memo {
+            for &task in &order {
+                let Some(replayed) = replay.completed.get(&task) else {
+                    continue;
+                };
+                let inputs_ready = graph
+                    .cables()
+                    .iter()
+                    .filter(|c| c.to_task == task)
+                    .all(|c| replay.completed.contains_key(&c.from_task));
+                if inputs_ready {
+                    let inputs = Self::gather_inputs(graph, task, bindings, &produced_map);
+                    memo.populate(
+                        graph.task(task)?.tool.as_ref(),
+                        &inputs,
+                        replayed.outputs.clone(),
+                    );
+                }
+            }
+        }
+
+        // Frontier: completed tasks are done, journaled failures stay
+        // terminal and block their cones, the rest is runnable.
+        let mut status = vec![Status::Runnable; n];
+        for &task in replay.completed.keys() {
+            status[task] = Status::Completed;
+        }
+        for &task in replay.failed.keys() {
+            status[task] = Status::Failed;
+        }
+        for &task in replay.failed.keys() {
+            block_cone(graph, &mut status, task);
+        }
+        let mut indegree = vec![0usize; n];
+        for c in graph.cables() {
+            if status[c.to_task] == Status::Runnable && status[c.from_task] != Status::Completed {
+                indegree[c.to_task] += 1;
+            }
+        }
+
+        if replay.started.is_none() {
+            appender.append(&RunEvent::RunStarted {
+                tasks: n,
+                fingerprint,
+            })?;
+        }
+
+        let produced = Mutex::new(produced_map);
+        let budget = Mutex::new(self.policy.retry_budget);
+        let workers = config.workers.max(1).min(n.max(1));
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<Done>();
+
+        type Fresh = (TaskId, TaskRun, Vec<ProgressEvent>, Duration);
+        let outcome: Result<Vec<Fresh>> = crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
+                let produced = &produced;
+                let budget = &budget;
+                scope.spawn(move |_| {
+                    while let Ok(job) = job_rx.recv() {
+                        if job.task == POISON {
+                            break;
+                        }
+                        let inputs = {
+                            let produced = produced.lock();
+                            Self::gather_inputs(graph, job.task, bindings, &produced)
+                        };
+                        let events = Mutex::new(Vec::new());
+                        let (result, run) =
+                            self.execute_task(graph, job.task, &inputs, budget, root, &|e| {
+                                events.lock().push(e)
+                            });
+                        let tick = self.virtual_now();
+                        // Scripted worker death: the finished claim is
+                        // discarded without an ack, so the orchestrator
+                        // must redeliver. The thread itself keeps
+                        // serving — it models a restarted worker.
+                        let died = config
+                            .worker_crash
+                            .as_ref()
+                            .is_some_and(|s| s.poll_kill(tick))
+                            || config.kill_worker_on_claim == Some(job.claim);
+                        let outcome = if died {
+                            Outcome::Died
+                        } else {
+                            Outcome::Finished {
+                                result,
+                                run,
+                                events: events.into_inner(),
+                                tick,
+                            }
+                        };
+                        let _ = done_tx.send(Done {
+                            claim: job.claim,
+                            task: job.task,
+                            outcome,
+                        });
+                    }
+                });
+            }
+            drop(done_tx);
+
+            // ---- orchestrator ----------------------------------------
+            let mut run_loop = || -> Result<Vec<Fresh>> {
+                let mut fresh: Vec<Fresh> = Vec::new();
+                let mut claims: HashMap<TaskId, u64> = HashMap::new();
+                let mut next_claim = 1u64;
+                let mut in_flight = 0usize;
+                for task in 0..n {
+                    if status[task] == Status::Runnable && indegree[task] == 0 {
+                        dispatch(
+                            &mut appender,
+                            &mut claims,
+                            &mut next_claim,
+                            &job_tx,
+                            &mut in_flight,
+                            graph,
+                            task,
+                        )?;
+                    }
+                }
+                while in_flight > 0 {
+                    let done = done_rx.recv().expect("workers hold the sender");
+                    if claims.get(&done.task) != Some(&done.claim) {
+                        continue; // stale claim: already redelivered
+                    }
+                    match done.outcome {
+                        Outcome::Died => {
+                            // No ack: redeliver under a fresh claim.
+                            journal.note_redelivery();
+                            in_flight -= 1;
+                            dispatch(
+                                &mut appender,
+                                &mut claims,
+                                &mut next_claim,
+                                &job_tx,
+                                &mut in_flight,
+                                graph,
+                                done.task,
+                            )?;
+                        }
+                        Outcome::Finished {
+                            result,
+                            run,
+                            events,
+                            tick,
+                        } => {
+                            crash_check(&appender)?;
+                            claims.remove(&done.task);
+                            in_flight -= 1;
+                            let task = done.task;
+                            let name = graph.task(task)?.name.clone();
+                            match result {
+                                Ok(outputs) => {
+                                    if run.sheds > 0 {
+                                        appender.append(&RunEvent::TaskShed {
+                                            task,
+                                            name: name.clone(),
+                                            sheds: run.sheds,
+                                        })?;
+                                    }
+                                    appender.append(&RunEvent::TaskCompleted {
+                                        task,
+                                        name,
+                                        attempts: run.attempts,
+                                        virtual_nanos: run.virtual_duration.as_nanos() as u64,
+                                        cached: run.cached,
+                                        sheds: run.sheds,
+                                        outputs: outputs.clone(),
+                                    })?;
+                                    {
+                                        let mut produced = produced.lock();
+                                        for (port, token) in outputs.into_iter().enumerate() {
+                                            produced.insert((task, port), token);
+                                        }
+                                    }
+                                    status[task] = Status::Completed;
+                                    fresh.push((task, run, events, tick));
+                                    for c in graph.cables() {
+                                        if c.from_task == task
+                                            && status[c.to_task] == Status::Runnable
+                                        {
+                                            indegree[c.to_task] -= 1;
+                                            if indegree[c.to_task] == 0 {
+                                                dispatch(
+                                                    &mut appender,
+                                                    &mut claims,
+                                                    &mut next_claim,
+                                                    &job_tx,
+                                                    &mut in_flight,
+                                                    graph,
+                                                    c.to_task,
+                                                )?;
+                                            }
+                                        }
+                                    }
+                                }
+                                Err(message) => {
+                                    appender.append(&RunEvent::TaskFailed {
+                                        task,
+                                        name,
+                                        message,
+                                    })?;
+                                    status[task] = Status::Failed;
+                                    fresh.push((task, run, events, tick));
+                                    block_cone(graph, &mut status, task);
+                                }
+                            }
+                        }
+                    }
+                }
+                if !replay.finished {
+                    let recorded = status
+                        .iter()
+                        .filter(|s| matches!(s, Status::Completed | Status::Failed))
+                        .count();
+                    appender.append(&RunEvent::RunFinished {
+                        tasks: recorded,
+                        virtual_nanos: self.virtual_now().saturating_sub(vstart).as_nanos() as u64,
+                    })?;
+                }
+                Ok(fresh)
+            };
+            let outcome = run_loop();
+            // Terminate the pool on every exit path, crash included.
+            for _ in 0..workers {
+                let _ = job_tx.send(Job {
+                    claim: 0,
+                    task: POISON,
+                });
+            }
+            drop(job_tx);
+            outcome
+        })
+        .expect("durable worker panicked");
+
+        let fresh = match outcome {
+            Ok(fresh) => fresh,
+            Err(e) => {
+                if let Some(span) = root_span.as_mut() {
+                    span.set_error(e.to_string());
+                }
+                return Err(e);
+            }
+        };
+
+        // Build the report: replayed runs (restored, zero re-execution)
+        // plus fresh runs, in the deterministic (tick, task id) order.
+        let mut entries: Vec<Fresh> = Vec::new();
+        for (&task, replayed) in &replay.completed {
+            entries.push((
+                task,
+                TaskRun {
+                    task: replayed.name.clone(),
+                    attempts: replayed.attempts,
+                    duration: Duration::ZERO,
+                    virtual_duration: Duration::from_nanos(replayed.virtual_nanos),
+                    backoff: Duration::ZERO,
+                    sheds: replayed.sheds,
+                    cached: replayed.cached,
+                    replayed: true,
+                    error: None,
+                },
+                Vec::new(),
+                Duration::ZERO,
+            ));
+        }
+        for (&task, (name, message)) in &replay.failed {
+            entries.push((
+                task,
+                TaskRun {
+                    task: name.clone(),
+                    attempts: 0,
+                    duration: Duration::ZERO,
+                    virtual_duration: Duration::ZERO,
+                    backoff: Duration::ZERO,
+                    sheds: 0,
+                    cached: false,
+                    replayed: true,
+                    error: Some(message.clone()),
+                },
+                Vec::new(),
+                Duration::ZERO,
+            ));
+        }
+        entries.extend(fresh);
+        entries.sort_by_key(|e| (e.3, e.0));
+        for (_, _, events, _) in &entries {
+            for event in events {
+                self.emit(event.clone());
+            }
+        }
+
+        let mut report = ExecutionReport {
+            runs: entries.into_iter().map(|(_, run, _, _)| run).collect(),
+            ..ExecutionReport::default()
+        };
+        let produced = produced.into_inner();
+        self.collect_outputs(graph, &produced, &mut report)?;
+        report.elapsed = start.elapsed();
+        report.virtual_elapsed = self.virtual_now().saturating_sub(vstart);
+        report.retry_budget_remaining = budget.into_inner();
+        self.emit(ProgressEvent::RunFinished {
+            tasks: report.runs.len(),
+            elapsed: report.elapsed,
+            virtual_elapsed: report.virtual_elapsed,
+        });
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::test_tools::*;
+    use std::sync::Arc;
+
+    fn diamond() -> TaskGraph {
+        // src → (left, right) → join
+        let mut g = TaskGraph::new();
+        let src = g.add_named_task("src", Arc::new(ConstText("x".into())));
+        let left = g.add_named_task("left", Arc::new(Upper));
+        let right = g.add_named_task("right", Arc::new(Upper));
+        let join = g.add_named_task("join", Arc::new(Concat));
+        g.connect(src, 0, left, 0).unwrap();
+        g.connect(src, 0, right, 0).unwrap();
+        g.connect(left, 0, join, 0).unwrap();
+        g.connect(right, 0, join, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn durable_run_matches_plain_run() {
+        let g = diamond();
+        let plain = Executor::parallel().run(&g, &HashMap::new()).unwrap();
+        let journal = Arc::new(RunJournal::new());
+        let durable = Executor::parallel()
+            .run_durable(
+                &g,
+                &HashMap::new(),
+                &DurableConfig::new(Arc::clone(&journal)),
+            )
+            .unwrap();
+        assert_eq!(plain.canonical_bytes(), durable.canonical_bytes());
+        assert_eq!(durable.replay_hits(), 0);
+        // 1 run-started + 4 started + 4 completed + 1 run-finished.
+        assert_eq!(journal.stats().appends, 10);
+        let replay = journal.replay();
+        assert!(replay.finished);
+        assert_eq!(replay.completed.len(), 4);
+    }
+
+    #[test]
+    fn kill_at_every_append_then_resume_is_byte_identical() {
+        let g = diamond();
+        let baseline = Executor::parallel()
+            .run_durable(
+                &g,
+                &HashMap::new(),
+                &DurableConfig::new(Arc::new(RunJournal::new())),
+            )
+            .unwrap();
+        let expected = baseline.canonical_bytes();
+        for kill_at in 1..=10u64 {
+            let journal = Arc::new(RunJournal::new());
+            let err = Executor::parallel()
+                .run_durable(
+                    &g,
+                    &HashMap::new(),
+                    &DurableConfig::new(Arc::clone(&journal)).with_kill_after_appends(kill_at),
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, WorkflowError::Crashed { appended } if appended == kill_at),
+                "kill point {kill_at}: {err}"
+            );
+            // Process boundary: only the journal bytes survive.
+            let survived = Arc::new(RunJournal::from_bytes(&journal.bytes()));
+            let completed_at_crash = survived.replay().completed.len();
+            let resumed = Executor::parallel()
+                .run_durable(
+                    &g,
+                    &HashMap::new(),
+                    &DurableConfig::new(Arc::clone(&survived)),
+                )
+                .unwrap();
+            assert_eq!(
+                resumed.canonical_bytes(),
+                expected,
+                "kill point {kill_at}: resumed report differs"
+            );
+            // Completed tasks were restored, never re-executed.
+            assert_eq!(resumed.replay_hits(), completed_at_crash);
+            assert_eq!(survived.stats().replay_hits, completed_at_crash as u64);
+            assert_eq!(
+                resumed.runs.iter().filter(|r| !r.replayed).count(),
+                4 - completed_at_crash
+            );
+        }
+    }
+
+    #[test]
+    fn worker_death_redelivers_unacked_claims() {
+        let g = diamond();
+        let journal = Arc::new(RunJournal::new());
+        let report = Executor::parallel()
+            .run_durable(
+                &g,
+                &HashMap::new(),
+                &DurableConfig::new(Arc::clone(&journal))
+                    .with_workers(2)
+                    .with_kill_worker_on_claim(2),
+            )
+            .unwrap();
+        assert_eq!(journal.stats().redeliveries, 1);
+        let plain = Executor::parallel().run(&g, &HashMap::new()).unwrap();
+        assert_eq!(report.canonical_bytes(), plain.canonical_bytes());
+        // The redelivered task was journaled as started twice.
+        let starts = journal
+            .events()
+            .iter()
+            .filter(|e| matches!(e, RunEvent::TaskStarted { .. }))
+            .count();
+        assert_eq!(starts, 5);
+    }
+
+    #[test]
+    fn failed_task_blocks_only_its_cone() {
+        // src → fail → doomed ; src → ok (independent branch).
+        let mut g = TaskGraph::new();
+        let src = g.add_named_task("src", Arc::new(ConstText("x".into())));
+        let fail = g.add_named_task("fail", Arc::new(Flaky::failing(usize::MAX)));
+        let doomed = g.add_named_task("doomed", Arc::new(Upper));
+        let ok = g.add_named_task("ok", Arc::new(Upper));
+        g.connect(src, 0, fail, 0).unwrap();
+        g.connect(fail, 0, doomed, 0).unwrap();
+        g.connect(src, 0, ok, 0).unwrap();
+
+        let journal = Arc::new(RunJournal::new());
+        let report = Executor::parallel()
+            .run_durable(
+                &g,
+                &HashMap::new(),
+                &DurableConfig::new(Arc::clone(&journal)),
+            )
+            .unwrap();
+        // The independent branch completed; the cone did not run.
+        assert_eq!(report.output(ok, 0), Some(&Token::Text("X".into())));
+        assert!(report.output(doomed, 0).is_none());
+        let names: Vec<_> = report.runs.iter().map(|r| r.task.as_str()).collect();
+        assert!(!names.contains(&"doomed"));
+        let failed_run = report.runs.iter().find(|r| r.task == "fail").unwrap();
+        assert!(failed_run.error.is_some());
+        // Resuming the finished journal re-executes nothing and keeps
+        // the failure terminal.
+        let resumed = Executor::parallel()
+            .run_durable(
+                &g,
+                &HashMap::new(),
+                &DurableConfig::new(Arc::clone(&journal)),
+            )
+            .unwrap();
+        assert_eq!(resumed.canonical_bytes(), report.canonical_bytes());
+        assert_eq!(resumed.replay_hits(), 3); // src, ok, and the failure record
+        assert!(resumed.runs.iter().all(|r| r.replayed));
+    }
+
+    #[test]
+    fn journal_from_a_different_workflow_is_rejected() {
+        let g = diamond();
+        let journal = Arc::new(RunJournal::new());
+        Executor::parallel()
+            .run_durable(
+                &g,
+                &HashMap::new(),
+                &DurableConfig::new(Arc::clone(&journal)),
+            )
+            .unwrap();
+        let mut other = TaskGraph::new();
+        other.add_named_task("src", Arc::new(ConstText("x".into())));
+        let err = Executor::parallel()
+            .run_durable(&other, &HashMap::new(), &DurableConfig::new(journal))
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::JournalMismatch { .. }));
+    }
+
+    #[test]
+    fn orchestrator_crash_script_kills_on_virtual_clock() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let g = diamond();
+        let nanos = Arc::new(AtomicU64::new(0));
+        let clock_nanos = Arc::clone(&nanos);
+        let clock: crate::engine::ClockSource =
+            Arc::new(move || Duration::from_nanos(clock_nanos.load(Ordering::SeqCst)));
+        // The virtual clock starts past the scripted instant, so the
+        // first acknowledgement kills the orchestrator.
+        nanos.store(Duration::from_secs(5).as_nanos() as u64, Ordering::SeqCst);
+        let script = Arc::new(CrashScript::new());
+        script.schedule(dm_wsrf::resilience::CrashRestart::at(Duration::from_secs(
+            1,
+        )));
+        let journal = Arc::new(RunJournal::new());
+        let err = Executor::parallel()
+            .with_virtual_clock(clock)
+            .run_durable(
+                &g,
+                &HashMap::new(),
+                &DurableConfig::new(Arc::clone(&journal))
+                    .with_orchestrator_crash(Arc::clone(&script)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::Crashed { .. }));
+        assert_eq!(script.kills_fired(), 1);
+        // The journal survived and a crash-free executor resumes it.
+        let resumed = Executor::parallel()
+            .run_durable(&g, &HashMap::new(), &DurableConfig::new(journal))
+            .unwrap();
+        let plain = Executor::parallel().run(&g, &HashMap::new()).unwrap();
+        assert_eq!(resumed.canonical_bytes(), plain.canonical_bytes());
+    }
+}

@@ -88,6 +88,10 @@ pub struct TaskRun {
     /// `true` when the outputs came from the memo cache and the tool
     /// never executed (then `attempts` is 0).
     pub cached: bool,
+    /// `true` when the run was restored from a run journal by durable
+    /// recovery ([`crate::durable`]) and the tool did not execute in
+    /// this process.
+    pub replayed: bool,
     /// `None` on success, the failure message otherwise.
     pub error: Option<String>,
 }
@@ -134,6 +138,44 @@ impl ExecutionReport {
     /// overload pressure the resilience layer hid from the outputs.
     pub fn total_sheds(&self) -> u64 {
         self.runs.iter().map(|r| r.sheds).sum()
+    }
+
+    /// Tasks restored from a run journal instead of executing
+    /// ([`TaskRun::replayed`]) — the work durable recovery saved.
+    pub fn replay_hits(&self) -> usize {
+        self.runs.iter().filter(|r| r.replayed).count()
+    }
+
+    /// A canonical byte encoding of the report's *semantic* content:
+    /// every output token sorted by `(task, port)`, then every task run
+    /// sorted by name with its success/failure status. Excludes
+    /// attempts, durations, cache/replay provenance, and budget — the
+    /// figures that legitimately differ between an uninterrupted run
+    /// and a crash-then-resume of the same workflow. Two enactments
+    /// computed the same results iff their canonical bytes are equal.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut outputs: Vec<_> = self.outputs.iter().collect();
+        outputs.sort_by_key(|&(&(task, port), _)| (task, port));
+        for (&(task, port), token) in outputs {
+            out.extend_from_slice(format!("o {task} {port} ").as_bytes());
+            crate::journal::canonical_token_bytes(&mut out, token);
+            out.push(b'\n');
+        }
+        let mut runs: Vec<_> = self.runs.iter().collect();
+        runs.sort_by(|a, b| a.task.cmp(&b.task).then_with(|| a.error.cmp(&b.error)));
+        for run in runs {
+            out.push(b'r');
+            out.push(b' ');
+            out.extend_from_slice(run.task.as_bytes());
+            match &run.error {
+                None => out.extend_from_slice(b" ok\n"),
+                Some(message) => {
+                    out.extend_from_slice(format!(" err {message}\n").as_bytes());
+                }
+            }
+        }
+        out
     }
 }
 
@@ -210,13 +252,14 @@ pub type ProgressListener = std::sync::Arc<dyn Fn(ProgressEvent) + Send + Sync>;
 /// The workflow executor.
 #[derive(Clone)]
 pub struct Executor {
-    mode: ExecutionMode,
-    policy: RetryPolicy,
-    backoff_sink: Option<BackoffSink>,
-    clock: Option<ClockSource>,
-    listener: Option<ProgressListener>,
-    memo: Option<Arc<MemoCache>>,
-    tracer: Option<Arc<Tracer>>,
+    pub(crate) mode: ExecutionMode,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) backoff_sink: Option<BackoffSink>,
+    pub(crate) clock: Option<ClockSource>,
+    pub(crate) listener: Option<ProgressListener>,
+    pub(crate) memo: Option<Arc<MemoCache>>,
+    pub(crate) tracer: Option<Arc<Tracer>>,
+    pub(crate) deterministic_events: bool,
 }
 
 impl std::fmt::Debug for Executor {
@@ -229,6 +272,7 @@ impl std::fmt::Debug for Executor {
             .field("listener", &self.listener.is_some())
             .field("memo", &self.memo.is_some())
             .field("tracer", &self.tracer.is_some())
+            .field("deterministic_events", &self.deterministic_events)
             .finish()
     }
 }
@@ -244,6 +288,7 @@ impl Executor {
             listener: None,
             memo: None,
             tracer: None,
+            deterministic_events: false,
         }
     }
 
@@ -251,12 +296,7 @@ impl Executor {
     pub fn parallel() -> Executor {
         Executor {
             mode: ExecutionMode::Parallel,
-            policy: RetryPolicy::default(),
-            backoff_sink: None,
-            clock: None,
-            listener: None,
-            memo: None,
-            tracer: None,
+            ..Executor::serial()
         }
     }
 
@@ -298,7 +338,7 @@ impl Executor {
 
     /// The simulated instant per the wired [`ClockSource`], or zero
     /// when none is wired (differences then stay zero too).
-    fn virtual_now(&self) -> Duration {
+    pub(crate) fn virtual_now(&self) -> Duration {
         self.clock.as_ref().map(|c| c()).unwrap_or(Duration::ZERO)
     }
 
@@ -338,7 +378,22 @@ impl Executor {
         self.tracer.clone()
     }
 
-    fn emit(&self, event: ProgressEvent) {
+    /// Builder: make the [`ProgressEvent`] sequence replay-deterministic
+    /// under parallel enactment. Each task's event block is buffered
+    /// while workers race and flushed after quiescence, ordered by the
+    /// task's completion instant on the simulated clock (ties broken by
+    /// task id), with `RunStarted` first and `RunFinished` last;
+    /// `ExecutionReport::runs` follows the same order. The default
+    /// (live) delivery hands events to the listener the moment they
+    /// happen, which is what monitoring wants but makes the interleaving
+    /// scheduler-dependent. Durable enactment ([`crate::durable`])
+    /// always buffers.
+    pub fn with_deterministic_events(mut self) -> Executor {
+        self.deterministic_events = true;
+        self
+    }
+
+    pub(crate) fn emit(&self, event: ProgressEvent) {
         if let Some(l) = &self.listener {
             l(event);
         }
@@ -391,13 +446,14 @@ impl Executor {
         result
     }
 
-    fn execute_task(
+    pub(crate) fn execute_task(
         &self,
         graph: &TaskGraph,
         task: TaskId,
         inputs: &[Token],
         budget: &Mutex<Option<usize>>,
         root: Option<SpanContext>,
+        emit: &(dyn Fn(ProgressEvent) + Sync),
     ) -> (std::result::Result<Vec<Token>, String>, TaskRun) {
         let node = graph.task(task).expect("validated id");
         // Memoisation: pure tasks with unchanged inputs are served from
@@ -412,7 +468,7 @@ impl Executor {
                     let mut span = t.start_span(node.name.clone(), SpanKind::Task, root);
                     span.set_attr("cached", "true");
                 }
-                self.emit(ProgressEvent::CacheHit {
+                emit(ProgressEvent::CacheHit {
                     task: node.name.clone(),
                 });
                 return (
@@ -425,6 +481,7 @@ impl Executor {
                         backoff: Duration::ZERO,
                         sheds: 0,
                         cached: true,
+                        replayed: false,
                         error: None,
                     },
                 );
@@ -439,7 +496,7 @@ impl Executor {
         let mut attempts = 0;
         loop {
             attempts += 1;
-            self.emit(ProgressEvent::Started {
+            emit(ProgressEvent::Started {
                 task: node.name.clone(),
                 attempt: attempts,
             });
@@ -468,7 +525,7 @@ impl Executor {
                         if let Some(span) = task_span.as_mut() {
                             span.set_error(msg.clone());
                         }
-                        self.emit(ProgressEvent::Failed {
+                        emit(ProgressEvent::Failed {
                             task: node.name.clone(),
                             message: msg.clone(),
                         });
@@ -482,11 +539,12 @@ impl Executor {
                                 backoff: backoff_total,
                                 sheds,
                                 cached: false,
+                                replayed: false,
                                 error: Some(msg),
                             },
                         );
                     }
-                    self.emit(ProgressEvent::Finished {
+                    emit(ProgressEvent::Finished {
                         task: node.name.clone(),
                         attempts,
                         duration: start.elapsed(),
@@ -504,6 +562,7 @@ impl Executor {
                             backoff: backoff_total,
                             sheds,
                             cached: false,
+                            replayed: false,
                             error: None,
                         },
                     );
@@ -538,7 +597,7 @@ impl Executor {
                             if let Some(sink) = &self.backoff_sink {
                                 sink(delay);
                             }
-                            self.emit(ProgressEvent::Retrying {
+                            emit(ProgressEvent::Retrying {
                                 task: node.name.clone(),
                                 next_attempt: attempts + 1,
                                 backoff: delay,
@@ -546,7 +605,7 @@ impl Executor {
                             });
                         }
                         None => {
-                            self.emit(ProgressEvent::Failed {
+                            emit(ProgressEvent::Failed {
                                 task: node.name.clone(),
                                 message: message.clone(),
                             });
@@ -560,6 +619,7 @@ impl Executor {
                                     backoff: backoff_total,
                                     sheds,
                                     cached: false,
+                                    replayed: false,
                                     error: Some(message),
                                 },
                             );
@@ -570,7 +630,7 @@ impl Executor {
         }
     }
 
-    fn gather_inputs(
+    pub(crate) fn gather_inputs(
         graph: &TaskGraph,
         task: TaskId,
         bindings: &HashMap<(TaskId, usize), Token>,
@@ -617,7 +677,8 @@ impl Executor {
         let mut report = ExecutionReport::default();
         for &task in order {
             let inputs = Self::gather_inputs(graph, task, bindings, &produced);
-            let (result, run) = self.execute_task(graph, task, &inputs, &budget, root);
+            let (result, run) =
+                self.execute_task(graph, task, &inputs, &budget, root, &|e| self.emit(e));
             report.runs.push(run);
             match result {
                 Ok(outputs) => {
@@ -658,6 +719,11 @@ impl Executor {
         let produced = Mutex::new(HashMap::<(TaskId, usize), Token>::new());
         let budget = Mutex::new(self.policy.retry_budget);
         let state = Mutex::new((indegree, Vec::<TaskRun>::new(), None::<(String, String)>));
+        // Deterministic-event mode: each task's event block is buffered
+        // with its completion instant and flushed in sorted order after
+        // the scope, so listeners see a schedule-independent sequence.
+        type Buffered = (Duration, TaskId, Vec<ProgressEvent>, TaskRun);
+        let buffered = Mutex::new(Vec::<Buffered>::new());
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<TaskId>();
         let pending = std::sync::atomic::AtomicUsize::new(n);
 
@@ -693,6 +759,7 @@ impl Executor {
                 let budget = &budget;
                 let state = &state;
                 let pending = &pending;
+                let buffered = &buffered;
                 scope.spawn(move |_| {
                     while let Ok(task) = work_rx.recv() {
                         if task == POISON {
@@ -715,7 +782,22 @@ impl Executor {
                             let produced = produced.lock();
                             Self::gather_inputs(graph, task, bindings, &produced)
                         };
-                        let (result, run) = self.execute_task(graph, task, &inputs, budget, root);
+                        let (result, run) = if self.deterministic_events {
+                            let local = Mutex::new(Vec::new());
+                            let (result, run) =
+                                self.execute_task(graph, task, &inputs, budget, root, &|e| {
+                                    local.lock().push(e)
+                                });
+                            buffered.lock().push((
+                                self.virtual_now(),
+                                task,
+                                local.into_inner(),
+                                run.clone(),
+                            ));
+                            (result, run)
+                        } else {
+                            self.execute_task(graph, task, &inputs, budget, root, &|e| self.emit(e))
+                        };
                         let failed = result.is_err();
                         match result {
                             Ok(outputs) => {
@@ -767,6 +849,22 @@ impl Executor {
         .expect("workflow worker panicked");
 
         let (_, runs, failure) = state.into_inner();
+        let runs = if self.deterministic_events {
+            // Flush buffered event blocks (and order the run records)
+            // by (completion tick, task id): the same sequence every
+            // enactment of the same workflow, regardless of how the OS
+            // scheduled the workers.
+            let mut buffered = buffered.into_inner();
+            buffered.sort_by_key(|b| (b.0, b.1));
+            for (_, _, events, _) in &buffered {
+                for event in events {
+                    self.emit(event.clone());
+                }
+            }
+            buffered.into_iter().map(|(_, _, _, run)| run).collect()
+        } else {
+            runs
+        };
         let mut report = ExecutionReport {
             runs,
             ..ExecutionReport::default()
@@ -783,7 +881,7 @@ impl Executor {
         Ok(report)
     }
 
-    fn collect_outputs(
+    pub(crate) fn collect_outputs(
         &self,
         graph: &TaskGraph,
         produced: &HashMap<(TaskId, usize), Token>,
@@ -1481,5 +1579,100 @@ mod tests {
             super::ProgressEvent::RunFinished { virtual_elapsed, .. }
                 if *virtual_elapsed == Duration::from_millis(5)
         )));
+    }
+
+    #[test]
+    fn deterministic_events_are_replay_stable_under_parallelism() {
+        use parking_lot::Mutex;
+        // Eight same-tick leaves raced by the worker pool: with live
+        // delivery the Started/Finished interleaving varies run to run,
+        // so a journal replayed against the event stream could never be
+        // compared. In deterministic mode every enactment of the same
+        // workflow must yield the identical sequence — per-task blocks
+        // ordered by (completion tick, task id), RunStarted first,
+        // RunFinished last. Many iterations pin the ordering against
+        // scheduler luck.
+        let build = || {
+            let mut g = TaskGraph::new();
+            let src = g.add_task(Arc::new(ConstText("abc".into())));
+            for i in 0..8 {
+                let up = g.add_named_task(format!("upper-{i}"), Arc::new(Upper));
+                g.connect(src, 0, up, 0).unwrap();
+            }
+            g
+        };
+        let mut reference: Option<Vec<ProgressEvent>> = None;
+        for iteration in 0..50 {
+            let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let sink = std::sync::Arc::clone(&events);
+            let listener: super::ProgressListener =
+                std::sync::Arc::new(move |e| sink.lock().push(e));
+            let report = Executor::parallel()
+                .with_deterministic_events()
+                .with_listener(listener)
+                .run(&build(), &HashMap::new())
+                .unwrap();
+            // Run records follow the same deterministic order.
+            let names: Vec<_> = report.runs.iter().map(|r| r.task.clone()).collect();
+            assert_eq!(names[0], "ConstText", "iteration {iteration}");
+            assert_eq!(
+                names[1..],
+                (0..8).map(|i| format!("upper-{i}")).collect::<Vec<_>>()[..],
+                "iteration {iteration}"
+            );
+            let mut seen = events.lock().clone();
+            // Wall-clock durations inside events vary; normalise them.
+            for e in seen.iter_mut() {
+                match e {
+                    ProgressEvent::Finished { duration, .. } => *duration = Duration::ZERO,
+                    ProgressEvent::RunFinished {
+                        elapsed,
+                        virtual_elapsed,
+                        ..
+                    } => {
+                        *elapsed = Duration::ZERO;
+                        *virtual_elapsed = Duration::ZERO;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(matches!(
+                seen.first(),
+                Some(ProgressEvent::RunStarted { .. })
+            ));
+            assert!(matches!(
+                seen.last(),
+                Some(ProgressEvent::RunFinished { .. })
+            ));
+            match &reference {
+                None => reference = Some(seen),
+                Some(expected) => {
+                    assert_eq!(&seen, expected, "iteration {iteration} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_provenance_but_not_results() {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(Arc::new(ConstText("hello".into())));
+        let up = g.add_task(Arc::new(Upper));
+        g.connect(src, 0, up, 0).unwrap();
+        let a = Executor::serial().run(&g, &HashMap::new()).unwrap();
+        let mut b = Executor::parallel().run(&g, &HashMap::new()).unwrap();
+        // Attempt counts, durations, and replay provenance differ
+        // legitimately between enactments; results must not.
+        for run in b.runs.iter_mut() {
+            run.attempts += 3;
+            run.duration += Duration::from_secs(1);
+            run.replayed = true;
+        }
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_eq!(b.replay_hits(), 2);
+        // A changed output token changes the bytes.
+        let mut c = a.clone();
+        c.outputs.insert((up, 0), Token::Text("OTHER".into()));
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
     }
 }

@@ -49,6 +49,21 @@ pub enum WorkflowError {
         /// Failure message.
         message: String,
     },
+    /// The enactment orchestrator was killed by a scripted crash
+    /// (simulated process death). The run journal retains everything
+    /// appended before the kill; a fresh executor can resume from it.
+    Crashed {
+        /// Journal records durably appended before the process died.
+        appended: u64,
+    },
+    /// A journal was replayed against a workflow it does not belong to
+    /// (the structural fingerprints disagree).
+    JournalMismatch {
+        /// Fingerprint recorded in the journal's run-started record.
+        journal: u128,
+        /// Fingerprint of the graph being enacted.
+        graph: u128,
+    },
     /// A tool name was not found in the toolbox.
     UnknownTool(String),
     /// XML import failure.
@@ -82,6 +97,14 @@ impl fmt::Display for WorkflowError {
             WorkflowError::TaskFailed { task, message } => {
                 write!(f, "task {task:?} failed: {message}")
             }
+            WorkflowError::Crashed { appended } => write!(
+                f,
+                "orchestrator killed (simulated crash) after {appended} journal records; resume from the journal"
+            ),
+            WorkflowError::JournalMismatch { journal, graph } => write!(
+                f,
+                "journal belongs to a different workflow (journal fingerprint {journal:#034x}, graph {graph:#034x})"
+            ),
             WorkflowError::UnknownTool(name) => write!(f, "no tool named {name:?}"),
             WorkflowError::Xml(m) => write!(f, "taskgraph XML error: {m}"),
             WorkflowError::Ws(m) => write!(f, "web service error: {m}"),

@@ -165,6 +165,33 @@ impl TaskGraph {
         &self.cables
     }
 
+    /// A structural fingerprint of the graph: task names, tool names,
+    /// port counts, and the cable list, hashed in placement order. Two
+    /// graphs built the same way fingerprint identically; adding,
+    /// renaming, or rewiring a task changes the value. The durable
+    /// enactment journal ([`crate::journal`]) stamps this into its
+    /// run-started record so a resume against a *different* workflow is
+    /// rejected instead of replaying nonsense.
+    pub fn structure_fingerprint(&self) -> u128 {
+        let mut h = dm_wsrf::dataplane::Hasher128::new();
+        h.write(&(self.tasks.len() as u64).to_le_bytes());
+        for t in &self.tasks {
+            h.write(&(t.name.len() as u64).to_le_bytes());
+            h.write(t.name.as_bytes());
+            let tool = t.tool.name();
+            h.write(&(tool.len() as u64).to_le_bytes());
+            h.write(tool.as_bytes());
+            h.write_u8(t.tool.input_ports().len() as u8);
+            h.write_u8(t.tool.output_ports().len() as u8);
+        }
+        for c in &self.cables {
+            for v in [c.from_task, c.from_port, c.to_task, c.to_port] {
+                h.write(&(v as u64).to_le_bytes());
+            }
+        }
+        h.finish()
+    }
+
     /// Wire `from_task.out[from_port]` → `to_task.in[to_port]`,
     /// validating ids, port ranges, type compatibility, single-writer
     /// inputs, and acyclicity.

@@ -20,6 +20,13 @@
 //!   fingerprints are served from an LRU result cache without
 //!   executing (the workflow half of the content-addressed data
 //!   plane);
+//! * [`journal`] — the append-only, checksummed run-event log
+//!   (version-enveloped records, torn-tail detection, large outputs
+//!   persisted as content-addressed store references);
+//! * [`durable`] — event-sourced durable enactment on top of the
+//!   journal: an orchestrator / worker-pool split with claim/ack
+//!   redelivery, scripted crash injection, and resume-from-log
+//!   recovery that re-executes zero completed tasks;
 //! * [`wsimport`] — WSDL import: one tool per operation, invoking the
 //!   service over the simulated network with health-aware replica
 //!   failover (circuit breakers, deadlines, failing-primary demotion);
@@ -32,11 +39,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod graph;
 pub mod group;
 pub mod iterate;
+pub mod journal;
 pub mod memo;
 pub mod patterns;
 pub mod toolbox;
@@ -48,11 +57,13 @@ pub use graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::durable::DurableConfig;
     pub use crate::engine::{
         BackoffSink, ExecutionMode, ExecutionReport, Executor, ProgressEvent, RetryPolicy,
     };
     pub use crate::error::{Result, WorkflowError};
     pub use crate::graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
+    pub use crate::journal::{JournalStats, RunEvent, RunJournal};
     pub use crate::memo::MemoCache;
     pub use crate::toolbox::Toolbox;
     pub use crate::wsimport::import_wsdl;

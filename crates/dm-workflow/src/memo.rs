@@ -72,6 +72,21 @@ impl MemoCache {
         self.entries.insert(key, outputs);
     }
 
+    /// Re-seed the cache with a known result for `tool` applied to
+    /// `inputs`, without executing the tool. Used by durable replay
+    /// ([`crate::durable`]) to restore memo entries a dead process had
+    /// built, so memo hits survive crash recovery. Returns `false`
+    /// (and stores nothing) for impure tools.
+    pub fn populate(&self, tool: &dyn Tool, inputs: &[Token], outputs: Vec<Token>) -> bool {
+        match self.key_for(tool, inputs) {
+            Some(key) => {
+                self.entries.insert(key, outputs);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of cached results.
     pub fn len(&self) -> usize {
         self.entries.len()

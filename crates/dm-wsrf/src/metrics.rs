@@ -116,6 +116,28 @@ pub struct PoolSnapshot {
     pub workers: Vec<(u64, f64)>,
 }
 
+/// A snapshot of a durable-enactment run journal's counters, flattened
+/// to primitives so this crate needs no dependency on the workflow
+/// crate (the journal lives in `dm-workflow::journal`; the toolkit
+/// bridges its stats into this form).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySnapshot {
+    /// Records appended to the journal by this process.
+    pub journal_appends: u64,
+    /// Well-formed records currently decodable from the journal.
+    pub journal_records: u64,
+    /// Encoded journal size in bytes.
+    pub journal_bytes: u64,
+    /// Completed tasks restored from the journal instead of
+    /// re-executing (the recovery win).
+    pub replay_hits: u64,
+    /// Claimed tasks redelivered after a worker died before acking.
+    pub redeliveries: u64,
+    /// Torn-tail bytes dropped by checksum/envelope verification during
+    /// replay (trailing bytes of a journal cut mid-record).
+    pub torn_bytes_dropped: u64,
+}
+
 #[derive(Debug)]
 enum Metric {
     Counter(BTreeMap<LabelSet, u64>),
@@ -332,6 +354,24 @@ impl MetricsRegistry {
             self.inc_counter("faehim_pool_worker_tasks_total", &labels, *tasks);
             self.set_gauge("faehim_pool_worker_busy_seconds", &labels, *busy_seconds);
         }
+    }
+
+    /// Ingest a durable-enactment recovery snapshot
+    /// ([`RecoverySnapshot`]): journal append/size counters, replay
+    /// hits (tasks restored from the log instead of re-executing),
+    /// worker-death redeliveries, and torn-tail bytes dropped by
+    /// checksum verification.
+    pub fn ingest_recovery(&self, snap: &RecoverySnapshot) {
+        self.inc_counter("faehim_journal_appends_total", &[], snap.journal_appends);
+        self.set_gauge("faehim_journal_records", &[], snap.journal_records as f64);
+        self.set_gauge("faehim_journal_bytes", &[], snap.journal_bytes as f64);
+        self.inc_counter("faehim_replay_hits_total", &[], snap.replay_hits);
+        self.inc_counter("faehim_redeliveries_total", &[], snap.redeliveries);
+        self.inc_counter(
+            "faehim_journal_torn_bytes_total",
+            &[],
+            snap.torn_bytes_dropped,
+        );
     }
 
     /// Prometheus text exposition: `# TYPE` lines, one sample line per
@@ -705,6 +745,35 @@ mod tests {
             "faehim_pool_steals_total 17",
             "faehim_pool_worker_tasks_total{worker=\"0\"} 70",
             "faehim_pool_worker_busy_seconds{worker=\"1\"} 0.125",
+        ] {
+            assert!(text.contains(name), "missing `{name}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn recovery_snapshot_ingests_into_registry() {
+        let m = MetricsRegistry::new();
+        m.ingest_recovery(&RecoverySnapshot {
+            journal_appends: 22,
+            journal_records: 21,
+            journal_bytes: 4096,
+            replay_hits: 7,
+            redeliveries: 1,
+            torn_bytes_dropped: 13,
+        });
+        assert_eq!(m.counter_value("faehim_journal_appends_total", &[]), 22);
+        assert_eq!(m.gauge_value("faehim_journal_records", &[]), Some(21.0));
+        assert_eq!(m.gauge_value("faehim_journal_bytes", &[]), Some(4096.0));
+        assert_eq!(m.counter_value("faehim_replay_hits_total", &[]), 7);
+        assert_eq!(m.counter_value("faehim_redeliveries_total", &[]), 1);
+        assert_eq!(m.counter_value("faehim_journal_torn_bytes_total", &[]), 13);
+        // Pin the exported series names dashboards scrape.
+        let text = m.export_prometheus();
+        for name in [
+            "faehim_journal_appends_total 22",
+            "faehim_replay_hits_total 7",
+            "faehim_redeliveries_total 1",
+            "faehim_journal_torn_bytes_total 13",
         ] {
             assert!(text.contains(name), "missing `{name}` in:\n{text}");
         }

@@ -354,6 +354,104 @@ impl BreakerBoard {
     }
 }
 
+/// A scripted process death on the virtual clock: the process hosting
+/// a component (an enactment orchestrator, a worker, a container) is
+/// killed at `at` and a replacement is available again `down_for`
+/// later. Like the transport's outage windows, the death window is
+/// start-inclusive and end-exclusive: the process is down at exactly
+/// `at`, and back at exactly `at + down_for`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRestart {
+    /// Virtual instant the process dies.
+    pub at: Duration,
+    /// Downtime before a replacement process is available (zero models
+    /// an instant supervisor restart).
+    pub down_for: Duration,
+}
+
+impl CrashRestart {
+    /// A crash at `at` with an instant restart.
+    pub fn at(at: Duration) -> CrashRestart {
+        CrashRestart {
+            at,
+            down_for: Duration::ZERO,
+        }
+    }
+
+    /// `true` while the process is dead (start-inclusive,
+    /// end-exclusive).
+    pub fn is_down(&self, now: Duration) -> bool {
+        now >= self.at && now < self.at + self.down_for
+    }
+}
+
+/// A schedule of [`CrashRestart`] faults for one process, polled by the
+/// component that simulates dying. Each scheduled crash fires **once**:
+/// [`CrashScript::poll_kill`] returns `true` the first time it is
+/// consulted at or after a crash instant, and the component is expected
+/// to abandon whatever it was doing, exactly as a killed process would.
+/// A restarted replacement polling the same script does not die again
+/// at the same instant.
+#[derive(Debug, Default)]
+pub struct CrashScript {
+    crashes: Mutex<Vec<(CrashRestart, bool)>>,
+    kills: Mutex<u64>,
+}
+
+impl CrashScript {
+    /// An empty script (nothing ever dies).
+    pub fn new() -> CrashScript {
+        CrashScript::default()
+    }
+
+    /// Schedule a crash.
+    pub fn schedule(&self, crash: CrashRestart) {
+        self.crashes.lock().push((crash, false));
+    }
+
+    /// Builder form of [`CrashScript::schedule`].
+    pub fn with_crash(self, crash: CrashRestart) -> CrashScript {
+        self.schedule(crash);
+        self
+    }
+
+    /// `true` while any scheduled death window covers `now` — the
+    /// replacement process is not up yet.
+    pub fn is_down(&self, now: Duration) -> bool {
+        self.crashes.lock().iter().any(|(c, _)| c.is_down(now))
+    }
+
+    /// Consult the script at `now`. Returns `true` (once per scheduled
+    /// crash) when a crash instant has been reached: the polling
+    /// process must treat itself as killed. Crashes scheduled in the
+    /// past all fire on the first poll after them — a process cannot
+    /// skip a kill by polling rarely.
+    pub fn poll_kill(&self, now: Duration) -> bool {
+        let mut crashes = self.crashes.lock();
+        for (crash, fired) in crashes.iter_mut() {
+            if !*fired && now >= crash.at {
+                *fired = true;
+                *self.kills.lock() += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of scheduled crashes that have fired.
+    pub fn kills_fired(&self) -> u64 {
+        *self.kills.lock()
+    }
+
+    /// Re-arm every scheduled crash (for repeated experiment runs).
+    pub fn reset(&self) {
+        for (_, fired) in self.crashes.lock().iter_mut() {
+            *fired = false;
+        }
+        *self.kills.lock() = 0;
+    }
+}
+
 /// Outcome statistics for one resilient call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CallStats {
@@ -789,6 +887,57 @@ mod tests {
             stats.backoff >= Duration::from_millis(20) * stats.busy,
             "backoff not extended after shed: {stats:?}"
         );
+    }
+
+    #[test]
+    fn crash_windows_are_start_inclusive_end_exclusive() {
+        let crash = CrashRestart {
+            at: Duration::from_millis(10),
+            down_for: Duration::from_millis(5),
+        };
+        assert!(!crash.is_down(Duration::from_millis(9)));
+        assert!(crash.is_down(Duration::from_millis(10)));
+        assert!(crash.is_down(Duration::from_millis(14)));
+        assert!(!crash.is_down(Duration::from_millis(15)));
+        // Instant restart: never observed down.
+        let instant = CrashRestart::at(Duration::from_millis(3));
+        assert!(!instant.is_down(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn crash_script_kills_once_per_scheduled_crash() {
+        let script = CrashScript::new()
+            .with_crash(CrashRestart::at(Duration::from_millis(5)))
+            .with_crash(CrashRestart::at(Duration::from_millis(20)));
+        // Before the first instant nothing fires.
+        assert!(!script.poll_kill(Duration::from_millis(4)));
+        assert_eq!(script.kills_fired(), 0);
+        // At (or after) the instant the kill fires exactly once.
+        assert!(script.poll_kill(Duration::from_millis(5)));
+        assert!(!script.poll_kill(Duration::from_millis(6)));
+        assert_eq!(script.kills_fired(), 1);
+        // A rare poller cannot skip a kill: the second crash fires on
+        // the first poll after its instant, however late.
+        assert!(script.poll_kill(Duration::from_millis(500)));
+        assert!(!script.poll_kill(Duration::from_millis(501)));
+        assert_eq!(script.kills_fired(), 2);
+    }
+
+    #[test]
+    fn crash_script_downtime_and_reset() {
+        let script = CrashScript::new().with_crash(CrashRestart {
+            at: Duration::from_millis(10),
+            down_for: Duration::from_millis(10),
+        });
+        assert!(!script.is_down(Duration::from_millis(9)));
+        assert!(script.is_down(Duration::from_millis(10)));
+        assert!(script.is_down(Duration::from_millis(19)));
+        assert!(!script.is_down(Duration::from_millis(20)));
+        assert!(script.poll_kill(Duration::from_millis(12)));
+        script.reset();
+        assert_eq!(script.kills_fired(), 0);
+        // Re-armed: the same crash fires again on the next run.
+        assert!(script.poll_kill(Duration::from_millis(12)));
     }
 
     #[test]
