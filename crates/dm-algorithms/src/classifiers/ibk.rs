@@ -4,13 +4,22 @@
 //! range-normalised and compared by squared difference; nominal
 //! attributes contribute 0/1 overlap; missing values contribute the
 //! maximal difference (1), as in WEKA. Votes may be distance-weighted.
+//!
+//! The training store is **columnar**: per-attribute buffers with
+//! pre-normalised numeric values, dense nominal codes, and validity
+//! bitmaps. The distance scan accumulates per-attribute columns into a
+//! block of per-row accumulators instead of gathering one row at a
+//! time, which keeps the inner loops branch-light and cache-friendly
+//! while producing bit-identical sums (each accumulator still receives
+//! its contributions in attribute order 0..n, exactly like the old
+//! row-wise loop).
 
 use super::{check_trainable, normalize, Classifier};
 use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
 use crate::pool;
 use crate::state::{StateReader, StateWriter, Stateful};
-use dm_data::{block_ranges, Dataset, Value};
+use dm_data::{block_ranges, Bitmap, Dataset, Value};
 use std::collections::BinaryHeap;
 
 /// Minimum stored-instance count before the distance scan is
@@ -57,6 +66,79 @@ pub enum DistanceWeighting {
     Similarity,
 }
 
+/// One attribute of the columnar training store. `raw` keeps the
+/// original encoded cells (`NaN` = missing) so the wire format of
+/// [`Stateful::encode_state`] is unchanged from the row-major store.
+#[derive(Debug, Clone)]
+struct StoreColumn {
+    raw: Vec<f64>,
+    valid: Bitmap,
+    kind: StoreKind,
+}
+
+#[derive(Debug, Clone)]
+enum StoreKind {
+    /// Numeric attribute with a usable range: values pre-normalised
+    /// with the same `((v - min) / (max - min)).clamp(0.0, 1.0)`
+    /// expression the scan applies to queries (missing cells hold 0.0).
+    Numeric { norm: Vec<f64> },
+    /// Nominal attribute: dense codes (missing cells hold 0).
+    Nominal { codes: Vec<u32> },
+    /// String attributes, degenerate-range numerics, and the class
+    /// column: only missingness contributes to distance.
+    Inert,
+}
+
+impl StoreColumn {
+    fn push(&mut self, v: f64, range: Option<(f64, f64)>) {
+        let missing = Value::is_missing(v);
+        self.raw.push(if missing { Value::MISSING } else { v });
+        self.valid.push(!missing);
+        match &mut self.kind {
+            StoreKind::Numeric { norm } => {
+                let (min, max) = range.expect("numeric store column has a range");
+                norm.push(if missing {
+                    0.0
+                } else {
+                    ((v - min) / (max - min)).clamp(0.0, 1.0)
+                });
+            }
+            StoreKind::Nominal { codes } => {
+                codes.push(if missing {
+                    0
+                } else {
+                    Value::as_index(v) as u32
+                });
+            }
+            StoreKind::Inert => {}
+        }
+    }
+}
+
+/// The per-query scan plan for one attribute: what the query holds
+/// there, pre-resolved so the block scan never re-inspects the query.
+enum AttrPlan<'a> {
+    /// The class attribute — skipped entirely.
+    Skip,
+    /// Query missing here: every stored row contributes 1.0.
+    AllOnes,
+    /// Numeric attribute, query present: pre-normalised query value
+    /// against the pre-normalised stored column.
+    Numeric {
+        nq: f64,
+        norm: &'a [f64],
+        valid: &'a Bitmap,
+    },
+    /// Nominal attribute, query present: 0/1 overlap against codes.
+    Nominal {
+        qc: u32,
+        codes: &'a [u32],
+        valid: &'a Bitmap,
+    },
+    /// Inert attribute, query present: only stored-missing rows add 1.0.
+    Inert { valid: &'a Bitmap },
+}
+
 /// The k-nearest-neighbour classifier.
 #[derive(Debug, Clone)]
 pub struct IBk {
@@ -64,8 +146,10 @@ pub struct IBk {
     k: usize,
     /// `-I` / `-F`: distance weighting.
     weighting: DistanceWeighting,
-    // Training store: the instance-based model *is* the data.
-    rows: Vec<Vec<f64>>,
+    // Training store: the instance-based model *is* the data, held as
+    // per-attribute columns.
+    store: Vec<StoreColumn>,
+    n_stored: usize,
     classes: Vec<usize>,
     ranges: Vec<Option<(f64, f64)>>,
     nominal: Vec<bool>,
@@ -79,7 +163,8 @@ impl Default for IBk {
         IBk {
             k: 1,
             weighting: DistanceWeighting::None,
-            rows: Vec::new(),
+            store: Vec::new(),
+            n_stored: 0,
             classes: Vec::new(),
             ranges: Vec::new(),
             nominal: Vec::new(),
@@ -104,50 +189,152 @@ impl IBk {
         }
     }
 
-    fn distance(&self, query: &[f64], stored: &[f64]) -> f64 {
-        let mut d = 0.0;
-        for a in 0..stored.len() {
-            if a == self.class_index {
-                continue;
-            }
-            let (q, s) = (query[a], stored[a]);
-            let diff = if Value::is_missing(q) || Value::is_missing(s) {
-                1.0
-            } else if self.nominal[a] {
-                if Value::as_index(q) == Value::as_index(s) {
-                    0.0
+    /// Empty store columns for the current `ranges`/`nominal` metadata.
+    fn empty_store(&self) -> Vec<StoreColumn> {
+        (0..self.nominal.len())
+            .map(|a| {
+                let kind = if self.nominal[a] {
+                    StoreKind::Nominal { codes: Vec::new() }
+                } else if matches!(self.ranges[a], Some((min, max)) if max > min) {
+                    StoreKind::Numeric { norm: Vec::new() }
                 } else {
-                    1.0
+                    StoreKind::Inert
+                };
+                StoreColumn {
+                    raw: Vec::new(),
+                    valid: Bitmap::new(),
+                    kind,
                 }
-            } else {
-                match self.ranges[a] {
-                    Some((min, max)) if max > min => {
-                        let nq = ((q - min) / (max - min)).clamp(0.0, 1.0);
-                        let ns = ((s - min) / (max - min)).clamp(0.0, 1.0);
-                        nq - ns
-                    }
-                    _ => 0.0,
-                }
-            };
-            d += diff * diff;
-        }
-        d.sqrt()
+            })
+            .collect()
     }
 
-    /// The `kk` nearest stored rows to `query` within `range`, via a
-    /// bounded max-heap: O(len log kk) instead of sorting the block.
+    /// Append one encoded row to the columnar store.
+    fn store_row(&mut self, row: &[f64]) {
+        for (a, &v) in row.iter().enumerate() {
+            let range = self.ranges[a];
+            self.store[a].push(v, range);
+        }
+        self.n_stored += 1;
+    }
+
+    /// Gather stored row `idx` back to its encoded form (`NaN` =
+    /// missing) — the state-encoding and test-reference path.
+    fn stored_row(&self, idx: usize) -> Vec<f64> {
+        self.store.iter().map(|col| col.raw[idx]).collect()
+    }
+
+    /// Build the per-attribute scan plan for one query row.
+    fn plan<'a>(&'a self, query: &[f64]) -> Vec<AttrPlan<'a>> {
+        query
+            .iter()
+            .enumerate()
+            .map(|(a, &q)| {
+                if a == self.class_index {
+                    return AttrPlan::Skip;
+                }
+                if Value::is_missing(q) {
+                    return AttrPlan::AllOnes;
+                }
+                let col = &self.store[a];
+                match &col.kind {
+                    StoreKind::Numeric { norm } => {
+                        let (min, max) = self.ranges[a].expect("numeric column has range");
+                        AttrPlan::Numeric {
+                            nq: ((q - min) / (max - min)).clamp(0.0, 1.0),
+                            norm,
+                            valid: &col.valid,
+                        }
+                    }
+                    StoreKind::Nominal { codes } => AttrPlan::Nominal {
+                        qc: Value::as_index(q) as u32,
+                        codes,
+                        valid: &col.valid,
+                    },
+                    StoreKind::Inert => AttrPlan::Inert { valid: &col.valid },
+                }
+            })
+            .collect()
+    }
+
+    /// Vectorized distance scan: accumulate squared diffs column by
+    /// column into per-row accumulators for `range`, then take square
+    /// roots. Each accumulator receives its contributions in attribute
+    /// order, so the per-row sums are bit-identical to the old
+    /// row-at-a-time gather (skipped zero contributions add exactly
+    /// `0.0` and are elided).
+    fn scan_block(&self, plan: &[AttrPlan<'_>], range: std::ops::Range<usize>) -> Vec<f64> {
+        let start = range.start;
+        let mut acc = vec![0.0f64; range.len()];
+        for ap in plan {
+            match ap {
+                AttrPlan::Skip => {}
+                AttrPlan::AllOnes => {
+                    for d in acc.iter_mut() {
+                        *d += 1.0;
+                    }
+                }
+                AttrPlan::Numeric { nq, norm, valid } => {
+                    let col = &norm[range.clone()];
+                    if valid.all_valid() {
+                        for (d, &ns) in acc.iter_mut().zip(col) {
+                            let diff = nq - ns;
+                            *d += diff * diff;
+                        }
+                    } else {
+                        for (i, (d, &ns)) in acc.iter_mut().zip(col).enumerate() {
+                            if valid.get(start + i) {
+                                let diff = nq - ns;
+                                *d += diff * diff;
+                            } else {
+                                *d += 1.0;
+                            }
+                        }
+                    }
+                }
+                AttrPlan::Nominal { qc, codes, valid } => {
+                    let col = &codes[range.clone()];
+                    if valid.all_valid() {
+                        for (d, &c) in acc.iter_mut().zip(col) {
+                            *d += f64::from(c != *qc);
+                        }
+                    } else {
+                        for (i, (d, &c)) in acc.iter_mut().zip(col).enumerate() {
+                            *d += f64::from(!valid.get(start + i) || c != *qc);
+                        }
+                    }
+                }
+                AttrPlan::Inert { valid } => {
+                    if !valid.all_valid() {
+                        for (i, d) in acc.iter_mut().enumerate() {
+                            if !valid.get(start + i) {
+                                *d += 1.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for d in acc.iter_mut() {
+            *d = d.sqrt();
+        }
+        acc
+    }
+
+    /// The `kk` nearest stored rows to the planned query within
+    /// `range`: one columnar scan for the distances, then a bounded
+    /// max-heap (O(len log kk)) over `(distance, index)`.
     fn k_nearest_in_block(
         &self,
-        query: &[f64],
+        plan: &[AttrPlan<'_>],
         range: std::ops::Range<usize>,
         kk: usize,
     ) -> Vec<Neighbour> {
+        let start = range.start;
+        let distances = self.scan_block(plan, range);
         let mut heap: BinaryHeap<Neighbour> = BinaryHeap::with_capacity(kk + 1);
-        for idx in range {
-            let cand = Neighbour {
-                d: self.distance(query, &self.rows[idx]),
-                idx,
-            };
+        for (i, &d) in distances.iter().enumerate() {
+            let cand = Neighbour { d, idx: start + i };
             if heap.len() < kk {
                 heap.push(cand);
             } else if cand < *heap.peek().expect("kk >= 1") {
@@ -164,22 +351,38 @@ impl IBk {
     /// therefore the vote) is identical for any partitioning, including
     /// the serial single-block scan.
     fn k_nearest(&self, query: &[f64], kk: usize) -> Vec<Neighbour> {
-        let n = self.rows.len();
+        let n = self.n_stored;
+        let plan = self.plan(query);
         let threads = pool::current_threads();
         let mut candidates = if n >= MIN_PARALLEL_ROWS && threads > 1 {
             let blocks = block_ranges(n, threads);
             pool::parallel_map(blocks.len(), |b| {
-                self.k_nearest_in_block(query, blocks[b].clone(), kk)
+                self.k_nearest_in_block(&plan, blocks[b].clone(), kk)
             })
             .into_iter()
             .flatten()
             .collect::<Vec<Neighbour>>()
         } else {
-            self.k_nearest_in_block(query, 0..n, kk)
+            self.k_nearest_in_block(&plan, 0..n, kk)
         };
         candidates.sort_unstable();
         candidates.truncate(kk);
         candidates
+    }
+
+    /// Vote over a sorted neighbour set.
+    fn vote(&self, neighbours: &[Neighbour]) -> Vec<f64> {
+        let mut dist = vec![0.0; self.num_classes];
+        for nb in neighbours {
+            let w = match self.weighting {
+                DistanceWeighting::None => 1.0,
+                DistanceWeighting::Inverse => 1.0 / (nb.d + 1e-9),
+                DistanceWeighting::Similarity => (1.0 - nb.d).max(0.0),
+            };
+            dist[self.classes[nb.idx]] += w;
+        }
+        normalize(&mut dist);
+        dist
     }
 }
 
@@ -200,27 +403,31 @@ impl Classifier for IBk {
                 }
                 let mut min = f64::INFINITY;
                 let mut max = f64::NEG_INFINITY;
-                for r in 0..data.num_instances() {
-                    let v = data.value(r, a);
-                    if !Value::is_missing(v) {
-                        min = min.min(v);
-                        max = max.max(v);
+                if let Some((values, valid)) = data.column(a).numeric() {
+                    for (r, &v) in values.iter().enumerate() {
+                        if valid.get(r) {
+                            min = min.min(v);
+                            max = max.max(v);
+                        }
                     }
                 }
                 (min <= max).then_some((min, max))
             })
             .collect();
-        self.rows.clear();
+        self.store = self.empty_store();
+        self.n_stored = 0;
         self.classes.clear();
+        let class_col = data.column(ci);
+        let mut scratch = Vec::with_capacity(data.num_attributes());
         for r in 0..data.num_instances() {
-            let cv = data.value(r, ci);
-            if Value::is_missing(cv) {
+            let Some(cv) = class_col.index_at(r) else {
                 continue;
-            }
-            self.rows.push(data.row(r).to_vec());
-            self.classes.push(Value::as_index(cv));
+            };
+            data.copy_row_into(r, &mut scratch);
+            self.store_row(&scratch);
+            self.classes.push(cv);
         }
-        if self.rows.is_empty() {
+        if self.n_stored == 0 {
             return Err(AlgoError::Unsupported(
                 "no instances with a class value".into(),
             ));
@@ -233,23 +440,13 @@ impl Classifier for IBk {
         if !self.trained {
             return Err(AlgoError::NotTrained);
         }
-        let query = data.row(row);
-        let kk = self.k.min(self.rows.len());
+        let query = data.row_values(row);
+        let kk = self.k.min(self.n_stored);
         // Bounded k-selection (O(n log k)), then votes accumulated in
         // (distance, index) order — the same order serial and pooled
         // scans produce, so the distribution is byte-identical.
-        let neighbours = self.k_nearest(query, kk);
-        let mut dist = vec![0.0; self.num_classes];
-        for nb in neighbours {
-            let w = match self.weighting {
-                DistanceWeighting::None => 1.0,
-                DistanceWeighting::Inverse => 1.0 / (nb.d + 1e-9),
-                DistanceWeighting::Similarity => (1.0 - nb.d).max(0.0),
-            };
-            dist[self.classes[nb.idx]] += w;
-        }
-        normalize(&mut dist);
-        Ok(dist)
+        let neighbours = self.k_nearest(&query, kk);
+        Ok(self.vote(&neighbours))
     }
 
     fn describe(&self) -> String {
@@ -258,9 +455,7 @@ impl Classifier for IBk {
         }
         format!(
             "IB{} instance-based classifier ({} stored instances, weighting {:?})",
-            self.k,
-            self.rows.len(),
-            self.weighting
+            self.k, self.n_stored, self.weighting
         )
     }
 }
@@ -339,9 +534,11 @@ impl Stateful for IBk {
         if self.trained {
             w.put_usize(self.class_index);
             w.put_usize(self.num_classes);
-            w.put_usize(self.rows.len());
-            for row in &self.rows {
-                w.put_f64_slice(row);
+            // Rows travel in their encoded row-major form: the wire
+            // format predates the columnar store and stays stable.
+            w.put_usize(self.n_stored);
+            for idx in 0..self.n_stored {
+                w.put_f64_slice(&self.stored_row(idx));
             }
             w.put_usize_slice(&self.classes);
             w.put_usize(self.ranges.len());
@@ -377,7 +574,7 @@ impl Stateful for IBk {
             self.class_index = r.get_usize()?;
             self.num_classes = r.get_usize()?;
             let n = r.get_usize()?;
-            self.rows = (0..n.min(1 << 24))
+            let rows: Vec<Vec<f64>> = (0..n.min(1 << 24))
                 .map(|_| r.get_f64_vec())
                 .collect::<Result<_>>()?;
             self.classes = r.get_usize_vec()?;
@@ -395,6 +592,19 @@ impl Stateful for IBk {
             self.nominal = (0..nn.min(1 << 16))
                 .map(|_| r.get_bool())
                 .collect::<Result<_>>()?;
+            // Rebuild the columnar store from the wire rows.
+            self.store = self.empty_store();
+            self.n_stored = 0;
+            for row in &rows {
+                if row.len() != self.nominal.len() {
+                    return Err(AlgoError::BadState(format!(
+                        "stored row has {} cells, header expects {}",
+                        row.len(),
+                        self.nominal.len()
+                    )));
+                }
+                self.store_row(row);
+            }
         }
         Ok(())
     }
@@ -459,8 +669,11 @@ mod tests {
         let ds = separable_numeric(10);
         let mut c = IBk::with_k(3);
         c.train(&ds).unwrap();
+        let bytes = c.encode_state();
         let mut c2 = IBk::new();
-        c2.decode_state(&c.encode_state()).unwrap();
+        c2.decode_state(&bytes).unwrap();
+        // The rebuilt columnar store re-encodes to the same bytes.
+        assert_eq!(bytes, c2.encode_state());
         for r in 0..ds.num_instances() {
             assert_eq!(c.predict(&ds, r).unwrap(), c2.predict(&ds, r).unwrap());
         }
@@ -472,17 +685,64 @@ mod tests {
         assert!(IBk::new().distribution(&ds, 0).is_err());
     }
 
+    /// Scalar row-at-a-time reference distance — the pre-columnar
+    /// kernel, kept verbatim so the vectorized scan is pinned to it.
+    fn reference_distance(c: &IBk, query: &[f64], stored: &[f64]) -> f64 {
+        let mut d = 0.0;
+        for a in 0..stored.len() {
+            if a == c.class_index {
+                continue;
+            }
+            let (q, s) = (query[a], stored[a]);
+            let diff = if Value::is_missing(q) || Value::is_missing(s) {
+                1.0
+            } else if c.nominal[a] {
+                if Value::as_index(q) == Value::as_index(s) {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                match c.ranges[a] {
+                    Some((min, max)) if max > min => {
+                        let nq = ((q - min) / (max - min)).clamp(0.0, 1.0);
+                        let ns = ((s - min) / (max - min)).clamp(0.0, 1.0);
+                        nq - ns
+                    }
+                    _ => 0.0,
+                }
+            };
+            d += diff * diff;
+        }
+        d.sqrt()
+    }
+
     /// Reference k-selection: full stable sort by `(distance, index)`.
     fn full_sort_k_nearest(c: &IBk, query: &[f64], kk: usize) -> Vec<(f64, usize)> {
-        let mut all: Vec<(f64, usize)> = c
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, stored)| (c.distance(query, stored), i))
+        let mut all: Vec<(f64, usize)> = (0..c.n_stored)
+            .map(|i| (reference_distance(c, query, &c.stored_row(i)), i))
             .collect();
         all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         all.truncate(kk);
         all
+    }
+
+    #[test]
+    fn columnar_scan_bitwise_matches_row_reference() {
+        // The columnar accumulation must reproduce the old row-wise
+        // distance bit for bit, missing values and all.
+        let ds = dm_data::corpus::breast_cancer();
+        let mut c = IBk::new();
+        c.train(&ds).unwrap();
+        for r in (0..ds.num_instances()).step_by(13) {
+            let query = ds.row_values(r);
+            let plan = c.plan(&query);
+            let scanned = c.scan_block(&plan, 0..c.n_stored);
+            for (i, &d) in scanned.iter().enumerate() {
+                let want = reference_distance(&c, &query, &c.stored_row(i));
+                assert_eq!(d.to_bits(), want.to_bits(), "query {r} stored {i}");
+            }
+        }
     }
 
     #[test]
@@ -491,15 +751,15 @@ mod tests {
         for k in [1usize, 3, 7, 25] {
             let mut c = IBk::with_k(k);
             c.train(&ds).unwrap();
-            let kk = k.min(c.rows.len());
+            let kk = k.min(c.n_stored);
             for r in (0..ds.num_instances()).step_by(29) {
-                let query = ds.row(r);
+                let query = ds.row_values(r);
                 let heap: Vec<(f64, usize)> = c
-                    .k_nearest(query, kk)
+                    .k_nearest(&query, kk)
                     .into_iter()
                     .map(|nb| (nb.d, nb.idx))
                     .collect();
-                assert_eq!(heap, full_sort_k_nearest(&c, query, kk), "k={k} row={r}");
+                assert_eq!(heap, full_sort_k_nearest(&c, &query, kk), "k={k} row={r}");
             }
         }
     }
@@ -514,8 +774,8 @@ mod tests {
         let ci = ds.class_index().unwrap();
         let mut correct = 0usize;
         for r in 0..ds.num_instances() {
-            let kk = 5.min(c.rows.len());
-            let reference = full_sort_k_nearest(&c, ds.row(r), kk);
+            let kk = 5.min(c.n_stored);
+            let reference = full_sort_k_nearest(&c, &ds.row_values(r), kk);
             let mut dist = vec![0.0; c.num_classes];
             for &(_, i) in &reference {
                 dist[c.classes[i]] += 1.0;

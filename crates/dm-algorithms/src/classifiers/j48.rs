@@ -168,10 +168,12 @@ impl J48 {
 
     fn class_counts(data: &Dataset, items: &[(usize, f64)], ci: usize, k: usize) -> Vec<f64> {
         let mut counts = vec![0.0; k];
+        // Hoist the class column view out of the item loop: one match
+        // on the storage kind per call instead of per cell.
+        let ccol = data.column(ci);
         for &(r, w) in items {
-            let cv = data.value(r, ci);
-            if !Value::is_missing(cv) {
-                counts[Value::as_index(cv)] += w;
+            if let Some(c) = ccol.index_at(r) {
+                counts[c] += w;
             }
         }
         counts
@@ -193,18 +195,21 @@ impl J48 {
         let mut branch = vec![vec![0.0f64; k]; arity];
         let mut missing_w = 0.0;
         let mut total_w = 0.0;
+        // Contingency counting over hoisted column views: the per-cell
+        // work is a code load plus a validity bit probe.
+        let acol = data.column(a);
+        let ccol = data.column(ci);
         for &(r, w) in items {
             total_w += w;
-            let v = data.value(r, a);
-            let cv = data.value(r, ci);
-            if Value::is_missing(v) {
-                missing_w += w;
-            } else if !Value::is_missing(cv) {
-                branch[Value::as_index(v)][Value::as_index(cv)] += w;
-            } else {
-                // Present attribute but missing class: counts toward
-                // branch weights only.
-                branch[Value::as_index(v)][0] += 0.0;
+            match acol.index_at(r) {
+                None => missing_w += w,
+                Some(vi) => {
+                    if let Some(c) = ccol.index_at(r) {
+                        branch[vi][c] += w;
+                    }
+                    // Present attribute but missing class contributes
+                    // nothing to the table (the old code added 0.0).
+                }
             }
         }
         let branch_weights: Vec<f64> = branch.iter().map(|b| b.iter().sum()).collect();
@@ -265,17 +270,16 @@ impl J48 {
         let mut pairs: Vec<(f64, usize, f64)> = Vec::new();
         let mut missing_w = 0.0;
         let mut total_w = 0.0;
+        let acol = data.column(a);
+        let ccol = data.column(ci);
         for &(r, w) in items {
             total_w += w;
-            let v = data.value(r, a);
-            let cv = data.value(r, ci);
-            if Value::is_missing(v) || Value::is_missing(cv) {
-                if Value::is_missing(v) {
-                    missing_w += w;
-                }
+            if acol.is_missing(r) {
+                missing_w += w;
                 continue;
             }
-            pairs.push((v, Value::as_index(cv), w));
+            let Some(c) = ccol.index_at(r) else { continue };
+            pairs.push((acol.get(r), c, w));
         }
         if pairs.len() < 2 {
             return None;

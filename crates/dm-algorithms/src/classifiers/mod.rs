@@ -47,6 +47,10 @@ use dm_data::Dataset;
 /// the per-member work is too small to pay batch setup.
 pub(crate) const MIN_PARALLEL_MEMBERS: usize = 16;
 
+/// Minimum batch size before [`Classifier::predict_batch`] fans rows
+/// out on the compute pool; smaller batches score inline.
+pub(crate) const MIN_PARALLEL_SCORE: usize = 256;
+
 /// A trainable classification algorithm.
 ///
 /// `Sync` is a supertrait so trained models can be scored from several
@@ -68,6 +72,19 @@ pub trait Classifier: Configurable + Stateful + Send + Sync {
     fn predict(&self, data: &Dataset, row: usize) -> Result<usize> {
         let dist = self.distribution(data, row)?;
         argmax(&dist).ok_or(AlgoError::NotTrained)
+    }
+
+    /// Predicted class index for every row of `data`, fanning the
+    /// per-row scoring out on the compute pool (the batched
+    /// `classifyInstances` path). Deterministic: the result is the
+    /// concatenation of per-row [`Classifier::predict`] calls
+    /// regardless of pool width.
+    fn predict_batch(&self, data: &Dataset) -> Result<Vec<usize>> {
+        let results =
+            crate::pool::parallel_map_min(data.num_instances(), MIN_PARALLEL_SCORE, |row| {
+                self.predict(data, row)
+            });
+        results.into_iter().collect()
     }
 
     /// Human-readable model description (the paper's "textual output").

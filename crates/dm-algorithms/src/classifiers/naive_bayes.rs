@@ -107,6 +107,63 @@ impl NaiveBayes {
         }
     }
 
+    /// Columnar absorption: one pass per attribute over its contiguous
+    /// buffer instead of a per-row gather. Every scalar accumulator
+    /// (prior, count cell, Gaussian sum) still receives its
+    /// contributions in row order, so the sufficient statistics are
+    /// bit-identical to row-at-a-time [`NaiveBayes::absorb_row`].
+    fn absorb_columnar(&mut self, data: &Dataset) {
+        let n = data.num_instances();
+        let k = self.priors.len();
+        let class_col = data.column(self.class_index);
+        // Per-row class code with the same guards absorb_row applies
+        // (missing class or out-of-range code → row contributes nothing).
+        let cls: Vec<Option<u32>> = (0..n)
+            .map(|r| class_col.index_at(r).filter(|&c| c < k).map(|c| c as u32))
+            .collect();
+        for (r, c) in cls.iter().enumerate() {
+            if let Some(c) = c {
+                self.priors[*c as usize] += data.weight(r);
+            }
+        }
+        for (a, model) in self.models.iter_mut().enumerate() {
+            match model {
+                AttrModel::Nominal(table) => {
+                    let Some((codes, valid)) = data.column(a).nominal() else {
+                        continue;
+                    };
+                    for (r, c) in cls.iter().enumerate() {
+                        let Some(c) = c else { continue };
+                        if valid.get(r) {
+                            let vi = codes.get(r);
+                            let row_counts = &mut table[*c as usize];
+                            if vi < row_counts.len() {
+                                row_counts[vi] += data.weight(r);
+                            }
+                        }
+                    }
+                }
+                AttrModel::Gaussian(acc) => {
+                    let Some((values, valid)) = data.column(a).numeric() else {
+                        continue;
+                    };
+                    for (r, c) in cls.iter().enumerate() {
+                        let Some(c) = c else { continue };
+                        if valid.get(r) {
+                            let v = values[r];
+                            let weight = data.weight(r);
+                            let e = &mut acc[*c as usize];
+                            e.0 += weight * v;
+                            e.1 += weight * v * v;
+                            e.2 += weight;
+                        }
+                    }
+                }
+                AttrModel::Skip => {}
+            }
+        }
+    }
+
     /// Incrementally absorb more instances (header must match the
     /// dataset used to initialise training).
     pub fn partial_train(&mut self, data: &Dataset) -> Result<()> {
@@ -119,9 +176,7 @@ impl NaiveBayes {
                 expected: self.models.len(),
             }));
         }
-        for r in 0..data.num_instances() {
-            self.absorb_row(data.row(r), data.weight(r));
-        }
+        self.absorb_columnar(data);
         Ok(())
     }
 
@@ -156,9 +211,7 @@ impl Classifier for NaiveBayes {
 
     fn train(&mut self, data: &Dataset) -> Result<()> {
         self.init(data)?;
-        for r in 0..data.num_instances() {
-            self.absorb_row(data.row(r), data.weight(r));
-        }
+        self.absorb_columnar(data);
         Ok(())
     }
 

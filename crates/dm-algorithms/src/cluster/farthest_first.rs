@@ -107,7 +107,7 @@ impl Clusterer for FarthestFirst {
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let first = rng.random_range(0..n);
-        self.centers = vec![data.row(first).to_vec()];
+        self.centers = vec![data.row_values(first)];
         let mut min_dist: Vec<f64> = (0..n)
             .map(|r| self.distance_to_center(data, r, &self.centers[0]))
             .collect();
@@ -118,7 +118,7 @@ impl Clusterer for FarthestFirst {
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
                 .expect("n >= 1");
-            self.centers.push(data.row(far).to_vec());
+            self.centers.push(data.row_values(far));
             let newest = self.centers.last().expect("just pushed").clone();
             for (r, md) in min_dist.iter_mut().enumerate() {
                 let d = self.distance_to_center(data, r, &newest);

@@ -6,13 +6,65 @@ use crate::error::{AlgoError, Result};
 use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
 use crate::pool;
 use crate::state::{StateReader, StateWriter, Stateful};
-use dm_data::{Dataset, Value};
+use dm_data::{block_ranges, Bitmap, CodesView, Dataset, Value};
 
 /// Minimum row count before the assignment step fans out on the pool.
 const MIN_PARALLEL_ASSIGN: usize = 512;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+
+/// A columnar projection of the dataset into the distance space:
+/// numeric attributes pre-normalised (same `norm` expression the
+/// scalar path applies per cell), nominal codes and validity bitmaps
+/// borrowed zero-copy from the dataset. Built once per assignment
+/// sweep and shared by every Lloyd iteration's scan.
+enum ProjCol<'a> {
+    /// Class or string attribute — contributes nothing.
+    Skip,
+    /// Numeric attribute: pre-normalised values (0.0 at missing cells —
+    /// also the value `norm` yields for degenerate ranges).
+    Numeric { norm: Vec<f64>, valid: &'a Bitmap },
+    /// Nominal attribute: dense codes, borrowed.
+    Nominal {
+        codes: CodesView<'a>,
+        valid: &'a Bitmap,
+    },
+}
+
+struct Projection<'a> {
+    cols: Vec<ProjCol<'a>>,
+}
+
+impl<'a> Projection<'a> {
+    /// Build the projection, or `None` when the fitted space disagrees
+    /// with the dataset header (then the caller falls back to the
+    /// scalar per-row path, which reproduces the legacy behaviour for
+    /// mismatched state exactly).
+    fn build(space: &DistanceSpace, data: &'a Dataset) -> Option<Projection<'a>> {
+        if space.skip.len() != data.num_attributes() {
+            return None;
+        }
+        let mut cols = Vec::with_capacity(space.skip.len());
+        for a in 0..space.skip.len() {
+            if space.skip[a] {
+                cols.push(ProjCol::Skip);
+            } else if space.nominal[a] {
+                let (codes, valid) = data.column(a).nominal()?;
+                cols.push(ProjCol::Nominal { codes, valid });
+            } else {
+                let (values, valid) = data.column(a).numeric()?;
+                let norm = values
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &v)| if valid.get(r) { space.norm(a, v) } else { 0.0 })
+                    .collect();
+                cols.push(ProjCol::Numeric { norm, valid });
+            }
+        }
+        Some(Projection { cols })
+    }
+}
 
 /// The k-means clusterer.
 #[derive(Debug, Clone)]
@@ -72,11 +124,103 @@ impl KMeans {
         Ok(self.assign_all(data))
     }
 
-    /// The Lloyd assignment step: nearest centroid per row.
+    /// The Lloyd assignment step: nearest centroid per row, via the
+    /// vectorized columnar scan (falling back to the scalar per-row
+    /// path when the fitted space does not match the dataset header).
     fn assign_all(&self, data: &Dataset) -> Vec<usize> {
-        pool::parallel_map_min(data.num_instances(), MIN_PARALLEL_ASSIGN, |r| {
-            self.nearest(data, r)
-        })
+        let n = data.num_instances();
+        let Some(proj) = Projection::build(&self.space, data) else {
+            return pool::parallel_map_min(n, MIN_PARALLEL_ASSIGN, |r| self.nearest(data, r));
+        };
+        let threads = pool::current_threads();
+        if n >= MIN_PARALLEL_ASSIGN && threads > 1 {
+            let blocks = block_ranges(n, threads);
+            pool::parallel_map(blocks.len(), |b| {
+                self.assign_block(&proj, blocks[b].clone())
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.assign_block(&proj, 0..n)
+        }
+    }
+
+    /// Columnar assignment for one contiguous row block: for each
+    /// centroid, accumulate squared diffs attribute by attribute into
+    /// per-row accumulators, take the square root, and fold a strict-<
+    /// argmin in centroid order. Per row this performs the exact FP
+    /// operation sequence of `DistanceSpace::distance_to_centroid`
+    /// followed by `nearest`'s comparison, so assignments are
+    /// bit-identical to the scalar path (square roots are compared, not
+    /// squared distances — distinct d² can round to equal √d², which
+    /// would otherwise flip first-wins ties).
+    fn assign_block(&self, proj: &Projection<'_>, range: std::ops::Range<usize>) -> Vec<usize> {
+        let start = range.start;
+        let len = range.len();
+        let mut best = vec![0usize; len];
+        let mut best_d = vec![f64::INFINITY; len];
+        let mut dist = vec![0.0f64; len];
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            dist.iter_mut().for_each(|d| *d = 0.0);
+            for (a, &cv) in centroid.iter().enumerate() {
+                match &proj.cols[a] {
+                    ProjCol::Skip => {}
+                    ProjCol::Numeric { norm, valid } => {
+                        if Value::is_missing(cv) {
+                            for d in dist.iter_mut() {
+                                *d += 1.0;
+                            }
+                        } else {
+                            let col = &norm[range.clone()];
+                            if valid.all_valid() {
+                                for (d, &nv) in dist.iter_mut().zip(col) {
+                                    let diff = nv - cv;
+                                    *d += diff * diff;
+                                }
+                            } else {
+                                for (i, (d, &nv)) in dist.iter_mut().zip(col).enumerate() {
+                                    if valid.get(start + i) {
+                                        let diff = nv - cv;
+                                        *d += diff * diff;
+                                    } else {
+                                        *d += 1.0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ProjCol::Nominal { codes, valid } => {
+                        if Value::is_missing(cv) {
+                            for d in dist.iter_mut() {
+                                *d += 1.0;
+                            }
+                        } else {
+                            let cc = Value::as_index(cv);
+                            if valid.all_valid() {
+                                for (i, d) in dist.iter_mut().enumerate() {
+                                    *d += f64::from(codes.get(start + i) != cc);
+                                }
+                            } else {
+                                for (i, d) in dist.iter_mut().enumerate() {
+                                    *d += f64::from(
+                                        !valid.get(start + i) || codes.get(start + i) != cc,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (i, d) in dist.iter().enumerate() {
+                let d = d.sqrt();
+                if d < best_d[i] {
+                    best_d[i] = d;
+                    best[i] = c;
+                }
+            }
+        }
+        best
     }
 
     fn nearest(&self, data: &Dataset, row: usize) -> usize {
@@ -425,6 +569,32 @@ mod tests {
         let ds = three_blobs();
         assert!(KMeans::new().cluster_instance(&ds, 0).is_err());
         assert!(KMeans::new().num_clusters().is_err());
+    }
+
+    #[test]
+    fn columnar_assignment_matches_scalar_nearest() {
+        // The vectorized block scan must agree with the per-row scalar
+        // argmin on mixed nominal data with missing cells, at every
+        // pool width, including the pooled large-n path.
+        let base = dm_data::corpus::breast_cancer();
+        let mut km = KMeans::with_k(4);
+        km.build(&base).unwrap();
+        let scalar: Vec<usize> = (0..base.num_instances())
+            .map(|r| km.nearest(&base, r))
+            .collect();
+        assert_eq!(km.assignments(&base).unwrap(), scalar);
+        // Duplicate rows past MIN_PARALLEL_ASSIGN to force block fan-out.
+        let rows: Vec<usize> = (0..MIN_PARALLEL_ASSIGN + 37)
+            .map(|i| i % base.num_instances())
+            .collect();
+        let big = base.select_rows(&rows);
+        let scalar_big: Vec<usize> = (0..big.num_instances())
+            .map(|r| km.nearest(&big, r))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let pooled = crate::pool::with_threads(threads, || km.assignments(&big).unwrap());
+            assert_eq!(pooled, scalar_big, "threads={threads}");
+        }
     }
 
     #[test]

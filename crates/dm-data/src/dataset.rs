@@ -1,10 +1,14 @@
 //! The core data model: [`Dataset`] (WEKA `Instances` equivalent),
-//! [`Instance`] row views, and [`Value`] encoding helpers.
+//! [`Instance`] row views, [`Value`] encoding helpers, and the
+//! zero-copy [`BlockView`] scan windows over the columnar store.
 
 use crate::attribute::{Attribute, AttributeKind};
+use crate::column::{Column, ColumnView};
 use crate::error::{DataError, Result};
 
-/// Helpers for the dense `f64` value encoding used by [`Dataset`].
+/// Helpers for the `f64` value encoding used at the [`Dataset`] API
+/// boundary (rows enter and leave as encoded `f64` cells even though
+/// storage is columnar).
 ///
 /// * numeric attributes store their value directly;
 /// * nominal attributes store the label's domain index as `f64`;
@@ -57,7 +61,7 @@ impl<'a> Instance<'a> {
     /// `true` if the value at `attr` is missing.
     #[inline]
     pub fn is_missing(&self, attr: usize) -> bool {
-        Value::is_missing(self.value(attr))
+        self.dataset.is_missing(self.row, attr)
     }
 
     /// Nominal label at `attr`, or `None` if missing / not nominal.
@@ -92,16 +96,18 @@ impl<'a> Instance<'a> {
             .expect("dataset has no class attribute");
         self.value(c)
     }
-
-    /// All encoded values of this row as a slice.
-    #[inline]
-    pub fn values(&self) -> &'a [f64] {
-        self.dataset.row(self.row)
-    }
 }
 
-/// A dataset: a relation name, an attribute header, a dense row-major
-/// value matrix, per-row weights, and an optional class attribute index.
+/// A dataset: a relation name, an attribute header, per-attribute
+/// columnar value buffers with validity bitmaps, per-row weights, and
+/// an optional class attribute index.
+///
+/// Storage is columnar (see [`crate::column`]): numeric attributes are
+/// contiguous `Vec<f64>`, nominal attributes dense `u8`/`u16` codes,
+/// string attributes interned-id buffers, and missingness lives in one
+/// validity bit per cell. Rows still enter and leave through the
+/// encoded-`f64` API (`push_row`, `value`, [`Instance`]), so parsers,
+/// filters, and services are unaffected by the layout.
 ///
 /// ```
 /// use dm_data::{Attribute, Dataset};
@@ -119,8 +125,9 @@ impl<'a> Instance<'a> {
 pub struct Dataset {
     relation: String,
     attributes: Vec<Attribute>,
-    /// Row-major matrix: `values[row * num_attributes + attr]`.
-    values: Vec<f64>,
+    /// One columnar buffer per attribute; all share `num_rows`.
+    columns: Vec<Column>,
+    num_rows: usize,
     weights: Vec<f64>,
     class_index: Option<usize>,
     /// Interned values of string attributes (shared across columns).
@@ -128,30 +135,30 @@ pub struct Dataset {
 }
 
 impl PartialEq for Dataset {
-    /// Structural equality with missing-value semantics: two `NaN`
-    /// cells (both missing) compare equal, unlike raw `f64` equality.
+    /// Structural equality with missing-value semantics: two missing
+    /// cells compare equal (the columnar store keeps a deterministic
+    /// zero filler under cleared validity bits, so derived column
+    /// equality is exactly value-plus-missingness equality).
     fn eq(&self, other: &Self) -> bool {
         self.relation == other.relation
             && self.attributes == other.attributes
             && self.class_index == other.class_index
             && self.strings == other.strings
             && self.weights == other.weights
-            && self.values.len() == other.values.len()
-            && self
-                .values
-                .iter()
-                .zip(&other.values)
-                .all(|(a, b)| (a.is_nan() && b.is_nan()) || a == b)
+            && self.num_rows == other.num_rows
+            && self.columns == other.columns
     }
 }
 
 impl Dataset {
     /// Create an empty dataset with the given relation name and header.
     pub fn new<N: Into<String>>(relation: N, attributes: Vec<Attribute>) -> Self {
+        let columns = attributes.iter().map(Column::for_attribute).collect();
         Dataset {
             relation: relation.into(),
             attributes,
-            values: Vec::new(),
+            columns,
+            num_rows: 0,
             weights: Vec::new(),
             class_index: None,
             strings: Vec::new(),
@@ -177,11 +184,7 @@ impl Dataset {
     /// Number of instances (rows).
     #[inline]
     pub fn num_instances(&self) -> usize {
-        if self.attributes.is_empty() {
-            0
-        } else {
-            self.values.len() / self.attributes.len()
-        }
+        self.num_rows
     }
 
     /// Attribute descriptor at `index`.
@@ -251,11 +254,16 @@ impl Dataset {
     }
 
     /// Append a row of encoded values (with weight 1.0).
+    ///
+    /// Nominal and string cells are validated against their domain at
+    /// insert time: a non-integral or out-of-range code is rejected
+    /// with [`DataError::NominalRange`] and the dataset is unchanged.
     pub fn push_row(&mut self, row: Vec<f64>) -> Result<()> {
         self.push_row_weighted(row, 1.0)
     }
 
-    /// Append a row of encoded values with an explicit weight.
+    /// Append a row of encoded values with an explicit weight. Same
+    /// insert-time validation as [`Dataset::push_row`].
     pub fn push_row_weighted(&mut self, row: Vec<f64>, weight: f64) -> Result<()> {
         if row.len() != self.attributes.len() {
             return Err(DataError::Arity {
@@ -263,7 +271,18 @@ impl Dataset {
                 expected: self.attributes.len(),
             });
         }
-        self.values.extend_from_slice(&row);
+        // Validate the whole row first so a rejected cell leaves the
+        // columns un-ragged.
+        let num_strings = self.strings.len();
+        for (a, &v) in row.iter().enumerate() {
+            self.columns[a].validate_encoded(v, &self.attributes[a], num_strings)?;
+        }
+        for (a, &v) in row.iter().enumerate() {
+            self.columns[a]
+                .push_encoded(v, &self.attributes[a], num_strings)
+                .expect("validated above");
+        }
+        self.num_rows += 1;
         self.weights.push(weight);
         Ok(())
     }
@@ -281,9 +300,7 @@ impl Dataset {
         for (field, attr) in fields.iter().zip(&self.attributes) {
             row.push(self.encode_field(field.as_ref(), attr)?);
         }
-        self.values.extend_from_slice(&row);
-        self.weights.push(1.0);
-        Ok(())
+        self.push_row(row)
     }
 
     fn encode_field(&self, field: &str, attr: &Attribute) -> Result<f64> {
@@ -326,17 +343,33 @@ impl Dataset {
         self.strings.get(index).map(String::as_str)
     }
 
-    /// Encoded value at (`row`, `attr`).
-    #[inline]
-    pub fn value(&self, row: usize, attr: usize) -> f64 {
-        self.values[row * self.attributes.len() + attr]
+    /// The interned string pool; `Str` cells hold indices into this
+    /// slice.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
     }
 
-    /// Overwrite the encoded value at (`row`, `attr`).
+    /// Encoded value at (`row`, `attr`) — `NaN` when missing.
+    #[inline]
+    pub fn value(&self, row: usize, attr: usize) -> f64 {
+        self.columns[attr].get(row)
+    }
+
+    /// `true` when the cell at (`row`, `attr`) is missing (one validity
+    /// bit probe; no `NaN` comparison).
+    #[inline]
+    pub fn is_missing(&self, row: usize, attr: usize) -> bool {
+        self.columns[attr].is_missing(row)
+    }
+
+    /// Overwrite the encoded value at (`row`, `attr`). `NaN` clears the
+    /// cell's validity bit (marks it missing). Panics when a nominal
+    /// code is outside the attribute's domain — in-place rewrites come
+    /// from fitted filters whose codes are constructed in range; the
+    /// fallible insert path is [`Dataset::push_row`].
     #[inline]
     pub fn set_value(&mut self, row: usize, attr: usize, v: f64) {
-        let n = self.attributes.len();
-        self.values[row * n + attr] = v;
+        self.columns[attr].set_encoded(row, v);
     }
 
     /// The weight of `row`.
@@ -350,11 +383,24 @@ impl Dataset {
         self.weights[row] = w;
     }
 
-    /// Borrow row `row` as a value slice.
-    #[inline]
-    pub fn row(&self, row: usize) -> &[f64] {
-        let n = self.attributes.len();
-        &self.values[row * n..(row + 1) * n]
+    /// Gather row `row` into a freshly allocated encoded-value vector
+    /// (`NaN` = missing). For repeated gathers prefer
+    /// [`Dataset::copy_row_into`] with a reused buffer.
+    pub fn row_values(&self, row: usize) -> Vec<f64> {
+        let mut buf = Vec::with_capacity(self.attributes.len());
+        for col in &self.columns {
+            buf.push(col.get(row));
+        }
+        buf
+    }
+
+    /// Gather row `row` into `buf` (cleared first).
+    pub fn copy_row_into(&self, row: usize, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.reserve(self.attributes.len());
+        for col in &self.columns {
+            buf.push(col.get(row));
+        }
     }
 
     /// Borrow row `row` as an [`Instance`] view.
@@ -368,12 +414,20 @@ impl Dataset {
         (0..self.num_instances()).map(move |row| Instance { dataset: self, row })
     }
 
+    /// Zero-copy borrow of column `attr`'s buffers — the accessor the
+    /// vectorized kernels hoist out of their row loops.
+    #[inline]
+    pub fn column(&self, attr: usize) -> ColumnView<'_> {
+        self.columns[attr].view()
+    }
+
     /// A dataset with the same header (and class index) but no rows.
     pub fn header_clone(&self) -> Dataset {
         Dataset {
             relation: self.relation.clone(),
             attributes: self.attributes.clone(),
-            values: Vec::new(),
+            columns: self.attributes.iter().map(Column::for_attribute).collect(),
+            num_rows: 0,
             weights: Vec::new(),
             class_index: self.class_index,
             strings: self.strings.clone(),
@@ -388,29 +442,40 @@ impl Dataset {
                 expected: self.num_attributes(),
             });
         }
-        self.values.extend_from_slice(src.row(row));
-        self.weights.push(src.weight(row));
-        Ok(())
+        if self.attributes == src.attributes {
+            // Same header: copy codes column-to-column, no f64 round trip.
+            for (dst, s) in self.columns.iter_mut().zip(&src.columns) {
+                dst.push_from(s, row);
+            }
+            self.num_rows += 1;
+            self.weights.push(src.weight(row));
+            Ok(())
+        } else {
+            self.push_row_weighted(src.row_values(row), src.weight(row))
+        }
     }
 
     /// Build a sub-dataset from the given row indices.
     pub fn select_rows(&self, rows: &[usize]) -> Dataset {
         let mut out = self.header_clone();
         for &r in rows {
-            out.values.extend_from_slice(self.row(r));
+            for (dst, src) in out.columns.iter_mut().zip(&self.columns) {
+                dst.push_from(src, r);
+            }
             out.weights.push(self.weights[r]);
         }
+        out.num_rows = rows.len();
         out
     }
 
     /// Split the row index space into up to `blocks` near-equal
-    /// contiguous [`RowBlock`] views (no copying). Block boundaries
+    /// contiguous [`BlockView`] windows (no copying). Block boundaries
     /// depend only on `(num_instances, blocks)`, so partitioned scans
     /// that merge per-block results in block order are deterministic.
-    pub fn row_blocks(&self, blocks: usize) -> Vec<RowBlock<'_>> {
+    pub fn block_views(&self, blocks: usize) -> Vec<BlockView<'_>> {
         block_ranges(self.num_instances(), blocks)
             .into_iter()
-            .map(|range| RowBlock {
+            .map(|range| BlockView {
                 dataset: self,
                 range,
             })
@@ -423,10 +488,10 @@ impl Dataset {
         let ci = self.class_index.ok_or(DataError::NoClass)?;
         let k = self.num_classes()?;
         let mut counts = vec![0.0; k];
+        let col = self.columns[ci].view();
         for row in 0..self.num_instances() {
-            let v = self.value(row, ci);
-            if !Value::is_missing(v) {
-                counts[Value::as_index(v)] += self.weights[row];
+            if let Some(c) = col.index_at(row) {
+                counts[c] += self.weights[row];
             }
         }
         Ok(counts)
@@ -437,9 +502,16 @@ impl Dataset {
         self.weights.iter().sum()
     }
 
-    /// `true` if any value in column `attr` is missing.
+    /// `true` if any value in column `attr` is missing (one bitmap
+    /// sweep, no per-cell `NaN` tests).
     pub fn has_missing(&self, attr: usize) -> bool {
-        (0..self.num_instances()).any(|r| Value::is_missing(self.value(r, attr)))
+        self.columns[attr].validity().any_missing()
+    }
+
+    /// Number of missing cells in column `attr` (popcount over the
+    /// validity bitmap).
+    pub fn missing_count(&self, attr: usize) -> usize {
+        self.columns[attr].missing_count()
     }
 
     /// Textual rendering of a value for display / ARFF writing.
@@ -485,16 +557,17 @@ pub fn block_ranges(n: usize, blocks: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
-/// A borrowed view of a contiguous run of dataset rows — the unit of
-/// work the compute pool partitions scans over. No row data is copied;
-/// row indices are in the coordinates of the underlying [`Dataset`].
+/// A zero-copy view of a contiguous run of dataset rows — the unit of
+/// work the compute pool partitions scans over. Columns are borrowed
+/// straight from the dataset (no row gather); row indices are in the
+/// coordinates of the underlying [`Dataset`].
 #[derive(Clone)]
-pub struct RowBlock<'a> {
+pub struct BlockView<'a> {
     dataset: &'a Dataset,
     range: std::ops::Range<usize>,
 }
 
-impl<'a> RowBlock<'a> {
+impl<'a> BlockView<'a> {
     /// The underlying dataset.
     pub fn dataset(&self) -> &'a Dataset {
         self.dataset
@@ -520,10 +593,15 @@ impl<'a> RowBlock<'a> {
         self.range.is_empty()
     }
 
-    /// Iterate the block's rows as `(absolute_row, values)` pairs.
-    pub fn rows(&self) -> impl Iterator<Item = (usize, &'a [f64])> + '_ {
-        let ds = self.dataset;
-        self.range.clone().map(move |r| (r, ds.row(r)))
+    /// Zero-copy borrow of column `attr` (absolute row coordinates).
+    #[inline]
+    pub fn column(&self, attr: usize) -> ColumnView<'a> {
+        self.dataset.column(attr)
+    }
+
+    /// Iterate the block's absolute row indices.
+    pub fn rows(&self) -> std::ops::Range<usize> {
+        self.range.clone()
     }
 }
 
@@ -573,7 +651,10 @@ mod tests {
         assert!(!ds.instance(0).is_missing(1));
         assert!(ds.has_missing(1));
         assert!(!ds.has_missing(0));
+        assert_eq!(ds.missing_count(1), 1);
+        assert_eq!(ds.missing_count(0), 0);
         assert_eq!(ds.format_value(2, 1), "?");
+        assert!(ds.value(2, 1).is_nan());
     }
 
     #[test]
@@ -604,6 +685,35 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_nominal_code_rejected_at_insert() {
+        // Regression test (ISSUE 7 satellite 1): a nominal code beyond
+        // the domain used to be stored silently and only blow up in a
+        // later label() lookup; it must now fail at push_row time.
+        let mut ds = weather();
+        let before = ds.clone();
+        let err = ds.push_row(vec![3.0, 70.0, 0.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::NominalRange {
+                ref attribute,
+                arity: 3,
+                ..
+            } if attribute == "outlook"
+        ));
+        // Non-integral codes are just as invalid.
+        let err = ds.push_row(vec![0.5, 70.0, 0.0]).unwrap_err();
+        assert!(matches!(err, DataError::NominalRange { .. }));
+        // Negative codes too.
+        let err = ds.push_row(vec![-1.0, 70.0, 0.0]).unwrap_err();
+        assert!(matches!(err, DataError::NominalRange { .. }));
+        // A failed insert leaves the dataset untouched, even when the
+        // bad cell is not in the first column.
+        let err = ds.push_row(vec![0.0, 70.0, 9.0]).unwrap_err();
+        assert!(matches!(err, DataError::NominalRange { .. }));
+        assert_eq!(ds, before);
+    }
+
+    #[test]
     fn select_rows_preserves_weights() {
         let mut ds = weather();
         ds.set_weight(1, 2.5);
@@ -612,6 +722,7 @@ mod tests {
         assert_eq!(sub.weight(0), 2.5);
         assert_eq!(sub.instance(0).label(0), Some("overcast"));
         assert_eq!(sub.class_index(), Some(2));
+        assert!(sub.instance(1).is_missing(1));
     }
 
     #[test]
@@ -655,6 +766,51 @@ mod tests {
     }
 
     #[test]
+    fn set_value_flips_missingness_both_ways() {
+        let mut ds = weather();
+        ds.set_value(0, 1, Value::MISSING);
+        assert!(ds.is_missing(0, 1));
+        assert_eq!(ds.missing_count(1), 2);
+        ds.set_value(2, 1, 64.0);
+        assert!(!ds.is_missing(2, 1));
+        assert_eq!(ds.value(2, 1), 64.0);
+        assert_eq!(ds.missing_count(1), 1);
+    }
+
+    #[test]
+    fn row_gather_matches_cellwise_access() {
+        let ds = weather();
+        let mut buf = Vec::new();
+        for r in 0..ds.num_instances() {
+            ds.copy_row_into(r, &mut buf);
+            let gathered = ds.row_values(r);
+            assert!(buf
+                .iter()
+                .zip(&gathered)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            for (a, &v) in buf.iter().enumerate() {
+                let direct = ds.value(r, a);
+                assert!(
+                    v == direct || (v.is_nan() && direct.is_nan()),
+                    "row {r} attr {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equality_treats_missing_as_equal() {
+        let a = weather();
+        let b = weather();
+        assert_eq!(a, b);
+        let mut c = weather();
+        c.set_value(2, 1, 1.0);
+        assert_ne!(a, c);
+        c.set_value(2, 1, Value::MISSING);
+        assert_eq!(a, c);
+    }
+
+    #[test]
     fn block_ranges_partition_exactly() {
         for n in [0usize, 1, 2, 7, 16, 100, 1001] {
             for blocks in [1usize, 2, 3, 8, 200] {
@@ -681,35 +837,42 @@ mod tests {
     }
 
     #[test]
-    fn row_blocks_view_rows_without_copying() {
+    fn block_views_window_rows_without_copying() {
         let ds = weather();
-        let blocks = ds.row_blocks(2);
+        let blocks = ds.block_views(2);
         assert_eq!(blocks.len(), 2);
         assert_eq!(blocks[0].range(), 0..2);
         assert_eq!(blocks[1].range(), 2..3);
         assert_eq!(blocks[0].start(), 0);
         assert_eq!(blocks[1].len(), 1);
         assert!(!blocks[0].is_empty());
-        let collected: Vec<(usize, &[f64])> = blocks.iter().flat_map(|b| b.rows()).collect();
-        assert_eq!(collected.len(), 3);
-        for (r, values) in collected {
-            // Bitwise comparison: the weather fixture has a missing
-            // (NaN) temperature, and NaN != NaN under `==`.
-            let expect = ds.row(r);
-            assert_eq!(values.len(), expect.len());
-            assert!(values
-                .iter()
-                .zip(expect)
-                .all(|(a, b)| a.to_bits() == b.to_bits()));
-        }
+        let rows: Vec<usize> = blocks.iter().flat_map(|b| b.rows()).collect();
+        assert_eq!(rows, vec![0, 1, 2]);
+        // Column borrows agree with cellwise access, missing included.
+        let temp = blocks[1].column(1);
+        assert!(temp.is_missing(2));
+        let outlook = blocks[0].column(0);
+        assert_eq!(outlook.index_at(1), Some(1));
         assert!(std::ptr::eq(blocks[0].dataset(), &ds));
     }
 
     #[test]
-    fn row_blocks_more_blocks_than_rows() {
+    fn block_views_more_blocks_than_rows() {
         let ds = weather();
-        let blocks = ds.row_blocks(10);
+        let blocks = ds.block_views(10);
         assert_eq!(blocks.len(), 3);
         assert!(blocks.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn push_instance_from_copies_columnar_state() {
+        let ds = weather();
+        let mut out = ds.header_clone();
+        out.push_instance_from(&ds, 2).unwrap();
+        out.push_instance_from(&ds, 0).unwrap();
+        assert_eq!(out.num_instances(), 2);
+        assert!(out.is_missing(0, 1));
+        assert_eq!(out.instance(1).label(0), Some("sunny"));
+        assert_eq!(out, ds.select_rows(&[2, 0]));
     }
 }

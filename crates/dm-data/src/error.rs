@@ -49,6 +49,18 @@ pub enum DataError {
         /// What the operation required, e.g. `"nominal"`.
         expected: &'static str,
     },
+    /// An encoded nominal/string cell was outside its attribute's
+    /// domain at insert time (out-of-range, negative, or non-integral
+    /// code). Raised by `Dataset::push_row` instead of deferring to a
+    /// later `label()` lookup failure.
+    NominalRange {
+        /// The attribute name.
+        attribute: String,
+        /// The offending encoded code, rendered as text.
+        code: String,
+        /// The attribute's domain size (string-table size for `Str`).
+        arity: usize,
+    },
     /// The dataset was empty where at least one instance was required.
     Empty,
     /// Invalid parameter to a filter or split (message).
@@ -89,6 +101,16 @@ impl fmt::Display for DataError {
                 expected,
             } => {
                 write!(f, "attribute {attribute:?} is not {expected}")
+            }
+            DataError::NominalRange {
+                attribute,
+                code,
+                arity,
+            } => {
+                write!(
+                    f,
+                    "code {code} out of range for attribute {attribute:?} (domain size {arity})"
+                )
             }
             DataError::Empty => write!(f, "dataset contains no instances"),
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),

@@ -19,6 +19,30 @@ pub trait Filter {
     fn apply(&self, ds: &Dataset) -> Result<Dataset>;
 }
 
+/// Min/max of the present cells of numeric attribute `a`, read straight
+/// off the columnar buffer and its validity bitmap; `None` when the
+/// attribute is non-numeric or has no present values.
+fn numeric_range(ds: &Dataset, a: usize) -> Option<(f64, f64)> {
+    let col = ds.column(a);
+    let (values, valid) = col.numeric()?;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    if valid.all_valid() {
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    } else {
+        for (r, &v) in values.iter().enumerate() {
+            if valid.get(r) {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+    }
+    (min <= max).then_some((min, max))
+}
+
 // ---------------------------------------------------------------------
 // Normalize: min-max scale numeric attributes to [0, 1].
 // ---------------------------------------------------------------------
@@ -38,16 +62,7 @@ impl Normalize {
                 ranges.push(None);
                 continue;
             }
-            let mut min = f64::INFINITY;
-            let mut max = f64::NEG_INFINITY;
-            for r in 0..ds.num_instances() {
-                let v = ds.value(r, a);
-                if !Value::is_missing(v) {
-                    min = min.min(v);
-                    max = max.max(v);
-                }
-            }
-            ranges.push(if min <= max { Some((min, max)) } else { None });
+            ranges.push(numeric_range(ds, a));
         }
         Normalize { ranges }
     }
@@ -93,15 +108,17 @@ impl Standardize {
     pub fn fit(ds: &Dataset) -> Standardize {
         let mut moments = Vec::with_capacity(ds.num_attributes());
         for a in 0..ds.num_attributes() {
-            if !ds.attributes()[a].is_numeric() {
+            let Some((values, valid)) = ds.column(a).numeric() else {
                 moments.push(None);
                 continue;
-            }
+            };
+            // Two columnar passes over present cells only; row order is
+            // preserved so the accumulation matches the row-wise code
+            // bit for bit.
             let mut sum = 0.0;
             let mut count = 0.0;
-            for r in 0..ds.num_instances() {
-                let v = ds.value(r, a);
-                if !Value::is_missing(v) {
+            for (r, &v) in values.iter().enumerate() {
+                if valid.get(r) {
                     sum += v;
                     count += 1.0;
                 }
@@ -112,9 +129,8 @@ impl Standardize {
             }
             let mean = sum / count;
             let mut ss = 0.0;
-            for r in 0..ds.num_instances() {
-                let v = ds.value(r, a);
-                if !Value::is_missing(v) {
+            for (r, &v) in values.iter().enumerate() {
+                if valid.get(r) {
                     ss += (v - mean) * (v - mean);
                 }
             }
@@ -251,16 +267,7 @@ impl Discretize {
                 cuts.push(None);
                 continue;
             }
-            let mut min = f64::INFINITY;
-            let mut max = f64::NEG_INFINITY;
-            for r in 0..ds.num_instances() {
-                let v = ds.value(r, a);
-                if !Value::is_missing(v) {
-                    min = min.min(v);
-                    max = max.max(v);
-                }
-            }
-            cuts.push(if min <= max { Some((min, max)) } else { None });
+            cuts.push(numeric_range(ds, a));
         }
         Ok(Discretize { bins, cuts })
     }
@@ -785,6 +792,54 @@ mod tests {
     fn resample_rejects_bad_fraction() {
         let ds = toy();
         assert!(resample(&ds, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn normalize_preserves_validity_bitmaps() {
+        // Scaling must not disturb missingness accounting: every
+        // attribute's bitmap-backed missing count survives apply().
+        let ds = toy();
+        let out = Normalize::fit(&ds).apply(&ds).unwrap();
+        for a in 0..ds.num_attributes() {
+            assert_eq!(out.missing_count(a), ds.missing_count(a), "attr {a}");
+        }
+        assert_eq!(out.missing_count(0), 1);
+    }
+
+    #[test]
+    fn fit_reads_only_present_cells_from_bitmap() {
+        // The min/max and moment scans must skip exactly the cells the
+        // validity bitmap marks missing — the fill values stored under
+        // cleared bits (0.0) must never leak into the statistics.
+        let ds = toy(); // x present values: 10, 20, 40 (row 2 missing)
+        let n = Normalize::fit(&ds);
+        let out = n.apply(&ds).unwrap();
+        // If the 0.0 filler leaked, min would be 0 and 10 would map to
+        // 0.25 instead of 0.0.
+        assert_eq!(out.value(0, 0), 0.0);
+        assert_eq!(out.value(3, 0), 1.0);
+        let s = Standardize::fit(&ds);
+        let out = s.apply(&ds).unwrap();
+        let mean = 70.0 / 3.0; // mean over present cells only
+        let ss: f64 = [10.0f64, 20.0, 40.0]
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum();
+        let sd = (ss / 3.0).sqrt();
+        assert!((out.value(0, 0) - (10.0 - mean) / sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replace_missing_clears_validity_bitmaps() {
+        // Imputation must flip the cleared bits: afterwards no column
+        // with a learned fill value reports missing cells.
+        let ds = toy();
+        assert_eq!(ds.missing_count(0), 1);
+        assert_eq!(ds.missing_count(1), 1);
+        let out = ReplaceMissing::fit(&ds).apply(&ds).unwrap();
+        for a in 0..out.num_attributes() {
+            assert_eq!(out.missing_count(a), 0, "attr {a}");
+        }
     }
 
     #[test]

@@ -12,12 +12,17 @@
 //!
 //! ## Representation
 //!
-//! A [`Dataset`] owns a vector of [`Attribute`] descriptors and a dense
-//! row-major `Vec<f64>` value matrix. Nominal values are stored as the
-//! index of their label in the attribute's domain; missing values are
-//! stored as `f64::NAN` (tested through [`Value`] helpers rather than
-//! raw comparison). This mirrors WEKA's internal encoding and keeps the
-//! hot loops of the algorithm crate allocation-free.
+//! A [`Dataset`] owns a vector of [`Attribute`] descriptors and a
+//! **columnar** store: one contiguous buffer per attribute (numeric
+//! cells as `Vec<f64>`, nominal cells as dense `u8`/`u16` codes,
+//! string cells as interned-table ids) plus a validity bitmap per
+//! column marking missing cells. At the API boundary rows still travel
+//! as encoded `f64` cells — nominal values as the label's domain
+//! index, missing as `f64::NAN` (tested through [`Value`] helpers
+//! rather than raw comparison) — so parsers and filters see WEKA's
+//! encoding, while the mining kernels in `dm-algorithms` scan the
+//! cache-friendly column buffers directly through zero-copy
+//! [`ColumnView`]/[`BlockView`] borrows.
 //!
 //! ## Quick example
 //!
@@ -36,6 +41,7 @@
 
 pub mod arff;
 pub mod attribute;
+pub mod column;
 pub mod convert;
 pub mod corpus;
 pub mod csv;
@@ -47,7 +53,8 @@ pub mod stream;
 pub mod summary;
 
 pub use attribute::{Attribute, AttributeKind};
-pub use dataset::{block_ranges, Dataset, Instance, RowBlock, Value};
+pub use column::{Bitmap, Codes, CodesView, Column, ColumnView};
+pub use dataset::{block_ranges, BlockView, Dataset, Instance, Value};
 pub use error::{DataError, Result};
 
 /// Convenience re-exports for downstream crates.

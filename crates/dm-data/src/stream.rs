@@ -50,8 +50,10 @@ pub fn chunk_dataset(ds: &Dataset, chunk_rows: usize) -> Result<Vec<RecordBatch>
     let width = ds.num_attributes();
     let mut batches = Vec::new();
     let mut current = Vec::with_capacity(chunk_rows * width);
+    let mut scratch = Vec::with_capacity(width);
     for r in 0..ds.num_instances() {
-        current.extend_from_slice(ds.row(r));
+        ds.copy_row_into(r, &mut scratch);
+        current.extend_from_slice(&scratch);
         if current.len() == chunk_rows * width {
             batches.push(RecordBatch {
                 width,

@@ -6,7 +6,7 @@
 //! of values occurring exactly once ("unique").
 
 use crate::attribute::AttributeKind;
-use crate::dataset::{Dataset, Value};
+use crate::dataset::Dataset;
 
 /// Summary row for a single attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,15 +77,18 @@ impl DatasetSummary {
 
         for a in 0..ds.num_attributes() {
             let attr = ds.attribute(a).expect("index in range");
-            let mut missing = 0usize;
+            // Missing counts come straight off the validity bitmap
+            // (popcount per word); the value scan only visits cells
+            // the bitmap marks present, so no NaN probing is needed.
+            let col = ds.column(a);
+            let valid = col.validity();
+            let missing = valid.count_missing();
             let mut ints = 0usize;
             let mut reals = 0usize;
-            let mut values: Vec<f64> = Vec::with_capacity(n);
+            let mut values: Vec<f64> = Vec::with_capacity(n - missing);
             for r in 0..n {
-                let v = ds.value(r, a);
-                if Value::is_missing(v) {
-                    missing += 1;
-                } else {
+                if valid.get(r) {
+                    let v = col.get(r);
                     values.push(v);
                     if v == v.trunc() {
                         ints += 1;
@@ -284,6 +287,41 @@ mod tests {
         assert!(t.contains("colour"));
         assert!(t.contains("ratio"));
         assert_eq!(t.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn bitmap_missing_counts_match_nan_scan() {
+        // Regression for the validity-bitmap accounting: the summary's
+        // per-attribute and total missing counts must agree with a
+        // cell-by-cell NaN scan through the compatibility API.
+        use crate::dataset::Value;
+        let ds = mixed();
+        let s = DatasetSummary::of(&ds);
+        let mut total = 0usize;
+        for a in 0..ds.num_attributes() {
+            let by_scan = (0..ds.num_instances())
+                .filter(|&r| Value::is_missing(ds.value(r, a)))
+                .count();
+            assert_eq!(s.attributes[a].missing, by_scan, "attr {a}");
+            assert_eq!(ds.missing_count(a), by_scan, "attr {a}");
+            total += by_scan;
+        }
+        assert_eq!(s.missing_values, total);
+    }
+
+    #[test]
+    fn summary_tracks_missingness_edits() {
+        // Flipping a cell missing (and back) through set_value must be
+        // reflected in the bitmap-backed summary counts.
+        let mut ds = mixed();
+        ds.set_value(0, 1, f64::NAN);
+        let s = DatasetSummary::of(&ds);
+        assert_eq!(s.attributes[1].missing, 1);
+        assert_eq!(s.missing_values, 3);
+        ds.set_value(0, 1, 7.0);
+        let s = DatasetSummary::of(&ds);
+        assert_eq!(s.attributes[1].missing, 0);
+        assert_eq!(s.missing_values, 2);
     }
 
     #[test]

@@ -226,12 +226,9 @@ impl WebService for ClassifierService {
                     .to_vec();
                 let guard = model.lock();
                 let trained: &dyn dm_algorithms::classifiers::Classifier = &**guard;
-                let predictions = dm_algorithms::pool::parallel_map(batch.num_instances(), |r| {
-                    trained.predict(&batch, r)
-                });
+                let predictions = trained.predict_batch(&batch).map_err(algo_fault)?;
                 let mut out = Vec::with_capacity(predictions.len());
-                for p in predictions {
-                    let idx = p.map_err(algo_fault)?;
+                for idx in predictions {
                     let label = labels.get(idx).ok_or_else(|| {
                         ServiceFault::server(format!("predicted class index {idx} out of range"))
                     })?;

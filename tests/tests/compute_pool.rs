@@ -97,6 +97,46 @@ proptest! {
     }
 
     #[test]
+    fn ibk_columnar_scan_identical_at_every_pool_size(seed in any::<u32>(), k in 1usize..6) {
+        // Big enough to cross IBk's parallel-scan threshold, so the
+        // columnar distance kernel runs both serially and blocked.
+        let ds = dm_data::corpus::nominal_classification(1100, 4, 3, 2, 0.25, seed as u64);
+        let mut c = make_classifier("IBk").unwrap();
+        c.set_option("-K", &k.to_string()).unwrap();
+        pool::with_threads(1, || c.train(&ds)).unwrap();
+        let score = |threads: usize| {
+            pool::with_threads(threads, || {
+                (0..8).map(|r| c.distribution(&ds, r).unwrap()).collect::<Vec<_>>()
+            })
+        };
+        let reference = score(1);
+        for threads in [2, 8] {
+            let dists = score(threads);
+            let same = reference.iter().zip(&dists).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+            });
+            prop_assert!(same, "IBk columnar scan diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_serial_predicts_at_every_pool_size(seed in any::<u32>()) {
+        // The batched scoring path must be the concatenation of per-row
+        // predicts at every pool width (300 rows crosses the batch
+        // fan-out threshold).
+        let ds = dm_data::corpus::nominal_classification(300, 4, 3, 2, 0.25, seed as u64);
+        let mut c = make_classifier("NaiveBayes").unwrap();
+        pool::with_threads(1, || c.train(&ds)).unwrap();
+        let serial: Vec<usize> =
+            (0..ds.num_instances()).map(|r| c.predict(&ds, r).unwrap()).collect();
+        for threads in POOL_SIZES {
+            let batch = pool::with_threads(threads, || c.predict_batch(&ds).unwrap());
+            prop_assert_eq!(&batch, &serial, "batch predictions diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
     fn parallel_cv_equals_serial_cv_at_every_pool_size(seed in any::<u32>(), folds in 2usize..6) {
         let ds = dm_data::corpus::nominal_classification(60, 4, 3, 2, 0.25, seed as u64);
         let make = || make_classifier("NaiveBayes");
