@@ -54,10 +54,12 @@ fn bench(c: &mut Criterion) {
                     let src = ds.clone();
                     let producer =
                         std::thread::spawn(move || tx.send_dataset(&src, 256).expect("send"));
-                    let stats = rx.fold(RunningStats::new(ds.num_attributes()), |mut s, b| {
-                        s.update(b);
-                        s
-                    });
+                    let stats = rx
+                        .fold(RunningStats::new(ds.num_attributes()), |mut s, b| {
+                            s.update(b);
+                            s
+                        })
+                        .expect("fold");
                     producer.join().expect("producer");
                     black_box(stats)
                 })

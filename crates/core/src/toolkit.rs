@@ -505,7 +505,7 @@ mod tests {
     fn single_host_provisioning() {
         let tk = Toolkit::new().unwrap();
         assert_eq!(tk.hosts().len(), 1);
-        assert_eq!(tk.registry().len(), 13);
+        assert_eq!(tk.registry().len(), 14);
         // Common tools + local tools + imported WS operation tools.
         assert!(
             tk.toolbox().len() > 20,
@@ -541,7 +541,7 @@ mod tests {
         let text = tk.describe_components();
         assert!(text.contains("Workflow engine"));
         assert!(text.contains("Classifier @"));
-        assert!(text.contains("40 registered algorithms"));
+        assert!(text.contains("42 registered algorithms"));
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! Hoeffding-tree-style incremental classifier (VFDT, Domingos &
+//! Hulten) for streamed ingest.
+//!
+//! Rows are absorbed one at a time into leaf statistics; a leaf splits
+//! on the nominal attribute whose information gain beats the runner-up
+//! by the Hoeffding bound `ε = sqrt(R² ln(1/δ) / 2n)` (`R = log₂ k`),
+//! or when `ε` falls under the tie threshold. The model therefore
+//! answers `classifyInstances` at any moment while training never
+//! stops — the long-lived model-serving behaviour DAME motivates.
+//!
+//! Scope: splits are evaluated on nominal non-class attributes only;
+//! numeric attributes are carried but never split on (no numeric
+//! discretisation), so purely numeric datasets yield a single
+//! majority-class leaf. Rows with a missing class are skipped; a
+//! missing split-attribute value routes down the first branch.
+//!
+//! Determinism and chunk invariance: absorption is strictly
+//! sequential per row and split checks fire on exact row-count
+//! boundaries (`-G`), so feeding the same rows in any chunking — or
+//! all at once via `train` — produces byte-identical state (the E18
+//! streamed-vs-migrate contract).
+
+use super::{check_trainable, entropy, normalize, Classifier};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+
+/// One arena node: a growing leaf or an internal nominal split.
+#[derive(Debug, Clone)]
+enum Node {
+    /// A leaf accumulating sufficient statistics.
+    Leaf {
+        /// Per-class instance weight at this leaf.
+        counts: Vec<f64>,
+        /// Attributes still available to split on at this leaf.
+        candidates: Vec<usize>,
+        /// Per-candidate statistics, parallel to `candidates`:
+        /// flattened `[value * k + class]` weights.
+        stats: Vec<Vec<f64>>,
+        /// Rows absorbed since the last split check.
+        seen: u64,
+    },
+    /// An internal split on a nominal attribute, one child per label.
+    Split {
+        /// Attribute index the node splits on.
+        attr: usize,
+        /// Child node ids, indexed by the attribute's label code.
+        children: Vec<usize>,
+    },
+}
+
+/// The incremental Hoeffding-tree classifier.
+#[derive(Debug, Clone)]
+pub struct HoeffdingTree {
+    /// `-G`: rows between split checks at a leaf.
+    grace: u64,
+    /// `-D`: Hoeffding bound confidence δ.
+    delta: f64,
+    /// `-T`: tie-break threshold τ.
+    tau: f64,
+    class_index: usize,
+    num_classes: usize,
+    /// Domain size per attribute (0 = not splittable: numeric, string,
+    /// or the class itself).
+    arities: Vec<usize>,
+    nodes: Vec<Node>,
+    rows_seen: u64,
+    trained: bool,
+}
+
+impl Default for HoeffdingTree {
+    fn default() -> Self {
+        HoeffdingTree {
+            grace: 50,
+            delta: 1e-6,
+            tau: 0.05,
+            class_index: 0,
+            num_classes: 0,
+            arities: Vec::new(),
+            nodes: Vec::new(),
+            rows_seen: 0,
+            trained: false,
+        }
+    }
+}
+
+impl HoeffdingTree {
+    /// Create with defaults (grace 50, δ = 1e-6, τ = 0.05).
+    pub fn new() -> HoeffdingTree {
+        HoeffdingTree::default()
+    }
+
+    /// Initialise the tree from a schema-bearing dataset (resets any
+    /// previous model). Called implicitly by the first
+    /// [`HoeffdingTree::absorb`].
+    pub fn init_schema(&mut self, data: &Dataset) -> Result<()> {
+        let (ci, k) = check_trainable(data)?;
+        self.class_index = ci;
+        self.num_classes = k;
+        self.arities = (0..data.num_attributes())
+            .map(|a| {
+                if a == ci {
+                    0
+                } else {
+                    let attr = &data.attributes()[a];
+                    if attr.is_nominal() {
+                        attr.num_labels()
+                    } else {
+                        0
+                    }
+                }
+            })
+            .collect();
+        let candidates: Vec<usize> = (0..self.arities.len())
+            .filter(|&a| self.arities[a] > 0)
+            .collect();
+        self.nodes = vec![self.fresh_leaf(candidates, vec![0.0; k])];
+        self.rows_seen = 0;
+        self.trained = true;
+        Ok(())
+    }
+
+    fn fresh_leaf(&self, candidates: Vec<usize>, counts: Vec<f64>) -> Node {
+        let stats = candidates
+            .iter()
+            .map(|&a| vec![0.0; self.arities[a] * self.num_classes])
+            .collect();
+        Node::Leaf {
+            counts,
+            candidates,
+            stats,
+            seen: 0,
+        }
+    }
+
+    /// Walk a stored row down to its leaf node id.
+    fn route(&self, data: &Dataset, row: usize) -> usize {
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return id,
+                Node::Split { attr, children } => {
+                    let v = data.value(row, *attr);
+                    let branch = if Value::is_missing(v) {
+                        0
+                    } else {
+                        (v as usize).min(children.len() - 1)
+                    };
+                    id = children[branch];
+                }
+            }
+        }
+    }
+
+    /// Absorb one row into its leaf; maybe split.
+    fn absorb_row(&mut self, data: &Dataset, row: usize) {
+        let class = data.value(row, self.class_index);
+        if Value::is_missing(class) {
+            return;
+        }
+        let c = class as usize;
+        if c >= self.num_classes {
+            return;
+        }
+        let w = data.weight(row);
+        self.rows_seen += 1;
+        let id = self.route(data, row);
+        let due = {
+            let k = self.num_classes;
+            let Node::Leaf {
+                counts,
+                candidates,
+                stats,
+                seen,
+            } = &mut self.nodes[id]
+            else {
+                unreachable!("route returns a leaf")
+            };
+            counts[c] += w;
+            for (slot, &a) in candidates.iter().enumerate() {
+                let v = data.value(row, a);
+                if !Value::is_missing(v) {
+                    let code = (v as usize).min(self.arities[a] - 1);
+                    stats[slot][code * k + c] += w;
+                }
+            }
+            *seen += 1;
+            *seen >= self.grace
+        };
+        if due {
+            self.try_split(id);
+        }
+    }
+
+    /// Evaluate the Hoeffding split test at leaf `id`.
+    fn try_split(&mut self, id: usize) {
+        let k = self.num_classes;
+        let (best, runner_up, total) = {
+            let Node::Leaf {
+                counts,
+                candidates,
+                stats,
+                seen,
+            } = &mut self.nodes[id]
+            else {
+                return;
+            };
+            *seen = 0;
+            let total: f64 = counts.iter().sum();
+            if total <= 0.0 || candidates.is_empty() {
+                return;
+            }
+            // A pure leaf cannot gain from splitting.
+            if counts.iter().filter(|&&n| n > 0.0).count() <= 1 {
+                return;
+            }
+            let base = entropy(counts);
+            let mut best: Option<(usize, f64)> = None;
+            let mut second = 0.0f64;
+            for (slot, &a) in candidates.iter().enumerate() {
+                let arity = stats[slot].len() / k;
+                let mut remainder = 0.0;
+                let mut covered = 0.0;
+                for v in 0..arity {
+                    let branch = &stats[slot][v * k..(v + 1) * k];
+                    let n_v: f64 = branch.iter().sum();
+                    if n_v > 0.0 {
+                        remainder += n_v / total * entropy(branch);
+                        covered += n_v;
+                    }
+                }
+                // Rows whose value was missing saw no branch; charge
+                // them the parent entropy so sparse stats don't look
+                // artificially pure.
+                remainder += (total - covered).max(0.0) / total * base;
+                let gain = base - remainder;
+                match best {
+                    Some((_, g)) if gain <= g => second = second.max(gain),
+                    _ => {
+                        if let Some((_, g)) = best {
+                            second = second.max(g);
+                        }
+                        best = Some((a, gain));
+                    }
+                }
+            }
+            let Some((attr, g1)) = best else { return };
+            let range = (k as f64).log2().max(1.0);
+            let eps = (range * range * (1.0 / self.delta).ln() / (2.0 * total)).sqrt();
+            if g1 > 0.0 && (g1 - second > eps || eps < self.tau) {
+                (attr, second, total)
+            } else {
+                return;
+            }
+        };
+        let _ = (runner_up, total);
+        self.split_leaf(id, best);
+    }
+
+    /// Replace leaf `id` with a split on `attr`, warm-starting each
+    /// child's class counts from the parent's per-value statistics.
+    fn split_leaf(&mut self, id: usize, attr: usize) {
+        let k = self.num_classes;
+        let Node::Leaf {
+            candidates, stats, ..
+        } = &self.nodes[id]
+        else {
+            return;
+        };
+        let slot = candidates
+            .iter()
+            .position(|&a| a == attr)
+            .expect("split attr is a candidate");
+        let child_candidates: Vec<usize> =
+            candidates.iter().copied().filter(|&a| a != attr).collect();
+        let per_value: Vec<Vec<f64>> = (0..self.arities[attr])
+            .map(|v| stats[slot][v * k..(v + 1) * k].to_vec())
+            .collect();
+        let mut children = Vec::with_capacity(per_value.len());
+        for counts in per_value {
+            let child = self.fresh_leaf(child_candidates.clone(), counts);
+            self.nodes.push(child);
+            children.push(self.nodes.len() - 1);
+        }
+        self.nodes[id] = Node::Split { attr, children };
+    }
+
+    /// Absorb a chunk of rows (the streaming entry point). The first
+    /// call fixes the schema from `data`; later chunks must share it.
+    pub fn absorb(&mut self, data: &Dataset) -> Result<()> {
+        if !self.trained {
+            self.init_schema(data)?;
+        }
+        if data.num_attributes() != self.arities.len() {
+            return Err(AlgoError::Data(dm_data::DataError::Arity {
+                got: data.num_attributes(),
+                expected: self.arities.len(),
+            }));
+        }
+        for row in 0..data.num_instances() {
+            self.absorb_row(data, row);
+        }
+        Ok(())
+    }
+
+    /// Total class-labelled rows absorbed so far.
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    fn leaf_stats(&self) -> (usize, usize) {
+        let mut leaves = 0;
+        let mut splits = 0;
+        for n in &self.nodes {
+            match n {
+                Node::Leaf { .. } => leaves += 1,
+                Node::Split { .. } => splits += 1,
+            }
+        }
+        (leaves, splits)
+    }
+}
+
+impl Classifier for HoeffdingTree {
+    fn name(&self) -> &'static str {
+        "HoeffdingTree"
+    }
+
+    fn train(&mut self, data: &Dataset) -> Result<()> {
+        self.trained = false; // reset: train() is batch semantics
+        self.init_schema(data)?;
+        self.absorb(data)
+    }
+
+    fn distribution(&self, data: &Dataset, row: usize) -> Result<Vec<f64>> {
+        if !self.trained {
+            return Err(AlgoError::NotTrained);
+        }
+        let id = self.route(data, row);
+        let Node::Leaf { counts, .. } = &self.nodes[id] else {
+            unreachable!("route returns a leaf")
+        };
+        let mut dist = counts.clone();
+        normalize(&mut dist);
+        Ok(dist)
+    }
+
+    fn describe(&self) -> String {
+        if !self.trained {
+            return "HoeffdingTree: not trained".to_string();
+        }
+        let (leaves, splits) = self.leaf_stats();
+        format!(
+            "Hoeffding tree: {splits} splits, {leaves} leaves, {} rows absorbed \
+             (grace {}, delta {:e}, tie {})",
+            self.rows_seen, self.grace, self.delta, self.tau
+        )
+    }
+}
+
+impl Configurable for HoeffdingTree {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-G",
+                name: "gracePeriod",
+                description: "rows between split checks at a leaf",
+                default: "50".into(),
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
+            },
+            OptionDescriptor {
+                flag: "-D",
+                name: "delta",
+                description: "Hoeffding bound confidence",
+                default: "1e-6".into(),
+                kind: OptionKind::Real {
+                    min: f64::MIN_POSITIVE,
+                    max: 0.5,
+                },
+            },
+            OptionDescriptor {
+                flag: "-T",
+                name: "tieThreshold",
+                description: "split anyway when the bound falls below this",
+                default: "0.05".into(),
+                kind: OptionKind::Real { min: 0.0, max: 1.0 },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-G" => self.grace = value.parse().expect("validated"),
+            "-D" => self.delta = value.parse().expect("validated"),
+            "-T" => self.tau = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-G" => Ok(self.grace.to_string()),
+            "-D" => Ok(self.delta.to_string()),
+            "-T" => Ok(self.tau.to_string()),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
+        }
+    }
+}
+
+impl Stateful for HoeffdingTree {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u64(self.grace);
+        w.put_f64(self.delta);
+        w.put_f64(self.tau);
+        w.put_bool(self.trained);
+        if self.trained {
+            w.put_usize(self.class_index);
+            w.put_usize(self.num_classes);
+            w.put_usize_slice(&self.arities);
+            w.put_u64(self.rows_seen);
+            w.put_usize(self.nodes.len());
+            for node in &self.nodes {
+                match node {
+                    Node::Leaf {
+                        counts,
+                        candidates,
+                        stats,
+                        seen,
+                    } => {
+                        w.put_bool(true);
+                        w.put_f64_slice(counts);
+                        w.put_usize_slice(candidates);
+                        for s in stats {
+                            w.put_f64_slice(s);
+                        }
+                        w.put_u64(*seen);
+                    }
+                    Node::Split { attr, children } => {
+                        w.put_bool(false);
+                        w.put_usize(*attr);
+                        w.put_usize_slice(children);
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.grace = r.get_u64()?;
+        self.delta = r.get_f64()?;
+        self.tau = r.get_f64()?;
+        self.trained = r.get_bool()?;
+        self.nodes = Vec::new();
+        self.rows_seen = 0;
+        if self.trained {
+            self.class_index = r.get_usize()?;
+            self.num_classes = r.get_usize()?;
+            self.arities = r.get_usize_vec()?;
+            self.rows_seen = r.get_u64()?;
+            let n = r.get_usize()?;
+            if n > 1 << 24 {
+                return Err(AlgoError::BadState("absurd node count".into()));
+            }
+            for _ in 0..n {
+                self.nodes.push(if r.get_bool()? {
+                    let counts = r.get_f64_vec()?;
+                    let candidates = r.get_usize_vec()?;
+                    let stats = candidates
+                        .iter()
+                        .map(|_| r.get_f64_vec())
+                        .collect::<Result<Vec<_>>>()?;
+                    Node::Leaf {
+                        counts,
+                        candidates,
+                        stats,
+                        seen: r.get_u64()?,
+                    }
+                } else {
+                    Node::Split {
+                        attr: r.get_usize()?,
+                        children: r.get_usize_vec()?,
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::resubstitution_accuracy;
+    use super::*;
+    use dm_data::corpus::{breast_cancer, nominal_classification, weather_nominal};
+
+    #[test]
+    fn trains_on_weather() {
+        let ds = weather_nominal();
+        let mut ht = HoeffdingTree::new();
+        ht.train(&ds).unwrap();
+        let d = ht.distribution(&ds, 0).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_splits_on_planted_dependency() {
+        // Class = (a0 + a1) mod 2, so a0 and a1 have near-identical
+        // marginal gains and the split must come from the tie-break
+        // rule (ε < τ needs ≈2800 rows at the defaults); children then
+        // split fast on the now-decisive remaining attribute.
+        let ds = nominal_classification(4000, 4, 3, 2, 0.1, 11);
+        let mut ht = HoeffdingTree::new();
+        ht.train(&ds).unwrap();
+        let (_, splits) = ht.leaf_stats();
+        assert!(splits >= 1, "no splits grown: {}", ht.describe());
+        let acc = resubstitution_accuracy(&ht, &ds);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn chunked_absorb_equals_batch_train() {
+        // Strictly sequential absorption ⇒ the model is independent of
+        // chunk boundaries — the E18 determinism contract.
+        let ds = nominal_classification(500, 4, 3, 2, 0.15, 3);
+        let mut whole = HoeffdingTree::new();
+        whole.train(&ds).unwrap();
+        for chunk_rows in [1usize, 7, 64] {
+            let mut streamed = HoeffdingTree::new();
+            let mut start = 0;
+            while start < ds.num_instances() {
+                let end = (start + chunk_rows).min(ds.num_instances());
+                let rows: Vec<usize> = (start..end).collect();
+                streamed.absorb(&ds.select_rows(&rows)).unwrap();
+                start = end;
+            }
+            assert_eq!(
+                streamed.encode_state(),
+                whole.encode_state(),
+                "chunk_rows {chunk_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_predictions() {
+        let ds = breast_cancer();
+        let mut ht = HoeffdingTree::new();
+        ht.train(&ds).unwrap();
+        let mut ht2 = HoeffdingTree::new();
+        ht2.decode_state(&ht.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(ht.predict(&ds, r).unwrap(), ht2.predict(&ds, r).unwrap());
+        }
+        // And absorption continues seamlessly after a restore.
+        ht2.absorb(&ds).unwrap();
+        assert_eq!(ht2.rows_seen(), 2 * ht.rows_seen());
+    }
+
+    #[test]
+    fn missing_class_rows_skipped() {
+        let mut ds = weather_nominal();
+        let ci = ds.class_index().unwrap();
+        ds.set_value(0, ci, f64::NAN);
+        let mut ht = HoeffdingTree::new();
+        ht.train(&ds).unwrap();
+        assert_eq!(ht.rows_seen(), 13);
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let ds = weather_nominal();
+        assert!(HoeffdingTree::new().distribution(&ds, 0).is_err());
+    }
+}

@@ -11,6 +11,7 @@
 mod adaboost;
 mod bagging;
 mod decision_stump;
+mod hoeffding;
 mod ibk;
 mod j48;
 mod logistic;
@@ -25,6 +26,7 @@ mod zero_r;
 pub use adaboost::AdaBoostM1;
 pub use bagging::Bagging;
 pub use decision_stump::DecisionStump;
+pub use hoeffding::HoeffdingTree;
 pub use ibk::IBk;
 pub use j48::J48;
 pub use logistic::Logistic;

@@ -186,14 +186,16 @@ impl NaiveBayes {
         if !self.trained {
             return Err(AlgoError::NotTrained);
         }
-        if batch.width != self.models.len() {
+        if batch.num_columns() != self.models.len() {
             return Err(AlgoError::Data(dm_data::DataError::Arity {
-                got: batch.width,
+                got: batch.num_columns(),
                 expected: self.models.len(),
             }));
         }
+        let mut buf = Vec::with_capacity(batch.num_columns());
         for i in 0..batch.num_rows() {
-            self.absorb_row(batch.row(i), 1.0);
+            batch.copy_row_into(i, &mut buf);
+            self.absorb_row(&buf, 1.0);
         }
         Ok(())
     }
@@ -483,7 +485,7 @@ mod tests {
         let chunks = dm_data::stream::chunk_dataset(&ds, 64).unwrap();
         let mut seed = header.clone();
         for i in 0..chunks[0].num_rows() {
-            seed.push_row(chunks[0].row(i).to_vec()).unwrap();
+            seed.push_row(chunks[0].row_values(i)).unwrap();
         }
         streaming.train(&seed).unwrap();
         for chunk in &chunks[1..] {
@@ -502,10 +504,15 @@ mod tests {
     #[test]
     fn update_batch_requires_training_and_arity() {
         let mut nb = NaiveBayes::new();
-        let batch = RecordBatch {
-            width: 3,
-            rows: vec![0.0; 6],
-        };
+        let three = dm_data::Dataset::new(
+            "three",
+            vec![
+                dm_data::Attribute::numeric("a"),
+                dm_data::Attribute::numeric("b"),
+                dm_data::Attribute::numeric("c"),
+            ],
+        );
+        let batch = RecordBatch::from_rows(&three, 0..0);
         assert!(matches!(
             nb.update_batch(&batch),
             Err(AlgoError::NotTrained)

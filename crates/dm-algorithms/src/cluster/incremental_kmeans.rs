@@ -1,0 +1,517 @@
+//! Mini-batch (incremental) k-means for streamed ingest.
+//!
+//! Sculley-style mini-batch k-means: rows are absorbed a chunk at a
+//! time and folded into the centres with per-centre learning rates
+//! `1/n_c`, so the model stays fresh under continuous ingest without
+//! ever materialising the whole dataset. Unlike `SimpleKMeans` it
+//! neither iterates to convergence nor needs the full data up front —
+//! `absorb` may be called forever.
+//!
+//! Determinism and chunk invariance: rows are buffered into an internal
+//! pending window and applied in exact mini-batches of `-B` rows
+//! (assignment is computed against a centre snapshot frozen at the
+//! start of each mini-batch, then rows update the centres
+//! sequentially). Because the buffer boundary — not the caller's chunk
+//! boundary — decides when a mini-batch runs, feeding the same rows in
+//! different chunkings produces byte-identical state: streamed-fold
+//! training equals migrate-then-train exactly (pinned by E18).
+//!
+//! Seeding needs no RNG: the first mini-batch is seeded farthest-first
+//! (centre 0 is its first row; each next centre is the buffered row
+//! with the greatest distance to its nearest chosen centre, lowest
+//! index on ties).
+//!
+//! Only numeric non-class attributes participate (distance is plain
+//! Euclidean on those dimensions); datasets without any are rejected.
+//! Missing cells simply don't contribute to distance or updates.
+
+use super::{check_clusterable, Clusterer};
+use crate::error::{AlgoError, Result};
+use crate::options::{descriptor_for, Configurable, OptionDescriptor, OptionKind};
+use crate::state::{StateReader, StateWriter, Stateful};
+use dm_data::{Dataset, Value};
+
+/// The mini-batch k-means clusterer.
+#[derive(Debug, Clone)]
+pub struct IncrementalKMeans {
+    /// `-N`: number of clusters.
+    k: usize,
+    /// `-B`: mini-batch size (rows buffered before an update runs).
+    batch_rows: usize,
+    /// Indices of the numeric non-class attributes the model projects
+    /// onto (frozen at init).
+    dims: Vec<usize>,
+    /// Centres, `k × dims.len()`; a dimension with `counts == 0` is
+    /// still unknown and holds `0.0` filler.
+    centers: Vec<Vec<f64>>,
+    /// Per-centre per-dimension observation counts (learning-rate
+    /// denominators; doubles as the "dimension known" flag).
+    counts: Vec<Vec<u64>>,
+    /// Centres already seeded?
+    seeded: bool,
+    /// Rows buffered but not yet folded into the centres (projected).
+    pending: Vec<Vec<f64>>,
+    /// Total rows absorbed (including still-pending ones).
+    rows_seen: u64,
+    init: bool,
+}
+
+impl Default for IncrementalKMeans {
+    fn default() -> Self {
+        IncrementalKMeans {
+            k: 2,
+            batch_rows: 256,
+            dims: Vec::new(),
+            centers: Vec::new(),
+            counts: Vec::new(),
+            seeded: false,
+            pending: Vec::new(),
+            rows_seen: 0,
+            init: false,
+        }
+    }
+}
+
+impl IncrementalKMeans {
+    /// Create with defaults (2 clusters, 256-row mini-batches).
+    pub fn new() -> IncrementalKMeans {
+        IncrementalKMeans::default()
+    }
+
+    /// Create with an explicit cluster count.
+    pub fn with_k(k: usize) -> IncrementalKMeans {
+        IncrementalKMeans {
+            k: k.max(1),
+            ..IncrementalKMeans::default()
+        }
+    }
+
+    /// Initialise the projection from a schema-bearing dataset. Called
+    /// implicitly by the first [`IncrementalKMeans::absorb`]; resets
+    /// any previous model.
+    pub fn init_schema(&mut self, data: &Dataset) -> Result<()> {
+        let class = data.class_index();
+        let dims: Vec<usize> = (0..data.num_attributes())
+            .filter(|&a| Some(a) != class && data.attributes()[a].is_numeric())
+            .collect();
+        if dims.is_empty() {
+            return Err(AlgoError::Unsupported(
+                "mini-batch k-means needs at least one numeric non-class attribute".into(),
+            ));
+        }
+        self.dims = dims;
+        self.centers = vec![vec![0.0; self.dims.len()]; self.k];
+        self.counts = vec![vec![0; self.dims.len()]; self.k];
+        self.seeded = false;
+        self.pending = Vec::new();
+        self.rows_seen = 0;
+        self.init = true;
+        Ok(())
+    }
+
+    /// Squared Euclidean distance between a projected row and a centre,
+    /// over dimensions known on both sides.
+    fn dist2(&self, row: &[f64], c: usize) -> f64 {
+        let mut d = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            if Value::is_missing(v) || self.counts[c][j] == 0 {
+                continue;
+            }
+            let diff = v - self.centers[c][j];
+            d += diff * diff;
+        }
+        d
+    }
+
+    fn nearest(&self, row: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for c in 0..self.centers.len() {
+            let d = self.dist2(row, c);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Farthest-first seeding over the buffered rows (no RNG: row 0 is
+    /// the first centre; ties go to the lowest row index). Only the
+    /// first `-B` buffered rows are considered — the window about to be
+    /// drained — so the seeds do not depend on how many rows happen to
+    /// be buffered beyond it, keeping absorb chunk-invariant.
+    fn seed_from_pending(&mut self) {
+        let window = &self.pending[..self.batch_rows.min(self.pending.len())];
+        let k = self.k.min(window.len());
+        let mut chosen = vec![0usize];
+        let mut min_d: Vec<f64> = window.iter().map(|r| seed_dist2(r, &window[0])).collect();
+        while chosen.len() < k {
+            let mut far = 0;
+            let mut far_d = f64::NEG_INFINITY;
+            for (i, &d) in min_d.iter().enumerate() {
+                if d > far_d {
+                    far_d = d;
+                    far = i;
+                }
+            }
+            chosen.push(far);
+            for (i, md) in min_d.iter_mut().enumerate() {
+                let d = seed_dist2(&window[i], &window[far]);
+                if d < *md {
+                    *md = d;
+                }
+            }
+        }
+        for (c, &row) in chosen.iter().enumerate() {
+            for (j, &v) in self.pending[row].iter().enumerate() {
+                if !Value::is_missing(v) {
+                    self.centers[c][j] = v;
+                    self.counts[c][j] = 1;
+                }
+            }
+        }
+        self.seeded = true;
+    }
+
+    /// Fold one exact mini-batch (`rows`) into the centres: assignments
+    /// against the frozen snapshot, then sequential per-row updates.
+    fn apply_mini_batch(&mut self, rows: &[Vec<f64>]) {
+        let assign: Vec<usize> = rows.iter().map(|r| self.nearest(r)).collect();
+        for (row, &c) in rows.iter().zip(&assign) {
+            for (j, &v) in row.iter().enumerate() {
+                if Value::is_missing(v) {
+                    continue;
+                }
+                self.counts[c][j] += 1;
+                let eta = 1.0 / self.counts[c][j] as f64;
+                self.centers[c][j] += eta * (v - self.centers[c][j]);
+            }
+        }
+    }
+
+    fn drain_pending(&mut self, force_tail: bool) {
+        while self.pending.len() >= self.batch_rows {
+            if !self.seeded {
+                self.seed_from_pending();
+            }
+            let batch: Vec<Vec<f64>> = self.pending.drain(..self.batch_rows).collect();
+            self.apply_mini_batch(&batch);
+        }
+        if force_tail && !self.pending.is_empty() {
+            if !self.seeded {
+                self.seed_from_pending();
+            }
+            let batch: Vec<Vec<f64>> = self.pending.drain(..).collect();
+            self.apply_mini_batch(&batch);
+        }
+    }
+
+    /// Absorb a chunk of rows. The first call fixes the projection from
+    /// `data`'s schema; later chunks must carry the same attribute
+    /// count. Updates run on the internal `-B`-row buffer boundary, so
+    /// chunking does not affect the resulting model.
+    pub fn absorb(&mut self, data: &Dataset) -> Result<()> {
+        if !self.init {
+            check_clusterable(data)?;
+            self.init_schema(data)?;
+        }
+        if let Some(&max_dim) = self.dims.last() {
+            if max_dim >= data.num_attributes() {
+                return Err(AlgoError::Data(dm_data::DataError::Arity {
+                    got: data.num_attributes(),
+                    expected: max_dim + 1,
+                }));
+            }
+        }
+        for r in 0..data.num_instances() {
+            self.pending
+                .push(self.dims.iter().map(|&a| data.value(r, a)).collect());
+            self.rows_seen += 1;
+        }
+        self.drain_pending(false);
+        Ok(())
+    }
+
+    /// Fold any buffered tail rows into the centres (call when the
+    /// stream closes). Errors if nothing was ever absorbed.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.init || self.rows_seen == 0 {
+            return Err(AlgoError::Data(dm_data::DataError::Empty));
+        }
+        self.drain_pending(true);
+        Ok(())
+    }
+
+    /// Total rows absorbed so far (pending included).
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+}
+
+impl Clusterer for IncrementalKMeans {
+    fn name(&self) -> &'static str {
+        "IncrementalKMeans"
+    }
+
+    fn build(&mut self, data: &Dataset) -> Result<()> {
+        check_clusterable(data)?;
+        self.init = false; // reset: build() is batch semantics
+        self.init_schema(data)?;
+        self.absorb(data)?;
+        self.flush()
+    }
+
+    fn cluster_instance(&self, data: &Dataset, row: usize) -> Result<usize> {
+        if !self.init || !self.seeded {
+            return Err(AlgoError::NotTrained);
+        }
+        let projected: Vec<f64> = self.dims.iter().map(|&a| data.value(row, a)).collect();
+        Ok(self.nearest(&projected))
+    }
+
+    fn num_clusters(&self) -> Result<usize> {
+        if !self.init || !self.seeded {
+            return Err(AlgoError::NotTrained);
+        }
+        Ok(self.centers.len())
+    }
+
+    fn describe(&self) -> String {
+        if !self.init || !self.seeded {
+            return "IncrementalKMeans: not built".to_string();
+        }
+        let mut s = format!(
+            "Mini-batch k-means: {} centres over {} numeric attributes, {} rows absorbed (batch {})\n",
+            self.centers.len(),
+            self.dims.len(),
+            self.rows_seen,
+            self.batch_rows
+        );
+        for (c, center) in self.centers.iter().enumerate() {
+            let coords: Vec<String> = center.iter().map(|v| format!("{v:.4}")).collect();
+            s.push_str(&format!("  centre {c}: [{}]\n", coords.join(", ")));
+        }
+        s
+    }
+}
+
+/// Seeding distance: squared Euclidean over dimensions present in both
+/// rows (free function so it can run while `pending` is borrowed).
+fn seed_dist2(a: &[f64], b: &[f64]) -> f64 {
+    let mut d = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if !Value::is_missing(x) && !Value::is_missing(y) {
+            let diff = x - y;
+            d += diff * diff;
+        }
+    }
+    d
+}
+
+impl Configurable for IncrementalKMeans {
+    fn option_descriptors(&self) -> Vec<OptionDescriptor> {
+        vec![
+            OptionDescriptor {
+                flag: "-N",
+                name: "numClusters",
+                description: "number of clusters",
+                default: "2".into(),
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 100_000,
+                },
+            },
+            OptionDescriptor {
+                flag: "-B",
+                name: "batchRows",
+                description: "mini-batch size in rows",
+                default: "256".into(),
+                kind: OptionKind::Integer {
+                    min: 1,
+                    max: 1_000_000,
+                },
+            },
+        ]
+    }
+
+    fn set_option(&mut self, flag: &str, value: &str) -> Result<()> {
+        let ds = self.option_descriptors();
+        descriptor_for(&ds, flag)?.validate(value)?;
+        match flag {
+            "-N" => self.k = value.parse().expect("validated"),
+            "-B" => self.batch_rows = value.parse().expect("validated"),
+            _ => unreachable!("descriptor_for rejects unknown flags"),
+        }
+        Ok(())
+    }
+
+    fn get_option(&self, flag: &str) -> Result<String> {
+        match flag {
+            "-N" => Ok(self.k.to_string()),
+            "-B" => Ok(self.batch_rows.to_string()),
+            _ => Err(AlgoError::BadOption {
+                flag: flag.into(),
+                message: "unknown option".into(),
+            }),
+        }
+    }
+}
+
+impl Stateful for IncrementalKMeans {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.k);
+        w.put_usize(self.batch_rows);
+        w.put_bool(self.init);
+        if self.init {
+            w.put_usize_slice(&self.dims);
+            w.put_bool(self.seeded);
+            w.put_usize(self.centers.len());
+            for (c, counts) in self.centers.iter().zip(&self.counts) {
+                w.put_f64_slice(c);
+                let as_u64: Vec<usize> = counts.iter().map(|&n| n as usize).collect();
+                w.put_usize_slice(&as_u64);
+            }
+            w.put_usize(self.pending.len());
+            for row in &self.pending {
+                w.put_f64_slice(row);
+            }
+            w.put_u64(self.rows_seen);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = StateReader::new(bytes);
+        self.k = r.get_usize()?;
+        self.batch_rows = r.get_usize()?;
+        self.init = r.get_bool()?;
+        self.dims = Vec::new();
+        self.centers = Vec::new();
+        self.counts = Vec::new();
+        self.pending = Vec::new();
+        self.seeded = false;
+        self.rows_seen = 0;
+        if self.init {
+            self.dims = r.get_usize_vec()?;
+            self.seeded = r.get_bool()?;
+            let n = r.get_usize()?;
+            if n > 1 << 20 {
+                return Err(AlgoError::BadState("absurd centre count".into()));
+            }
+            for _ in 0..n {
+                self.centers.push(r.get_f64_vec()?);
+                self.counts
+                    .push(r.get_usize_vec()?.into_iter().map(|n| n as u64).collect());
+            }
+            let pending = r.get_usize()?;
+            if pending > 1 << 24 {
+                return Err(AlgoError::BadState("absurd pending buffer".into()));
+            }
+            self.pending = (0..pending)
+                .map(|_| r.get_f64_vec())
+                .collect::<Result<_>>()?;
+            self.rows_seen = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{rand_index, three_blobs};
+    use super::*;
+
+    #[test]
+    fn separates_blobs() {
+        let ds = three_blobs();
+        let mut km = IncrementalKMeans::with_k(3);
+        km.build(&ds).unwrap();
+        let assign: Vec<usize> = (0..ds.num_instances())
+            .map(|r| km.cluster_instance(&ds, r).unwrap())
+            .collect();
+        let ri = rand_index(&ds, &assign);
+        assert!(ri > 0.95, "rand index {ri}");
+    }
+
+    #[test]
+    fn chunked_absorb_equals_batch_build() {
+        // The pending-buffer design makes the model independent of how
+        // rows are chunked — the E18 determinism contract. `-B 64` puts
+        // two full drain boundaries inside the 150-row corpus, so this
+        // also pins seed-window invariance (seeding must not see rows
+        // buffered beyond the batch about to drain).
+        let ds = three_blobs();
+        let mut whole = IncrementalKMeans::with_k(3);
+        whole.set_option("-B", "64").unwrap();
+        whole.build(&ds).unwrap();
+        for chunk_rows in [1usize, 7, 64, 100] {
+            let mut streamed = IncrementalKMeans::with_k(3);
+            streamed.set_option("-B", "64").unwrap();
+            let mut start = 0;
+            while start < ds.num_instances() {
+                let end = (start + chunk_rows).min(ds.num_instances());
+                let rows: Vec<usize> = (start..end).collect();
+                streamed.absorb(&ds.select_rows(&rows)).unwrap();
+                start = end;
+            }
+            streamed.flush().unwrap();
+            assert_eq!(
+                streamed.encode_state(),
+                whole.encode_state(),
+                "chunk_rows {chunk_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ds = three_blobs();
+        let mut km = IncrementalKMeans::with_k(3);
+        km.build(&ds).unwrap();
+        let mut km2 = IncrementalKMeans::new();
+        km2.decode_state(&km.encode_state()).unwrap();
+        for r in 0..ds.num_instances() {
+            assert_eq!(
+                km.cluster_instance(&ds, r).unwrap(),
+                km2.cluster_instance(&ds, r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn regression_pinned_centres() {
+        // Deterministic seeding + updates ⇒ exact centres, pinned.
+        let ds = three_blobs();
+        let mut km = IncrementalKMeans::with_k(3);
+        km.build(&ds).unwrap();
+        let again = {
+            let mut km2 = IncrementalKMeans::with_k(3);
+            km2.build(&ds).unwrap();
+            km2.encode_state()
+        };
+        assert_eq!(km.encode_state(), again);
+        // Centres sit in distinct blobs (pairwise distance ≫ stddev).
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let d = seed_dist2(&km.centers[i], &km.centers[j]).sqrt();
+                assert!(d > 3.0, "centres {i},{j} distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_all_nominal_data() {
+        let ds = dm_data::corpus::weather_nominal();
+        let mut km = IncrementalKMeans::new();
+        assert!(matches!(km.build(&ds), Err(AlgoError::Unsupported(_))));
+    }
+
+    #[test]
+    fn unbuilt_errors() {
+        let ds = three_blobs();
+        assert!(IncrementalKMeans::new().cluster_instance(&ds, 0).is_err());
+        assert!(IncrementalKMeans::new().flush().is_err());
+    }
+}

@@ -10,12 +10,14 @@ mod cobweb;
 mod em;
 mod farthest_first;
 mod hierarchical;
+mod incremental_kmeans;
 mod kmeans;
 
 pub use cobweb::Cobweb;
 pub use em::EM;
 pub use farthest_first::FarthestFirst;
 pub use hierarchical::{Hierarchical, Linkage};
+pub use incremental_kmeans::IncrementalKMeans;
 pub use kmeans::KMeans;
 
 use crate::error::{AlgoError, Result};

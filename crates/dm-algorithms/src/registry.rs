@@ -7,10 +7,12 @@
 
 use crate::associations::{Apriori, Associator, FPGrowth};
 use crate::classifiers::{
-    AdaBoostM1, Bagging, Classifier, DecisionStump, IBk, Logistic, MultilayerPerceptron,
-    NaiveBayes, OneR, Prism, RandomForest, RandomTree, ZeroR, J48,
+    AdaBoostM1, Bagging, Classifier, DecisionStump, HoeffdingTree, IBk, Logistic,
+    MultilayerPerceptron, NaiveBayes, OneR, Prism, RandomForest, RandomTree, ZeroR, J48,
 };
-use crate::cluster::{Clusterer, Cobweb, FarthestFirst, Hierarchical, KMeans, EM};
+use crate::cluster::{
+    Clusterer, Cobweb, FarthestFirst, Hierarchical, IncrementalKMeans, KMeans, EM,
+};
 use crate::error::{AlgoError, Result};
 
 /// Names of all registered classifiers, in stable order.
@@ -29,6 +31,7 @@ pub fn classifier_names() -> Vec<&'static str> {
         "RandomForest",
         "Bagging",
         "AdaBoostM1",
+        "HoeffdingTree",
     ]
 }
 
@@ -48,6 +51,7 @@ pub fn make_classifier(name: &str) -> Result<Box<dyn Classifier>> {
         "RandomForest" => Box::new(RandomForest::new()),
         "Bagging" => Box::new(Bagging::new()),
         "AdaBoostM1" => Box::new(AdaBoostM1::new()),
+        "HoeffdingTree" => Box::new(HoeffdingTree::new()),
         other => return Err(AlgoError::UnknownAlgorithm(other.to_string())),
     })
 }
@@ -60,6 +64,7 @@ pub fn clusterer_names() -> Vec<&'static str> {
         "Cobweb",
         "EM",
         "HierarchicalClusterer",
+        "IncrementalKMeans",
     ]
 }
 
@@ -71,6 +76,7 @@ pub fn make_clusterer(name: &str) -> Result<Box<dyn Clusterer>> {
         "Cobweb" => Box::new(Cobweb::new()),
         "EM" => Box::new(EM::new()),
         "HierarchicalClusterer" => Box::new(Hierarchical::new()),
+        "IncrementalKMeans" => Box::new(IncrementalKMeans::new()),
         other => return Err(AlgoError::UnknownAlgorithm(other.to_string())),
     })
 }
@@ -140,9 +146,9 @@ mod tests {
 
     #[test]
     fn inventory_matches_paper_scale() {
-        // 13 classifiers + 5 clusterers + 2 associators + 20 attribute
-        // selection approaches = 40 registered algorithms.
-        assert_eq!(inventory_size(), 40);
+        // 14 classifiers + 6 clusterers + 2 associators + 20 attribute
+        // selection approaches = 42 registered algorithms.
+        assert_eq!(inventory_size(), 42);
     }
 
     #[test]

@@ -67,6 +67,17 @@ pub enum DataError {
     InvalidParameter(String),
     /// A streaming source terminated early or was disconnected.
     StreamClosed,
+    /// A record batch arrived ragged: one of its parallel buffers does
+    /// not cover the row count the batch declares. Raised at receive
+    /// time so a malformed producer cannot panic the consumer.
+    RaggedBatch {
+        /// Which buffer is ragged (attribute name, or `"weights"`).
+        column: String,
+        /// Rows actually present in that buffer.
+        len: usize,
+        /// Rows the batch declares.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -115,6 +126,16 @@ impl fmt::Display for DataError {
             DataError::Empty => write!(f, "dataset contains no instances"),
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             DataError::StreamClosed => write!(f, "record stream closed unexpectedly"),
+            DataError::RaggedBatch {
+                column,
+                len,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "ragged record batch: buffer {column:?} holds {len} rows, batch declares {expected}"
+                )
+            }
         }
     }
 }

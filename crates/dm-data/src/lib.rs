@@ -56,6 +56,7 @@ pub use attribute::{Attribute, AttributeKind};
 pub use column::{Bitmap, Codes, CodesView, Column, ColumnView};
 pub use dataset::{block_ranges, BlockView, Dataset, Instance, Value};
 pub use error::{DataError, Result};
+pub use stream::{chunk_dataset, record_stream, RecordBatch, StreamHeader};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {

@@ -414,6 +414,247 @@ impl ConvertClient {
     }
 }
 
+/// `sendChunk` acknowledgement: ingest progress at the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkAck {
+    /// Total rows absorbed by the stream so far.
+    pub rows_total: u64,
+    /// Chunks admitted but not yet absorbed at the caller's clock.
+    pub backlog_chunks: usize,
+    /// Virtual time until the model has absorbed everything sent —
+    /// the freshness lag E18 plots against window size.
+    pub staleness: std::time::Duration,
+}
+
+/// `streamStats` snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStatsSnapshot {
+    /// Chunks absorbed (duplicates excluded).
+    pub chunks: u64,
+    /// Rows absorbed.
+    pub rows: u64,
+    /// In-flight chunks at the last timestamped call.
+    pub backlog: usize,
+    /// Sheds due to a full window.
+    pub busy_rejections: u64,
+    /// Most rows the service ever held resident at once.
+    pub peak_resident_rows: u64,
+}
+
+/// Client for the streaming-ingest `DataStream` service: the producer
+/// side of the E18 data plane. Chunks are timestamped with the
+/// caller's virtual clock; when the service sheds with
+/// `retry_after_nanos=…` the client sleeps that long on the virtual
+/// clock and retries — co-operative back-pressure without threads.
+#[derive(Clone)]
+pub struct StreamClient {
+    network: Arc<Network>,
+    channel: ClientChannel,
+}
+
+impl StreamClient {
+    /// Point the client at `host` on `network`.
+    pub fn new(network: Arc<Network>, host: &str) -> StreamClient {
+        StreamClient {
+            channel: ClientChannel::new(Arc::clone(&network), host),
+            network,
+        }
+    }
+
+    /// Route this client's calls through `caller` (deadlines, backoff
+    /// retries, circuit breakers).
+    pub fn with_resilience(mut self, caller: ResilientCaller) -> StreamClient {
+        self.channel = self.channel.with_resilience(caller);
+        self
+    }
+
+    /// `openStream` — returns the stream id.
+    pub fn open_stream(
+        &self,
+        header: &dm_data::stream::StreamHeader,
+        learner: &str,
+        options: &str,
+        window: u64,
+        row_cost: std::time::Duration,
+    ) -> Result<String> {
+        text(self.channel.invoke(
+            "DataStream",
+            "openStream",
+            vec![
+                ("header".into(), SoapValue::Bytes(header.to_bytes())),
+                ("learner".into(), SoapValue::Text(learner.into())),
+                ("options".into(), SoapValue::Text(options.into())),
+                ("window".into(), SoapValue::Int(window as i64)),
+                (
+                    "rowNanos".into(),
+                    SoapValue::Int(row_cost.as_nanos() as i64),
+                ),
+            ],
+        )?)
+    }
+
+    /// `sendChunk` — push one columnar batch, waiting out back-pressure
+    /// on the virtual clock when the service's window is full.
+    pub fn send_chunk(
+        &self,
+        stream_id: &str,
+        seq: u64,
+        batch: &dm_data::stream::RecordBatch,
+    ) -> Result<ChunkAck> {
+        let bytes = batch.to_bytes();
+        // Bounded retry: each shed tells us how long until a window
+        // slot frees, so a handful of sleeps always suffices.
+        let mut last_err = None;
+        for _ in 0..16 {
+            let at = self.network.now().as_nanos() as i64;
+            let result = self.channel.invoke(
+                "DataStream",
+                "sendChunk",
+                vec![
+                    ("streamId".into(), SoapValue::Text(stream_id.into())),
+                    ("seq".into(), SoapValue::Int(seq as i64)),
+                    ("atNanos".into(), SoapValue::Int(at)),
+                    ("chunk".into(), SoapValue::Bytes(bytes.clone())),
+                ],
+            );
+            match result {
+                Ok(v) => {
+                    let ack = v.as_list()?;
+                    return Ok(ChunkAck {
+                        rows_total: ack[0].as_int()? as u64,
+                        backlog_chunks: ack[1].as_int()? as usize,
+                        staleness: std::time::Duration::from_nanos(ack[2].as_int()?.max(0) as u64),
+                    });
+                }
+                Err(dm_wsrf::error::WsError::Fault { code, message })
+                    if code == "Server" && message.contains("retry_after_nanos=") =>
+                {
+                    let nanos: u64 = message
+                        .rsplit("retry_after_nanos=")
+                        .next()
+                        .and_then(|s| s.trim().parse().ok())
+                        .unwrap_or(1);
+                    self.network
+                        .advance_virtual_time(std::time::Duration::from_nanos(nanos));
+                    last_err = Some(dm_wsrf::error::WsError::Fault { code, message });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("retry loop exits with an error"))
+    }
+
+    /// Stream a whole dataset: open, chunk, send with back-pressure,
+    /// close. Returns `(stream_id, final ack)`.
+    pub fn send_dataset(
+        &self,
+        ds: &dm_data::Dataset,
+        chunk_rows: usize,
+        learner: &str,
+        options: &str,
+        window: u64,
+        row_cost: std::time::Duration,
+    ) -> Result<(String, ChunkAck)> {
+        let header = dm_data::stream::StreamHeader::of(ds);
+        let id = self.open_stream(&header, learner, options, window, row_cost)?;
+        let mut last = ChunkAck {
+            rows_total: 0,
+            backlog_chunks: 0,
+            staleness: std::time::Duration::ZERO,
+        };
+        for (seq, batch) in dm_data::stream::chunk_dataset(ds, chunk_rows)
+            .map_err(|e| dm_wsrf::error::WsError::Fault {
+                code: "Client".into(),
+                message: e.to_string(),
+            })?
+            .iter()
+            .enumerate()
+        {
+            last = self.send_chunk(&id, seq as u64, batch)?;
+        }
+        self.close_stream(&id)?;
+        Ok((id, last))
+    }
+
+    /// `classifyInstances` — label strings from the live model.
+    pub fn classify_instances(&self, stream_id: &str, arff: &str) -> Result<Vec<String>> {
+        text_list(self.channel.invoke(
+            "DataStream",
+            "classifyInstances",
+            vec![
+                ("streamId".into(), SoapValue::Text(stream_id.into())),
+                ("instances".into(), SoapValue::Text(arff.into())),
+            ],
+        )?)
+    }
+
+    /// `classifyInstances` against a clustering stream — cluster ids.
+    pub fn assign_clusters(&self, stream_id: &str, arff: &str) -> Result<Vec<usize>> {
+        self.channel
+            .invoke(
+                "DataStream",
+                "classifyInstances",
+                vec![
+                    ("streamId".into(), SoapValue::Text(stream_id.into())),
+                    ("instances".into(), SoapValue::Text(arff.into())),
+                ],
+            )?
+            .as_list()?
+            .iter()
+            .map(|v| Ok(v.as_int()? as usize))
+            .collect()
+    }
+
+    /// `modelDescription`.
+    pub fn model_description(&self, stream_id: &str) -> Result<String> {
+        text(self.channel.invoke(
+            "DataStream",
+            "modelDescription",
+            vec![("streamId".into(), SoapValue::Text(stream_id.into()))],
+        )?)
+    }
+
+    /// `modelState` — the learner's exact encoded state.
+    pub fn model_state(&self, stream_id: &str) -> Result<Vec<u8>> {
+        Ok(self
+            .channel
+            .invoke(
+                "DataStream",
+                "modelState",
+                vec![("streamId".into(), SoapValue::Text(stream_id.into()))],
+            )?
+            .as_bytes()?
+            .to_vec())
+    }
+
+    /// `streamStats`.
+    pub fn stream_stats(&self, stream_id: &str) -> Result<StreamStatsSnapshot> {
+        let v = self.channel.invoke(
+            "DataStream",
+            "streamStats",
+            vec![("streamId".into(), SoapValue::Text(stream_id.into()))],
+        )?;
+        let v = v.as_list()?;
+        Ok(StreamStatsSnapshot {
+            chunks: v[0].as_int()? as u64,
+            rows: v[1].as_int()? as u64,
+            backlog: v[2].as_int()? as usize,
+            busy_rejections: v[3].as_int()? as u64,
+            peak_resident_rows: v[4].as_int()? as u64,
+        })
+    }
+
+    /// `closeStream` — flush the learner and seal the stream.
+    pub fn close_stream(&self, stream_id: &str) -> Result<()> {
+        self.channel.invoke(
+            "DataStream",
+            "closeStream",
+            vec![("streamId".into(), SoapValue::Text(stream_id.into()))],
+        )?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +712,39 @@ mod tests {
             .unwrap();
         let table = client.summary(&arff).unwrap();
         assert!(table.contains("Num Instances 286"));
+    }
+
+    #[test]
+    fn stream_client_end_to_end_with_backpressure() {
+        let net = network();
+        let client = StreamClient::new(Arc::clone(&net), "miner");
+        let ds = dm_data::corpus::nominal_classification(400, 4, 3, 2, 0.1, 5);
+        // A 2-chunk window with a visible per-row cost forces the
+        // client through the shed-and-retry path on the virtual clock.
+        let (id, ack) = client
+            .send_dataset(
+                &ds,
+                32,
+                "HoeffdingTree",
+                "",
+                2,
+                std::time::Duration::from_millis(5),
+            )
+            .unwrap();
+        assert_eq!(ack.rows_total, 400);
+        let stats = client.stream_stats(&id).unwrap();
+        assert_eq!(stats.rows, 400);
+        assert!(stats.busy_rejections > 0, "window never filled");
+        // Peak resident memory is one chunk, not the dataset.
+        assert!(stats.peak_resident_rows <= 32);
+        // The served model answers over the same transport.
+        let labels = client
+            .classify_instances(&id, &dm_data::arff::write_arff(&ds))
+            .unwrap();
+        assert_eq!(labels.len(), 400);
+        let state = client.model_state(&id).unwrap();
+        assert!(!state.is_empty());
+        assert!(client.model_description(&id).unwrap().contains("Hoeffding"));
     }
 
     #[test]

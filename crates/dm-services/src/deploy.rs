@@ -36,6 +36,9 @@ pub fn deploy_faehim_suite(container: &ServiceContainer) -> Result<Vec<String>> 
     container.deploy(std::sync::Arc::new(
         crate::preprocess_ws::PreprocessService::new(),
     ));
+    container.deploy(std::sync::Arc::new(
+        crate::stream_ws::DataStreamService::new(),
+    ));
     Ok(container.deployed())
 }
 
@@ -47,6 +50,7 @@ fn categories_of(service: &str) -> Vec<String> {
         "Association" => &["datamining", "association-rules"],
         "AttributeSelection" => &["datamining", "attribute-selection"],
         "DataConversion" | "UrlReader" | "Preprocess" => &["data-handling"],
+        "DataStream" => &["data-handling", "streaming"],
         "DataAccess" => &["data-handling", "relational"],
         "Session" => &["session-management"],
         "Plot" | "Math" => &["visualisation"],
@@ -79,10 +83,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_deploys_thirteen_services() {
+    fn suite_deploys_fourteen_services() {
         let c = ServiceContainer::new("host-a");
         let names = deploy_faehim_suite(&c).unwrap();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
         for expected in [
             "Classifier",
             "J48",
@@ -96,6 +100,7 @@ mod tests {
             "Session",
             "Plot",
             "Math",
+            "DataStream",
         ] {
             assert!(names.contains(&expected.to_string()), "{expected} missing");
         }
@@ -107,10 +112,11 @@ mod tests {
         deploy_faehim_suite(&c).unwrap();
         let registry = UddiRegistry::new();
         publish_suite(&c, &registry).unwrap();
-        assert_eq!(registry.len(), 13);
+        assert_eq!(registry.len(), 14);
         let classifiers = registry.find_by_category("classifier");
         assert_eq!(classifiers.len(), 2);
         assert!(classifiers[0].wsdl_url.ends_with("?wsdl"));
         assert_eq!(registry.find_by_category("visualisation").len(), 2);
+        assert_eq!(registry.find_by_category("streaming").len(), 1);
     }
 }

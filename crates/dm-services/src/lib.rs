@@ -23,6 +23,9 @@
 //!   URL and convert\[s\] this into a format suitable for analysis";
 //! * [`plot_ws`] — the GNUPlot-substitute 2-D plotter and the
 //!   Mathematica-substitute `plot3D` returning image bytes;
+//! * [`stream_ws`] — the **streaming ingest** service (E18): columnar
+//!   chunk upload with bounded in-flight windows, online learners, and
+//!   live `classifyInstances` serving over the open stream;
 //! * [`client`] — typed stubs that invoke the services over the
 //!   simulated network (what Triana's generated tools did);
 //! * [`deploy`] — one-call deployment of the full FAEHIM suite onto a
@@ -44,6 +47,7 @@ pub mod model_cache;
 pub mod plot_ws;
 pub mod preprocess_ws;
 pub mod session_ws;
+pub mod stream_ws;
 mod support;
 
 pub use deploy::{deploy_faehim_suite, publish_suite};
@@ -63,6 +67,8 @@ pub fn is_pure_operation(service: &str, operation: &str) -> bool {
         "J48" => !matches!(operation, "setLifecycle" | "getLifecycleStats"),
         // Cache counters change on every trained-model lookup.
         "Classifier" => operation != "getCacheStats",
+        // Every streaming operation mutates or reads live stream state.
+        "DataStream" => false,
         "Cobweb" | "Clusterer" | "Association" | "AttributeSelection" | "Preprocess"
         | "DataConversion" | "UrlReader" | "DataAccess" | "Plot" | "Math" => true,
         _ => false,
@@ -72,7 +78,9 @@ pub fn is_pure_operation(service: &str, operation: &str) -> bool {
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::classifier_ws::ClassifierService;
-    pub use crate::client::{ClassifierClient, ClustererClient, ConvertClient, J48Client};
+    pub use crate::client::{
+        ClassifierClient, ClustererClient, ConvertClient, J48Client, StreamClient,
+    };
     pub use crate::deploy::{deploy_faehim_suite, publish_suite};
     pub use crate::is_pure_operation;
     pub use crate::j48_ws::J48Service;

@@ -93,6 +93,29 @@ pub struct HostSummary {
     pub bytes_out: usize,
 }
 
+/// Per-operation aggregate statistics — the per-chunk wire-accounting
+/// view for streaming ops: `bytes_in / invocations` of a `sendChunk`
+/// row is the average wire bytes per chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationSummary {
+    /// Operation name.
+    pub operation: String,
+    /// Total invocations of the operation.
+    pub invocations: usize,
+    /// Invocations that did not return a value.
+    pub faults: usize,
+    /// Total request bytes.
+    pub bytes_in: usize,
+    /// Total response bytes.
+    pub bytes_out: usize,
+    /// Total wire bytes avoided by pass-by-reference substitution.
+    pub bytes_saved: usize,
+    /// Payloads that travelled as `DataRef` handles.
+    pub ref_hits: usize,
+    /// Sum of execution durations.
+    pub total_duration: Duration,
+}
+
 /// A thread-safe, append-only invocation log.
 #[derive(Debug, Default)]
 pub struct MonitorLog {
@@ -159,6 +182,51 @@ impl MonitorLog {
             s.ref_hits += e.ref_hits;
         }
         s
+    }
+
+    /// Per-operation aggregates, optionally filtered by service name
+    /// and sorted by operation name. Streaming consumers read chunk
+    /// wire costs here (`sendChunk` → bytes per chunk, `DataRef`
+    /// substitutions for repeated chunks) without scanning raw events.
+    pub fn summary_by_operation(&self, service: Option<&str>) -> Vec<OperationSummary> {
+        let events = self.events.lock();
+        let mut ops: Vec<&str> = events
+            .iter()
+            .filter(|e| service.is_none_or(|s| e.service == s))
+            .map(|e| e.operation.as_str())
+            .collect();
+        ops.sort_unstable();
+        ops.dedup();
+
+        ops.into_iter()
+            .map(|op| {
+                let mut s = OperationSummary {
+                    operation: op.to_string(),
+                    invocations: 0,
+                    faults: 0,
+                    bytes_in: 0,
+                    bytes_out: 0,
+                    bytes_saved: 0,
+                    ref_hits: 0,
+                    total_duration: Duration::ZERO,
+                };
+                for e in events
+                    .iter()
+                    .filter(|e| e.operation == op && service.is_none_or(|sv| e.service == sv))
+                {
+                    s.invocations += 1;
+                    if e.outcome.is_failure() {
+                        s.faults += 1;
+                    }
+                    s.bytes_in += e.bytes_in;
+                    s.bytes_out += e.bytes_out;
+                    s.bytes_saved += e.bytes_saved;
+                    s.ref_hits += e.ref_hits;
+                    s.total_duration += e.duration;
+                }
+                s
+            })
+            .collect()
     }
 
     /// Per-host aggregates (failure rate, p50/max duration, traffic),

@@ -118,7 +118,7 @@ fn main() {
     let mut nb = NaiveBayes::new();
     let mut seed = ds.header_clone();
     for i in 0..chunks[0].num_rows() {
-        seed.push_row(chunks[0].row(i).to_vec()).expect("row");
+        seed.push_row(chunks[0].row_values(i)).expect("row");
     }
     nb.train(&seed).expect("seed training");
     for (i, chunk) in chunks[1..].iter().enumerate() {

@@ -10,7 +10,7 @@ fn inventory_scale() {
     assert!(registry::clusterer_names().len() >= 5);
     assert!(registry::associator_names().len() >= 2);
     assert_eq!(dm_algorithms::attrsel::approaches().len(), 20);
-    assert_eq!(registry::inventory_size(), 40);
+    assert_eq!(registry::inventory_size(), 42);
 }
 
 #[test]

@@ -229,7 +229,7 @@ fn incremental_naive_bayes_matches_batch_via_stream() {
             None => {
                 let mut seed = header.clone();
                 for i in 0..chunk.num_rows() {
-                    seed.push_row(chunk.row(i).to_vec()).unwrap();
+                    seed.push_row(chunk.row_values(i)).unwrap();
                 }
                 let mut nb = NaiveBayes::new();
                 nb.train(&seed).unwrap();

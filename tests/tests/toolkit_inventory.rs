@@ -22,10 +22,10 @@ fn figure2_components_present() {
         .into_iter()
         .filter(|f| f.starts_with("WebServices."))
         .collect();
-    assert_eq!(ws_folders.len(), 13, "{ws_folders:?}");
+    assert_eq!(ws_folders.len(), 14, "{ws_folders:?}");
 
     // The registry holds the published suite.
-    assert_eq!(toolkit.registry().len(), 13);
+    assert_eq!(toolkit.registry().len(), 14);
 
     // The description names the key components.
     let text = toolkit.describe_components();
@@ -34,7 +34,7 @@ fn figure2_components_present() {
         "DataManipulation/",
         "Visualization/",
         "Classifier @",
-        "40 registered algorithms",
+        "42 registered algorithms",
     ] {
         assert!(text.contains(needle), "{needle} missing from:\n{text}");
     }
