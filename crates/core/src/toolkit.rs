@@ -17,6 +17,7 @@ use dm_workflow::toolbox::Toolbox;
 use dm_workflow::wsimport::{import_from_host, WsTool};
 use dm_wsrf::container::{CapacityConfig, ServiceContainer};
 use dm_wsrf::dataplane::AttachmentStore;
+use dm_wsrf::fleet::P2cRouter;
 use dm_wsrf::metrics::{MetricsRegistry, PoolSnapshot, RecoverySnapshot};
 use dm_wsrf::registry::UddiRegistry;
 use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
@@ -37,6 +38,7 @@ pub struct Toolkit {
     hosts: Vec<String>,
     resilience: Option<ResilientCaller>,
     durable: Option<DurableConfig>,
+    router: Option<Arc<P2cRouter>>,
 }
 
 impl Toolkit {
@@ -66,6 +68,7 @@ impl Toolkit {
             hosts: names,
             resilience: None,
             durable: None,
+            router: None,
         };
         // Import every deployed service's operations as workspace tools
         // (Triana: "creates a tool for each operation").
@@ -128,6 +131,24 @@ impl Toolkit {
     /// has been called.
     pub fn resilience(&self) -> Option<&ResilientCaller> {
         self.resilience.as_ref()
+    }
+
+    /// Turn on replica-aware routing (E19): every tool subsequently
+    /// imported via [`Toolkit::import_service`] re-orders its replica
+    /// set per call with a seeded power-of-two-choices draw over
+    /// [`Network::load_snapshot`], instead of always hammering the
+    /// import host first. Returns the shared router so callers can
+    /// attach it to hand-built tools or inspect its draw counter.
+    pub fn enable_replica_routing(&mut self, seed: u64) -> Arc<P2cRouter> {
+        let router = Arc::new(P2cRouter::new(seed));
+        self.router = Some(Arc::clone(&router));
+        router
+    }
+
+    /// The shared replica router, when
+    /// [`Toolkit::enable_replica_routing`] has been called.
+    pub fn replica_router(&self) -> Option<Arc<P2cRouter>> {
+        self.router.clone()
     }
 
     /// Turn on admission control on every provisioned host: each
@@ -387,8 +408,13 @@ impl Toolkit {
         }
         for s in summaries {
             out.push_str(&format!(
-                "  {}: {} calls, failure rate {:.2}, p50 {:?}, max {:?}\n",
-                s.host, s.invocations, s.failure_rate, s.p50_duration, s.max_duration
+                "  {}: {} calls, failure rate {:.2}, p50 {:?}, p99 {:?}, max {:?}\n",
+                s.host,
+                s.invocations,
+                s.failure_rate,
+                s.p50_duration,
+                s.p99_duration,
+                s.max_duration
             ));
         }
         out
@@ -414,6 +440,9 @@ impl Toolkit {
             }
             if let Some(caller) = &self.resilience {
                 tool.set_resilience(caller.clone());
+            }
+            if let Some(router) = &self.router {
+                tool.set_router(Arc::clone(router));
             }
         }
         Ok(tools)

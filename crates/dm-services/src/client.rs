@@ -23,6 +23,40 @@ fn text_list(v: SoapValue) -> Result<Vec<String>> {
         .collect()
 }
 
+/// Index into a decoded response list, turning a too-short reply into a
+/// typed `Malformed` error instead of an index panic. Every client that
+/// unpacks a positional list goes through here: a truncated or
+/// malformed response from a (simulated) wire must surface as a
+/// `WsError`, never take the client process down.
+fn list_item<'v>(list: &'v [SoapValue], index: usize, what: &str) -> Result<&'v SoapValue> {
+    list.get(index).ok_or_else(|| {
+        dm_wsrf::error::WsError::Malformed(format!(
+            "{what}: expected at least {} items, got {}",
+            index + 1,
+            list.len()
+        ))
+    })
+}
+
+/// Floor for `retry_after_nanos=` back-pressure hints: 1 µs. A missing
+/// or unparsable hint must still back off a real amount of virtual
+/// time, not hot-spin the retry loop at 1 ns a lap.
+const MIN_RETRY_NANOS: u64 = 1_000;
+
+/// Extract the `retry_after_nanos=<n>` hint from a shed-fault message.
+/// Only the leading digit run after the marker is parsed, so messages
+/// that append diagnostics after the number (e.g. `retry_after_nanos=
+/// 250000 (window 2)`) still yield 250000 rather than failing the parse
+/// and collapsing to a 1 ns spin. Unparsable hints clamp to
+/// [`MIN_RETRY_NANOS`].
+fn retry_hint_nanos(message: &str) -> u64 {
+    let tail = message.rsplit("retry_after_nanos=").next().unwrap_or("");
+    let digits = tail
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..digits].parse().unwrap_or(0).max(MIN_RETRY_NANOS)
+}
+
 /// The transport handle shared by the typed clients: a target host and
 /// either the bare network or a resilient caller over it.
 #[derive(Clone)]
@@ -125,10 +159,18 @@ impl ClassifierClient {
             .map(|row| {
                 let cells = row.as_list()?;
                 Ok((
-                    cells[0].as_text()?.to_string(),
-                    cells[1].as_text()?.to_string(),
-                    cells[2].as_text()?.to_string(),
-                    cells[3].as_text()?.to_string(),
+                    list_item(cells, 0, "getOptions row")?
+                        .as_text()?
+                        .to_string(),
+                    list_item(cells, 1, "getOptions row")?
+                        .as_text()?
+                        .to_string(),
+                    list_item(cells, 2, "getOptions row")?
+                        .as_text()?
+                        .to_string(),
+                    list_item(cells, 3, "getOptions row")?
+                        .as_text()?
+                        .to_string(),
                 ))
             })
             .collect()
@@ -142,16 +184,19 @@ impl ClassifierClient {
         let decode = |row: &SoapValue| -> Result<CacheStats> {
             let cells = row.as_list()?;
             Ok(CacheStats {
-                lookups: cells[0].as_int()? as u64,
-                hits: cells[1].as_int()? as u64,
-                misses: cells[2].as_int()? as u64,
-                insertions: cells[3].as_int()? as u64,
-                evictions: cells[4].as_int()? as u64,
-                entries: cells[5].as_int()? as usize,
+                lookups: list_item(cells, 0, "getCacheStats row")?.as_int()? as u64,
+                hits: list_item(cells, 1, "getCacheStats row")?.as_int()? as u64,
+                misses: list_item(cells, 2, "getCacheStats row")?.as_int()? as u64,
+                insertions: list_item(cells, 3, "getCacheStats row")?.as_int()? as u64,
+                evictions: list_item(cells, 4, "getCacheStats row")?.as_int()? as u64,
+                entries: list_item(cells, 5, "getCacheStats row")?.as_int()? as usize,
                 bytes: 0,
             })
         };
-        Ok((decode(&rows[0])?, decode(&rows[1])?))
+        Ok((
+            decode(list_item(rows, 0, "getCacheStats")?)?,
+            decode(list_item(rows, 1, "getCacheStats")?)?,
+        ))
     }
 
     /// `classifyInstance` — the paper's four-input operation.
@@ -309,7 +354,11 @@ impl J48Client {
     pub fn lifecycle_stats(&self) -> Result<(i64, i64, i64)> {
         let v = self.channel.invoke("J48", "getLifecycleStats", vec![])?;
         let list = v.as_list()?;
-        Ok((list[0].as_int()?, list[1].as_int()?, list[2].as_int()?))
+        Ok((
+            list_item(list, 0, "getLifecycleStats")?.as_int()?,
+            list_item(list, 1, "getLifecycleStats")?.as_int()?,
+            list_item(list, 2, "getLifecycleStats")?.as_int()?,
+        ))
     }
 }
 
@@ -426,6 +475,20 @@ pub struct ChunkAck {
     pub staleness: std::time::Duration,
 }
 
+/// Decode the `sendChunk` ack list, surfacing short or malformed acks
+/// as typed errors (a truncated ack used to panic the client on
+/// `ack[1]`).
+fn decode_chunk_ack(v: &SoapValue) -> Result<ChunkAck> {
+    let ack = v.as_list()?;
+    Ok(ChunkAck {
+        rows_total: list_item(ack, 0, "sendChunk ack")?.as_int()? as u64,
+        backlog_chunks: list_item(ack, 1, "sendChunk ack")?.as_int()? as usize,
+        staleness: std::time::Duration::from_nanos(
+            list_item(ack, 2, "sendChunk ack")?.as_int()?.max(0) as u64,
+        ),
+    })
+}
+
 /// `streamStats` snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamStatsSnapshot {
@@ -518,22 +581,11 @@ impl StreamClient {
                 ],
             );
             match result {
-                Ok(v) => {
-                    let ack = v.as_list()?;
-                    return Ok(ChunkAck {
-                        rows_total: ack[0].as_int()? as u64,
-                        backlog_chunks: ack[1].as_int()? as usize,
-                        staleness: std::time::Duration::from_nanos(ack[2].as_int()?.max(0) as u64),
-                    });
-                }
+                Ok(v) => return decode_chunk_ack(&v),
                 Err(dm_wsrf::error::WsError::Fault { code, message })
                     if code == "Server" && message.contains("retry_after_nanos=") =>
                 {
-                    let nanos: u64 = message
-                        .rsplit("retry_after_nanos=")
-                        .next()
-                        .and_then(|s| s.trim().parse().ok())
-                        .unwrap_or(1);
+                    let nanos = retry_hint_nanos(&message);
                     self.network
                         .advance_virtual_time(std::time::Duration::from_nanos(nanos));
                     last_err = Some(dm_wsrf::error::WsError::Fault { code, message });
@@ -636,11 +688,11 @@ impl StreamClient {
         )?;
         let v = v.as_list()?;
         Ok(StreamStatsSnapshot {
-            chunks: v[0].as_int()? as u64,
-            rows: v[1].as_int()? as u64,
-            backlog: v[2].as_int()? as usize,
-            busy_rejections: v[3].as_int()? as u64,
-            peak_resident_rows: v[4].as_int()? as u64,
+            chunks: list_item(v, 0, "streamStats")?.as_int()? as u64,
+            rows: list_item(v, 1, "streamStats")?.as_int()? as u64,
+            backlog: list_item(v, 2, "streamStats")?.as_int()? as usize,
+            busy_rejections: list_item(v, 3, "streamStats")?.as_int()? as u64,
+            peak_resident_rows: list_item(v, 4, "streamStats")?.as_int()? as u64,
         })
     }
 
@@ -659,12 +711,72 @@ impl StreamClient {
 mod tests {
     use super::*;
     use crate::deploy::deploy_faehim_suite;
+    use dm_wsrf::container::{ServiceFault, WebService};
+    use dm_wsrf::wsdl::{Operation, Part, WsdlDocument};
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn network() -> Arc<Network> {
         let net = Arc::new(Network::new());
         let host = net.add_host("miner");
         deploy_faehim_suite(&host).unwrap();
         net
+    }
+
+    /// Impersonates `DataStream.sendChunk` with a scripted reply:
+    /// sheds the first call with a back-pressure hint that carries
+    /// trailing diagnostics, then acks with a fixed (possibly
+    /// truncated) list.
+    struct ScriptedStream {
+        calls: AtomicU32,
+        shed_message: &'static str,
+        ack: Vec<i64>,
+    }
+
+    impl WebService for ScriptedStream {
+        fn name(&self) -> &str {
+            "DataStream"
+        }
+
+        fn wsdl(&self) -> WsdlDocument {
+            WsdlDocument::new("DataStream", "http://localhost/DataStream").operation(
+                Operation::new(
+                    "sendChunk",
+                    vec![
+                        Part::new("streamId", "string"),
+                        Part::new("seq", "long"),
+                        Part::new("atNanos", "long"),
+                        Part::new("chunk", "base64Binary"),
+                    ],
+                    Part::new("ack", "list"),
+                ),
+            )
+        }
+
+        fn invoke(
+            &self,
+            operation: &str,
+            _args: &[(String, SoapValue)],
+        ) -> std::result::Result<SoapValue, ServiceFault> {
+            match operation {
+                "sendChunk" => {
+                    if self.calls.fetch_add(1, Ordering::SeqCst) == 0
+                        && !self.shed_message.is_empty()
+                    {
+                        Err(ServiceFault::server(self.shed_message))
+                    } else {
+                        Ok(SoapValue::List(
+                            self.ack.iter().map(|&n| SoapValue::Int(n)).collect(),
+                        ))
+                    }
+                }
+                _ => Err(ServiceFault::client("no such operation")),
+            }
+        }
+    }
+
+    fn one_batch() -> dm_data::stream::RecordBatch {
+        let ds = dm_data::corpus::nominal_classification(20, 2, 2, 2, 0.1, 5);
+        dm_data::stream::chunk_dataset(&ds, 20).unwrap().remove(0)
     }
 
     #[test]
@@ -712,6 +824,64 @@ mod tests {
             .unwrap();
         let table = client.summary(&arff).unwrap();
         assert!(table.contains("Num Instances 286"));
+    }
+
+    #[test]
+    fn retry_hint_parses_leading_digits_and_clamps_to_floor() {
+        // The hint must survive trailing diagnostics after the number —
+        // the pre-fix parse fed the whole suffixed tail to `parse()`,
+        // failed, and fell back to a 1 ns spin.
+        assert_eq!(
+            retry_hint_nanos("stream window full (2 chunks in flight); retry_after_nanos=250000 (window 2, backlog 2)"),
+            250_000
+        );
+        assert_eq!(retry_hint_nanos("retry_after_nanos=250000"), 250_000);
+        // Unparsable or sub-floor hints clamp to the 1 µs floor rather
+        // than hot-spinning the bounded retry loop.
+        assert_eq!(retry_hint_nanos("retry_after_nanos=soon"), MIN_RETRY_NANOS);
+        assert_eq!(retry_hint_nanos("retry_after_nanos=3"), MIN_RETRY_NANOS);
+        assert_eq!(retry_hint_nanos("no hint at all"), MIN_RETRY_NANOS);
+    }
+
+    #[test]
+    fn suffixed_retry_hint_backs_off_the_hinted_amount() {
+        let net = Arc::new(Network::new());
+        net.add_host("shed").deploy(Arc::new(ScriptedStream {
+            calls: AtomicU32::new(0),
+            shed_message:
+                "stream window full (2 chunks in flight); retry_after_nanos=50000000 (window 2, backlog 2)",
+            ack: vec![5, 0, 0],
+        }));
+        let client = StreamClient::new(Arc::clone(&net), "shed");
+        let before = net.now();
+        let ack = client.send_chunk("s", 0, &one_batch()).unwrap();
+        assert_eq!(ack.rows_total, 5);
+        // The hinted 50 ms dwarfs the wire time of the two calls, so
+        // this asserts the *hint* was honoured; the pre-fix code slept
+        // 1 ns and fails here.
+        let waited = net.now() - before;
+        assert!(
+            waited >= std::time::Duration::from_millis(50),
+            "client only backed off {waited:?} against a 50 ms hint"
+        );
+    }
+
+    #[test]
+    fn short_chunk_ack_is_a_typed_error_not_a_panic() {
+        let net = Arc::new(Network::new());
+        net.add_host("short").deploy(Arc::new(ScriptedStream {
+            calls: AtomicU32::new(0),
+            shed_message: "",
+            ack: vec![5],
+        }));
+        let client = StreamClient::new(Arc::clone(&net), "short");
+        // A one-element ack used to panic on `ack[1]`; it must surface
+        // as a typed malformed-response error instead.
+        let err = client.send_chunk("s", 0, &one_batch()).unwrap_err();
+        assert!(
+            matches!(&err, dm_wsrf::error::WsError::Malformed(m) if m.contains("sendChunk ack")),
+            "expected Malformed, got {err:?}"
+        );
     }
 
     #[test]

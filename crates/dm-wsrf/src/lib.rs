@@ -19,6 +19,10 @@
 //!   [`container::WebService`] implementations and dispatches envelopes;
 //! * [`registry`] — a UDDI-like publish/inquiry registry with per-
 //!   service liveness (heartbeats, health-aware inquiry);
+//! * [`fleet`] — the federated scale-out (E19): replicated services
+//!   across simulated hosts, a gossiped registry with versioned
+//!   heartbeats and tombstones, power-of-two-choices replica routing,
+//!   and a queue-depth/p99 autoscaler on the virtual clock;
 //! * [`resilience`] — per-call deadlines and backoff retry budgets on
 //!   the virtual clock, per-host circuit breakers, and a resilient
 //!   calling front-end over [`transport`];
@@ -42,6 +46,7 @@
 pub mod container;
 pub mod dataplane;
 pub mod error;
+pub mod fleet;
 pub mod lifecycle;
 pub mod metrics;
 pub mod monitor;
@@ -61,6 +66,10 @@ pub mod prelude {
     pub use crate::container::{ServiceContainer, ServiceFault, WebService};
     pub use crate::dataplane::{AttachmentStore, CacheStats, LruMap};
     pub use crate::error::{Result, WsError};
+    pub use crate::fleet::{
+        Autoscaler, AutoscalerConfig, Fleet, FleetConfig, GossipConfig, GossipNode, GossipRegistry,
+        P2cRouter, ReplicaRecord, ScaleAction,
+    };
     pub use crate::lifecycle::{InstanceStore, LifecycleManager, LifecyclePolicy};
     pub use crate::metrics::MetricsRegistry;
     pub use crate::registry::{ServiceEntry, UddiRegistry};

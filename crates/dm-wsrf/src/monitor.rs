@@ -85,6 +85,9 @@ pub struct HostSummary {
     pub failure_rate: f64,
     /// Median per-attempt duration.
     pub p50_duration: Duration,
+    /// Nearest-rank 99th-percentile per-attempt duration — the tail
+    /// signal the E19 autoscaler and replica router act on.
+    pub p99_duration: Duration,
     /// Worst per-attempt duration.
     pub max_duration: Duration,
     /// Total request bytes.
@@ -250,6 +253,7 @@ impl MonitorLog {
                     transport_errors: 0,
                     failure_rate: 0.0,
                     p50_duration: Duration::ZERO,
+                    p99_duration: Duration::ZERO,
                     max_duration: Duration::ZERO,
                     bytes_in: 0,
                     bytes_out: 0,
@@ -271,6 +275,9 @@ impl MonitorLog {
                 // i.e. index (n-1)/2. `len/2` would be the *upper*
                 // median on even-length samples, biasing p50 high.
                 s.p50_duration = durations[(durations.len() - 1) / 2];
+                // Nearest-rank p99: the ceil(0.99 n)-th sorted sample.
+                let rank = (durations.len() as f64 * 0.99).ceil() as usize;
+                s.p99_duration = durations[rank.clamp(1, durations.len()) - 1];
                 s.failure_rate = (s.faults + s.transport_errors) as f64 / s.invocations as f64;
                 s
             })
@@ -380,6 +387,34 @@ mod tests {
         assert_eq!(
             log.summary_by_host()[0].p50_duration,
             Duration::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn p99_is_nearest_rank_tail() {
+        let log = MonitorLog::new();
+        for ms in 1..=100 {
+            let mut e = event("A", Outcome::Ok);
+            e.duration = Duration::from_millis(ms);
+            log.record(e);
+        }
+        let hosts = log.summary_by_host();
+        // Nearest-rank p99 of 1..=100 ms is the 99th sample, not max.
+        assert_eq!(hosts[0].p99_duration, Duration::from_millis(99));
+        assert_eq!(hosts[0].max_duration, Duration::from_millis(100));
+        // A single sample is its own p50/p99/max.
+        let solo = MonitorLog::new();
+        let mut e = event("B", Outcome::Ok);
+        e.duration = Duration::from_millis(7);
+        solo.record(e);
+        let s = &solo.summary_by_host()[0];
+        assert_eq!(
+            (s.p50_duration, s.p99_duration, s.max_duration),
+            (
+                Duration::from_millis(7),
+                Duration::from_millis(7),
+                Duration::from_millis(7)
+            )
         );
     }
 

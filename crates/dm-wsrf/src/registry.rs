@@ -265,10 +265,15 @@ impl UddiRegistry {
 
     /// Rank `hits` least-outstanding first: dead endpoints are dropped,
     /// and the survivors are ordered by the caller-supplied per-host
-    /// load (e.g. [`Network::load_snapshot`]; absent hosts count as
-    /// idle). Ties fall back to the health ranking — alive-freshest
-    /// first, then Unknown, then name — so two idle replicas still
-    /// prefer the one heartbeating.
+    /// load (e.g. [`Network::load_snapshot`]). Hosts the snapshot has
+    /// never measured are *unknown*, not idle: they take the lower
+    /// median of the measured loads and rank after measured hosts at
+    /// the same figure, so a never-seen replica joins the rotation at a
+    /// typical depth instead of always winning — a load-0 default would
+    /// stampede every caller onto each cold replica the moment it
+    /// appears. Ties fall back to the health ranking — alive-freshest
+    /// first, then Unknown, then name — so two equally-loaded replicas
+    /// still prefer the one heartbeating.
     ///
     /// [`Network::load_snapshot`]: crate::transport::Network::load_snapshot
     pub fn rank_least_outstanding(
@@ -279,8 +284,23 @@ impl UddiRegistry {
         loads: &HashMap<String, u64>,
     ) -> Vec<ServiceEntry> {
         let mut hits = self.rank_healthy(hits, now, freshness);
-        // Stable sort: equal loads keep the health ranking's order.
-        hits.sort_by_key(|e| loads.get(&e.host).copied().unwrap_or(0));
+        let mut measured: Vec<u64> = hits
+            .iter()
+            .filter_map(|e| loads.get(&e.host).copied())
+            .collect();
+        measured.sort_unstable();
+        // Lower median (empty snapshot → 0, preserving health order).
+        let unknown = measured
+            .get(measured.len().saturating_sub(1) / 2)
+            .copied()
+            .unwrap_or(0);
+        // Stable sort: equal keys keep the health ranking's order. The
+        // second key ranks unknown hosts after measured ones at the
+        // same load.
+        hits.sort_by_key(|e| match loads.get(&e.host) {
+            Some(&load) => (load, 0u8),
+            None => (unknown, 1u8),
+        });
         hits
     }
 
@@ -483,19 +503,54 @@ mod tests {
         let healthy = reg.find_by_category_healthy("classifier", now, fresh);
         assert_eq!(healthy[0].name, "ClassifierA");
 
-        // Load-aware ranking sends the call to the idle replica.
+        // Load-aware ranking sends the call to the lightest replica.
         let loads: HashMap<String, u64> =
             [("host-a".to_string(), 7), ("host-b".to_string(), 2)].into();
         let ranked = reg.find_by_category_least_loaded("classifier", now, fresh, &loads);
         let names: Vec<&str> = ranked.iter().map(|e| e.name.as_str()).collect();
-        // host-c has no load entry (idle), then host-b (2), then
-        // host-a (7); the dead replica never appears.
-        assert_eq!(names, ["ClassifierC", "ClassifierB", "ClassifierA"]);
+        // host-b is the lightest *measured* host (2). host-c was never
+        // measured, so it is unknown — it takes the lower median of the
+        // measured loads (2) and ranks after the measured host-b, but
+        // still ahead of overloaded host-a (7). The dead replica never
+        // appears. (The pre-fix code treated unknown as idle, putting C
+        // first — the cold-replica stampede.)
+        assert_eq!(names, ["ClassifierB", "ClassifierC", "ClassifierA"]);
 
         // Equal loads fall back to the health ranking's order.
         let ranked = reg.find_by_category_least_loaded("classifier", now, fresh, &HashMap::new());
         let names: Vec<&str> = ranked.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["ClassifierA", "ClassifierB", "ClassifierC"]);
+    }
+
+    #[test]
+    fn unknown_hosts_rank_after_lightly_loaded_measured_ones() {
+        // Regression for the cold-replica stampede: a replica absent
+        // from the load snapshot must not outrank every measured host.
+        let reg = UddiRegistry::new();
+        let replica = |name: &str, host: &str| {
+            let mut e = entry(name, &["c"]);
+            e.host = host.to_string();
+            e
+        };
+        reg.publish(replica("Idle", "measured-idle"));
+        reg.publish(replica("Busy", "measured-busy"));
+        reg.publish(replica("Cold", "never-seen"));
+        let now = Duration::from_secs(10);
+        let fresh = Duration::from_secs(60);
+
+        let loads: HashMap<String, u64> = [
+            ("measured-idle".to_string(), 0),
+            ("measured-busy".to_string(), 8),
+        ]
+        .into();
+        let names: Vec<String> = reg
+            .find_by_category_least_loaded("c", now, fresh, &loads)
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        // Unknown takes the lower median of {0, 8} = 0 but ranks after
+        // the measured idle host; it still beats the saturated one.
+        assert_eq!(names, ["Idle", "Cold", "Busy"]);
     }
 
     #[test]
