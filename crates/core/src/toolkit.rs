@@ -11,20 +11,24 @@ use dm_services::client::{ClassifierClient, ClustererClient, ConvertClient, J48C
 use dm_services::{deploy_faehim_suite, publish_suite};
 use dm_workflow::durable::DurableConfig;
 use dm_workflow::engine::{BackoffSink, ExecutionReport, Executor, RetryPolicy};
+use dm_workflow::error::WorkflowError;
 use dm_workflow::graph::{TaskGraph, TaskId, Token};
 use dm_workflow::journal::RunJournal;
+use dm_workflow::planner::{Goal, Plan, Planner, UsageRecommender};
 use dm_workflow::toolbox::Toolbox;
 use dm_workflow::wsimport::{import_from_host, WsTool};
 use dm_wsrf::container::{CapacityConfig, ServiceContainer};
+use dm_wsrf::costmodel::CostModel;
 use dm_wsrf::dataplane::AttachmentStore;
 use dm_wsrf::fleet::P2cRouter;
 use dm_wsrf::metrics::{MetricsRegistry, PoolSnapshot, RecoverySnapshot};
-use dm_wsrf::registry::UddiRegistry;
+use dm_wsrf::registry::{ServiceEntry, UddiRegistry};
 use dm_wsrf::resilience::{BreakerBoard, BreakerConfig, ResiliencePolicy, ResilientCaller};
 use dm_wsrf::trace::Tracer;
 use dm_wsrf::transport::{DataPlaneConfig, Network, WireStats};
 use dm_wsrf::WsError;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default host name for a single-host toolkit (the paper's services
 /// were hosted at the Welsh e-Science Centre).
@@ -337,6 +341,108 @@ impl Toolkit {
         metrics
     }
 
+    /// Freeze the deployment's live telemetry into a [`CostModel`]
+    /// snapshot: per-host latency quantiles and failure rates from the
+    /// monitor log, outstanding requests from the network, shed rates
+    /// and in-system depth from each host's admission-control counters,
+    /// and breaker state when the resilience layer is enabled. The
+    /// snapshot is plain data — a planner run over it is reproducible.
+    pub fn cost_model(&self) -> CostModel {
+        let mut cost = CostModel::new();
+        let now = self.network.now();
+        cost.observe_monitor(self.network.monitor());
+        cost.observe_loads(&self.network.load_snapshot());
+        for host in &self.hosts {
+            if let Ok(container) = self.network.host(host) {
+                if let Some(load) = container.load_stats(now) {
+                    cost.observe_load_stats(host, &load);
+                }
+            }
+        }
+        if let Some(caller) = &self.resilience {
+            cost.observe_breakers(caller.board(), now);
+        }
+        cost
+    }
+
+    /// Plan an abstract composition goal against live telemetry and
+    /// bind it to a concrete workflow. Candidates for each step come
+    /// from the registry's healthy inquiry, narrowed to services that
+    /// actually expose the step's operation; the cost snapshot is
+    /// [`Toolkit::cost_model`]; when durable enactment is enabled, the
+    /// run journal is mined into a [`UsageRecommender`] so past
+    /// co-invocations pre-rank the candidates. Bound tools carry the
+    /// toolkit's purity and resilience metadata but are pinned to the
+    /// planner's chosen replica — no router and no failover list, the
+    /// plan *is* the placement decision.
+    ///
+    /// Returns the plan alongside the enactable graph and its task ids
+    /// in step order.
+    pub fn plan_composition(
+        &self,
+        goal: &Goal,
+        planner: &Planner,
+    ) -> dm_workflow::Result<(Plan, TaskGraph, Vec<TaskId>)> {
+        let cost = self.cost_model();
+        let now = self.network.now();
+        let freshness = Duration::from_secs(300);
+        let mut recommender = UsageRecommender::new();
+        if let Some(config) = &self.durable {
+            recommender.observe_journal(config.journal());
+        }
+        let plan = planner.plan(
+            goal,
+            &|step| {
+                // The UDDI registry keys entries by service name (jUDDI
+                // update semantics), so a category hit names the
+                // *service*; its replica set is every toolkit host that
+                // deploys it with the step's operation.
+                self.registry
+                    .find_by_category_healthy(&step.category, now, freshness)
+                    .into_iter()
+                    .flat_map(|e| {
+                        self.hosts.iter().filter_map(move |host| {
+                            let exposes = self
+                                .network
+                                .host(host)
+                                .ok()
+                                .and_then(|c| c.wsdl_of(&e.name).ok())
+                                .is_some_and(|w| {
+                                    w.operations.iter().any(|o| o.name == step.operation)
+                                });
+                            exposes.then(|| ServiceEntry {
+                                host: host.clone(),
+                                ..e.clone()
+                            })
+                        })
+                    })
+                    .collect()
+            },
+            &cost,
+            if recommender.is_empty() {
+                None
+            } else {
+                Some(&recommender)
+            },
+        )?;
+        let network = self.network();
+        let (graph, tasks) = plan.bind_with(&mut |host, service| {
+            let mut tools = import_from_host(Arc::clone(&network), host, service)
+                .map_err(WorkflowError::from)?;
+            for tool in &mut tools {
+                tool.set_pure(dm_services::is_pure_operation(
+                    service,
+                    &tool.operation().name,
+                ));
+                if let Some(caller) = &self.resilience {
+                    tool.set_resilience(caller.clone());
+                }
+            }
+            Ok(tools)
+        })?;
+        Ok((plan, graph, tasks))
+    }
+
     /// A serial [`Executor`] aligned with the toolkit's resilience
     /// configuration: task retries use the resilience policy's attempt
     /// ceiling and backoff shape, backoff pauses are charged to the
@@ -646,6 +752,74 @@ mod tests {
         let executor = tk.resilient_executor(Some(12));
         assert_eq!(executor.retry_policy().max_attempts, 5);
         assert_eq!(executor.retry_policy().retry_budget, Some(12));
+    }
+
+    #[test]
+    fn planned_composition_binds_and_runs() {
+        use dm_workflow::engine::Executor;
+        use dm_workflow::graph::Token;
+        use dm_workflow::planner::{Goal, Planner};
+        use std::collections::HashMap;
+
+        let tk = Toolkit::with_hosts(&["wesc-a", "wesc-b", "wesc-c"]).unwrap();
+        let csv = dm_data::csv::write_csv(&dm_data::corpus::breast_cancer());
+        let goal = Goal::chain(&[
+            ("data-handling", "csvToArff", csv.len()),
+            ("classifier", "classify", csv.len()),
+        ]);
+        let (plan, graph, tasks) = tk.plan_composition(&goal, &Planner::default()).unwrap();
+
+        // Only DataConversion exposes csvToArff and only J48 exposes
+        // classify — the operation filter narrows the category bags.
+        assert_eq!(plan.assignments[0].service, "DataConversion");
+        assert_eq!(plan.assignments[1].service, "J48");
+        // Cold telemetry prices all hosts alike, so the dataset-sized
+        // hop co-locates to ride the DataRef credit.
+        assert_eq!(plan.assignments[0].host, plan.assignments[1].host);
+        assert!(plan.assignments[1].colocated);
+        // Task names are placement-independent.
+        let names: Vec<&str> = graph.tasks().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["step1:data-handling", "step2:classifier"]);
+
+        // Enact: csv feeds step 1, attribute/options feed step 2, the
+        // arff→dataset cable carries the intermediate.
+        let mut bindings: HashMap<(TaskId, usize), Token> = HashMap::new();
+        bindings.insert((tasks[0], 0), Token::Text(csv));
+        bindings.insert((tasks[1], 1), Token::Text("Class".into()));
+        bindings.insert((tasks[1], 2), Token::Text(String::new()));
+        let report = Executor::serial().run(&graph, &bindings).unwrap();
+        let model = report.output(tasks[1], 0).expect("classifier output");
+        assert!(
+            matches!(model, Token::Text(t) if !t.is_empty()),
+            "{model:?}"
+        );
+    }
+
+    #[test]
+    fn plan_composition_avoids_open_breakers_and_busy_hosts() {
+        use dm_workflow::planner::{Goal, Planner};
+        let mut tk = Toolkit::with_hosts(&["wesc-a", "wesc-b"]).unwrap();
+        tk.enable_resilience(
+            ResiliencePolicy::default().attempts(1),
+            BreakerConfig {
+                min_calls: 4,
+                ..BreakerConfig::default()
+            },
+        );
+        // Trip wesc-a's breaker with a dead-host window.
+        let caller = tk.resilience().unwrap().clone();
+        tk.network().set_host_down("wesc-a", true);
+        for _ in 0..8 {
+            let _ = caller.invoke("wesc-a", "Classifier", "getClassifiers", vec![]);
+        }
+        tk.network().set_host_down("wesc-a", false);
+
+        let goal = Goal::chain(&[("classifier", "classify", 4_096)]);
+        let (plan, _, _) = tk.plan_composition(&goal, &Planner::default()).unwrap();
+        assert_eq!(
+            plan.assignments[0].host, "wesc-b",
+            "open breaker on wesc-a must exclude it"
+        );
     }
 
     #[test]

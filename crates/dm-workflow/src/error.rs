@@ -66,6 +66,15 @@ pub enum WorkflowError {
     },
     /// A tool name was not found in the toolbox.
     UnknownTool(String),
+    /// The composition planner found no placeable replica for a step
+    /// (nothing published under the category, or every candidate sits
+    /// behind an open circuit breaker).
+    NoCandidates {
+        /// Goal step index (0-based).
+        step: usize,
+        /// The category the step asked for.
+        category: String,
+    },
     /// XML import failure.
     Xml(String),
     /// Underlying Web Services error.
@@ -106,6 +115,10 @@ impl fmt::Display for WorkflowError {
                 "journal belongs to a different workflow (journal fingerprint {journal:#034x}, graph {graph:#034x})"
             ),
             WorkflowError::UnknownTool(name) => write!(f, "no tool named {name:?}"),
+            WorkflowError::NoCandidates { step, category } => write!(
+                f,
+                "no placeable replica for goal step {step} (category {category:?})"
+            ),
             WorkflowError::Xml(m) => write!(f, "taskgraph XML error: {m}"),
             WorkflowError::Ws(m) => write!(f, "web service error: {m}"),
         }

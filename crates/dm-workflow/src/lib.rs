@@ -30,6 +30,10 @@
 //! * [`wsimport`] — WSDL import: one tool per operation, invoking the
 //!   service over the simulated network with health-aware replica
 //!   failover (circuit breakers, deadlines, failing-primary demotion);
+//! * [`planner`] — the cost- and locality-aware composition planner:
+//!   an abstract chain of service categories is bound to concrete
+//!   replicas by a QoS knapsack over a live-telemetry cost snapshot,
+//!   pre-ranked by a usage-log recommender;
 //! * [`group`] — hierarchical services ("a single service made up of a
 //!   number of others and made available as a single interface");
 //! * [`patterns`] — structural pattern operators (pipeline, fan-out /
@@ -48,6 +52,7 @@ pub mod iterate;
 pub mod journal;
 pub mod memo;
 pub mod patterns;
+pub mod planner;
 pub mod toolbox;
 pub mod wsimport;
 pub mod xml;
@@ -65,6 +70,7 @@ pub mod prelude {
     pub use crate::graph::{Cable, PortSpec, TaskGraph, TaskId, Token, Tool};
     pub use crate::journal::{JournalStats, RunEvent, RunJournal};
     pub use crate::memo::MemoCache;
+    pub use crate::planner::{Goal, GoalStep, Plan, Planner, PlannerConfig, UsageRecommender};
     pub use crate::toolbox::Toolbox;
     pub use crate::wsimport::import_wsdl;
 }

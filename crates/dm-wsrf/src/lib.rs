@@ -23,6 +23,10 @@
 //!   across simulated hosts, a gossiped registry with versioned
 //!   heartbeats and tombstones, power-of-two-choices replica routing,
 //!   and a queue-depth/p99 autoscaler on the virtual clock;
+//! * [`costmodel`] — the frozen QoS telemetry snapshot (per-host
+//!   latency quantiles, queue depth, shed rate, breaker state, and
+//!   predicted transfer bytes) that the E20 composition planner prices
+//!   `(step, replica)` pairings with;
 //! * [`resilience`] — per-call deadlines and backoff retry budgets on
 //!   the virtual clock, per-host circuit breakers, and a resilient
 //!   calling front-end over [`transport`];
@@ -44,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod container;
+pub mod costmodel;
 pub mod dataplane;
 pub mod error;
 pub mod fleet;
@@ -64,6 +69,7 @@ pub use error::{Result, WsError};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::container::{ServiceContainer, ServiceFault, WebService};
+    pub use crate::costmodel::{CostModel, HostCost};
     pub use crate::dataplane::{AttachmentStore, CacheStats, LruMap};
     pub use crate::error::{Result, WsError};
     pub use crate::fleet::{

@@ -13,6 +13,7 @@
 
 use crate::container::LoadStats;
 use crate::dataplane::CacheStats;
+use crate::fleet::{ScaleAction, ScaleEvent};
 use crate::monitor::{MonitorLog, Outcome};
 use crate::transport::WireStats;
 use parking_lot::Mutex;
@@ -356,6 +357,28 @@ impl MetricsRegistry {
         }
     }
 
+    /// Ingest an [`Autoscaler`] decision log plus the fleet's current
+    /// replica count: one counter per decision kind
+    /// (`faehim_autoscale_up_total` / `_down_total` / `_hold_total`)
+    /// and a `faehim_fleet_replicas` gauge, so placement benchmarks can
+    /// correlate planner decisions with scaling events.
+    ///
+    /// [`Autoscaler`]: crate::fleet::Autoscaler
+    pub fn ingest_autoscaler(&self, history: &[ScaleEvent], current_replicas: usize) {
+        let (mut up, mut down, mut hold) = (0u64, 0u64, 0u64);
+        for event in history {
+            match event.action {
+                ScaleAction::Up => up += 1,
+                ScaleAction::Down => down += 1,
+                ScaleAction::Hold => hold += 1,
+            }
+        }
+        self.inc_counter("faehim_autoscale_up_total", &[], up);
+        self.inc_counter("faehim_autoscale_down_total", &[], down);
+        self.inc_counter("faehim_autoscale_hold_total", &[], hold);
+        self.set_gauge("faehim_fleet_replicas", &[], current_replicas as f64);
+    }
+
     /// Ingest a durable-enactment recovery snapshot
     /// ([`RecoverySnapshot`]): journal append/size counters, replay
     /// hits (tasks restored from the log instead of re-executing),
@@ -621,6 +644,41 @@ mod tests {
         h.observe(0.0004);
         h.observe(0.08);
         assert_eq!(h.quantile(0.5), Some(0.0005));
+    }
+
+    #[test]
+    fn autoscaler_history_becomes_decision_counters() {
+        let events = |actions: &[ScaleAction]| -> Vec<ScaleEvent> {
+            actions
+                .iter()
+                .enumerate()
+                .map(|(i, &action)| ScaleEvent {
+                    at: Duration::from_millis(i as u64),
+                    action,
+                    replicas: 1 + i,
+                    queue_per_replica: 2.0,
+                    p99: Duration::from_millis(5),
+                })
+                .collect()
+        };
+        let m = MetricsRegistry::new();
+        m.ingest_autoscaler(
+            &events(&[
+                ScaleAction::Up,
+                ScaleAction::Hold,
+                ScaleAction::Up,
+                ScaleAction::Down,
+                ScaleAction::Hold,
+            ]),
+            3,
+        );
+        assert_eq!(m.counter_value("faehim_autoscale_up_total", &[]), 2);
+        assert_eq!(m.counter_value("faehim_autoscale_down_total", &[]), 1);
+        assert_eq!(m.counter_value("faehim_autoscale_hold_total", &[]), 2);
+        assert_eq!(m.gauge_value("faehim_fleet_replicas", &[]), Some(3.0));
+        let text = m.export_prometheus();
+        assert!(text.contains("faehim_autoscale_up_total"), "{text}");
+        assert!(text.contains("faehim_fleet_replicas"), "{text}");
     }
 
     #[test]

@@ -85,8 +85,11 @@ pub struct HostSummary {
     pub failure_rate: f64,
     /// Median per-attempt duration.
     pub p50_duration: Duration,
+    /// Nearest-rank 95th-percentile per-attempt duration.
+    pub p95_duration: Duration,
     /// Nearest-rank 99th-percentile per-attempt duration — the tail
-    /// signal the E19 autoscaler and replica router act on.
+    /// signal the E19 autoscaler, replica router, and E20 planner cost
+    /// model act on.
     pub p99_duration: Duration,
     /// Worst per-attempt duration.
     pub max_duration: Duration,
@@ -117,6 +120,21 @@ pub struct OperationSummary {
     pub ref_hits: usize,
     /// Sum of execution durations.
     pub total_duration: Duration,
+}
+
+/// Nearest-rank quantile over an ascending-sorted sample: the
+/// `ceil(q·n)`-th smallest value, clamped into the sample (so `q = 0`
+/// still reads the minimum), and [`Duration::ZERO`] for an empty
+/// sample. This is the one quantile definition shared by the per-host
+/// summaries, the planner cost model, and the benches — nearest-rank,
+/// never interpolated, so a reported p99 is always a value that
+/// actually occurred.
+pub fn nearest_rank(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// A thread-safe, append-only invocation log.
@@ -253,6 +271,7 @@ impl MonitorLog {
                     transport_errors: 0,
                     failure_rate: 0.0,
                     p50_duration: Duration::ZERO,
+                    p95_duration: Duration::ZERO,
                     p99_duration: Duration::ZERO,
                     max_duration: Duration::ZERO,
                     bytes_in: 0,
@@ -271,13 +290,13 @@ impl MonitorLog {
                     s.bytes_out += e.bytes_out;
                 }
                 durations.sort_unstable();
-                // Nearest-rank median: the ceil(n/2)-th sorted sample,
-                // i.e. index (n-1)/2. `len/2` would be the *upper*
-                // median on even-length samples, biasing p50 high.
-                s.p50_duration = durations[(durations.len() - 1) / 2];
-                // Nearest-rank p99: the ceil(0.99 n)-th sorted sample.
-                let rank = (durations.len() as f64 * 0.99).ceil() as usize;
-                s.p99_duration = durations[rank.clamp(1, durations.len()) - 1];
+                // Nearest-rank quantiles: ceil(q·n)-th sorted sample.
+                // For the median that is index (n-1)/2; `len/2` would
+                // be the *upper* median on even samples, biasing p50
+                // high (the PR 3 off-by-one).
+                s.p50_duration = nearest_rank(&durations, 0.50);
+                s.p95_duration = nearest_rank(&durations, 0.95);
+                s.p99_duration = nearest_rank(&durations, 0.99);
                 s.failure_rate = (s.faults + s.transport_errors) as f64 / s.invocations as f64;
                 s
             })
@@ -416,6 +435,65 @@ mod tests {
                 Duration::from_millis(7)
             )
         );
+    }
+
+    #[test]
+    fn nearest_rank_boundary_windows() {
+        let ms = |v: u64| Duration::from_millis(v);
+        // 0 samples: every quantile reads zero instead of panicking.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&[], q), Duration::ZERO);
+        }
+        // 1 sample: it is its own p50/p95/p99 (rank clamps into the
+        // sample even when ceil(q·n) rounds to 0).
+        let one = [ms(7)];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&one, q), ms(7));
+        }
+        // 2 samples: the median is the *lower* sample (ceil(1.0) = 1),
+        // while p95 and p99 both read the upper one (ceil(1.9) =
+        // ceil(1.98) = 2). An interpolating or upper-median definition
+        // would disagree on at least one of these.
+        let two = [ms(1), ms(9)];
+        assert_eq!(nearest_rank(&two, 0.50), ms(1));
+        assert_eq!(nearest_rank(&two, 0.95), ms(9));
+        assert_eq!(nearest_rank(&two, 0.99), ms(9));
+    }
+
+    #[test]
+    fn host_summary_tail_quantiles_on_tiny_windows() {
+        // 1-sample window: p50 = p95 = p99 = max.
+        let log = MonitorLog::new();
+        let mut e = event("A", Outcome::Ok);
+        e.duration = Duration::from_millis(3);
+        log.record(e);
+        let s = &log.summary_by_host()[0];
+        assert_eq!(s.p50_duration, Duration::from_millis(3));
+        assert_eq!(s.p95_duration, Duration::from_millis(3));
+        assert_eq!(s.p99_duration, Duration::from_millis(3));
+
+        // 2-sample window: p50 takes the lower sample, p95/p99 the
+        // upper.
+        let mut e = event("A", Outcome::Ok);
+        e.duration = Duration::from_millis(11);
+        log.record(e);
+        let s = &log.summary_by_host()[0];
+        assert_eq!(s.p50_duration, Duration::from_millis(3));
+        assert_eq!(s.p95_duration, Duration::from_millis(11));
+        assert_eq!(s.p99_duration, Duration::from_millis(11));
+    }
+
+    #[test]
+    fn p95_separates_from_p99_at_scale() {
+        let log = MonitorLog::new();
+        for ms in 1..=100 {
+            let mut e = event("A", Outcome::Ok);
+            e.duration = Duration::from_millis(ms);
+            log.record(e);
+        }
+        let s = &log.summary_by_host()[0];
+        assert_eq!(s.p95_duration, Duration::from_millis(95));
+        assert_eq!(s.p99_duration, Duration::from_millis(99));
     }
 
     #[test]

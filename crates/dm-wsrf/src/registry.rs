@@ -263,25 +263,35 @@ impl UddiRegistry {
         self.rank_healthy(self.find_by_name(pattern), now, freshness)
     }
 
-    /// Rank `hits` least-outstanding first: dead endpoints are dropped,
-    /// and the survivors are ordered by the caller-supplied per-host
-    /// load (e.g. [`Network::load_snapshot`]). Hosts the snapshot has
-    /// never measured are *unknown*, not idle: they take the lower
-    /// median of the measured loads and rank after measured hosts at
-    /// the same figure, so a never-seen replica joins the rotation at a
-    /// typical depth instead of always winning — a load-0 default would
-    /// stampede every caller onto each cold replica the moment it
-    /// appears. Ties fall back to the health ranking — alive-freshest
-    /// first, then Unknown, then name — so two equally-loaded replicas
-    /// still prefer the one heartbeating.
+    /// Rank `hits` cheapest first: dead endpoints are dropped, and the
+    /// survivors are ordered by the blended cost score
+    /// [`CostModel::cost_score`] — `(outstanding + 1) × p99` — over the
+    /// caller-supplied per-host load (e.g. [`Network::load_snapshot`])
+    /// and per-host p99 tail (e.g. the monitor's
+    /// [`summary_by_host`](crate::monitor::MonitorLog::summary_by_host)).
+    /// A fast-but-busy host can therefore beat a slow-but-idle one;
+    /// with an empty `tails` map the score degrades to the plain
+    /// outstanding count, the pre-E20 behaviour.
+    ///
+    /// Hosts a snapshot has never measured are *unknown*, not idle:
+    /// they take the lower median of the measured figures (load and
+    /// tail alike) and rank after measured hosts at the same score, so
+    /// a never-seen replica joins the rotation at a typical depth
+    /// instead of always winning — a load-0 default would stampede
+    /// every caller onto each cold replica the moment it appears. Ties
+    /// fall back to the health ranking — alive-freshest first, then
+    /// Unknown, then name — so two equally-scored replicas still prefer
+    /// the one heartbeating.
     ///
     /// [`Network::load_snapshot`]: crate::transport::Network::load_snapshot
+    /// [`CostModel::cost_score`]: crate::costmodel::CostModel::cost_score
     pub fn rank_least_outstanding(
         &self,
         hits: Vec<ServiceEntry>,
         now: Duration,
         freshness: Duration,
         loads: &HashMap<String, u64>,
+        tails: &HashMap<String, Duration>,
     ) -> Vec<ServiceEntry> {
         let mut hits = self.rank_healthy(hits, now, freshness);
         let mut measured: Vec<u64> = hits
@@ -290,21 +300,40 @@ impl UddiRegistry {
             .collect();
         measured.sort_unstable();
         // Lower median (empty snapshot → 0, preserving health order).
-        let unknown = measured
+        let unknown_load = measured
             .get(measured.len().saturating_sub(1) / 2)
             .copied()
             .unwrap_or(0);
+        let mut measured_tails: Vec<Duration> = hits
+            .iter()
+            .filter_map(|e| tails.get(&e.host).copied())
+            .collect();
+        measured_tails.sort_unstable();
+        // Same lower-median rule for unknown tails; an empty tail map
+        // scores every host's tail as 1 ns, reducing the blend to pure
+        // load ordering.
+        let unknown_tail = measured_tails
+            .get(measured_tails.len().saturating_sub(1) / 2)
+            .copied()
+            .unwrap_or(Duration::from_nanos(1));
         // Stable sort: equal keys keep the health ranking's order. The
         // second key ranks unknown hosts after measured ones at the
-        // same load.
-        hits.sort_by_key(|e| match loads.get(&e.host) {
-            Some(&load) => (load, 0u8),
-            None => (unknown, 1u8),
+        // same score.
+        hits.sort_by_key(|e| {
+            let (load, measured) = match loads.get(&e.host) {
+                Some(&load) => (load, true),
+                None => (unknown_load, false),
+            };
+            let tail = tails.get(&e.host).copied().unwrap_or(unknown_tail);
+            (
+                crate::costmodel::CostModel::cost_score(load, tail),
+                u8::from(!measured),
+            )
         });
         hits
     }
 
-    /// Category inquiry ranked least-outstanding first (see
+    /// Category inquiry ranked cheapest first (see
     /// [`rank_least_outstanding`](Self::rank_least_outstanding)) so a
     /// workflow binding replicas actually spreads load instead of
     /// piling onto the freshest heartbeat.
@@ -314,8 +343,15 @@ impl UddiRegistry {
         now: Duration,
         freshness: Duration,
         loads: &HashMap<String, u64>,
+        tails: &HashMap<String, Duration>,
     ) -> Vec<ServiceEntry> {
-        self.rank_least_outstanding(self.find_by_category(category), now, freshness, loads)
+        self.rank_least_outstanding(
+            self.find_by_category(category),
+            now,
+            freshness,
+            loads,
+            tails,
+        )
     }
 }
 
@@ -506,7 +542,8 @@ mod tests {
         // Load-aware ranking sends the call to the lightest replica.
         let loads: HashMap<String, u64> =
             [("host-a".to_string(), 7), ("host-b".to_string(), 2)].into();
-        let ranked = reg.find_by_category_least_loaded("classifier", now, fresh, &loads);
+        let ranked =
+            reg.find_by_category_least_loaded("classifier", now, fresh, &loads, &HashMap::new());
         let names: Vec<&str> = ranked.iter().map(|e| e.name.as_str()).collect();
         // host-b is the lightest *measured* host (2). host-c was never
         // measured, so it is unknown — it takes the lower median of the
@@ -517,7 +554,13 @@ mod tests {
         assert_eq!(names, ["ClassifierB", "ClassifierC", "ClassifierA"]);
 
         // Equal loads fall back to the health ranking's order.
-        let ranked = reg.find_by_category_least_loaded("classifier", now, fresh, &HashMap::new());
+        let ranked = reg.find_by_category_least_loaded(
+            "classifier",
+            now,
+            fresh,
+            &HashMap::new(),
+            &HashMap::new(),
+        );
         let names: Vec<&str> = ranked.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["ClassifierA", "ClassifierB", "ClassifierC"]);
     }
@@ -544,13 +587,83 @@ mod tests {
         ]
         .into();
         let names: Vec<String> = reg
-            .find_by_category_least_loaded("c", now, fresh, &loads)
+            .find_by_category_least_loaded("c", now, fresh, &loads, &HashMap::new())
             .into_iter()
             .map(|e| e.name)
             .collect();
         // Unknown takes the lower median of {0, 8} = 0 but ranks after
         // the measured idle host; it still beats the saturated one.
         assert_eq!(names, ["Idle", "Cold", "Busy"]);
+    }
+
+    #[test]
+    fn fast_but_busy_host_beats_slow_but_idle_one() {
+        // Regression for the E20 cost blend: ranking on outstanding
+        // count alone sends the call to the idle host even when its
+        // p99 tail is an order of magnitude worse. The blended score
+        // (outstanding + 1) × p99 picks the busy-but-fast host.
+        let reg = UddiRegistry::new();
+        let replica = |name: &str, host: &str| {
+            let mut e = entry(name, &["c"]);
+            e.host = host.to_string();
+            e
+        };
+        reg.publish(replica("Fast", "busy-fast"));
+        reg.publish(replica("Slow", "idle-slow"));
+        let now = Duration::from_secs(10);
+        let fresh = Duration::from_secs(60);
+
+        let loads: HashMap<String, u64> =
+            [("busy-fast".to_string(), 6), ("idle-slow".to_string(), 0)].into();
+        // Outstanding count alone (no tails): the idle host wins.
+        let names: Vec<String> = reg
+            .find_by_category_least_loaded("c", now, fresh, &loads, &HashMap::new())
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, ["Slow", "Fast"]);
+
+        // With p99 tails blended in: 7 × 1 ms = 7 ms for the busy-fast
+        // host vs 1 × 20 ms = 20 ms for the idle-slow one.
+        let tails: HashMap<String, Duration> = [
+            ("busy-fast".to_string(), Duration::from_millis(1)),
+            ("idle-slow".to_string(), Duration::from_millis(20)),
+        ]
+        .into();
+        let names: Vec<String> = reg
+            .find_by_category_least_loaded("c", now, fresh, &loads, &tails)
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, ["Fast", "Slow"]);
+    }
+
+    #[test]
+    fn unknown_tails_take_the_lower_median_of_measured_ones() {
+        // A host with a measured load but no recorded tail must not be
+        // scored at 1 ns (which would make it unbeatable once any other
+        // host has a real p99) — it takes the lower median tail.
+        let reg = UddiRegistry::new();
+        let replica = |name: &str, host: &str| {
+            let mut e = entry(name, &["c"]);
+            e.host = host.to_string();
+            e
+        };
+        reg.publish(replica("Measured", "with-tail"));
+        reg.publish(replica("Tailless", "no-tail"));
+        let now = Duration::from_secs(10);
+        let fresh = Duration::from_secs(60);
+        let loads: HashMap<String, u64> =
+            [("with-tail".to_string(), 1), ("no-tail".to_string(), 2)].into();
+        let tails: HashMap<String, Duration> =
+            [("with-tail".to_string(), Duration::from_millis(4))].into();
+        // Tailless inherits the 4 ms median: 3 × 4 ms > 2 × 4 ms.
+        let names: Vec<String> = reg
+            .find_by_category_least_loaded("c", now, fresh, &loads, &tails)
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, ["Measured", "Tailless"]);
     }
 
     #[test]

@@ -87,11 +87,20 @@ fn main() {
         loads.get("wesc-a").copied().unwrap_or(0),
         loads.get("wesc-b").copied().unwrap_or(0)
     );
+    // Blend in the monitor's per-host p99 tails (the E20 cost score):
+    // a fast-but-busy replica can outrank a slow-but-idle one.
+    let tails: std::collections::HashMap<String, Duration> = net
+        .monitor()
+        .summary_by_host()
+        .into_iter()
+        .map(|s| (s.host, s.p99_duration))
+        .collect();
     let ranked = registry.find_by_category_least_loaded(
         "classifier-replica",
         net.now(),
         Duration::from_secs(300),
         &loads,
+        &tails,
     );
     for (i, entry) in ranked.iter().enumerate() {
         println!(
